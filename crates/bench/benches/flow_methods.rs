@@ -1,0 +1,51 @@
+//! Criterion benchmark behind Tables 6–8 and Figure 11: the four flow
+//! computation methods on extracted subgraphs, grouped by interaction-count
+//! bucket.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tin_bench::{ExperimentScale, Workload};
+use tin_datasets::DatasetKind;
+use tin_flow::{compute_flow, FlowMethod};
+
+fn bench_flow_methods(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    for kind in DatasetKind::ALL {
+        let workload = Workload::build(kind, &scale);
+        if workload.subgraphs.is_empty() {
+            continue;
+        }
+        let mut group = c.benchmark_group(format!("flow_methods/{}", kind.name()));
+        group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+        for (label, lo, hi) in [("lt100", 0usize, 100usize), ("100to1000", 100, 1000)] {
+            let subs: Vec<_> = workload
+                .subgraphs
+                .iter()
+                .filter(|s| (lo..hi).contains(&s.interaction_count()))
+                .take(5)
+                .collect();
+            if subs.is_empty() {
+                continue;
+            }
+            for method in [FlowMethod::Greedy, FlowMethod::Lp, FlowMethod::Pre, FlowMethod::PreSim] {
+                group.bench_with_input(
+                    BenchmarkId::new(method.name(), label),
+                    &subs,
+                    |b, subs| {
+                        b.iter(|| {
+                            for sub in subs.iter() {
+                                let r = compute_flow(&sub.graph, sub.source, sub.sink, method)
+                                    .expect("valid subgraph");
+                                std::hint::black_box(r.flow);
+                            }
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_flow_methods);
+criterion_main!(benches);

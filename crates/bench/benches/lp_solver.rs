@@ -1,0 +1,45 @@
+//! Criterion benchmark for the LP substrate: formulation construction and
+//! simplex solve time as a function of the number of interactions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tin_bench::{ExperimentScale, Workload};
+use tin_datasets::DatasetKind;
+use tin_flow::{build_lp, lp_max_flow};
+
+fn bench_lp(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let workload = Workload::build(DatasetKind::Bitcoin, &scale);
+    // Pick one representative subgraph per size band.
+    let mut picks = Vec::new();
+    for (label, lo, hi) in [("small", 4usize, 60usize), ("medium", 60, 250), ("large", 250, 1000)] {
+        if let Some(sub) = workload
+            .subgraphs
+            .iter()
+            .filter(|s| (lo..hi).contains(&s.interaction_count()))
+            .max_by_key(|s| s.interaction_count())
+        {
+            picks.push((label, sub));
+        }
+    }
+    if picks.is_empty() {
+        return;
+    }
+    let mut group = c.benchmark_group("lp_solver");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (label, sub) in picks {
+        group.bench_with_input(BenchmarkId::new("formulate", label), &sub, |b, sub| {
+            b.iter(|| std::hint::black_box(build_lp(&sub.graph, sub.source, sub.sink).variables))
+        });
+        group.bench_with_input(BenchmarkId::new("solve", label), &sub, |b, sub| {
+            b.iter(|| {
+                let out = lp_max_flow(&sub.graph, sub.source, sub.sink).expect("solvable LP");
+                std::hint::black_box(out.flow)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmark behind Tables 9–11: GB vs PB pattern enumeration
+//! (with per-instance flow computation) on the synthetic datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tin_bench::{generate_dataset, ExperimentScale};
+use tin_datasets::DatasetKind;
+use tin_patterns::{search_gb, search_pb, PathTables, PatternId, TablesConfig};
+
+fn bench_pattern_search(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let graph = generate_dataset(DatasetKind::Prosper, &scale);
+    let tables = PathTables::build(&graph, &TablesConfig::default());
+    let limit = 500; // keep individual iterations short
+
+    let mut group = c.benchmark_group("pattern_search/prosper");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for id in [PatternId::P1, PatternId::P2, PatternId::P3, PatternId::P5] {
+        group.bench_with_input(BenchmarkId::new("GB", id.name()), &id, |b, &id| {
+            b.iter(|| std::hint::black_box(search_gb(&graph, id, limit).instances))
+        });
+        group.bench_with_input(BenchmarkId::new("PB", id.name()), &id, |b, &id| {
+            b.iter(|| {
+                std::hint::black_box(
+                    search_pb(&graph, &tables, id, limit).expect("tables built").instances,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_search);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmark for the graph reduction building blocks: the Lemma 2
+//! solubility test, Algorithm 1 preprocessing and Algorithm 2 simplification
+//! (the ablation of what each stage of `PreSim` costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tin_bench::{ExperimentScale, Workload};
+use tin_datasets::DatasetKind;
+use tin_flow::{is_greedy_soluble, preprocess, simplify};
+
+fn bench_reduction_stages(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let workload = Workload::build(DatasetKind::Bitcoin, &scale);
+    let subs: Vec<_> = workload.subgraphs.iter().take(10).collect();
+    if subs.is_empty() {
+        return;
+    }
+    let mut group = c.benchmark_group("reduction_stages");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group.bench_function("solubility_test", |b| {
+        b.iter(|| {
+            for sub in &subs {
+                std::hint::black_box(is_greedy_soluble(&sub.graph, sub.source, sub.sink));
+            }
+        })
+    });
+    group.bench_function("preprocess", |b| {
+        b.iter(|| {
+            for sub in &subs {
+                let out = preprocess(&sub.graph, sub.source, sub.sink).expect("DAG subgraphs");
+                std::hint::black_box(out.report.interactions_removed);
+            }
+        })
+    });
+    group.bench_function("simplify", |b| {
+        b.iter(|| {
+            for sub in &subs {
+                let out = simplify(&sub.graph, sub.source, sub.sink);
+                std::hint::black_box(out.report.chains_contracted);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction_stages);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Reproduces every table and figure of the paper's evaluation (Section 6).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [section] [--quick]
+//!
+//! section: all | table4 | table5 | tables678 | fig11 | patterns | tables91011
+//! --quick: run at the CI scale instead of the standard scale
+//! ```
+//!
+//! Absolute numbers differ from the paper (different hardware, synthetic
+//! stand-in datasets, from-scratch LP solver); the comparative shapes —
+//! Greedy ≪ PreSim < Pre ≪ LP, PB ≫ GB on precomputable patterns — are what
+//! this harness reproduces. See `EXPERIMENTS.md` for a recorded run.
+
+use tin_bench::{
+    bucket_experiment, flow_method_experiment, format_duration, pattern_experiment, print_table,
+    ExperimentScale, Workload,
+};
+use tin_datasets::{dataset_stats, subgraph_stats};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let section = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::standard() };
+
+    println!("Flow Computation in Temporal Interaction Networks — evaluation harness");
+    println!(
+        "scale: dataset×{:.2}, ≤{} subgraphs, ≤{} interactions/subgraph",
+        scale.dataset_scale, scale.max_subgraphs, scale.max_subgraph_interactions
+    );
+
+    let workloads = Workload::all(&scale);
+
+    if matches!(section, "all" | "table4") {
+        table4(&workloads);
+    }
+    if matches!(section, "all" | "table5") {
+        table5(&workloads);
+    }
+    if matches!(section, "all" | "tables678") {
+        tables678(&workloads);
+    }
+    if matches!(section, "all" | "fig11") {
+        fig11(&workloads);
+    }
+    if matches!(section, "all" | "patterns" | "tables91011") {
+        tables91011(&workloads, if quick { 2_000 } else { 20_000 });
+    }
+}
+
+fn table4(workloads: &[Workload]) {
+    let rows: Vec<Vec<String>> = workloads
+        .iter()
+        .map(|w| {
+            let s = dataset_stats(&w.graph);
+            vec![
+                w.kind.name().to_string(),
+                s.nodes.to_string(),
+                s.edges.to_string(),
+                s.interactions.to_string(),
+                format!("{:.2} {}", s.avg_flow, w.kind.unit()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4: characteristics of datasets (synthetic stand-ins)",
+        &["dataset", "#nodes", "#edges", "#interactions", "avg. flow"],
+        &rows,
+    );
+}
+
+fn table5(workloads: &[Workload]) {
+    let rows: Vec<Vec<String>> = workloads
+        .iter()
+        .map(|w| {
+            let s = subgraph_stats(&w.subgraphs);
+            vec![
+                w.kind.name().to_string(),
+                s.subgraphs.to_string(),
+                format!("{:.2}", s.avg_vertices),
+                format!("{:.2}", s.avg_edges),
+                format!("{:.1}", s.avg_interactions),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5: statistics of extracted subgraphs",
+        &["dataset", "#subgraphs", "avg #vertices", "avg #edges", "avg #interactions"],
+        &rows,
+    );
+}
+
+fn tables678(workloads: &[Workload]) {
+    for w in workloads {
+        let table = flow_method_experiment(w);
+        let (a, b, c) = table.class_sizes;
+        let mut rows = Vec::new();
+        for (label, count, timings) in [
+            (format!("All ({})", w.subgraphs.len()), w.subgraphs.len(), &table.all),
+            (format!("Class A ({a})"), a, &table.class_a),
+            (format!("Class B ({b})"), b, &table.class_b),
+            (format!("Class C ({c})"), c, &table.class_c),
+        ] {
+            let mut row = vec![label];
+            if count == 0 {
+                row.extend(std::iter::repeat("-".to_string()).take(timings.len()));
+            } else {
+                row.extend(timings.iter().map(|t| format_duration(t.average)));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Tables 6-8: avg runtime per subgraph — {}", table.dataset),
+            &["subgraphs", "Greedy", "LP", "Pre", "PreSim"],
+            &rows,
+        );
+    }
+}
+
+fn fig11(workloads: &[Workload]) {
+    for w in workloads {
+        let rows: Vec<Vec<String>> = bucket_experiment(w)
+            .iter()
+            .map(|row| {
+                let mut cells = vec![row.bucket.to_string(), row.subgraphs.to_string()];
+                if row.subgraphs == 0 {
+                    cells.extend(std::iter::repeat("-".to_string()).take(row.timings.len()));
+                } else {
+                    cells.extend(row.timings.iter().map(|t| format_duration(t.average)));
+                }
+                cells
+            })
+            .collect();
+        print_table(
+            &format!("Figure 11: runtime vs #interactions — {}", w.kind.name()),
+            &["#interactions", "#subgraphs", "Greedy", "LP", "Pre", "PreSim"],
+            &rows,
+        );
+    }
+}
+
+fn tables91011(workloads: &[Workload], instance_limit: usize) {
+    for w in workloads {
+        let rows: Vec<Vec<String>> = pattern_experiment(w.kind, &w.graph, instance_limit)
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}{}", r.pattern, if r.truncated { "*" } else { "" }),
+                    r.instances.to_string(),
+                    format!("{:.2}", r.average_flow),
+                    format_duration(r.gb_time),
+                    r.pb_time.map(format_duration).unwrap_or_else(|| "n/a".to_string()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Tables 9-11: pattern search — {} (* = stopped at {} instances)",
+                w.kind.name(),
+                instance_limit
+            ),
+            &["pattern", "instances", "avg flow", "GB", "PB"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Flow-method comparison experiments: Tables 6–8 and Figure 11.
+
+use crate::workloads::Workload;
+use std::time::{Duration, Instant};
+use tin_datasets::SeedSubgraph;
+use tin_flow::{compute_flow, DifficultyClass, FlowMethod};
+
+/// Methods compared in the paper's runtime tables.
+pub const TABLE_METHODS: [FlowMethod; 4] =
+    [FlowMethod::Greedy, FlowMethod::Lp, FlowMethod::Pre, FlowMethod::PreSim];
+
+/// Aggregated timing of one method over a set of subgraphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodTiming {
+    /// The method.
+    pub method: FlowMethod,
+    /// Number of subgraphs included in the average.
+    pub subgraphs: usize,
+    /// Average runtime per subgraph.
+    pub average: Duration,
+    /// Total runtime over the set.
+    pub total: Duration,
+}
+
+/// One of the paper's runtime tables (6, 7 or 8): average runtimes overall
+/// and per difficulty class.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    /// Dataset name.
+    pub dataset: String,
+    /// Timings over all subgraphs.
+    pub all: Vec<MethodTiming>,
+    /// Timings over class A subgraphs (greedy-soluble as-is).
+    pub class_a: Vec<MethodTiming>,
+    /// Timings over class B subgraphs (greedy-soluble after preprocessing).
+    pub class_b: Vec<MethodTiming>,
+    /// Timings over class C subgraphs (LP required after preprocessing).
+    pub class_c: Vec<MethodTiming>,
+    /// Number of subgraphs per class (A, B, C).
+    pub class_sizes: (usize, usize, usize),
+}
+
+fn time_method(sub: &SeedSubgraph, method: FlowMethod) -> Duration {
+    let start = Instant::now();
+    let result = compute_flow(&sub.graph, sub.source, sub.sink, method)
+        .expect("extracted subgraphs are valid flow DAGs");
+    std::hint::black_box(result.flow);
+    start.elapsed()
+}
+
+fn summarize(method: FlowMethod, durations: &[Duration]) -> MethodTiming {
+    let total: Duration = durations.iter().sum();
+    let average = if durations.is_empty() {
+        Duration::ZERO
+    } else {
+        total / durations.len() as u32
+    };
+    MethodTiming { method, subgraphs: durations.len(), average, total }
+}
+
+/// Classifies every subgraph (via the `PreSim` pipeline) and measures each
+/// method on it, producing one of the paper's Tables 6–8.
+pub fn flow_method_experiment(workload: &Workload) -> FlowTable {
+    let mut timings: Vec<Vec<Duration>> = vec![Vec::new(); TABLE_METHODS.len()];
+    let mut classes: Vec<DifficultyClass> = Vec::with_capacity(workload.subgraphs.len());
+
+    for sub in &workload.subgraphs {
+        let class = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim)
+            .expect("valid subgraph")
+            .class
+            .unwrap_or(DifficultyClass::C);
+        classes.push(class);
+        for (i, &method) in TABLE_METHODS.iter().enumerate() {
+            timings[i].push(time_method(sub, method));
+        }
+    }
+
+    let collect = |filter: Option<DifficultyClass>| -> Vec<MethodTiming> {
+        TABLE_METHODS
+            .iter()
+            .enumerate()
+            .map(|(i, &method)| {
+                let durations: Vec<Duration> = timings[i]
+                    .iter()
+                    .zip(&classes)
+                    .filter(|(_, &c)| filter.map_or(true, |f| c == f))
+                    .map(|(d, _)| *d)
+                    .collect();
+                summarize(method, &durations)
+            })
+            .collect()
+    };
+
+    let count = |class: DifficultyClass| classes.iter().filter(|&&c| c == class).count();
+    FlowTable {
+        dataset: workload.kind.name().to_string(),
+        all: collect(None),
+        class_a: collect(Some(DifficultyClass::A)),
+        class_b: collect(Some(DifficultyClass::B)),
+        class_c: collect(Some(DifficultyClass::C)),
+        class_sizes: (
+            count(DifficultyClass::A),
+            count(DifficultyClass::B),
+            count(DifficultyClass::C),
+        ),
+    }
+}
+
+/// One bucket of Figure 11: subgraphs grouped by interaction count.
+#[derive(Debug, Clone)]
+pub struct BucketRow {
+    /// Human-readable bucket label (`"<100"`, `"100-1000"`, `">1000"`).
+    pub bucket: &'static str,
+    /// Number of subgraphs falling in the bucket.
+    pub subgraphs: usize,
+    /// Average runtime per method.
+    pub timings: Vec<MethodTiming>,
+}
+
+/// The interaction-count buckets used by Figure 11.
+pub const BUCKETS: [(&str, usize, usize); 3] =
+    [("<100", 0, 100), ("100-1000", 100, 1000), (">1000", 1000, usize::MAX)];
+
+/// Groups the workload's subgraphs by interaction count and measures every
+/// method per bucket (Figure 11).
+pub fn bucket_experiment(workload: &Workload) -> Vec<BucketRow> {
+    BUCKETS
+        .iter()
+        .map(|&(label, lo, hi)| {
+            let subs: Vec<&SeedSubgraph> = workload
+                .subgraphs
+                .iter()
+                .filter(|s| {
+                    let n = s.interaction_count();
+                    n >= lo && n < hi
+                })
+                .collect();
+            let timings = TABLE_METHODS
+                .iter()
+                .map(|&method| {
+                    let durations: Vec<Duration> =
+                        subs.iter().map(|s| time_method(s, method)).collect();
+                    summarize(method, &durations)
+                })
+                .collect();
+            BucketRow { bucket: label, subgraphs: subs.len(), timings }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentScale;
+    use tin_datasets::DatasetKind;
+
+    fn tiny_workload() -> Workload {
+        let scale = ExperimentScale {
+            dataset_scale: 0.04,
+            max_subgraphs: 8,
+            max_subgraph_interactions: 150,
+            seed: 7,
+        };
+        Workload::build(DatasetKind::Ctu13, &scale)
+    }
+
+    #[test]
+    fn flow_table_covers_all_methods_and_classes() {
+        let w = tiny_workload();
+        let table = flow_method_experiment(&w);
+        assert_eq!(table.all.len(), TABLE_METHODS.len());
+        let (a, b, c) = table.class_sizes;
+        assert_eq!(a + b + c, w.subgraphs.len());
+        // All subgraphs are accounted for in the per-method averages.
+        for t in &table.all {
+            assert_eq!(t.subgraphs, w.subgraphs.len());
+        }
+        // Greedy is never slower than LP on average (sanity on the headline
+        // shape; both averages are over the same subgraphs).
+        let greedy = table.all.iter().find(|t| t.method == FlowMethod::Greedy).unwrap();
+        let lp = table.all.iter().find(|t| t.method == FlowMethod::Lp).unwrap();
+        assert!(greedy.average <= lp.average);
+    }
+
+    #[test]
+    fn buckets_partition_the_subgraphs() {
+        let w = tiny_workload();
+        let rows = bucket_experiment(&w);
+        assert_eq!(rows.len(), 3);
+        let total: usize = rows.iter().map(|r| r.subgraphs).sum();
+        assert_eq!(total, w.subgraphs.len());
+    }
+}

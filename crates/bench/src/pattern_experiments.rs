@@ -1,0 +1,132 @@
+//! Pattern-search experiments: Tables 9–11.
+
+use std::time::{Duration, Instant};
+use tin_datasets::DatasetKind;
+use tin_graph::TemporalGraph;
+use tin_patterns::{
+    relaxed_search_gb, relaxed_search_pb, search_gb, search_pb, PathTables, PatternId,
+    RelaxedPattern, TablesConfig,
+};
+
+/// One row of Tables 9–11: a pattern, its instance count and average flow,
+/// and the GB vs PB enumeration times.
+#[derive(Debug, Clone)]
+pub struct PatternTableRow {
+    /// Pattern name (P1–P6, RP1–RP3).
+    pub pattern: String,
+    /// Number of instances found.
+    pub instances: usize,
+    /// Average maximum flow per instance.
+    pub average_flow: f64,
+    /// Graph-browsing enumeration + flow time.
+    pub gb_time: Duration,
+    /// Precomputation-based enumeration + flow time (`None` when the needed
+    /// tables are unavailable for this dataset, the paper's "—" cells).
+    pub pb_time: Option<Duration>,
+    /// Time spent building the path tables (amortized over all patterns; the
+    /// paper reports it as offline precomputation).
+    pub precompute_time: Duration,
+    /// Whether enumeration was cut short by the instance limit.
+    pub truncated: bool,
+}
+
+/// Relaxed patterns evaluated alongside the rigid catalogue.
+pub fn relaxed_patterns() -> Vec<RelaxedPattern> {
+    vec![
+        RelaxedPattern::ParallelTwoHopChains { min_branches: 1 },
+        RelaxedPattern::ParallelTwoHopCycles { min_branches: 2 },
+        RelaxedPattern::ParallelThreeHopCycles { min_branches: 2 },
+    ]
+}
+
+/// Runs the full pattern-search experiment for one dataset: every rigid
+/// pattern P1–P6 and every relaxed pattern RP1–RP3, with GB and PB timings.
+///
+/// `instance_limit` bounds the number of instances per pattern (0 =
+/// unlimited) — the paper applies such a cut-off to its slowest patterns.
+/// Following the paper, the chain table `C2` is only built for Prosper
+/// Loans; on the other datasets the P1/RP1 PB cells are unavailable.
+pub fn pattern_experiment(
+    kind: DatasetKind,
+    graph: &TemporalGraph,
+    instance_limit: usize,
+) -> Vec<PatternTableRow> {
+    let tables_config = TablesConfig {
+        build_l2: true,
+        build_l3: true,
+        build_c2: kind == DatasetKind::Prosper,
+        max_rows: 5_000_000,
+    };
+    let precompute_start = Instant::now();
+    let tables = PathTables::build(graph, &tables_config);
+    let precompute_time = precompute_start.elapsed();
+
+    let mut rows = Vec::new();
+    for id in PatternId::ALL {
+        let gb = search_gb(graph, id, instance_limit);
+        let pb = search_pb(graph, &tables, id, instance_limit);
+        rows.push(PatternTableRow {
+            pattern: id.name().to_string(),
+            instances: gb.instances,
+            average_flow: gb.average_flow,
+            gb_time: gb.elapsed,
+            pb_time: pb.as_ref().map(|r| r.elapsed),
+            precompute_time,
+            truncated: gb.truncated,
+        });
+    }
+    for rp in relaxed_patterns() {
+        let gb = relaxed_search_gb(graph, rp);
+        let pb = relaxed_search_pb(&tables, rp);
+        rows.push(PatternTableRow {
+            pattern: rp.name().to_string(),
+            instances: gb.instances,
+            average_flow: gb.average_flow,
+            gb_time: gb.elapsed,
+            pb_time: pb.as_ref().map(|r| r.elapsed),
+            precompute_time,
+            truncated: false,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{generate_dataset, ExperimentScale};
+
+    #[test]
+    fn pattern_experiment_produces_all_rows() {
+        let scale = ExperimentScale {
+            dataset_scale: 0.03,
+            max_subgraphs: 5,
+            max_subgraph_interactions: 100,
+            seed: 3,
+        };
+        let g = generate_dataset(DatasetKind::Prosper, &scale);
+        let rows = pattern_experiment(DatasetKind::Prosper, &g, 200);
+        assert_eq!(rows.len(), 6 + 3);
+        // Prosper builds the chain table, so every PB cell is available.
+        assert!(rows.iter().all(|r| r.pb_time.is_some()));
+        // Pattern names are unique and in catalogue order.
+        assert_eq!(rows[0].pattern, "P1");
+        assert_eq!(rows[6].pattern, "RP1");
+    }
+
+    #[test]
+    fn non_prosper_datasets_skip_the_chain_table() {
+        let scale = ExperimentScale {
+            dataset_scale: 0.02,
+            max_subgraphs: 5,
+            max_subgraph_interactions: 100,
+            seed: 3,
+        };
+        let g = generate_dataset(DatasetKind::Ctu13, &scale);
+        let rows = pattern_experiment(DatasetKind::Ctu13, &g, 100);
+        let p1 = rows.iter().find(|r| r.pattern == "P1").unwrap();
+        assert!(p1.pb_time.is_none(), "P1 PB requires the chain table");
+        let p2 = rows.iter().find(|r| r.pattern == "P2").unwrap();
+        assert!(p2.pb_time.is_some());
+    }
+}

@@ -1,0 +1,63 @@
+//! Plain-text table rendering for the `experiments` binary.
+
+use std::time::Duration;
+
+/// Formats a duration the way the paper's tables do: microseconds for the
+/// greedy-scale timings, milliseconds/seconds above that.
+pub fn format_duration(d: Duration) -> String {
+    let micros = d.as_secs_f64() * 1e6;
+    if micros < 1_000.0 {
+        format!("{micros:.1} µs")
+    } else if micros < 1_000_000.0 {
+        format!("{:.3} ms", micros / 1_000.0)
+    } else {
+        format!("{:.3} s", micros / 1_000_000.0)
+    }
+}
+
+/// Prints a simple aligned table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", render(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", render(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(1500)), "1.5 µs");
+        assert_eq!(format_duration(Duration::from_micros(2500)), "2.500 ms");
+        assert_eq!(format_duration(Duration::from_millis(2500)), "2.500 s");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

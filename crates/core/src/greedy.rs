@@ -1,0 +1,328 @@
+//! Greedy flow computation (Section 4.1 of the paper).
+//!
+//! Interactions are replayed in chronological order. Every vertex `v` keeps a
+//! buffer `B_v` of received-but-not-yet-forwarded quantity; the designated
+//! source has an infinite buffer. An interaction `(t, q)` on edge `(v, u)`
+//! transfers `min(q, B_v^t)` from `B_v` to `B_u` (Definition 4), where
+//! `B_v^t` is the quantity buffered at `v` **strictly before** time `t`.
+//! After the last interaction, the flow of the graph is the quantity buffered
+//! at the sink (Definition 5).
+//!
+//! ## Simultaneous interactions
+//!
+//! The paper leaves ties (multiple interactions with the same timestamp)
+//! unspecified. This implementation uses the strict-precedence semantics that
+//! also underlie the maximum-flow formulation and the time-expanded
+//! reduction, so that `greedy ≤ maximum` holds unconditionally:
+//!
+//! * quantity arriving at a vertex at time `t` cannot be forwarded by an
+//!   interaction happening at the same time `t`;
+//! * several interactions leaving the same vertex at time `t` share the
+//!   buffer the vertex had before `t` (processed in deterministic event
+//!   order, no double spending).
+//!
+//! The scan is linear in the number of interactions (after the chronological
+//! sort provided by [`tin_graph::Events`]).
+
+use std::collections::HashMap;
+use tin_graph::{EdgeId, Events, NodeId, Quantity, TemporalGraph, Time};
+
+/// A single transfer performed by the greedy scan — one row of the paper's
+/// Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferStep {
+    /// Edge on which the interaction lives.
+    pub edge: EdgeId,
+    /// Source vertex of the interaction.
+    pub src: NodeId,
+    /// Destination vertex of the interaction.
+    pub dst: NodeId,
+    /// Timestamp of the interaction.
+    pub time: Time,
+    /// Quantity requested by the interaction (`q_i`).
+    pub requested: Quantity,
+    /// Quantity actually moved (`min(q_i, B_src)`).
+    pub transferred: Quantity,
+}
+
+/// Outcome of a greedy scan.
+#[derive(Debug, Clone)]
+pub struct GreedyResult {
+    /// Quantity buffered at the sink after the last interaction — the greedy
+    /// flow `f(G)`.
+    pub flow: Quantity,
+    /// Final buffer of every vertex (the source's buffer is `+∞`).
+    pub buffers: Vec<Quantity>,
+    /// Chronological record of every transfer, present only when requested
+    /// via [`greedy_flow_traced`].
+    pub trace: Vec<TransferStep>,
+}
+
+fn run(graph: &TemporalGraph, source: NodeId, sink: NodeId, record_trace: bool) -> GreedyResult {
+    assert!(source.index() < graph.node_count(), "source out of range");
+    assert!(sink.index() < graph.node_count(), "sink out of range");
+    let events = Events::collect(graph);
+    let evs = events.as_slice();
+    let mut buffers: Vec<Quantity> = vec![0.0; graph.node_count()];
+    buffers[source.index()] = Quantity::INFINITY;
+    let mut trace = Vec::with_capacity(if record_trace { evs.len() } else { 0 });
+
+    // Scratch maps reused across timestamp groups.
+    let mut available: HashMap<usize, Quantity> = HashMap::new();
+    let mut arrivals: HashMap<usize, Quantity> = HashMap::new();
+
+    let mut i = 0;
+    while i < evs.len() {
+        let t = evs[i].time;
+        let mut j = i;
+        while j < evs.len() && evs[j].time == t {
+            j += 1;
+        }
+        available.clear();
+        arrivals.clear();
+        for ev in &evs[i..j] {
+            let avail = available
+                .entry(ev.src.index())
+                .or_insert_with(|| buffers[ev.src.index()]);
+            let moved = ev.quantity.min(*avail);
+            if moved > 0.0 {
+                if !avail.is_infinite() {
+                    *avail -= moved;
+                }
+                *arrivals.entry(ev.dst.index()).or_insert(0.0) += moved;
+            }
+            if record_trace {
+                trace.push(TransferStep {
+                    edge: ev.edge,
+                    src: ev.src,
+                    dst: ev.dst,
+                    time: ev.time,
+                    requested: ev.quantity,
+                    transferred: moved,
+                });
+            }
+        }
+        // Commit the group: outgoing quantity leaves the senders' buffers,
+        // arrivals become available only to strictly later interactions.
+        for (&v, &remaining) in &available {
+            if !buffers[v].is_infinite() {
+                buffers[v] = remaining;
+            }
+        }
+        for (&v, &gained) in &arrivals {
+            if !buffers[v].is_infinite() {
+                buffers[v] += gained;
+            }
+        }
+        i = j;
+    }
+    GreedyResult { flow: buffers[sink.index()], buffers, trace }
+}
+
+/// Computes the greedy flow from `source` to `sink` (Definition 5).
+///
+/// # Panics
+/// Panics if either endpoint is out of range.
+pub fn greedy_flow(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> GreedyResult {
+    run(graph, source, sink, false)
+}
+
+/// Computes the greedy flow and records every transfer, reproducing the
+/// step-by-step tables of the paper (Table 2).
+pub fn greedy_flow_traced(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> GreedyResult {
+    run(graph, source, sink, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_graph::GraphBuilder;
+
+    /// Figure 3 / Table 2 of the paper.
+    fn figure3() -> (TemporalGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let t = b.add_node("t");
+        b.add_pairs(s, y, &[(1, 5.0)]);
+        b.add_pairs(s, z, &[(2, 3.0)]);
+        b.add_pairs(y, z, &[(3, 5.0)]);
+        b.add_pairs(y, t, &[(4, 4.0)]);
+        b.add_pairs(z, t, &[(5, 1.0)]);
+        (b.build(), s, y, z, t)
+    }
+
+    #[test]
+    fn table2_final_buffers() {
+        let (g, s, y, z, t) = figure3();
+        let r = greedy_flow(&g, s, t);
+        assert_eq!(r.flow, 1.0);
+        assert!(r.buffers[s.index()].is_infinite());
+        assert_eq!(r.buffers[y.index()], 0.0);
+        assert_eq!(r.buffers[z.index()], 7.0);
+        assert_eq!(r.buffers[t.index()], 1.0);
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn table2_step_by_step_trace() {
+        let (g, s, _y, _z, t) = figure3();
+        let r = greedy_flow_traced(&g, s, t);
+        assert_eq!(r.trace.len(), 5);
+        let transferred: Vec<f64> = r.trace.iter().map(|s| s.transferred).collect();
+        // (1,5): 5 moves, (2,3): 3 moves, (3,5): 5 moves, (4,4): 0 moves,
+        // (5,1): 1 moves — exactly Table 2.
+        assert_eq!(transferred, vec![5.0, 3.0, 5.0, 0.0, 1.0]);
+        let times: Vec<i64> = r.trace.iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn figure1_greedy_flow() {
+        // Figure 1(a): the greedy scan delivers 2 units to t.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let t = b.add_node("t");
+        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
+        b.add_pairs(s, y, &[(2, 6.0)]);
+        b.add_pairs(x, z, &[(5, 5.0)]);
+        b.add_pairs(y, z, &[(8, 5.0)]);
+        b.add_pairs(y, t, &[(9, 4.0)]);
+        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+        let g = b.build();
+        let r = greedy_flow(&g, s, t);
+        assert_eq!(r.flow, 2.0);
+    }
+
+    #[test]
+    fn source_buffer_is_infinite() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let t = b.add_node("t");
+        b.add_pairs(s, t, &[(1, 10.0), (2, 20.0), (3, 30.0)]);
+        let g = b.build();
+        let r = greedy_flow(&g, s, t);
+        assert_eq!(r.flow, 60.0);
+        assert!(r.buffers[s.index()].is_infinite());
+    }
+
+    #[test]
+    fn chain_respects_time_order() {
+        // The forwarding edge fires before anything arrives: nothing flows.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(5, 10.0)]);
+        b.add_pairs(a, t, &[(2, 3.0)]);
+        let g = b.build();
+        assert_eq!(greedy_flow(&g, s, t).flow, 0.0);
+    }
+
+    #[test]
+    fn same_timestamp_arrival_cannot_be_relayed() {
+        // Strict precedence: what arrives at time 3 cannot leave at time 3.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(3, 4.0)]);
+        b.add_pairs(a, t, &[(3, 4.0)]);
+        let g = b.build();
+        assert_eq!(greedy_flow(&g, s, t).flow, 0.0);
+    }
+
+    #[test]
+    fn same_timestamp_departures_share_the_buffer() {
+        // a holds 5 units; two interactions at time 9 request 4 each — they
+        // must not double-spend.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        let u = b.add_node("u");
+        b.add_pairs(s, a, &[(1, 5.0)]);
+        b.add_pairs(a, t, &[(9, 4.0)]);
+        b.add_pairs(a, u, &[(9, 4.0)]);
+        let g = b.build();
+        let r = greedy_flow(&g, s, t);
+        let total_out = 5.0 - r.buffers[a.index()];
+        assert!((total_out - 5.0).abs() < 1e-9);
+        // First edge in insertion order gets the full 4, the second only 1.
+        assert_eq!(r.buffers[t.index()], 4.0);
+        assert_eq!(r.buffers[u.index()], 1.0);
+    }
+
+    #[test]
+    fn partial_transfer_when_buffer_is_short() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(1, 2.0)]);
+        b.add_pairs(a, t, &[(2, 10.0)]);
+        let g = b.build();
+        let r = greedy_flow_traced(&g, s, t);
+        assert_eq!(r.flow, 2.0);
+        assert_eq!(r.trace[1].requested, 10.0);
+        assert_eq!(r.trace[1].transferred, 2.0);
+    }
+
+    #[test]
+    fn greedy_on_figure5b_reaches_fourteen() {
+        // Figure 5(b): all intermediate vertices have a single outgoing
+        // edge, greedy computes the maximum flow (= 14 in the paper).
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let w = b.add_node("w");
+        let x = b.add_node("x");
+        let t = b.add_node("t");
+        b.add_pairs(s, y, &[(1, 5.0), (4, 3.0), (5, 2.0)]);
+        b.add_pairs(y, z, &[(3, 3.0), (7, 4.0)]);
+        b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
+        b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
+        b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
+        b.add_pairs(w, t, &[(15, 7.0)]);
+        b.add_pairs(s, t, &[(2, 5.0), (11, 2.0)]);
+        let g = b.build();
+        let r = greedy_flow(&g, s, t);
+        assert_eq!(r.flow, 14.0);
+    }
+
+    #[test]
+    fn empty_graph_flow_is_zero() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let t = b.add_node("t");
+        let g = b.build();
+        assert_eq!(greedy_flow(&g, s, t).flow, 0.0);
+    }
+
+    #[test]
+    fn flow_conservation_in_trace() {
+        let (g, s, _, _, t) = figure3();
+        let r = greedy_flow_traced(&g, s, t);
+        // Every vertex other than the source: received >= sent at all times,
+        // and final buffer == received - sent.
+        let mut received = vec![0.0; g.node_count()];
+        let mut sent = vec![0.0; g.node_count()];
+        for step in &r.trace {
+            sent[step.src.index()] += step.transferred;
+            received[step.dst.index()] += step.transferred;
+        }
+        for v in g.node_ids() {
+            if v == s {
+                continue;
+            }
+            let expected = received[v.index()] - sent[v.index()];
+            assert!((r.buffers[v.index()] - expected).abs() < 1e-9);
+            assert!(expected >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The linear-programming formulation of maximum flow (Section 4.2.1).
+//!
+//! One variable `x_i` is created for every interaction that does **not**
+//! originate from the flow source (interactions leaving the source always
+//! transfer their full quantity — reserving at the source can never help).
+//! For every variable:
+//!
+//! * `0 ≤ x_i ≤ q_i` (an interaction cannot move more than its quantity);
+//! * `x_i ≤ (quantity arrived at src(i) strictly before t_i)
+//!          − (quantity already sent by src(i) before t_i)`,
+//!   which is constraint (2) of the paper. Interactions leaving the same
+//!   vertex at the same timestamp share the buffer (earlier-ordered ones are
+//!   included in the "already sent" sum), matching the strict-precedence
+//!   semantics of the greedy scan and of the time-expanded reduction.
+//!
+//! The objective maximizes the total quantity entering the sink. Unbounded
+//! (synthetic) quantities are replaced by a finite stand-in larger than the
+//! total finite quantity of the graph, which can never constrain an optimal
+//! solution.
+
+use crate::error::FlowError;
+use tin_graph::{Events, NodeId, Quantity, TemporalGraph};
+use tin_lp::{LpProblem, LpSolution, LpStatus};
+
+/// A constructed LP instance together with the bookkeeping needed to
+/// interpret its solution.
+#[derive(Debug, Clone)]
+pub struct LpFormulation {
+    /// The linear program (maximization).
+    pub problem: LpProblem,
+    /// Number of decision variables (interactions not leaving the source).
+    pub variables: usize,
+    /// Number of constraint rows (balance constraints + upper bounds).
+    pub constraints: usize,
+    /// Flow contributed by interactions that go directly from the source to
+    /// the sink (they are constants, not variables).
+    pub fixed_flow: Quantity,
+}
+
+/// Result of solving the LP formulation.
+#[derive(Debug, Clone)]
+pub struct LpOutcome {
+    /// The maximum flow from the source to the sink.
+    pub flow: Quantity,
+    /// Number of LP variables.
+    pub variables: usize,
+    /// Number of LP constraint rows.
+    pub constraints: usize,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// Builds the Section 4.2.1 linear program for `graph` with the given flow
+/// endpoints.
+pub fn build_lp(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> LpFormulation {
+    let events = Events::collect(graph);
+    let evs = events.as_slice();
+
+    // Finite stand-in for unbounded quantities.
+    let finite_total: f64 = evs
+        .iter()
+        .map(|e| if e.quantity.is_finite() { e.quantity } else { 0.0 })
+        .sum();
+    let unbounded = finite_total + 1.0;
+    let value_of = |q: Quantity| if q.is_finite() { q } else { unbounded };
+
+    // Assign variable indices to interactions that do not leave the source
+    // (and do not leave the sink — the model assumes the sink only absorbs).
+    let mut var_of_event: Vec<Option<usize>> = vec![None; evs.len()];
+    let mut variables = 0usize;
+    for (idx, ev) in evs.iter().enumerate() {
+        if ev.src != source && ev.src != sink {
+            var_of_event[idx] = Some(variables);
+            variables += 1;
+        }
+    }
+
+    let mut problem = LpProblem::new(variables);
+    let mut fixed_flow = 0.0;
+
+    // Objective + upper bounds.
+    for (idx, ev) in evs.iter().enumerate() {
+        match var_of_event[idx] {
+            Some(var) => {
+                problem.set_upper_bound(var, value_of(ev.quantity));
+                if ev.dst == sink {
+                    problem.add_objective_coefficient(var, 1.0);
+                }
+            }
+            None => {
+                if ev.src == source && ev.dst == sink {
+                    fixed_flow += value_of(ev.quantity);
+                }
+            }
+        }
+    }
+
+    // Balance constraints, built per vertex from its chronological timeline.
+    // in_vars / in_const hold arrivals strictly before the current timestamp;
+    // pending_* hold arrivals at the current timestamp (not yet usable).
+    let mut timeline: Vec<Vec<usize>> = vec![Vec::new(); graph.node_count()];
+    for (idx, ev) in evs.iter().enumerate() {
+        if ev.src != source && ev.src != sink {
+            timeline[ev.src.index()].push(idx);
+        }
+        if ev.dst != ev.src && ev.dst != source && ev.dst != sink {
+            timeline[ev.dst.index()].push(idx);
+        }
+    }
+    for v in graph.node_ids() {
+        if v == source || v == sink {
+            continue;
+        }
+        let events_of_v = &timeline[v.index()];
+        if events_of_v.is_empty() {
+            continue;
+        }
+        let mut in_vars: Vec<usize> = Vec::new();
+        let mut in_const = 0.0f64;
+        let mut out_vars: Vec<usize> = Vec::new();
+        let mut pending_in_vars: Vec<usize> = Vec::new();
+        let mut pending_in_const = 0.0f64;
+        let mut current_time = None;
+        for &idx in events_of_v {
+            let ev = &evs[idx];
+            if current_time != Some(ev.time) {
+                // New timestamp: everything that arrived earlier becomes
+                // usable.
+                in_vars.append(&mut pending_in_vars);
+                in_const += pending_in_const;
+                pending_in_const = 0.0;
+                current_time = Some(ev.time);
+            }
+            if ev.src == v {
+                let var = var_of_event[idx].expect("outgoing interaction of a non-endpoint vertex");
+                // x_i + sum(out so far) - sum(in strictly before) <= in_const
+                let mut coeffs: Vec<(usize, f64)> =
+                    Vec::with_capacity(1 + out_vars.len() + in_vars.len());
+                coeffs.push((var, 1.0));
+                coeffs.extend(out_vars.iter().map(|&j| (j, 1.0)));
+                coeffs.extend(in_vars.iter().map(|&j| (j, -1.0)));
+                problem.add_le_constraint(&coeffs, in_const);
+                out_vars.push(var);
+            }
+            if ev.dst == v {
+                match var_of_event[idx] {
+                    Some(var) => pending_in_vars.push(var),
+                    None => pending_in_const += value_of(ev.quantity),
+                }
+            }
+        }
+    }
+
+    let constraints = problem.num_constraints();
+    LpFormulation { problem, variables, constraints, fixed_flow }
+}
+
+impl LpFormulation {
+    /// Solves the program and interprets the result as a maximum flow value.
+    pub fn solve(&self) -> Result<(LpOutcome, LpSolution), FlowError> {
+        let solution = self.problem.solve();
+        if solution.status != LpStatus::Optimal {
+            return Err(FlowError::LpFailed(solution.status));
+        }
+        let outcome = LpOutcome {
+            flow: solution.objective + self.fixed_flow,
+            variables: self.variables,
+            constraints: self.constraints,
+            iterations: solution.iterations,
+        };
+        Ok((outcome, solution))
+    }
+}
+
+/// Convenience wrapper: builds and solves the LP formulation, returning the
+/// maximum flow from `source` to `sink`.
+pub fn lp_max_flow(
+    graph: &TemporalGraph,
+    source: NodeId,
+    sink: NodeId,
+) -> Result<LpOutcome, FlowError> {
+    let formulation = build_lp(graph, source, sink);
+    formulation.solve().map(|(outcome, _)| outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_graph::GraphBuilder;
+    use tin_maxflow::time_expanded_max_flow;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// Figure 3 of the paper: the maximum flow is 5 (Table 3).
+    fn figure3() -> (TemporalGraph, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let t = b.add_node("t");
+        b.add_pairs(s, y, &[(1, 5.0)]);
+        b.add_pairs(s, z, &[(2, 3.0)]);
+        b.add_pairs(y, z, &[(3, 5.0)]);
+        b.add_pairs(y, t, &[(4, 4.0)]);
+        b.add_pairs(z, t, &[(5, 1.0)]);
+        (b.build(), s, t)
+    }
+
+    #[test]
+    fn figure3_lp_reaches_the_table3_optimum() {
+        let (g, s, t) = figure3();
+        let out = lp_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 5.0);
+        // 3 interactions do not originate from the source.
+        assert_eq!(out.variables, 3);
+        assert!(out.constraints >= 6); // 3 bounds + 3 balance rows
+    }
+
+    #[test]
+    fn figure1_lp_maximum_is_five() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let t = b.add_node("t");
+        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
+        b.add_pairs(s, y, &[(2, 6.0)]);
+        b.add_pairs(x, z, &[(5, 5.0)]);
+        b.add_pairs(y, z, &[(8, 5.0)]);
+        b.add_pairs(y, t, &[(9, 4.0)]);
+        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+        let g = b.build();
+        let out = lp_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 5.0);
+        assert_eq!(out.variables, 5);
+    }
+
+    #[test]
+    fn direct_source_to_sink_interactions_are_constants() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let t = b.add_node("t");
+        b.add_pairs(s, t, &[(1, 4.0), (7, 2.5)]);
+        let g = b.build();
+        let f = build_lp(&g, s, t);
+        assert_eq!(f.variables, 0);
+        assert_close(f.fixed_flow, 6.5);
+        let out = lp_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 6.5);
+    }
+
+    #[test]
+    fn lp_agrees_with_time_expanded_on_paper_examples() {
+        let (g, s, t) = figure3();
+        assert_close(lp_max_flow(&g, s, t).unwrap().flow, time_expanded_max_flow(&g, s, t));
+    }
+
+    #[test]
+    fn same_timestamp_departures_cannot_double_spend() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        let u = b.add_node("u");
+        b.add_pairs(s, a, &[(1, 5.0)]);
+        b.add_pairs(a, t, &[(9, 4.0)]);
+        b.add_pairs(a, u, &[(9, 4.0)]);
+        let g = b.build();
+        // Only 4 units can reach t (the other simultaneous interaction
+        // competes for the same 5-unit buffer but goes elsewhere).
+        let out = lp_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 4.0);
+        assert_close(out.flow, time_expanded_max_flow(&g, s, t));
+    }
+
+    #[test]
+    fn same_timestamp_arrival_cannot_be_relayed() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(3, 4.0)]);
+        b.add_pairs(a, t, &[(3, 4.0)]);
+        let g = b.build();
+        assert_close(lp_max_flow(&g, s, t).unwrap().flow, 0.0);
+    }
+
+    #[test]
+    fn unbounded_source_interactions_do_not_blow_up() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_interaction(s, a, tin_graph::Interaction::new(i64::MIN, f64::INFINITY));
+        b.add_pairs(a, t, &[(5, 3.0)]);
+        let g = b.build();
+        let out = lp_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 3.0);
+    }
+
+    #[test]
+    fn reservation_is_exploited() {
+        // s sends 10 to a early; a can forward 6 at time 2 towards a dead end
+        // and 10 at time 3 towards the sink. The LP must route everything to
+        // the sink even though greedy would waste 6.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let dead = b.add_node("dead");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(1, 10.0)]);
+        b.add_pairs(a, dead, &[(2, 6.0)]);
+        b.add_pairs(a, t, &[(3, 10.0)]);
+        let g = b.build();
+        let out = lp_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 10.0);
+        let greedy = crate::greedy::greedy_flow(&g, s, t).flow;
+        assert_close(greedy, 4.0);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_flow() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let t = b.add_node("t");
+        let g = b.build();
+        let out = lp_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 0.0);
+        assert_eq!(out.variables, 0);
+    }
+
+    #[test]
+    fn formulation_counts_are_consistent() {
+        let (g, s, t) = figure3();
+        let f = build_lp(&g, s, t);
+        assert_eq!(f.variables, 3);
+        // One upper bound per variable plus one balance row per variable.
+        assert_eq!(f.constraints, 6);
+        assert_eq!(f.problem.num_vars(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! The Lemma 2 greedy-solubility test.
+//!
+//! Lemma 1 of the paper shows that on *chains* the greedy scan already
+//! computes the maximum flow; Lemma 2 generalizes this to any DAG in which
+//! every vertex other than the source and the sink has **exactly one
+//! outgoing edge** (reserving quantity at such a vertex can never help,
+//! because everything must eventually leave through that single edge).
+//!
+//! Checking the condition costs `O(V)` — it only inspects out-degrees — so
+//! the `Pre`/`PreSim` pipelines run it before and after preprocessing to
+//! avoid the LP entirely whenever possible.
+
+use tin_graph::{NodeId, TemporalGraph};
+
+/// Returns `true` if the greedy scan is guaranteed to compute the maximum
+/// flow from `source` to `sink` on `graph` (Lemma 2): every vertex other
+/// than the two endpoints has exactly one outgoing edge.
+///
+/// The test is purely structural; it does not verify that the graph is a DAG
+/// (the flow pipelines validate that separately).
+pub fn is_greedy_soluble(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> bool {
+    graph
+        .node_ids()
+        .all(|v| v == source || v == sink || graph.out_degree(v) == 1)
+}
+
+/// Returns `true` if the graph is a *chain* from `source` to `sink`
+/// (Lemma 1): the source has one outgoing edge, the sink one incoming edge,
+/// every other vertex exactly one incoming and one outgoing edge, and the
+/// number of edges equals the number of vertices minus one.
+pub fn is_chain(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> bool {
+    if graph.node_count() < 2 || graph.edge_count() != graph.node_count() - 1 {
+        return false;
+    }
+    if graph.out_degree(source) != 1 || graph.in_degree(source) != 0 {
+        return false;
+    }
+    if graph.in_degree(sink) != 1 || graph.out_degree(sink) != 0 {
+        return false;
+    }
+    graph.node_ids().all(|v| {
+        v == source || v == sink || (graph.in_degree(v) == 1 && graph.out_degree(v) == 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_graph::GraphBuilder;
+
+    fn chain(n: usize) -> (TemporalGraph, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|i| b.add_node(format!("v{i}"))).collect();
+        for w in ids.windows(2) {
+            b.add_pairs(w[0], w[1], &[(1, 1.0)]);
+        }
+        (b.build(), ids[0], ids[n - 1])
+    }
+
+    #[test]
+    fn chains_are_soluble_and_detected() {
+        let (g, s, t) = chain(5);
+        assert!(is_chain(&g, s, t));
+        assert!(is_greedy_soluble(&g, s, t));
+    }
+
+    #[test]
+    fn single_edge_is_a_chain() {
+        let (g, s, t) = chain(2);
+        assert!(is_chain(&g, s, t));
+        assert!(is_greedy_soluble(&g, s, t));
+    }
+
+    #[test]
+    fn figure3_is_not_soluble() {
+        // y has two outgoing edges.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let t = b.add_node("t");
+        b.add_pairs(s, y, &[(1, 5.0)]);
+        b.add_pairs(s, z, &[(2, 3.0)]);
+        b.add_pairs(y, z, &[(3, 5.0)]);
+        b.add_pairs(y, t, &[(4, 4.0)]);
+        b.add_pairs(z, t, &[(5, 1.0)]);
+        let g = b.build();
+        assert!(!is_greedy_soluble(&g, s, t));
+        assert!(!is_chain(&g, s, t));
+    }
+
+    #[test]
+    fn figure5b_is_soluble_but_not_a_chain() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let w = b.add_node("w");
+        let x = b.add_node("x");
+        let t = b.add_node("t");
+        b.add_pairs(s, y, &[(1, 5.0)]);
+        b.add_pairs(y, z, &[(3, 3.0)]);
+        b.add_pairs(z, w, &[(6, 3.0)]);
+        b.add_pairs(s, x, &[(9, 2.0)]);
+        b.add_pairs(x, w, &[(10, 3.0)]);
+        b.add_pairs(w, t, &[(15, 7.0)]);
+        b.add_pairs(s, t, &[(2, 5.0)]);
+        let g = b.build();
+        assert!(is_greedy_soluble(&g, s, t));
+        assert!(!is_chain(&g, s, t));
+    }
+
+    #[test]
+    fn source_may_have_many_outgoing_edges() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(1, 1.0)]);
+        b.add_pairs(s, c, &[(2, 1.0)]);
+        b.add_pairs(a, t, &[(3, 1.0)]);
+        b.add_pairs(c, t, &[(4, 1.0)]);
+        let g = b.build();
+        assert!(is_greedy_soluble(&g, s, t));
+    }
+
+    #[test]
+    fn dead_end_vertex_breaks_solubility() {
+        // `a` has no outgoing edge and is not the sink.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(1, 1.0)]);
+        b.add_pairs(s, t, &[(2, 1.0)]);
+        let g = b.build();
+        assert!(!is_greedy_soluble(&g, s, t));
+    }
+
+    #[test]
+    fn two_vertex_graph_edge_cases() {
+        let (g, s, t) = chain(2);
+        assert!(is_greedy_soluble(&g, s, t));
+        // Chains need at least two vertices and V-1 edges.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let g1 = b.build();
+        assert!(!is_chain(&g1, a, a));
+    }
+}

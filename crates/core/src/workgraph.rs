@@ -1,0 +1,325 @@
+//! A mutable working representation of a flow DAG.
+//!
+//! The preprocessing (Algorithm 1) and simplification (Algorithm 2)
+//! transformations delete interactions, edges and vertices and contract
+//! chains. [`tin_graph::TemporalGraph`] is deliberately immutable, so both
+//! algorithms operate on this small adjacency-map structure and convert back
+//! to an immutable graph when done.
+//!
+//! Determinism: adjacency is kept in `BTreeMap`s keyed by vertex index, so
+//! iteration order (and therefore the output of both algorithms) does not
+//! depend on hash seeds.
+
+use std::collections::{BTreeMap, BTreeSet};
+use tin_graph::{GraphBuilder, Interaction, NodeId, TemporalGraph};
+
+/// Mutable adjacency-map view of a temporal DAG with designated endpoints.
+#[derive(Debug, Clone)]
+pub struct WorkGraph {
+    names: Vec<String>,
+    alive: Vec<bool>,
+    /// `out[v][u]` = interactions of edge `(v, u)`, chronologically sorted.
+    out: Vec<BTreeMap<usize, Vec<Interaction>>>,
+    /// `inc[v]` = set of predecessors `u` with a live edge `(u, v)`.
+    inc: Vec<BTreeSet<usize>>,
+    /// Designated flow source (infinite buffer).
+    pub source: usize,
+    /// Designated flow sink.
+    pub sink: usize,
+}
+
+impl WorkGraph {
+    /// Builds a working copy of `graph` with the given endpoints.
+    pub fn from_graph(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> Self {
+        let n = graph.node_count();
+        let mut out: Vec<BTreeMap<usize, Vec<Interaction>>> = vec![BTreeMap::new(); n];
+        let mut inc: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for edge in graph.edges() {
+            out[edge.src.index()].insert(edge.dst.index(), edge.interactions.clone());
+            inc[edge.dst.index()].insert(edge.src.index());
+        }
+        WorkGraph {
+            names: graph.nodes().iter().map(|node| node.name.clone()).collect(),
+            alive: vec![true; n],
+            out,
+            inc,
+            source: source.index(),
+            sink: sink.index(),
+        }
+    }
+
+    /// Number of live vertices.
+    pub fn live_node_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of live edges.
+    pub fn live_edge_count(&self) -> usize {
+        self.out.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Number of interactions on live edges.
+    pub fn live_interaction_count(&self) -> usize {
+        self.out.iter().flat_map(|m| m.values()).map(Vec::len).sum()
+    }
+
+    /// Whether vertex `v` is still part of the graph.
+    pub fn is_alive(&self, v: usize) -> bool {
+        self.alive[v]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out[v].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.inc[v].len()
+    }
+
+    /// Successors of `v` (sorted by vertex index).
+    pub fn successors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.out[v].keys().copied()
+    }
+
+    /// Predecessors of `v` (sorted by vertex index).
+    pub fn predecessors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.inc[v].iter().copied()
+    }
+
+    /// Interactions of the live edge `(u, v)`, if present.
+    pub fn interactions(&self, u: usize, v: usize) -> Option<&[Interaction]> {
+        self.out[u].get(&v).map(Vec::as_slice)
+    }
+
+    /// Mutable access to the interactions of edge `(u, v)`.
+    pub fn interactions_mut(&mut self, u: usize, v: usize) -> Option<&mut Vec<Interaction>> {
+        self.out[u].get_mut(&v)
+    }
+
+    /// Removes the edge `(u, v)` (no-op when absent). Returns whether an edge
+    /// was removed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let removed = self.out[u].remove(&v).is_some();
+        if removed {
+            self.inc[v].remove(&u);
+        }
+        removed
+    }
+
+    /// Removes vertex `v` along with all incident edges. Returns the number
+    /// of removed edges.
+    pub fn remove_node(&mut self, v: usize) -> usize {
+        if !self.alive[v] {
+            return 0;
+        }
+        let mut removed = 0;
+        let successors: Vec<usize> = self.out[v].keys().copied().collect();
+        for u in successors {
+            self.remove_edge(v, u);
+            removed += 1;
+        }
+        let predecessors: Vec<usize> = self.inc[v].iter().copied().collect();
+        for u in predecessors {
+            self.remove_edge(u, v);
+            removed += 1;
+        }
+        self.alive[v] = false;
+        removed
+    }
+
+    /// Adds interactions to edge `(u, v)`, creating the edge if necessary and
+    /// keeping the interaction list chronologically sorted (this is the
+    /// parallel-edge merge used by graph simplification).
+    pub fn add_or_merge_edge(&mut self, u: usize, v: usize, interactions: Vec<Interaction>) {
+        if interactions.is_empty() {
+            return;
+        }
+        let entry = self.out[u].entry(v).or_default();
+        if entry.is_empty() {
+            *entry = interactions;
+        } else {
+            let merged = tin_graph::interaction::merge_sorted(entry, &interactions);
+            *entry = merged;
+        }
+        self.inc[v].insert(u);
+    }
+
+    /// The minimum timestamp over all interactions entering `v`, if any.
+    pub fn min_incoming_time(&self, v: usize) -> Option<i64> {
+        self.inc[v]
+            .iter()
+            .filter_map(|&u| self.out[u].get(&v))
+            .filter_map(|ints| ints.first().map(|i| i.time))
+            .min()
+    }
+
+    /// A topological order of the **live** vertices (Kahn's algorithm,
+    /// smallest-index-first for determinism). Returns `None` if the live part
+    /// of the graph contains a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.names.len();
+        let mut in_deg: Vec<usize> = (0..n).map(|v| self.inc[v].len()).collect();
+        let mut ready: BTreeSet<usize> =
+            (0..n).filter(|&v| self.alive[v] && in_deg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.live_node_count());
+        while let Some(&v) = ready.iter().next() {
+            ready.remove(&v);
+            order.push(v);
+            for u in self.out[v].keys() {
+                in_deg[*u] -= 1;
+                if in_deg[*u] == 0 {
+                    ready.insert(*u);
+                }
+            }
+        }
+        if order.len() == self.live_node_count() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Converts the working graph back into an immutable [`TemporalGraph`].
+    ///
+    /// Dead vertices are dropped and the remaining vertices are renumbered
+    /// densely. Returns the graph plus the new ids of the source and sink
+    /// (`None` when the corresponding endpoint was deleted).
+    pub fn into_graph(self) -> (TemporalGraph, Option<NodeId>, Option<NodeId>) {
+        let n = self.names.len();
+        let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+        let mut b = GraphBuilder::with_capacity(self.live_node_count(), self.live_edge_count());
+        for v in 0..n {
+            if self.alive[v] {
+                mapping[v] = Some(b.add_node(self.names[v].clone()));
+            }
+        }
+        for (v, targets) in self.out.iter().enumerate() {
+            for (&u, interactions) in targets {
+                let (Some(src), Some(dst)) = (mapping[v], mapping[u]) else {
+                    continue;
+                };
+                b.add_edge(src, dst, interactions.clone());
+            }
+        }
+        let source = mapping[self.source];
+        let sink = mapping[self.sink];
+        (b.build(), source, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_graph::GraphBuilder;
+
+    fn sample() -> (TemporalGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..4).map(|i| b.add_node(format!("v{i}"))).collect();
+        b.add_pairs(ids[0], ids[1], &[(1, 1.0), (3, 2.0)]);
+        b.add_pairs(ids[1], ids[2], &[(2, 3.0)]);
+        b.add_pairs(ids[1], ids[3], &[(4, 4.0)]);
+        b.add_pairs(ids[2], ids[3], &[(5, 5.0)]);
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn from_graph_and_counts() {
+        let (g, ids) = sample();
+        let w = WorkGraph::from_graph(&g, ids[0], ids[3]);
+        assert_eq!(w.live_node_count(), 4);
+        assert_eq!(w.live_edge_count(), 4);
+        assert_eq!(w.live_interaction_count(), 5);
+        assert_eq!(w.out_degree(ids[1].index()), 2);
+        assert_eq!(w.in_degree(ids[3].index()), 2);
+        assert!(w.is_alive(ids[2].index()));
+        assert_eq!(w.successors(ids[1].index()).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(w.predecessors(ids[3].index()).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_edge_and_node() {
+        let (g, ids) = sample();
+        let mut w = WorkGraph::from_graph(&g, ids[0], ids[3]);
+        assert!(w.remove_edge(ids[1].index(), ids[2].index()));
+        assert!(!w.remove_edge(ids[1].index(), ids[2].index()));
+        assert_eq!(w.live_edge_count(), 3);
+        let removed = w.remove_node(ids[1].index());
+        assert_eq!(removed, 2); // (0,1) and (1,3)
+        assert!(!w.is_alive(ids[1].index()));
+        assert_eq!(w.live_edge_count(), 1);
+        assert_eq!(w.remove_node(ids[1].index()), 0);
+    }
+
+    #[test]
+    fn merge_edges_keeps_chronological_order() {
+        let (g, ids) = sample();
+        let mut w = WorkGraph::from_graph(&g, ids[0], ids[3]);
+        w.add_or_merge_edge(
+            ids[0].index(),
+            ids[1].index(),
+            vec![Interaction::new(2, 9.0), Interaction::new(7, 1.0)],
+        );
+        let ints = w.interactions(ids[0].index(), ids[1].index()).unwrap();
+        let times: Vec<i64> = ints.iter().map(|i| i.time).collect();
+        assert_eq!(times, vec![1, 2, 3, 7]);
+        // Creating a brand new edge.
+        w.add_or_merge_edge(ids[0].index(), ids[2].index(), vec![Interaction::new(1, 1.0)]);
+        assert_eq!(w.live_edge_count(), 5);
+        // Empty merges are ignored.
+        w.add_or_merge_edge(ids[0].index(), ids[3].index(), vec![]);
+        assert_eq!(w.live_edge_count(), 5);
+    }
+
+    #[test]
+    fn min_incoming_time() {
+        let (g, ids) = sample();
+        let w = WorkGraph::from_graph(&g, ids[0], ids[3]);
+        assert_eq!(w.min_incoming_time(ids[3].index()), Some(4));
+        assert_eq!(w.min_incoming_time(ids[1].index()), Some(1));
+        assert_eq!(w.min_incoming_time(ids[0].index()), None);
+    }
+
+    #[test]
+    fn topological_order_and_cycles() {
+        let (g, ids) = sample();
+        let w = WorkGraph::from_graph(&g, ids[0], ids[3]);
+        let order = w.topological_order().unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], ids[0].index());
+        assert_eq!(order[3], ids[3].index());
+
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_pairs(a, c, &[(1, 1.0)]);
+        b.add_pairs(c, a, &[(2, 1.0)]);
+        let cyc = b.build();
+        let w = WorkGraph::from_graph(&cyc, a, c);
+        assert!(w.topological_order().is_none());
+    }
+
+    #[test]
+    fn into_graph_renumbers_and_preserves_endpoints() {
+        let (g, ids) = sample();
+        let mut w = WorkGraph::from_graph(&g, ids[0], ids[3]);
+        w.remove_node(ids[2].index());
+        let (out, source, sink) = w.into_graph();
+        assert_eq!(out.node_count(), 3);
+        assert_eq!(out.edge_count(), 2); // (0,1) and (1,3)
+        assert_eq!(out.node(source.unwrap()).name, "v0");
+        assert_eq!(out.node(sink.unwrap()).name, "v3");
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn into_graph_reports_deleted_endpoints() {
+        let (g, ids) = sample();
+        let mut w = WorkGraph::from_graph(&g, ids[0], ids[3]);
+        w.remove_node(ids[3].index());
+        let (_, source, sink) = w.into_graph();
+        assert!(source.is_some());
+        assert!(sink.is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// The three datasets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Bitcoin user-to-user transaction network.
+    Bitcoin,
+    /// CTU-13 botnet traffic network (bytes between IP addresses).
+    Ctu13,
+    /// Prosper peer-to-peer loan network.
+    Prosper,
+}
+
+impl DatasetKind {
+    /// All dataset kinds in the order used by the paper's tables.
+    pub const ALL: [DatasetKind; 3] = [DatasetKind::Bitcoin, DatasetKind::Ctu13, DatasetKind::Prosper];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Bitcoin => "Bitcoin",
+            DatasetKind::Ctu13 => "CTU-13",
+            DatasetKind::Prosper => "Prosper Loans",
+        }
+    }
+
+    /// Unit of the transferred quantity.
+    pub fn unit(self) -> &'static str {
+        match self {
+            DatasetKind::Bitcoin => "BTC",
+            DatasetKind::Ctu13 => "bytes",
+            DatasetKind::Prosper => "USD",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the Bitcoin-like generator.
+///
+/// The generator grows a preferential-attachment graph: a transaction picks
+/// its sender and recipient with probability proportional to their current
+/// activity, so a small set of exchanges/whales accumulates most of the
+/// volume — the property that makes some extracted subgraphs interaction-
+/// heavy and hard (class C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitcoinConfig {
+    /// RNG seed (the generator is fully deterministic given the config).
+    pub seed: u64,
+    /// Number of user vertices.
+    pub nodes: usize,
+    /// Number of interactions (transactions).
+    pub interactions: usize,
+    /// Probability that a transaction is later reciprocated (creates 2-hop
+    /// cycles, the backbone of the extracted subgraphs).
+    pub reciprocation: f64,
+    /// Probability that a transaction closes a 3-hop cycle.
+    pub triangle_closure: f64,
+    /// First timestamp (unix seconds).
+    pub start_time: i64,
+    /// Length of the covered period in seconds.
+    pub duration: i64,
+    /// Mean transaction amount (amounts follow a heavy-tailed distribution
+    /// around this mean).
+    pub mean_amount: f64,
+}
+
+impl Default for BitcoinConfig {
+    fn default() -> Self {
+        BitcoinConfig {
+            seed: 42,
+            nodes: 1500,
+            interactions: 24_000,
+            reciprocation: 0.30,
+            triangle_closure: 0.15,
+            start_time: 1_300_000_000,
+            duration: 4 * 365 * 24 * 3600,
+            mean_amount: 34.4,
+        }
+    }
+}
+
+impl BitcoinConfig {
+    /// Scales the number of vertices and interactions by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.nodes = ((self.nodes as f64) * factor).max(8.0) as usize;
+        self.interactions = ((self.interactions as f64) * factor).max(16.0) as usize;
+        self
+    }
+}
+
+/// Configuration of the CTU-13-like botnet traffic generator.
+///
+/// A few command-and-control hosts exchange packets with a large population
+/// of bots; most traffic is request/response (2-hop cycles through a hub).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctu13Config {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of host vertices (bots + servers).
+    pub nodes: usize,
+    /// Number of command-and-control / server hosts.
+    pub hubs: usize,
+    /// Number of interactions (packet exchanges).
+    pub interactions: usize,
+    /// Probability that a bot-to-hub packet is answered by the hub.
+    pub response_rate: f64,
+    /// First timestamp (unix seconds).
+    pub start_time: i64,
+    /// Length of the covered period in seconds (captures are short).
+    pub duration: i64,
+    /// Mean packet size in bytes.
+    pub mean_bytes: f64,
+}
+
+impl Default for Ctu13Config {
+    fn default() -> Self {
+        Ctu13Config {
+            seed: 42,
+            nodes: 900,
+            hubs: 12,
+            interactions: 14_000,
+            response_rate: 0.7,
+            start_time: 1_370_000_000,
+            duration: 5 * 24 * 3600,
+            mean_bytes: 19_200.0,
+        }
+    }
+}
+
+impl Ctu13Config {
+    /// Scales the number of vertices and interactions by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.nodes = ((self.nodes as f64) * factor).max(8.0) as usize;
+        self.hubs = ((self.hubs as f64) * factor).ceil().max(2.0) as usize;
+        self.interactions = ((self.interactions as f64) * factor).max(16.0) as usize;
+        self
+    }
+}
+
+/// Configuration of the Prosper-Loans-like generator.
+///
+/// Users lend money to each other; a minority both lends and borrows, which
+/// creates the chains and small cycles the pattern search looks for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProsperConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of user vertices.
+    pub nodes: usize,
+    /// Number of interactions (loans).
+    pub interactions: usize,
+    /// Fraction of users that act both as lenders and borrowers.
+    pub mixed_role_fraction: f64,
+    /// Probability that a loan is reciprocated later.
+    pub reciprocation: f64,
+    /// First timestamp (unix seconds).
+    pub start_time: i64,
+    /// Length of the covered period in seconds.
+    pub duration: i64,
+    /// Mean loan amount in dollars.
+    pub mean_amount: f64,
+}
+
+impl Default for ProsperConfig {
+    fn default() -> Self {
+        ProsperConfig {
+            seed: 42,
+            nodes: 700,
+            interactions: 12_000,
+            mixed_role_fraction: 0.35,
+            reciprocation: 0.2,
+            start_time: 1_150_000_000,
+            duration: 6 * 365 * 24 * 3600,
+            mean_amount: 76.0,
+        }
+    }
+}
+
+impl ProsperConfig {
+    /// Scales the number of vertices and interactions by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.nodes = ((self.nodes as f64) * factor).max(8.0) as usize;
+        self.interactions = ((self.interactions as f64) * factor).max(16.0) as usize;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_kind_metadata() {
+        assert_eq!(DatasetKind::ALL.len(), 3);
+        assert_eq!(DatasetKind::Bitcoin.name(), "Bitcoin");
+        assert_eq!(DatasetKind::Ctu13.to_string(), "CTU-13");
+        assert_eq!(DatasetKind::Prosper.unit(), "USD");
+    }
+
+    #[test]
+    fn defaults_are_reasonable() {
+        let b = BitcoinConfig::default();
+        assert!(b.nodes > 0 && b.interactions > b.nodes);
+        let c = Ctu13Config::default();
+        assert!(c.hubs < c.nodes);
+        let p = ProsperConfig::default();
+        assert!(p.mixed_role_fraction > 0.0 && p.mixed_role_fraction < 1.0);
+    }
+
+    #[test]
+    fn scaling_shrinks_but_never_to_zero() {
+        let b = BitcoinConfig::default().scaled(0.01);
+        assert!(b.nodes >= 8);
+        assert!(b.interactions >= 16);
+        let c = Ctu13Config::default().scaled(0.001);
+        assert!(c.hubs >= 2);
+        let p = ProsperConfig::default().scaled(2.0);
+        assert!(p.nodes > ProsperConfig::default().nodes);
+    }
+
+    #[test]
+    fn configs_are_cloneable_and_comparable() {
+        let b = BitcoinConfig::default();
+        assert_eq!(b.clone(), b);
+        let c = Ctu13Config::default();
+        assert_eq!(c.clone(), c);
+        let p = ProsperConfig::default();
+        assert_eq!(p.clone(), p);
+    }
+}

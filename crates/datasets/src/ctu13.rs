@@ -1,0 +1,137 @@
+//! CTU-13-like botnet traffic network generator.
+//!
+//! The real capture is five days of NetFlow records around a botnet: a small
+//! number of command-and-control / service hosts exchange bytes with a large
+//! population of bots. Almost all traffic is request/response through a hub,
+//! which is why the paper's CTU-13 subgraphs are small, star-shaped and
+//! overwhelmingly class A (greedy-soluble). The generator reproduces that
+//! shape: Zipf-weighted hub selection, high response rates, occasional
+//! hub-to-hub relays.
+
+use crate::config::Ctu13Config;
+use crate::sampling::{heavy_tailed_amount, short_delay, timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tin_graph::{GraphBuilder, Interaction, TemporalGraph};
+
+/// Generates a CTU-13-like temporal interaction network.
+pub fn generate_ctu13(config: &Ctu13Config) -> TemporalGraph {
+    assert!(config.nodes > config.hubs, "need more hosts than hubs");
+    assert!(config.hubs >= 1, "need at least one hub");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::with_capacity(config.nodes, config.interactions / 2);
+    let ids: Vec<_> = (0..config.nodes)
+        .map(|i| {
+            if i < config.hubs {
+                builder.add_node(format!("srv{i}"))
+            } else {
+                builder.add_node(format!("bot{i}"))
+            }
+        })
+        .collect();
+
+    // Zipf-like hub weights.
+    let hub_weights: Vec<f64> = (0..config.hubs).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let hub_weight_total: f64 = hub_weights.iter().sum();
+    let pick_hub = |rng: &mut StdRng| -> usize {
+        let mut x = rng.gen_range(0.0..hub_weight_total);
+        for (i, w) in hub_weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        config.hubs - 1
+    };
+
+    let mut emitted = 0usize;
+    while emitted < config.interactions {
+        let bot = rng.gen_range(config.hubs..config.nodes);
+        let hub = pick_hub(&mut rng);
+        let t = timestamp(&mut rng, config.start_time, config.duration);
+        let bytes = heavy_tailed_amount(&mut rng, config.mean_bytes).round().max(40.0);
+        builder.add_interaction(ids[bot], ids[hub], Interaction::new(t, bytes));
+        emitted += 1;
+
+        // Response from the hub back to the bot (2-hop cycle).
+        if emitted < config.interactions && rng.gen_bool(config.response_rate) {
+            let rt = t + short_delay(&mut rng, 120);
+            let rbytes = heavy_tailed_amount(&mut rng, config.mean_bytes * 1.4).round().max(40.0);
+            builder.add_interaction(ids[hub], ids[bot], Interaction::new(rt, rbytes));
+            emitted += 1;
+        }
+
+        // Occasionally the hub relays to another hub which answers the bot
+        // directly (3-hop cycle through two servers).
+        if emitted + 1 < config.interactions && config.hubs > 1 && rng.gen_bool(0.08) {
+            let other = (hub + 1 + rng.gen_range(0..config.hubs - 1)) % config.hubs;
+            let t1 = t + short_delay(&mut rng, 60);
+            let t2 = t1 + short_delay(&mut rng, 60);
+            let b1 = heavy_tailed_amount(&mut rng, config.mean_bytes).round().max(40.0);
+            let b2 = heavy_tailed_amount(&mut rng, config.mean_bytes).round().max(40.0);
+            builder.add_interaction(ids[hub], ids[other], Interaction::new(t1, b1));
+            builder.add_interaction(ids[other], ids[bot], Interaction::new(t2, b2));
+            emitted += 2;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ctu13Config {
+        Ctu13Config { seed: 9, ..Ctu13Config::default() }.scaled(0.1)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_ctu13(&small());
+        let b = generate_ctu13(&small());
+        assert_eq!(tin_graph::io::to_text(&a), tin_graph::io::to_text(&b));
+    }
+
+    #[test]
+    fn respects_requested_sizes() {
+        let cfg = small();
+        let g = generate_ctu13(&cfg);
+        assert_eq!(g.node_count(), cfg.nodes);
+        assert!(g.interaction_count() >= cfg.interactions);
+        assert!(g.interaction_count() <= cfg.interactions + 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn traffic_is_hub_centric() {
+        let cfg = small();
+        let g = generate_ctu13(&cfg);
+        // Interactions touching a hub should dominate.
+        let mut hub_touching = 0usize;
+        for e in g.edges() {
+            let src_is_hub = g.node(e.src).name.starts_with("srv");
+            let dst_is_hub = g.node(e.dst).name.starts_with("srv");
+            if src_is_hub || dst_is_hub {
+                hub_touching += e.interactions.len();
+            }
+        }
+        assert!(hub_touching * 10 >= g.interaction_count() * 9);
+    }
+
+    #[test]
+    fn packet_sizes_are_plausible() {
+        let g = generate_ctu13(&small());
+        for e in g.edges() {
+            for i in &e.interactions {
+                assert!(i.quantity >= 40.0, "packets are at least 40 bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_request_response_cycles() {
+        let g = generate_ctu13(&small());
+        let reciprocal = g.edges().iter().filter(|e| g.has_edge(e.dst, e.src)).count();
+        assert!(reciprocal > 10, "expected plenty of request/response pairs, got {reciprocal}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Prosper-Loans-like peer-to-peer lending network generator.
+//!
+//! Prosper records who lent how much to whom and when. Most users are either
+//! lenders or borrowers, but a minority plays both roles — those users sit in
+//! the middle of the lending chains and small cycles that the paper's pattern
+//! queries (P1, RP1, ...) look for. Compared to Bitcoin the network is small,
+//! amounts are modest and reciprocation (repayment flows) is less common.
+
+use crate::config::ProsperConfig;
+use crate::sampling::{heavy_tailed_amount, short_delay, timestamp, PreferentialSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tin_graph::{GraphBuilder, Interaction, TemporalGraph};
+
+/// Generates a Prosper-Loans-like temporal interaction network.
+pub fn generate_prosper(config: &ProsperConfig) -> TemporalGraph {
+    assert!(config.nodes >= 4, "need at least 4 vertices");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::with_capacity(config.nodes, config.interactions / 2);
+    let ids: Vec<_> = (0..config.nodes).map(|i| builder.add_node(format!("member{i}"))).collect();
+
+    // Role assignment: [0, lenders) lend only, [lenders, lenders+mixed) do
+    // both, the rest borrow only.
+    let mixed = ((config.nodes as f64) * config.mixed_role_fraction) as usize;
+    let lenders_only = (config.nodes - mixed) / 2;
+    let lend_pool_size = lenders_only + mixed; // indices [0, lend_pool_size)
+    let borrow_start = lenders_only; // indices [borrow_start, nodes)
+
+    let mut lender_sampler = PreferentialSampler::new(lend_pool_size, 0.25);
+    let day = 24 * 3600;
+
+    let mut emitted = 0usize;
+    while emitted < config.interactions {
+        let lender = lender_sampler.sample(&mut rng);
+        let borrower = borrow_start + rng.gen_range(0..config.nodes - borrow_start);
+        if lender == borrower {
+            continue;
+        }
+        let t = timestamp(&mut rng, config.start_time, config.duration);
+        let amount = heavy_tailed_amount(&mut rng, config.mean_amount);
+        builder.add_interaction(ids[lender], ids[borrower], Interaction::new(t, amount));
+        lender_sampler.reinforce(lender);
+        emitted += 1;
+
+        // Mixed-role borrowers re-lend part of what they received, forming
+        // 2-hop chains lender -> mixed -> borrower.
+        if emitted < config.interactions && borrower < lend_pool_size && rng.gen_bool(0.5) {
+            let next = borrow_start + rng.gen_range(0..config.nodes - borrow_start);
+            if next != borrower && next != lender {
+                let t2 = t + short_delay(&mut rng, 90 * day);
+                let a2 = (amount * rng.gen_range(0.3..0.9) * 100.0).round() / 100.0;
+                builder.add_interaction(ids[borrower], ids[next], Interaction::new(t2, a2.max(0.01)));
+                emitted += 1;
+            }
+        }
+
+        // Repayment flows create 2-hop cycles.
+        if emitted < config.interactions && lender >= borrow_start && rng.gen_bool(config.reciprocation) {
+            let t3 = t + short_delay(&mut rng, 365 * day);
+            let a3 = (amount * rng.gen_range(0.8..1.1) * 100.0).round() / 100.0;
+            builder.add_interaction(ids[borrower], ids[lender], Interaction::new(t3, a3.max(0.01)));
+            emitted += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ProsperConfig {
+        ProsperConfig { seed: 11, ..ProsperConfig::default() }.scaled(0.1)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_prosper(&small());
+        let b = generate_prosper(&small());
+        assert_eq!(tin_graph::io::to_text(&a), tin_graph::io::to_text(&b));
+    }
+
+    #[test]
+    fn respects_requested_sizes() {
+        let cfg = small();
+        let g = generate_prosper(&cfg);
+        assert_eq!(g.node_count(), cfg.nodes);
+        assert!(g.interaction_count() >= cfg.interactions);
+        assert!(g.interaction_count() <= cfg.interactions + 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn contains_two_hop_lending_chains() {
+        let g = generate_prosper(&small());
+        // Look for a -> b -> c with distinct vertices.
+        let mut found = false;
+        'outer: for e in g.edges() {
+            for c in g.out_neighbors(e.dst) {
+                if c != e.src && c != e.dst {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "expected lending chains through mixed-role members");
+    }
+
+    #[test]
+    fn loan_amounts_are_positive_and_modest_on_average() {
+        let cfg = small();
+        let g = generate_prosper(&cfg);
+        let total: f64 = g.total_quantity();
+        let avg = total / g.interaction_count() as f64;
+        assert!(avg > 0.0);
+        assert!(avg < cfg.mean_amount * 20.0, "average loan {avg} is implausibly large");
+    }
+
+    #[test]
+    fn timestamps_cover_the_configured_period() {
+        let cfg = small();
+        let g = generate_prosper(&cfg);
+        let min = g.min_time().unwrap();
+        let max = g.max_time().unwrap();
+        assert!(min >= cfg.start_time);
+        assert!(max <= cfg.start_time + cfg.duration + 366 * 24 * 3600);
+        assert!(max - min > cfg.duration / 2, "interactions should spread over the period");
+    }
+}

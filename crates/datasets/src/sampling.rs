@@ -1,0 +1,124 @@
+//! Shared sampling helpers for the synthetic generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws a heavy-tailed positive amount with (roughly) the given mean.
+///
+/// The distribution is a truncated Pareto-like transform of a uniform draw:
+/// most interactions are small, a few are orders of magnitude larger —
+/// mirroring transaction amounts, packet bursts and loan sizes.
+pub(crate) fn heavy_tailed_amount(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let raw = 0.35 * mean * (1.0 / (1.0 - u * 0.999)).powf(0.8);
+    let capped = raw.min(mean * 500.0);
+    // Two decimal places keeps the values readable in reports.
+    (capped * 100.0).round() / 100.0
+}
+
+/// Draws a timestamp uniformly from `[start, start + duration)`.
+pub(crate) fn timestamp(rng: &mut StdRng, start: i64, duration: i64) -> i64 {
+    start + rng.gen_range(0..duration.max(1))
+}
+
+/// Draws a short positive delay (for responses / reciprocations), bounded by
+/// `max_delay`.
+pub(crate) fn short_delay(rng: &mut StdRng, max_delay: i64) -> i64 {
+    1 + rng.gen_range(0..max_delay.max(1))
+}
+
+/// A degree-proportional ("preferential attachment") vertex sampler.
+///
+/// Every time a vertex participates in an interaction it is pushed into the
+/// pool, so future draws pick it with probability proportional to its
+/// activity. A `uniform_probability` escape hatch keeps low-degree vertices
+/// reachable.
+pub(crate) struct PreferentialSampler {
+    pool: Vec<usize>,
+    population: usize,
+    uniform_probability: f64,
+}
+
+impl PreferentialSampler {
+    pub(crate) fn new(population: usize, uniform_probability: f64) -> Self {
+        PreferentialSampler { pool: (0..population).collect(), population, uniform_probability }
+    }
+
+    /// Records that `vertex` participated in an interaction.
+    pub(crate) fn reinforce(&mut self, vertex: usize) {
+        self.pool.push(vertex);
+    }
+
+    /// Samples a vertex.
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.population == 0 {
+            panic!("cannot sample from an empty population");
+        }
+        if rng.gen_bool(self.uniform_probability) {
+            rng.gen_range(0..self.population)
+        } else {
+            self.pool[rng.gen_range(0..self.pool.len())]
+        }
+    }
+
+    /// Samples a vertex different from `exclude` (retries, falling back to a
+    /// simple scan for tiny populations).
+    pub(crate) fn sample_excluding(&self, rng: &mut StdRng, exclude: usize) -> usize {
+        for _ in 0..16 {
+            let v = self.sample(rng);
+            if v != exclude {
+                return v;
+            }
+        }
+        // Deterministic fallback.
+        (exclude + 1) % self.population.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn amounts_are_positive_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..5000).map(|_| heavy_tailed_amount(&mut rng, 100.0)).collect();
+        assert!(samples.iter().all(|&a| a > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean > 10.0 && mean < 1000.0, "mean {mean} out of expected band");
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > mean * 3.0, "distribution should have a heavy tail");
+    }
+
+    #[test]
+    fn timestamps_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let t = timestamp(&mut rng, 1000, 500);
+            assert!((1000..1500).contains(&t));
+        }
+        let d = short_delay(&mut rng, 10);
+        assert!((1..=10).contains(&d));
+    }
+
+    #[test]
+    fn preferential_sampler_prefers_reinforced_vertices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = PreferentialSampler::new(50, 0.05);
+        for _ in 0..500 {
+            sampler.reinforce(7);
+        }
+        let hits = (0..2000).filter(|_| sampler.sample(&mut rng) == 7).count();
+        assert!(hits > 500, "vertex 7 should dominate, got {hits} / 2000");
+    }
+
+    #[test]
+    fn sample_excluding_never_returns_the_excluded_vertex() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sampler = PreferentialSampler::new(3, 0.5);
+        for _ in 0..200 {
+            assert_ne!(sampler.sample_excluding(&mut rng, 1), 1);
+        }
+    }
+}

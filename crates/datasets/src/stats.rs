@@ -1,0 +1,110 @@
+//! Dataset and subgraph statistics (Tables 4 and 5 of the paper).
+
+use crate::extract::SeedSubgraph;
+use serde::{Deserialize, Serialize};
+use tin_graph::TemporalGraph;
+
+/// Characteristics of a dataset — one row of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Number of (merged, directed) edges.
+    pub edges: usize,
+    /// Number of interactions.
+    pub interactions: usize,
+    /// Average quantity per interaction (the paper's "avg. flow" column).
+    pub avg_flow: f64,
+}
+
+/// Computes the Table 4 row for a dataset.
+pub fn dataset_stats(graph: &TemporalGraph) -> DatasetStats {
+    let interactions = graph.interaction_count();
+    let avg_flow = if interactions == 0 { 0.0 } else { graph.total_quantity() / interactions as f64 };
+    DatasetStats { nodes: graph.node_count(), edges: graph.edge_count(), interactions, avg_flow }
+}
+
+/// Characteristics of a set of extracted subgraphs — one row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubgraphStats {
+    /// Number of extracted subgraphs.
+    pub subgraphs: usize,
+    /// Average number of vertices per subgraph.
+    pub avg_vertices: f64,
+    /// Average number of edges per subgraph.
+    pub avg_edges: f64,
+    /// Average number of interactions per subgraph.
+    pub avg_interactions: f64,
+}
+
+/// Computes the Table 5 row for a set of extracted subgraphs.
+pub fn subgraph_stats(subgraphs: &[SeedSubgraph]) -> SubgraphStats {
+    if subgraphs.is_empty() {
+        return SubgraphStats { subgraphs: 0, avg_vertices: 0.0, avg_edges: 0.0, avg_interactions: 0.0 };
+    }
+    let n = subgraphs.len() as f64;
+    SubgraphStats {
+        subgraphs: subgraphs.len(),
+        avg_vertices: subgraphs.iter().map(|s| s.graph.node_count()).sum::<usize>() as f64 / n,
+        avg_edges: subgraphs.iter().map(|s| s.graph.edge_count()).sum::<usize>() as f64 / n,
+        avg_interactions: subgraphs.iter().map(|s| s.graph.interaction_count()).sum::<usize>() as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitcoin::generate_bitcoin;
+    use crate::config::BitcoinConfig;
+    use crate::extract::{extract_seed_subgraphs, ExtractConfig};
+    use tin_graph::builder::from_records;
+
+    #[test]
+    fn dataset_stats_on_a_tiny_graph() {
+        let g = from_records([
+            ("a", "b", 1, 2.0),
+            ("a", "b", 3, 4.0),
+            ("b", "c", 2, 6.0),
+        ]);
+        let s = dataset_stats(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.interactions, 3);
+        assert!((s.avg_flow - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_stats_on_empty_graph() {
+        let g = tin_graph::GraphBuilder::new().build();
+        let s = dataset_stats(&g);
+        assert_eq!(s.interactions, 0);
+        assert_eq!(s.avg_flow, 0.0);
+    }
+
+    #[test]
+    fn subgraph_stats_aggregate_correctly() {
+        let cfg = BitcoinConfig { seed: 5, ..BitcoinConfig::default() }.scaled(0.05);
+        let g = generate_bitcoin(&cfg);
+        let subs = extract_seed_subgraphs(&g, &ExtractConfig { max_subgraphs: 20, ..Default::default() });
+        let s = subgraph_stats(&subs);
+        assert_eq!(s.subgraphs, subs.len());
+        if !subs.is_empty() {
+            assert!(s.avg_vertices >= 3.0);
+            assert!(s.avg_interactions >= s.avg_edges);
+        }
+        let empty = subgraph_stats(&[]);
+        assert_eq!(empty.subgraphs, 0);
+        assert_eq!(empty.avg_vertices, 0.0);
+    }
+
+    #[test]
+    fn average_flow_tracks_the_configured_mean() {
+        let cfg = BitcoinConfig { seed: 6, ..BitcoinConfig::default() }.scaled(0.1);
+        let g = generate_bitcoin(&cfg);
+        let s = dataset_stats(&g);
+        // Heavy-tailed, but the mean should be within a factor of ~10 of the
+        // configured mean.
+        assert!(s.avg_flow > cfg.mean_amount / 10.0);
+        assert!(s.avg_flow < cfg.mean_amount * 10.0);
+    }
+}

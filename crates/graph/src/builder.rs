@@ -1,0 +1,265 @@
+//! Incremental construction of [`TemporalGraph`]s.
+
+use crate::graph::{Edge, Node, TemporalGraph};
+use crate::ids::NodeId;
+use crate::interaction::{sort_chronologically, Interaction};
+use std::collections::HashMap;
+
+/// Builder for [`TemporalGraph`].
+///
+/// The builder accepts nodes and interactions in any order. When
+/// [`GraphBuilder::build`] is called:
+///
+/// * interactions added for the same ordered pair `(src, dst)` are merged
+///   into a single edge (the paper's model has one edge per vertex pair,
+///   carrying the full interaction sequence);
+/// * every edge's interaction list is sorted chronologically;
+/// * edges are emitted in first-insertion order of their `(src, dst)` pair,
+///   which keeps identifiers stable and deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    name_index: HashMap<String, NodeId>,
+    /// Interactions per ordered pair, in first-insertion order of the pair.
+    edge_order: Vec<(NodeId, NodeId)>,
+    edge_map: HashMap<(NodeId, NodeId), Vec<Interaction>>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for roughly `nodes` vertices and `edges`
+    /// vertex pairs.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            nodes: Vec::with_capacity(nodes),
+            name_index: HashMap::with_capacity(nodes),
+            edge_order: Vec::with_capacity(edges),
+            edge_map: HashMap::with_capacity(edges),
+        }
+    }
+
+    /// Adds a new node with the given external name and returns its id.
+    ///
+    /// Names are not required to be unique; [`GraphBuilder::get_or_add_node`]
+    /// should be used when they are meant to act as keys.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        let id = NodeId::from_index(self.nodes.len());
+        self.name_index.entry(name.clone()).or_insert(id);
+        self.nodes.push(Node { name });
+        id
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    pub fn get_or_add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.name_index.get(&name) {
+            return id;
+        }
+        self.add_node(name)
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct `(src, dst)` pairs added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edge_order.len()
+    }
+
+    /// Adds a single interaction on the edge `(src, dst)`.
+    ///
+    /// # Panics
+    /// Panics if either node id has not been created by this builder.
+    pub fn add_interaction(&mut self, src: NodeId, dst: NodeId, interaction: Interaction) {
+        assert!(src.index() < self.nodes.len(), "unknown source node {src}");
+        assert!(dst.index() < self.nodes.len(), "unknown destination node {dst}");
+        let key = (src, dst);
+        match self.edge_map.get_mut(&key) {
+            Some(list) => list.push(interaction),
+            None => {
+                self.edge_order.push(key);
+                self.edge_map.insert(key, vec![interaction]);
+            }
+        }
+    }
+
+    /// Adds a whole interaction sequence on the edge `(src, dst)`.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, interactions: Vec<Interaction>) {
+        for i in interactions {
+            self.add_interaction(src, dst, i);
+        }
+    }
+
+    /// Convenience helper used heavily in tests and examples: adds all
+    /// `(time, quantity)` pairs as interactions on `(src, dst)`.
+    pub fn add_pairs(&mut self, src: NodeId, dst: NodeId, pairs: &[(i64, f64)]) {
+        for &(t, q) in pairs {
+            self.add_interaction(src, dst, Interaction::new(t, q));
+        }
+    }
+
+    /// Finalizes the builder into an immutable [`TemporalGraph`].
+    pub fn build(self) -> TemporalGraph {
+        let GraphBuilder { nodes, edge_order, mut edge_map, .. } = self;
+        let mut edges = Vec::with_capacity(edge_order.len());
+        for key in edge_order {
+            let mut interactions = edge_map.remove(&key).expect("edge recorded but missing");
+            sort_chronologically(&mut interactions);
+            edges.push(Edge { src: key.0, dst: key.1, interactions });
+        }
+        TemporalGraph::from_parts(nodes, edges)
+    }
+}
+
+/// Builds a graph directly from `(src_name, dst_name, time, quantity)`
+/// 4-tuples. Node identifiers are assigned in order of first appearance.
+///
+/// This is the most convenient entry point for loading interaction logs:
+///
+/// ```
+/// let g = tin_graph::builder::from_records([
+///     ("alice", "bob", 1, 10.0),
+///     ("bob", "carol", 2, 4.0),
+///     ("alice", "bob", 3, 1.0),
+/// ]);
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.interaction_count(), 3);
+/// ```
+pub fn from_records<'a, I>(records: I) -> TemporalGraph
+where
+    I: IntoIterator<Item = (&'a str, &'a str, i64, f64)>,
+{
+    let mut b = GraphBuilder::new();
+    for (src, dst, t, q) in records {
+        let s = b.get_or_add_node(src);
+        let d = b.get_or_add_node(dst);
+        b.add_interaction(s, d, Interaction::new(t, q));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_interactions_merge_into_one_edge() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_interaction(a, c, Interaction::new(5, 1.0));
+        b.add_interaction(a, c, Interaction::new(2, 2.0));
+        b.add_interaction(a, c, Interaction::new(9, 3.0));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edge(g.find_edge(a, c).unwrap());
+        assert_eq!(
+            e.interactions,
+            vec![Interaction::new(2, 2.0), Interaction::new(5, 1.0), Interaction::new(9, 3.0)]
+        );
+    }
+
+    #[test]
+    fn get_or_add_node_deduplicates_by_name() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.get_or_add_node("a");
+        let a2 = b.get_or_add_node("a");
+        let c = b.get_or_add_node("c");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, c);
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn add_node_allows_duplicate_names() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node("x");
+        let a2 = b.add_node("x");
+        assert_ne!(a1, a2);
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn add_edge_and_pairs() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_edge(a, c, vec![Interaction::new(3, 1.0), Interaction::new(1, 2.0)]);
+        b.add_pairs(c, a, &[(4, 1.0), (2, 7.0)]);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge(g.find_edge(a, c).unwrap()).interactions[0].time, 1);
+        assert_eq!(g.edge(g.find_edge(c, a).unwrap()).interactions[0].time, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source node")]
+    fn unknown_node_panics() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        b.add_interaction(NodeId(5), a, Interaction::new(1, 1.0));
+    }
+
+    #[test]
+    fn edge_ids_are_insertion_ordered() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let d = b.add_node("d");
+        b.add_interaction(c, d, Interaction::new(1, 1.0));
+        b.add_interaction(a, c, Interaction::new(2, 1.0));
+        b.add_interaction(c, d, Interaction::new(3, 1.0));
+        let g = b.build();
+        assert_eq!(g.edge(crate::ids::EdgeId(0)).src, c);
+        assert_eq!(g.edge(crate::ids::EdgeId(1)).src, a);
+    }
+
+    #[test]
+    fn from_records_builds_expected_graph() {
+        let g = from_records([
+            ("u1", "u2", 2, 5.0),
+            ("u1", "u2", 4, 3.0),
+            ("u2", "u3", 3, 4.0),
+            ("u3", "u1", 6, 5.0),
+        ]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.interaction_count(), 4);
+        let u1 = g.node_by_name("u1").unwrap();
+        let u2 = g.node_by_name("u2").unwrap();
+        assert!(g.has_edge(u1, u2));
+        assert!(!g.has_edge(u2, u1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(10, 10);
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_interaction(a, c, Interaction::new(1, 1.0));
+        let g = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_representable() {
+        // Interaction networks may contain self transfers; flow algorithms
+        // reject them later where a DAG is required.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        b.add_interaction(a, a, Interaction::new(1, 1.0));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(a, a));
+    }
+}

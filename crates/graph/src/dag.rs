@@ -1,0 +1,272 @@
+//! Source/sink discovery and the synthetic source/sink augmentation of
+//! Figure 4 of the paper.
+//!
+//! The flow computation problem is defined on connected DAGs with exactly one
+//! source vertex (no incoming edges) and one sink vertex (no outgoing edges).
+//! Real subgraphs often have several of each; the paper handles this by
+//! adding a *synthetic source* `s*` connected to every original source with a
+//! single interaction `(-∞, ∞)` and a *synthetic sink* `t*` reached from
+//! every original sink with a single interaction `(+∞, ∞)`.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::TemporalGraph;
+use crate::ids::NodeId;
+use crate::interaction::Interaction;
+use crate::topo::is_dag;
+
+/// Name given to the synthetic source vertex added by
+/// [`augment_with_synthetic_endpoints`].
+pub const SYNTHETIC_SOURCE_NAME: &str = "__synthetic_source__";
+/// Name given to the synthetic sink vertex added by
+/// [`augment_with_synthetic_endpoints`].
+pub const SYNTHETIC_SINK_NAME: &str = "__synthetic_sink__";
+
+/// Vertices of a graph that have no incoming edges.
+pub fn sources(graph: &TemporalGraph) -> Vec<NodeId> {
+    graph.node_ids().filter(|&v| graph.in_degree(v) == 0).collect()
+}
+
+/// Vertices of a graph that have no outgoing edges.
+pub fn sinks(graph: &TemporalGraph) -> Vec<NodeId> {
+    graph.node_ids().filter(|&v| graph.out_degree(v) == 0).collect()
+}
+
+/// Identification of the (unique) source and sink of a flow DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointInfo {
+    /// The single vertex without incoming edges.
+    pub source: NodeId,
+    /// The single vertex without outgoing edges.
+    pub sink: NodeId,
+}
+
+/// Finds the unique source and sink of `graph`, verifying it is a DAG.
+///
+/// Returns an error if the graph is cyclic or does not have exactly one
+/// source and one sink.
+pub fn endpoints(graph: &TemporalGraph) -> Result<EndpointInfo, GraphError> {
+    if !is_dag(graph) {
+        return Err(GraphError::NotADag);
+    }
+    let sources = sources(graph);
+    let sinks = sinks(graph);
+    if sources.len() != 1 {
+        return Err(GraphError::NoUniqueSource { found: sources.len() });
+    }
+    if sinks.len() != 1 {
+        return Err(GraphError::NoUniqueSink { found: sinks.len() });
+    }
+    Ok(EndpointInfo { source: sources[0], sink: sinks[0] })
+}
+
+/// Result of [`augment_with_synthetic_endpoints`].
+#[derive(Debug, Clone)]
+pub struct AugmentedGraph {
+    /// The augmented graph (original vertices keep their identifiers; the
+    /// synthetic source and sink are appended at the end when added).
+    pub graph: TemporalGraph,
+    /// The source vertex to use for flow computation. Either the single
+    /// original source, or the synthetic one.
+    pub source: NodeId,
+    /// The sink vertex to use for flow computation.
+    pub sink: NodeId,
+    /// Whether a synthetic source vertex was added.
+    pub added_source: bool,
+    /// Whether a synthetic sink vertex was added.
+    pub added_sink: bool,
+}
+
+/// Ensures the graph has a single source and a single sink, adding synthetic
+/// endpoints when necessary (Figure 4 of the paper).
+///
+/// * If the graph already has exactly one source (resp. sink), it is reused.
+/// * Otherwise a synthetic vertex is appended and connected to every original
+///   source (resp. from every original sink) with a single unbounded
+///   interaction at the smallest (resp. largest) possible timestamp, so the
+///   original endpoints can emit/absorb any quantity.
+///
+/// The graph must be a DAG and must contain at least one source and one sink
+/// candidate (an empty graph or a graph where every vertex lies on a cycle is
+/// rejected).
+pub fn augment_with_synthetic_endpoints(
+    graph: &TemporalGraph,
+) -> Result<AugmentedGraph, GraphError> {
+    if !is_dag(graph) {
+        return Err(GraphError::NotADag);
+    }
+    let orig_sources = sources(graph);
+    let orig_sinks = sinks(graph);
+    if orig_sources.is_empty() {
+        return Err(GraphError::NoUniqueSource { found: 0 });
+    }
+    if orig_sinks.is_empty() {
+        return Err(GraphError::NoUniqueSink { found: 0 });
+    }
+    let need_source = orig_sources.len() > 1;
+    let need_sink = orig_sinks.len() > 1;
+    if !need_source && !need_sink {
+        return Ok(AugmentedGraph {
+            graph: graph.clone(),
+            source: orig_sources[0],
+            sink: orig_sinks[0],
+            added_source: false,
+            added_sink: false,
+        });
+    }
+
+    let mut b = GraphBuilder::with_capacity(
+        graph.node_count() + 2,
+        graph.edge_count() + orig_sources.len() + orig_sinks.len(),
+    );
+    // Recreate original vertices in identifier order so ids are preserved.
+    for node in graph.nodes() {
+        b.add_node(node.name.clone());
+    }
+    for edge in graph.edges() {
+        b.add_edge(edge.src, edge.dst, edge.interactions.clone());
+    }
+    let source = if need_source {
+        let s = b.add_node(SYNTHETIC_SOURCE_NAME);
+        for &orig in &orig_sources {
+            b.add_interaction(s, orig, Interaction::synthetic_source());
+        }
+        s
+    } else {
+        orig_sources[0]
+    };
+    let sink = if need_sink {
+        let t = b.add_node(SYNTHETIC_SINK_NAME);
+        for &orig in &orig_sinks {
+            b.add_interaction(orig, t, Interaction::synthetic_sink());
+        }
+        t
+    } else {
+        orig_sinks[0]
+    };
+    Ok(AugmentedGraph { graph: b.build(), source, sink, added_source: need_source, added_sink: need_sink })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The DAG of Figure 4(a): two sources (x, y) and two sinks (z, w).
+    fn figure4() -> (TemporalGraph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let w = b.add_node("w");
+        b.add_pairs(x, z, &[(1, 5.0)]);
+        b.add_pairs(y, z, &[(2, 3.0)]);
+        b.add_pairs(y, w, &[(5, 1.0)]);
+        (b.build(), [x, y, z, w])
+    }
+
+    #[test]
+    fn sources_and_sinks_detection() {
+        let (g, [x, y, z, w]) = figure4();
+        assert_eq!(sources(&g), vec![x, y]);
+        assert_eq!(sinks(&g), vec![z, w]);
+    }
+
+    #[test]
+    fn endpoints_on_single_source_sink_graph() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let t = b.add_node("t");
+        b.add_pairs(s, t, &[(1, 1.0)]);
+        let g = b.build();
+        let info = endpoints(&g).unwrap();
+        assert_eq!(info.source, s);
+        assert_eq!(info.sink, t);
+    }
+
+    #[test]
+    fn endpoints_rejects_multiple_sources() {
+        let (g, _) = figure4();
+        assert!(matches!(endpoints(&g), Err(GraphError::NoUniqueSource { found: 2 })));
+    }
+
+    #[test]
+    fn endpoints_rejects_cycles() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_pairs(a, c, &[(1, 1.0)]);
+        b.add_pairs(c, a, &[(2, 1.0)]);
+        let g = b.build();
+        assert_eq!(endpoints(&g), Err(GraphError::NotADag));
+    }
+
+    #[test]
+    fn augmentation_adds_synthetic_endpoints() {
+        let (g, [x, y, z, w]) = figure4();
+        let aug = augment_with_synthetic_endpoints(&g).unwrap();
+        assert!(aug.added_source);
+        assert!(aug.added_sink);
+        assert_eq!(aug.graph.node_count(), 6);
+        assert_eq!(aug.graph.edge_count(), 3 + 2 + 2);
+        // Synthetic source connects to both original sources with unbounded
+        // earliest interactions.
+        let s = aug.source;
+        for orig in [x, y] {
+            let e = aug.graph.find_edge(s, orig).expect("edge from synthetic source");
+            let ints = &aug.graph.edge(e).interactions;
+            assert_eq!(ints.len(), 1);
+            assert!(ints[0].is_unbounded());
+            assert_eq!(ints[0].time, i64::MIN);
+        }
+        // Synthetic sink reachable from both original sinks.
+        let t = aug.sink;
+        for orig in [z, w] {
+            let e = aug.graph.find_edge(orig, t).expect("edge to synthetic sink");
+            let ints = &aug.graph.edge(e).interactions;
+            assert_eq!(ints.len(), 1);
+            assert!(ints[0].is_unbounded());
+            assert_eq!(ints[0].time, i64::MAX);
+        }
+        // The augmented graph now has unique endpoints.
+        let info = endpoints(&aug.graph).unwrap();
+        assert_eq!(info.source, aug.source);
+        assert_eq!(info.sink, aug.sink);
+        aug.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn augmentation_is_identity_when_endpoints_unique() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let m = b.add_node("m");
+        let t = b.add_node("t");
+        b.add_pairs(s, m, &[(1, 2.0)]);
+        b.add_pairs(m, t, &[(2, 2.0)]);
+        let g = b.build();
+        let aug = augment_with_synthetic_endpoints(&g).unwrap();
+        assert!(!aug.added_source);
+        assert!(!aug.added_sink);
+        assert_eq!(aug.graph.node_count(), 3);
+        assert_eq!(aug.source, s);
+        assert_eq!(aug.sink, t);
+    }
+
+    #[test]
+    fn augmentation_rejects_cyclic_graphs() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_pairs(a, c, &[(1, 1.0)]);
+        b.add_pairs(c, a, &[(2, 1.0)]);
+        let g = b.build();
+        assert!(matches!(augment_with_synthetic_endpoints(&g), Err(GraphError::NotADag)));
+    }
+
+    #[test]
+    fn original_node_ids_are_preserved() {
+        let (g, [x, y, ..]) = figure4();
+        let aug = augment_with_synthetic_endpoints(&g).unwrap();
+        assert_eq!(aug.graph.node(x).name, "x");
+        assert_eq!(aug.graph.node(y).name, "y");
+    }
+}

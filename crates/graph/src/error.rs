@@ -1,0 +1,76 @@
+//! Error types for graph construction and manipulation.
+
+use crate::ids::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors that can be produced while constructing or transforming a
+/// [`crate::TemporalGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// An edge identifier referenced an edge that does not exist.
+    UnknownEdge(EdgeId),
+    /// The operation requires a DAG but the graph contains a directed cycle.
+    NotADag,
+    /// The operation requires a single source (a vertex without incoming
+    /// edges) but the graph has none or several.
+    NoUniqueSource {
+        /// Number of source candidates found.
+        found: usize,
+    },
+    /// The operation requires a single sink (a vertex without outgoing
+    /// edges) but the graph has none or several.
+    NoUniqueSink {
+        /// Number of sink candidates found.
+        found: usize,
+    },
+    /// A self-loop `(v, v)` was supplied where it is not allowed.
+    SelfLoop(NodeId),
+    /// Parsing a textual graph representation failed.
+    Parse {
+        /// 1-based line number where the error occurred.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            GraphError::NotADag => write!(f, "graph is not a directed acyclic graph"),
+            GraphError::NoUniqueSource { found } => {
+                write!(f, "expected exactly one source vertex, found {found}")
+            }
+            GraphError::NoUniqueSink { found } => {
+                write!(f, "expected exactly one sink vertex, found {found}")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self loop on node {n} is not allowed"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(GraphError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
+        assert_eq!(GraphError::UnknownEdge(EdgeId(1)).to_string(), "unknown edge e1");
+        assert!(GraphError::NotADag.to_string().contains("acyclic"));
+        assert!(GraphError::NoUniqueSource { found: 2 }.to_string().contains("found 2"));
+        assert!(GraphError::NoUniqueSink { found: 0 }.to_string().contains("found 0"));
+        assert!(GraphError::SelfLoop(NodeId(0)).to_string().contains("n0"));
+        let p = GraphError::Parse { line: 4, message: "bad token".into() };
+        assert!(p.to_string().contains("line 4"));
+    }
+}

@@ -1,0 +1,161 @@
+//! A global, chronologically ordered view of every interaction in a graph.
+//!
+//! The greedy flow algorithm (Section 4.1 of the paper) replays *all*
+//! interactions of the network in time order, updating vertex buffers. This
+//! module provides that ordering once, so every consumer agrees on the same
+//! deterministic replay sequence (ties are broken by edge identifier and then
+//! by position within the edge, which matches the order in which the builder
+//! received the interactions for equal `(time, quantity)` pairs).
+
+use crate::graph::TemporalGraph;
+use crate::ids::{EdgeId, NodeId, Quantity, Time};
+
+/// A reference to a single interaction in the global chronological order.
+#[derive(Debug, Copy, Clone, PartialEq)]
+pub struct EventRef {
+    /// Edge carrying the interaction.
+    pub edge: EdgeId,
+    /// Index of the interaction within the edge's interaction list.
+    pub index: usize,
+    /// Source vertex of the interaction.
+    pub src: NodeId,
+    /// Destination vertex of the interaction.
+    pub dst: NodeId,
+    /// Timestamp of the interaction.
+    pub time: Time,
+    /// Quantity of the interaction.
+    pub quantity: Quantity,
+}
+
+/// The chronologically sorted list of all interactions of a graph.
+#[derive(Debug, Clone, Default)]
+pub struct Events {
+    events: Vec<EventRef>,
+}
+
+impl Events {
+    /// Collects and sorts all interactions of `graph`.
+    ///
+    /// Complexity: `O(I log I)` for `I` interactions. Interactions within an
+    /// edge are already sorted, so for graphs dominated by a few long edges a
+    /// k-way merge would be asymptotically better, but the simple sort is
+    /// faster in practice at the sizes the paper works with (≤ 10⁴ per
+    /// subgraph, ≤ 10⁷–10⁸ per dataset).
+    pub fn collect(graph: &TemporalGraph) -> Self {
+        let mut events = Vec::with_capacity(graph.interaction_count());
+        for eid in graph.edge_ids() {
+            let edge = graph.edge(eid);
+            for (index, inter) in edge.interactions.iter().enumerate() {
+                events.push(EventRef {
+                    edge: eid,
+                    index,
+                    src: edge.src,
+                    dst: edge.dst,
+                    time: inter.time,
+                    quantity: inter.quantity,
+                });
+            }
+        }
+        events.sort_by(|a, b| {
+            a.time
+                .cmp(&b.time)
+                .then(a.edge.cmp(&b.edge))
+                .then(a.index.cmp(&b.index))
+        });
+        Events { events }
+    }
+
+    /// Number of interactions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether there are no interactions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in chronological order.
+    pub fn as_slice(&self) -> &[EventRef] {
+        &self.events
+    }
+
+    /// Iterates over the events in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventRef> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a EventRef;
+    type IntoIter = std::slice::Iter<'a, EventRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::interaction::Interaction;
+
+    #[test]
+    fn events_are_chronological_across_edges() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        b.add_pairs(s, y, &[(5, 1.0), (1, 2.0)]);
+        b.add_pairs(s, z, &[(3, 1.0)]);
+        b.add_pairs(y, z, &[(2, 1.0), (4, 1.0)]);
+        let g = b.build();
+        let ev = Events::collect(&g);
+        assert_eq!(ev.len(), 5);
+        let times: Vec<_> = ev.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn event_refs_point_back_into_the_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_pairs(a, c, &[(1, 7.0), (9, 2.0)]);
+        let g = b.build();
+        let ev = Events::collect(&g);
+        for e in &ev {
+            let edge = g.edge(e.edge);
+            assert_eq!(edge.src, e.src);
+            assert_eq!(edge.dst, e.dst);
+            assert_eq!(edge.interactions[e.index], Interaction::new(e.time, e.quantity));
+        }
+    }
+
+    #[test]
+    fn ties_broken_by_edge_then_index() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let d = b.add_node("d");
+        b.add_pairs(a, c, &[(5, 1.0), (5, 2.0)]);
+        b.add_pairs(a, d, &[(5, 3.0)]);
+        let g = b.build();
+        let ev = Events::collect(&g);
+        assert_eq!(ev.len(), 3);
+        // Same timestamp everywhere: order is edge 0 (both interactions in
+        // stored order) then edge 1.
+        assert_eq!(ev.as_slice()[0].quantity, 1.0);
+        assert_eq!(ev.as_slice()[1].quantity, 2.0);
+        assert_eq!(ev.as_slice()[2].quantity, 3.0);
+    }
+
+    #[test]
+    fn empty_graph_has_no_events() {
+        let g = GraphBuilder::new().build();
+        let ev = Events::collect(&g);
+        assert!(ev.is_empty());
+        assert_eq!(ev.iter().count(), 0);
+    }
+}

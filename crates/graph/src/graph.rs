@@ -1,0 +1,376 @@
+//! The [`TemporalGraph`] type: an immutable, query-friendly representation of
+//! a temporal interaction network.
+
+use crate::ids::{EdgeId, NodeId, Quantity, Time};
+use crate::interaction::{self, Interaction};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A vertex of the network.
+///
+/// Vertices carry only an external `name` (account id, IP address, user id,
+/// ...). The paper's graphs are otherwise unlabeled; all structure lives on
+/// the edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable external identifier of the vertex.
+    pub name: String,
+}
+
+/// A directed edge `(src, dst)` carrying a chronologically sorted sequence of
+/// interactions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex of every interaction on this edge.
+    pub src: NodeId,
+    /// Destination vertex of every interaction on this edge.
+    pub dst: NodeId,
+    /// Interactions, sorted chronologically.
+    pub interactions: Vec<Interaction>,
+}
+
+impl Edge {
+    /// Total quantity carried by the edge (sum over its interactions).
+    pub fn total_quantity(&self) -> Quantity {
+        interaction::total_quantity(&self.interactions)
+    }
+
+    /// Earliest interaction timestamp on this edge, if any.
+    pub fn min_time(&self) -> Option<Time> {
+        interaction::min_time(&self.interactions)
+    }
+
+    /// Latest interaction timestamp on this edge, if any.
+    pub fn max_time(&self) -> Option<Time> {
+        interaction::max_time(&self.interactions)
+    }
+}
+
+/// An immutable temporal interaction network.
+///
+/// The representation is a pair of dense tables (nodes, edges) plus incoming
+/// and outgoing adjacency lists and a `(src, dst) -> edge` index. Parallel
+/// edges are merged at construction time: for every ordered vertex pair there
+/// is at most one edge, whose interaction list is the chronologically sorted
+/// union of all interactions added for that pair.
+///
+/// Construction goes through [`crate::GraphBuilder`]; transformation
+/// algorithms (preprocessing, simplification, subgraph extraction) produce
+/// new graphs rather than mutating in place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalGraph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) out_edges: Vec<Vec<EdgeId>>,
+    pub(crate) in_edges: Vec<Vec<EdgeId>>,
+    #[serde(skip)]
+    pub(crate) edge_index: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+impl TemporalGraph {
+    /// Builds the adjacency structures from node and edge tables.
+    ///
+    /// `edges` must already be deduplicated per `(src, dst)` pair and each
+    /// interaction list chronologically sorted; [`crate::GraphBuilder`]
+    /// guarantees this.
+    pub(crate) fn from_parts(nodes: Vec<Node>, edges: Vec<Edge>) -> Self {
+        let n = nodes.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        let mut edge_index = HashMap::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId::from_index(i);
+            out_edges[e.src.index()].push(id);
+            in_edges[e.dst.index()].push(id);
+            edge_index.insert((e.src, e.dst), id);
+        }
+        TemporalGraph { nodes, edges, out_edges, in_edges, edge_index }
+    }
+
+    /// Rebuilds the `(src, dst) -> edge` index (needed after deserialization,
+    /// where the index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.edge_index = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ((e.src, e.dst), EdgeId::from_index(i)))
+            .collect();
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (merged, directed) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of interactions over all edges.
+    pub fn interaction_count(&self) -> usize {
+        self.edges.iter().map(|e| e.interactions.len()).sum()
+    }
+
+    /// Total quantity transferred over all interactions of the graph.
+    pub fn total_quantity(&self) -> Quantity {
+        self.edges.iter().map(Edge::total_quantity).sum()
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edge identifiers.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::from_index)
+    }
+
+    /// Returns the node table entry for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the edge table entry for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All nodes in identifier order.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges in identifier order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Identifiers of the edges leaving `v`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_edges[v.index()]
+    }
+
+    /// Identifiers of the edges entering `v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_edges[v.index()]
+    }
+
+    /// Out-degree of `v` (number of distinct successors).
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges[v.index()].len()
+    }
+
+    /// In-degree of `v` (number of distinct predecessors).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges[v.index()].len()
+    }
+
+    /// Successor vertices of `v`.
+    pub fn out_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges[v.index()].iter().map(move |&e| self.edges[e.index()].dst)
+    }
+
+    /// Predecessor vertices of `v`.
+    pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges[v.index()].iter().map(move |&e| self.edges[e.index()].src)
+    }
+
+    /// Looks up the edge from `src` to `dst`, if present.
+    #[inline]
+    pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.edge_index.get(&(src, dst)).copied()
+    }
+
+    /// Whether the graph contains an edge from `src` to `dst`.
+    #[inline]
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.edge_index.contains_key(&(src, dst))
+    }
+
+    /// Finds a node by its external name (linear scan; intended for small
+    /// graphs and tests).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId::from_index)
+    }
+
+    /// The earliest interaction timestamp in the whole graph.
+    pub fn min_time(&self) -> Option<Time> {
+        self.edges.iter().filter_map(Edge::min_time).min()
+    }
+
+    /// The latest interaction timestamp in the whole graph.
+    pub fn max_time(&self) -> Option<Time> {
+        self.edges.iter().filter_map(Edge::max_time).max()
+    }
+
+    /// Checks internal consistency (adjacency lists, sorted interactions,
+    /// index coherence). Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src.index() >= self.nodes.len() || e.dst.index() >= self.nodes.len() {
+                return Err(format!("edge e{i} references an out-of-range node"));
+            }
+            if !interaction::is_chronological(&e.interactions) {
+                return Err(format!("edge e{i} interactions are not chronologically sorted"));
+            }
+            let id = EdgeId::from_index(i);
+            if !self.out_edges[e.src.index()].contains(&id) {
+                return Err(format!("edge e{i} missing from out-adjacency of {}", e.src));
+            }
+            if !self.in_edges[e.dst.index()].contains(&id) {
+                return Err(format!("edge e{i} missing from in-adjacency of {}", e.dst));
+            }
+            if self.edge_index.get(&(e.src, e.dst)) != Some(&id) {
+                return Err(format!("edge index inconsistent for e{i}"));
+            }
+        }
+        let adj_total: usize = self.out_edges.iter().map(Vec::len).sum();
+        if adj_total != self.edges.len() {
+            return Err("out-adjacency size does not match edge count".into());
+        }
+        let adj_total_in: usize = self.in_edges.iter().map(Vec::len).sum();
+        if adj_total_in != self.edges.len() {
+            return Err("in-adjacency size does not match edge count".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> TemporalGraph {
+        // Figure 3 of the paper.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let t = b.add_node("t");
+        b.add_interaction(s, y, Interaction::new(1, 5.0));
+        b.add_interaction(s, z, Interaction::new(2, 3.0));
+        b.add_interaction(y, z, Interaction::new(3, 5.0));
+        b.add_interaction(y, t, Interaction::new(4, 4.0));
+        b.add_interaction(z, t, Interaction::new(5, 1.0));
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = toy();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.interaction_count(), 5);
+        assert_eq!(g.total_quantity(), 18.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = toy();
+        let s = g.node_by_name("s").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        let t = g.node_by_name("t").unwrap();
+        assert_eq!(g.out_degree(s), 2);
+        assert_eq!(g.in_degree(s), 0);
+        assert_eq!(g.out_degree(y), 2);
+        assert_eq!(g.in_degree(y), 1);
+        assert_eq!(g.in_degree(t), 2);
+        assert_eq!(g.out_degree(t), 0);
+        let succ: Vec<_> = g.out_neighbors(y).collect();
+        assert_eq!(succ.len(), 2);
+        assert!(succ.contains(&g.node_by_name("z").unwrap()));
+        assert!(succ.contains(&t));
+        let pred: Vec<_> = g.in_neighbors(t).collect();
+        assert_eq!(pred.len(), 2);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = toy();
+        let s = g.node_by_name("s").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        let t = g.node_by_name("t").unwrap();
+        assert!(g.has_edge(s, y));
+        assert!(!g.has_edge(y, s));
+        assert!(!g.has_edge(s, t));
+        let e = g.find_edge(s, y).unwrap();
+        assert_eq!(g.edge(e).interactions, vec![Interaction::new(1, 5.0)]);
+    }
+
+    #[test]
+    fn time_span() {
+        let g = toy();
+        assert_eq!(g.min_time(), Some(1));
+        assert_eq!(g.max_time(), Some(5));
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let g = toy();
+        let s = g.node_by_name("s").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        let e = g.edge(g.find_edge(s, y).unwrap());
+        assert_eq!(e.total_quantity(), 5.0);
+        assert_eq!(e.min_time(), Some(1));
+        assert_eq!(e.max_time(), Some(1));
+    }
+
+    #[test]
+    fn node_by_name_missing() {
+        let g = toy();
+        assert!(g.node_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut g = toy();
+        g.edge_index.clear();
+        assert!(g.find_edge(NodeId(0), NodeId(1)).is_none());
+        g.rebuild_index();
+        assert!(g.find_edge(NodeId(0), NodeId(1)).is_some());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip_via_json() {
+        let g = toy();
+        let s = serde_json::to_string(&g).unwrap();
+        let mut back: TemporalGraph = serde_json::from_str(&s).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.interaction_count(), g.interaction_count());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.interaction_count(), 0);
+        assert_eq!(g.min_time(), None);
+        g.validate().unwrap();
+    }
+}

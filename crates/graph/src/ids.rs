@@ -1,0 +1,151 @@
+//! Strongly typed identifiers and scalar aliases used throughout the
+//! workspace.
+//!
+//! Node and edge identifiers are plain dense indices (`u32`) wrapped in
+//! newtypes so they cannot be confused with each other or with ordinary
+//! integers. Timestamps are signed 64-bit integers (they routinely hold unix
+//! timestamps in seconds or milliseconds); quantities are `f64`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Timestamp of an interaction.
+///
+/// The paper treats timestamps as opaque, totally ordered values. We use
+/// `i64` so that real-world unix timestamps as well as small hand-written
+/// example values fit naturally. The reserved values [`Time::MIN`] and
+/// [`Time::MAX`] are used for the synthetic source/sink interactions of
+/// Figure 4 ("smallest possible" / "largest possible" timestamps).
+pub type Time = i64;
+
+/// Transferred quantity of an interaction.
+///
+/// Quantities are non-negative finite numbers in normal use;
+/// `f64::INFINITY` is used for the synthetic source/sink interactions.
+pub type Quantity = f64;
+
+/// Identifier of a node (vertex) in a [`crate::TemporalGraph`].
+///
+/// Node identifiers are dense indices assigned by the [`crate::GraphBuilder`]
+/// in insertion order; they index directly into the graph's node table.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge in a [`crate::TemporalGraph`].
+///
+/// Edge identifiers are dense indices into the graph's edge table.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index overflows u32"))
+    }
+}
+
+impl EdgeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index overflows u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let id = EdgeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, EdgeId(7));
+        assert_eq!(format!("{id}"), "e7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index overflows u32")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn ids_serialize_as_integers() {
+        let n = NodeId(3);
+        let s = serde_json::to_string(&n).unwrap();
+        assert_eq!(s, "3");
+        let back: NodeId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, n);
+    }
+}

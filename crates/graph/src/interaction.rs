@@ -1,0 +1,218 @@
+//! Interactions — the `(t, q)` pairs carried by edges — and helpers for
+//! working with time-sorted interaction sequences.
+
+use crate::ids::{Quantity, Time};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A single interaction: at time [`Interaction::time`], the quantity
+/// [`Interaction::quantity`] is transferred from the source vertex of the
+/// owning edge to its destination vertex.
+///
+/// Interactions on an edge are kept sorted by time (ties broken by quantity,
+/// then insertion order) so that every algorithm can replay them
+/// chronologically.
+#[derive(Copy, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Timestamp at which the transfer happens.
+    pub time: Time,
+    /// Quantity transferred (non-negative; `f64::INFINITY` for synthetic
+    /// source/sink interactions).
+    pub quantity: Quantity,
+}
+
+impl Interaction {
+    /// Creates a new interaction.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `quantity` is negative or NaN.
+    #[inline]
+    pub fn new(time: Time, quantity: Quantity) -> Self {
+        debug_assert!(
+            !quantity.is_nan() && quantity >= 0.0,
+            "interaction quantity must be a non-negative number, got {quantity}"
+        );
+        Interaction { time, quantity }
+    }
+
+    /// The synthetic interaction placed on edges out of the synthetic source
+    /// vertex: smallest possible timestamp, infinite quantity (Figure 4 of
+    /// the paper).
+    #[inline]
+    pub fn synthetic_source() -> Self {
+        Interaction {
+            time: Time::MIN,
+            quantity: Quantity::INFINITY,
+        }
+    }
+
+    /// The synthetic interaction placed on edges into the synthetic sink
+    /// vertex: largest possible timestamp, infinite quantity (Figure 4 of
+    /// the paper).
+    #[inline]
+    pub fn synthetic_sink() -> Self {
+        Interaction {
+            time: Time::MAX,
+            quantity: Quantity::INFINITY,
+        }
+    }
+
+    /// Whether this interaction carries an infinite quantity (synthetic
+    /// source/sink edges only).
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.quantity.is_infinite()
+    }
+
+    /// Total ordering used to sort interaction sequences: by time, then by
+    /// quantity (both ascending). Quantities are finite or `+inf`, never NaN,
+    /// so the ordering is total in practice.
+    #[inline]
+    pub fn chronological_cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then(self.quantity.partial_cmp(&other.quantity).unwrap_or(Ordering::Equal))
+    }
+}
+
+impl std::fmt::Debug for Interaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.time, self.quantity)
+    }
+}
+
+/// Sorts a sequence of interactions chronologically (stable).
+pub fn sort_chronologically(interactions: &mut [Interaction]) {
+    interactions.sort_by(Interaction::chronological_cmp);
+}
+
+/// Returns `true` if the sequence is sorted chronologically.
+pub fn is_chronological(interactions: &[Interaction]) -> bool {
+    interactions
+        .windows(2)
+        .all(|w| w[0].chronological_cmp(&w[1]) != Ordering::Greater)
+}
+
+/// Total quantity carried by a sequence of interactions.
+///
+/// Infinite interactions make the total infinite.
+pub fn total_quantity(interactions: &[Interaction]) -> Quantity {
+    interactions.iter().map(|i| i.quantity).sum()
+}
+
+/// Merges two chronologically sorted interaction sequences into a single
+/// chronologically sorted sequence (used when parallel edges are merged,
+/// e.g. during graph simplification).
+pub fn merge_sorted(a: &[Interaction], b: &[Interaction]) -> Vec<Interaction> {
+    debug_assert!(is_chronological(a), "left sequence not sorted");
+    debug_assert!(is_chronological(b), "right sequence not sorted");
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i].chronological_cmp(&b[j]) != Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The earliest timestamp in a sequence, if any.
+pub fn min_time(interactions: &[Interaction]) -> Option<Time> {
+    interactions.iter().map(|i| i.time).min()
+}
+
+/// The latest timestamp in a sequence, if any.
+pub fn max_time(interactions: &[Interaction]) -> Option<Time> {
+    interactions.iter().map(|i| i.time).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(pairs: &[(Time, Quantity)]) -> Vec<Interaction> {
+        pairs.iter().map(|&(t, q)| Interaction::new(t, q)).collect()
+    }
+
+    #[test]
+    fn new_and_accessors() {
+        let i = Interaction::new(5, 3.5);
+        assert_eq!(i.time, 5);
+        assert_eq!(i.quantity, 3.5);
+        assert!(!i.is_unbounded());
+    }
+
+    #[test]
+    fn synthetic_interactions_are_unbounded_and_extreme() {
+        let s = Interaction::synthetic_source();
+        let t = Interaction::synthetic_sink();
+        assert!(s.is_unbounded());
+        assert!(t.is_unbounded());
+        assert_eq!(s.time, Time::MIN);
+        assert_eq!(t.time, Time::MAX);
+        assert!(s.time < t.time);
+    }
+
+    #[test]
+    fn sort_and_check_chronological() {
+        let mut v = seq(&[(5, 1.0), (1, 2.0), (3, 4.0)]);
+        assert!(!is_chronological(&v));
+        sort_chronologically(&mut v);
+        assert!(is_chronological(&v));
+        assert_eq!(v.iter().map(|i| i.time).collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_sorted_by_quantity() {
+        let mut v = seq(&[(2, 9.0), (2, 1.0)]);
+        sort_chronologically(&mut v);
+        assert_eq!(v[0].quantity, 1.0);
+        assert_eq!(v[1].quantity, 9.0);
+        assert!(is_chronological(&v));
+    }
+
+    #[test]
+    fn total_quantity_sums() {
+        let v = seq(&[(1, 2.0), (2, 3.5), (9, 0.5)]);
+        assert_eq!(total_quantity(&v), 6.0);
+        assert_eq!(total_quantity(&[]), 0.0);
+    }
+
+    #[test]
+    fn total_quantity_with_infinity() {
+        let v = vec![Interaction::new(1, 2.0), Interaction::synthetic_sink()];
+        assert!(total_quantity(&v).is_infinite());
+    }
+
+    #[test]
+    fn merge_sorted_interleaves() {
+        let a = seq(&[(1, 1.0), (4, 2.0), (9, 3.0)]);
+        let b = seq(&[(2, 5.0), (4, 1.0), (10, 7.0)]);
+        let m = merge_sorted(&a, &b);
+        assert_eq!(m.len(), 6);
+        assert!(is_chronological(&m));
+        assert_eq!(m.iter().map(|i| i.time).collect::<Vec<_>>(), vec![1, 2, 4, 4, 9, 10]);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = seq(&[(1, 1.0)]);
+        assert_eq!(merge_sorted(&a, &[]), a);
+        assert_eq!(merge_sorted(&[], &a), a);
+    }
+
+    #[test]
+    fn min_max_time() {
+        let v = seq(&[(3, 1.0), (1, 1.0), (7, 1.0)]);
+        assert_eq!(min_time(&v), Some(1));
+        assert_eq!(max_time(&v), Some(7));
+        assert_eq!(min_time(&[]), None);
+        assert_eq!(max_time(&[]), None);
+    }
+}

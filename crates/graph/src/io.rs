@@ -1,0 +1,185 @@
+//! Persistence of temporal interaction networks.
+//!
+//! Two formats are supported:
+//!
+//! * **JSON** via serde — lossless, used for fixtures and tooling;
+//! * a compact **text format**, one interaction per line
+//!   (`<src-name> <dst-name> <time> <quantity>`), which mirrors the
+//!   `(sender, recipient, timestamp, amount)` records the paper builds its
+//!   datasets from and is convenient for importing real logs.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::TemporalGraph;
+use crate::interaction::Interaction;
+use std::fmt::Write as _;
+
+/// Serializes a graph to a JSON string.
+pub fn to_json(graph: &TemporalGraph) -> String {
+    serde_json::to_string(graph).expect("temporal graph serialization cannot fail")
+}
+
+/// Deserializes a graph from a JSON string produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<TemporalGraph, GraphError> {
+    let mut graph: TemporalGraph = serde_json::from_str(json).map_err(|e| GraphError::Parse {
+        line: e.line(),
+        message: e.to_string(),
+    })?;
+    graph.rebuild_index();
+    graph
+        .validate()
+        .map_err(|message| GraphError::Parse { line: 0, message })?;
+    Ok(graph)
+}
+
+/// Serializes a graph to the text interchange format: one line per
+/// interaction, `<src> <dst> <time> <quantity>`, lines ordered by edge id and
+/// interaction position. Vertex names must not contain whitespace.
+pub fn to_text(graph: &TemporalGraph) -> String {
+    let mut out = String::new();
+    for edge in graph.edges() {
+        let src = &graph.node(edge.src).name;
+        let dst = &graph.node(edge.dst).name;
+        for i in &edge.interactions {
+            writeln!(out, "{src} {dst} {} {}", i.time, i.quantity).expect("string write");
+        }
+    }
+    out
+}
+
+/// Parses the text interchange format produced by [`to_text`] (or any
+/// whitespace-separated `(sender, recipient, timestamp, amount)` log).
+///
+/// Empty lines and lines starting with `#` are ignored. Vertices are created
+/// in order of first appearance.
+pub fn from_text(text: &str) -> Result<TemporalGraph, GraphError> {
+    let mut b = GraphBuilder::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line_number = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (src, dst, time, quantity) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_number,
+                    message: format!("expected `src dst time quantity`, got `{trimmed}`"),
+                })
+            }
+        };
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_number,
+                message: "trailing tokens after the four expected fields".into(),
+            });
+        }
+        let time: i64 = time.parse().map_err(|_| GraphError::Parse {
+            line: line_number,
+            message: format!("invalid timestamp `{time}`"),
+        })?;
+        let quantity: f64 = quantity.parse().map_err(|_| GraphError::Parse {
+            line: line_number,
+            message: format!("invalid quantity `{quantity}`"),
+        })?;
+        if quantity.is_nan() || quantity < 0.0 {
+            return Err(GraphError::Parse {
+                line: line_number,
+                message: format!("quantity must be non-negative, got {quantity}"),
+            });
+        }
+        let s = b.get_or_add_node(src);
+        let d = b.get_or_add_node(dst);
+        b.add_interaction(s, d, Interaction::new(time, quantity));
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_records;
+
+    fn sample() -> TemporalGraph {
+        from_records([
+            ("u1", "u2", 2, 5.0),
+            ("u1", "u2", 4, 3.0),
+            ("u2", "u3", 3, 4.0),
+            ("u3", "u1", 6, 5.0),
+        ])
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let g = sample();
+        let s = to_json(&g);
+        let back = from_json(&s).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.interaction_count(), g.interaction_count());
+        assert_eq!(back.total_quantity(), g.total_quantity());
+        // Index is rebuilt by from_json.
+        let u1 = back.node_by_name("u1").unwrap();
+        let u2 = back.node_by_name("u2").unwrap();
+        assert!(back.find_edge(u1, u2).is_some());
+    }
+
+    #[test]
+    fn json_parse_error_is_reported() {
+        assert!(matches!(from_json("not json"), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_structure() {
+        let g = sample();
+        let s = to_text(&g);
+        assert_eq!(s.lines().count(), 4);
+        let back = from_text(&s).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.interaction_count(), g.interaction_count());
+        assert_eq!(back.total_quantity(), g.total_quantity());
+    }
+
+    #[test]
+    fn text_parser_skips_comments_and_blank_lines() {
+        let g = from_text("# header\n\na b 1 2.5\n   \nb c 2 1\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.interaction_count(), 2);
+    }
+
+    #[test]
+    fn text_parser_rejects_malformed_lines() {
+        assert!(matches!(
+            from_text("a b 1"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("a b 1 2 3"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("a b xx 2"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("a b 1 notanumber"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("a b 1 -5"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn text_parser_reports_correct_line_number() {
+        let err = from_text("a b 1 2\nbroken line here now extra\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

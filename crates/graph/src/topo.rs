@@ -1,0 +1,186 @@
+//! Topological ordering, DAG validation and reachability.
+//!
+//! The maximum-flow machinery of the paper (preprocessing, simplification,
+//! the LP formulation) operates on DAGs whose vertices are examined in
+//! topological order. This module provides Kahn's algorithm plus small
+//! reachability helpers shared by several crates.
+
+use crate::graph::TemporalGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Error returned when a topological order is requested for a cyclic graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoError {
+    /// Number of vertices that could not be ordered (they lie on or behind a
+    /// directed cycle).
+    pub unordered: usize,
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains a directed cycle ({} vertices unordered)", self.unordered)
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Computes a topological order of the graph's vertices using Kahn's
+/// algorithm.
+///
+/// Vertices with equal precedence are emitted in ascending identifier order,
+/// making the result deterministic. Returns [`TopoError`] if the graph
+/// contains a directed cycle (self-loops included).
+pub fn topological_order(graph: &TemporalGraph) -> Result<Vec<NodeId>, TopoError> {
+    let n = graph.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| graph.in_degree(NodeId::from_index(i))).collect();
+    // A BinaryHeap would give the smallest-id-first property directly, but a
+    // deque plus the natural id ordering of the initial frontier is enough
+    // for determinism and is cheaper.
+    let mut queue: VecDeque<NodeId> = (0..n)
+        .map(NodeId::from_index)
+        .filter(|v| in_deg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in graph.out_neighbors(v) {
+            in_deg[u.index()] -= 1;
+            if in_deg[u.index()] == 0 {
+                queue.push_back(u);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(TopoError { unordered: n - order.len() })
+    }
+}
+
+/// Returns `true` if the graph is a directed acyclic graph.
+pub fn is_dag(graph: &TemporalGraph) -> bool {
+    topological_order(graph).is_ok()
+}
+
+/// Returns the set of vertices reachable from `start` by following edges
+/// forwards (including `start` itself), as a boolean mask indexed by node id.
+pub fn reachable_from(graph: &TemporalGraph, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(v) = stack.pop() {
+        for u in graph.out_neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                stack.push(u);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns the set of vertices that can reach `target` by following edges
+/// forwards (including `target` itself), as a boolean mask indexed by node id.
+pub fn reaching(graph: &TemporalGraph, target: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack = vec![target];
+    seen[target.index()] = true;
+    while let Some(v) = stack.pop() {
+        for u in graph.in_neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                stack.push(u);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::interaction::Interaction;
+
+    fn diamond() -> (TemporalGraph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let t = b.add_node("t");
+        for (u, v) in [(s, y), (s, z), (y, z), (y, t), (z, t)] {
+            b.add_interaction(u, v, Interaction::new(1, 1.0));
+        }
+        (b.build(), [s, y, z, t])
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (g, [s, y, z, t]) = diamond();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 4);
+        let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(s) < pos(y));
+        assert!(pos(s) < pos(z));
+        assert!(pos(y) < pos(z));
+        assert!(pos(y) < pos(t));
+        assert!(pos(z) < pos(t));
+        assert!(is_dag(&g));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_interaction(a, c, Interaction::new(1, 1.0));
+        b.add_interaction(c, a, Interaction::new(2, 1.0));
+        let g = b.build();
+        assert!(!is_dag(&g));
+        let err = topological_order(&g).unwrap_err();
+        assert_eq!(err.unordered, 2);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        b.add_interaction(a, a, Interaction::new(1, 1.0));
+        let g = b.build();
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_are_ordered() {
+        let mut b = GraphBuilder::new();
+        b.add_node("a");
+        b.add_node("b");
+        let g = b.build();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn reachability_masks() {
+        let (g, [s, y, z, t]) = diamond();
+        let fwd = reachable_from(&g, y);
+        assert!(!fwd[s.index()]);
+        assert!(fwd[y.index()]);
+        assert!(fwd[z.index()]);
+        assert!(fwd[t.index()]);
+        let back = reaching(&g, z);
+        assert!(back[s.index()]);
+        assert!(back[y.index()]);
+        assert!(back[z.index()]);
+        assert!(!back[t.index()]);
+    }
+
+    #[test]
+    fn empty_graph_topological_order() {
+        let g = GraphBuilder::new().build();
+        assert!(topological_order(&g).unwrap().is_empty());
+        assert!(is_dag(&g));
+    }
+}

@@ -1,0 +1,170 @@
+//! Subgraph extraction.
+//!
+//! Both the flow computation experiments (Section 6.2) and the pattern
+//! matchers (Section 5) work on small subgraphs of a large interaction
+//! network. This module provides vertex-induced and edge-induced extraction
+//! that remaps node identifiers into a dense range while remembering the
+//! original identifiers.
+
+use crate::builder::GraphBuilder;
+use crate::graph::TemporalGraph;
+use crate::ids::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// Description of an extracted subgraph: the new graph plus the mapping back
+/// to the original vertex identifiers.
+#[derive(Debug, Clone)]
+pub struct SubgraphSpec {
+    /// The extracted graph with densely renumbered vertices.
+    pub graph: TemporalGraph,
+    /// `original[i]` is the vertex of the parent graph that became node `i`.
+    pub original: Vec<NodeId>,
+    /// Map from original vertex id to the new id.
+    pub mapping: HashMap<NodeId, NodeId>,
+}
+
+impl SubgraphSpec {
+    /// Translates an original vertex id to the subgraph id, if included.
+    pub fn to_sub(&self, original: NodeId) -> Option<NodeId> {
+        self.mapping.get(&original).copied()
+    }
+
+    /// Translates a subgraph vertex id back to the original id.
+    ///
+    /// # Panics
+    /// Panics if `sub` is out of range.
+    pub fn to_original(&self, sub: NodeId) -> NodeId {
+        self.original[sub.index()]
+    }
+}
+
+/// Extracts the subgraph induced by a set of vertices: every edge of the
+/// parent graph whose endpoints are both selected is kept with its full
+/// interaction sequence.
+pub fn induced_subgraph(graph: &TemporalGraph, vertices: &[NodeId]) -> SubgraphSpec {
+    let mut mapping = HashMap::with_capacity(vertices.len());
+    let mut original = Vec::with_capacity(vertices.len());
+    let mut b = GraphBuilder::with_capacity(vertices.len(), vertices.len() * 2);
+    for &v in vertices {
+        if mapping.contains_key(&v) {
+            continue;
+        }
+        let new_id = b.add_node(graph.node(v).name.clone());
+        mapping.insert(v, new_id);
+        original.push(v);
+    }
+    for &v in &original {
+        let new_src = mapping[&v];
+        for &eid in graph.out_edges(v) {
+            let edge = graph.edge(eid);
+            if let Some(&new_dst) = mapping.get(&edge.dst) {
+                b.add_edge(new_src, new_dst, edge.interactions.clone());
+            }
+        }
+    }
+    SubgraphSpec { graph: b.build(), original, mapping }
+}
+
+/// Extracts the subgraph formed by a set of edges: exactly the listed edges
+/// are kept (with their interaction sequences) along with their endpoints.
+pub fn edge_induced_subgraph(graph: &TemporalGraph, edges: &[EdgeId]) -> SubgraphSpec {
+    let mut mapping: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut original = Vec::new();
+    let mut b = GraphBuilder::new();
+    let get = |b: &mut GraphBuilder,
+                   mapping: &mut HashMap<NodeId, NodeId>,
+                   original: &mut Vec<NodeId>,
+                   v: NodeId,
+                   name: &str| {
+        *mapping.entry(v).or_insert_with(|| {
+            let id = b.add_node(name.to_string());
+            original.push(v);
+            id
+        })
+    };
+    for &eid in edges {
+        let edge = graph.edge(eid);
+        let src = get(&mut b, &mut mapping, &mut original, edge.src, &graph.node(edge.src).name);
+        let dst = get(&mut b, &mut mapping, &mut original, edge.dst, &graph.node(edge.dst).name);
+        b.add_edge(src, dst, edge.interactions.clone());
+    }
+    SubgraphSpec { graph: b.build(), original, mapping }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::interaction::Interaction;
+
+    fn parent() -> (TemporalGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..5).map(|i| b.add_node(format!("v{i}"))).collect();
+        b.add_pairs(ids[0], ids[1], &[(1, 1.0), (4, 2.0)]);
+        b.add_pairs(ids[1], ids[2], &[(2, 3.0)]);
+        b.add_pairs(ids[2], ids[3], &[(3, 4.0)]);
+        b.add_pairs(ids[3], ids[4], &[(5, 5.0)]);
+        b.add_pairs(ids[0], ids[4], &[(6, 6.0)]);
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let (g, ids) = parent();
+        let sub = induced_subgraph(&g, &[ids[0], ids[1], ids[2]]);
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 2); // v0->v1, v1->v2
+        assert_eq!(sub.graph.interaction_count(), 3);
+        let v0 = sub.to_sub(ids[0]).unwrap();
+        let v1 = sub.to_sub(ids[1]).unwrap();
+        assert!(sub.graph.has_edge(v0, v1));
+        assert_eq!(sub.to_original(v0), ids[0]);
+        assert!(sub.to_sub(ids[4]).is_none());
+        sub.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn induced_subgraph_with_duplicate_vertices() {
+        let (g, ids) = parent();
+        let sub = induced_subgraph(&g, &[ids[0], ids[0], ids[1]]);
+        assert_eq!(sub.graph.node_count(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_induced_subgraph_keeps_exact_edges() {
+        let (g, ids) = parent();
+        let e01 = g.find_edge(ids[0], ids[1]).unwrap();
+        let e04 = g.find_edge(ids[0], ids[4]).unwrap();
+        let sub = edge_induced_subgraph(&g, &[e01, e04]);
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 2);
+        assert_eq!(sub.graph.interaction_count(), 3);
+        let names: Vec<_> = sub.graph.nodes().iter().map(|n| n.name.clone()).collect();
+        assert!(names.contains(&"v0".to_string()));
+        assert!(names.contains(&"v1".to_string()));
+        assert!(names.contains(&"v4".to_string()));
+        sub.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_induced_subgraph_preserves_interactions() {
+        let (g, ids) = parent();
+        let e01 = g.find_edge(ids[0], ids[1]).unwrap();
+        let sub = edge_induced_subgraph(&g, &[e01]);
+        let v0 = sub.to_sub(ids[0]).unwrap();
+        let v1 = sub.to_sub(ids[1]).unwrap();
+        let e = sub.graph.edge(sub.graph.find_edge(v0, v1).unwrap());
+        assert_eq!(e.interactions, vec![Interaction::new(1, 1.0), Interaction::new(4, 2.0)]);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_graph() {
+        let (g, _) = parent();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.node_count(), 0);
+        assert_eq!(sub.graph.edge_count(), 0);
+        let sub2 = edge_induced_subgraph(&g, &[]);
+        assert_eq!(sub2.graph.node_count(), 0);
+    }
+}

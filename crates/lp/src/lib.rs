@@ -1,0 +1,43 @@
+//! # tin-lp
+//!
+//! A small, dependency-free linear programming solver used as the LP
+//! substrate for maximum flow computation in temporal interaction networks.
+//!
+//! The paper solves its maximum-flow formulation with the `lpsolve` C
+//! library; this crate provides an equivalent exact solver implemented from
+//! scratch: a dense, two-phase primal simplex with Dantzig pricing and a
+//! Bland's-rule fallback for anti-cycling.
+//!
+//! The solver is deliberately simple — dense tableau, no presolve, no
+//! revised simplex — because the whole point of the paper's `Pre`/`PreSim`
+//! techniques is to shrink problems *before* they reach the LP solver. The
+//! baseline being an honest, straightforward LP keeps the reproduced
+//! speed-up shapes meaningful.
+//!
+//! ## Example
+//!
+//! Maximize `3x + 2y` subject to `x + y ≤ 4`, `x ≤ 2`, `y ≤ 3`:
+//!
+//! ```
+//! use tin_lp::{LpProblem, LpStatus};
+//!
+//! let mut p = LpProblem::new(2);
+//! p.set_objective_coefficient(0, 3.0);
+//! p.set_objective_coefficient(1, 2.0);
+//! p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
+//! p.add_le_constraint(&[(0, 1.0)], 2.0);
+//! p.add_le_constraint(&[(1, 1.0)], 3.0);
+//! let sol = p.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 10.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use problem::{ConstraintOp, LpProblem, Sense};
+pub use solution::{LpSolution, LpStatus};

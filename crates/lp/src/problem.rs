@@ -1,0 +1,242 @@
+//! Construction of linear programs.
+
+use crate::simplex;
+use crate::solution::LpSolution;
+
+/// Direction of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a · x ≤ b`
+    Le,
+    /// `a · x ≥ b`
+    Ge,
+    /// `a · x = b`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    /// Maximize the objective (default; this is what the flow formulation
+    /// uses).
+    #[default]
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// A single constraint row, stored sparsely.
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    /// `(variable index, coefficient)` pairs; indices are unique.
+    pub coeffs: Vec<(usize, f64)>,
+    pub op: ConstraintOp,
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables:
+///
+/// ```text
+/// max / min   c · x
+/// subject to  aᵢ · x  {≤,≥,=}  bᵢ      for every constraint i
+///             0 ≤ xⱼ                    for every variable j
+/// ```
+///
+/// Upper bounds on individual variables are ordinary `≤` constraints (see
+/// [`LpProblem::set_upper_bound`]); the flow formulation uses one per
+/// interaction (`xᵢ ≤ qᵢ`).
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    sense: Sense,
+    pub(crate) rows: Vec<Row>,
+    /// Maximum simplex iterations before giving up (safety valve).
+    pub max_iterations: usize,
+}
+
+impl LpProblem {
+    /// Creates a problem with `num_vars` non-negative variables and an
+    /// all-zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            sense: Sense::Maximize,
+            rows: Vec::new(),
+            max_iterations: 0, // 0 = automatic (scaled with problem size)
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the optimization direction (default: maximize).
+    pub fn set_sense(&mut self, sense: Sense) {
+        self.sense = sense;
+    }
+
+    /// Current optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coefficient(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.num_vars, "variable index {var} out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Adds `delta` to the objective coefficient of variable `var`.
+    pub fn add_objective_coefficient(&mut self, var: usize, delta: f64) {
+        assert!(var < self.num_vars, "variable index {var} out of range");
+        self.objective[var] += delta;
+    }
+
+    /// The dense objective vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Adds a general constraint `coeffs · x {op} rhs`.
+    ///
+    /// `coeffs` is a sparse list of `(variable, coefficient)` pairs; repeated
+    /// variables are summed.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range or any value is NaN.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], op: ConstraintOp, rhs: f64) {
+        assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        for &(var, c) in coeffs {
+            assert!(var < self.num_vars, "variable index {var} out of range");
+            assert!(!c.is_nan(), "constraint coefficient must not be NaN");
+            match merged.iter_mut().find(|(v, _)| *v == var) {
+                Some((_, existing)) => *existing += c,
+                None => merged.push((var, c)),
+            }
+        }
+        self.rows.push(Row { coeffs: merged, op, rhs });
+    }
+
+    /// Adds a `≤` constraint (the most common case in the flow formulation).
+    pub fn add_le_constraint(&mut self, coeffs: &[(usize, f64)], rhs: f64) {
+        self.add_constraint(coeffs, ConstraintOp::Le, rhs);
+    }
+
+    /// Adds a `≥` constraint.
+    pub fn add_ge_constraint(&mut self, coeffs: &[(usize, f64)], rhs: f64) {
+        self.add_constraint(coeffs, ConstraintOp::Ge, rhs);
+    }
+
+    /// Adds an equality constraint.
+    pub fn add_eq_constraint(&mut self, coeffs: &[(usize, f64)], rhs: f64) {
+        self.add_constraint(coeffs, ConstraintOp::Eq, rhs);
+    }
+
+    /// Adds the upper bound `x_var ≤ bound` as a constraint row.
+    pub fn set_upper_bound(&mut self, var: usize, bound: f64) {
+        self.add_le_constraint(&[(var, 1.0)], bound);
+    }
+
+    /// Solves the program with the two-phase primal simplex method.
+    pub fn solve(&self) -> LpSolution {
+        simplex::solve(self)
+    }
+
+    /// Evaluates the objective at a given point (useful for checking
+    /// candidate solutions in tests).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks whether `x` satisfies every constraint and the non-negativity
+    /// bounds within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars {
+            return false;
+        }
+        if x.iter().any(|&v| v < -tol || v.is_nan()) {
+            return false;
+        }
+        self.rows.iter().all(|row| {
+            let lhs: f64 = row.coeffs.iter().map(|&(v, c)| c * x[v]).sum();
+            match row.op {
+                ConstraintOp::Le => lhs <= row.rhs + tol,
+                ConstraintOp::Ge => lhs >= row.rhs - tol,
+                ConstraintOp::Eq => (lhs - row.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accessors() {
+        let mut p = LpProblem::new(3);
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.num_constraints(), 0);
+        p.set_objective_coefficient(0, 1.0);
+        p.add_objective_coefficient(0, 2.0);
+        p.set_objective_coefficient(2, -1.0);
+        assert_eq!(p.objective(), &[3.0, 0.0, -1.0]);
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 5.0);
+        p.add_ge_constraint(&[(2, 2.0)], 1.0);
+        p.add_eq_constraint(&[(0, 1.0), (2, 1.0)], 2.0);
+        p.set_upper_bound(1, 9.0);
+        assert_eq!(p.num_constraints(), 4);
+        assert_eq!(p.sense(), Sense::Maximize);
+        p.set_sense(Sense::Minimize);
+        assert_eq!(p.sense(), Sense::Minimize);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_merged() {
+        let mut p = LpProblem::new(2);
+        p.add_le_constraint(&[(0, 1.0), (0, 2.0), (1, 1.0)], 4.0);
+        assert_eq!(p.rows[0].coeffs, vec![(0, 3.0), (1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_objective_panics() {
+        let mut p = LpProblem::new(1);
+        p.set_objective_coefficient(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_constraint_panics() {
+        let mut p = LpProblem::new(1);
+        p.add_le_constraint(&[(3, 1.0)], 1.0);
+    }
+
+    #[test]
+    fn feasibility_and_objective_evaluation() {
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.set_objective_coefficient(1, 2.0);
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 3.0);
+        p.add_ge_constraint(&[(0, 1.0)], 0.5);
+        p.add_eq_constraint(&[(1, 1.0)], 1.0);
+        assert!(p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[0.0, 1.0], 1e-9)); // violates >=
+        assert!(!p.is_feasible(&[1.0, 2.0], 1e-9)); // violates ==
+        assert!(!p.is_feasible(&[-1.0, 1.0], 1e-9)); // negative
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // wrong arity
+        assert_eq!(p.objective_value(&[1.0, 1.0]), 3.0);
+    }
+}

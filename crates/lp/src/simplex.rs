@@ -1,0 +1,556 @@
+//! Dense two-phase primal simplex.
+//!
+//! The implementation follows the classic full-tableau method:
+//!
+//! 1. every constraint is normalized to a non-negative right-hand side and
+//!    augmented with slack, surplus and artificial variables as required;
+//! 2. *phase 1* maximizes minus the sum of artificial variables; if the
+//!    optimum is negative the program is infeasible;
+//! 3. *phase 2* optimizes the real objective with artificial columns barred
+//!    from entering the basis.
+//!
+//! Pricing is Dantzig's rule (most negative reduced cost); after a generous
+//! number of pivots the solver switches to Bland's rule, which guarantees
+//! termination in the presence of degeneracy.
+
+use crate::problem::{ConstraintOp, LpProblem, Sense};
+use crate::solution::{LpSolution, LpStatus};
+
+/// Numerical tolerance used for pivoting decisions.
+const EPS: f64 = 1e-9;
+/// Tolerance used when deciding whether phase 1 proved feasibility.
+const FEAS_EPS: f64 = 1e-6;
+
+struct Tableau {
+    /// Number of constraint rows.
+    m: usize,
+    /// Number of structural (decision) variables.
+    n_struct: usize,
+    /// Total number of columns excluding the RHS column.
+    n_cols: usize,
+    /// Row-major tableau rows, each of length `n_cols + 1` (last entry is
+    /// the RHS).
+    rows: Vec<Vec<f64>>,
+    /// Objective row: reduced costs `z_j - c_j`, last entry is the current
+    /// objective value.
+    obj: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.rows[i][self.n_cols]
+    }
+
+    /// Performs a pivot on (`row`, `col`): `col` enters the basis, the
+    /// previous basic variable of `row` leaves.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPS, "pivot on a (near) zero element");
+        let inv = 1.0 / pivot_val;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        // Borrow the pivot row out by value to keep the borrow checker happy
+        // without cloning the whole row for every elimination.
+        let pivot_row = std::mem::take(&mut self.rows[row]);
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() > EPS {
+                for (a, &p) in r.iter_mut().zip(pivot_row.iter()) {
+                    *a -= factor * p;
+                }
+                r[col] = 0.0; // avoid numerical crumbs in the pivot column
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > EPS {
+            for (a, &p) in self.obj.iter_mut().zip(pivot_row.iter()) {
+                *a -= factor * p;
+            }
+            self.obj[col] = 0.0;
+        }
+        self.rows[row] = pivot_row;
+        self.basis[row] = col;
+    }
+
+    /// Recomputes the objective row for maximizing `costs · x` given the
+    /// current basis: `obj[j] = c_B · B⁻¹ A_j − c_j`, `obj[rhs] = c_B · B⁻¹ b`.
+    fn price(&mut self, costs: &[f64]) {
+        let mut obj = vec![0.0; self.n_cols + 1];
+        for j in 0..self.n_cols {
+            obj[j] = -costs.get(j).copied().unwrap_or(0.0);
+        }
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = costs.get(b).copied().unwrap_or(0.0);
+            if cb != 0.0 {
+                for j in 0..=self.n_cols {
+                    obj[j] += cb * self.rows[i][j];
+                }
+            }
+        }
+        self.obj = obj;
+    }
+
+    /// Chooses the entering column among `allowed_cols` (columns `<
+    /// col_limit`), or `None` when the current basis is optimal.
+    fn entering(&self, col_limit: usize, bland: bool) -> Option<usize> {
+        if bland {
+            (0..col_limit).find(|&j| self.obj[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..col_limit {
+                if self.obj[j] < best_val {
+                    best_val = self.obj[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Ratio test: chooses the leaving row for entering column `col`, or
+    /// `None` when the problem is unbounded in that direction.
+    fn leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.m {
+            let a = self.rows[i][col];
+            if a > EPS {
+                let ratio = self.rhs(i) / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        // Smaller ratio wins; ties broken by smaller basic
+                        // variable index (lexicographic-ish, helps avoid
+                        // cycling even under Dantzig pricing).
+                        if ratio < br - EPS
+                            || ((ratio - br).abs() <= EPS && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// Runs the simplex loop for the current objective row. Returns `Ok(pivots)`
+/// at optimality, `Err(status)` for unbounded / iteration-limit outcomes.
+fn optimize(t: &mut Tableau, col_limit: usize, max_iters: usize, pivots: &mut usize) -> Result<(), LpStatus> {
+    let bland_threshold = max_iters / 2;
+    let mut local = 0usize;
+    loop {
+        let bland = local >= bland_threshold;
+        let Some(col) = t.entering(col_limit, bland) else {
+            return Ok(());
+        };
+        let Some(row) = t.leaving(col) else {
+            return Err(LpStatus::Unbounded);
+        };
+        t.pivot(row, col);
+        *pivots += 1;
+        local += 1;
+        if local > max_iters {
+            return Err(LpStatus::IterationLimit);
+        }
+    }
+}
+
+/// Solves `problem` with the two-phase primal simplex method.
+pub fn solve(problem: &LpProblem) -> LpSolution {
+    let n = problem.num_vars();
+    let m = problem.rows.len();
+
+    // Trivial case: no constraints. Any variable with a positive (for max)
+    // objective coefficient makes the program unbounded; otherwise x = 0 is
+    // optimal.
+    let maximize = problem.sense() == Sense::Maximize;
+    if m == 0 {
+        let improving = problem
+            .objective()
+            .iter()
+            .any(|&c| if maximize { c > EPS } else { c < -EPS });
+        return if improving {
+            LpSolution::with_status(LpStatus::Unbounded, 0)
+        } else {
+            LpSolution {
+                status: LpStatus::Optimal,
+                objective: 0.0,
+                variables: vec![0.0; n],
+                iterations: 0,
+            }
+        };
+    }
+
+    // --- Build the augmented tableau -------------------------------------
+    // Column layout: [structural 0..n) [slack/surplus n..n+s) [artificial ...).
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    // (slack_col, art_col) per row, filled below.
+    for row in &problem.rows {
+        // Normalize RHS sign first to know which auxiliary variables we need.
+        let (op, rhs_nonneg) = normalized_op(row.op, row.rhs);
+        match (op, rhs_nonneg) {
+            (ConstraintOp::Le, _) => n_slack += 1,
+            (ConstraintOp::Ge, _) => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            (ConstraintOp::Eq, _) => n_art += 1,
+        }
+    }
+    let n_cols = n + n_slack + n_art;
+    let art_start = n + n_slack;
+
+    let mut rows = vec![vec![0.0; n_cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_art = art_start;
+    for (i, row) in problem.rows.iter().enumerate() {
+        let flip = row.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(var, c) in &row.coeffs {
+            rows[i][var] += sign * c;
+        }
+        rows[i][n_cols] = sign * row.rhs;
+        let (op, _) = normalized_op(row.op, row.rhs);
+        match op {
+            ConstraintOp::Le => {
+                rows[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            ConstraintOp::Ge => {
+                rows[i][next_slack] = -1.0; // surplus
+                rows[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_slack += 1;
+                next_art += 1;
+            }
+            ConstraintOp::Eq => {
+                rows[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut tableau = Tableau {
+        m,
+        n_struct: n,
+        n_cols,
+        rows,
+        obj: vec![0.0; n_cols + 1],
+        basis,
+    };
+
+    let max_iters = if problem.max_iterations > 0 {
+        problem.max_iterations
+    } else {
+        200 * (m + n_cols) + 2000
+    };
+    let mut pivots = 0usize;
+
+    // --- Phase 1: drive artificial variables to zero ----------------------
+    if n_art > 0 {
+        let mut phase1_costs = vec![0.0; n_cols];
+        for c in phase1_costs.iter_mut().skip(art_start) {
+            *c = -1.0; // maximize -(sum of artificials)
+        }
+        tableau.price(&phase1_costs);
+        match optimize(&mut tableau, n_cols, max_iters, &mut pivots) {
+            Ok(()) => {}
+            Err(LpStatus::Unbounded) => {
+                // Phase-1 objective is bounded above by 0; an "unbounded"
+                // outcome can only be a numerical artifact.
+                return LpSolution::with_status(LpStatus::Infeasible, pivots);
+            }
+            Err(status) => return LpSolution::with_status(status, pivots),
+        }
+        let phase1_obj = tableau.obj[n_cols];
+        if phase1_obj < -FEAS_EPS {
+            return LpSolution::with_status(LpStatus::Infeasible, pivots);
+        }
+        // Drive remaining (degenerate) artificial variables out of the basis
+        // when possible so phase 2 starts from a clean basis.
+        for i in 0..m {
+            if tableau.basis[i] >= art_start {
+                if let Some(col) = (0..art_start).find(|&j| tableau.rows[i][j].abs() > EPS) {
+                    tableau.pivot(i, col);
+                    pivots += 1;
+                }
+            }
+        }
+    }
+
+    // --- Phase 2: optimize the real objective -----------------------------
+    let mut costs = vec![0.0; n_cols];
+    for (j, &c) in problem.objective().iter().enumerate() {
+        costs[j] = if maximize { c } else { -c };
+    }
+    tableau.price(&costs);
+    // Artificial columns may not re-enter the basis.
+    match optimize(&mut tableau, art_start, max_iters, &mut pivots) {
+        Ok(()) => {}
+        Err(status) => return LpSolution::with_status(status, pivots),
+    }
+
+    // --- Extract the solution ---------------------------------------------
+    let mut x = vec![0.0; n];
+    for (i, &b) in tableau.basis.iter().enumerate() {
+        if b < tableau.n_struct {
+            x[b] = tableau.rhs(i).max(0.0);
+        }
+    }
+    let objective = problem.objective_value(&x);
+    LpSolution { status: LpStatus::Optimal, objective, variables: x, iterations: pivots }
+}
+
+/// Returns the constraint operator after normalizing the row to a
+/// non-negative right-hand side (flipping the inequality when the RHS was
+/// negative).
+fn normalized_op(op: ConstraintOp, rhs: f64) -> (ConstraintOp, f64) {
+    if rhs >= 0.0 {
+        (op, rhs)
+    } else {
+        let flipped = match op {
+            ConstraintOp::Le => ConstraintOp::Ge,
+            ConstraintOp::Ge => ConstraintOp::Le,
+            ConstraintOp::Eq => ConstraintOp::Eq,
+        };
+        (flipped, -rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::{LpProblem, Sense};
+    use crate::solution::LpStatus;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn simple_two_variable_maximum() {
+        // max 3x + 2y, x + y <= 4, x <= 2, y <= 3 -> x=2, y=2, obj=10.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 3.0);
+        p.set_objective_coefficient(1, 2.0);
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
+        p.add_le_constraint(&[(0, 1.0)], 2.0);
+        p.add_le_constraint(&[(1, 1.0)], 3.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 10.0);
+        assert_close(s.variables[0], 2.0);
+        assert_close(s.variables[1], 2.0);
+        assert!(p.is_feasible(&s.variables, 1e-7));
+    }
+
+    #[test]
+    fn classic_production_problem() {
+        // max 5x + 4y; 6x + 4y <= 24; x + 2y <= 6 -> x=3, y=1.5, obj=21.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 5.0);
+        p.set_objective_coefficient(1, 4.0);
+        p.add_le_constraint(&[(0, 6.0), (1, 4.0)], 24.0);
+        p.add_le_constraint(&[(0, 1.0), (1, 2.0)], 6.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 21.0);
+        assert_close(s.variables[0], 3.0);
+        assert_close(s.variables[1], 1.5);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y; x + y >= 10; x >= 3 -> x=10 (y=0? check): obj candidates:
+        // y=0,x=10 -> 20 ; x=3,y=7 -> 27. Optimum 20.
+        let mut p = LpProblem::new(2);
+        p.set_sense(Sense::Minimize);
+        p.set_objective_coefficient(0, 2.0);
+        p.set_objective_coefficient(1, 3.0);
+        p.add_ge_constraint(&[(0, 1.0), (1, 1.0)], 10.0);
+        p.add_ge_constraint(&[(0, 1.0)], 3.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 20.0);
+        assert_close(s.variables[0], 10.0);
+        assert_close(s.variables[1], 0.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y; x + y = 5; x <= 3 -> obj 5 with x in [0,3].
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.set_objective_coefficient(1, 1.0);
+        p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 5.0);
+        p.add_le_constraint(&[(0, 1.0)], 3.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 5.0);
+        assert!(p.is_feasible(&s.variables, 1e-7));
+    }
+
+    #[test]
+    fn infeasible_program_is_detected() {
+        // x <= 1 and x >= 2 cannot both hold.
+        let mut p = LpProblem::new(1);
+        p.set_objective_coefficient(0, 1.0);
+        p.add_le_constraint(&[(0, 1.0)], 1.0);
+        p.add_ge_constraint(&[(0, 1.0)], 2.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program_is_detected() {
+        // max x with only x >= 1.
+        let mut p = LpProblem::new(1);
+        p.set_objective_coefficient(0, 1.0);
+        p.add_ge_constraint(&[(0, 1.0)], 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn unconstrained_problems() {
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        assert_eq!(p.solve().status, LpStatus::Unbounded);
+
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, -1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 0.0);
+        assert_eq!(s.variables, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // -x - y <= -4  (i.e. x + y >= 4), x <= 3, y <= 3, max x + y -> 6.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.set_objective_coefficient(1, 1.0);
+        p.add_le_constraint(&[(0, -1.0), (1, -1.0)], -4.0);
+        p.add_le_constraint(&[(0, 1.0)], 3.0);
+        p.add_le_constraint(&[(1, 1.0)], 3.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 6.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic cycling-prone example (Beale); Bland fallback must save us.
+        let mut p = LpProblem::new(4);
+        p.set_objective_coefficient(0, 0.75);
+        p.set_objective_coefficient(1, -150.0);
+        p.set_objective_coefficient(2, 0.02);
+        p.set_objective_coefficient(3, -6.0);
+        p.add_le_constraint(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0);
+        p.add_le_constraint(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0);
+        p.add_le_constraint(&[(2, 1.0)], 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn zero_rhs_equality() {
+        // max x; x - y = 0; y <= 2 -> x = 2.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.add_eq_constraint(&[(0, 1.0), (1, -1.0)], 0.0);
+        p.add_le_constraint(&[(1, 1.0)], 2.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn flow_like_chain_program() {
+        // Mimics the paper's formulation for a 3-edge chain: the quantity on
+        // each downstream interaction is bounded by what arrived upstream.
+        // x0 <= 5 (from source, fixed), x1 <= 4, x1 <= x0, x2 <= 6, x2 <= x1.
+        // Maximize x2 -> 4.
+        let mut p = LpProblem::new(3);
+        p.set_objective_coefficient(2, 1.0);
+        p.set_upper_bound(0, 5.0);
+        p.set_upper_bound(1, 4.0);
+        p.set_upper_bound(2, 6.0);
+        p.add_le_constraint(&[(1, 1.0), (0, -1.0)], 0.0);
+        p.add_le_constraint(&[(2, 1.0), (1, -1.0)], 0.0);
+        // Encourage upstream saturation (not required, but mirrors x_i = q_i
+        // for source interactions).
+        p.add_ge_constraint(&[(0, 1.0)], 5.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn redundant_constraints_do_not_confuse_the_solver() {
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.set_objective_coefficient(1, 1.0);
+        for _ in 0..5 {
+            p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 7.0);
+        }
+        p.add_le_constraint(&[(0, 1.0)], 4.0);
+        p.add_le_constraint(&[(1, 1.0)], 4.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 7.0);
+    }
+
+    #[test]
+    fn equalities_with_redundant_rows() {
+        // x + y = 4 stated twice plus x - y = 0 -> x = y = 2.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
+        p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
+        p.add_eq_constraint(&[(0, 1.0), (1, -1.0)], 0.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+        assert_close(s.variables[1], 2.0);
+    }
+
+    #[test]
+    fn larger_random_feasible_program_is_solved_and_feasible() {
+        // A pseudo-random but deterministic LP; we only assert that the
+        // solver terminates with a feasible optimal point.
+        let n = 12;
+        let mut p = LpProblem::new(n);
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for j in 0..n {
+            p.set_objective_coefficient(j, next());
+            p.set_upper_bound(j, 1.0 + 4.0 * next());
+        }
+        for _ in 0..8 {
+            let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, next())).collect();
+            p.add_le_constraint(&coeffs, 3.0 + 5.0 * next());
+        }
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(p.is_feasible(&s.variables, 1e-6));
+        assert!(s.objective >= -1e-9);
+        assert_close(p.objective_value(&s.variables), s.objective);
+    }
+}

@@ -1,0 +1,64 @@
+//! Solver results.
+
+/// Outcome of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was hit before reaching optimality (should not
+    /// happen on the well-behaved programs produced by the flow
+    /// formulation; reported rather than panicking).
+    IterationLimit,
+}
+
+/// Solution of a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value at the returned point (0 unless `status` is
+    /// [`LpStatus::Optimal`]).
+    pub objective: f64,
+    /// Values of the decision variables (empty unless `status` is
+    /// [`LpStatus::Optimal`]).
+    pub variables: Vec<f64>,
+    /// Number of simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// Convenience constructor for non-optimal outcomes.
+    pub(crate) fn with_status(status: LpStatus, iterations: usize) -> Self {
+        LpSolution { status, objective: 0.0, variables: Vec::new(), iterations }
+    }
+
+    /// Whether the solver proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_helpers() {
+        let s = LpSolution::with_status(LpStatus::Infeasible, 3);
+        assert!(!s.is_optimal());
+        assert_eq!(s.iterations, 3);
+        assert_eq!(s.objective, 0.0);
+        assert!(s.variables.is_empty());
+        let o = LpSolution {
+            status: LpStatus::Optimal,
+            objective: 1.5,
+            variables: vec![1.0],
+            iterations: 1,
+        };
+        assert!(o.is_optimal());
+    }
+}

@@ -1,0 +1,161 @@
+//! Residual-arc representation of a static capacitated network.
+
+/// Identifier of a directed arc inside a [`FlowNetwork`].
+///
+/// Arcs are stored in forward/backward pairs: arc `2k` is the forward arc and
+/// `2k + 1` its residual companion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArcId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: f64,
+}
+
+/// A static directed network with arc capacities, stored as adjacency lists
+/// of residual arc indices — the classic representation used by augmenting
+/// path max-flow algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    arcs: Vec<Arc>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a network with `n` pre-allocated nodes (ids `0..n`).
+    pub fn with_nodes(n: usize) -> Self {
+        FlowNetwork { arcs: Vec::new(), adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adjacency.push(Vec::new());
+        self.adjacency.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of forward arcs (residual companions are not counted).
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Adds a directed arc `from → to` with capacity `cap` and returns its
+    /// identifier. Capacities must be non-negative and finite; model
+    /// "unbounded" arcs with a large finite value (see
+    /// [`crate::time_expanded`]).
+    ///
+    /// # Panics
+    /// Panics if a node id is out of range or the capacity is negative,
+    /// NaN or infinite.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: f64) -> ArcId {
+        assert!(from < self.adjacency.len(), "arc source {from} out of range");
+        assert!(to < self.adjacency.len(), "arc target {to} out of range");
+        assert!(cap.is_finite() && cap >= 0.0, "arc capacity must be finite and non-negative, got {cap}");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap });
+        self.arcs.push(Arc { to: from, cap: 0.0 });
+        self.adjacency[from].push(id);
+        self.adjacency[to].push(id + 1);
+        ArcId(id)
+    }
+
+    /// Remaining capacity of the forward direction of `arc`.
+    pub fn residual(&self, arc: ArcId) -> f64 {
+        self.arcs[arc.0].cap
+    }
+
+    /// Flow currently routed through `arc` (capacity accumulated on its
+    /// residual companion).
+    pub fn flow(&self, arc: ArcId) -> f64 {
+        self.arcs[arc.0 + 1].cap
+    }
+
+    pub(crate) fn arc_to(&self, idx: usize) -> usize {
+        self.arcs[idx].to
+    }
+
+    pub(crate) fn arc_cap(&self, idx: usize) -> f64 {
+        self.arcs[idx].cap
+    }
+
+    pub(crate) fn push(&mut self, idx: usize, amount: f64) {
+        self.arcs[idx].cap -= amount;
+        self.arcs[idx ^ 1].cap += amount;
+    }
+
+    pub(crate) fn adjacency(&self, node: usize) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// Resets all flow, restoring the original capacities.
+    pub fn reset(&mut self) {
+        for pair in self.arcs.chunks_mut(2) {
+            let flow = pair[1].cap;
+            if flow != 0.0 {
+                pair[0].cap += flow;
+                pair[1].cap = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut net = FlowNetwork::with_nodes(3);
+        assert_eq!(net.node_count(), 3);
+        let extra = net.add_node();
+        assert_eq!(extra, 3);
+        let a = net.add_arc(0, 1, 5.0);
+        let b = net.add_arc(1, 2, 3.0);
+        assert_eq!(net.arc_count(), 2);
+        assert_eq!(net.residual(a), 5.0);
+        assert_eq!(net.flow(b), 0.0);
+    }
+
+    #[test]
+    fn push_updates_residuals() {
+        let mut net = FlowNetwork::with_nodes(2);
+        let a = net.add_arc(0, 1, 5.0);
+        net.push(a.0, 2.0);
+        assert_eq!(net.residual(a), 3.0);
+        assert_eq!(net.flow(a), 2.0);
+        net.reset();
+        assert_eq!(net.residual(a), 5.0);
+        assert_eq!(net.flow(a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_arc_panics() {
+        let mut net = FlowNetwork::with_nodes(1);
+        net.add_arc(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn infinite_capacity_is_rejected() {
+        let mut net = FlowNetwork::with_nodes(2);
+        net.add_arc(0, 1, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_capacity_is_rejected() {
+        let mut net = FlowNetwork::with_nodes(2);
+        net.add_arc(0, 1, -1.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Graph browsing (GB) pattern enumeration — Section 5.1 of the paper.
+//!
+//! Pattern vertices are instantiated in topological order starting from the
+//! pattern's source. Each new pattern vertex is mapped to a graph vertex
+//! that (i) is consistent with the label equality/inequality constraints and
+//! (ii) is connected by graph edges to all previously mapped pattern
+//! neighbours. Backtracking explores all consistent assignments.
+//!
+//! The graph is unlabeled, so the only pruning comes from adjacency: the
+//! candidate set of a vertex is the intersection of the adjacency lists of
+//! its already-mapped pattern neighbours — exactly the strategy the paper
+//! describes for unlabeled browsing.
+
+use crate::instance::Instance;
+use crate::pattern::Pattern;
+use tin_graph::{NodeId, TemporalGraph};
+
+/// Enumerates the instances of `pattern` in `graph` by graph browsing.
+///
+/// `limit` bounds the number of instances returned (0 = unlimited); the
+/// paper's evaluation uses such a cut-off for the patterns whose instance
+/// count explodes (its P4*/P6* rows).
+pub fn enumerate_gb(graph: &TemporalGraph, pattern: &Pattern, limit: usize) -> Vec<Instance> {
+    let order = pattern.topological_order().expect("patterns are DAGs");
+    let mut mapping: Vec<Option<NodeId>> = vec![None; pattern.vertex_count()];
+    let mut out = Vec::new();
+    let mut stack_guard = Guard { limit, out: &mut out };
+    // The first vertex in topological order is the pattern source; every
+    // graph vertex with sufficient out-degree is a candidate.
+    assign(graph, pattern, &order, 0, &mut mapping, &mut stack_guard);
+    out
+}
+
+struct Guard<'a> {
+    limit: usize,
+    out: &'a mut Vec<Instance>,
+}
+
+impl Guard<'_> {
+    fn full(&self) -> bool {
+        self.limit > 0 && self.out.len() >= self.limit
+    }
+    fn push(&mut self, instance: Instance) {
+        self.out.push(instance);
+    }
+}
+
+fn assign(
+    graph: &TemporalGraph,
+    pattern: &Pattern,
+    order: &[usize],
+    depth: usize,
+    mapping: &mut Vec<Option<NodeId>>,
+    guard: &mut Guard<'_>,
+) {
+    if guard.full() {
+        return;
+    }
+    if depth == order.len() {
+        let complete: Vec<NodeId> = mapping.iter().map(|m| m.expect("complete mapping")).collect();
+        guard.push(Instance::new(complete));
+        return;
+    }
+    let p = order[depth];
+
+    // A vertex with the same label as an already-mapped vertex is forced.
+    let forced = pattern
+        .same_label(p)
+        .into_iter()
+        .find_map(|q| mapping[q]);
+
+    let candidates: Vec<NodeId> = match forced {
+        Some(v) => vec![v],
+        None => candidate_set(graph, pattern, p, mapping),
+    };
+
+    for v in candidates {
+        if !is_consistent(graph, pattern, p, v, mapping) {
+            continue;
+        }
+        mapping[p] = Some(v);
+        assign(graph, pattern, order, depth + 1, mapping, guard);
+        mapping[p] = None;
+        if guard.full() {
+            return;
+        }
+    }
+}
+
+/// Candidate graph vertices for pattern vertex `p`: the adjacency of an
+/// already-mapped pattern neighbour when one exists (preferring the smallest
+/// list), otherwise every graph vertex with compatible degrees.
+fn candidate_set(
+    graph: &TemporalGraph,
+    pattern: &Pattern,
+    p: usize,
+    mapping: &[Option<NodeId>],
+) -> Vec<NodeId> {
+    let mut best: Option<Vec<NodeId>> = None;
+    for &(a, b) in pattern.edges() {
+        let candidates = if b == p {
+            mapping[a].map(|ga| graph.out_neighbors(ga).collect::<Vec<_>>())
+        } else if a == p {
+            mapping[b].map(|gb| graph.in_neighbors(gb).collect::<Vec<_>>())
+        } else {
+            None
+        };
+        if let Some(c) = candidates {
+            match &best {
+                Some(existing) if existing.len() <= c.len() => {}
+                _ => best = Some(c),
+            }
+        }
+    }
+    best.unwrap_or_else(|| {
+        graph
+            .node_ids()
+            .filter(|&v| {
+                graph.out_degree(v) >= pattern.out_degree(p)
+                    && graph.in_degree(v) >= pattern.in_degree(p)
+            })
+            .collect()
+    })
+}
+
+/// Checks all constraints between pattern vertex `p` (proposed to map to
+/// graph vertex `v`) and the already-mapped vertices.
+fn is_consistent(
+    graph: &TemporalGraph,
+    pattern: &Pattern,
+    p: usize,
+    v: NodeId,
+    mapping: &[Option<NodeId>],
+) -> bool {
+    // Label semantics: same label -> same vertex, different label ->
+    // different vertex.
+    for (q, assigned) in mapping.iter().enumerate() {
+        let Some(&gq) = assigned.as_ref() else { continue };
+        let same_label = pattern.label(q) == pattern.label(p);
+        if same_label && gq != v {
+            return false;
+        }
+        if !same_label && gq == v {
+            return false;
+        }
+    }
+    // Every pattern edge incident to `p` whose other endpoint is mapped must
+    // exist in the graph.
+    for &(a, b) in pattern.edges() {
+        if a == p {
+            if let Some(gb) = mapping[b] {
+                if !graph.has_edge(v, gb) {
+                    return false;
+                }
+            }
+        } else if b == p {
+            if let Some(ga) = mapping[a] {
+                if !graph.has_edge(ga, v) {
+                    return false;
+                }
+            }
+        }
+    }
+    // Symmetry breaking: µ(x) < µ(y) for configured pairs.
+    for &(x, y) in pattern.symmetry_breaking() {
+        let (mx, my) = if x == p {
+            (Some(v), mapping[y])
+        } else if y == p {
+            (mapping[x], Some(v))
+        } else {
+            (None, None)
+        };
+        if let (Some(mx), Some(my)) = (mx, my) {
+            if mx >= my {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogue::{PatternCatalogue, PatternId};
+    use tin_graph::builder::from_records;
+
+    /// The transaction network of Figure 2(a).
+    fn figure2_graph() -> TemporalGraph {
+        from_records([
+            ("u1", "u2", 2, 5.0),
+            ("u1", "u2", 4, 3.0),
+            ("u1", "u2", 8, 1.0),
+            ("u2", "u3", 3, 4.0),
+            ("u2", "u3", 5, 2.0),
+            ("u3", "u1", 1, 2.0),
+            ("u3", "u1", 6, 5.0),
+            ("u4", "u1", 7, 6.0),
+            ("u2", "u4", 9, 4.0),
+            ("u4", "u3", 10, 1.0),
+        ])
+    }
+
+    #[test]
+    fn figure2_three_hop_cycle_instances() {
+        let g = figure2_graph();
+        let p = PatternCatalogue::build(PatternId::P3);
+        let instances = enumerate_gb(&g, &p, 0);
+        // Cycles: u1->u2->u3->u1, u2->u3->u1->u2, u3->u1->u2->u3,
+        //         u2->u4->u3->u2? u3->u2 missing -> no. u1->u2->u4->u1? u4->u1 yes!
+        //         u2->u4->u1->u2, u4->u1->u2->u4, u4->u3->u1->u4? u1->u4 missing.
+        // Each 3-cycle is reported once per anchor choice.
+        let mut triples: Vec<Vec<String>> = instances
+            .iter()
+            .map(|i| i.mapping.iter().map(|&v| g.node(v).name.clone()).collect())
+            .collect();
+        triples.sort();
+        assert_eq!(instances.len(), 6, "instances: {triples:?}");
+    }
+
+    #[test]
+    fn two_hop_cycles_are_found_in_both_directions() {
+        let g = from_records([
+            ("x", "y", 1, 1.0),
+            ("y", "x", 2, 1.0),
+            ("x", "z", 3, 1.0),
+        ]);
+        let p = PatternCatalogue::build(PatternId::P2);
+        let instances = enumerate_gb(&g, &p, 0);
+        // Anchored at x and anchored at y.
+        assert_eq!(instances.len(), 2);
+    }
+
+    #[test]
+    fn limit_caps_the_enumeration() {
+        let g = figure2_graph();
+        let p = PatternCatalogue::build(PatternId::P3);
+        assert_eq!(enumerate_gb(&g, &p, 2).len(), 2);
+        assert_eq!(enumerate_gb(&g, &p, 1).len(), 1);
+    }
+
+    #[test]
+    fn chain_pattern_requires_distinct_vertices() {
+        let g = from_records([("x", "y", 1, 1.0), ("y", "x", 2, 1.0)]);
+        let p = PatternCatalogue::build(PatternId::P1);
+        // a->b->c requires three distinct vertices; x->y->x is rejected.
+        assert!(enumerate_gb(&g, &p, 0).is_empty());
+    }
+
+    #[test]
+    fn symmetry_breaking_halves_p5_instances() {
+        // Two 2-hop cycles through x: via y and via z.
+        let g = from_records([
+            ("x", "y", 1, 1.0),
+            ("y", "x", 2, 1.0),
+            ("x", "z", 3, 1.0),
+            ("z", "x", 4, 1.0),
+        ]);
+        let p = PatternCatalogue::build(PatternId::P5);
+        let instances = enumerate_gb(&g, &p, 0);
+        // Without symmetry breaking (y, z) and (z, y) would both be reported
+        // for anchor x; with it only one survives. Anchors y and z have only
+        // one returning branch each, so no instance there.
+        assert_eq!(instances.len(), 1);
+        let names: Vec<String> =
+            instances[0].mapping.iter().map(|&v| g.node(v).name.clone()).collect();
+        assert_eq!(names[0], "x");
+        assert_eq!(names[3], "x");
+    }
+
+    #[test]
+    fn p6_instances_require_the_chord_edges() {
+        // A 3-hop cycle without chords: no P6 instance. Adding the chords
+        // creates exactly one (anchored at a).
+        let without = from_records([
+            ("a", "b", 1, 1.0),
+            ("b", "c", 2, 1.0),
+            ("c", "a", 3, 1.0),
+        ]);
+        let p = PatternCatalogue::build(PatternId::P6);
+        assert!(enumerate_gb(&without, &p, 0).is_empty());
+
+        let with = from_records([
+            ("a", "b", 1, 1.0),
+            ("b", "c", 2, 1.0),
+            ("c", "a", 3, 1.0),
+            ("a", "c", 4, 1.0),
+            ("b", "a", 5, 1.0),
+        ]);
+        let instances = enumerate_gb(&with, &p, 0);
+        assert_eq!(instances.len(), 1);
+    }
+
+    #[test]
+    fn every_reported_instance_satisfies_the_pattern() {
+        let g = figure2_graph();
+        for (_, p) in PatternCatalogue::all() {
+            for inst in enumerate_gb(&g, &p, 0) {
+                // Edges exist.
+                for &(a, b) in p.edges() {
+                    assert!(g.has_edge(inst.mapping[a], inst.mapping[b]));
+                }
+                // Label semantics.
+                for x in 0..p.vertex_count() {
+                    for y in (x + 1)..p.vertex_count() {
+                        if p.label(x) == p.label(y) {
+                            assert_eq!(inst.mapping[x], inst.mapping[y]);
+                        } else {
+                            assert_ne!(inst.mapping[x], inst.mapping[y]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

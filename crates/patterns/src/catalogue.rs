@@ -1,0 +1,163 @@
+//! The pattern catalogue used by the evaluation (Figure 12 of the paper).
+//!
+//! The original figure only shows small glyphs; the catalogue below is the
+//! documented reconstruction used throughout this reproduction (see
+//! `DESIGN.md`). It deliberately spans every solution class the paper
+//! discusses:
+//!
+//! | id | structure | PB route |
+//! |----|-----------|----------|
+//! | P1 | 2-hop chain `a→b→c` | `C2` table scan (flow precomputed) |
+//! | P2 | 2-hop cycle `a→b→a` | `L2` table scan (flow precomputed) |
+//! | P3 | 3-hop cycle `a→b→c→a` | `L3` table scan (flow precomputed) |
+//! | P4 | 2-hop cycle + 3-hop cycle sharing `a` (Figure 8(a), the "easy" join pattern) | `L2 ⋈ L3` on the anchor (flows summed) |
+//! | P5 | two 2-hop cycles sharing `a` | `L2` self-join on the anchor |
+//! | P6 | 3-hop cycle + chords `a→c`, `b→a` (Figure 8(b), the "hard" pattern) | `L3` scan + graph verification, flow via LP/PreSim |
+//!
+//! The relaxed patterns RP1–RP3 (Section 5.3) are in [`crate::relaxed`].
+
+use crate::pattern::Pattern;
+
+/// Identifiers of the rigid catalogue patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternId {
+    /// 2-hop chain `a→b→c`.
+    P1,
+    /// 2-hop cycle `a→b→a`.
+    P2,
+    /// 3-hop cycle `a→b→c→a`.
+    P3,
+    /// 2-hop cycle and 3-hop cycle sharing the anchor (`a→b→a`, `a→c→e→a`).
+    P4,
+    /// Two 2-hop cycles sharing the anchor (`a→b→a`, `a→c→a`).
+    P5,
+    /// 3-hop cycle with chords (`a→b→c→a`, `a→c`, `b→a`).
+    P6,
+}
+
+impl PatternId {
+    /// All rigid patterns in table order.
+    pub const ALL: [PatternId; 6] = [
+        PatternId::P1,
+        PatternId::P2,
+        PatternId::P3,
+        PatternId::P4,
+        PatternId::P5,
+        PatternId::P6,
+    ];
+
+    /// The pattern's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternId::P1 => "P1",
+            PatternId::P2 => "P2",
+            PatternId::P3 => "P3",
+            PatternId::P4 => "P4",
+            PatternId::P5 => "P5",
+            PatternId::P6 => "P6",
+        }
+    }
+}
+
+impl std::fmt::Display for PatternId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The rigid pattern catalogue.
+#[derive(Debug, Clone)]
+pub struct PatternCatalogue;
+
+impl PatternCatalogue {
+    /// Builds the pattern with the given identifier.
+    pub fn build(id: PatternId) -> Pattern {
+        match id {
+            PatternId::P1 => {
+                Pattern::new("P1", &["a", "b", "c"], &[(0, 1), (1, 2)]).expect("valid catalogue pattern")
+            }
+            PatternId::P2 => {
+                Pattern::new("P2", &["a", "b", "a"], &[(0, 1), (1, 2)]).expect("valid catalogue pattern")
+            }
+            PatternId::P3 => Pattern::new("P3", &["a", "b", "c", "a"], &[(0, 1), (1, 2), (2, 3)])
+                .expect("valid catalogue pattern"),
+            PatternId::P4 => Pattern::new(
+                "P4",
+                // a -> b -> a  and  a -> c -> e -> a, sharing the anchor a.
+                &["a", "b", "c", "e", "a"],
+                &[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)],
+            )
+            .expect("valid catalogue pattern"),
+            PatternId::P5 => Pattern::with_symmetry(
+                "P5",
+                &["a", "b", "c", "a"],
+                &[(0, 1), (1, 3), (0, 2), (2, 3)],
+                // The two branches are interchangeable; report each subgraph once.
+                &[(1, 2)],
+            )
+            .expect("valid catalogue pattern"),
+            PatternId::P6 => Pattern::new(
+                "P6",
+                // 3-hop cycle a -> b -> c -> a plus the chords a -> c and b -> a.
+                &["a", "b", "c", "a"],
+                &[(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)],
+            )
+            .expect("valid catalogue pattern"),
+        }
+    }
+
+    /// Builds the whole catalogue in table order.
+    pub fn all() -> Vec<(PatternId, Pattern)> {
+        PatternId::ALL.iter().map(|&id| (id, Self::build(id))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalogue_pattern_is_valid() {
+        for (id, p) in PatternCatalogue::all() {
+            assert_eq!(p.name(), id.name());
+            assert!(p.vertex_count() >= 3);
+            assert!(p.topological_order().is_some());
+        }
+        assert_eq!(PatternCatalogue::all().len(), 6);
+    }
+
+    #[test]
+    fn chain_classification() {
+        assert!(PatternCatalogue::build(PatternId::P1).is_chain());
+        assert!(PatternCatalogue::build(PatternId::P2).is_chain());
+        assert!(PatternCatalogue::build(PatternId::P3).is_chain());
+        assert!(!PatternCatalogue::build(PatternId::P4).is_chain());
+        assert!(!PatternCatalogue::build(PatternId::P5).is_chain());
+        assert!(!PatternCatalogue::build(PatternId::P6).is_chain());
+    }
+
+    #[test]
+    fn cyclic_patterns_repeat_the_anchor_label() {
+        for id in [PatternId::P2, PatternId::P3, PatternId::P4, PatternId::P5, PatternId::P6] {
+            let p = PatternCatalogue::build(id);
+            assert_eq!(p.label(p.source()), p.label(p.sink()), "{id} anchors on `a`");
+        }
+        let p1 = PatternCatalogue::build(PatternId::P1);
+        assert_ne!(p1.label(p1.source()), p1.label(p1.sink()));
+    }
+
+    #[test]
+    fn p6_requires_lp_shaped_instances() {
+        // In P6 the vertex labelled `b` has two outgoing edges, so its
+        // instances are not greedy-soluble in general.
+        let p = PatternCatalogue::build(PatternId::P6);
+        let b = (0..p.vertex_count()).find(|&v| p.label(v) == "b").unwrap();
+        assert_eq!(p.out_degree(b), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PatternId::P4.to_string(), "P4");
+        assert_eq!(PatternId::ALL.len(), 6);
+    }
+}

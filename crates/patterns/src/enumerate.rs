@@ -1,0 +1,160 @@
+//! Unified pattern-search driver used by the evaluation harness
+//! (Tables 9–11 of the paper).
+
+use crate::browse::enumerate_gb;
+use crate::catalogue::{PatternCatalogue, PatternId};
+use crate::precomputed::{enumerate_pb, pb_match_flow};
+use crate::tables::PathTables;
+use std::time::{Duration, Instant};
+use tin_flow::FlowMethod;
+use tin_graph::TemporalGraph;
+
+/// Result of enumerating one pattern over one graph — one cell group of
+/// Tables 9–11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternSearchResult {
+    /// Pattern name (P1–P6, RP1–RP3).
+    pub pattern: String,
+    /// Number of instances found.
+    pub instances: usize,
+    /// Sum of the instances' maximum flows.
+    pub total_flow: f64,
+    /// Average maximum flow per instance.
+    pub average_flow: f64,
+    /// Wall-clock time spent enumerating and computing flows.
+    pub elapsed: Duration,
+    /// Whether the enumeration was cut short by an instance limit (the
+    /// paper's starred rows).
+    pub truncated: bool,
+}
+
+/// Enumerates catalogue pattern `id` with graph browsing (GB) and computes
+/// every instance's maximum flow with the paper's complete solver.
+///
+/// `limit` bounds the number of instances (0 = unlimited), mirroring the
+/// early termination the paper applies to its slowest patterns.
+pub fn search_gb(graph: &TemporalGraph, id: PatternId, limit: usize) -> PatternSearchResult {
+    let start = Instant::now();
+    let pattern = PatternCatalogue::build(id);
+    let instances = enumerate_gb(graph, &pattern, limit);
+    let truncated = limit > 0 && instances.len() >= limit;
+    let mut total_flow = 0.0;
+    for instance in &instances {
+        total_flow += instance
+            .flow(graph, &pattern, FlowMethod::PreSim)
+            .expect("GB instances are valid DAG mappings");
+    }
+    let count = instances.len();
+    PatternSearchResult {
+        pattern: id.name().to_string(),
+        instances: count,
+        total_flow,
+        average_flow: if count == 0 { 0.0 } else { total_flow / count as f64 },
+        elapsed: start.elapsed(),
+        truncated,
+    }
+}
+
+/// Enumerates catalogue pattern `id` from the precomputed tables (PB),
+/// reusing precomputed flows where the pattern structure allows it.
+///
+/// Returns `None` when the required tables are unavailable — the paper marks
+/// those cells as "not applicable".
+pub fn search_pb(
+    graph: &TemporalGraph,
+    tables: &PathTables,
+    id: PatternId,
+    limit: usize,
+) -> Option<PatternSearchResult> {
+    let start = Instant::now();
+    let matches = enumerate_pb(graph, tables, id, limit)?;
+    let truncated = limit > 0 && matches.len() >= limit;
+    let mut total_flow = 0.0;
+    for m in &matches {
+        total_flow += pb_match_flow(graph, id, m).expect("PB instances are valid DAG mappings");
+    }
+    let count = matches.len();
+    Some(PatternSearchResult {
+        pattern: id.name().to_string(),
+        instances: count,
+        total_flow,
+        average_flow: if count == 0 { 0.0 } else { total_flow / count as f64 },
+        elapsed: start.elapsed(),
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::TablesConfig;
+    use tin_graph::builder::from_records;
+
+    fn sample() -> TemporalGraph {
+        from_records([
+            ("x", "y", 1, 5.0),
+            ("y", "x", 4, 3.0),
+            ("x", "z", 2, 2.0),
+            ("z", "x", 3, 9.0),
+            ("y", "z", 5, 4.0),
+            ("z", "y", 7, 2.0),
+            ("z", "w", 6, 1.0),
+            ("w", "x", 8, 3.0),
+            ("x", "w", 9, 5.0),
+        ])
+    }
+
+    #[test]
+    fn gb_and_pb_report_identical_tables() {
+        let g = sample();
+        let tables = PathTables::build(&g, &TablesConfig::default());
+        for id in PatternId::ALL {
+            let gb = search_gb(&g, id, 0);
+            let pb = search_pb(&g, &tables, id, 0).expect("all tables built");
+            assert_eq!(gb.instances, pb.instances, "{id}: instance counts differ");
+            assert!(
+                (gb.total_flow - pb.total_flow).abs() < 1e-6,
+                "{id}: total flows differ (GB {}, PB {})",
+                gb.total_flow,
+                pb.total_flow
+            );
+            assert!(
+                (gb.average_flow - pb.average_flow).abs() < 1e-6,
+                "{id}: average flows differ"
+            );
+            assert!(!gb.truncated && !pb.truncated);
+        }
+    }
+
+    #[test]
+    fn limits_mark_results_as_truncated() {
+        let g = sample();
+        let tables = PathTables::build(&g, &TablesConfig::default());
+        let gb = search_gb(&g, PatternId::P2, 1);
+        assert!(gb.truncated);
+        assert_eq!(gb.instances, 1);
+        let pb = search_pb(&g, &tables, PatternId::P2, 1).unwrap();
+        assert!(pb.truncated);
+        assert_eq!(pb.instances, 1);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_results() {
+        let g = tin_graph::GraphBuilder::new().build();
+        let tables = PathTables::build(&g, &TablesConfig::default());
+        let gb = search_gb(&g, PatternId::P3, 0);
+        assert_eq!(gb.instances, 0);
+        assert_eq!(gb.average_flow, 0.0);
+        let pb = search_pb(&g, &tables, PatternId::P3, 0).unwrap();
+        assert_eq!(pb.instances, 0);
+    }
+
+    #[test]
+    fn average_flow_is_total_over_count() {
+        let g = sample();
+        let gb = search_gb(&g, PatternId::P2, 0);
+        if gb.instances > 0 {
+            assert!((gb.average_flow * gb.instances as f64 - gb.total_flow).abs() < 1e-9);
+        }
+    }
+}

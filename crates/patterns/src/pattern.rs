@@ -1,0 +1,285 @@
+//! The pattern model (Definitions 2 and 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Errors raised when constructing an invalid pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The pattern has no vertices.
+    Empty,
+    /// An edge references a vertex index that does not exist.
+    EdgeOutOfRange(usize, usize),
+    /// The pattern graph contains a directed cycle (patterns are DAGs; cyclic
+    /// behaviour is expressed by repeating a label).
+    NotADag,
+    /// The pattern does not have exactly one source vertex.
+    NoUniqueSource,
+    /// The pattern does not have exactly one sink vertex.
+    NoUniqueSink,
+    /// Two vertices share a label but the pattern also contains an edge
+    /// between them (they would map to the same graph vertex, creating a
+    /// self-loop).
+    SelfLoopViaLabels(usize, usize),
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "pattern has no vertices"),
+            PatternError::EdgeOutOfRange(a, b) => write!(f, "pattern edge ({a}, {b}) is out of range"),
+            PatternError::NotADag => write!(f, "pattern graph must be a DAG"),
+            PatternError::NoUniqueSource => write!(f, "pattern must have exactly one source vertex"),
+            PatternError::NoUniqueSink => write!(f, "pattern must have exactly one sink vertex"),
+            PatternError::SelfLoopViaLabels(a, b) => {
+                write!(f, "edge ({a}, {b}) connects two vertices with the same label")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A network pattern: a small DAG whose vertices carry labels. Vertices with
+/// the same label must map to the same graph vertex in an instance; vertices
+/// with different labels must map to different graph vertices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    name: String,
+    labels: Vec<String>,
+    edges: Vec<(usize, usize)>,
+    /// Pairs `(x, y)` of pattern vertices whose images must satisfy
+    /// `µ(x) < µ(y)` — used to break symmetry between interchangeable
+    /// branches so the same subgraph is not reported twice.
+    symmetry_breaking: Vec<(usize, usize)>,
+}
+
+impl Pattern {
+    /// Creates and validates a pattern.
+    pub fn new(
+        name: impl Into<String>,
+        labels: &[&str],
+        edges: &[(usize, usize)],
+    ) -> Result<Self, PatternError> {
+        Self::with_symmetry(name, labels, edges, &[])
+    }
+
+    /// Creates a pattern with explicit symmetry-breaking constraints.
+    pub fn with_symmetry(
+        name: impl Into<String>,
+        labels: &[&str],
+        edges: &[(usize, usize)],
+        symmetry_breaking: &[(usize, usize)],
+    ) -> Result<Self, PatternError> {
+        if labels.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let n = labels.len();
+        for &(a, b) in edges {
+            if a >= n || b >= n {
+                return Err(PatternError::EdgeOutOfRange(a, b));
+            }
+            if labels[a] == labels[b] {
+                return Err(PatternError::SelfLoopViaLabels(a, b));
+            }
+        }
+        let pattern = Pattern {
+            name: name.into(),
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            edges: edges.to_vec(),
+            symmetry_breaking: symmetry_breaking.to_vec(),
+        };
+        if pattern.topological_order().is_none() {
+            return Err(PatternError::NotADag);
+        }
+        if pattern.sources().len() != 1 {
+            return Err(PatternError::NoUniqueSource);
+        }
+        if pattern.sinks().len() != 1 {
+            return Err(PatternError::NoUniqueSink);
+        }
+        Ok(pattern)
+    }
+
+    /// Pattern name (e.g. `"P3"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of pattern vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of pattern vertex `v`.
+    pub fn label(&self, v: usize) -> &str {
+        &self.labels[v]
+    }
+
+    /// The pattern's directed edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Symmetry-breaking constraints (see [`Pattern::with_symmetry`]).
+    pub fn symmetry_breaking(&self) -> &[(usize, usize)] {
+        &self.symmetry_breaking
+    }
+
+    /// In-degree of pattern vertex `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.edges.iter().filter(|&&(_, b)| b == v).count()
+    }
+
+    /// Out-degree of pattern vertex `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.edges.iter().filter(|&&(a, _)| a == v).count()
+    }
+
+    /// Pattern vertices with no incoming edges.
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.labels.len()).filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Pattern vertices with no outgoing edges.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.labels.len()).filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// The unique source vertex of the pattern.
+    pub fn source(&self) -> usize {
+        self.sources()[0]
+    }
+
+    /// The unique sink vertex of the pattern.
+    pub fn sink(&self) -> usize {
+        self.sinks()[0]
+    }
+
+    /// A topological order of the pattern vertices, or `None` if the pattern
+    /// contains a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.labels.len();
+        let mut in_deg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+        ready.sort_unstable();
+        while let Some(v) = ready.pop() {
+            order.push(v);
+            for &(a, b) in &self.edges {
+                if a == v {
+                    in_deg[b] -= 1;
+                    if in_deg[b] == 0 {
+                        ready.push(b);
+                    }
+                }
+            }
+            ready.sort_unstable();
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Indices of pattern vertices sharing the same label as `v` (excluding
+    /// `v` itself).
+    pub fn same_label(&self, v: usize) -> Vec<usize> {
+        (0..self.labels.len())
+            .filter(|&u| u != v && self.labels[u] == self.labels[v])
+            .collect()
+    }
+
+    /// Whether the pattern is a simple chain (every instance is a chain DAG,
+    /// hence greedy-soluble and fully precomputable).
+    pub fn is_chain(&self) -> bool {
+        let n = self.labels.len();
+        self.edges.len() == n - 1
+            && (0..n).all(|v| self.in_degree(v) <= 1 && self.out_degree(v) <= 1)
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [", self.name)?;
+        for (i, (a, b)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}→{}", self.labels[*a], self.labels[*b])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_hop_cycle_pattern() {
+        // Figure 2(b): a -> b -> c -> a.
+        let p = Pattern::new("cycle3", &["a", "b", "c", "a"], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(p.vertex_count(), 4);
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.sink(), 3);
+        assert!(p.is_chain());
+        assert_eq!(p.same_label(0), vec![3]);
+        assert_eq!(p.same_label(1), Vec::<usize>::new());
+        assert_eq!(p.topological_order().unwrap().len(), 4);
+        assert_eq!(p.to_string(), "cycle3 [a→b, b→c, c→a]");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(Pattern::new("e", &[], &[]).unwrap_err(), PatternError::Empty);
+        assert_eq!(
+            Pattern::new("e", &["a", "b"], &[(0, 5)]).unwrap_err(),
+            PatternError::EdgeOutOfRange(0, 5)
+        );
+        assert_eq!(
+            Pattern::new("e", &["a", "a"], &[(0, 1)]).unwrap_err(),
+            PatternError::SelfLoopViaLabels(0, 1)
+        );
+        // Cyclic pattern graph.
+        assert_eq!(
+            Pattern::new("e", &["a", "b"], &[(0, 1), (1, 0)]).unwrap_err(),
+            PatternError::NotADag
+        );
+        // Two sources.
+        assert_eq!(
+            Pattern::new("e", &["a", "b", "c"], &[(0, 2), (1, 2)]).unwrap_err(),
+            PatternError::NoUniqueSource
+        );
+        // Two sinks.
+        assert_eq!(
+            Pattern::new("e", &["a", "b", "c"], &[(0, 1), (0, 2)]).unwrap_err(),
+            PatternError::NoUniqueSink
+        );
+    }
+
+    #[test]
+    fn branching_pattern_is_not_a_chain() {
+        // Two parallel 2-hop cycles through a.
+        let p = Pattern::with_symmetry(
+            "P5",
+            &["a", "b", "c", "a"],
+            &[(0, 1), (1, 3), (0, 2), (2, 3)],
+            &[(1, 2)],
+        )
+        .unwrap();
+        assert!(!p.is_chain());
+        assert_eq!(p.out_degree(0), 2);
+        assert_eq!(p.symmetry_breaking(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn degrees_and_label_access() {
+        let p = Pattern::new("P1", &["a", "b", "c"], &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(p.label(1), "b");
+        assert_eq!(p.in_degree(0), 0);
+        assert_eq!(p.out_degree(1), 1);
+        assert_eq!(p.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(p.name(), "P1");
+    }
+}

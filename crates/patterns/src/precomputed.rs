@@ -1,0 +1,267 @@
+//! Precomputation-based (PB) pattern enumeration — Section 5.2 of the paper.
+//!
+//! Instead of browsing the graph from scratch, the PB matcher assembles
+//! pattern instances from the precomputed path tables ([`crate::tables`]):
+//! whole-row patterns (P1–P3) are simple scans, join patterns (P4, P5) are
+//! anchor joins between tables, and patterns whose edges are not covered by
+//! any table (P6) use the tables to drive the search and fall back to the
+//! graph for the remaining edge checks and to the flow solvers for the flow.
+
+use crate::catalogue::{PatternCatalogue, PatternId};
+use crate::instance::Instance;
+use crate::tables::{PathRow, PathTables};
+use tin_graph::{NodeId, Quantity, TemporalGraph};
+
+/// A PB match: the instance plus its flow when the tables already determine
+/// it (chain-shaped and branch-sum patterns); `None` means the caller must
+/// run a flow algorithm on the materialized instance (P6).
+#[derive(Debug, Clone)]
+pub struct PbMatch {
+    /// The matched instance.
+    pub instance: Instance,
+    /// Precomputed flow, when available.
+    pub flow: Option<Quantity>,
+}
+
+/// Enumerates the instances of catalogue pattern `id` using the precomputed
+/// tables. Returns `None` when a required table is missing or truncated —
+/// the situation the paper marks as "PB not applicable".
+///
+/// `limit` bounds the number of matches (0 = unlimited).
+pub fn enumerate_pb(
+    graph: &TemporalGraph,
+    tables: &PathTables,
+    id: PatternId,
+    limit: usize,
+) -> Option<Vec<PbMatch>> {
+    if tables.truncated {
+        return None;
+    }
+    let capped = |v: &mut Vec<PbMatch>| limit > 0 && v.len() >= limit;
+    let mut out = Vec::new();
+    match id {
+        PatternId::P1 => {
+            if tables.c2.is_empty() {
+                return None;
+            }
+            for row in &tables.c2 {
+                if capped(&mut out) {
+                    break;
+                }
+                out.push(PbMatch {
+                    instance: Instance::new(row.vertices.clone()),
+                    flow: Some(row.flow),
+                });
+            }
+        }
+        PatternId::P2 => {
+            if tables.l2.is_empty() && !has_any_two_cycle(graph) {
+                // An empty table is legitimate when the graph simply has no
+                // 2-hop cycles; it only means "not built" when cycles exist.
+            } else if tables.l2.is_empty() {
+                return None;
+            }
+            for row in &tables.l2 {
+                if capped(&mut out) {
+                    break;
+                }
+                out.push(PbMatch {
+                    instance: Instance::new(vec![row.vertices[0], row.vertices[1], row.vertices[0]]),
+                    flow: Some(row.flow),
+                });
+            }
+        }
+        PatternId::P3 => {
+            for row in &tables.l3 {
+                if capped(&mut out) {
+                    break;
+                }
+                out.push(PbMatch {
+                    instance: Instance::new(vec![
+                        row.vertices[0],
+                        row.vertices[1],
+                        row.vertices[2],
+                        row.vertices[0],
+                    ]),
+                    flow: Some(row.flow),
+                });
+            }
+        }
+        PatternId::P4 => {
+            // L2 ⋈ L3 on the anchor: a 2-hop branch and a 3-hop branch with
+            // disjoint intermediate vertices; the instance flow is the sum of
+            // the two independent branch flows (the instance satisfies
+            // Lemma 2).
+            'outer_p4: for l2_row in &tables.l2 {
+                let anchor = l2_row.anchor();
+                let b = l2_row.vertices[1];
+                for l3_row in PathTables::rows_for(&tables.l3, anchor) {
+                    let (c, e) = (l3_row.vertices[1], l3_row.vertices[2]);
+                    if b == c || b == e {
+                        continue;
+                    }
+                    if capped(&mut out) {
+                        break 'outer_p4;
+                    }
+                    out.push(PbMatch {
+                        instance: Instance::new(vec![anchor, b, c, e, anchor]),
+                        flow: Some(l2_row.flow + l3_row.flow),
+                    });
+                }
+            }
+        }
+        PatternId::P5 => {
+            // L2 self-join on the anchor with b < c (symmetry breaking).
+            let anchors: Vec<NodeId> = unique_anchors(&tables.l2);
+            'outer_p5: for anchor in anchors {
+                let rows = PathTables::rows_for(&tables.l2, anchor);
+                for i in 0..rows.len() {
+                    for j in (i + 1)..rows.len() {
+                        if capped(&mut out) {
+                            break 'outer_p5;
+                        }
+                        out.push(PbMatch {
+                            instance: Instance::new(vec![
+                                anchor,
+                                rows[i].vertices[1],
+                                rows[j].vertices[1],
+                                anchor,
+                            ]),
+                            flow: Some(rows[i].flow + rows[j].flow),
+                        });
+                    }
+                }
+            }
+        }
+        PatternId::P6 => {
+            // L3 scan + graph verification of the two chords; the
+            // precomputed chain flow cannot be reused (the chords interleave
+            // with the cycle), so the flow is left to the caller.
+            for row in &tables.l3 {
+                if capped(&mut out) {
+                    break;
+                }
+                let (a, b, c) = (row.vertices[0], row.vertices[1], row.vertices[2]);
+                if graph.has_edge(a, c) && graph.has_edge(b, a) {
+                    out.push(PbMatch { instance: Instance::new(vec![a, b, c, a]), flow: None });
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+fn unique_anchors(rows: &[PathRow]) -> Vec<NodeId> {
+    let mut anchors: Vec<NodeId> = rows.iter().map(PathRow::anchor).collect();
+    anchors.dedup();
+    anchors
+}
+
+fn has_any_two_cycle(graph: &TemporalGraph) -> bool {
+    graph.edges().iter().any(|e| graph.has_edge(e.dst, e.src))
+}
+
+/// Resolves the flow of a PB match, reusing the precomputed value when
+/// present and otherwise running the paper's complete solver (`PreSim`) on
+/// the materialized instance.
+pub fn pb_match_flow(
+    graph: &TemporalGraph,
+    id: PatternId,
+    m: &PbMatch,
+) -> Result<Quantity, tin_flow::FlowError> {
+    match m.flow {
+        Some(f) => Ok(f),
+        None => {
+            let pattern = PatternCatalogue::build(id);
+            m.instance.flow(graph, &pattern, tin_flow::FlowMethod::PreSim)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::browse::enumerate_gb;
+    use crate::tables::TablesConfig;
+    use std::collections::BTreeSet;
+    use tin_graph::builder::from_records;
+
+    fn sample() -> TemporalGraph {
+        from_records([
+            ("x", "y", 1, 5.0),
+            ("y", "x", 4, 3.0),
+            ("x", "z", 2, 2.0),
+            ("z", "x", 3, 9.0),
+            ("y", "z", 5, 4.0),
+            ("z", "y", 7, 2.0),
+            ("z", "w", 6, 1.0),
+            ("w", "x", 8, 3.0),
+            ("x", "w", 9, 5.0),
+        ])
+    }
+
+    fn mapping_set(graph: &TemporalGraph, instances: &[Instance]) -> BTreeSet<Vec<String>> {
+        instances
+            .iter()
+            .map(|i| i.mapping.iter().map(|&v| graph.node(v).name.clone()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn pb_matches_gb_on_every_catalogue_pattern() {
+        let g = sample();
+        let tables = PathTables::build(&g, &TablesConfig::default());
+        for (id, pattern) in PatternCatalogue::all() {
+            let gb = enumerate_gb(&g, &pattern, 0);
+            let pb = enumerate_pb(&g, &tables, id, 0).expect("tables available");
+            let gb_set = mapping_set(&g, &gb);
+            let pb_set =
+                mapping_set(&g, &pb.iter().map(|m| m.instance.clone()).collect::<Vec<_>>());
+            assert_eq!(gb_set, pb_set, "instance sets differ for {id}");
+        }
+    }
+
+    #[test]
+    fn pb_flows_match_instance_flows() {
+        let g = sample();
+        let tables = PathTables::build(&g, &TablesConfig::default());
+        for (id, pattern) in PatternCatalogue::all() {
+            let pb = enumerate_pb(&g, &tables, id, 0).unwrap();
+            for m in &pb {
+                let resolved = pb_match_flow(&g, id, m).unwrap();
+                let recomputed =
+                    m.instance.flow(&g, &pattern, tin_flow::FlowMethod::PreSim).unwrap();
+                assert!(
+                    (resolved - recomputed).abs() < 1e-9,
+                    "flow mismatch for {id}: precomputed {resolved}, recomputed {recomputed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let g = sample();
+        let tables = PathTables::build(&g, &TablesConfig::default());
+        let pb = enumerate_pb(&g, &tables, PatternId::P2, 2).unwrap();
+        assert_eq!(pb.len(), 2);
+    }
+
+    #[test]
+    fn missing_chain_table_disables_p1() {
+        let g = sample();
+        let cfg = TablesConfig { build_c2: false, ..TablesConfig::default() };
+        let tables = PathTables::build(&g, &cfg);
+        assert!(enumerate_pb(&g, &tables, PatternId::P1, 0).is_none());
+        // Cycle-based patterns still work.
+        assert!(enumerate_pb(&g, &tables, PatternId::P2, 0).is_some());
+    }
+
+    #[test]
+    fn truncated_tables_are_refused() {
+        let g = sample();
+        let cfg = TablesConfig { max_rows: 1, ..TablesConfig::default() };
+        let tables = PathTables::build(&g, &cfg);
+        assert!(enumerate_pb(&g, &tables, PatternId::P2, 0).is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! Path/cycle precomputation tables — Section 5.2 of the paper.
+//!
+//! The PB (precomputation-based) matcher materializes, once per graph:
+//!
+//! * `L2` — all 2-hop cycles `u → v → u`;
+//! * `L3` — all 3-hop cycles `u → v → w → u`;
+//! * `C2` — all 2-hop chains `u → v → w` over distinct vertices.
+//!
+//! Every row stores, besides the vertex identifiers, the interaction set that
+//! reaches the path's final vertex under the greedy scan (the same reduction
+//! used by graph simplification, Lemma 3): for chains this *is* the maximum
+//! flow profile, so pattern instances assembled from whole rows can sum
+//! precomputed flows instead of re-running any flow algorithm.
+//!
+//! The paper notes that on the two large datasets only the cycle tables fit
+//! in memory while the chain table is feasible for Prosper; [`TablesConfig`]
+//! exposes the same choice (plus a row cap as a safety valve).
+
+use tin_flow::greedy_flow_traced;
+use tin_graph::{GraphBuilder, Interaction, NodeId, Quantity, TemporalGraph};
+
+/// Which tables to build and how large they may grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TablesConfig {
+    /// Build the 2-hop cycle table.
+    pub build_l2: bool,
+    /// Build the 3-hop cycle table.
+    pub build_l3: bool,
+    /// Build the 2-hop chain table (can be much larger than the cycle
+    /// tables; the paper only affords it for Prosper Loans).
+    pub build_c2: bool,
+    /// Hard cap on the number of rows per table (0 = unlimited).
+    pub max_rows: usize,
+}
+
+impl Default for TablesConfig {
+    fn default() -> Self {
+        TablesConfig { build_l2: true, build_l3: true, build_c2: true, max_rows: 2_000_000 }
+    }
+}
+
+/// A precomputed path: the vertices along it and the greedy-reduced
+/// interaction set entering its final vertex.
+#[derive(Debug, Clone)]
+pub struct PathRow {
+    /// Vertices along the path, starting vertex first. For cycle rows the
+    /// final (returning) vertex is not repeated.
+    pub vertices: Vec<NodeId>,
+    /// Greedy transfers into the path's final vertex: `(time, quantity)`.
+    pub delivered: Vec<Interaction>,
+    /// Total delivered quantity (the path's flow).
+    pub flow: Quantity,
+}
+
+impl PathRow {
+    /// The anchor (starting vertex) of the path.
+    pub fn anchor(&self) -> NodeId {
+        self.vertices[0]
+    }
+}
+
+/// The precomputed tables for one graph.
+#[derive(Debug, Clone, Default)]
+pub struct PathTables {
+    /// 2-hop cycles `u → v → u`, sorted by anchor `u`.
+    pub l2: Vec<PathRow>,
+    /// 3-hop cycles `u → v → w → u`, sorted by anchor `u`.
+    pub l3: Vec<PathRow>,
+    /// 2-hop chains `u → v → w`, sorted by start `u`.
+    pub c2: Vec<PathRow>,
+    /// Whether any table hit the configured row cap (results would be
+    /// partial; the PB matcher refuses to use a truncated table).
+    pub truncated: bool,
+}
+
+impl PathTables {
+    /// Builds the tables for `graph`.
+    pub fn build(graph: &TemporalGraph, config: &TablesConfig) -> Self {
+        let mut tables = PathTables::default();
+        if config.build_l2 {
+            tables.build_l2(graph, config.max_rows);
+        }
+        if config.build_l3 {
+            tables.build_l3(graph, config.max_rows);
+        }
+        if config.build_c2 {
+            tables.build_c2(graph, config.max_rows);
+        }
+        tables
+    }
+
+    fn build_l2(&mut self, graph: &TemporalGraph, cap: usize) {
+        for u in graph.node_ids() {
+            for v in graph.out_neighbors(u) {
+                if v == u || !graph.has_edge(v, u) {
+                    continue;
+                }
+                if cap > 0 && self.l2.len() >= cap {
+                    self.truncated = true;
+                    return;
+                }
+                let row = path_row(graph, &[u, v, u]);
+                self.l2.push(row);
+            }
+        }
+        self.l2.sort_by_key(|r| r.vertices.clone());
+    }
+
+    fn build_l3(&mut self, graph: &TemporalGraph, cap: usize) {
+        for u in graph.node_ids() {
+            for v in graph.out_neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                for w in graph.out_neighbors(v) {
+                    if w == u || w == v || !graph.has_edge(w, u) {
+                        continue;
+                    }
+                    if cap > 0 && self.l3.len() >= cap {
+                        self.truncated = true;
+                        return;
+                    }
+                    let row = path_row(graph, &[u, v, w, u]);
+                    self.l3.push(row);
+                }
+            }
+        }
+        self.l3.sort_by_key(|r| r.vertices.clone());
+    }
+
+    fn build_c2(&mut self, graph: &TemporalGraph, cap: usize) {
+        for u in graph.node_ids() {
+            for v in graph.out_neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                for w in graph.out_neighbors(v) {
+                    if w == u || w == v {
+                        continue;
+                    }
+                    if cap > 0 && self.c2.len() >= cap {
+                        self.truncated = true;
+                        return;
+                    }
+                    let row = path_row(graph, &[u, v, w]);
+                    self.c2.push(row);
+                }
+            }
+        }
+        self.c2.sort_by_key(|r| r.vertices.clone());
+    }
+
+    /// Rows of `table` anchored at `anchor` (tables are sorted by anchor, so
+    /// this is a binary-search slice).
+    pub fn rows_for<'a>(table: &'a [PathRow], anchor: NodeId) -> &'a [PathRow] {
+        let start = table.partition_point(|r| r.anchor() < anchor);
+        let end = table.partition_point(|r| r.anchor() <= anchor);
+        &table[start..end]
+    }
+
+    /// Total number of rows across all tables.
+    pub fn row_count(&self) -> usize {
+        self.l2.len() + self.l3.len() + self.c2.len()
+    }
+}
+
+/// Runs the greedy scan over the path `vertices` (edges between consecutive
+/// vertices, with a repeated first vertex meaning "back to the anchor") and
+/// records what reaches the final vertex.
+fn path_row(graph: &TemporalGraph, vertices: &[NodeId]) -> PathRow {
+    // Materialize the path as a tiny chain DAG (repeated vertices become
+    // distinct copies, exactly like pattern instances).
+    let mut b = GraphBuilder::with_capacity(vertices.len(), vertices.len() - 1);
+    let ids: Vec<NodeId> = (0..vertices.len())
+        .map(|i| b.add_node(format!("p{i}")))
+        .collect();
+    for (i, pair) in vertices.windows(2).enumerate() {
+        let edge = graph
+            .find_edge(pair[0], pair[1])
+            .expect("path edges exist by construction");
+        b.add_edge(ids[i], ids[i + 1], graph.edge(edge).interactions.clone());
+    }
+    let chain = b.build();
+    let result = greedy_flow_traced(&chain, ids[0], ids[vertices.len() - 1]);
+    let delivered: Vec<Interaction> = result
+        .trace
+        .iter()
+        .filter(|s| s.dst == ids[vertices.len() - 1] && s.transferred > 0.0)
+        .map(|s| Interaction::new(s.time, s.transferred))
+        .collect();
+    let flow = delivered.iter().map(|i| i.quantity).sum();
+    // Store the path without repeating the anchor at the end.
+    let stored: Vec<NodeId> = if vertices.len() > 1 && vertices[0] == vertices[vertices.len() - 1] {
+        vertices[..vertices.len() - 1].to_vec()
+    } else {
+        vertices.to_vec()
+    };
+    PathRow { vertices: stored, delivered, flow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_graph::builder::from_records;
+
+    fn sample() -> TemporalGraph {
+        from_records([
+            ("x", "y", 1, 5.0),
+            ("y", "x", 4, 3.0),
+            ("x", "z", 2, 2.0),
+            ("z", "x", 3, 9.0),
+            ("y", "z", 5, 4.0),
+            ("z", "w", 6, 1.0),
+        ])
+    }
+
+    #[test]
+    fn l2_rows_and_flows() {
+        let g = sample();
+        let t = PathTables::build(&g, &TablesConfig::default());
+        assert!(!t.truncated);
+        // 2-hop cycles: x<->y (both anchors) and x<->z (both anchors).
+        assert_eq!(t.l2.len(), 4);
+        let x = g.node_by_name("x").unwrap();
+        let rows = PathTables::rows_for(&t.l2, x);
+        assert_eq!(rows.len(), 2);
+        // x->y->x: y receives 5 at time 1, returns min(3,5)=3 at time 4.
+        let via_y = rows.iter().find(|r| r.vertices[1] == g.node_by_name("y").unwrap()).unwrap();
+        assert_eq!(via_y.flow, 3.0);
+        // x->z->x: z receives 2 at time 2, returns min(9,2)=2 at time 3.
+        let via_z = rows.iter().find(|r| r.vertices[1] == g.node_by_name("z").unwrap()).unwrap();
+        assert_eq!(via_z.flow, 2.0);
+    }
+
+    #[test]
+    fn l3_rows_and_flows() {
+        let g = sample();
+        let t = PathTables::build(&g, &TablesConfig::default());
+        // 3-hop cycles: x->y->z->x (and rotations y->z->x->y, z->x->y->z).
+        assert_eq!(t.l3.len(), 3);
+        let x = g.node_by_name("x").unwrap();
+        let rows = PathTables::rows_for(&t.l3, x);
+        assert_eq!(rows.len(), 1);
+        // x->y->z->x: y gets 5@1, forwards min(4,5)=4@5, z forwards nothing
+        // (its only return interaction is at time 3 < 5)... so flow 0.
+        assert_eq!(rows[0].flow, 0.0);
+    }
+
+    #[test]
+    fn c2_rows_are_chains_over_distinct_vertices() {
+        let g = sample();
+        let t = PathTables::build(&g, &TablesConfig::default());
+        // Chains: x->y->z, x->z->w, y->x->z? x->z yes so y->x->z valid,
+        // y->z->x? wait z->x yes but x==start? no start is y so valid,
+        // y->z->w, z->x->y, x->y->... etc. Just check a known one and
+        // distinctness.
+        assert!(t.c2.iter().all(|r| {
+            r.vertices.len() == 3
+                && r.vertices[0] != r.vertices[1]
+                && r.vertices[1] != r.vertices[2]
+                && r.vertices[0] != r.vertices[2]
+        }));
+        let x = g.node_by_name("x").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        let z = g.node_by_name("z").unwrap();
+        let xyz = t
+            .c2
+            .iter()
+            .find(|r| r.vertices == vec![x, y, z])
+            .expect("x->y->z chain present");
+        // y receives 5@1 and forwards min(4,5)=4@5.
+        assert_eq!(xyz.flow, 4.0);
+        assert_eq!(xyz.delivered.len(), 1);
+        assert_eq!(xyz.delivered[0].time, 5);
+    }
+
+    #[test]
+    fn tables_can_be_selectively_built() {
+        let g = sample();
+        let cfg = TablesConfig { build_c2: false, ..TablesConfig::default() };
+        let t = PathTables::build(&g, &cfg);
+        assert!(t.c2.is_empty());
+        assert!(!t.l2.is_empty());
+        assert_eq!(t.row_count(), t.l2.len() + t.l3.len());
+    }
+
+    #[test]
+    fn row_cap_marks_truncation() {
+        let g = sample();
+        let cfg = TablesConfig { max_rows: 1, ..TablesConfig::default() };
+        let t = PathTables::build(&g, &cfg);
+        assert!(t.truncated);
+        assert!(t.l2.len() <= 1);
+    }
+
+    #[test]
+    fn rows_for_unknown_anchor_is_empty() {
+        let g = sample();
+        let t = PathTables::build(&g, &TablesConfig::default());
+        let w = g.node_by_name("w").unwrap();
+        assert!(PathTables::rows_for(&t.l2, w).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Byte-flow analysis of a botnet traffic capture (CTU-13-like).
+//!
+//! For a network operator the question is "how many bytes could this bot
+//! have exfiltrated to that server, given the observed packet timeline?" —
+//! exactly the source-to-sink flow of the paper applied to a traffic
+//! network. The example also shows the relaxed pattern RP2 (all
+//! request/response loops through a host) as a quick triage query.
+//!
+//! Run with: `cargo run --release --example botnet_traffic`
+
+use temporal_flow::prelude::*;
+use tin_datasets::generate_ctu13;
+use tin_graph::augment_with_synthetic_endpoints;
+use tin_patterns::{relaxed_search_pb, PathTables, RelaxedPattern, TablesConfig};
+use tin_graph::view::induced_subgraph;
+
+fn main() {
+    let config = Ctu13Config { seed: 7, ..Ctu13Config::default() }.scaled(0.3);
+    let graph = generate_ctu13(&config);
+    println!(
+        "traffic capture: {} hosts, {} flows, {} packets",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.interaction_count()
+    );
+
+    // --- How much could bot X have pushed to server 0? --------------------
+    // Take the 2-hop neighbourhood of the busiest server, add synthetic
+    // endpoints if needed, and compute the maximum byte flow bot -> server.
+    let server = graph.node_by_name("srv0").expect("generator always creates srv0");
+    let bots: Vec<NodeId> = graph.in_neighbors(server).take(5).collect();
+    println!("\nmaximum bytes that could reach srv0 from its five chattiest peers:");
+    for bot in bots {
+        // Build the local subgraph spanned by both hosts' direct contacts.
+        let mut vertices: Vec<NodeId> = vec![bot, server];
+        vertices.extend(graph.out_neighbors(bot));
+        vertices.extend(graph.in_neighbors(server));
+        let local = induced_subgraph(&graph, &vertices);
+        let sub_bot = local.to_sub(bot).unwrap();
+        let sub_server = local.to_sub(server).unwrap();
+        // The local subgraph may be cyclic (request/response); fall back to
+        // the greedy bound when it is not a DAG.
+        match compute_flow(&local.graph, sub_bot, sub_server, FlowMethod::PreSim) {
+            Ok(result) => println!(
+                "  {:>8} -> srv0 : {:>12.0} bytes (maximum), class {:?}",
+                graph.node(bot).name,
+                result.flow,
+                result.class.unwrap()
+            ),
+            Err(_) => {
+                let greedy = greedy_flow(&local.graph, sub_bot, sub_server).flow;
+                println!(
+                    "  {:>8} -> srv0 : {:>12.0} bytes (greedy bound; local subgraph is cyclic)",
+                    graph.node(bot).name,
+                    greedy
+                );
+            }
+        }
+    }
+
+    // --- Demonstrate synthetic endpoints on a multi-source cut ------------
+    let sample: Vec<NodeId> = graph.node_ids().take(40).collect();
+    let neighbourhood = induced_subgraph(&graph, &sample);
+    if let Ok(aug) = augment_with_synthetic_endpoints(&neighbourhood.graph) {
+        if let Ok(result) = compute_flow(&aug.graph, aug.source, aug.sink, FlowMethod::PreSim) {
+            println!(
+                "\nmaximum flow through a 40-host slice (synthetic source/sink added: {}/{}) = {:.0} bytes",
+                aug.added_source, aug.added_sink, result.flow
+            );
+        }
+    }
+
+    // --- Relaxed pattern triage: hosts with many request/response loops ---
+    let tables = PathTables::build(&graph, &TablesConfig { build_c2: false, ..TablesConfig::default() });
+    let rp2 = relaxed_search_pb(&tables, RelaxedPattern::ParallelTwoHopCycles { min_branches: 5 })
+        .expect("cycle tables built");
+    println!(
+        "\nRP2 triage: {} hosts have ≥5 request/response loops; average looped volume {:.0} bytes",
+        rp2.instances, rp2.average_flow
+    );
+}

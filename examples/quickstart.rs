@@ -1,0 +1,136 @@
+//! Quickstart: the running examples of the paper on a few toy networks.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use temporal_flow::prelude::*;
+use tin_flow::{greedy_flow_traced, lp_max_flow, preprocess, simplify};
+
+fn main() {
+    figure1();
+    figure3_tables_2_and_3();
+    preprocessing_figure6();
+    simplification_figure7();
+}
+
+/// Figure 1(a): a toy money-transfer network where greedy forwarding loses
+/// most of the flow and the maximum flow is 5.
+fn figure1() {
+    println!("=== Figure 1: greedy vs maximum flow ===");
+    let mut b = GraphBuilder::new();
+    let s = b.add_node("s");
+    let x = b.add_node("x");
+    let y = b.add_node("y");
+    let z = b.add_node("z");
+    let t = b.add_node("t");
+    b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
+    b.add_pairs(s, y, &[(2, 6.0)]);
+    b.add_pairs(x, z, &[(5, 5.0)]);
+    b.add_pairs(y, z, &[(8, 5.0)]);
+    b.add_pairs(y, t, &[(9, 4.0)]);
+    b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+    let g = b.build();
+
+    let greedy = greedy_flow(&g, s, t).flow;
+    let maximum = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap();
+    println!("greedy flow  : {greedy}");
+    println!("maximum flow : {} (class {:?})", maximum.flow, maximum.class.unwrap());
+    println!();
+}
+
+/// Figure 3 with the step-by-step buffer evolution of Tables 2 and 3.
+fn figure3_tables_2_and_3() {
+    println!("=== Figure 3 / Tables 2-3: buffer evolution ===");
+    let mut b = GraphBuilder::new();
+    let s = b.add_node("s");
+    let y = b.add_node("y");
+    let z = b.add_node("z");
+    let t = b.add_node("t");
+    b.add_pairs(s, y, &[(1, 5.0)]);
+    b.add_pairs(s, z, &[(2, 3.0)]);
+    b.add_pairs(y, z, &[(3, 5.0)]);
+    b.add_pairs(y, t, &[(4, 4.0)]);
+    b.add_pairs(z, t, &[(5, 1.0)]);
+    let g = b.build();
+
+    let traced = greedy_flow_traced(&g, s, t);
+    println!("{:<12} {:<10} {:>11} {:>12}", "(t, q)", "edge", "requested", "transferred");
+    for step in &traced.trace {
+        println!(
+            "({:>2}, {:>4})   {}->{}   {:>11} {:>12}",
+            step.time,
+            step.requested,
+            g.node(step.src).name,
+            g.node(step.dst).name,
+            step.requested,
+            step.transferred
+        );
+    }
+    println!("greedy flow (Table 2) : {}", traced.flow);
+    println!("maximum flow (Table 3): {}", lp_max_flow(&g, s, t).unwrap().flow);
+    println!();
+}
+
+/// Figure 6: Algorithm 1 removes interactions that cannot carry flow.
+fn preprocessing_figure6() {
+    println!("=== Figure 6: DAG preprocessing ===");
+    let mut b = GraphBuilder::new();
+    let s = b.add_node("s");
+    let x = b.add_node("x");
+    let y = b.add_node("y");
+    let z = b.add_node("z");
+    let t = b.add_node("t");
+    b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]);
+    b.add_pairs(s, z, &[(10, 5.0)]);
+    b.add_pairs(x, y, &[(2, 7.0), (12, 4.0)]);
+    b.add_pairs(x, z, &[(1, 2.0), (13, 1.0)]);
+    b.add_pairs(y, t, &[(3, 3.0), (15, 2.0)]);
+    b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]);
+    b.add_pairs(s, y, &[(9, 7.0)]);
+    let g = b.build();
+
+    let out = preprocess(&g, s, t).unwrap();
+    println!(
+        "removed {} interactions, {} edges, {} vertices ({} interactions remain)",
+        out.report.interactions_removed,
+        out.report.edges_removed,
+        out.report.nodes_removed,
+        out.report.interactions_remaining
+    );
+    println!();
+}
+
+/// Figure 7: Algorithm 2 contracts source-rooted chains, shrinking the LP
+/// from 9 variables to 3.
+fn simplification_figure7() {
+    println!("=== Figure 7: graph simplification ===");
+    let mut b = GraphBuilder::new();
+    let s = b.add_node("s");
+    let y = b.add_node("y");
+    let x = b.add_node("x");
+    let z = b.add_node("z");
+    let w = b.add_node("w");
+    let u = b.add_node("u");
+    let t = b.add_node("t");
+    b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]);
+    b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]);
+    b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
+    b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
+    b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
+    b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]);
+    b.add_pairs(w, t, &[(15, 7.0)]);
+    b.add_pairs(w, u, &[(13, 5.0)]);
+    b.add_pairs(u, t, &[(16, 6.0)]);
+    let g = b.build();
+
+    let out = simplify(&g, s, t);
+    println!(
+        "{} chains contracted, {} vertices removed, interactions {} -> {}",
+        out.report.chains_contracted,
+        out.report.nodes_removed,
+        out.report.interactions_before,
+        out.report.interactions_after
+    );
+    let max = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap().flow;
+    let max_simplified = compute_flow(&out.graph, out.source, out.sink, FlowMethod::Lp).unwrap().flow;
+    println!("maximum flow before: {max}, after simplification: {max_simplified}");
+}

@@ -1,0 +1,103 @@
+//! End-to-end integration tests: synthetic dataset → seed subgraph
+//! extraction → flow computation → pattern search, exercising every crate
+//! through the public facade.
+
+use temporal_flow::prelude::*;
+use tin_datasets::{extract_seed_subgraphs, generate, DatasetKind, ExtractConfig};
+use tin_patterns::{search_gb, search_pb, PathTables, PatternId, TablesConfig};
+
+fn small_extract_config() -> ExtractConfig {
+    ExtractConfig { max_interactions: 200, max_subgraphs: 25, ..ExtractConfig::default() }
+}
+
+#[test]
+fn every_dataset_supports_the_full_flow_pipeline() {
+    for kind in DatasetKind::ALL {
+        let graph = generate(kind, 1234);
+        assert!(graph.interaction_count() > 1000, "{kind}: dataset too small");
+        let subgraphs = extract_seed_subgraphs(&graph, &small_extract_config());
+        assert!(!subgraphs.is_empty(), "{kind}: no subgraphs extracted");
+        for sub in subgraphs.iter().take(10) {
+            let greedy = greedy_flow(&sub.graph, sub.source, sub.sink).flow;
+            let lp = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::Lp).unwrap().flow;
+            let pre = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::Pre).unwrap().flow;
+            let presim = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim)
+                .unwrap()
+                .flow;
+            let oracle = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::TimeExpanded)
+                .unwrap()
+                .flow;
+            let tol = 1e-6 * (1.0 + oracle.abs());
+            assert!((lp - oracle).abs() < tol, "{kind}: LP {lp} vs oracle {oracle}");
+            assert!((pre - oracle).abs() < tol, "{kind}: Pre {pre} vs oracle {oracle}");
+            assert!((presim - oracle).abs() < tol, "{kind}: PreSim {presim} vs oracle {oracle}");
+            assert!(greedy <= oracle + tol, "{kind}: greedy {greedy} above maximum {oracle}");
+        }
+    }
+}
+
+#[test]
+fn difficulty_classes_are_all_represented_somewhere() {
+    use tin_flow::DifficultyClass;
+    let mut seen = std::collections::HashSet::new();
+    for kind in DatasetKind::ALL {
+        let graph = generate(kind, 77);
+        for sub in extract_seed_subgraphs(&graph, &small_extract_config()) {
+            let r = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim).unwrap();
+            seen.insert(r.class.unwrap());
+        }
+    }
+    assert!(seen.contains(&DifficultyClass::A), "no class A subgraphs found");
+    assert!(seen.contains(&DifficultyClass::C), "no class C subgraphs found");
+}
+
+#[test]
+fn pattern_search_gb_and_pb_agree_on_a_generated_network() {
+    // A small Prosper-like network keeps the instance counts manageable.
+    let graph = tin_datasets::generate_prosper(
+        &tin_datasets::ProsperConfig { seed: 5, ..Default::default() }.scaled(0.05),
+    );
+    let tables = PathTables::build(&graph, &TablesConfig::default());
+    for id in [PatternId::P1, PatternId::P2, PatternId::P3, PatternId::P5] {
+        let gb = search_gb(&graph, id, 0);
+        let pb = search_pb(&graph, &tables, id, 0).expect("all tables built");
+        assert_eq!(gb.instances, pb.instances, "{id}: instance counts differ");
+        assert!(
+            (gb.total_flow - pb.total_flow).abs() < 1e-6 * (1.0 + gb.total_flow.abs()),
+            "{id}: flows differ (GB {}, PB {})",
+            gb.total_flow,
+            pb.total_flow
+        );
+    }
+}
+
+#[test]
+fn graph_io_roundtrips_a_generated_dataset() {
+    let graph = generate(DatasetKind::Ctu13, 9);
+    let text = tin_graph::io::to_text(&graph);
+    let back = tin_graph::io::from_text(&text).unwrap();
+    assert_eq!(back.node_count(), graph.node_count());
+    assert_eq!(back.edge_count(), graph.edge_count());
+    assert_eq!(back.interaction_count(), graph.interaction_count());
+    assert!((back.total_quantity() - graph.total_quantity()).abs() < 1e-6);
+
+    let json = tin_graph::io::to_json(&graph);
+    let back = tin_graph::io::from_json(&json).unwrap();
+    assert_eq!(back.interaction_count(), graph.interaction_count());
+}
+
+#[test]
+fn facade_prelude_covers_the_quickstart_workflow() {
+    // The README quickstart, as a test.
+    let mut b = GraphBuilder::new();
+    let alice = b.add_node("alice");
+    let bob = b.add_node("bob");
+    let carol = b.add_node("carol");
+    b.add_pairs(alice, bob, &[(1, 100.0), (5, 50.0)]);
+    b.add_pairs(bob, carol, &[(3, 80.0), (7, 60.0)]);
+    let g = b.build();
+    let greedy = greedy_flow(&g, alice, carol).flow;
+    let max = maximum_flow(&g, alice, carol).unwrap().flow;
+    assert!(greedy <= max);
+    assert_eq!(max, 140.0);
+}
