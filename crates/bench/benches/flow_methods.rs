@@ -16,7 +16,10 @@ fn bench_flow_methods(c: &mut Criterion) {
             continue;
         }
         let mut group = c.benchmark_group(format!("flow_methods/{}", kind.name()));
-        group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
         for (label, lo, hi) in [("lt100", 0usize, 100usize), ("100to1000", 100, 1000)] {
             let subs: Vec<_> = workload
                 .subgraphs
@@ -27,20 +30,21 @@ fn bench_flow_methods(c: &mut Criterion) {
             if subs.is_empty() {
                 continue;
             }
-            for method in [FlowMethod::Greedy, FlowMethod::Lp, FlowMethod::Pre, FlowMethod::PreSim] {
-                group.bench_with_input(
-                    BenchmarkId::new(method.name(), label),
-                    &subs,
-                    |b, subs| {
-                        b.iter(|| {
-                            for sub in subs.iter() {
-                                let r = compute_flow(&sub.graph, sub.source, sub.sink, method)
-                                    .expect("valid subgraph");
-                                std::hint::black_box(r.flow);
-                            }
-                        })
-                    },
-                );
+            for method in [
+                FlowMethod::Greedy,
+                FlowMethod::Lp,
+                FlowMethod::Pre,
+                FlowMethod::PreSim,
+            ] {
+                group.bench_with_input(BenchmarkId::new(method.name(), label), &subs, |b, subs| {
+                    b.iter(|| {
+                        for sub in subs.iter() {
+                            let r = compute_flow(&sub.graph, sub.source, sub.sink, method)
+                                .expect("valid subgraph");
+                            std::hint::black_box(r.flow);
+                        }
+                    })
+                });
             }
         }
         group.finish();

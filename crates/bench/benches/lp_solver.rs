@@ -12,7 +12,11 @@ fn bench_lp(c: &mut Criterion) {
     let workload = Workload::build(DatasetKind::Bitcoin, &scale);
     // Pick one representative subgraph per size band.
     let mut picks = Vec::new();
-    for (label, lo, hi) in [("small", 4usize, 60usize), ("medium", 60, 250), ("large", 250, 1000)] {
+    for (label, lo, hi) in [
+        ("small", 4usize, 60usize),
+        ("medium", 60, 250),
+        ("large", 250, 1000),
+    ] {
         if let Some(sub) = workload
             .subgraphs
             .iter()
@@ -26,7 +30,10 @@ fn bench_lp(c: &mut Criterion) {
         return;
     }
     let mut group = c.benchmark_group("lp_solver");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (label, sub) in picks {
         group.bench_with_input(BenchmarkId::new("formulate", label), &sub, |b, sub| {
             b.iter(|| std::hint::black_box(build_lp(&sub.graph, sub.source, sub.sink).variables))

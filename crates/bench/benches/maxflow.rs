@@ -10,11 +10,18 @@ use tin_maxflow::{dinic, edmonds_karp, TimeExpandedNetwork};
 fn bench_maxflow(c: &mut Criterion) {
     let scale = ExperimentScale::quick();
     let workload = Workload::build(DatasetKind::Bitcoin, &scale);
-    let Some(sub) = workload.subgraphs.iter().max_by_key(|s| s.interaction_count()) else {
+    let Some(sub) = workload
+        .subgraphs
+        .iter()
+        .max_by_key(|s| s.interaction_count())
+    else {
         return;
     };
     let mut group = c.benchmark_group("maxflow");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     group.bench_function("time_expand", |b| {
         b.iter(|| {
             let te = TimeExpandedNetwork::build(&sub.graph, sub.source, sub.sink);

@@ -10,19 +10,33 @@ use tin_patterns::{PathTables, TablesConfig};
 fn bench_path_tables(c: &mut Criterion) {
     let scale = ExperimentScale::quick();
     let mut group = c.benchmark_group("path_tables");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for kind in DatasetKind::ALL {
         let graph = generate_dataset(kind, &scale);
-        let cycles_only = TablesConfig { build_c2: false, ..TablesConfig::default() };
-        group.bench_with_input(BenchmarkId::new("cycles_only", kind.name()), &graph, |b, g| {
-            b.iter(|| std::hint::black_box(PathTables::build(g, &cycles_only).row_count()))
-        });
+        let cycles_only = TablesConfig {
+            build_c2: false,
+            ..TablesConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("cycles_only", kind.name()),
+            &graph,
+            |b, g| b.iter(|| std::hint::black_box(PathTables::build(g, &cycles_only).row_count())),
+        );
         if kind == DatasetKind::Prosper {
-            group.bench_with_input(BenchmarkId::new("with_chains", kind.name()), &graph, |b, g| {
-                b.iter(|| {
-                    std::hint::black_box(PathTables::build(g, &TablesConfig::default()).row_count())
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("with_chains", kind.name()),
+                &graph,
+                |b, g| {
+                    b.iter(|| {
+                        std::hint::black_box(
+                            PathTables::build(g, &TablesConfig::default()).row_count(),
+                        )
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -14,7 +14,10 @@ fn bench_pattern_search(c: &mut Criterion) {
     let limit = 500; // keep individual iterations short
 
     let mut group = c.benchmark_group("pattern_search/prosper");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for id in [PatternId::P1, PatternId::P2, PatternId::P3, PatternId::P5] {
         group.bench_with_input(BenchmarkId::new("GB", id.name()), &id, |b, &id| {
             b.iter(|| std::hint::black_box(search_gb(&graph, id, limit).instances))
@@ -22,7 +25,9 @@ fn bench_pattern_search(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("PB", id.name()), &id, |b, &id| {
             b.iter(|| {
                 std::hint::black_box(
-                    search_pb(&graph, &tables, id, limit).expect("tables built").instances,
+                    search_pb(&graph, &tables, id, limit)
+                        .expect("tables built")
+                        .instances,
                 )
             })
         });

@@ -16,7 +16,10 @@ fn bench_reduction_stages(c: &mut Criterion) {
         return;
     }
     let mut group = c.benchmark_group("reduction_stages");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     group.bench_function("solubility_test", |b| {
         b.iter(|| {
             for sub in &subs {

@@ -20,11 +20,40 @@ use tin_bench::{
 };
 use tin_datasets::{dataset_stats, subgraph_stats};
 
+const SECTIONS: [&str; 7] = [
+    "all",
+    "table4",
+    "table5",
+    "tables678",
+    "fig11",
+    "patterns",
+    "tables91011",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
+        eprintln!("error: unknown flag `{bad}` (supported: --quick)");
+        std::process::exit(2);
+    }
     let quick = args.iter().any(|a| a == "--quick");
-    let section = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
-    let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::standard() };
+    let section = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    if !SECTIONS.contains(&section) {
+        eprintln!(
+            "error: unknown section `{section}` (supported: {})",
+            SECTIONS.join(" | ")
+        );
+        std::process::exit(2);
+    }
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::standard()
+    };
 
     println!("Flow Computation in Temporal Interaction Networks — evaluation harness");
     println!(
@@ -88,7 +117,13 @@ fn table5(workloads: &[Workload]) {
         .collect();
     print_table(
         "Table 5: statistics of extracted subgraphs",
-        &["dataset", "#subgraphs", "avg #vertices", "avg #edges", "avg #interactions"],
+        &[
+            "dataset",
+            "#subgraphs",
+            "avg #vertices",
+            "avg #edges",
+            "avg #interactions",
+        ],
         &rows,
     );
 }
@@ -99,14 +134,18 @@ fn tables678(workloads: &[Workload]) {
         let (a, b, c) = table.class_sizes;
         let mut rows = Vec::new();
         for (label, count, timings) in [
-            (format!("All ({})", w.subgraphs.len()), w.subgraphs.len(), &table.all),
+            (
+                format!("All ({})", w.subgraphs.len()),
+                w.subgraphs.len(),
+                &table.all,
+            ),
             (format!("Class A ({a})"), a, &table.class_a),
             (format!("Class B ({b})"), b, &table.class_b),
             (format!("Class C ({c})"), c, &table.class_c),
         ] {
             let mut row = vec![label];
             if count == 0 {
-                row.extend(std::iter::repeat("-".to_string()).take(timings.len()));
+                row.extend(std::iter::repeat_n("-".to_string(), timings.len()));
             } else {
                 row.extend(timings.iter().map(|t| format_duration(t.average)));
             }
@@ -127,7 +166,7 @@ fn fig11(workloads: &[Workload]) {
             .map(|row| {
                 let mut cells = vec![row.bucket.to_string(), row.subgraphs.to_string()];
                 if row.subgraphs == 0 {
-                    cells.extend(std::iter::repeat("-".to_string()).take(row.timings.len()));
+                    cells.extend(std::iter::repeat_n("-".to_string(), row.timings.len()));
                 } else {
                     cells.extend(row.timings.iter().map(|t| format_duration(t.average)));
                 }
@@ -136,7 +175,14 @@ fn fig11(workloads: &[Workload]) {
             .collect();
         print_table(
             &format!("Figure 11: runtime vs #interactions — {}", w.kind.name()),
-            &["#interactions", "#subgraphs", "Greedy", "LP", "Pre", "PreSim"],
+            &[
+                "#interactions",
+                "#subgraphs",
+                "Greedy",
+                "LP",
+                "Pre",
+                "PreSim",
+            ],
             &rows,
         );
     }
@@ -152,7 +198,9 @@ fn tables91011(workloads: &[Workload], instance_limit: usize) {
                     r.instances.to_string(),
                     format!("{:.2}", r.average_flow),
                     format_duration(r.gb_time),
-                    r.pb_time.map(format_duration).unwrap_or_else(|| "n/a".to_string()),
+                    r.pb_time
+                        .map(format_duration)
+                        .unwrap_or_else(|| "n/a".to_string()),
                 ]
             })
             .collect();

@@ -6,8 +6,12 @@ use tin_datasets::SeedSubgraph;
 use tin_flow::{compute_flow, DifficultyClass, FlowMethod};
 
 /// Methods compared in the paper's runtime tables.
-pub const TABLE_METHODS: [FlowMethod; 4] =
-    [FlowMethod::Greedy, FlowMethod::Lp, FlowMethod::Pre, FlowMethod::PreSim];
+pub const TABLE_METHODS: [FlowMethod; 4] = [
+    FlowMethod::Greedy,
+    FlowMethod::Lp,
+    FlowMethod::Pre,
+    FlowMethod::PreSim,
+];
 
 /// Aggregated timing of one method over a set of subgraphs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,7 +59,12 @@ fn summarize(method: FlowMethod, durations: &[Duration]) -> MethodTiming {
     } else {
         total / durations.len() as u32
     };
-    MethodTiming { method, subgraphs: durations.len(), average, total }
+    MethodTiming {
+        method,
+        subgraphs: durations.len(),
+        average,
+        total,
+    }
 }
 
 /// Classifies every subgraph (via the `PreSim` pipeline) and measures each
@@ -83,7 +92,7 @@ pub fn flow_method_experiment(workload: &Workload) -> FlowTable {
                 let durations: Vec<Duration> = timings[i]
                     .iter()
                     .zip(&classes)
-                    .filter(|(_, &c)| filter.map_or(true, |f| c == f))
+                    .filter(|(_, &c)| filter.is_none_or(|f| c == f))
                     .map(|(d, _)| *d)
                     .collect();
                 summarize(method, &durations)
@@ -118,8 +127,11 @@ pub struct BucketRow {
 }
 
 /// The interaction-count buckets used by Figure 11.
-pub const BUCKETS: [(&str, usize, usize); 3] =
-    [("<100", 0, 100), ("100-1000", 100, 1000), (">1000", 1000, usize::MAX)];
+pub const BUCKETS: [(&str, usize, usize); 3] = [
+    ("<100", 0, 100),
+    ("100-1000", 100, 1000),
+    (">1000", 1000, usize::MAX),
+];
 
 /// Groups the workload's subgraphs by interaction count and measures every
 /// method per bucket (Figure 11).
@@ -143,7 +155,11 @@ pub fn bucket_experiment(workload: &Workload) -> Vec<BucketRow> {
                     summarize(method, &durations)
                 })
                 .collect();
-            BucketRow { bucket: label, subgraphs: subs.len(), timings }
+            BucketRow {
+                bucket: label,
+                subgraphs: subs.len(),
+                timings,
+            }
         })
         .collect()
 }
@@ -177,8 +193,16 @@ mod tests {
         }
         // Greedy is never slower than LP on average (sanity on the headline
         // shape; both averages are over the same subgraphs).
-        let greedy = table.all.iter().find(|t| t.method == FlowMethod::Greedy).unwrap();
-        let lp = table.all.iter().find(|t| t.method == FlowMethod::Lp).unwrap();
+        let greedy = table
+            .all
+            .iter()
+            .find(|t| t.method == FlowMethod::Greedy)
+            .unwrap();
+        let lp = table
+            .all
+            .iter()
+            .find(|t| t.method == FlowMethod::Lp)
+            .unwrap();
         assert!(greedy.average <= lp.average);
     }
 

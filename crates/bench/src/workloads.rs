@@ -64,13 +64,25 @@ pub struct Workload {
 pub fn generate_dataset(kind: DatasetKind, scale: &ExperimentScale) -> TemporalGraph {
     match kind {
         DatasetKind::Bitcoin => generate_bitcoin(
-            &BitcoinConfig { seed: scale.seed, ..BitcoinConfig::default() }.scaled(scale.dataset_scale),
+            &BitcoinConfig {
+                seed: scale.seed,
+                ..BitcoinConfig::default()
+            }
+            .scaled(scale.dataset_scale),
         ),
         DatasetKind::Ctu13 => generate_ctu13(
-            &Ctu13Config { seed: scale.seed, ..Ctu13Config::default() }.scaled(scale.dataset_scale),
+            &Ctu13Config {
+                seed: scale.seed,
+                ..Ctu13Config::default()
+            }
+            .scaled(scale.dataset_scale),
         ),
         DatasetKind::Prosper => generate_prosper(
-            &ProsperConfig { seed: scale.seed, ..ProsperConfig::default() }.scaled(scale.dataset_scale),
+            &ProsperConfig {
+                seed: scale.seed,
+                ..ProsperConfig::default()
+            }
+            .scaled(scale.dataset_scale),
         ),
     }
 }
@@ -93,12 +105,19 @@ impl Workload {
     pub fn build(kind: DatasetKind, scale: &ExperimentScale) -> Self {
         let graph = generate_dataset(kind, scale);
         let subgraphs = build_subgraphs(&graph, scale);
-        Workload { kind, graph, subgraphs }
+        Workload {
+            kind,
+            graph,
+            subgraphs,
+        }
     }
 
     /// Builds all three workloads.
     pub fn all(scale: &ExperimentScale) -> Vec<Self> {
-        DatasetKind::ALL.iter().map(|&k| Workload::build(k, scale)).collect()
+        DatasetKind::ALL
+            .iter()
+            .map(|&k| Workload::build(k, scale))
+            .collect()
     }
 }
 

@@ -26,7 +26,9 @@ impl std::fmt::Display for FlowError {
                 write!(f, "source and sink must differ (both are {v})")
             }
             FlowError::NodeOutOfRange(v) => write!(f, "endpoint {v} does not exist in the graph"),
-            FlowError::LpFailed(status) => write!(f, "LP solver did not reach optimality: {status:?}"),
+            FlowError::LpFailed(status) => {
+                write!(f, "LP solver did not reach optimality: {status:?}")
+            }
         }
     }
 }
@@ -45,10 +47,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(FlowError::Graph(GraphError::NotADag).to_string().contains("acyclic"));
-        assert!(FlowError::SourceEqualsSink(NodeId(1)).to_string().contains("n1"));
-        assert!(FlowError::NodeOutOfRange(NodeId(9)).to_string().contains("n9"));
-        assert!(FlowError::LpFailed(LpStatus::Infeasible).to_string().contains("Infeasible"));
+        assert!(FlowError::Graph(GraphError::NotADag)
+            .to_string()
+            .contains("acyclic"));
+        assert!(FlowError::SourceEqualsSink(NodeId(1))
+            .to_string()
+            .contains("n1"));
+        assert!(FlowError::NodeOutOfRange(NodeId(9))
+            .to_string()
+            .contains("n9"));
+        assert!(FlowError::LpFailed(LpStatus::Infeasible)
+            .to_string()
+            .contains("Infeasible"));
     }
 
     #[test]

@@ -116,7 +116,11 @@ fn run(graph: &TemporalGraph, source: NodeId, sink: NodeId, record_trace: bool) 
         }
         i = j;
     }
-    GreedyResult { flow: buffers[sink.index()], buffers, trace }
+    GreedyResult {
+        flow: buffers[sink.index()],
+        buffers,
+        trace,
+    }
 }
 
 /// Computes the greedy flow from `source` to `sink` (Definition 5).

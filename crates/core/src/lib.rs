@@ -9,9 +9,9 @@
 //!   source vertex has buffered;
 //! * [`solubility`] — the Lemma 2 test identifying graphs on which the
 //!   greedy scan already yields the *maximum* flow;
-//! * [`preprocess`] — Algorithm 1: removal of interactions, edges and
+//! * [`mod@preprocess`] — Algorithm 1: removal of interactions, edges and
 //!   vertices that provably cannot contribute to the maximum flow;
-//! * [`simplify`] — Algorithm 2 / Lemma 3: contraction of chains rooted at
+//! * [`mod@simplify`] — Algorithm 2 / Lemma 3: contraction of chains rooted at
 //!   the source into single edges (with parallel-edge merging), shrinking
 //!   the LP;
 //! * [`lp_formulation`] — the Section 4.2.1 linear program (one variable per
@@ -61,6 +61,4 @@ pub use lp_formulation::{build_lp, lp_max_flow, LpFormulation, LpOutcome};
 pub use preprocess::{preprocess, PreprocessOutcome, PreprocessReport};
 pub use simplify::{simplify, SimplifyOutcome, SimplifyReport};
 pub use solubility::is_greedy_soluble;
-pub use solver::{
-    compute_flow, maximum_flow, DifficultyClass, FlowMethod, FlowResult, SolveStats,
-};
+pub use solver::{compute_flow, maximum_flow, DifficultyClass, FlowMethod, FlowResult, SolveStats};

@@ -59,7 +59,13 @@ pub fn build_lp(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> LpFormul
     // Finite stand-in for unbounded quantities.
     let finite_total: f64 = evs
         .iter()
-        .map(|e| if e.quantity.is_finite() { e.quantity } else { 0.0 })
+        .map(|e| {
+            if e.quantity.is_finite() {
+                e.quantity
+            } else {
+                0.0
+            }
+        })
         .sum();
     let unbounded = finite_total + 1.0;
     let value_of = |q: Quantity| if q.is_finite() { q } else { unbounded };
@@ -152,7 +158,12 @@ pub fn build_lp(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> LpFormul
     }
 
     let constraints = problem.num_constraints();
-    LpFormulation { problem, variables, constraints, fixed_flow }
+    LpFormulation {
+        problem,
+        variables,
+        constraints,
+        fixed_flow,
+    }
 }
 
 impl LpFormulation {
@@ -255,7 +266,10 @@ mod tests {
     #[test]
     fn lp_agrees_with_time_expanded_on_paper_examples() {
         let (g, s, t) = figure3();
-        assert_close(lp_max_flow(&g, s, t).unwrap().flow, time_expanded_max_flow(&g, s, t));
+        assert_close(
+            lp_max_flow(&g, s, t).unwrap().flow,
+            time_expanded_max_flow(&g, s, t),
+        );
     }
 
     #[test]

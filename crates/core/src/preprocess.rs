@@ -54,9 +54,7 @@ impl PreprocessOutcome {
     /// (the source or the sink became disconnected).
     pub fn is_zero_flow(&self) -> bool {
         match (self.source, self.sink) {
-            (Some(s), Some(t)) => {
-                self.graph.out_degree(s) == 0 || self.graph.in_degree(t) == 0
-            }
+            (Some(s), Some(t)) => self.graph.out_degree(s) == 0 || self.graph.in_degree(t) == 0,
             _ => true,
         }
     }
@@ -127,7 +125,12 @@ pub fn preprocess(
     debug_assert!(report.nodes_remaining <= before_nodes);
 
     let (reduced, new_source, new_sink) = w.into_graph();
-    Ok(PreprocessOutcome { graph: reduced, source: new_source, sink: new_sink, report })
+    Ok(PreprocessOutcome {
+        graph: reduced,
+        source: new_source,
+        sink: new_sink,
+        report,
+    })
 }
 
 /// Removes `v` (which has no outgoing edges) and recursively removes any

@@ -85,7 +85,12 @@ pub fn simplify(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> Simplify
     let (graph, new_source, new_sink) = w.into_graph();
     let source = new_source.expect("the source always survives simplification");
     let sink = new_sink.expect("the sink always survives simplification");
-    SimplifyOutcome { graph, source, sink, report }
+    SimplifyOutcome {
+        graph,
+        source,
+        sink,
+        report,
+    }
 }
 
 /// Finds a maximal chain `s → v₁ → … → v_k` where every `vᵢ, i < k` has in-
@@ -131,7 +136,9 @@ fn contract_chain_interactions(w: &WorkGraph, chain: &[usize]) -> Vec<Interactio
     // Materialize the chain as a tiny temporal graph and reuse the greedy
     // implementation (including its strict tie-breaking semantics).
     let mut b = GraphBuilder::with_capacity(chain.len(), chain.len() - 1);
-    let ids: Vec<NodeId> = (0..chain.len()).map(|i| b.add_node(format!("c{i}"))).collect();
+    let ids: Vec<NodeId> = (0..chain.len())
+        .map(|i| b.add_node(format!("c{i}")))
+        .collect();
     for (i, pair) in chain.windows(2).enumerate() {
         let ints = w
             .interactions(pair[0], pair[1])
@@ -155,8 +162,8 @@ fn contract_chain_interactions(w: &WorkGraph, chain: &[usize]) -> Vec<Interactio
 mod tests {
     use super::*;
     use crate::greedy::greedy_flow;
-    use tin_maxflow::time_expanded_max_flow;
     use tin_graph::GraphBuilder;
+    use tin_maxflow::time_expanded_max_flow;
 
     /// Figure 5(a): the chain s → x → y → t with 7 interactions.
     fn figure5a() -> (TemporalGraph, NodeId, NodeId) {
@@ -179,10 +186,16 @@ mod tests {
         assert_eq!(out.graph.edge_count(), 1);
         assert_eq!(out.report.chains_contracted, 1);
         assert_eq!(out.report.nodes_removed, 2);
-        let e = out.graph.edge(out.graph.find_edge(out.source, out.sink).unwrap());
+        let e = out
+            .graph
+            .edge(out.graph.find_edge(out.source, out.sink).unwrap());
         // The paper reduces this chain to the edge (s, t) with interactions
         // {(6,3), (8,4)}.
-        let pairs: Vec<(i64, f64)> = e.interactions.iter().map(|i| (i.time, i.quantity)).collect();
+        let pairs: Vec<(i64, f64)> = e
+            .interactions
+            .iter()
+            .map(|i| (i.time, i.quantity))
+            .collect();
         assert_eq!(pairs, vec![(6, 3.0), (8, 4.0)]);
     }
 
@@ -226,9 +239,14 @@ mod tests {
         // The contracted (s, w) edge carries exactly the interactions shown
         // in Figure 7(d): (6,3), (8,5), (10,2), (14,4).
         let w_id = out.graph.node_by_name("w").unwrap();
-        let sw = out.graph.edge(out.graph.find_edge(out.source, w_id).unwrap());
-        let pairs: Vec<(i64, f64)> =
-            sw.interactions.iter().map(|i| (i.time, i.quantity)).collect();
+        let sw = out
+            .graph
+            .edge(out.graph.find_edge(out.source, w_id).unwrap());
+        let pairs: Vec<(i64, f64)> = sw
+            .interactions
+            .iter()
+            .map(|i| (i.time, i.quantity))
+            .collect();
         assert_eq!(pairs, vec![(6, 3.0), (8, 5.0), (10, 2.0), (14, 4.0)]);
         // Only three interactions do not originate from the source — the
         // paper's "9 LP variables reduced to 3".
@@ -317,8 +335,14 @@ mod tests {
         assert_eq!(out.report.chains_contracted, 2);
         // Everything collapses to a single (s, t) edge carrying the one unit
         // that the direct (s, z) interaction could deliver onwards at time 20.
-        let e = out.graph.edge(out.graph.find_edge(out.source, out.sink).unwrap());
-        let pairs: Vec<(i64, f64)> = e.interactions.iter().map(|i| (i.time, i.quantity)).collect();
+        let e = out
+            .graph
+            .edge(out.graph.find_edge(out.source, out.sink).unwrap());
+        let pairs: Vec<(i64, f64)> = e
+            .interactions
+            .iter()
+            .map(|i| (i.time, i.quantity))
+            .collect();
         assert_eq!(pairs, vec![(20, 1.0)]);
         // The maximum flow is preserved.
         assert!((time_expanded_max_flow(&g, s, t) - 1.0).abs() < 1e-9);

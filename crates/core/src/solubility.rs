@@ -38,9 +38,9 @@ pub fn is_chain(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> bool {
     if graph.in_degree(sink) != 1 || graph.out_degree(sink) != 0 {
         return false;
     }
-    graph.node_ids().all(|v| {
-        v == source || v == sink || (graph.in_degree(v) == 1 && graph.out_degree(v) == 1)
-    })
+    graph
+        .node_ids()
+        .all(|v| v == source || v == sink || (graph.in_degree(v) == 1 && graph.out_degree(v) == 1))
 }
 
 #[cfg(test)]

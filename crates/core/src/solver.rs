@@ -190,7 +190,12 @@ pub fn compute_flow(
             stats.lp_variables = Some(outcome.variables);
             stats.lp_constraints = Some(outcome.constraints);
             stats.lp_iterations = Some(outcome.iterations);
-            Ok(FlowResult { flow: outcome.flow, method, class: None, stats })
+            Ok(FlowResult {
+                flow: outcome.flow,
+                method,
+                class: None,
+                stats,
+            })
         }
         FlowMethod::Pre => solve_with_preprocessing(graph, source, sink, false, stats),
         FlowMethod::PreSim => solve_with_preprocessing(graph, source, sink, true, stats),
@@ -214,7 +219,11 @@ fn solve_with_preprocessing(
     with_simplify: bool,
     mut stats: SolveStats,
 ) -> Result<FlowResult, FlowError> {
-    let method = if with_simplify { FlowMethod::PreSim } else { FlowMethod::Pre };
+    let method = if with_simplify {
+        FlowMethod::PreSim
+    } else {
+        FlowMethod::Pre
+    };
 
     // Step 1: class A — greedy already solves the maximum flow problem.
     if is_greedy_soluble(graph, source, sink) {
@@ -319,7 +328,12 @@ mod tests {
     fn all_exact_methods_agree_on_figure3() {
         let (g, s, t) = figure3();
         let expected = 5.0;
-        for method in [FlowMethod::Lp, FlowMethod::Pre, FlowMethod::PreSim, FlowMethod::TimeExpanded] {
+        for method in [
+            FlowMethod::Lp,
+            FlowMethod::Pre,
+            FlowMethod::PreSim,
+            FlowMethod::TimeExpanded,
+        ] {
             let r = compute_flow(&g, s, t, method).unwrap();
             assert_close(r.flow, expected);
             assert_eq!(r.method, method);
@@ -369,7 +383,10 @@ mod tests {
         assert!(r.stats.preprocess.is_some());
         assert_close(r.flow, 4.0);
         // PreSim agrees and LP agrees.
-        assert_close(compute_flow(&g, s, t, FlowMethod::PreSim).unwrap().flow, 4.0);
+        assert_close(
+            compute_flow(&g, s, t, FlowMethod::PreSim).unwrap().flow,
+            4.0,
+        );
         assert_close(compute_flow(&g, s, t, FlowMethod::Lp).unwrap().flow, 4.0);
     }
 
@@ -411,7 +428,10 @@ mod tests {
         assert_close(pre.flow, presim.flow);
         let pre_vars = pre.stats.lp_variables.unwrap_or(0);
         match presim.stats.lp_variables {
-            Some(v) => assert!(v < pre_vars, "PreSim LP ({v}) not smaller than Pre LP ({pre_vars})"),
+            Some(v) => assert!(
+                v < pre_vars,
+                "PreSim LP ({v}) not smaller than Pre LP ({pre_vars})"
+            ),
             None => assert!(presim.stats.solved_by_greedy),
         }
         let lp = compute_flow(&g, s, t, FlowMethod::Lp).unwrap();
@@ -439,7 +459,12 @@ mod tests {
         assert_close(r.flow, 0.0);
         assert_eq!(r.class, Some(DifficultyClass::B));
         // The exact solvers agree.
-        assert_close(compute_flow(&g, s, t, FlowMethod::TimeExpanded).unwrap().flow, 0.0);
+        assert_close(
+            compute_flow(&g, s, t, FlowMethod::TimeExpanded)
+                .unwrap()
+                .flow,
+            0.0,
+        );
         assert_close(compute_flow(&g, s, t, FlowMethod::Lp).unwrap().flow, 0.0);
     }
 

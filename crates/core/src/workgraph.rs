@@ -161,8 +161,9 @@ impl WorkGraph {
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         let n = self.names.len();
         let mut in_deg: Vec<usize> = (0..n).map(|v| self.inc[v].len()).collect();
-        let mut ready: BTreeSet<usize> =
-            (0..n).filter(|&v| self.alive[v] && in_deg[v] == 0).collect();
+        let mut ready: BTreeSet<usize> = (0..n)
+            .filter(|&v| self.alive[v] && in_deg[v] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.live_node_count());
         while let Some(&v) = ready.iter().next() {
             ready.remove(&v);
@@ -190,9 +191,9 @@ impl WorkGraph {
         let n = self.names.len();
         let mut mapping: Vec<Option<NodeId>> = vec![None; n];
         let mut b = GraphBuilder::with_capacity(self.live_node_count(), self.live_edge_count());
-        for v in 0..n {
+        for (v, slot) in mapping.iter_mut().enumerate() {
             if self.alive[v] {
-                mapping[v] = Some(b.add_node(self.names[v].clone()));
+                *slot = Some(b.add_node(self.names[v].clone()));
             }
         }
         for (v, targets) in self.out.iter().enumerate() {
@@ -235,7 +236,10 @@ mod tests {
         assert_eq!(w.in_degree(ids[3].index()), 2);
         assert!(w.is_alive(ids[2].index()));
         assert_eq!(w.successors(ids[1].index()).collect::<Vec<_>>(), vec![2, 3]);
-        assert_eq!(w.predecessors(ids[3].index()).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            w.predecessors(ids[3].index()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]
@@ -265,7 +269,11 @@ mod tests {
         let times: Vec<i64> = ints.iter().map(|i| i.time).collect();
         assert_eq!(times, vec![1, 2, 3, 7]);
         // Creating a brand new edge.
-        w.add_or_merge_edge(ids[0].index(), ids[2].index(), vec![Interaction::new(1, 1.0)]);
+        w.add_or_merge_edge(
+            ids[0].index(),
+            ids[2].index(),
+            vec![Interaction::new(1, 1.0)],
+        );
         assert_eq!(w.live_edge_count(), 5);
         // Empty merges are ignored.
         w.add_or_merge_edge(ids[0].index(), ids[3].index(), vec![]);

@@ -19,9 +19,11 @@ use tin_graph::{GraphBuilder, Interaction, TemporalGraph};
 pub fn generate_bitcoin(config: &BitcoinConfig) -> TemporalGraph {
     assert!(config.nodes >= 3, "need at least 3 vertices");
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut sampler = PreferentialSampler::new(config.nodes, 0.15);
+    let mut sampler = PreferentialSampler::new(config.nodes, 0.10);
     let mut builder = GraphBuilder::with_capacity(config.nodes, config.interactions / 2);
-    let ids: Vec<_> = (0..config.nodes).map(|i| builder.add_node(format!("u{i}"))).collect();
+    let ids: Vec<_> = (0..config.nodes)
+        .map(|i| builder.add_node(format!("u{i}")))
+        .collect();
 
     let day = 24 * 3600;
     let mut emitted = 0usize;
@@ -40,7 +42,11 @@ pub fn generate_bitcoin(config: &BitcoinConfig) -> TemporalGraph {
         if emitted < config.interactions && rng.gen_bool(config.reciprocation) {
             let back_t = t + short_delay(&mut rng, 30 * day);
             let back_amount = (amount * rng.gen_range(0.2..0.95) * 100.0).round() / 100.0;
-            builder.add_interaction(ids[dst], ids[src], Interaction::new(back_t, back_amount.max(0.01)));
+            builder.add_interaction(
+                ids[dst],
+                ids[src],
+                Interaction::new(back_t, back_amount.max(0.01)),
+            );
             emitted += 1;
         }
 
@@ -68,7 +74,11 @@ mod tests {
     use super::*;
 
     fn small() -> BitcoinConfig {
-        BitcoinConfig { seed: 7, ..BitcoinConfig::default() }.scaled(0.1)
+        BitcoinConfig {
+            seed: 7,
+            ..BitcoinConfig::default()
+        }
+        .scaled(0.1)
     }
 
     #[test]

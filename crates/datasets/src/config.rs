@@ -15,7 +15,11 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All dataset kinds in the order used by the paper's tables.
-    pub const ALL: [DatasetKind; 3] = [DatasetKind::Bitcoin, DatasetKind::Ctu13, DatasetKind::Prosper];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Bitcoin,
+        DatasetKind::Ctu13,
+        DatasetKind::Prosper,
+    ];
 
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {

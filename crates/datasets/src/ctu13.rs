@@ -49,14 +49,18 @@ pub fn generate_ctu13(config: &Ctu13Config) -> TemporalGraph {
         let bot = rng.gen_range(config.hubs..config.nodes);
         let hub = pick_hub(&mut rng);
         let t = timestamp(&mut rng, config.start_time, config.duration);
-        let bytes = heavy_tailed_amount(&mut rng, config.mean_bytes).round().max(40.0);
+        let bytes = heavy_tailed_amount(&mut rng, config.mean_bytes)
+            .round()
+            .max(40.0);
         builder.add_interaction(ids[bot], ids[hub], Interaction::new(t, bytes));
         emitted += 1;
 
         // Response from the hub back to the bot (2-hop cycle).
         if emitted < config.interactions && rng.gen_bool(config.response_rate) {
             let rt = t + short_delay(&mut rng, 120);
-            let rbytes = heavy_tailed_amount(&mut rng, config.mean_bytes * 1.4).round().max(40.0);
+            let rbytes = heavy_tailed_amount(&mut rng, config.mean_bytes * 1.4)
+                .round()
+                .max(40.0);
             builder.add_interaction(ids[hub], ids[bot], Interaction::new(rt, rbytes));
             emitted += 1;
         }
@@ -67,8 +71,12 @@ pub fn generate_ctu13(config: &Ctu13Config) -> TemporalGraph {
             let other = (hub + 1 + rng.gen_range(0..config.hubs - 1)) % config.hubs;
             let t1 = t + short_delay(&mut rng, 60);
             let t2 = t1 + short_delay(&mut rng, 60);
-            let b1 = heavy_tailed_amount(&mut rng, config.mean_bytes).round().max(40.0);
-            let b2 = heavy_tailed_amount(&mut rng, config.mean_bytes).round().max(40.0);
+            let b1 = heavy_tailed_amount(&mut rng, config.mean_bytes)
+                .round()
+                .max(40.0);
+            let b2 = heavy_tailed_amount(&mut rng, config.mean_bytes)
+                .round()
+                .max(40.0);
             builder.add_interaction(ids[hub], ids[other], Interaction::new(t1, b1));
             builder.add_interaction(ids[other], ids[bot], Interaction::new(t2, b2));
             emitted += 2;
@@ -82,7 +90,11 @@ mod tests {
     use super::*;
 
     fn small() -> Ctu13Config {
-        Ctu13Config { seed: 9, ..Ctu13Config::default() }.scaled(0.1)
+        Ctu13Config {
+            seed: 9,
+            ..Ctu13Config::default()
+        }
+        .scaled(0.1)
     }
 
     #[test]
@@ -131,7 +143,14 @@ mod tests {
     #[test]
     fn contains_request_response_cycles() {
         let g = generate_ctu13(&small());
-        let reciprocal = g.edges().iter().filter(|e| g.has_edge(e.dst, e.src)).count();
-        assert!(reciprocal > 10, "expected plenty of request/response pairs, got {reciprocal}");
+        let reciprocal = g
+            .edges()
+            .iter()
+            .filter(|e| g.has_edge(e.dst, e.src))
+            .count();
+        assert!(
+            reciprocal > 10,
+            "expected plenty of request/response pairs, got {reciprocal}"
+        );
     }
 }

@@ -34,7 +34,12 @@ pub struct ExtractConfig {
 
 impl Default for ExtractConfig {
     fn default() -> Self {
-        ExtractConfig { max_hops: 3, max_interactions: 10_000, min_interactions: 4, max_subgraphs: 0 }
+        ExtractConfig {
+            max_hops: 3,
+            max_interactions: 10_000,
+            min_interactions: 4,
+            max_subgraphs: 0,
+        }
     }
 }
 
@@ -180,7 +185,12 @@ pub fn extract_seed_subgraph(
     if sub.out_degree(source) == 0 || sub.in_degree(sink) == 0 {
         return None;
     }
-    Some(SeedSubgraph { seed, graph: sub, source, sink })
+    Some(SeedSubgraph {
+        seed,
+        graph: sub,
+        source,
+        sink,
+    })
 }
 
 /// Whether adding edge `(from, to)` would close a directed cycle, i.e. `to`
@@ -273,7 +283,10 @@ mod tests {
         // v2 lies on a 3-hop cycle, which is within the hop budget; the
         // resulting subgraph is tiny (3 interactions), so relax the minimum
         // size filter to observe it.
-        let relaxed = ExtractConfig { min_interactions: 1, ..ExtractConfig::default() };
+        let relaxed = ExtractConfig {
+            min_interactions: 1,
+            ..ExtractConfig::default()
+        };
         assert!(extract_seed_subgraph(&g, v2, &relaxed).is_some());
     }
 
@@ -287,7 +300,10 @@ mod tests {
         ]);
         let a = g.node_by_name("a").unwrap();
         assert!(extract_seed_subgraph(&g, a, &ExtractConfig::default()).is_none());
-        let relaxed = ExtractConfig { max_hops: 4, ..ExtractConfig::default() };
+        let relaxed = ExtractConfig {
+            max_hops: 4,
+            ..ExtractConfig::default()
+        };
         assert!(extract_seed_subgraph(&g, a, &relaxed).is_some());
     }
 
@@ -295,33 +311,71 @@ mod tests {
     fn size_filters_apply() {
         let g = toy();
         let seed = g.node_by_name("v0").unwrap();
-        let too_strict = ExtractConfig { min_interactions: 100, ..ExtractConfig::default() };
+        let too_strict = ExtractConfig {
+            min_interactions: 100,
+            ..ExtractConfig::default()
+        };
         assert!(extract_seed_subgraph(&g, seed, &too_strict).is_none());
-        let too_small = ExtractConfig { max_interactions: 2, ..ExtractConfig::default() };
+        let too_small = ExtractConfig {
+            max_interactions: 2,
+            ..ExtractConfig::default()
+        };
         assert!(extract_seed_subgraph(&g, seed, &too_small).is_none());
     }
 
     #[test]
     fn extracted_subgraphs_are_always_dags() {
-        let cfg = BitcoinConfig { seed: 3, ..BitcoinConfig::default() }.scaled(0.05);
+        let cfg = BitcoinConfig {
+            seed: 3,
+            ..BitcoinConfig::default()
+        }
+        .scaled(0.05);
         let g = generate_bitcoin(&cfg);
-        let subs = extract_seed_subgraphs(&g, &ExtractConfig { max_subgraphs: 50, ..Default::default() });
-        assert!(!subs.is_empty(), "the bitcoin generator should produce extractable seeds");
+        let subs = extract_seed_subgraphs(
+            &g,
+            &ExtractConfig {
+                max_subgraphs: 50,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !subs.is_empty(),
+            "the bitcoin generator should produce extractable seeds"
+        );
         for sub in &subs {
-            assert!(is_dag(&sub.graph), "subgraph around seed {} is not a DAG", sub.seed);
+            assert!(
+                is_dag(&sub.graph),
+                "subgraph around seed {} is not a DAG",
+                sub.seed
+            );
             sub.graph.validate().unwrap();
             assert!(sub.interaction_count() >= 4);
             // Flow computation works end to end.
-            let r = tin_flow::compute_flow(&sub.graph, sub.source, sub.sink, tin_flow::FlowMethod::PreSim);
+            let r = tin_flow::compute_flow(
+                &sub.graph,
+                sub.source,
+                sub.sink,
+                tin_flow::FlowMethod::PreSim,
+            );
             assert!(r.is_ok());
         }
     }
 
     #[test]
     fn max_subgraphs_limit_is_respected() {
-        let cfg = BitcoinConfig { seed: 3, ..BitcoinConfig::default() }.scaled(0.05);
+        let cfg = BitcoinConfig {
+            seed: 3,
+            ..BitcoinConfig::default()
+        }
+        .scaled(0.05);
         let g = generate_bitcoin(&cfg);
-        let subs = extract_seed_subgraphs(&g, &ExtractConfig { max_subgraphs: 5, ..Default::default() });
+        let subs = extract_seed_subgraphs(
+            &g,
+            &ExtractConfig {
+                max_subgraphs: 5,
+                ..Default::default()
+            },
+        );
         assert!(subs.len() <= 5);
     }
 }

@@ -47,8 +47,17 @@ use tin_graph::TemporalGraph;
 /// scale with the given seed.
 pub fn generate(kind: DatasetKind, seed: u64) -> TemporalGraph {
     match kind {
-        DatasetKind::Bitcoin => generate_bitcoin(&BitcoinConfig { seed, ..BitcoinConfig::default() }),
-        DatasetKind::Ctu13 => generate_ctu13(&Ctu13Config { seed, ..Ctu13Config::default() }),
-        DatasetKind::Prosper => generate_prosper(&ProsperConfig { seed, ..ProsperConfig::default() }),
+        DatasetKind::Bitcoin => generate_bitcoin(&BitcoinConfig {
+            seed,
+            ..BitcoinConfig::default()
+        }),
+        DatasetKind::Ctu13 => generate_ctu13(&Ctu13Config {
+            seed,
+            ..Ctu13Config::default()
+        }),
+        DatasetKind::Prosper => generate_prosper(&ProsperConfig {
+            seed,
+            ..ProsperConfig::default()
+        }),
     }
 }

@@ -17,7 +17,9 @@ pub fn generate_prosper(config: &ProsperConfig) -> TemporalGraph {
     assert!(config.nodes >= 4, "need at least 4 vertices");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut builder = GraphBuilder::with_capacity(config.nodes, config.interactions / 2);
-    let ids: Vec<_> = (0..config.nodes).map(|i| builder.add_node(format!("member{i}"))).collect();
+    let ids: Vec<_> = (0..config.nodes)
+        .map(|i| builder.add_node(format!("member{i}")))
+        .collect();
 
     // Role assignment: [0, lenders) lend only, [lenders, lenders+mixed) do
     // both, the rest borrow only.
@@ -49,16 +51,27 @@ pub fn generate_prosper(config: &ProsperConfig) -> TemporalGraph {
             if next != borrower && next != lender {
                 let t2 = t + short_delay(&mut rng, 90 * day);
                 let a2 = (amount * rng.gen_range(0.3..0.9) * 100.0).round() / 100.0;
-                builder.add_interaction(ids[borrower], ids[next], Interaction::new(t2, a2.max(0.01)));
+                builder.add_interaction(
+                    ids[borrower],
+                    ids[next],
+                    Interaction::new(t2, a2.max(0.01)),
+                );
                 emitted += 1;
             }
         }
 
         // Repayment flows create 2-hop cycles.
-        if emitted < config.interactions && lender >= borrow_start && rng.gen_bool(config.reciprocation) {
+        if emitted < config.interactions
+            && lender >= borrow_start
+            && rng.gen_bool(config.reciprocation)
+        {
             let t3 = t + short_delay(&mut rng, 365 * day);
             let a3 = (amount * rng.gen_range(0.8..1.1) * 100.0).round() / 100.0;
-            builder.add_interaction(ids[borrower], ids[lender], Interaction::new(t3, a3.max(0.01)));
+            builder.add_interaction(
+                ids[borrower],
+                ids[lender],
+                Interaction::new(t3, a3.max(0.01)),
+            );
             emitted += 1;
         }
     }
@@ -70,7 +83,11 @@ mod tests {
     use super::*;
 
     fn small() -> ProsperConfig {
-        ProsperConfig { seed: 11, ..ProsperConfig::default() }.scaled(0.1)
+        ProsperConfig {
+            seed: 11,
+            ..ProsperConfig::default()
+        }
+        .scaled(0.1)
     }
 
     #[test]
@@ -113,7 +130,10 @@ mod tests {
         let total: f64 = g.total_quantity();
         let avg = total / g.interaction_count() as f64;
         assert!(avg > 0.0);
-        assert!(avg < cfg.mean_amount * 20.0, "average loan {avg} is implausibly large");
+        assert!(
+            avg < cfg.mean_amount * 20.0,
+            "average loan {avg} is implausibly large"
+        );
     }
 
     #[test]
@@ -124,6 +144,9 @@ mod tests {
         let max = g.max_time().unwrap();
         assert!(min >= cfg.start_time);
         assert!(max <= cfg.start_time + cfg.duration + 366 * 24 * 3600);
-        assert!(max - min > cfg.duration / 2, "interactions should spread over the period");
+        assert!(
+            max - min > cfg.duration / 2,
+            "interactions should spread over the period"
+        );
     }
 }

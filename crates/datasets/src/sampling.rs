@@ -41,7 +41,11 @@ pub(crate) struct PreferentialSampler {
 
 impl PreferentialSampler {
     pub(crate) fn new(population: usize, uniform_probability: f64) -> Self {
-        PreferentialSampler { pool: (0..population).collect(), population, uniform_probability }
+        PreferentialSampler {
+            pool: (0..population).collect(),
+            population,
+            uniform_probability,
+        }
     }
 
     /// Records that `vertex` participated in an interaction.
@@ -83,10 +87,15 @@ mod tests {
     #[test]
     fn amounts_are_positive_and_heavy_tailed() {
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..5000).map(|_| heavy_tailed_amount(&mut rng, 100.0)).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| heavy_tailed_amount(&mut rng, 100.0))
+            .collect();
         assert!(samples.iter().all(|&a| a > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!(mean > 10.0 && mean < 1000.0, "mean {mean} out of expected band");
+        assert!(
+            mean > 10.0 && mean < 1000.0,
+            "mean {mean} out of expected band"
+        );
         let max = samples.iter().cloned().fold(0.0f64, f64::max);
         assert!(max > mean * 3.0, "distribution should have a heavy tail");
     }

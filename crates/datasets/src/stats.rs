@@ -20,8 +20,17 @@ pub struct DatasetStats {
 /// Computes the Table 4 row for a dataset.
 pub fn dataset_stats(graph: &TemporalGraph) -> DatasetStats {
     let interactions = graph.interaction_count();
-    let avg_flow = if interactions == 0 { 0.0 } else { graph.total_quantity() / interactions as f64 };
-    DatasetStats { nodes: graph.node_count(), edges: graph.edge_count(), interactions, avg_flow }
+    let avg_flow = if interactions == 0 {
+        0.0
+    } else {
+        graph.total_quantity() / interactions as f64
+    };
+    DatasetStats {
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        interactions,
+        avg_flow,
+    }
 }
 
 /// Characteristics of a set of extracted subgraphs — one row of Table 5.
@@ -40,14 +49,31 @@ pub struct SubgraphStats {
 /// Computes the Table 5 row for a set of extracted subgraphs.
 pub fn subgraph_stats(subgraphs: &[SeedSubgraph]) -> SubgraphStats {
     if subgraphs.is_empty() {
-        return SubgraphStats { subgraphs: 0, avg_vertices: 0.0, avg_edges: 0.0, avg_interactions: 0.0 };
+        return SubgraphStats {
+            subgraphs: 0,
+            avg_vertices: 0.0,
+            avg_edges: 0.0,
+            avg_interactions: 0.0,
+        };
     }
     let n = subgraphs.len() as f64;
     SubgraphStats {
         subgraphs: subgraphs.len(),
-        avg_vertices: subgraphs.iter().map(|s| s.graph.node_count()).sum::<usize>() as f64 / n,
-        avg_edges: subgraphs.iter().map(|s| s.graph.edge_count()).sum::<usize>() as f64 / n,
-        avg_interactions: subgraphs.iter().map(|s| s.graph.interaction_count()).sum::<usize>() as f64 / n,
+        avg_vertices: subgraphs
+            .iter()
+            .map(|s| s.graph.node_count())
+            .sum::<usize>() as f64
+            / n,
+        avg_edges: subgraphs
+            .iter()
+            .map(|s| s.graph.edge_count())
+            .sum::<usize>() as f64
+            / n,
+        avg_interactions: subgraphs
+            .iter()
+            .map(|s| s.graph.interaction_count())
+            .sum::<usize>() as f64
+            / n,
     }
 }
 
@@ -61,11 +87,7 @@ mod tests {
 
     #[test]
     fn dataset_stats_on_a_tiny_graph() {
-        let g = from_records([
-            ("a", "b", 1, 2.0),
-            ("a", "b", 3, 4.0),
-            ("b", "c", 2, 6.0),
-        ]);
+        let g = from_records([("a", "b", 1, 2.0), ("a", "b", 3, 4.0), ("b", "c", 2, 6.0)]);
         let s = dataset_stats(&g);
         assert_eq!(s.nodes, 3);
         assert_eq!(s.edges, 2);
@@ -83,9 +105,19 @@ mod tests {
 
     #[test]
     fn subgraph_stats_aggregate_correctly() {
-        let cfg = BitcoinConfig { seed: 5, ..BitcoinConfig::default() }.scaled(0.05);
+        let cfg = BitcoinConfig {
+            seed: 5,
+            ..BitcoinConfig::default()
+        }
+        .scaled(0.05);
         let g = generate_bitcoin(&cfg);
-        let subs = extract_seed_subgraphs(&g, &ExtractConfig { max_subgraphs: 20, ..Default::default() });
+        let subs = extract_seed_subgraphs(
+            &g,
+            &ExtractConfig {
+                max_subgraphs: 20,
+                ..Default::default()
+            },
+        );
         let s = subgraph_stats(&subs);
         assert_eq!(s.subgraphs, subs.len());
         if !subs.is_empty() {
@@ -99,7 +131,11 @@ mod tests {
 
     #[test]
     fn average_flow_tracks_the_configured_mean() {
-        let cfg = BitcoinConfig { seed: 6, ..BitcoinConfig::default() }.scaled(0.1);
+        let cfg = BitcoinConfig {
+            seed: 6,
+            ..BitcoinConfig::default()
+        }
+        .scaled(0.1);
         let g = generate_bitcoin(&cfg);
         let s = dataset_stats(&g);
         // Heavy-tailed, but the mean should be within a factor of ~10 of the

@@ -79,7 +79,10 @@ impl GraphBuilder {
     /// Panics if either node id has not been created by this builder.
     pub fn add_interaction(&mut self, src: NodeId, dst: NodeId, interaction: Interaction) {
         assert!(src.index() < self.nodes.len(), "unknown source node {src}");
-        assert!(dst.index() < self.nodes.len(), "unknown destination node {dst}");
+        assert!(
+            dst.index() < self.nodes.len(),
+            "unknown destination node {dst}"
+        );
         let key = (src, dst);
         match self.edge_map.get_mut(&key) {
             Some(list) => list.push(interaction),
@@ -107,12 +110,21 @@ impl GraphBuilder {
 
     /// Finalizes the builder into an immutable [`TemporalGraph`].
     pub fn build(self) -> TemporalGraph {
-        let GraphBuilder { nodes, edge_order, mut edge_map, .. } = self;
+        let GraphBuilder {
+            nodes,
+            edge_order,
+            mut edge_map,
+            ..
+        } = self;
         let mut edges = Vec::with_capacity(edge_order.len());
         for key in edge_order {
             let mut interactions = edge_map.remove(&key).expect("edge recorded but missing");
             sort_chronologically(&mut interactions);
-            edges.push(Edge { src: key.0, dst: key.1, interactions });
+            edges.push(Edge {
+                src: key.0,
+                dst: key.1,
+                interactions,
+            });
         }
         TemporalGraph::from_parts(nodes, edges)
     }
@@ -163,7 +175,11 @@ mod tests {
         let e = g.edge(g.find_edge(a, c).unwrap());
         assert_eq!(
             e.interactions,
-            vec![Interaction::new(2, 2.0), Interaction::new(5, 1.0), Interaction::new(9, 3.0)]
+            vec![
+                Interaction::new(2, 2.0),
+                Interaction::new(5, 1.0),
+                Interaction::new(9, 3.0)
+            ]
         );
     }
 
@@ -192,7 +208,11 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_edge(a, c, vec![Interaction::new(3, 1.0), Interaction::new(1, 2.0)]);
+        b.add_edge(
+            a,
+            c,
+            vec![Interaction::new(3, 1.0), Interaction::new(1, 2.0)],
+        );
         b.add_pairs(c, a, &[(4, 1.0), (2, 7.0)]);
         let g = b.build();
         assert_eq!(g.edge_count(), 2);

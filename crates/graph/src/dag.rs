@@ -24,12 +24,18 @@ pub const SYNTHETIC_SINK_NAME: &str = "__synthetic_sink__";
 
 /// Vertices of a graph that have no incoming edges.
 pub fn sources(graph: &TemporalGraph) -> Vec<NodeId> {
-    graph.node_ids().filter(|&v| graph.in_degree(v) == 0).collect()
+    graph
+        .node_ids()
+        .filter(|&v| graph.in_degree(v) == 0)
+        .collect()
 }
 
 /// Vertices of a graph that have no outgoing edges.
 pub fn sinks(graph: &TemporalGraph) -> Vec<NodeId> {
-    graph.node_ids().filter(|&v| graph.out_degree(v) == 0).collect()
+    graph
+        .node_ids()
+        .filter(|&v| graph.out_degree(v) == 0)
+        .collect()
 }
 
 /// Identification of the (unique) source and sink of a flow DAG.
@@ -52,12 +58,17 @@ pub fn endpoints(graph: &TemporalGraph) -> Result<EndpointInfo, GraphError> {
     let sources = sources(graph);
     let sinks = sinks(graph);
     if sources.len() != 1 {
-        return Err(GraphError::NoUniqueSource { found: sources.len() });
+        return Err(GraphError::NoUniqueSource {
+            found: sources.len(),
+        });
     }
     if sinks.len() != 1 {
         return Err(GraphError::NoUniqueSink { found: sinks.len() });
     }
-    Ok(EndpointInfo { source: sources[0], sink: sinks[0] })
+    Ok(EndpointInfo {
+        source: sources[0],
+        sink: sinks[0],
+    })
 }
 
 /// Result of [`augment_with_synthetic_endpoints`].
@@ -144,7 +155,13 @@ pub fn augment_with_synthetic_endpoints(
     } else {
         orig_sinks[0]
     };
-    Ok(AugmentedGraph { graph: b.build(), source, sink, added_source: need_source, added_sink: need_sink })
+    Ok(AugmentedGraph {
+        graph: b.build(),
+        source,
+        sink,
+        added_source: need_source,
+        added_sink: need_sink,
+    })
 }
 
 #[cfg(test)]
@@ -186,7 +203,10 @@ mod tests {
     #[test]
     fn endpoints_rejects_multiple_sources() {
         let (g, _) = figure4();
-        assert!(matches!(endpoints(&g), Err(GraphError::NoUniqueSource { found: 2 })));
+        assert!(matches!(
+            endpoints(&g),
+            Err(GraphError::NoUniqueSource { found: 2 })
+        ));
     }
 
     #[test]
@@ -212,7 +232,10 @@ mod tests {
         // earliest interactions.
         let s = aug.source;
         for orig in [x, y] {
-            let e = aug.graph.find_edge(s, orig).expect("edge from synthetic source");
+            let e = aug
+                .graph
+                .find_edge(s, orig)
+                .expect("edge from synthetic source");
             let ints = &aug.graph.edge(e).interactions;
             assert_eq!(ints.len(), 1);
             assert!(ints[0].is_unbounded());
@@ -221,7 +244,10 @@ mod tests {
         // Synthetic sink reachable from both original sinks.
         let t = aug.sink;
         for orig in [z, w] {
-            let e = aug.graph.find_edge(orig, t).expect("edge to synthetic sink");
+            let e = aug
+                .graph
+                .find_edge(orig, t)
+                .expect("edge to synthetic sink");
             let ints = &aug.graph.edge(e).interactions;
             assert_eq!(ints.len(), 1);
             assert!(ints[0].is_unbounded());
@@ -259,7 +285,10 @@ mod tests {
         b.add_pairs(a, c, &[(1, 1.0)]);
         b.add_pairs(c, a, &[(2, 1.0)]);
         let g = b.build();
-        assert!(matches!(augment_with_synthetic_endpoints(&g), Err(GraphError::NotADag)));
+        assert!(matches!(
+            augment_with_synthetic_endpoints(&g),
+            Err(GraphError::NotADag)
+        ));
     }
 
     #[test]

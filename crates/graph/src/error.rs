@@ -64,13 +64,26 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(GraphError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
-        assert_eq!(GraphError::UnknownEdge(EdgeId(1)).to_string(), "unknown edge e1");
+        assert_eq!(
+            GraphError::UnknownNode(NodeId(3)).to_string(),
+            "unknown node n3"
+        );
+        assert_eq!(
+            GraphError::UnknownEdge(EdgeId(1)).to_string(),
+            "unknown edge e1"
+        );
         assert!(GraphError::NotADag.to_string().contains("acyclic"));
-        assert!(GraphError::NoUniqueSource { found: 2 }.to_string().contains("found 2"));
-        assert!(GraphError::NoUniqueSink { found: 0 }.to_string().contains("found 0"));
+        assert!(GraphError::NoUniqueSource { found: 2 }
+            .to_string()
+            .contains("found 2"));
+        assert!(GraphError::NoUniqueSink { found: 0 }
+            .to_string()
+            .contains("found 0"));
         assert!(GraphError::SelfLoop(NodeId(0)).to_string().contains("n0"));
-        let p = GraphError::Parse { line: 4, message: "bad token".into() };
+        let p = GraphError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
         assert!(p.to_string().contains("line 4"));
     }
 }

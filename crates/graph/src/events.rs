@@ -129,7 +129,10 @@ mod tests {
             let edge = g.edge(e.edge);
             assert_eq!(edge.src, e.src);
             assert_eq!(edge.dst, e.dst);
-            assert_eq!(edge.interactions[e.index], Interaction::new(e.time, e.quantity));
+            assert_eq!(
+                edge.interactions[e.index],
+                Interaction::new(e.time, e.quantity)
+            );
         }
     }
 

@@ -84,7 +84,13 @@ impl TemporalGraph {
             in_edges[e.dst.index()].push(id);
             edge_index.insert((e.src, e.dst), id);
         }
-        TemporalGraph { nodes, edges, out_edges, in_edges, edge_index }
+        TemporalGraph {
+            nodes,
+            edges,
+            out_edges,
+            in_edges,
+            edge_index,
+        }
     }
 
     /// Rebuilds the `(src, dst) -> edge` index (needed after deserialization,
@@ -186,12 +192,16 @@ impl TemporalGraph {
 
     /// Successor vertices of `v`.
     pub fn out_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_edges[v.index()].iter().map(move |&e| self.edges[e.index()].dst)
+        self.out_edges[v.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
     }
 
     /// Predecessor vertices of `v`.
     pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.in_edges[v.index()].iter().map(move |&e| self.edges[e.index()].src)
+        self.in_edges[v.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
     }
 
     /// Looks up the edge from `src` to `dst`, if present.
@@ -209,7 +219,10 @@ impl TemporalGraph {
     /// Finds a node by its external name (linear scan; intended for small
     /// graphs and tests).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes.iter().position(|n| n.name == name).map(NodeId::from_index)
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId::from_index)
     }
 
     /// The earliest interaction timestamp in the whole graph.
@@ -230,7 +243,9 @@ impl TemporalGraph {
                 return Err(format!("edge e{i} references an out-of-range node"));
             }
             if !interaction::is_chronological(&e.interactions) {
-                return Err(format!("edge e{i} interactions are not chronologically sorted"));
+                return Err(format!(
+                    "edge e{i} interactions are not chronologically sorted"
+                ));
             }
             let id = EdgeId::from_index(i);
             if !self.out_edges[e.src.index()].contains(&id) {

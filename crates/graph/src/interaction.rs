@@ -69,9 +69,11 @@ impl Interaction {
     /// so the ordering is total in practice.
     #[inline]
     pub fn chronological_cmp(&self, other: &Self) -> Ordering {
-        self.time
-            .cmp(&other.time)
-            .then(self.quantity.partial_cmp(&other.quantity).unwrap_or(Ordering::Equal))
+        self.time.cmp(&other.time).then(
+            self.quantity
+                .partial_cmp(&other.quantity)
+                .unwrap_or(Ordering::Equal),
+        )
     }
 }
 
@@ -197,7 +199,10 @@ mod tests {
         let m = merge_sorted(&a, &b);
         assert_eq!(m.len(), 6);
         assert!(is_chronological(&m));
-        assert_eq!(m.iter().map(|i| i.time).collect::<Vec<_>>(), vec![1, 2, 4, 4, 9, 10]);
+        assert_eq!(
+            m.iter().map(|i| i.time).collect::<Vec<_>>(),
+            vec![1, 2, 4, 4, 9, 10]
+        );
     }
 
     #[test]

@@ -61,15 +61,16 @@ pub fn from_text(text: &str) -> Result<TemporalGraph, GraphError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let (src, dst, time, quantity) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
-            _ => {
-                return Err(GraphError::Parse {
-                    line: line_number,
-                    message: format!("expected `src dst time quantity`, got `{trimmed}`"),
-                })
-            }
-        };
+        let (src, dst, time, quantity) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                _ => {
+                    return Err(GraphError::Parse {
+                        line: line_number,
+                        message: format!("expected `src dst time quantity`, got `{trimmed}`"),
+                    })
+                }
+            };
         if parts.next().is_some() {
             return Err(GraphError::Parse {
                 line: line_number,
@@ -128,7 +129,10 @@ mod tests {
 
     #[test]
     fn json_parse_error_is_reported() {
-        assert!(matches!(from_json("not json"), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            from_json("not json"),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct TopoError {
 
 impl std::fmt::Display for TopoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph contains a directed cycle ({} vertices unordered)", self.unordered)
+        write!(
+            f,
+            "graph contains a directed cycle ({} vertices unordered)",
+            self.unordered
+        )
     }
 }
 
@@ -33,7 +37,9 @@ impl std::error::Error for TopoError {}
 /// contains a directed cycle (self-loops included).
 pub fn topological_order(graph: &TemporalGraph) -> Result<Vec<NodeId>, TopoError> {
     let n = graph.node_count();
-    let mut in_deg: Vec<usize> = (0..n).map(|i| graph.in_degree(NodeId::from_index(i))).collect();
+    let mut in_deg: Vec<usize> = (0..n)
+        .map(|i| graph.in_degree(NodeId::from_index(i)))
+        .collect();
     // A BinaryHeap would give the smallest-id-first property directly, but a
     // deque plus the natural id ordering of the initial frontier is enough
     // for determinism and is cheaper.
@@ -54,7 +60,9 @@ pub fn topological_order(graph: &TemporalGraph) -> Result<Vec<NodeId>, TopoError
     if order.len() == n {
         Ok(order)
     } else {
-        Err(TopoError { unordered: n - order.len() })
+        Err(TopoError {
+            unordered: n - order.len(),
+        })
     }
 }
 

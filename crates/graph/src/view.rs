@@ -62,7 +62,11 @@ pub fn induced_subgraph(graph: &TemporalGraph, vertices: &[NodeId]) -> SubgraphS
             }
         }
     }
-    SubgraphSpec { graph: b.build(), original, mapping }
+    SubgraphSpec {
+        graph: b.build(),
+        original,
+        mapping,
+    }
 }
 
 /// Extracts the subgraph formed by a set of edges: exactly the listed edges
@@ -72,10 +76,10 @@ pub fn edge_induced_subgraph(graph: &TemporalGraph, edges: &[EdgeId]) -> Subgrap
     let mut original = Vec::new();
     let mut b = GraphBuilder::new();
     let get = |b: &mut GraphBuilder,
-                   mapping: &mut HashMap<NodeId, NodeId>,
-                   original: &mut Vec<NodeId>,
-                   v: NodeId,
-                   name: &str| {
+               mapping: &mut HashMap<NodeId, NodeId>,
+               original: &mut Vec<NodeId>,
+               v: NodeId,
+               name: &str| {
         *mapping.entry(v).or_insert_with(|| {
             let id = b.add_node(name.to_string());
             original.push(v);
@@ -84,11 +88,27 @@ pub fn edge_induced_subgraph(graph: &TemporalGraph, edges: &[EdgeId]) -> Subgrap
     };
     for &eid in edges {
         let edge = graph.edge(eid);
-        let src = get(&mut b, &mut mapping, &mut original, edge.src, &graph.node(edge.src).name);
-        let dst = get(&mut b, &mut mapping, &mut original, edge.dst, &graph.node(edge.dst).name);
+        let src = get(
+            &mut b,
+            &mut mapping,
+            &mut original,
+            edge.src,
+            &graph.node(edge.src).name,
+        );
+        let dst = get(
+            &mut b,
+            &mut mapping,
+            &mut original,
+            edge.dst,
+            &graph.node(edge.dst).name,
+        );
         b.add_edge(src, dst, edge.interactions.clone());
     }
-    SubgraphSpec { graph: b.build(), original, mapping }
+    SubgraphSpec {
+        graph: b.build(),
+        original,
+        mapping,
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +175,10 @@ mod tests {
         let v0 = sub.to_sub(ids[0]).unwrap();
         let v1 = sub.to_sub(ids[1]).unwrap();
         let e = sub.graph.edge(sub.graph.find_edge(v0, v1).unwrap());
-        assert_eq!(e.interactions, vec![Interaction::new(1, 1.0), Interaction::new(4, 2.0)]);
+        assert_eq!(
+            e.interactions,
+            vec![Interaction::new(1, 1.0), Interaction::new(4, 2.0)]
+        );
     }
 
     #[test]

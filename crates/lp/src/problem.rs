@@ -126,7 +126,11 @@ impl LpProblem {
                 None => merged.push((var, c)),
             }
         }
-        self.rows.push(Row { coeffs: merged, op, rhs });
+        self.rows.push(Row {
+            coeffs: merged,
+            op,
+            rhs,
+        });
     }
 
     /// Adds a `≤` constraint (the most common case in the flow formulation).

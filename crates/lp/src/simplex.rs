@@ -82,14 +82,14 @@ impl Tableau {
     /// current basis: `obj[j] = c_B · B⁻¹ A_j − c_j`, `obj[rhs] = c_B · B⁻¹ b`.
     fn price(&mut self, costs: &[f64]) {
         let mut obj = vec![0.0; self.n_cols + 1];
-        for j in 0..self.n_cols {
-            obj[j] = -costs.get(j).copied().unwrap_or(0.0);
+        for (j, o) in obj.iter_mut().enumerate().take(self.n_cols) {
+            *o = -costs.get(j).copied().unwrap_or(0.0);
         }
         for (i, &b) in self.basis.iter().enumerate() {
             let cb = costs.get(b).copied().unwrap_or(0.0);
             if cb != 0.0 {
-                for j in 0..=self.n_cols {
-                    obj[j] += cb * self.rows[i][j];
+                for (o, &a) in obj.iter_mut().zip(&self.rows[i]) {
+                    *o += cb * a;
                 }
             }
         }
@@ -143,7 +143,12 @@ impl Tableau {
 
 /// Runs the simplex loop for the current objective row. Returns `Ok(pivots)`
 /// at optimality, `Err(status)` for unbounded / iteration-limit outcomes.
-fn optimize(t: &mut Tableau, col_limit: usize, max_iters: usize, pivots: &mut usize) -> Result<(), LpStatus> {
+fn optimize(
+    t: &mut Tableau,
+    col_limit: usize,
+    max_iters: usize,
+    pivots: &mut usize,
+) -> Result<(), LpStatus> {
     let bland_threshold = max_iters / 2;
     let mut local = 0usize;
     loop {
@@ -310,7 +315,12 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
         }
     }
     let objective = problem.objective_value(&x);
-    LpSolution { status: LpStatus::Optimal, objective, variables: x, iterations: pivots }
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        variables: x,
+        iterations: pivots,
+    }
 }
 
 /// Returns the constraint operator after normalizing the row to a
@@ -536,7 +546,9 @@ mod tests {
         let mut p = LpProblem::new(n);
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for j in 0..n {

@@ -33,7 +33,12 @@ pub struct LpSolution {
 impl LpSolution {
     /// Convenience constructor for non-optimal outcomes.
     pub(crate) fn with_status(status: LpStatus, iterations: usize) -> Self {
-        LpSolution { status, objective: 0.0, variables: Vec::new(), iterations }
+        LpSolution {
+            status,
+            objective: 0.0,
+            variables: Vec::new(),
+            iterations,
+        }
     }
 
     /// Whether the solver proved optimality.

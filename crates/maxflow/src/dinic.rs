@@ -98,7 +98,9 @@ fn dfs(
         if current == source {
             return 0.0;
         }
-        let a = path.pop().expect("non-source dead end must have a parent arc");
+        let a = path
+            .pop()
+            .expect("non-source dead end must have a parent arc");
         // Find the node we came from: the residual companion's target.
         let parent = net.arc_to(a ^ 1);
         iter[parent] += 1;

@@ -1,6 +1,6 @@
 //! Edmonds–Karp maximum flow (BFS augmenting paths).
 //!
-//! Used as an independent cross-check of [`crate::dinic`] in tests and as the
+//! Used as an independent cross-check of [`crate::dinic()`] in tests and as the
 //! baseline the paper's complexity discussion refers to (Section 4.2.1 cites
 //! Edmonds–Karp for the quadratic bound on the time-expanded network).
 
@@ -106,7 +106,9 @@ mod tests {
         // Deterministic pseudo-random layered networks.
         let mut state = 7u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..20 {
@@ -124,7 +126,10 @@ mod tests {
             }
             let f1 = edmonds_karp(&mut a, 0, n - 1);
             let f2 = dinic(&mut b, 0, n - 1);
-            assert!((f1 - f2).abs() < 1e-6, "trial {trial}: EK {f1} vs Dinic {f2}");
+            assert!(
+                (f1 - f2).abs() < 1e-6,
+                "trial {trial}: EK {f1} vs Dinic {f2}"
+            );
         }
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! * [`FlowNetwork`] — a residual-arc representation of a static capacitated
 //!   network;
-//! * [`dinic`] and [`edmonds_karp`] — two textbook max-flow algorithms
+//! * [`mod@dinic`] and [`mod@edmonds_karp`] — two textbook max-flow algorithms
 //!   (Dinic is used as the fast exact oracle, Edmonds–Karp as an independent
 //!   cross-check);
 //! * [`time_expanded`] — the reduction from a temporal interaction DAG to a

@@ -30,7 +30,10 @@ impl FlowNetwork {
 
     /// Creates a network with `n` pre-allocated nodes (ids `0..n`).
     pub fn with_nodes(n: usize) -> Self {
-        FlowNetwork { arcs: Vec::new(), adjacency: vec![Vec::new(); n] }
+        FlowNetwork {
+            arcs: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
     }
 
     /// Adds a node and returns its id.
@@ -58,9 +61,15 @@ impl FlowNetwork {
     /// Panics if a node id is out of range or the capacity is negative,
     /// NaN or infinite.
     pub fn add_arc(&mut self, from: usize, to: usize, cap: f64) -> ArcId {
-        assert!(from < self.adjacency.len(), "arc source {from} out of range");
+        assert!(
+            from < self.adjacency.len(),
+            "arc source {from} out of range"
+        );
         assert!(to < self.adjacency.len(), "arc target {to} out of range");
-        assert!(cap.is_finite() && cap >= 0.0, "arc capacity must be finite and non-negative, got {cap}");
+        assert!(
+            cap.is_finite() && cap >= 0.0,
+            "arc capacity must be finite and non-negative, got {cap}"
+        );
         let id = self.arcs.len();
         self.arcs.push(Arc { to, cap });
         self.arcs.push(Arc { to: from, cap: 0.0 });

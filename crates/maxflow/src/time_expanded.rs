@@ -57,7 +57,13 @@ impl TimeExpandedNetwork {
             .edges()
             .iter()
             .flat_map(|e| e.interactions.iter())
-            .map(|i| if i.quantity.is_finite() { i.quantity } else { 0.0 })
+            .map(|i| {
+                if i.quantity.is_finite() {
+                    i.quantity
+                } else {
+                    0.0
+                }
+            })
             .sum();
         let unbounded = finite_total + 1.0;
 
@@ -109,7 +115,11 @@ impl TimeExpandedNetwork {
                 continue;
             }
             for inter in &edge.interactions {
-                let cap = if inter.quantity.is_finite() { inter.quantity } else { unbounded };
+                let cap = if inter.quantity.is_finite() {
+                    inter.quantity
+                } else {
+                    unbounded
+                };
                 // Tail: the latest copy of the edge source strictly before t.
                 let tail = if edge.src == source {
                     Some(src_node)
@@ -152,7 +162,12 @@ impl TimeExpandedNetwork {
     /// Solves the static max-flow problem with Dinic's algorithm and returns
     /// the maximum temporal flow value.
     pub fn max_flow(&mut self) -> Quantity {
-        let TimeExpandedNetwork { network, source, sink, .. } = self;
+        let TimeExpandedNetwork {
+            network,
+            source,
+            sink,
+            ..
+        } = self;
         dinic(network, *source, *sink)
     }
 }

@@ -24,7 +24,10 @@ pub fn enumerate_gb(graph: &TemporalGraph, pattern: &Pattern, limit: usize) -> V
     let order = pattern.topological_order().expect("patterns are DAGs");
     let mut mapping: Vec<Option<NodeId>> = vec![None; pattern.vertex_count()];
     let mut out = Vec::new();
-    let mut stack_guard = Guard { limit, out: &mut out };
+    let mut stack_guard = Guard {
+        limit,
+        out: &mut out,
+    };
     // The first vertex in topological order is the pattern source; every
     // graph vertex with sufficient out-degree is a candidate.
     assign(graph, pattern, &order, 0, &mut mapping, &mut stack_guard);
@@ -57,17 +60,17 @@ fn assign(
         return;
     }
     if depth == order.len() {
-        let complete: Vec<NodeId> = mapping.iter().map(|m| m.expect("complete mapping")).collect();
+        let complete: Vec<NodeId> = mapping
+            .iter()
+            .map(|m| m.expect("complete mapping"))
+            .collect();
         guard.push(Instance::new(complete));
         return;
     }
     let p = order[depth];
 
     // A vertex with the same label as an already-mapped vertex is forced.
-    let forced = pattern
-        .same_label(p)
-        .into_iter()
-        .find_map(|q| mapping[q]);
+    let forced = pattern.same_label(p).into_iter().find_map(|q| mapping[q]);
 
     let candidates: Vec<NodeId> = match forced {
         Some(v) => vec![v],
@@ -135,7 +138,9 @@ fn is_consistent(
     // Label semantics: same label -> same vertex, different label ->
     // different vertex.
     for (q, assigned) in mapping.iter().enumerate() {
-        let Some(&gq) = assigned.as_ref() else { continue };
+        let Some(&gq) = assigned.as_ref() else {
+            continue;
+        };
         let same_label = pattern.label(q) == pattern.label(p);
         if same_label && gq != v {
             return false;
@@ -220,11 +225,7 @@ mod tests {
 
     #[test]
     fn two_hop_cycles_are_found_in_both_directions() {
-        let g = from_records([
-            ("x", "y", 1, 1.0),
-            ("y", "x", 2, 1.0),
-            ("x", "z", 3, 1.0),
-        ]);
+        let g = from_records([("x", "y", 1, 1.0), ("y", "x", 2, 1.0), ("x", "z", 3, 1.0)]);
         let p = PatternCatalogue::build(PatternId::P2);
         let instances = enumerate_gb(&g, &p, 0);
         // Anchored at x and anchored at y.
@@ -262,8 +263,11 @@ mod tests {
         // for anchor x; with it only one survives. Anchors y and z have only
         // one returning branch each, so no instance there.
         assert_eq!(instances.len(), 1);
-        let names: Vec<String> =
-            instances[0].mapping.iter().map(|&v| g.node(v).name.clone()).collect();
+        let names: Vec<String> = instances[0]
+            .mapping
+            .iter()
+            .map(|&v| g.node(v).name.clone())
+            .collect();
         assert_eq!(names[0], "x");
         assert_eq!(names[3], "x");
     }
@@ -272,11 +276,7 @@ mod tests {
     fn p6_instances_require_the_chord_edges() {
         // A 3-hop cycle without chords: no P6 instance. Adding the chords
         // creates exactly one (anchored at a).
-        let without = from_records([
-            ("a", "b", 1, 1.0),
-            ("b", "c", 2, 1.0),
-            ("c", "a", 3, 1.0),
-        ]);
+        let without = from_records([("a", "b", 1, 1.0), ("b", "c", 2, 1.0), ("c", "a", 3, 1.0)]);
         let p = PatternCatalogue::build(PatternId::P6);
         assert!(enumerate_gb(&without, &p, 0).is_empty());
 

@@ -73,12 +73,10 @@ impl PatternCatalogue {
     /// Builds the pattern with the given identifier.
     pub fn build(id: PatternId) -> Pattern {
         match id {
-            PatternId::P1 => {
-                Pattern::new("P1", &["a", "b", "c"], &[(0, 1), (1, 2)]).expect("valid catalogue pattern")
-            }
-            PatternId::P2 => {
-                Pattern::new("P2", &["a", "b", "a"], &[(0, 1), (1, 2)]).expect("valid catalogue pattern")
-            }
+            PatternId::P1 => Pattern::new("P1", &["a", "b", "c"], &[(0, 1), (1, 2)])
+                .expect("valid catalogue pattern"),
+            PatternId::P2 => Pattern::new("P2", &["a", "b", "a"], &[(0, 1), (1, 2)])
+                .expect("valid catalogue pattern"),
             PatternId::P3 => Pattern::new("P3", &["a", "b", "c", "a"], &[(0, 1), (1, 2), (2, 3)])
                 .expect("valid catalogue pattern"),
             PatternId::P4 => Pattern::new(
@@ -108,7 +106,10 @@ impl PatternCatalogue {
 
     /// Builds the whole catalogue in table order.
     pub fn all() -> Vec<(PatternId, Pattern)> {
-        PatternId::ALL.iter().map(|&id| (id, Self::build(id))).collect()
+        PatternId::ALL
+            .iter()
+            .map(|&id| (id, Self::build(id)))
+            .collect()
     }
 }
 
@@ -138,9 +139,19 @@ mod tests {
 
     #[test]
     fn cyclic_patterns_repeat_the_anchor_label() {
-        for id in [PatternId::P2, PatternId::P3, PatternId::P4, PatternId::P5, PatternId::P6] {
+        for id in [
+            PatternId::P2,
+            PatternId::P3,
+            PatternId::P4,
+            PatternId::P5,
+            PatternId::P6,
+        ] {
             let p = PatternCatalogue::build(id);
-            assert_eq!(p.label(p.source()), p.label(p.sink()), "{id} anchors on `a`");
+            assert_eq!(
+                p.label(p.source()),
+                p.label(p.sink()),
+                "{id} anchors on `a`"
+            );
         }
         let p1 = PatternCatalogue::build(PatternId::P1);
         assert_ne!(p1.label(p1.source()), p1.label(p1.sink()));

@@ -49,7 +49,11 @@ pub fn search_gb(graph: &TemporalGraph, id: PatternId, limit: usize) -> PatternS
         pattern: id.name().to_string(),
         instances: count,
         total_flow,
-        average_flow: if count == 0 { 0.0 } else { total_flow / count as f64 },
+        average_flow: if count == 0 {
+            0.0
+        } else {
+            total_flow / count as f64
+        },
         elapsed: start.elapsed(),
         truncated,
     }
@@ -78,7 +82,11 @@ pub fn search_pb(
         pattern: id.name().to_string(),
         instances: count,
         total_flow,
-        average_flow: if count == 0 { 0.0 } else { total_flow / count as f64 },
+        average_flow: if count == 0 {
+            0.0
+        } else {
+            total_flow / count as f64
+        },
         elapsed: start.elapsed(),
         truncated,
     })

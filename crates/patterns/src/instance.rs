@@ -36,11 +36,19 @@ impl Instance {
         graph: &TemporalGraph,
         pattern: &Pattern,
     ) -> (TemporalGraph, NodeId, NodeId) {
-        assert_eq!(self.mapping.len(), pattern.vertex_count(), "mapping arity mismatch");
+        assert_eq!(
+            self.mapping.len(),
+            pattern.vertex_count(),
+            "mapping arity mismatch"
+        );
         let mut b = GraphBuilder::with_capacity(pattern.vertex_count(), pattern.edges().len());
         let ids: Vec<NodeId> = (0..pattern.vertex_count())
             .map(|p| {
-                b.add_node(format!("{}:{}", pattern.label(p), graph.node(self.mapping[p]).name))
+                b.add_node(format!(
+                    "{}:{}",
+                    pattern.label(p),
+                    graph.node(self.mapping[p]).name
+                ))
             })
             .collect();
         for &(pa, pb) in pattern.edges() {
@@ -110,7 +118,10 @@ mod tests {
         let u3 = g.node_by_name("u3").unwrap();
         let inst = Instance::new(vec![u1, u2, u3, u1]);
         let flow = inst.flow(&g, &p, FlowMethod::PreSim).unwrap();
-        assert!((flow - 5.0).abs() < 1e-9, "Figure 2(c) reports a flow of $5, got {flow}");
+        assert!(
+            (flow - 5.0).abs() < 1e-9,
+            "Figure 2(c) reports a flow of $5, got {flow}"
+        );
         // The chain instance is greedy-soluble, so every exact method agrees.
         assert!((inst.flow(&g, &p, FlowMethod::Lp).unwrap() - 5.0).abs() < 1e-9);
         assert!((instance_flow(&g, &p, &[u1, u2, u3, u1]).unwrap() - 5.0).abs() < 1e-9);

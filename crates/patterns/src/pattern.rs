@@ -26,12 +26,19 @@ impl std::fmt::Display for PatternError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PatternError::Empty => write!(f, "pattern has no vertices"),
-            PatternError::EdgeOutOfRange(a, b) => write!(f, "pattern edge ({a}, {b}) is out of range"),
+            PatternError::EdgeOutOfRange(a, b) => {
+                write!(f, "pattern edge ({a}, {b}) is out of range")
+            }
             PatternError::NotADag => write!(f, "pattern graph must be a DAG"),
-            PatternError::NoUniqueSource => write!(f, "pattern must have exactly one source vertex"),
+            PatternError::NoUniqueSource => {
+                write!(f, "pattern must have exactly one source vertex")
+            }
             PatternError::NoUniqueSink => write!(f, "pattern must have exactly one sink vertex"),
             PatternError::SelfLoopViaLabels(a, b) => {
-                write!(f, "edge ({a}, {b}) connects two vertices with the same label")
+                write!(
+                    f,
+                    "edge ({a}, {b}) connects two vertices with the same label"
+                )
             }
         }
     }
@@ -137,12 +144,16 @@ impl Pattern {
 
     /// Pattern vertices with no incoming edges.
     pub fn sources(&self) -> Vec<usize> {
-        (0..self.labels.len()).filter(|&v| self.in_degree(v) == 0).collect()
+        (0..self.labels.len())
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Pattern vertices with no outgoing edges.
     pub fn sinks(&self) -> Vec<usize> {
-        (0..self.labels.len()).filter(|&v| self.out_degree(v) == 0).collect()
+        (0..self.labels.len())
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// The unique source vertex of the pattern.
@@ -232,7 +243,10 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(Pattern::new("e", &[], &[]).unwrap_err(), PatternError::Empty);
+        assert_eq!(
+            Pattern::new("e", &[], &[]).unwrap_err(),
+            PatternError::Empty
+        );
         assert_eq!(
             Pattern::new("e", &["a", "b"], &[(0, 5)]).unwrap_err(),
             PatternError::EdgeOutOfRange(0, 5)

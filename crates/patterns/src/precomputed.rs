@@ -66,7 +66,11 @@ pub fn enumerate_pb(
                     break;
                 }
                 out.push(PbMatch {
-                    instance: Instance::new(vec![row.vertices[0], row.vertices[1], row.vertices[0]]),
+                    instance: Instance::new(vec![
+                        row.vertices[0],
+                        row.vertices[1],
+                        row.vertices[0],
+                    ]),
                     flow: Some(row.flow),
                 });
             }
@@ -143,7 +147,10 @@ pub fn enumerate_pb(
                 }
                 let (a, b, c) = (row.vertices[0], row.vertices[1], row.vertices[2]);
                 if graph.has_edge(a, c) && graph.has_edge(b, a) {
-                    out.push(PbMatch { instance: Instance::new(vec![a, b, c, a]), flow: None });
+                    out.push(PbMatch {
+                        instance: Instance::new(vec![a, b, c, a]),
+                        flow: None,
+                    });
                 }
             }
         }
@@ -173,7 +180,8 @@ pub fn pb_match_flow(
         Some(f) => Ok(f),
         None => {
             let pattern = PatternCatalogue::build(id);
-            m.instance.flow(graph, &pattern, tin_flow::FlowMethod::PreSim)
+            m.instance
+                .flow(graph, &pattern, tin_flow::FlowMethod::PreSim)
         }
     }
 }
@@ -203,7 +211,12 @@ mod tests {
     fn mapping_set(graph: &TemporalGraph, instances: &[Instance]) -> BTreeSet<Vec<String>> {
         instances
             .iter()
-            .map(|i| i.mapping.iter().map(|&v| graph.node(v).name.clone()).collect())
+            .map(|i| {
+                i.mapping
+                    .iter()
+                    .map(|&v| graph.node(v).name.clone())
+                    .collect()
+            })
             .collect()
     }
 
@@ -215,8 +228,10 @@ mod tests {
             let gb = enumerate_gb(&g, &pattern, 0);
             let pb = enumerate_pb(&g, &tables, id, 0).expect("tables available");
             let gb_set = mapping_set(&g, &gb);
-            let pb_set =
-                mapping_set(&g, &pb.iter().map(|m| m.instance.clone()).collect::<Vec<_>>());
+            let pb_set = mapping_set(
+                &g,
+                &pb.iter().map(|m| m.instance.clone()).collect::<Vec<_>>(),
+            );
             assert_eq!(gb_set, pb_set, "instance sets differ for {id}");
         }
     }
@@ -229,8 +244,10 @@ mod tests {
             let pb = enumerate_pb(&g, &tables, id, 0).unwrap();
             for m in &pb {
                 let resolved = pb_match_flow(&g, id, m).unwrap();
-                let recomputed =
-                    m.instance.flow(&g, &pattern, tin_flow::FlowMethod::PreSim).unwrap();
+                let recomputed = m
+                    .instance
+                    .flow(&g, &pattern, tin_flow::FlowMethod::PreSim)
+                    .unwrap();
                 assert!(
                     (resolved - recomputed).abs() < 1e-9,
                     "flow mismatch for {id}: precomputed {resolved}, recomputed {recomputed}"
@@ -250,7 +267,10 @@ mod tests {
     #[test]
     fn missing_chain_table_disables_p1() {
         let g = sample();
-        let cfg = TablesConfig { build_c2: false, ..TablesConfig::default() };
+        let cfg = TablesConfig {
+            build_c2: false,
+            ..TablesConfig::default()
+        };
         let tables = PathTables::build(&g, &cfg);
         assert!(enumerate_pb(&g, &tables, PatternId::P1, 0).is_none());
         // Cycle-based patterns still work.
@@ -260,7 +280,10 @@ mod tests {
     #[test]
     fn truncated_tables_are_refused() {
         let g = sample();
-        let cfg = TablesConfig { max_rows: 1, ..TablesConfig::default() };
+        let cfg = TablesConfig {
+            max_rows: 1,
+            ..TablesConfig::default()
+        };
         let tables = PathTables::build(&g, &cfg);
         assert!(enumerate_pb(&g, &tables, PatternId::P2, 0).is_none());
     }

@@ -92,15 +92,21 @@ fn group_and_summarize(
         entry.0 += 1;
         entry.1 += flow;
     }
-    let qualifying: Vec<&(usize, f64)> =
-        groups.values().filter(|(count, _)| *count >= min_branches).collect();
+    let qualifying: Vec<&(usize, f64)> = groups
+        .values()
+        .filter(|(count, _)| *count >= min_branches)
+        .collect();
     let instances = qualifying.len();
     let total_flow: f64 = qualifying.iter().map(|(_, f)| *f).sum();
     PatternSearchResult {
         pattern: name.to_string(),
         instances,
         total_flow,
-        average_flow: if instances == 0 { 0.0 } else { total_flow / instances as f64 },
+        average_flow: if instances == 0 {
+            0.0
+        } else {
+            total_flow / instances as f64
+        },
         elapsed: elapsed_from.elapsed(),
         truncated: false,
     }
@@ -130,14 +136,20 @@ pub fn relaxed_search_pb(
     };
     let branches = rows.iter().map(|row| {
         let key: GroupKey = match pattern {
-            RelaxedPattern::ParallelTwoHopChains { .. } => {
-                (row.vertices[0], Some(*row.vertices.last().expect("chain rows have 3 vertices")))
-            }
+            RelaxedPattern::ParallelTwoHopChains { .. } => (
+                row.vertices[0],
+                Some(*row.vertices.last().expect("chain rows have 3 vertices")),
+            ),
             _ => (row.anchor(), None),
         };
         (key, row.flow)
     });
-    Some(group_and_summarize(pattern.name(), branches, pattern.min_branches(), start))
+    Some(group_and_summarize(
+        pattern.name(),
+        branches,
+        pattern.min_branches(),
+        start,
+    ))
 }
 
 /// Answers a relaxed pattern by graph browsing (GB): the branches are
@@ -157,14 +169,22 @@ pub fn relaxed_search_gb(graph: &TemporalGraph, pattern: RelaxedPattern) -> Patt
                 .flow(graph, &rigid_pattern, tin_flow::FlowMethod::PreSim)
                 .expect("branch instances are valid DAGs");
             let key: GroupKey = if chain {
-                (instance.mapping[0], Some(*instance.mapping.last().expect("non-empty mapping")))
+                (
+                    instance.mapping[0],
+                    Some(*instance.mapping.last().expect("non-empty mapping")),
+                )
             } else {
                 (instance.mapping[0], None)
             };
             (key, flow)
         })
         .collect();
-    group_and_summarize(pattern.name(), branches.into_iter(), pattern.min_branches(), start)
+    group_and_summarize(
+        pattern.name(),
+        branches.into_iter(),
+        pattern.min_branches(),
+        start,
+    )
 }
 
 #[cfg(test)]
@@ -193,15 +213,21 @@ mod tests {
     fn rp2_groups_cycles_by_anchor() {
         let g = star();
         let tables = PathTables::build(&g, &TablesConfig::default());
-        let pb = relaxed_search_pb(&tables, RelaxedPattern::ParallelTwoHopCycles { min_branches: 2 })
-            .unwrap();
+        let pb = relaxed_search_pb(
+            &tables,
+            RelaxedPattern::ParallelTwoHopCycles { min_branches: 2 },
+        )
+        .unwrap();
         // Only the hub has >= 2 returning branches.
         assert_eq!(pb.instances, 1);
         assert!((pb.total_flow - (4.0 + 6.0 + 8.0)).abs() < 1e-9);
         // With min_branches = 1 the "other" anchor and the reverse-anchored
         // cycles count too.
-        let pb1 = relaxed_search_pb(&tables, RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 })
-            .unwrap();
+        let pb1 = relaxed_search_pb(
+            &tables,
+            RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 },
+        )
+        .unwrap();
         assert!(pb1.instances > pb.instances);
     }
 
@@ -217,7 +243,10 @@ mod tests {
         ] {
             let gb = relaxed_search_gb(&g, pattern);
             let pb = relaxed_search_pb(&tables, pattern).unwrap();
-            assert_eq!(gb.instances, pb.instances, "instance count mismatch for {pattern}");
+            assert_eq!(
+                gb.instances, pb.instances,
+                "instance count mismatch for {pattern}"
+            );
             assert!(
                 (gb.total_flow - pb.total_flow).abs() < 1e-9,
                 "flow mismatch for {pattern}: GB {} vs PB {}",
@@ -231,8 +260,11 @@ mod tests {
     fn rp1_groups_chains_by_endpoint_pair() {
         let g = star();
         let tables = PathTables::build(&g, &TablesConfig::default());
-        let pb = relaxed_search_pb(&tables, RelaxedPattern::ParallelTwoHopChains { min_branches: 1 })
-            .unwrap();
+        let pb = relaxed_search_pb(
+            &tables,
+            RelaxedPattern::ParallelTwoHopChains { min_branches: 1 },
+        )
+        .unwrap();
         assert!(pb.instances > 0);
         assert!(pb.average_flow >= 0.0);
         assert_eq!(pb.pattern, "RP1");
@@ -241,18 +273,36 @@ mod tests {
     #[test]
     fn missing_tables_disable_pb() {
         let g = star();
-        let cfg = TablesConfig { build_c2: false, ..TablesConfig::default() };
+        let cfg = TablesConfig {
+            build_c2: false,
+            ..TablesConfig::default()
+        };
         let tables = PathTables::build(&g, &cfg);
-        assert!(relaxed_search_pb(&tables, RelaxedPattern::ParallelTwoHopChains { min_branches: 1 })
-            .is_none());
-        assert!(relaxed_search_pb(&tables, RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 })
-            .is_some());
+        assert!(relaxed_search_pb(
+            &tables,
+            RelaxedPattern::ParallelTwoHopChains { min_branches: 1 }
+        )
+        .is_none());
+        assert!(relaxed_search_pb(
+            &tables,
+            RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 }
+        )
+        .is_some());
     }
 
     #[test]
     fn names_and_display() {
-        assert_eq!(RelaxedPattern::ParallelTwoHopChains { min_branches: 1 }.name(), "RP1");
-        assert_eq!(RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 }.to_string(), "RP2");
-        assert_eq!(RelaxedPattern::ParallelThreeHopCycles { min_branches: 1 }.name(), "RP3");
+        assert_eq!(
+            RelaxedPattern::ParallelTwoHopChains { min_branches: 1 }.name(),
+            "RP1"
+        );
+        assert_eq!(
+            RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 }.to_string(),
+            "RP2"
+        );
+        assert_eq!(
+            RelaxedPattern::ParallelThreeHopCycles { min_branches: 1 }.name(),
+            "RP3"
+        );
     }
 }

@@ -35,7 +35,12 @@ pub struct TablesConfig {
 
 impl Default for TablesConfig {
     fn default() -> Self {
-        TablesConfig { build_l2: true, build_l3: true, build_c2: true, max_rows: 2_000_000 }
+        TablesConfig {
+            build_l2: true,
+            build_l3: true,
+            build_c2: true,
+            max_rows: 2_000_000,
+        }
     }
 }
 
@@ -152,7 +157,7 @@ impl PathTables {
 
     /// Rows of `table` anchored at `anchor` (tables are sorted by anchor, so
     /// this is a binary-search slice).
-    pub fn rows_for<'a>(table: &'a [PathRow], anchor: NodeId) -> &'a [PathRow] {
+    pub fn rows_for(table: &[PathRow], anchor: NodeId) -> &[PathRow] {
         let start = table.partition_point(|r| r.anchor() < anchor);
         let end = table.partition_point(|r| r.anchor() <= anchor);
         &table[start..end]
@@ -195,7 +200,11 @@ fn path_row(graph: &TemporalGraph, vertices: &[NodeId]) -> PathRow {
     } else {
         vertices.to_vec()
     };
-    PathRow { vertices: stored, delivered, flow }
+    PathRow {
+        vertices: stored,
+        delivered,
+        flow,
+    }
 }
 
 #[cfg(test)]
@@ -225,10 +234,16 @@ mod tests {
         let rows = PathTables::rows_for(&t.l2, x);
         assert_eq!(rows.len(), 2);
         // x->y->x: y receives 5 at time 1, returns min(3,5)=3 at time 4.
-        let via_y = rows.iter().find(|r| r.vertices[1] == g.node_by_name("y").unwrap()).unwrap();
+        let via_y = rows
+            .iter()
+            .find(|r| r.vertices[1] == g.node_by_name("y").unwrap())
+            .unwrap();
         assert_eq!(via_y.flow, 3.0);
         // x->z->x: z receives 2 at time 2, returns min(9,2)=2 at time 3.
-        let via_z = rows.iter().find(|r| r.vertices[1] == g.node_by_name("z").unwrap()).unwrap();
+        let via_z = rows
+            .iter()
+            .find(|r| r.vertices[1] == g.node_by_name("z").unwrap())
+            .unwrap();
         assert_eq!(via_z.flow, 2.0);
     }
 
@@ -263,11 +278,10 @@ mod tests {
         let x = g.node_by_name("x").unwrap();
         let y = g.node_by_name("y").unwrap();
         let z = g.node_by_name("z").unwrap();
-        let xyz = t
-            .c2
-            .iter()
-            .find(|r| r.vertices == vec![x, y, z])
-            .expect("x->y->z chain present");
+        let xyz =
+            t.c2.iter()
+                .find(|r| r.vertices == vec![x, y, z])
+                .expect("x->y->z chain present");
         // y receives 5@1 and forwards min(4,5)=4@5.
         assert_eq!(xyz.flow, 4.0);
         assert_eq!(xyz.delivered.len(), 1);
@@ -277,7 +291,10 @@ mod tests {
     #[test]
     fn tables_can_be_selectively_built() {
         let g = sample();
-        let cfg = TablesConfig { build_c2: false, ..TablesConfig::default() };
+        let cfg = TablesConfig {
+            build_c2: false,
+            ..TablesConfig::default()
+        };
         let t = PathTables::build(&g, &cfg);
         assert!(t.c2.is_empty());
         assert!(!t.l2.is_empty());
@@ -287,7 +304,10 @@ mod tests {
     #[test]
     fn row_cap_marks_truncation() {
         let g = sample();
-        let cfg = TablesConfig { max_rows: 1, ..TablesConfig::default() };
+        let cfg = TablesConfig {
+            max_rows: 1,
+            ..TablesConfig::default()
+        };
         let t = PathTables::build(&g, &cfg);
         assert!(t.truncated);
         assert!(t.l2.len() <= 1);

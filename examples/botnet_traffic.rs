@@ -11,11 +11,15 @@
 use temporal_flow::prelude::*;
 use tin_datasets::generate_ctu13;
 use tin_graph::augment_with_synthetic_endpoints;
-use tin_patterns::{relaxed_search_pb, PathTables, RelaxedPattern, TablesConfig};
 use tin_graph::view::induced_subgraph;
+use tin_patterns::{relaxed_search_pb, PathTables, RelaxedPattern, TablesConfig};
 
 fn main() {
-    let config = Ctu13Config { seed: 7, ..Ctu13Config::default() }.scaled(0.3);
+    let config = Ctu13Config {
+        seed: 7,
+        ..Ctu13Config::default()
+    }
+    .scaled(0.3);
     let graph = generate_ctu13(&config);
     println!(
         "traffic capture: {} hosts, {} flows, {} packets",
@@ -27,7 +31,9 @@ fn main() {
     // --- How much could bot X have pushed to server 0? --------------------
     // Take the 2-hop neighbourhood of the busiest server, add synthetic
     // endpoints if needed, and compute the maximum byte flow bot -> server.
-    let server = graph.node_by_name("srv0").expect("generator always creates srv0");
+    let server = graph
+        .node_by_name("srv0")
+        .expect("generator always creates srv0");
     let bots: Vec<NodeId> = graph.in_neighbors(server).take(5).collect();
     println!("\nmaximum bytes that could reach srv0 from its five chattiest peers:");
     for bot in bots {
@@ -71,9 +77,18 @@ fn main() {
     }
 
     // --- Relaxed pattern triage: hosts with many request/response loops ---
-    let tables = PathTables::build(&graph, &TablesConfig { build_c2: false, ..TablesConfig::default() });
-    let rp2 = relaxed_search_pb(&tables, RelaxedPattern::ParallelTwoHopCycles { min_branches: 5 })
-        .expect("cycle tables built");
+    let tables = PathTables::build(
+        &graph,
+        &TablesConfig {
+            build_c2: false,
+            ..TablesConfig::default()
+        },
+    );
+    let rp2 = relaxed_search_pb(
+        &tables,
+        RelaxedPattern::ParallelTwoHopCycles { min_branches: 5 },
+    )
+    .expect("cycle tables built");
     println!(
         "\nRP2 triage: {} hosts have ≥5 request/response loops; average looped volume {:.0} bytes",
         rp2.instances, rp2.average_flow

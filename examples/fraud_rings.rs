@@ -13,7 +13,11 @@ use tin_flow::DifficultyClass;
 
 fn main() {
     // A scaled-down Bitcoin-like transaction network.
-    let config = BitcoinConfig { seed: 2024, ..BitcoinConfig::default() }.scaled(0.25);
+    let config = BitcoinConfig {
+        seed: 2024,
+        ..BitcoinConfig::default()
+    }
+    .scaled(0.25);
     let graph = generate_bitcoin(&config);
     println!(
         "transaction network: {} accounts, {} edges, {} transactions",
@@ -25,9 +29,16 @@ fn main() {
     // Extract, for every account, the subgraph of ≤3-hop round trips.
     let subgraphs = extract_seed_subgraphs(
         &graph,
-        &ExtractConfig { max_interactions: 800, max_subgraphs: 200, ..ExtractConfig::default() },
+        &ExtractConfig {
+            max_interactions: 800,
+            max_subgraphs: 200,
+            ..ExtractConfig::default()
+        },
     );
-    println!("{} accounts have round-trip activity within 3 hops\n", subgraphs.len());
+    println!(
+        "{} accounts have round-trip activity within 3 hops\n",
+        subgraphs.len()
+    );
 
     // Compute the maximum round-trip flow for each and rank.
     let mut rankings: Vec<(String, f64, f64, DifficultyClass, usize)> = Vec::new();
@@ -53,7 +64,10 @@ fn main() {
         println!("{name:<12} {max:>14.2} {greedy:>14.2} {class:>7} {interactions:>14}");
     }
 
-    let class_c = rankings.iter().filter(|r| r.3 == DifficultyClass::C).count();
+    let class_c = rankings
+        .iter()
+        .filter(|r| r.3 == DifficultyClass::C)
+        .count();
     println!(
         "\n{} of {} suspicious neighbourhoods needed the LP-based maximum flow (class C);",
         class_c,

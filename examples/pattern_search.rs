@@ -12,7 +12,11 @@ use tin_patterns::{
 };
 
 fn main() {
-    let config = ProsperConfig { seed: 99, ..ProsperConfig::default() }.scaled(0.3);
+    let config = ProsperConfig {
+        seed: 99,
+        ..ProsperConfig::default()
+    }
+    .scaled(0.3);
     let graph = generate_prosper(&config);
     println!(
         "loan network: {} members, {} edges, {} loans\n",

@@ -33,7 +33,11 @@ fn figure1() {
     let greedy = greedy_flow(&g, s, t).flow;
     let maximum = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap();
     println!("greedy flow  : {greedy}");
-    println!("maximum flow : {} (class {:?})", maximum.flow, maximum.class.unwrap());
+    println!(
+        "maximum flow : {} (class {:?})",
+        maximum.flow,
+        maximum.class.unwrap()
+    );
     println!();
 }
 
@@ -53,7 +57,10 @@ fn figure3_tables_2_and_3() {
     let g = b.build();
 
     let traced = greedy_flow_traced(&g, s, t);
-    println!("{:<12} {:<10} {:>11} {:>12}", "(t, q)", "edge", "requested", "transferred");
+    println!(
+        "{:<12} {:<10} {:>11} {:>12}",
+        "(t, q)", "edge", "requested", "transferred"
+    );
     for step in &traced.trace {
         println!(
             "({:>2}, {:>4})   {}->{}   {:>11} {:>12}",
@@ -66,7 +73,10 @@ fn figure3_tables_2_and_3() {
         );
     }
     println!("greedy flow (Table 2) : {}", traced.flow);
-    println!("maximum flow (Table 3): {}", lp_max_flow(&g, s, t).unwrap().flow);
+    println!(
+        "maximum flow (Table 3): {}",
+        lp_max_flow(&g, s, t).unwrap().flow
+    );
     println!();
 }
 
@@ -131,6 +141,8 @@ fn simplification_figure7() {
         out.report.interactions_after
     );
     let max = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap().flow;
-    let max_simplified = compute_flow(&out.graph, out.source, out.sink, FlowMethod::Lp).unwrap().flow;
+    let max_simplified = compute_flow(&out.graph, out.source, out.sink, FlowMethod::Lp)
+        .unwrap()
+        .flow;
     println!("maximum flow before: {max}, after simplification: {max_simplified}");
 }

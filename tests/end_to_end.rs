@@ -7,20 +7,31 @@ use tin_datasets::{extract_seed_subgraphs, generate, DatasetKind, ExtractConfig}
 use tin_patterns::{search_gb, search_pb, PathTables, PatternId, TablesConfig};
 
 fn small_extract_config() -> ExtractConfig {
-    ExtractConfig { max_interactions: 200, max_subgraphs: 25, ..ExtractConfig::default() }
+    ExtractConfig {
+        max_interactions: 200,
+        max_subgraphs: 25,
+        ..ExtractConfig::default()
+    }
 }
 
 #[test]
 fn every_dataset_supports_the_full_flow_pipeline() {
     for kind in DatasetKind::ALL {
         let graph = generate(kind, 1234);
-        assert!(graph.interaction_count() > 1000, "{kind}: dataset too small");
+        assert!(
+            graph.interaction_count() > 1000,
+            "{kind}: dataset too small"
+        );
         let subgraphs = extract_seed_subgraphs(&graph, &small_extract_config());
         assert!(!subgraphs.is_empty(), "{kind}: no subgraphs extracted");
         for sub in subgraphs.iter().take(10) {
             let greedy = greedy_flow(&sub.graph, sub.source, sub.sink).flow;
-            let lp = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::Lp).unwrap().flow;
-            let pre = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::Pre).unwrap().flow;
+            let lp = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::Lp)
+                .unwrap()
+                .flow;
+            let pre = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::Pre)
+                .unwrap()
+                .flow;
             let presim = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim)
                 .unwrap()
                 .flow;
@@ -28,10 +39,22 @@ fn every_dataset_supports_the_full_flow_pipeline() {
                 .unwrap()
                 .flow;
             let tol = 1e-6 * (1.0 + oracle.abs());
-            assert!((lp - oracle).abs() < tol, "{kind}: LP {lp} vs oracle {oracle}");
-            assert!((pre - oracle).abs() < tol, "{kind}: Pre {pre} vs oracle {oracle}");
-            assert!((presim - oracle).abs() < tol, "{kind}: PreSim {presim} vs oracle {oracle}");
-            assert!(greedy <= oracle + tol, "{kind}: greedy {greedy} above maximum {oracle}");
+            assert!(
+                (lp - oracle).abs() < tol,
+                "{kind}: LP {lp} vs oracle {oracle}"
+            );
+            assert!(
+                (pre - oracle).abs() < tol,
+                "{kind}: Pre {pre} vs oracle {oracle}"
+            );
+            assert!(
+                (presim - oracle).abs() < tol,
+                "{kind}: PreSim {presim} vs oracle {oracle}"
+            );
+            assert!(
+                greedy <= oracle + tol,
+                "{kind}: greedy {greedy} above maximum {oracle}"
+            );
         }
     }
 }
@@ -47,15 +70,25 @@ fn difficulty_classes_are_all_represented_somewhere() {
             seen.insert(r.class.unwrap());
         }
     }
-    assert!(seen.contains(&DifficultyClass::A), "no class A subgraphs found");
-    assert!(seen.contains(&DifficultyClass::C), "no class C subgraphs found");
+    assert!(
+        seen.contains(&DifficultyClass::A),
+        "no class A subgraphs found"
+    );
+    assert!(
+        seen.contains(&DifficultyClass::C),
+        "no class C subgraphs found"
+    );
 }
 
 #[test]
 fn pattern_search_gb_and_pb_agree_on_a_generated_network() {
     // A small Prosper-like network keeps the instance counts manageable.
     let graph = tin_datasets::generate_prosper(
-        &tin_datasets::ProsperConfig { seed: 5, ..Default::default() }.scaled(0.05),
+        &tin_datasets::ProsperConfig {
+            seed: 5,
+            ..Default::default()
+        }
+        .scaled(0.05),
     );
     let tables = PathTables::build(&graph, &TablesConfig::default());
     for id in [PatternId::P1, PatternId::P2, PatternId::P3, PatternId::P5] {

@@ -27,8 +27,16 @@ fn figure1_greedy_two_maximum_five() {
     let g = b.build();
 
     assert!(close(greedy_flow(&g, s, t).flow, 2.0));
-    for method in [FlowMethod::Lp, FlowMethod::Pre, FlowMethod::PreSim, FlowMethod::TimeExpanded] {
-        assert!(close(compute_flow(&g, s, t, method).unwrap().flow, 5.0), "{method}");
+    for method in [
+        FlowMethod::Lp,
+        FlowMethod::Pre,
+        FlowMethod::PreSim,
+        FlowMethod::TimeExpanded,
+    ] {
+        assert!(
+            close(compute_flow(&g, s, t, method).unwrap().flow, 5.0),
+            "{method}"
+        );
     }
 }
 
@@ -50,7 +58,11 @@ fn figure3_tables_2_and_3() {
     // Table 2: greedy transfers 5, 3, 5, 0, 1 and delivers 1 unit.
     let traced = greedy_flow_traced(&g, s, t);
     assert_eq!(
-        traced.trace.iter().map(|s| s.transferred).collect::<Vec<_>>(),
+        traced
+            .trace
+            .iter()
+            .map(|s| s.transferred)
+            .collect::<Vec<_>>(),
         vec![5.0, 3.0, 5.0, 0.0, 1.0]
     );
     assert!(close(traced.flow, 1.0));
@@ -76,7 +88,9 @@ fn figure4_synthetic_endpoints() {
 
     let aug = augment_with_synthetic_endpoints(&g).unwrap();
     assert!(aug.added_source && aug.added_sink);
-    let flow = compute_flow(&aug.graph, aug.source, aug.sink, FlowMethod::PreSim).unwrap().flow;
+    let flow = compute_flow(&aug.graph, aug.source, aug.sink, FlowMethod::PreSim)
+        .unwrap()
+        .flow;
     // Everything the original sources emit eventually reaches a sink.
     assert!(close(flow, 9.0));
 }
@@ -124,8 +138,16 @@ fn figure5b_lemma2_graph() {
 
     assert!(is_greedy_soluble(&g, s, t));
     assert!(close(greedy_flow(&g, s, t).flow, 14.0));
-    assert!(close(compute_flow(&g, s, t, FlowMethod::Lp).unwrap().flow, 14.0));
-    assert!(close(compute_flow(&g, s, t, FlowMethod::TimeExpanded).unwrap().flow, 14.0));
+    assert!(close(
+        compute_flow(&g, s, t, FlowMethod::Lp).unwrap().flow,
+        14.0
+    ));
+    assert!(close(
+        compute_flow(&g, s, t, FlowMethod::TimeExpanded)
+            .unwrap()
+            .flow,
+        14.0
+    ));
 }
 
 /// Figure 6: preprocessing removes exactly the interactions the paper lists
@@ -150,9 +172,14 @@ fn figure6_preprocessing() {
     assert_eq!(out.report.interactions_removed, 4);
     // The maximum flow is preserved by preprocessing.
     let before = compute_flow(&g1, s, t, FlowMethod::Lp).unwrap().flow;
-    let after = compute_flow(&out.graph, out.source.unwrap(), out.sink.unwrap(), FlowMethod::Lp)
-        .unwrap()
-        .flow;
+    let after = compute_flow(
+        &out.graph,
+        out.source.unwrap(),
+        out.sink.unwrap(),
+        FlowMethod::Lp,
+    )
+    .unwrap()
+    .flow;
     assert!(close(before, after));
 
     // Figure 6(c): after preprocessing only s -> z -> t survives; the

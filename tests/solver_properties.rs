@@ -16,15 +16,17 @@ struct RandomDag {
     interactions: Vec<(usize, usize, i64, f64)>,
 }
 
-fn random_dag(max_nodes: usize, max_interactions_per_edge: usize) -> impl Strategy<Value = RandomDag> {
+fn random_dag(
+    max_nodes: usize,
+    max_interactions_per_edge: usize,
+) -> impl Strategy<Value = RandomDag> {
     (3..=max_nodes).prop_flat_map(move |nodes| {
         // Candidate edges between ordered pairs.
-        let pairs: Vec<(usize, usize)> =
-            (0..nodes).flat_map(|a| ((a + 1)..nodes).map(move |b| (a, b))).collect();
-        let per_edge = proptest::collection::vec(
-            (0..=max_interactions_per_edge, any::<u64>()),
-            pairs.len(),
-        );
+        let pairs: Vec<(usize, usize)> = (0..nodes)
+            .flat_map(|a| ((a + 1)..nodes).map(move |b| (a, b)))
+            .collect();
+        let per_edge =
+            proptest::collection::vec((0..=max_interactions_per_edge, any::<u64>()), pairs.len());
         per_edge.prop_map(move |specs| {
             let mut interactions = Vec::new();
             for ((a, b), (count, seed)) in pairs.iter().zip(specs) {
@@ -32,21 +34,30 @@ fn random_dag(max_nodes: usize, max_interactions_per_edge: usize) -> impl Strate
                 // the seed so shrinking stays meaningful.
                 let mut state = seed | 1;
                 for _ in 0..count {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let time = (state >> 33) as i64 % 24;
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let quantity = (((state >> 33) % 9) + 1) as f64;
                     interactions.push((*a, *b, time, quantity));
                 }
             }
-            RandomDag { nodes, interactions }
+            RandomDag {
+                nodes,
+                interactions,
+            }
         })
     })
 }
 
 fn build(dag: &RandomDag) -> (tin_graph::TemporalGraph, NodeId, NodeId) {
     let mut b = GraphBuilder::new();
-    let ids: Vec<NodeId> = (0..dag.nodes).map(|i| b.add_node(format!("v{i}"))).collect();
+    let ids: Vec<NodeId> = (0..dag.nodes)
+        .map(|i| b.add_node(format!("v{i}")))
+        .collect();
     for &(a, c, t, q) in &dag.interactions {
         b.add_interaction(ids[a], ids[c], Interaction::new(t, q));
     }

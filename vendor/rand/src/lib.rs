@@ -1,0 +1,218 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal shims that
+//! provide exactly the API subset the workspace uses (see `vendor/README.md`).
+//!
+//! This shim implements `StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng::{gen_range, gen_bool}` methods over integer and float ranges. The
+//! generator is xoshiro256++ seeded through SplitMix64 — a different stream
+//! than upstream `rand`'s ChaCha-based `StdRng`, but the workspace only
+//! relies on determinism-given-seed and reasonable statistical quality, not
+//! on upstream's exact value sequence.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A deterministic, seedable pseudo-random number generator
+    /// (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+/// A random number generator core: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A seedable random number generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference code).
+        let [s0, s1, s2, s3] = self.state;
+        let result = (s0.wrapping_add(s3)).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed, as recommended by the xoshiro
+        // authors (and used by upstream rand for `seed_from_u64`).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// A range that can be sampled uniformly (mirrors `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.abs_diff(self.start);
+                self.start.wrapping_add(uniform_u64(rng, span as u64) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = end.abs_diff(start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Uniform draw from `[0, bound)` (`bound == 0` means the full 64-bit range)
+/// using Lemire-style rejection to avoid modulo bias.
+fn uniform_u64(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let (hi, lo) = widening_mul(x, bound);
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+fn widening_mul(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+/// Convenience methods on random number generators (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17i64);
+            assert!((3..17).contains(&v));
+            let u = rng.gen_range(0..5usize);
+            assert!(u < 5);
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let inc = rng.gen_range(2..=4u32);
+            assert!((2..=4).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits {hits}");
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn uniform_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

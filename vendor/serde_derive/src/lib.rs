@@ -1,0 +1,364 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's `to_value`/`from_value` traits. Because no
+//! external proc-macro helpers (`syn`, `quote`) are available offline, the
+//! input item is parsed directly from its token tree and the generated impl
+//! is assembled as a source string.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (serialized as JSON objects), honouring
+//!   `#[serde(skip)]` (field omitted on serialize, `Default` on deserialize);
+//! * single-field tuple structs (serialized transparently, like upstream
+//!   newtype structs);
+//! * enums whose variants are all unit variants (serialized as the variant
+//!   name string, upstream's "externally tagged" unit representation).
+//!
+//! Anything else (generics, data-carrying enum variants, unions) produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input).and_then(|item| generate(&item, mode)) {
+        Ok(src) => src.parse().expect("generated impl must be valid Rust"),
+        Err(message) => format!("compile_error!({message:?});").parse().unwrap(),
+    }
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility ahead of `struct` / `enum`.
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            i += 1;
+            tokens[i - 1].to_string()
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive serde traits for generic type `{name}`"
+        ));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            if keyword == "struct" {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(body.stream())?,
+                })
+            } else {
+                Ok(Item::UnitEnum {
+                    name,
+                    variants: parse_unit_variants(body.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+            if keyword != "struct" {
+                return Err(format!("unsupported shape for `{name}`"));
+            }
+            let arity = count_top_level_fields(body.stream());
+            if arity != 1 {
+                return Err(format!(
+                    "tuple struct `{name}` has {arity} fields; only single-field newtype structs are supported"
+                ));
+            }
+            Ok(Item::NewtypeStruct { name })
+        }
+        other => Err(format!("unsupported item body for `{name}`: {other:?}")),
+    }
+}
+
+/// Advances past any `#[...]` attribute groups, reporting whether one of
+/// them was `#[serde(skip)]`.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+            if is_serde_skip(attr.stream()) {
+                skip = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    take_attributes(tokens, i);
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn is_serde_skip(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = take_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type: everything up to the next comma outside angle
+        // brackets. `<` / `>` arrive as individual `Punct`s even when part
+        // of `>>`, so a simple depth counter is enough for the types used
+        // here (no function-pointer or associated-type paths).
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; only unit variants are supported"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tok in body {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn generate(item: &Item, mode: Mode) -> Result<String, String> {
+    Ok(match (item, mode) {
+        (Item::NamedStruct { name, fields }, Mode::Serialize) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::NamedStruct { name, fields }, Mode::Deserialize) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{f}: ::core::default::Default::default(),\n",
+                        f = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\").ok_or_else(|| ::serde::DeError::new(\"missing field `{f}` in {name}\"))?)?,\n",
+                        f = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\"expected object for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{\n\
+                             {inits}\
+                         }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::NewtypeStruct { name }, Mode::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        (Item::NewtypeStruct { name }, Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        (Item::UnitEnum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::UnitEnum { name, variants }, Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\"expected string for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    })
+}

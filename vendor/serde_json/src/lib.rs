@@ -1,0 +1,384 @@
+//! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate: a JSON writer/parser over the vendored `serde` shim's `Value`
+//! tree, exposing the `to_string` / `from_str` entry points and an `Error`
+//! with a `line()` accessor (the subset this workspace uses).
+
+#![forbid(unsafe_code)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A JSON serialization or parse error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    line: usize,
+}
+
+impl Error {
+    /// The 1-based input line on which a parse error occurred (0 when the
+    /// error did not originate from parsing, e.g. a type mismatch while
+    /// mapping onto a Rust type).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {}", self.message, self.line)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error {
+            message: e.message,
+            line: 0,
+        }
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    T::from_value(&value).map_err(Error::from)
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a fractional part (`1.0` not `1`), so floats
+                // re-parse as floats; it also round-trips f64 exactly.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // Upstream serde_json behavior for non-finite floats.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+            line: self.line,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        match self.bump() {
+            Some(b) if b == byte => Ok(()),
+            Some(b) => Err(self.error(format!(
+                "expected `{}`, found `{}`",
+                byte as char, b as char
+            ))),
+            None => Err(self.error(format!("expected `{}`, found end of input", byte as char))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.error(format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, Error> {
+        for expected in keyword.bytes() {
+            match self.bump() {
+                Some(b) if b == expected => {}
+                _ => return Err(self.error(format!("invalid literal, expected `{keyword}`"))),
+            }
+        }
+        Ok(value)
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(fields)),
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            code = code * 16 + digit;
+                        }
+                        // Surrogate pairs are not produced by the writer;
+                        // reject them rather than decode them incorrectly.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| self.error("invalid \\u escape (surrogate)"))?;
+                        out.push(c);
+                    }
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.error("control character in string")),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences: the input is a
+                    // &str, so the bytes are guaranteed valid UTF-8.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    let slice = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(slice);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v = vec![(1usize, 2.5f64), (3, 4.0)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2.5],[3,4.0]]");
+        let back: Vec<(usize, f64)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = to_string(&"a\"b\\c\nd\té€".to_string()).unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, "a\"b\\c\nd\té€");
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = from_str::<Vec<u32>>("[1,\n2,\nbroken]").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn not_json_is_an_error() {
+        assert!(from_str::<String>("not json").is_err());
+        assert!(from_str::<u32>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn large_u64_roundtrips_exactly() {
+        let seed: u64 = u64::MAX - 3;
+        let back: u64 = from_str(&to_string(&seed).unwrap()).unwrap();
+        assert_eq!(back, seed);
+    }
+
+    #[test]
+    fn floats_keep_fractional_form() {
+        let s = to_string(&1.0f64).unwrap();
+        assert_eq!(s, "1.0");
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 1.0);
+    }
+}
