@@ -1,11 +1,13 @@
-//! Criterion benchmark for the LP substrate: formulation construction and
-//! simplex solve time as a function of the number of interactions.
+//! Criterion benchmark for the LP substrate: formulation construction plus
+//! old-vs-new solve time — the sparse revised simplex (default) against the
+//! dense tableau fallback — as a function of the number of interactions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tin_bench::{ExperimentScale, Workload};
 use tin_datasets::DatasetKind;
-use tin_flow::{build_lp, lp_max_flow};
+use tin_flow::build_lp;
+use tin_lp::SimplexEngine;
 
 fn bench_lp(c: &mut Criterion) {
     let scale = ExperimentScale::quick();
@@ -38,12 +40,25 @@ fn bench_lp(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("formulate", label), &sub, |b, sub| {
             b.iter(|| std::hint::black_box(build_lp(&sub.graph, sub.source, sub.sink).variables))
         });
-        group.bench_with_input(BenchmarkId::new("solve", label), &sub, |b, sub| {
-            b.iter(|| {
-                let out = lp_max_flow(&sub.graph, sub.source, sub.sink).expect("solvable LP");
-                std::hint::black_box(out.flow)
-            })
-        });
+        // Formulate once, then time each engine on the same program: the
+        // old-vs-new comparison the sparse rewrite is accountable to.
+        let formulation = build_lp(&sub.graph, sub.source, sub.sink);
+        for (engine_label, engine) in [
+            ("solve_sparse", SimplexEngine::SparseRevised),
+            ("solve_dense", SimplexEngine::DenseTableau),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(engine_label, label),
+                &formulation,
+                |b, f| {
+                    b.iter(|| {
+                        let solution = f.problem.solve_with(engine);
+                        assert!(solution.is_optimal(), "solvable flow LP");
+                        std::hint::black_box(solution.objective)
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [section] [--quick]
 //!
-//! section: all | table4 | table5 | tables678 | fig11 | patterns | tables91011
+//! section: all | table4 | table5 | tables678 | fig11 | lpsolvers | patterns | tables91011
 //! --quick: run at the CI scale instead of the standard scale
 //! ```
 //!
@@ -15,17 +15,18 @@
 //! this harness reproduces. See `EXPERIMENTS.md` for a recorded run.
 
 use tin_bench::{
-    bucket_experiment, flow_method_experiment, format_duration, pattern_experiment, print_table,
-    ExperimentScale, Workload,
+    bucket_experiment, flow_method_experiment, format_duration, lp_engine_experiment,
+    pattern_experiment, print_table, ExperimentScale, Workload,
 };
 use tin_datasets::{dataset_stats, subgraph_stats};
 
-const SECTIONS: [&str; 7] = [
+const SECTIONS: [&str; 8] = [
     "all",
     "table4",
     "table5",
     "tables678",
     "fig11",
+    "lpsolvers",
     "patterns",
     "tables91011",
 ];
@@ -74,6 +75,9 @@ fn main() {
     }
     if matches!(section, "all" | "fig11") {
         fig11(&workloads);
+    }
+    if matches!(section, "all" | "lpsolvers") {
+        lpsolvers(&workloads);
     }
     if matches!(section, "all" | "patterns" | "tables91011") {
         tables91011(&workloads, if quick { 2_000 } else { 20_000 });
@@ -182,6 +186,43 @@ fn fig11(workloads: &[Workload]) {
                 "LP",
                 "Pre",
                 "PreSim",
+            ],
+            &rows,
+        );
+    }
+}
+
+fn lpsolvers(workloads: &[Workload]) {
+    for w in workloads {
+        let rows: Vec<Vec<String>> = lp_engine_experiment(w)
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.label.to_string(), r.subgraphs.to_string()];
+                if r.subgraphs == 0 {
+                    cells.extend(std::iter::repeat_n("-".to_string(), 5));
+                } else {
+                    cells.push(format_duration(r.sparse_avg));
+                    cells.push(format_duration(r.dense_avg));
+                    cells.push(format!("{:.1}x", r.speedup()));
+                    cells.push(format!("{:.1}", r.sparse_iterations));
+                    cells.push(format!("{:.3}%", 100.0 * r.density));
+                }
+                cells
+            })
+            .collect();
+        print_table(
+            &format!(
+                "LP engines: sparse revised vs dense tableau — {}",
+                w.kind.name()
+            ),
+            &[
+                "class",
+                "#subgraphs",
+                "sparse",
+                "dense",
+                "speedup",
+                "avg iters",
+                "density",
             ],
             &rows,
         );

@@ -1,9 +1,60 @@
-//! Flow-method comparison experiments: Tables 6–8 and Figure 11.
+//! Flow-method comparison experiments: Tables 6–8 and Figure 11, plus the
+//! sparse-vs-dense LP engine comparison.
+//!
+//! The per-subgraph evaluations are independent, so
+//! [`flow_method_experiment`] and [`lp_engine_experiment`] fan the subgraphs
+//! out over a std-thread worker pool (no external crates): workers pull
+//! indices from an atomic counter and results land in per-index slots, so
+//! the output is deterministic in everything but the timings themselves.
 
 use crate::workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tin_datasets::SeedSubgraph;
-use tin_flow::{compute_flow, DifficultyClass, FlowMethod};
+use tin_flow::{build_lp, compute_flow, DifficultyClass, FlowMethod};
+use tin_lp::SimplexEngine;
+
+/// Runs `f` over `items` on a worker pool sized to the available
+/// parallelism, preserving input order in the result.
+///
+/// Workers claim indices from a shared atomic cursor (cheap dynamic load
+/// balancing — subgraph cost varies by orders of magnitude between classes)
+/// and write into dedicated slots, so no result ever depends on scheduling.
+fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed index")
+        })
+        .collect()
+}
 
 /// Methods compared in the paper's runtime tables.
 pub const TABLE_METHODS: [FlowMethod; 4] = [
@@ -69,18 +120,29 @@ fn summarize(method: FlowMethod, durations: &[Duration]) -> MethodTiming {
 
 /// Classifies every subgraph (via the `PreSim` pipeline) and measures each
 /// method on it, producing one of the paper's Tables 6–8.
+///
+/// Subgraphs are evaluated in parallel on a std-thread worker pool; each
+/// subgraph's classification and all of its method timings happen on one
+/// worker, so per-method comparisons stay within a single thread.
 pub fn flow_method_experiment(workload: &Workload) -> FlowTable {
-    let mut timings: Vec<Vec<Duration>> = vec![Vec::new(); TABLE_METHODS.len()];
-    let mut classes: Vec<DifficultyClass> = Vec::with_capacity(workload.subgraphs.len());
-
-    for sub in &workload.subgraphs {
+    let per_subgraph = parallel_map(&workload.subgraphs, |sub| {
         let class = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim)
             .expect("valid subgraph")
             .class
             .unwrap_or(DifficultyClass::C);
+        let durations: Vec<Duration> = TABLE_METHODS
+            .iter()
+            .map(|&method| time_method(sub, method))
+            .collect();
+        (class, durations)
+    });
+
+    let mut timings: Vec<Vec<Duration>> = vec![Vec::new(); TABLE_METHODS.len()];
+    let mut classes: Vec<DifficultyClass> = Vec::with_capacity(workload.subgraphs.len());
+    for (class, durations) in per_subgraph {
         classes.push(class);
-        for (i, &method) in TABLE_METHODS.iter().enumerate() {
-            timings[i].push(time_method(sub, method));
+        for (i, d) in durations.into_iter().enumerate() {
+            timings[i].push(d);
         }
     }
 
@@ -164,6 +226,115 @@ pub fn bucket_experiment(workload: &Workload) -> Vec<BucketRow> {
         .collect()
 }
 
+/// Sparse-vs-dense LP engine timings over one difficulty class (or over all
+/// subgraphs).
+#[derive(Debug, Clone)]
+pub struct EngineClassRow {
+    /// `"All"`, `"A"`, `"B"` or `"C"`.
+    pub label: &'static str,
+    /// Number of subgraphs in the row.
+    pub subgraphs: usize,
+    /// Average formulate+solve time with the sparse revised simplex.
+    pub sparse_avg: Duration,
+    /// Average formulate+solve time with the dense tableau.
+    pub dense_avg: Duration,
+    /// Average simplex iterations per subgraph (sparse engine).
+    pub sparse_iterations: f64,
+    /// Average LP constraint-matrix density over the row's subgraphs
+    /// (sparse engine's view: balance rows only).
+    pub density: f64,
+}
+
+impl EngineClassRow {
+    /// Dense-over-sparse runtime ratio (`> 1` means the sparse engine is
+    /// faster); 0 when the row is empty.
+    pub fn speedup(&self) -> f64 {
+        let sparse = self.sparse_avg.as_secs_f64();
+        if sparse == 0.0 {
+            0.0
+        } else {
+            self.dense_avg.as_secs_f64() / sparse
+        }
+    }
+}
+
+/// Old-vs-new LP solver comparison: formulates the Section 4.2.1 LP for
+/// every subgraph and times a full solve with both engines, reported per
+/// difficulty class (class C is where the LP dominates end-to-end runtime).
+///
+/// Runs on the same worker pool as [`flow_method_experiment`]; both engine
+/// timings for one subgraph are taken on the same worker, back to back.
+pub fn lp_engine_experiment(workload: &Workload) -> Vec<EngineClassRow> {
+    struct Sample {
+        class: DifficultyClass,
+        sparse: Duration,
+        dense: Duration,
+        iterations: usize,
+        density: f64,
+    }
+    let samples = parallel_map(&workload.subgraphs, |sub| {
+        let class = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim)
+            .expect("valid subgraph")
+            .class
+            .unwrap_or(DifficultyClass::C);
+        let time_engine = |engine: SimplexEngine| {
+            let start = Instant::now();
+            let f = build_lp(&sub.graph, sub.source, sub.sink);
+            let solution = f.problem.solve_with(engine);
+            assert!(solution.is_optimal(), "flow LP must be solvable");
+            std::hint::black_box(solution.objective);
+            (start.elapsed(), solution)
+        };
+        let (sparse, sparse_solution) = time_engine(SimplexEngine::SparseRevised);
+        let (dense, dense_solution) = time_engine(SimplexEngine::DenseTableau);
+        let diff = (sparse_solution.objective - dense_solution.objective).abs();
+        assert!(
+            diff <= 1e-6 * (1.0 + sparse_solution.objective.abs()),
+            "engines disagree on a workload subgraph: {} vs {}",
+            sparse_solution.objective,
+            dense_solution.objective
+        );
+        Sample {
+            class,
+            sparse,
+            dense,
+            iterations: sparse_solution.iterations,
+            density: sparse_solution.matrix_density,
+        }
+    });
+
+    let row = |label: &'static str, filter: Option<DifficultyClass>| -> EngineClassRow {
+        let picked: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| filter.is_none_or(|f| s.class == f))
+            .collect();
+        let n = picked.len();
+        let avg = |d: Duration| if n == 0 { Duration::ZERO } else { d / n as u32 };
+        EngineClassRow {
+            label,
+            subgraphs: n,
+            sparse_avg: avg(picked.iter().map(|s| s.sparse).sum()),
+            dense_avg: avg(picked.iter().map(|s| s.dense).sum()),
+            sparse_iterations: if n == 0 {
+                0.0
+            } else {
+                picked.iter().map(|s| s.iterations as f64).sum::<f64>() / n as f64
+            },
+            density: if n == 0 {
+                0.0
+            } else {
+                picked.iter().map(|s| s.density).sum::<f64>() / n as f64
+            },
+        }
+    };
+    vec![
+        row("All", None),
+        row("A", Some(DifficultyClass::A)),
+        row("B", Some(DifficultyClass::B)),
+        row("C", Some(DifficultyClass::C)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +375,29 @@ mod tests {
             .find(|t| t.method == FlowMethod::Lp)
             .unwrap();
         assert!(greedy.average <= lp.average);
+    }
+
+    #[test]
+    fn engine_comparison_covers_every_subgraph_and_agrees() {
+        let w = tiny_workload();
+        let rows = lp_engine_experiment(&w);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label, "All");
+        assert_eq!(rows[0].subgraphs, w.subgraphs.len());
+        let by_class: usize = rows[1..].iter().map(|r| r.subgraphs).sum();
+        assert_eq!(by_class, w.subgraphs.len());
+        // The flow LP is genuinely sparse on every non-trivial subgraph.
+        assert!(rows[0].density < 0.5, "density {}", rows[0].density);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, |&i| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        // Empty and single-item inputs take the sequential path.
+        assert_eq!(parallel_map(&[] as &[usize], |&i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(&[7usize], |&i| i + 1), vec![8]);
     }
 
     #[test]

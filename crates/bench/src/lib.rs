@@ -18,7 +18,8 @@ pub mod report;
 pub mod workloads;
 
 pub use flow_experiments::{
-    bucket_experiment, flow_method_experiment, BucketRow, FlowTable, MethodTiming,
+    bucket_experiment, flow_method_experiment, lp_engine_experiment, BucketRow, EngineClassRow,
+    FlowTable, MethodTiming,
 };
 pub use pattern_experiments::{pattern_experiment, PatternTableRow};
 pub use report::{format_duration, print_table};

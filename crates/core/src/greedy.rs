@@ -23,8 +23,17 @@
 //!
 //! The scan is linear in the number of interactions (after the chronological
 //! sort provided by [`tin_graph::Events`]).
+//!
+//! ## Scratch space
+//!
+//! The per-run state (vertex buffers plus the per-timestamp-group
+//! availability/arrival maps) lives in a reusable [`GreedyScratch`]. Callers
+//! that evaluate many flows back to back — the solubility test inside every
+//! `Pre`/`PreSim` solve, table precomputation, request-serving front-ends —
+//! hold one scratch and call [`greedy_flow_with`], paying zero allocation
+//! per run once warmed up. [`greedy_flow`] remains the convenient one-shot
+//! entry point and simply runs on a fresh scratch.
 
-use std::collections::HashMap;
 use tin_graph::{EdgeId, Events, NodeId, Quantity, TemporalGraph, Time};
 
 /// A single transfer performed by the greedy scan — one row of the paper's
@@ -58,18 +67,80 @@ pub struct GreedyResult {
     pub trace: Vec<TransferStep>,
 }
 
-fn run(graph: &TemporalGraph, source: NodeId, sink: NodeId, record_trace: bool) -> GreedyResult {
+/// Reusable per-run state of the greedy scan.
+///
+/// One scratch serves graphs of any size (it grows to the largest vertex
+/// count seen and is cleared with touched-lists, so reuse never pays for
+/// the high-water mark). Construct once, pass to [`greedy_flow_with`] as
+/// many times as needed.
+#[derive(Debug, Default)]
+pub struct GreedyScratch {
+    /// Per-vertex buffer `B_v` (the source's is `+∞`).
+    buffers: Vec<Quantity>,
+    /// Vertices whose buffer was touched in the current run.
+    buffers_touched: Vec<usize>,
+    /// Per-vertex quantity still available within the current timestamp
+    /// group (loaded lazily from `buffers`).
+    available: Vec<Quantity>,
+    available_loaded: Vec<bool>,
+    available_touched: Vec<usize>,
+    /// Per-vertex quantity arriving within the current timestamp group.
+    arrivals: Vec<Quantity>,
+    arrivals_loaded: Vec<bool>,
+    arrivals_touched: Vec<usize>,
+}
+
+impl GreedyScratch {
+    /// Creates an empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        GreedyScratch::default()
+    }
+
+    /// Final per-vertex buffers of the most recent run (empty before any
+    /// run). The source vertex's entry is `+∞`. The scratch never shrinks:
+    /// after a run on a smaller graph, entries beyond that graph's vertex
+    /// count are stale leftovers from earlier runs.
+    pub fn buffers(&self) -> &[Quantity] {
+        &self.buffers
+    }
+
+    /// Grows the vertex-indexed vectors to `n` entries and resets the
+    /// buffers touched by the previous run.
+    fn reset(&mut self, n: usize) {
+        if self.buffers.len() < n {
+            self.buffers.resize(n, 0.0);
+            self.available.resize(n, 0.0);
+            self.available_loaded.resize(n, false);
+            self.arrivals.resize(n, 0.0);
+            self.arrivals_loaded.resize(n, false);
+        }
+        for &v in &self.buffers_touched {
+            self.buffers[v] = 0.0;
+        }
+        self.buffers_touched.clear();
+    }
+
+    fn touch_buffer(&mut self, v: usize) {
+        self.buffers_touched.push(v);
+    }
+}
+
+fn run(
+    graph: &TemporalGraph,
+    source: NodeId,
+    sink: NodeId,
+    record_trace: bool,
+    scratch: &mut GreedyScratch,
+) -> (Quantity, Vec<TransferStep>) {
     assert!(source.index() < graph.node_count(), "source out of range");
     assert!(sink.index() < graph.node_count(), "sink out of range");
     let events = Events::collect(graph);
     let evs = events.as_slice();
-    let mut buffers: Vec<Quantity> = vec![0.0; graph.node_count()];
-    buffers[source.index()] = Quantity::INFINITY;
-    let mut trace = Vec::with_capacity(if record_trace { evs.len() } else { 0 });
+    scratch.reset(graph.node_count());
+    scratch.buffers[source.index()] = Quantity::INFINITY;
+    scratch.touch_buffer(source.index());
 
-    // Scratch maps reused across timestamp groups.
-    let mut available: HashMap<usize, Quantity> = HashMap::new();
-    let mut arrivals: HashMap<usize, Quantity> = HashMap::new();
+    let mut trace = Vec::with_capacity(if record_trace { evs.len() } else { 0 });
 
     let mut i = 0;
     while i < evs.len() {
@@ -78,18 +149,25 @@ fn run(graph: &TemporalGraph, source: NodeId, sink: NodeId, record_trace: bool) 
         while j < evs.len() && evs[j].time == t {
             j += 1;
         }
-        available.clear();
-        arrivals.clear();
         for ev in &evs[i..j] {
-            let avail = available
-                .entry(ev.src.index())
-                .or_insert_with(|| buffers[ev.src.index()]);
-            let moved = ev.quantity.min(*avail);
+            let s = ev.src.index();
+            if !scratch.available_loaded[s] {
+                scratch.available[s] = scratch.buffers[s];
+                scratch.available_loaded[s] = true;
+                scratch.available_touched.push(s);
+            }
+            let moved = ev.quantity.min(scratch.available[s]);
             if moved > 0.0 {
-                if !avail.is_infinite() {
-                    *avail -= moved;
+                if !scratch.available[s].is_infinite() {
+                    scratch.available[s] -= moved;
                 }
-                *arrivals.entry(ev.dst.index()).or_insert(0.0) += moved;
+                let d = ev.dst.index();
+                if !scratch.arrivals_loaded[d] {
+                    scratch.arrivals[d] = 0.0;
+                    scratch.arrivals_loaded[d] = true;
+                    scratch.arrivals_touched.push(d);
+                }
+                scratch.arrivals[d] += moved;
             }
             if record_trace {
                 trace.push(TransferStep {
@@ -104,23 +182,42 @@ fn run(graph: &TemporalGraph, source: NodeId, sink: NodeId, record_trace: bool) 
         }
         // Commit the group: outgoing quantity leaves the senders' buffers,
         // arrivals become available only to strictly later interactions.
-        for (&v, &remaining) in &available {
-            if !buffers[v].is_infinite() {
-                buffers[v] = remaining;
+        while let Some(v) = scratch.available_touched.pop() {
+            if !scratch.buffers[v].is_infinite() {
+                scratch.buffers[v] = scratch.available[v];
+                scratch.touch_buffer(v);
             }
+            scratch.available_loaded[v] = false;
         }
-        for (&v, &gained) in &arrivals {
-            if !buffers[v].is_infinite() {
-                buffers[v] += gained;
+        while let Some(v) = scratch.arrivals_touched.pop() {
+            if !scratch.buffers[v].is_infinite() {
+                scratch.buffers[v] += scratch.arrivals[v];
+                scratch.touch_buffer(v);
             }
+            scratch.arrivals_loaded[v] = false;
         }
         i = j;
     }
-    GreedyResult {
-        flow: buffers[sink.index()],
-        buffers,
-        trace,
-    }
+    (scratch.buffers[sink.index()], trace)
+}
+
+/// Computes the greedy flow from `source` to `sink` (Definition 5) using a
+/// caller-provided scratch, returning just the flow value.
+///
+/// This is the zero-allocation-per-run entry point: after the first call the
+/// scratch's buffers are reused, so tight loops (solubility tests, table
+/// precomputation, per-request serving) stop churning the allocator. The
+/// final vertex buffers remain readable via [`GreedyScratch::buffers`].
+///
+/// # Panics
+/// Panics if either endpoint is out of range.
+pub fn greedy_flow_with(
+    graph: &TemporalGraph,
+    source: NodeId,
+    sink: NodeId,
+    scratch: &mut GreedyScratch,
+) -> Quantity {
+    run(graph, source, sink, false, scratch).0
 }
 
 /// Computes the greedy flow from `source` to `sink` (Definition 5).
@@ -128,13 +225,25 @@ fn run(graph: &TemporalGraph, source: NodeId, sink: NodeId, record_trace: bool) 
 /// # Panics
 /// Panics if either endpoint is out of range.
 pub fn greedy_flow(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> GreedyResult {
-    run(graph, source, sink, false)
+    let mut scratch = GreedyScratch::new();
+    let (flow, trace) = run(graph, source, sink, false, &mut scratch);
+    GreedyResult {
+        flow,
+        buffers: scratch.buffers,
+        trace,
+    }
 }
 
 /// Computes the greedy flow and records every transfer, reproducing the
 /// step-by-step tables of the paper (Table 2).
 pub fn greedy_flow_traced(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> GreedyResult {
-    run(graph, source, sink, true)
+    let mut scratch = GreedyScratch::new();
+    let (flow, trace) = run(graph, source, sink, true, &mut scratch);
+    GreedyResult {
+        flow,
+        buffers: scratch.buffers,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +406,32 @@ mod tests {
         let g = b.build();
         let r = greedy_flow(&g, s, t);
         assert_eq!(r.flow, 14.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One scratch across graphs of different sizes and shapes must give
+        // exactly the same flows as one-shot calls.
+        let (g1, s1, _, _, t1) = figure3();
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(1, 2.0)]);
+        b.add_pairs(a, t, &[(2, 10.0)]);
+        let g2 = b.build();
+
+        let mut scratch = GreedyScratch::new();
+        for _ in 0..3 {
+            let f1 = greedy_flow_with(&g1, s1, t1, &mut scratch);
+            assert_eq!(f1, greedy_flow(&g1, s1, t1).flow);
+            assert!(scratch.buffers()[s1.index()].is_infinite());
+            // Smaller graph right after a bigger one: touched-list reset
+            // must leave no residue in the live prefix.
+            let f2 = greedy_flow_with(&g2, s, t, &mut scratch);
+            assert_eq!(f2, greedy_flow(&g2, s, t).flow);
+            assert_eq!(f2, 2.0);
+        }
     }
 
     #[test]

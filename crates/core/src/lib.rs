@@ -56,7 +56,9 @@ pub mod solver;
 pub mod workgraph;
 
 pub use error::FlowError;
-pub use greedy::{greedy_flow, greedy_flow_traced, GreedyResult, TransferStep};
+pub use greedy::{
+    greedy_flow, greedy_flow_traced, greedy_flow_with, GreedyResult, GreedyScratch, TransferStep,
+};
 pub use lp_formulation::{build_lp, lp_max_flow, LpFormulation, LpOutcome};
 pub use preprocess::{preprocess, PreprocessOutcome, PreprocessReport};
 pub use simplify::{simplify, SimplifyOutcome, SimplifyReport};

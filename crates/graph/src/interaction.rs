@@ -2,8 +2,15 @@
 //! working with time-sorted interaction sequences.
 
 use crate::ids::{Quantity, Time};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::cmp::Ordering;
+
+/// The tagged string both interchange formats use for an infinite quantity
+/// (synthetic source/sink interactions). JSON has no literal for infinity
+/// (upstream `serde_json` writes `null`, which is lossy), so the quantity
+/// field is either a number or this string — and the compact text format
+/// uses the same token, so the two formats agree.
+pub const INFINITE_QUANTITY_TOKEN: &str = "inf";
 
 /// A single interaction: at time [`Interaction::time`], the quantity
 /// [`Interaction::quantity`] is transferred from the source vertex of the
@@ -12,13 +19,65 @@ use std::cmp::Ordering;
 /// Interactions on an edge are kept sorted by time (ties broken by quantity,
 /// then insertion order) so that every algorithm can replay them
 /// chronologically.
-#[derive(Copy, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq)]
 pub struct Interaction {
     /// Timestamp at which the transfer happens.
     pub time: Time,
     /// Quantity transferred (non-negative; `f64::INFINITY` for synthetic
     /// source/sink interactions).
     pub quantity: Quantity,
+}
+
+// Hand-written serde impls (instead of the derive) so that infinite
+// quantities round-trip losslessly as the tagged string
+// [`INFINITE_QUANTITY_TOKEN`] instead of JSON `null`. With registry serde
+// this would be a `#[serde(with = ...)]` field helper; the vendored shim's
+// derive does not support that attribute, so the whole struct is mapped by
+// hand (the `Value` shape matches what the derive would emit for the finite
+// case).
+impl Serialize for Interaction {
+    fn to_value(&self) -> Value {
+        let quantity = if self.quantity.is_finite() {
+            Value::Float(self.quantity)
+        } else {
+            Value::Str(INFINITE_QUANTITY_TOKEN.to_string())
+        };
+        Value::Object(vec![
+            ("time".to_string(), Value::Int(self.time)),
+            ("quantity".to_string(), quantity),
+        ])
+    }
+}
+
+impl Deserialize for Interaction {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(_) = value else {
+            return Err(DeError::new("expected an interaction object"));
+        };
+        let time = match value.get("time") {
+            Some(v) => Time::from_value(v)?,
+            None => return Err(DeError::new("interaction missing `time`")),
+        };
+        let quantity = match value.get("quantity") {
+            Some(Value::Str(s)) if s == INFINITE_QUANTITY_TOKEN => Quantity::INFINITY,
+            Some(Value::Str(s)) => {
+                return Err(DeError::new(format!(
+                    "invalid quantity string `{s}` (only `{INFINITE_QUANTITY_TOKEN}` is allowed)"
+                )))
+            }
+            // `Null` is accepted for backward compatibility with fixtures
+            // written before quantities were tagged (upstream serde_json
+            // serializes non-finite floats as `null`).
+            Some(v) => Quantity::from_value(v)?,
+            None => return Err(DeError::new("interaction missing `quantity`")),
+        };
+        if quantity.is_nan() || quantity < 0.0 {
+            return Err(DeError::new(format!(
+                "interaction quantity must be non-negative, got {quantity}"
+            )));
+        }
+        Ok(Interaction { time, quantity })
+    }
 }
 
 impl Interaction {
@@ -210,6 +269,53 @@ mod tests {
         let a = seq(&[(1, 1.0)]);
         assert_eq!(merge_sorted(&a, &[]), a);
         assert_eq!(merge_sorted(&[], &a), a);
+    }
+
+    #[test]
+    fn serde_roundtrip_finite_and_infinite() {
+        let finite = Interaction::new(5, 3.5);
+        let back = Interaction::from_value(&finite.to_value()).unwrap();
+        assert_eq!(back, finite);
+
+        let inf = Interaction::synthetic_source();
+        let v = inf.to_value();
+        // The infinite quantity is a tagged string, not null.
+        assert_eq!(
+            v.get("quantity"),
+            Some(&serde::Value::Str(INFINITE_QUANTITY_TOKEN.to_string()))
+        );
+        let back = Interaction::from_value(&v).unwrap();
+        assert_eq!(back.time, inf.time);
+        assert!(back.quantity.is_infinite());
+    }
+
+    #[test]
+    fn serde_rejects_garbage() {
+        use serde::Value;
+        assert!(Interaction::from_value(&Value::Null).is_err());
+        let missing_q = Value::Object(vec![("time".into(), Value::Int(1))]);
+        assert!(Interaction::from_value(&missing_q).is_err());
+        let bad_tag = Value::Object(vec![
+            ("time".into(), Value::Int(1)),
+            ("quantity".into(), Value::Str("oops".into())),
+        ]);
+        assert!(Interaction::from_value(&bad_tag).is_err());
+        let negative = Value::Object(vec![
+            ("time".into(), Value::Int(1)),
+            ("quantity".into(), Value::Float(-2.0)),
+        ]);
+        assert!(Interaction::from_value(&negative).is_err());
+    }
+
+    #[test]
+    fn serde_accepts_legacy_null_quantity() {
+        use serde::Value;
+        let legacy = Value::Object(vec![
+            ("time".into(), Value::Int(4)),
+            ("quantity".into(), Value::Null),
+        ]);
+        let back = Interaction::from_value(&legacy).unwrap();
+        assert!(back.quantity.is_infinite());
     }
 
     #[test]

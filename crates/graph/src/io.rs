@@ -7,11 +7,19 @@
 //!   (`<src-name> <dst-name> <time> <quantity>`), which mirrors the
 //!   `(sender, recipient, timestamp, amount)` records the paper builds its
 //!   datasets from and is convenient for importing real logs.
+//!
+//! Both formats use the same lossless representation for the infinite
+//! quantities of synthetic source/sink interactions: the tagged token
+//! [`INFINITE_QUANTITY_TOKEN`] (`"inf"`). JSON has no infinity literal
+//! (upstream `serde_json` writes `null`, which does not round-trip), so the
+//! quantity field is a number or that string; the text format writes the
+//! identical token, so an augmented graph survives either pipeline
+//! unchanged.
 
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
 use crate::graph::TemporalGraph;
-use crate::interaction::Interaction;
+use crate::interaction::{Interaction, INFINITE_QUANTITY_TOKEN};
 use std::fmt::Write as _;
 
 /// Serializes a graph to a JSON string.
@@ -41,7 +49,12 @@ pub fn to_text(graph: &TemporalGraph) -> String {
         let src = &graph.node(edge.src).name;
         let dst = &graph.node(edge.dst).name;
         for i in &edge.interactions {
-            writeln!(out, "{src} {dst} {} {}", i.time, i.quantity).expect("string write");
+            if i.quantity.is_finite() {
+                writeln!(out, "{src} {dst} {} {}", i.time, i.quantity).expect("string write");
+            } else {
+                writeln!(out, "{src} {dst} {} {INFINITE_QUANTITY_TOKEN}", i.time)
+                    .expect("string write");
+            }
         }
     }
     out
@@ -81,11 +94,26 @@ pub fn from_text(text: &str) -> Result<TemporalGraph, GraphError> {
             line: line_number,
             message: format!("invalid timestamp `{time}`"),
         })?;
-        let quantity: f64 = quantity.parse().map_err(|_| GraphError::Parse {
-            line: line_number,
-            message: format!("invalid quantity `{quantity}`"),
-        })?;
-        if quantity.is_nan() || quantity < 0.0 {
+        let quantity: f64 = if quantity == INFINITE_QUANTITY_TOKEN {
+            f64::INFINITY
+        } else {
+            let q: f64 = quantity.parse().map_err(|_| GraphError::Parse {
+                line: line_number,
+                message: format!("invalid quantity `{quantity}`"),
+            })?;
+            if !q.is_finite() {
+                // Keep the interchange representation canonical: spellings
+                // like `Infinity`/`NaN` that Rust would parse are rejected.
+                return Err(GraphError::Parse {
+                    line: line_number,
+                    message: format!(
+                        "non-finite quantity `{quantity}` (use `{INFINITE_QUANTITY_TOKEN}`)"
+                    ),
+                });
+            }
+            q
+        };
+        if quantity < 0.0 {
             return Err(GraphError::Parse {
                 line: line_number,
                 message: format!("quantity must be non-negative, got {quantity}"),
@@ -145,6 +173,96 @@ mod tests {
         assert_eq!(back.edge_count(), g.edge_count());
         assert_eq!(back.interaction_count(), g.interaction_count());
         assert_eq!(back.total_quantity(), g.total_quantity());
+    }
+
+    /// Builds a graph carrying synthetic-source/sink infinities, as produced
+    /// by [`crate::dag::augment_with_synthetic_endpoints`].
+    fn augmented() -> TemporalGraph {
+        let base = from_records([
+            ("a", "c", 2, 5.0),
+            ("b", "c", 3, 4.0),
+            ("c", "d", 5, 6.0),
+            ("c", "e", 6, 2.0),
+        ]);
+        let aug = crate::dag::augment_with_synthetic_endpoints(&base).unwrap();
+        assert!(aug.added_source && aug.added_sink);
+        aug.graph
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_infinite_quantities() {
+        let g = augmented();
+        let infinite_before = g
+            .edges()
+            .iter()
+            .flat_map(|e| &e.interactions)
+            .filter(|i| i.is_unbounded())
+            .count();
+        assert!(infinite_before >= 4); // 2 sources + 2 sinks
+        let s = to_json(&g);
+        // The lossy `null` representation must not appear; the token must.
+        assert!(!s.contains("null"), "lossy null in JSON: {s}");
+        assert!(s.contains("\"inf\""));
+        let back = from_json(&s).unwrap();
+        let infinite_after = back
+            .edges()
+            .iter()
+            .flat_map(|e| &e.interactions)
+            .filter(|i| i.is_unbounded())
+            .count();
+        assert_eq!(infinite_after, infinite_before);
+        assert_eq!(back.interaction_count(), g.interaction_count());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_infinite_quantities() {
+        let g = augmented();
+        let s = to_text(&g);
+        assert!(s.contains(" inf\n"), "missing inf token: {s}");
+        let back = from_text(&s).unwrap();
+        assert_eq!(back.interaction_count(), g.interaction_count());
+        let infinite: usize = back
+            .edges()
+            .iter()
+            .flat_map(|e| &e.interactions)
+            .filter(|i| i.is_unbounded())
+            .count();
+        assert!(infinite >= 4);
+        assert!(back.total_quantity().is_infinite());
+    }
+
+    #[test]
+    fn json_and_text_agree_on_the_infinite_representation() {
+        // The same graph written by both formats round-trips identically
+        // through either: structure and per-format totals all match.
+        let g = augmented();
+        let via_json = from_json(&to_json(&g)).unwrap();
+        let via_text = from_text(&to_text(&g)).unwrap();
+        assert_eq!(via_json.node_count(), via_text.node_count());
+        assert_eq!(via_json.interaction_count(), via_text.interaction_count());
+        let infinities = |g: &TemporalGraph| {
+            g.edges()
+                .iter()
+                .flat_map(|e| &e.interactions)
+                .filter(|i| i.is_unbounded())
+                .count()
+        };
+        assert_eq!(infinities(&via_json), infinities(&via_text));
+    }
+
+    #[test]
+    fn text_parser_rejects_noncanonical_infinity_spellings() {
+        assert!(matches!(
+            from_text("a b 1 Infinity"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("a b 1 NaN"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        // The canonical token parses.
+        let g = from_text("a b 1 inf").unwrap();
+        assert!(g.total_quantity().is_infinite());
     }
 
     #[test]

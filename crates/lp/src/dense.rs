@@ -1,0 +1,391 @@
+//! Dense two-phase primal simplex — the [`SimplexEngine::DenseTableau`]
+//! fallback.
+//!
+//! This is the original baseline solver of this crate, kept verbatim as an
+//! independent implementation so property tests can cross-check the sparse
+//! revised simplex ([`crate::simplex`]) against it. The implementation
+//! follows the classic full-tableau method:
+//!
+//! 1. every constraint is normalized to a non-negative right-hand side and
+//!    augmented with slack, surplus and artificial variables as required;
+//! 2. *phase 1* maximizes minus the sum of artificial variables; if the
+//!    optimum is negative the program is infeasible;
+//! 3. *phase 2* optimizes the real objective with artificial columns barred
+//!    from entering the basis.
+//!
+//! Pricing is Dantzig's rule (most negative reduced cost); after a generous
+//! number of pivots the solver switches to Bland's rule, which guarantees
+//! termination in the presence of degeneracy.
+//!
+//! The tableau has no native notion of variable bounds, so every finite
+//! upper bound is expanded into an explicit `xⱼ ≤ uⱼ` row before the solve —
+//! the very densification the revised simplex exists to avoid.
+
+use crate::problem::{ConstraintOp, LpProblem, Sense, SimplexEngine};
+use crate::solution::{LpSolution, LpStatus};
+
+/// Numerical tolerance used for pivoting decisions.
+const EPS: f64 = 1e-9;
+/// Tolerance used when deciding whether phase 1 proved feasibility.
+const FEAS_EPS: f64 = 1e-6;
+
+/// A materialized constraint row.
+struct Row {
+    coeffs: Vec<(usize, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+/// Rebuilds row-wise constraint storage from the problem's triplet store and
+/// appends one `≤` row per finite variable upper bound.
+fn materialize_rows(problem: &LpProblem) -> Vec<Row> {
+    let mut rows: Vec<Row> = problem
+        .row_meta
+        .iter()
+        .map(|meta| Row {
+            coeffs: Vec::new(),
+            op: meta.op,
+            rhs: meta.rhs,
+        })
+        .collect();
+    for &(row, var, c) in &problem.entries {
+        rows[row].coeffs.push((var, c));
+    }
+    for (var, &u) in problem.upper_bounds().iter().enumerate() {
+        if u.is_finite() {
+            rows.push(Row {
+                coeffs: vec![(var, 1.0)],
+                op: ConstraintOp::Le,
+                rhs: u,
+            });
+        }
+    }
+    rows
+}
+
+struct Tableau {
+    /// Number of constraint rows.
+    m: usize,
+    /// Number of structural (decision) variables.
+    n_struct: usize,
+    /// Total number of columns excluding the RHS column.
+    n_cols: usize,
+    /// Row-major tableau rows, each of length `n_cols + 1` (last entry is
+    /// the RHS).
+    rows: Vec<Vec<f64>>,
+    /// Objective row: reduced costs `z_j - c_j`, last entry is the current
+    /// objective value.
+    obj: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.rows[i][self.n_cols]
+    }
+
+    /// Performs a pivot on (`row`, `col`): `col` enters the basis, the
+    /// previous basic variable of `row` leaves.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPS, "pivot on a (near) zero element");
+        let inv = 1.0 / pivot_val;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        // Borrow the pivot row out by value to keep the borrow checker happy
+        // without cloning the whole row for every elimination.
+        let pivot_row = std::mem::take(&mut self.rows[row]);
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() > EPS {
+                for (a, &p) in r.iter_mut().zip(pivot_row.iter()) {
+                    *a -= factor * p;
+                }
+                r[col] = 0.0; // avoid numerical crumbs in the pivot column
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > EPS {
+            for (a, &p) in self.obj.iter_mut().zip(pivot_row.iter()) {
+                *a -= factor * p;
+            }
+            self.obj[col] = 0.0;
+        }
+        self.rows[row] = pivot_row;
+        self.basis[row] = col;
+    }
+
+    /// Recomputes the objective row for maximizing `costs · x` given the
+    /// current basis: `obj[j] = c_B · B⁻¹ A_j − c_j`, `obj[rhs] = c_B · B⁻¹ b`.
+    fn price(&mut self, costs: &[f64]) {
+        let mut obj = vec![0.0; self.n_cols + 1];
+        for (j, o) in obj.iter_mut().enumerate().take(self.n_cols) {
+            *o = -costs.get(j).copied().unwrap_or(0.0);
+        }
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = costs.get(b).copied().unwrap_or(0.0);
+            if cb != 0.0 {
+                for (o, &a) in obj.iter_mut().zip(&self.rows[i]) {
+                    *o += cb * a;
+                }
+            }
+        }
+        self.obj = obj;
+    }
+
+    /// Chooses the entering column among `allowed_cols` (columns `<
+    /// col_limit`), or `None` when the current basis is optimal.
+    fn entering(&self, col_limit: usize, bland: bool) -> Option<usize> {
+        if bland {
+            (0..col_limit).find(|&j| self.obj[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..col_limit {
+                if self.obj[j] < best_val {
+                    best_val = self.obj[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Ratio test: chooses the leaving row for entering column `col`, or
+    /// `None` when the problem is unbounded in that direction.
+    fn leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.m {
+            let a = self.rows[i][col];
+            if a > EPS {
+                let ratio = self.rhs(i) / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        // Smaller ratio wins; ties broken by smaller basic
+                        // variable index (lexicographic-ish, helps avoid
+                        // cycling even under Dantzig pricing).
+                        if ratio < br - EPS
+                            || ((ratio - br).abs() <= EPS && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// Runs the simplex loop for the current objective row. Returns `Ok(())`
+/// at optimality, `Err(status)` for unbounded / iteration-limit outcomes.
+fn optimize(
+    t: &mut Tableau,
+    col_limit: usize,
+    max_iters: usize,
+    pivots: &mut usize,
+) -> Result<(), LpStatus> {
+    let bland_threshold = max_iters / 2;
+    let mut local = 0usize;
+    loop {
+        let bland = local >= bland_threshold;
+        let Some(col) = t.entering(col_limit, bland) else {
+            return Ok(());
+        };
+        let Some(row) = t.leaving(col) else {
+            return Err(LpStatus::Unbounded);
+        };
+        t.pivot(row, col);
+        *pivots += 1;
+        local += 1;
+        if local > max_iters {
+            return Err(LpStatus::IterationLimit);
+        }
+    }
+}
+
+/// Solves `problem` with the two-phase dense tableau simplex.
+pub fn solve(problem: &LpProblem) -> LpSolution {
+    let n = problem.num_vars();
+    let rows = materialize_rows(problem);
+    let m = rows.len();
+    let finish = |mut s: LpSolution| {
+        s.engine = SimplexEngine::DenseTableau;
+        // The dense engine works on the bound-expanded row set; report the
+        // size it actually solved.
+        s.matrix_nonzeros = rows.iter().map(|r| r.coeffs.len()).sum();
+        s.matrix_density = if m * n == 0 {
+            0.0
+        } else {
+            s.matrix_nonzeros as f64 / (m * n) as f64
+        };
+        s
+    };
+
+    // Trivial case: no constraints and no finite bounds. Any variable with a
+    // positive (for max) objective coefficient makes the program unbounded;
+    // otherwise x = 0 is optimal.
+    let maximize = problem.sense() == Sense::Maximize;
+    if m == 0 {
+        let improving = problem
+            .objective()
+            .iter()
+            .any(|&c| if maximize { c > EPS } else { c < -EPS });
+        return if improving {
+            finish(LpSolution::with_status(LpStatus::Unbounded, 0))
+        } else {
+            finish(LpSolution {
+                variables: vec![0.0; n],
+                ..LpSolution::with_status(LpStatus::Optimal, 0)
+            })
+        };
+    }
+
+    // --- Build the augmented tableau -------------------------------------
+    // Column layout: [structural 0..n) [slack/surplus n..n+s) [artificial ...).
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for row in &rows {
+        // Normalize RHS sign first to know which auxiliary variables we need.
+        let (op, _) = normalized_op(row.op, row.rhs);
+        match op {
+            ConstraintOp::Le => n_slack += 1,
+            ConstraintOp::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            ConstraintOp::Eq => n_art += 1,
+        }
+    }
+    let n_cols = n + n_slack + n_art;
+    let art_start = n + n_slack;
+
+    let mut trows = vec![vec![0.0; n_cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_art = art_start;
+    for (i, row) in rows.iter().enumerate() {
+        let flip = row.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(var, c) in &row.coeffs {
+            trows[i][var] += sign * c;
+        }
+        trows[i][n_cols] = sign * row.rhs;
+        let (op, _) = normalized_op(row.op, row.rhs);
+        match op {
+            ConstraintOp::Le => {
+                trows[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            ConstraintOp::Ge => {
+                trows[i][next_slack] = -1.0; // surplus
+                trows[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_slack += 1;
+                next_art += 1;
+            }
+            ConstraintOp::Eq => {
+                trows[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut tableau = Tableau {
+        m,
+        n_struct: n,
+        n_cols,
+        rows: trows,
+        obj: vec![0.0; n_cols + 1],
+        basis,
+    };
+
+    let max_iters = if problem.max_iterations > 0 {
+        problem.max_iterations
+    } else {
+        200 * (m + n_cols) + 2000
+    };
+    let mut pivots = 0usize;
+
+    // --- Phase 1: drive artificial variables to zero ----------------------
+    if n_art > 0 {
+        let mut phase1_costs = vec![0.0; n_cols];
+        for c in phase1_costs.iter_mut().skip(art_start) {
+            *c = -1.0; // maximize -(sum of artificials)
+        }
+        tableau.price(&phase1_costs);
+        match optimize(&mut tableau, n_cols, max_iters, &mut pivots) {
+            Ok(()) => {}
+            Err(LpStatus::Unbounded) => {
+                // Phase-1 objective is bounded above by 0; an "unbounded"
+                // outcome can only be a numerical artifact.
+                return finish(LpSolution::with_status(LpStatus::Infeasible, pivots));
+            }
+            Err(status) => return finish(LpSolution::with_status(status, pivots)),
+        }
+        let phase1_obj = tableau.obj[n_cols];
+        if phase1_obj < -FEAS_EPS {
+            return finish(LpSolution::with_status(LpStatus::Infeasible, pivots));
+        }
+        // Drive remaining (degenerate) artificial variables out of the basis
+        // when possible so phase 2 starts from a clean basis.
+        for i in 0..m {
+            if tableau.basis[i] >= art_start {
+                if let Some(col) = (0..art_start).find(|&j| tableau.rows[i][j].abs() > EPS) {
+                    tableau.pivot(i, col);
+                    pivots += 1;
+                }
+            }
+        }
+    }
+
+    // --- Phase 2: optimize the real objective -----------------------------
+    let mut costs = vec![0.0; n_cols];
+    for (j, &c) in problem.objective().iter().enumerate() {
+        costs[j] = if maximize { c } else { -c };
+    }
+    tableau.price(&costs);
+    // Artificial columns may not re-enter the basis.
+    match optimize(&mut tableau, art_start, max_iters, &mut pivots) {
+        Ok(()) => {}
+        Err(status) => return finish(LpSolution::with_status(status, pivots)),
+    }
+
+    // --- Extract the solution ---------------------------------------------
+    let mut x = vec![0.0; n];
+    for (i, &b) in tableau.basis.iter().enumerate() {
+        if b < tableau.n_struct {
+            x[b] = tableau.rhs(i).max(0.0);
+        }
+    }
+    let objective = problem.objective_value(&x);
+    finish(LpSolution {
+        objective,
+        variables: x,
+        ..LpSolution::with_status(LpStatus::Optimal, pivots)
+    })
+}
+
+/// Returns the constraint operator after normalizing the row to a
+/// non-negative right-hand side (flipping the inequality when the RHS was
+/// negative).
+fn normalized_op(op: ConstraintOp, rhs: f64) -> (ConstraintOp, f64) {
+    if rhs >= 0.0 {
+        (op, rhs)
+    } else {
+        let flipped = match op {
+            ConstraintOp::Le => ConstraintOp::Ge,
+            ConstraintOp::Ge => ConstraintOp::Le,
+            ConstraintOp::Eq => ConstraintOp::Eq,
+        };
+        (flipped, -rhs)
+    }
+}

@@ -1,5 +1,6 @@
 //! Construction of linear programs.
 
+use crate::dense;
 use crate::simplex;
 use crate::solution::LpSolution;
 
@@ -25,46 +26,71 @@ pub enum Sense {
     Minimize,
 }
 
-/// A single constraint row, stored sparsely.
-#[derive(Debug, Clone)]
-pub(crate) struct Row {
-    /// `(variable index, coefficient)` pairs; indices are unique.
-    pub coeffs: Vec<(usize, f64)>,
+/// Which simplex implementation solves the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimplexEngine {
+    /// The sparse revised simplex (product-form basis, partial pricing,
+    /// native variable bounds) — the default.
+    #[default]
+    SparseRevised,
+    /// The dense two-phase full-tableau simplex kept as a cross-checking
+    /// fallback; variable upper bounds are expanded into explicit `≤` rows
+    /// before it runs.
+    DenseTableau,
+}
+
+/// Operator and right-hand side of one constraint row (the coefficients
+/// live in the shared triplet store).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RowMeta {
     pub op: ConstraintOp,
     pub rhs: f64,
 }
 
-/// A linear program over non-negative variables:
+/// A linear program over bounded non-negative variables:
 ///
 /// ```text
 /// max / min   c · x
 /// subject to  aᵢ · x  {≤,≥,=}  bᵢ      for every constraint i
-///             0 ≤ xⱼ                    for every variable j
+///             0 ≤ xⱼ ≤ uⱼ              for every variable j
 /// ```
 ///
-/// Upper bounds on individual variables are ordinary `≤` constraints (see
-/// [`LpProblem::set_upper_bound`]); the flow formulation uses one per
-/// interaction (`xᵢ ≤ qᵢ`).
+/// Upper bounds are first-class (`uⱼ = +∞` by default, see
+/// [`LpProblem::set_upper_bound`]); the revised simplex handles them in the
+/// ratio test instead of materializing one `≤` row per bound, which is what
+/// keeps the flow formulation's constraint matrix small.
+///
+/// Coefficients are stored as `(row, var, value)` triplets — the natural
+/// output of [`LpProblem::add_constraint`] — and assembled into a
+/// compressed-sparse-column matrix only when a solve starts. Nothing is ever
+/// densified.
 #[derive(Debug, Clone)]
 pub struct LpProblem {
     num_vars: usize,
     objective: Vec<f64>,
     sense: Sense,
-    pub(crate) rows: Vec<Row>,
+    upper: Vec<f64>,
+    /// `(row, var, coefficient)` triplets, grouped by row in append order.
+    pub(crate) entries: Vec<(usize, usize, f64)>,
+    pub(crate) row_meta: Vec<RowMeta>,
     /// Maximum simplex iterations before giving up (safety valve).
     pub max_iterations: usize,
+    engine: SimplexEngine,
 }
 
 impl LpProblem {
-    /// Creates a problem with `num_vars` non-negative variables and an
-    /// all-zero objective.
+    /// Creates a problem with `num_vars` non-negative variables, no upper
+    /// bounds and an all-zero objective.
     pub fn new(num_vars: usize) -> Self {
         LpProblem {
             num_vars,
             objective: vec![0.0; num_vars],
             sense: Sense::Maximize,
-            rows: Vec::new(),
+            upper: vec![f64::INFINITY; num_vars],
+            entries: Vec::new(),
+            row_meta: Vec::new(),
             max_iterations: 0, // 0 = automatic (scaled with problem size)
+            engine: SimplexEngine::default(),
         }
     }
 
@@ -73,9 +99,15 @@ impl LpProblem {
         self.num_vars
     }
 
-    /// Number of constraint rows added so far.
+    /// Number of constraint rows added so far (variable bounds are not
+    /// rows).
     pub fn num_constraints(&self) -> usize {
-        self.rows.len()
+        self.row_meta.len()
+    }
+
+    /// Number of stored constraint coefficients.
+    pub fn num_nonzeros(&self) -> usize {
+        self.entries.len()
     }
 
     /// Sets the optimization direction (default: maximize).
@@ -86,6 +118,17 @@ impl LpProblem {
     /// Current optimization direction.
     pub fn sense(&self) -> Sense {
         self.sense
+    }
+
+    /// Selects the simplex implementation used by [`LpProblem::solve`]
+    /// (default: [`SimplexEngine::SparseRevised`]).
+    pub fn set_engine(&mut self, engine: SimplexEngine) {
+        self.engine = engine;
+    }
+
+    /// The simplex implementation used by [`LpProblem::solve`].
+    pub fn engine(&self) -> SimplexEngine {
+        self.engine
     }
 
     /// Sets the objective coefficient of variable `var`.
@@ -111,26 +154,25 @@ impl LpProblem {
     /// Adds a general constraint `coeffs · x {op} rhs`.
     ///
     /// `coeffs` is a sparse list of `(variable, coefficient)` pairs; repeated
-    /// variables are summed.
+    /// variables are summed. The coefficients go straight into the sparse
+    /// triplet store.
     ///
     /// # Panics
     /// Panics if any variable index is out of range or any value is NaN.
     pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], op: ConstraintOp, rhs: f64) {
         assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
-        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        let row = self.row_meta.len();
+        let start = self.entries.len();
         for &(var, c) in coeffs {
             assert!(var < self.num_vars, "variable index {var} out of range");
             assert!(!c.is_nan(), "constraint coefficient must not be NaN");
-            match merged.iter_mut().find(|(v, _)| *v == var) {
-                Some((_, existing)) => *existing += c,
-                None => merged.push((var, c)),
+            // Merge duplicates within this row (rows are short in practice).
+            match self.entries[start..].iter_mut().find(|(_, v, _)| *v == var) {
+                Some((_, _, existing)) => *existing += c,
+                None => self.entries.push((row, var, c)),
             }
         }
-        self.rows.push(Row {
-            coeffs: merged,
-            op,
-            rhs,
-        });
+        self.row_meta.push(RowMeta { op, rhs });
     }
 
     /// Adds a `≤` constraint (the most common case in the flow formulation).
@@ -148,14 +190,44 @@ impl LpProblem {
         self.add_constraint(coeffs, ConstraintOp::Eq, rhs);
     }
 
-    /// Adds the upper bound `x_var ≤ bound` as a constraint row.
+    /// Sets the upper bound `x_var ≤ bound`.
+    ///
+    /// This is a true variable bound handled by the simplex ratio test, not
+    /// a constraint row. Repeated calls keep the tightest bound.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range or `bound` is NaN or negative.
     pub fn set_upper_bound(&mut self, var: usize, bound: f64) {
-        self.add_le_constraint(&[(var, 1.0)], bound);
+        assert!(var < self.num_vars, "variable index {var} out of range");
+        assert!(
+            !bound.is_nan() && bound >= 0.0,
+            "upper bound must be a non-negative number, got {bound}"
+        );
+        self.upper[var] = self.upper[var].min(bound);
     }
 
-    /// Solves the program with the two-phase primal simplex method.
+    /// The upper bound of variable `var` (`+∞` when unbounded).
+    pub fn upper_bound(&self, var: usize) -> f64 {
+        self.upper[var]
+    }
+
+    /// The per-variable upper bounds (`+∞` when unbounded).
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Solves the program with the configured engine (the sparse revised
+    /// simplex unless [`LpProblem::set_engine`] said otherwise).
     pub fn solve(&self) -> LpSolution {
-        simplex::solve(self)
+        self.solve_with(self.engine)
+    }
+
+    /// Solves the program with an explicitly chosen engine.
+    pub fn solve_with(&self, engine: SimplexEngine) -> LpSolution {
+        match engine {
+            SimplexEngine::SparseRevised => simplex::solve(self),
+            SimplexEngine::DenseTableau => dense::solve(self),
+        }
     }
 
     /// Evaluates the objective at a given point (useful for checking
@@ -164,23 +236,30 @@ impl LpProblem {
         self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
-    /// Checks whether `x` satisfies every constraint and the non-negativity
+    /// Checks whether `x` satisfies every constraint and the `0 ≤ xⱼ ≤ uⱼ`
     /// bounds within tolerance `tol`.
     pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
         if x.len() != self.num_vars {
             return false;
         }
-        if x.iter().any(|&v| v < -tol || v.is_nan()) {
+        if x.iter()
+            .zip(&self.upper)
+            .any(|(&v, &u)| v < -tol || v > u + tol || v.is_nan())
+        {
             return false;
         }
-        self.rows.iter().all(|row| {
-            let lhs: f64 = row.coeffs.iter().map(|&(v, c)| c * x[v]).sum();
-            match row.op {
-                ConstraintOp::Le => lhs <= row.rhs + tol,
-                ConstraintOp::Ge => lhs >= row.rhs - tol,
-                ConstraintOp::Eq => (lhs - row.rhs).abs() <= tol,
-            }
-        })
+        let mut lhs = vec![0.0f64; self.row_meta.len()];
+        for &(row, var, c) in &self.entries {
+            lhs[row] += c * x[var];
+        }
+        self.row_meta
+            .iter()
+            .zip(&lhs)
+            .all(|(meta, &l)| match meta.op {
+                ConstraintOp::Le => l <= meta.rhs + tol,
+                ConstraintOp::Ge => l >= meta.rhs - tol,
+                ConstraintOp::Eq => (l - meta.rhs).abs() <= tol,
+            })
     }
 }
 
@@ -200,18 +279,36 @@ mod tests {
         p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 5.0);
         p.add_ge_constraint(&[(2, 2.0)], 1.0);
         p.add_eq_constraint(&[(0, 1.0), (2, 1.0)], 2.0);
+        assert_eq!(p.num_constraints(), 3);
+        assert_eq!(p.num_nonzeros(), 5);
+        // Bounds are not rows.
         p.set_upper_bound(1, 9.0);
-        assert_eq!(p.num_constraints(), 4);
+        assert_eq!(p.num_constraints(), 3);
+        assert_eq!(p.upper_bound(1), 9.0);
+        assert!(p.upper_bound(0).is_infinite());
         assert_eq!(p.sense(), Sense::Maximize);
         p.set_sense(Sense::Minimize);
         assert_eq!(p.sense(), Sense::Minimize);
+        assert_eq!(p.engine(), SimplexEngine::SparseRevised);
+        p.set_engine(SimplexEngine::DenseTableau);
+        assert_eq!(p.engine(), SimplexEngine::DenseTableau);
     }
 
     #[test]
     fn duplicate_coefficients_are_merged() {
         let mut p = LpProblem::new(2);
         p.add_le_constraint(&[(0, 1.0), (0, 2.0), (1, 1.0)], 4.0);
-        assert_eq!(p.rows[0].coeffs, vec![(0, 3.0), (1, 1.0)]);
+        assert_eq!(p.entries, vec![(0, 0, 3.0), (0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn repeated_upper_bounds_keep_the_tightest() {
+        let mut p = LpProblem::new(1);
+        p.set_upper_bound(0, 5.0);
+        p.set_upper_bound(0, 7.0);
+        assert_eq!(p.upper_bound(0), 5.0);
+        p.set_upper_bound(0, 2.0);
+        assert_eq!(p.upper_bound(0), 2.0);
     }
 
     #[test]
@@ -229,6 +326,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_upper_bound_panics() {
+        let mut p = LpProblem::new(1);
+        p.set_upper_bound(0, -1.0);
+    }
+
+    #[test]
     fn feasibility_and_objective_evaluation() {
         let mut p = LpProblem::new(2);
         p.set_objective_coefficient(0, 1.0);
@@ -242,5 +346,13 @@ mod tests {
         assert!(!p.is_feasible(&[-1.0, 1.0], 1e-9)); // negative
         assert!(!p.is_feasible(&[1.0], 1e-9)); // wrong arity
         assert_eq!(p.objective_value(&[1.0, 1.0]), 3.0);
+    }
+
+    #[test]
+    fn feasibility_checks_upper_bounds() {
+        let mut p = LpProblem::new(2);
+        p.set_upper_bound(0, 1.5);
+        assert!(p.is_feasible(&[1.5, 10.0], 1e-9));
+        assert!(!p.is_feasible(&[2.0, 0.0], 1e-9));
     }
 }

@@ -1,351 +1,595 @@
-//! Dense two-phase primal simplex.
+//! Sparse revised simplex with bounded variables — the default engine.
 //!
-//! The implementation follows the classic full-tableau method:
+//! Where the dense tableau ([`crate::dense`]) updates an `m × n` matrix on
+//! every pivot, the revised method keeps only:
 //!
-//! 1. every constraint is normalized to a non-negative right-hand side and
-//!    augmented with slack, surplus and artificial variables as required;
-//! 2. *phase 1* maximizes minus the sum of artificial variables; if the
-//!    optimum is negative the program is infeasible;
-//! 3. *phase 2* optimizes the real objective with artificial columns barred
-//!    from entering the basis.
+//! * the constraint matrix in compressed-sparse-column form (built once,
+//!   never modified);
+//! * the basis inverse as a product-form *eta file* ([`crate::sparse::EtaFile`]),
+//!   one elementary transformation per pivot, periodically rebuilt from
+//!   scratch (a *refactorization*) to bound memory and rounding drift;
+//! * the values of the basic variables.
 //!
-//! Pricing is Dantzig's rule (most negative reduced cost); after a generous
-//! number of pivots the solver switches to Bland's rule, which guarantees
-//! termination in the presence of degeneracy.
+//! Per iteration this costs one BTRAN (pricing vector `y = B⁻ᵀ c_B`), a
+//! partial-pricing scan of candidate columns (Dantzig's rule inside the
+//! scanned section, Bland's rule after a degeneracy threshold), one FTRAN of
+//! the entering column and an `O(m)` ratio test — instead of the tableau's
+//! `O(m · n)` elimination.
+//!
+//! Variable upper bounds `0 ≤ xⱼ ≤ uⱼ` are native: a nonbasic variable rests
+//! at either of its bounds, the ratio test caps the step at the entering
+//! variable's opposite bound (a *bound flip*, no basis change at all), and
+//! basic variables leave at whichever bound they hit. The flow formulation's
+//! per-interaction capacities `xᵢ ≤ qᵢ` therefore cost nothing: they are
+//! bounds, not rows.
+//!
+//! Feasibility is established the same way as in the dense engine: rows are
+//! normalized to non-negative right-hand sides, `≥`/`=` rows get artificial
+//! variables, and phase 1 maximizes minus their sum. After phase 1 the
+//! artificials' upper bounds are fixed to 0, which lets the bounded ratio
+//! test expel any that linger in the basis without special-casing them.
 
-use crate::problem::{ConstraintOp, LpProblem, Sense};
+use crate::problem::{ConstraintOp, LpProblem, Sense, SimplexEngine};
 use crate::solution::{LpSolution, LpStatus};
+use crate::sparse::{CscMatrix, EtaFile};
 
-/// Numerical tolerance used for pivoting decisions.
+/// Numerical tolerance for pricing and pivot admissibility.
 const EPS: f64 = 1e-9;
 /// Tolerance used when deciding whether phase 1 proved feasibility.
 const FEAS_EPS: f64 = 1e-6;
 
-struct Tableau {
-    /// Number of constraint rows.
-    m: usize,
-    /// Number of structural (decision) variables.
-    n_struct: usize,
-    /// Total number of columns excluding the RHS column.
-    n_cols: usize,
-    /// Row-major tableau rows, each of length `n_cols + 1` (last entry is
-    /// the RHS).
-    rows: Vec<Vec<f64>>,
-    /// Objective row: reduced costs `z_j - c_j`, last entry is the current
-    /// objective value.
-    obj: Vec<f64>,
-    /// Basic variable of each row.
-    basis: Vec<usize>,
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bound {
+    Lower,
+    Upper,
 }
 
-impl Tableau {
-    fn rhs(&self, i: usize) -> f64 {
-        self.rows[i][self.n_cols]
-    }
+/// Outcome of one ratio test.
+enum Step {
+    /// The entering variable reaches its opposite bound before any basic
+    /// variable blocks: flip it, no basis change.
+    BoundFlip,
+    /// Basic row `row` blocks after step `t`; its variable leaves at
+    /// `leaves_at`.
+    Pivot {
+        row: usize,
+        t: f64,
+        leaves_at: Bound,
+    },
+    /// No finite step limit: the program is unbounded in this direction.
+    Unbounded,
+}
 
-    /// Performs a pivot on (`row`, `col`): `col` enters the basis, the
-    /// previous basic variable of `row` leaves.
-    fn pivot(&mut self, row: usize, col: usize) {
-        let pivot_val = self.rows[row][col];
-        debug_assert!(pivot_val.abs() > EPS, "pivot on a (near) zero element");
-        let inv = 1.0 / pivot_val;
-        for v in self.rows[row].iter_mut() {
-            *v *= inv;
-        }
-        // Borrow the pivot row out by value to keep the borrow checker happy
-        // without cloning the whole row for every elimination.
-        let pivot_row = std::mem::take(&mut self.rows[row]);
-        for (i, r) in self.rows.iter_mut().enumerate() {
-            if i == row {
-                continue;
-            }
-            let factor = r[col];
-            if factor.abs() > EPS {
-                for (a, &p) in r.iter_mut().zip(pivot_row.iter()) {
-                    *a -= factor * p;
+struct Solver<'a> {
+    problem: &'a LpProblem,
+    /// Constraint matrix over ALL columns (structural, slack/surplus,
+    /// artificial), rows normalized to non-negative RHS.
+    matrix: CscMatrix,
+    /// Normalized right-hand side (all entries ≥ 0).
+    b: Vec<f64>,
+    /// Per-column upper bound (`+∞` when unbounded; artificials drop to 0
+    /// after phase 1). Lower bounds are all 0.
+    upper: Vec<f64>,
+    /// Current phase costs per column.
+    costs: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Values of the basic variables, aligned with `basis`.
+    x_basic: Vec<f64>,
+    /// For nonbasic columns: which bound the variable rests at.
+    at: Vec<Bound>,
+    is_basic: Vec<bool>,
+    etas: EtaFile,
+    /// First artificial column (columns `≥ art_start` are artificial).
+    art_start: usize,
+    /// Rebuild the eta file once this many pivots accumulate on top of the
+    /// last refactorization (the file itself retains one eta per basis
+    /// column after a rebuild, so the trigger counts pivots, not file
+    /// length).
+    refactor_interval: usize,
+    /// Pivots since the last refactorization (or since the start).
+    pivots_since_refactor: usize,
+    /// Partial-pricing state: where the next scan starts.
+    pricing_cursor: usize,
+    /// Telemetry.
+    iterations: usize,
+    refactorizations: usize,
+    /// Scratch for the entering column (FTRAN work vector).
+    work: Vec<f64>,
+    /// Scratch for the pricing vector `y = B⁻ᵀ c_B` (BTRAN work vector).
+    pricing: Vec<f64>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(problem: &'a LpProblem) -> Self {
+        let n = problem.num_vars();
+        let m = problem.row_meta.len();
+
+        // Row normalization: flip rows with negative RHS.
+        let mut sign = vec![1.0f64; m];
+        let mut b = vec![0.0f64; m];
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        let mut ops = Vec::with_capacity(m);
+        for (i, meta) in problem.row_meta.iter().enumerate() {
+            let (op, rhs) = if meta.rhs >= 0.0 {
+                (meta.op, meta.rhs)
+            } else {
+                sign[i] = -1.0;
+                let flipped = match meta.op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+                (flipped, -meta.rhs)
+            };
+            b[i] = rhs;
+            match op {
+                ConstraintOp::Le => n_slack += 1,
+                ConstraintOp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
                 }
-                r[col] = 0.0; // avoid numerical crumbs in the pivot column
+                ConstraintOp::Eq => n_art += 1,
             }
+            ops.push(op);
         }
-        let factor = self.obj[col];
-        if factor.abs() > EPS {
-            for (a, &p) in self.obj.iter_mut().zip(pivot_row.iter()) {
-                *a -= factor * p;
-            }
-            self.obj[col] = 0.0;
-        }
-        self.rows[row] = pivot_row;
-        self.basis[row] = col;
-    }
+        let art_start = n + n_slack;
+        let total_cols = art_start + n_art;
 
-    /// Recomputes the objective row for maximizing `costs · x` given the
-    /// current basis: `obj[j] = c_B · B⁻¹ A_j − c_j`, `obj[rhs] = c_B · B⁻¹ b`.
-    fn price(&mut self, costs: &[f64]) {
-        let mut obj = vec![0.0; self.n_cols + 1];
-        for (j, o) in obj.iter_mut().enumerate().take(self.n_cols) {
-            *o = -costs.get(j).copied().unwrap_or(0.0);
-        }
-        for (i, &b) in self.basis.iter().enumerate() {
-            let cb = costs.get(b).copied().unwrap_or(0.0);
-            if cb != 0.0 {
-                for (o, &a) in obj.iter_mut().zip(&self.rows[i]) {
-                    *o += cb * a;
+        // Assemble the full column store: structural triplets (sign-
+        // normalized) followed by the unit aux columns.
+        let mut triplets: Vec<(usize, usize, f64)> = problem
+            .entries
+            .iter()
+            .map(|&(row, var, c)| (row, var, sign[row] * c))
+            .collect();
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = n;
+        let mut next_art = art_start;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                ConstraintOp::Le => {
+                    triplets.push((i, next_slack, 1.0));
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    triplets.push((i, next_slack, -1.0)); // surplus
+                    triplets.push((i, next_art, 1.0));
+                    basis[i] = next_art;
+                    next_slack += 1;
+                    next_art += 1;
+                }
+                ConstraintOp::Eq => {
+                    triplets.push((i, next_art, 1.0));
+                    basis[i] = next_art;
+                    next_art += 1;
                 }
             }
         }
-        self.obj = obj;
-    }
+        let matrix = CscMatrix::from_triplets(m, total_cols, &triplets);
 
-    /// Chooses the entering column among `allowed_cols` (columns `<
-    /// col_limit`), or `None` when the current basis is optimal.
-    fn entering(&self, col_limit: usize, bland: bool) -> Option<usize> {
-        if bland {
-            (0..col_limit).find(|&j| self.obj[j] < -EPS)
-        } else {
-            let mut best = None;
-            let mut best_val = -EPS;
-            for j in 0..col_limit {
-                if self.obj[j] < best_val {
-                    best_val = self.obj[j];
-                    best = Some(j);
-                }
-            }
-            best
+        let mut upper = vec![f64::INFINITY; total_cols];
+        upper[..n].copy_from_slice(problem.upper_bounds());
+
+        let mut is_basic = vec![false; total_cols];
+        for &v in &basis {
+            is_basic[v] = true;
+        }
+
+        Solver {
+            problem,
+            b: b.clone(),
+            matrix,
+            basis,
+            upper,
+            costs: vec![0.0; total_cols],
+            x_basic: b,
+            at: vec![Bound::Lower; total_cols],
+            is_basic,
+            etas: EtaFile::new(),
+            art_start,
+            refactor_interval: (m / 2).clamp(32, 512),
+            pivots_since_refactor: 0,
+            pricing_cursor: 0,
+            iterations: 0,
+            refactorizations: 0,
+            work: vec![0.0; m],
+            pricing: Vec::with_capacity(m),
         }
     }
 
-    /// Ratio test: chooses the leaving row for entering column `col`, or
-    /// `None` when the problem is unbounded in that direction.
-    fn leaving(&self, col: usize) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..self.m {
-            let a = self.rows[i][col];
-            if a > EPS {
-                let ratio = self.rhs(i) / a;
-                match best {
-                    None => best = Some((i, ratio)),
-                    Some((bi, br)) => {
-                        // Smaller ratio wins; ties broken by smaller basic
-                        // variable index (lexicographic-ish, helps avoid
-                        // cycling even under Dantzig pricing).
-                        if ratio < br - EPS
-                            || ((ratio - br).abs() <= EPS && self.basis[i] < self.basis[bi])
-                        {
-                            best = Some((i, ratio));
-                        }
+    fn m(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Recomputes the basic variable values from scratch:
+    /// `x_B = B⁻¹ (b − Σ_{j nonbasic at upper} uⱼ aⱼ)`.
+    fn recompute_basic_values(&mut self) {
+        let mut rhs = self.b.clone();
+        for j in 0..self.matrix.ncols() {
+            if !self.is_basic[j] && self.at[j] == Bound::Upper {
+                let u = self.upper[j];
+                if u != 0.0 {
+                    for (r, v) in self.matrix.col(j) {
+                        rhs[r] -= u * v;
                     }
                 }
             }
         }
-        best.map(|(i, _)| i)
+        self.etas.ftran(&mut rhs);
+        self.x_basic = rhs;
     }
-}
 
-/// Runs the simplex loop for the current objective row. Returns `Ok(pivots)`
-/// at optimality, `Err(status)` for unbounded / iteration-limit outcomes.
-fn optimize(
-    t: &mut Tableau,
-    col_limit: usize,
-    max_iters: usize,
-    pivots: &mut usize,
-) -> Result<(), LpStatus> {
-    let bland_threshold = max_iters / 2;
-    let mut local = 0usize;
-    loop {
-        let bland = local >= bland_threshold;
-        let Some(col) = t.entering(col_limit, bland) else {
-            return Ok(());
-        };
-        let Some(row) = t.leaving(col) else {
-            return Err(LpStatus::Unbounded);
-        };
-        t.pivot(row, col);
-        *pivots += 1;
-        local += 1;
-        if local > max_iters {
-            return Err(LpStatus::IterationLimit);
+    /// Rebuilds the eta file from the current basis. Returns `false` on a
+    /// numerically singular basis.
+    #[must_use]
+    fn refactorize(&mut self) -> bool {
+        // The reinversion reorders `basis` row-wise; values are recomputed
+        // right after, so only the set matters here.
+        if !self.etas.refactorize(&self.matrix, &mut self.basis) {
+            return false;
+        }
+        self.refactorizations += 1;
+        self.pivots_since_refactor = 0;
+        self.recompute_basic_values();
+        true
+    }
+
+    /// Reduced cost of column `j` given the pricing vector `y = B⁻ᵀ c_B`.
+    #[inline]
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        self.costs[j] - self.matrix.col_dot(j, y)
+    }
+
+    /// Whether nonbasic column `j` with reduced cost `d` improves the
+    /// objective when moved off its bound.
+    #[inline]
+    fn improves(&self, j: usize, d: f64) -> bool {
+        match self.at[j] {
+            Bound::Lower => d > EPS,
+            Bound::Upper => d < -EPS,
         }
     }
+
+    /// Computes the pricing vector `y = B⁻ᵀ c_B` into the reusable
+    /// `pricing` scratch (no per-iteration allocation).
+    fn compute_pricing_vector(&mut self) {
+        let mut y = std::mem::take(&mut self.pricing);
+        y.clear();
+        y.extend(self.basis.iter().map(|&v| self.costs[v]));
+        self.etas.btran(&mut y);
+        self.pricing = y;
+    }
+
+    /// Chooses the entering column, or `None` at optimality.
+    ///
+    /// Partial pricing: columns are scanned in sections starting at a
+    /// persistent cursor; the first section containing any improving column
+    /// yields its best (Dantzig) candidate. Under `bland`, the lowest-index
+    /// improving column wins instead (termination guarantee).
+    fn entering(&mut self, y: &[f64], bland: bool) -> Option<usize> {
+        let ncols = self.matrix.ncols();
+        if ncols == 0 {
+            return None;
+        }
+        let eligible = |s: &Self, j: usize| -> bool {
+            !s.is_basic[j] && s.upper[j] > EPS // skip fixed columns (u = 0)
+        };
+        if bland {
+            return (0..ncols)
+                .find(|&j| eligible(self, j) && self.improves(j, self.reduced_cost(j, y)));
+        }
+        let section = (ncols / 8).clamp(32, 1024);
+        let mut scanned = 0usize;
+        let mut cursor = self.pricing_cursor.min(ncols.saturating_sub(1));
+        while scanned < ncols {
+            let mut best: Option<(usize, f64)> = None;
+            let end = (cursor + section).min(cursor + (ncols - scanned));
+            for step in cursor..end {
+                let j = step % ncols;
+                if !eligible(self, j) {
+                    continue;
+                }
+                let d = self.reduced_cost(j, y);
+                if self.improves(j, d) && best.is_none_or(|(_, bd)| d.abs() > bd) {
+                    best = Some((j, d.abs()));
+                }
+            }
+            scanned += end - cursor;
+            cursor = end % ncols;
+            if let Some((j, _)) = best {
+                self.pricing_cursor = cursor;
+                return Some(j);
+            }
+        }
+        self.pricing_cursor = cursor;
+        None
+    }
+
+    /// Bounded-variable ratio test for entering column `q` moving in
+    /// direction `sigma` (+1 off its lower bound, −1 off its upper bound),
+    /// with `w = B⁻¹ a_q` already FTRANed into `self.work`.
+    fn ratio_test(&self, q: usize, sigma: f64, bland: bool) -> Step {
+        let mut t_best = self.upper[q]; // bound-flip distance (may be +∞)
+        let mut choice: Option<(usize, f64, Bound)> = None; // (row, |w|, leaves_at)
+        for (i, &wi) in self.work.iter().enumerate() {
+            if wi.abs() <= EPS {
+                continue;
+            }
+            let delta = sigma * wi; // basic value changes by −delta · t
+            let (limit, leaves_at) = if delta > EPS {
+                ((self.x_basic[i] / delta).max(0.0), Bound::Lower)
+            } else if delta < -EPS {
+                let u = self.upper[self.basis[i]];
+                if u.is_infinite() {
+                    continue;
+                }
+                (((u - self.x_basic[i]) / -delta).max(0.0), Bound::Upper)
+            } else {
+                continue;
+            };
+            let better = match &choice {
+                _ if limit < t_best - EPS => true,
+                None => limit <= t_best + EPS,
+                Some((row, wabs, _)) if (limit - t_best).abs() <= EPS => {
+                    if bland {
+                        // Bland: smallest leaving variable index.
+                        self.basis[i] < self.basis[*row]
+                    } else {
+                        // Stability: largest pivot magnitude among ties.
+                        wi.abs() > *wabs
+                    }
+                }
+                _ => false,
+            };
+            if better {
+                t_best = limit.min(t_best);
+                choice = Some((i, wi.abs(), leaves_at));
+            }
+        }
+        match choice {
+            Some((row, _, leaves_at)) => Step::Pivot {
+                row,
+                t: t_best,
+                leaves_at,
+            },
+            None if t_best.is_finite() => Step::BoundFlip,
+            None => Step::Unbounded,
+        }
+    }
+
+    /// Runs the simplex loop for the current `costs`. `Ok(())` means the
+    /// current basis is optimal for this phase.
+    fn optimize(&mut self, max_iters: usize) -> Result<(), LpStatus> {
+        let bland_threshold = max_iters / 2;
+        let mut local = 0usize;
+        loop {
+            let bland = local >= bland_threshold;
+            self.compute_pricing_vector();
+            // Lend the pricing buffer out for the scan (entering() needs
+            // `&mut self` for the cursor), then return it for reuse.
+            let y = std::mem::take(&mut self.pricing);
+            let q = self.entering(&y, bland);
+            self.pricing = y;
+            let Some(q) = q else {
+                return Ok(());
+            };
+            let sigma = match self.at[q] {
+                Bound::Lower => 1.0,
+                Bound::Upper => -1.0,
+            };
+            // w = B⁻¹ a_q.
+            self.work.iter_mut().for_each(|v| *v = 0.0);
+            self.matrix.scatter_col(q, &mut self.work);
+            self.etas.ftran(&mut self.work);
+
+            match self.ratio_test(q, sigma, bland) {
+                Step::Unbounded => return Err(LpStatus::Unbounded),
+                Step::BoundFlip => {
+                    let t = self.upper[q];
+                    for (i, &wi) in self.work.iter().enumerate() {
+                        if wi != 0.0 {
+                            self.x_basic[i] -= sigma * t * wi;
+                        }
+                    }
+                    self.at[q] = match self.at[q] {
+                        Bound::Lower => Bound::Upper,
+                        Bound::Upper => Bound::Lower,
+                    };
+                }
+                Step::Pivot { row, t, leaves_at } => {
+                    for (i, &wi) in self.work.iter().enumerate() {
+                        if wi != 0.0 {
+                            self.x_basic[i] -= sigma * t * wi;
+                        }
+                    }
+                    let entering_value = match self.at[q] {
+                        Bound::Lower => t,
+                        Bound::Upper => self.upper[q] - t,
+                    };
+                    let leaving = self.basis[row];
+                    self.is_basic[leaving] = false;
+                    self.at[leaving] = leaves_at;
+                    self.basis[row] = q;
+                    self.is_basic[q] = true;
+                    self.x_basic[row] = entering_value;
+                    self.etas.push_pivot(row, &self.work);
+                    self.pivots_since_refactor += 1;
+                    if self.pivots_since_refactor >= self.refactor_interval && !self.refactorize() {
+                        return Err(LpStatus::NumericalFailure);
+                    }
+                }
+            }
+            self.iterations += 1;
+            local += 1;
+            if local > max_iters {
+                return Err(LpStatus::IterationLimit);
+            }
+        }
+    }
+
+    /// Sum of the artificial variables at the current point (the phase-1
+    /// infeasibility measure; only basic artificials can be nonzero).
+    fn artificial_sum(&self) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.x_basic)
+            .filter(|&(&v, _)| v >= self.art_start)
+            .map(|(_, &x)| x.max(0.0))
+            .sum()
+    }
+
+    /// Extracts the structural solution.
+    fn extract(&self) -> Vec<f64> {
+        let n = self.problem.num_vars();
+        let mut x = vec![0.0f64; n];
+        for (j, xi) in x.iter_mut().enumerate() {
+            if !self.is_basic[j] && self.at[j] == Bound::Upper {
+                *xi = self.upper[j];
+            }
+        }
+        for (i, &v) in self.basis.iter().enumerate() {
+            if v < n {
+                x[v] = self.x_basic[i].max(0.0);
+                if self.upper[v].is_finite() {
+                    x[v] = x[v].min(self.upper[v]);
+                }
+            }
+        }
+        x
+    }
+
+    fn telemetry(&self, mut s: LpSolution) -> LpSolution {
+        s.engine = SimplexEngine::SparseRevised;
+        s.refactorizations = self.refactorizations;
+        s.matrix_nonzeros = self.problem.num_nonzeros();
+        let dense_size = self.m() * self.problem.num_vars();
+        s.matrix_density = if dense_size == 0 {
+            0.0
+        } else {
+            s.matrix_nonzeros as f64 / dense_size as f64
+        };
+        s
+    }
 }
 
-/// Solves `problem` with the two-phase primal simplex method.
+/// Solves `problem` with the sparse revised simplex.
 pub fn solve(problem: &LpProblem) -> LpSolution {
     let n = problem.num_vars();
-    let m = problem.rows.len();
-
-    // Trivial case: no constraints. Any variable with a positive (for max)
-    // objective coefficient makes the program unbounded; otherwise x = 0 is
-    // optimal.
     let maximize = problem.sense() == Sense::Maximize;
-    if m == 0 {
-        let improving = problem
-            .objective()
-            .iter()
-            .any(|&c| if maximize { c > EPS } else { c < -EPS });
-        return if improving {
-            LpSolution::with_status(LpStatus::Unbounded, 0)
-        } else {
-            LpSolution {
-                status: LpStatus::Optimal,
-                objective: 0.0,
-                variables: vec![0.0; n],
-                iterations: 0,
+
+    // No constraint rows: each variable independently runs to whichever of
+    // its bounds the objective prefers.
+    if problem.row_meta.is_empty() {
+        let mut x = vec![0.0f64; n];
+        for (j, xj) in x.iter_mut().enumerate() {
+            let c = problem.objective()[j];
+            let improving = if maximize { c > EPS } else { c < -EPS };
+            if improving {
+                let u = problem.upper_bound(j);
+                if u.is_infinite() {
+                    return LpSolution::with_status(LpStatus::Unbounded, 0);
+                }
+                *xj = u;
             }
+        }
+        return LpSolution {
+            objective: problem.objective_value(&x),
+            variables: x,
+            ..LpSolution::with_status(LpStatus::Optimal, 0)
         };
     }
 
-    // --- Build the augmented tableau -------------------------------------
-    // Column layout: [structural 0..n) [slack/surplus n..n+s) [artificial ...).
-    let mut n_slack = 0usize;
-    let mut n_art = 0usize;
-    // (slack_col, art_col) per row, filled below.
-    for row in &problem.rows {
-        // Normalize RHS sign first to know which auxiliary variables we need.
-        let (op, rhs_nonneg) = normalized_op(row.op, row.rhs);
-        match (op, rhs_nonneg) {
-            (ConstraintOp::Le, _) => n_slack += 1,
-            (ConstraintOp::Ge, _) => {
-                n_slack += 1;
-                n_art += 1;
-            }
-            (ConstraintOp::Eq, _) => n_art += 1,
-        }
-    }
-    let n_cols = n + n_slack + n_art;
-    let art_start = n + n_slack;
-
-    let mut rows = vec![vec![0.0; n_cols + 1]; m];
-    let mut basis = vec![usize::MAX; m];
-    let mut next_slack = n;
-    let mut next_art = art_start;
-    for (i, row) in problem.rows.iter().enumerate() {
-        let flip = row.rhs < 0.0;
-        let sign = if flip { -1.0 } else { 1.0 };
-        for &(var, c) in &row.coeffs {
-            rows[i][var] += sign * c;
-        }
-        rows[i][n_cols] = sign * row.rhs;
-        let (op, _) = normalized_op(row.op, row.rhs);
-        match op {
-            ConstraintOp::Le => {
-                rows[i][next_slack] = 1.0;
-                basis[i] = next_slack;
-                next_slack += 1;
-            }
-            ConstraintOp::Ge => {
-                rows[i][next_slack] = -1.0; // surplus
-                rows[i][next_art] = 1.0;
-                basis[i] = next_art;
-                next_slack += 1;
-                next_art += 1;
-            }
-            ConstraintOp::Eq => {
-                rows[i][next_art] = 1.0;
-                basis[i] = next_art;
-                next_art += 1;
-            }
-        }
-    }
-
-    let mut tableau = Tableau {
-        m,
-        n_struct: n,
-        n_cols,
-        rows,
-        obj: vec![0.0; n_cols + 1],
-        basis,
-    };
-
+    let mut solver = Solver::new(problem);
     let max_iters = if problem.max_iterations > 0 {
         problem.max_iterations
     } else {
-        200 * (m + n_cols) + 2000
+        200 * (solver.m() + solver.matrix.ncols()) + 2000
     };
-    let mut pivots = 0usize;
 
     // --- Phase 1: drive artificial variables to zero ----------------------
-    if n_art > 0 {
-        let mut phase1_costs = vec![0.0; n_cols];
-        for c in phase1_costs.iter_mut().skip(art_start) {
-            *c = -1.0; // maximize -(sum of artificials)
+    if solver.matrix.ncols() > solver.art_start {
+        for j in solver.art_start..solver.matrix.ncols() {
+            solver.costs[j] = -1.0; // maximize −(sum of artificials)
         }
-        tableau.price(&phase1_costs);
-        match optimize(&mut tableau, n_cols, max_iters, &mut pivots) {
+        match solver.optimize(max_iters) {
             Ok(()) => {}
             Err(LpStatus::Unbounded) => {
                 // Phase-1 objective is bounded above by 0; an "unbounded"
                 // outcome can only be a numerical artifact.
-                return LpSolution::with_status(LpStatus::Infeasible, pivots);
+                let s = LpSolution::with_status(LpStatus::Infeasible, solver.iterations);
+                return solver.telemetry(s);
             }
-            Err(status) => return LpSolution::with_status(status, pivots),
+            Err(status) => {
+                let s = LpSolution::with_status(status, solver.iterations);
+                return solver.telemetry(s);
+            }
         }
-        let phase1_obj = tableau.obj[n_cols];
-        if phase1_obj < -FEAS_EPS {
-            return LpSolution::with_status(LpStatus::Infeasible, pivots);
+        if solver.artificial_sum() > FEAS_EPS {
+            let s = LpSolution::with_status(LpStatus::Infeasible, solver.iterations);
+            return solver.telemetry(s);
         }
-        // Drive remaining (degenerate) artificial variables out of the basis
-        // when possible so phase 2 starts from a clean basis.
-        for i in 0..m {
-            if tableau.basis[i] >= art_start {
-                if let Some(col) = (0..art_start).find(|&j| tableau.rows[i][j].abs() > EPS) {
-                    tableau.pivot(i, col);
-                    pivots += 1;
-                }
+        // Fix the artificials at 0: the bounded ratio test now expels any
+        // that linger in the basis the moment they would move.
+        for j in solver.art_start..solver.matrix.ncols() {
+            solver.upper[j] = 0.0;
+            solver.costs[j] = 0.0;
+        }
+        // Clean up phase-1 rounding on basic values.
+        for x in solver.x_basic.iter_mut() {
+            if x.abs() < EPS {
+                *x = 0.0;
             }
         }
     }
 
     // --- Phase 2: optimize the real objective -----------------------------
-    let mut costs = vec![0.0; n_cols];
     for (j, &c) in problem.objective().iter().enumerate() {
-        costs[j] = if maximize { c } else { -c };
+        solver.costs[j] = if maximize { c } else { -c };
     }
-    tableau.price(&costs);
-    // Artificial columns may not re-enter the basis.
-    match optimize(&mut tableau, art_start, max_iters, &mut pivots) {
+    for j in n..solver.art_start {
+        solver.costs[j] = 0.0;
+    }
+    match solver.optimize(max_iters) {
         Ok(()) => {}
-        Err(status) => return LpSolution::with_status(status, pivots),
-    }
-
-    // --- Extract the solution ---------------------------------------------
-    let mut x = vec![0.0; n];
-    for (i, &b) in tableau.basis.iter().enumerate() {
-        if b < tableau.n_struct {
-            x[b] = tableau.rhs(i).max(0.0);
+        Err(status) => {
+            let s = LpSolution::with_status(status, solver.iterations);
+            return solver.telemetry(s);
         }
     }
+
+    let x = solver.extract();
     let objective = problem.objective_value(&x);
-    LpSolution {
-        status: LpStatus::Optimal,
+    let s = LpSolution {
         objective,
         variables: x,
-        iterations: pivots,
-    }
-}
-
-/// Returns the constraint operator after normalizing the row to a
-/// non-negative right-hand side (flipping the inequality when the RHS was
-/// negative).
-fn normalized_op(op: ConstraintOp, rhs: f64) -> (ConstraintOp, f64) {
-    if rhs >= 0.0 {
-        (op, rhs)
-    } else {
-        let flipped = match op {
-            ConstraintOp::Le => ConstraintOp::Ge,
-            ConstraintOp::Ge => ConstraintOp::Le,
-            ConstraintOp::Eq => ConstraintOp::Eq,
-        };
-        (flipped, -rhs)
-    }
+        ..LpSolution::with_status(LpStatus::Optimal, solver.iterations)
+    };
+    solver.telemetry(s)
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::problem::{LpProblem, Sense};
+    use crate::problem::{LpProblem, Sense, SimplexEngine};
     use crate::solution::LpStatus;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// Runs the same program through both engines and checks they agree
+    /// before returning the sparse solution.
+    fn solve_both(p: &LpProblem) -> crate::solution::LpSolution {
+        let sparse = p.solve_with(SimplexEngine::SparseRevised);
+        let dense = p.solve_with(SimplexEngine::DenseTableau);
+        assert_eq!(sparse.status, dense.status, "engine status disagreement");
+        if sparse.status == LpStatus::Optimal {
+            assert_close(sparse.objective, dense.objective);
+        }
+        sparse
     }
 
     #[test]
@@ -355,9 +599,9 @@ mod tests {
         p.set_objective_coefficient(0, 3.0);
         p.set_objective_coefficient(1, 2.0);
         p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
-        p.add_le_constraint(&[(0, 1.0)], 2.0);
-        p.add_le_constraint(&[(1, 1.0)], 3.0);
-        let s = p.solve();
+        p.set_upper_bound(0, 2.0);
+        p.set_upper_bound(1, 3.0);
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 10.0);
         assert_close(s.variables[0], 2.0);
@@ -373,7 +617,7 @@ mod tests {
         p.set_objective_coefficient(1, 4.0);
         p.add_le_constraint(&[(0, 6.0), (1, 4.0)], 24.0);
         p.add_le_constraint(&[(0, 1.0), (1, 2.0)], 6.0);
-        let s = p.solve();
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 21.0);
         assert_close(s.variables[0], 3.0);
@@ -382,15 +626,14 @@ mod tests {
 
     #[test]
     fn minimization_with_ge_constraints() {
-        // min 2x + 3y; x + y >= 10; x >= 3 -> x=10 (y=0? check): obj candidates:
-        // y=0,x=10 -> 20 ; x=3,y=7 -> 27. Optimum 20.
+        // min 2x + 3y; x + y >= 10; x >= 3 -> x=10, y=0, obj=20.
         let mut p = LpProblem::new(2);
         p.set_sense(Sense::Minimize);
         p.set_objective_coefficient(0, 2.0);
         p.set_objective_coefficient(1, 3.0);
         p.add_ge_constraint(&[(0, 1.0), (1, 1.0)], 10.0);
         p.add_ge_constraint(&[(0, 1.0)], 3.0);
-        let s = p.solve();
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 20.0);
         assert_close(s.variables[0], 10.0);
@@ -404,8 +647,8 @@ mod tests {
         p.set_objective_coefficient(0, 1.0);
         p.set_objective_coefficient(1, 1.0);
         p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 5.0);
-        p.add_le_constraint(&[(0, 1.0)], 3.0);
-        let s = p.solve();
+        p.set_upper_bound(0, 3.0);
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 5.0);
         assert!(p.is_feasible(&s.variables, 1e-7));
@@ -418,8 +661,16 @@ mod tests {
         p.set_objective_coefficient(0, 1.0);
         p.add_le_constraint(&[(0, 1.0)], 1.0);
         p.add_ge_constraint(&[(0, 1.0)], 2.0);
-        let s = p.solve();
-        assert_eq!(s.status, LpStatus::Infeasible);
+        assert_eq!(solve_both(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn bound_infeasible_program_is_detected() {
+        // x >= 2 with the variable bound x <= 1.
+        let mut p = LpProblem::new(1);
+        p.set_upper_bound(0, 1.0);
+        p.add_ge_constraint(&[(0, 1.0)], 2.0);
+        assert_eq!(solve_both(&p).status, LpStatus::Infeasible);
     }
 
     #[test]
@@ -428,22 +679,49 @@ mod tests {
         let mut p = LpProblem::new(1);
         p.set_objective_coefficient(0, 1.0);
         p.add_ge_constraint(&[(0, 1.0)], 1.0);
-        let s = p.solve();
-        assert_eq!(s.status, LpStatus::Unbounded);
+        assert_eq!(solve_both(&p).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bound_tames_an_otherwise_unbounded_program() {
+        let mut p = LpProblem::new(1);
+        p.set_objective_coefficient(0, 1.0);
+        p.add_ge_constraint(&[(0, 1.0)], 1.0);
+        p.set_upper_bound(0, 7.5);
+        let s = solve_both(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 7.5);
     }
 
     #[test]
     fn unconstrained_problems() {
         let mut p = LpProblem::new(2);
         p.set_objective_coefficient(0, 1.0);
-        assert_eq!(p.solve().status, LpStatus::Unbounded);
+        assert_eq!(solve_both(&p).status, LpStatus::Unbounded);
 
         let mut p = LpProblem::new(2);
         p.set_objective_coefficient(0, -1.0);
-        let s = p.solve();
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 0.0);
         assert_eq!(s.variables, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unconstrained_problem_with_bounds_solves_directly() {
+        // No rows at all: variables run to their preferred bound.
+        let mut p = LpProblem::new(3);
+        p.set_objective_coefficient(0, 2.0);
+        p.set_objective_coefficient(1, -1.0);
+        p.set_upper_bound(0, 4.0);
+        p.set_upper_bound(1, 9.0);
+        p.set_upper_bound(2, 1.0);
+        let s = solve_both(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 8.0);
+        assert_close(s.variables[0], 4.0);
+        assert_close(s.variables[1], 0.0);
+        assert_eq!(s.iterations, 0);
     }
 
     #[test]
@@ -453,9 +731,9 @@ mod tests {
         p.set_objective_coefficient(0, 1.0);
         p.set_objective_coefficient(1, 1.0);
         p.add_le_constraint(&[(0, -1.0), (1, -1.0)], -4.0);
-        p.add_le_constraint(&[(0, 1.0)], 3.0);
-        p.add_le_constraint(&[(1, 1.0)], 3.0);
-        let s = p.solve();
+        p.set_upper_bound(0, 3.0);
+        p.set_upper_bound(1, 3.0);
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 6.0);
     }
@@ -471,7 +749,7 @@ mod tests {
         p.add_le_constraint(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0);
         p.add_le_constraint(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0);
         p.add_le_constraint(&[(2, 1.0)], 1.0);
-        let s = p.solve();
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 0.05);
     }
@@ -482,8 +760,8 @@ mod tests {
         let mut p = LpProblem::new(2);
         p.set_objective_coefficient(0, 1.0);
         p.add_eq_constraint(&[(0, 1.0), (1, -1.0)], 0.0);
-        p.add_le_constraint(&[(1, 1.0)], 2.0);
-        let s = p.solve();
+        p.set_upper_bound(1, 2.0);
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 2.0);
     }
@@ -504,7 +782,7 @@ mod tests {
         // Encourage upstream saturation (not required, but mirrors x_i = q_i
         // for source interactions).
         p.add_ge_constraint(&[(0, 1.0)], 5.0);
-        let s = p.solve();
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 4.0);
     }
@@ -517,9 +795,9 @@ mod tests {
         for _ in 0..5 {
             p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 7.0);
         }
-        p.add_le_constraint(&[(0, 1.0)], 4.0);
-        p.add_le_constraint(&[(1, 1.0)], 4.0);
-        let s = p.solve();
+        p.set_upper_bound(0, 4.0);
+        p.set_upper_bound(1, 4.0);
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 7.0);
     }
@@ -532,16 +810,32 @@ mod tests {
         p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
         p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
         p.add_eq_constraint(&[(0, 1.0), (1, -1.0)], 0.0);
-        let s = p.solve();
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 2.0);
         assert_close(s.variables[1], 2.0);
     }
 
     #[test]
+    fn fixed_variables_are_respected() {
+        // x fixed at 0 by its bound; max x + y with y <= 3 -> 3.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.set_objective_coefficient(1, 1.0);
+        p.set_upper_bound(0, 0.0);
+        p.set_upper_bound(1, 3.0);
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 10.0);
+        let s = solve_both(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 3.0);
+        assert_close(s.variables[0], 0.0);
+    }
+
+    #[test]
     fn larger_random_feasible_program_is_solved_and_feasible() {
         // A pseudo-random but deterministic LP; we only assert that the
-        // solver terminates with a feasible optimal point.
+        // solver terminates with a feasible optimal point matching the
+        // dense engine.
         let n = 12;
         let mut p = LpProblem::new(n);
         let mut state = 42u64;
@@ -559,10 +853,50 @@ mod tests {
             let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, next())).collect();
             p.add_le_constraint(&coeffs, 3.0 + 5.0 * next());
         }
-        let s = p.solve();
+        let s = solve_both(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert!(p.is_feasible(&s.variables, 1e-6));
         assert!(s.objective >= -1e-9);
         assert_close(p.objective_value(&s.variables), s.objective);
+    }
+
+    #[test]
+    fn refactorization_kicks_in_on_long_pivot_chains() {
+        // A chain program long enough to force more pivots than the
+        // refactorization interval (32 minimum): ~90 variables each bounded
+        // by its predecessor.
+        let n = 90;
+        let mut p = LpProblem::new(n);
+        p.set_objective_coefficient(n - 1, 1.0);
+        p.set_upper_bound(0, 5.0);
+        for j in 1..n {
+            p.set_upper_bound(j, 5.0 + (j % 3) as f64);
+            p.add_le_constraint(&[(j, 1.0), (j - 1, -1.0)], 0.0);
+        }
+        p.add_ge_constraint(&[(0, 1.0)], 5.0);
+        let s = p.solve_with(SimplexEngine::SparseRevised);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 5.0);
+        assert!(
+            s.refactorizations >= 1,
+            "expected at least one refactorization, got {} over {} iterations",
+            s.refactorizations,
+            s.iterations
+        );
+        // Telemetry reflects a genuinely sparse matrix.
+        assert!(s.matrix_density < 0.05, "density {}", s.matrix_density);
+    }
+
+    #[test]
+    fn telemetry_reports_the_engine() {
+        let mut p = LpProblem::new(1);
+        p.set_objective_coefficient(0, 1.0);
+        p.set_upper_bound(0, 1.0);
+        p.add_le_constraint(&[(0, 1.0)], 1.0);
+        let s = p.solve_with(SimplexEngine::SparseRevised);
+        assert_eq!(s.engine, SimplexEngine::SparseRevised);
+        let d = p.solve_with(SimplexEngine::DenseTableau);
+        assert_eq!(d.engine, SimplexEngine::DenseTableau);
+        assert_close(s.objective, d.objective);
     }
 }

@@ -1,5 +1,7 @@
 //! Solver results.
 
+use crate::problem::SimplexEngine;
+
 /// Outcome of a simplex run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpStatus {
@@ -13,9 +15,14 @@ pub enum LpStatus {
     /// happen on the well-behaved programs produced by the flow
     /// formulation; reported rather than panicking).
     IterationLimit,
+    /// The basis matrix became numerically singular and refactorization
+    /// could not recover it (sparse revised engine only; reported rather
+    /// than panicking).
+    NumericalFailure,
 }
 
-/// Solution of a linear program.
+/// Solution of a linear program, with enough telemetry to see *how* it was
+/// solved (engine, pivot counts, basis refactorizations, matrix sparsity).
 #[derive(Debug, Clone)]
 pub struct LpSolution {
     /// Termination status.
@@ -26,18 +33,35 @@ pub struct LpSolution {
     /// Values of the decision variables (empty unless `status` is
     /// [`LpStatus::Optimal`]).
     pub variables: Vec<f64>,
-    /// Number of simplex pivots performed across both phases.
+    /// Number of simplex iterations performed across both phases (pivots
+    /// plus, for the revised engine, bound flips).
     pub iterations: usize,
+    /// Number of basis refactorizations performed (always 0 for the dense
+    /// tableau engine, which has no factorized basis).
+    pub refactorizations: usize,
+    /// Which engine produced this solution.
+    pub engine: SimplexEngine,
+    /// Nonzero entries in the constraint matrix the engine actually solved
+    /// (the dense engine counts its bound-expanded rows).
+    pub matrix_nonzeros: usize,
+    /// `matrix_nonzeros` over the dense row × column size (0 for empty
+    /// programs) — the observability hook for "how sparse was this LP".
+    pub matrix_density: f64,
 }
 
 impl LpSolution {
-    /// Convenience constructor for non-optimal outcomes.
+    /// Convenience constructor: the given status with all telemetry zeroed;
+    /// builders fill in the rest via struct update syntax.
     pub(crate) fn with_status(status: LpStatus, iterations: usize) -> Self {
         LpSolution {
             status,
             objective: 0.0,
             variables: Vec::new(),
             iterations,
+            refactorizations: 0,
+            engine: SimplexEngine::SparseRevised,
+            matrix_nonzeros: 0,
+            matrix_density: 0.0,
         }
     }
 
@@ -57,13 +81,15 @@ mod tests {
         assert!(!s.is_optimal());
         assert_eq!(s.iterations, 3);
         assert_eq!(s.objective, 0.0);
+        assert_eq!(s.refactorizations, 0);
         assert!(s.variables.is_empty());
         let o = LpSolution {
-            status: LpStatus::Optimal,
             objective: 1.5,
             variables: vec![1.0],
             iterations: 1,
+            ..LpSolution::with_status(LpStatus::Optimal, 1)
         };
         assert!(o.is_optimal());
+        assert_eq!(o.engine, SimplexEngine::SparseRevised);
     }
 }

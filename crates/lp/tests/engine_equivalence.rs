@@ -1,0 +1,221 @@
+//! Property-based cross-check of the two simplex engines.
+//!
+//! The sparse revised simplex (the default engine) and the dense two-phase
+//! tableau (the fallback) are independent implementations sharing only the
+//! problem representation. On randomized flow-shaped LPs — bounded
+//! variables, sparse balance-style rows, occasional `≥`/`=` rows — they must
+//! agree on status and, when optimal, on the objective value, with both
+//! returned points feasible. Directed tests pin the degenerate, unbounded
+//! and infeasible corners.
+
+use proptest::prelude::*;
+use tin_lp::{LpProblem, LpStatus, SimplexEngine};
+
+/// A deterministic pseudo-random LP description derived from a seed, shaped
+/// like the flow formulation: every variable is upper-bounded, and each
+/// constraint row touches only a few variables with ±1-ish coefficients.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    num_vars: usize,
+    seed: u64,
+    rows: usize,
+}
+
+fn random_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = RandomLp> {
+    (2..=max_vars, 1..=max_rows, any::<u64>()).prop_map(|(num_vars, rows, seed)| RandomLp {
+        num_vars,
+        rows,
+        seed,
+    })
+}
+
+fn build(desc: &RandomLp) -> LpProblem {
+    let mut state = desc.seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (u32::MAX as f64)
+    };
+    let n = desc.num_vars;
+    let mut p = LpProblem::new(n);
+    for j in 0..n {
+        // Mix of positive, zero and negative objective coefficients.
+        let c = (next() * 4.0).floor() - 1.0;
+        p.set_objective_coefficient(j, c);
+        // Every variable bounded (some tightly, some generously, a few
+        // fixed at 0) — the flow formulation's `x_i ≤ q_i` shape.
+        let u = (next() * 6.0).floor();
+        p.set_upper_bound(j, u);
+    }
+    for _ in 0..desc.rows {
+        // Short sparse rows: 1–4 variables, coefficients in {−2,−1,1,2}.
+        let len = 1 + (next() * 4.0) as usize;
+        let mut coeffs = Vec::with_capacity(len);
+        for _ in 0..len {
+            let var = (next() * n as f64) as usize % n;
+            let mut c = (next() * 4.0).floor() - 2.0;
+            if c == 0.0 {
+                c = 1.0;
+            }
+            coeffs.push((var, c));
+        }
+        let rhs = (next() * 8.0).floor() - 2.0;
+        let kind = next();
+        if kind < 0.6 {
+            p.add_le_constraint(&coeffs, rhs.max(0.0));
+        } else if kind < 0.85 {
+            p.add_ge_constraint(&coeffs, rhs.min(3.0));
+        } else {
+            p.add_eq_constraint(&coeffs, rhs.abs().min(4.0));
+        }
+    }
+    p
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Both engines reach the same verdict, and on optimal programs the
+    /// same objective value from feasible points.
+    #[test]
+    fn engines_agree_on_random_flow_shaped_lps(desc in random_lp(10, 8)) {
+        let p = build(&desc);
+        let sparse = p.solve_with(SimplexEngine::SparseRevised);
+        let dense = p.solve_with(SimplexEngine::DenseTableau);
+        prop_assert_eq!(sparse.status, dense.status,
+            "sparse {:?} vs dense {:?}", sparse.status, dense.status);
+        if sparse.status == LpStatus::Optimal {
+            prop_assert!(close(sparse.objective, dense.objective),
+                "objective: sparse {} vs dense {}", sparse.objective, dense.objective);
+            prop_assert!(p.is_feasible(&sparse.variables, 1e-6),
+                "sparse point infeasible: {:?}", sparse.variables);
+            prop_assert!(p.is_feasible(&dense.variables, 1e-6),
+                "dense point infeasible: {:?}", dense.variables);
+            prop_assert!(close(p.objective_value(&sparse.variables), sparse.objective));
+        }
+    }
+
+    /// All-bounded programs can never be unbounded, whatever the rows say.
+    #[test]
+    fn bounded_programs_are_never_unbounded(desc in random_lp(8, 6)) {
+        let p = build(&desc);
+        let s = p.solve_with(SimplexEngine::SparseRevised);
+        prop_assert!(s.status != LpStatus::Unbounded);
+    }
+}
+
+// --- Directed corner cases ------------------------------------------------
+
+fn engines() -> [SimplexEngine; 2] {
+    [SimplexEngine::SparseRevised, SimplexEngine::DenseTableau]
+}
+
+#[test]
+fn degenerate_beale_cycle_terminates_on_both_engines() {
+    // Beale's classic cycling example; anti-cycling safeguards must hold.
+    for engine in engines() {
+        let mut p = LpProblem::new(4);
+        p.set_objective_coefficient(0, 0.75);
+        p.set_objective_coefficient(1, -150.0);
+        p.set_objective_coefficient(2, 0.02);
+        p.set_objective_coefficient(3, -6.0);
+        p.add_le_constraint(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0);
+        p.add_le_constraint(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0);
+        p.add_le_constraint(&[(2, 1.0)], 1.0);
+        let s = p.solve_with(engine);
+        assert_eq!(s.status, LpStatus::Optimal, "{engine:?}");
+        assert!(
+            (s.objective - 0.05).abs() < 1e-6,
+            "{engine:?}: {}",
+            s.objective
+        );
+    }
+}
+
+#[test]
+fn massively_degenerate_zero_rhs_program_terminates() {
+    // Every balance row has RHS 0 (the hard degenerate case in flow LPs).
+    for engine in engines() {
+        let n = 20;
+        let mut p = LpProblem::new(n);
+        p.set_objective_coefficient(n - 1, 1.0);
+        p.set_upper_bound(0, 3.0);
+        for j in 1..n {
+            p.set_upper_bound(j, 10.0);
+            p.add_le_constraint(&[(j, 1.0), (j - 1, -1.0)], 0.0);
+        }
+        let s = p.solve_with(engine);
+        assert_eq!(s.status, LpStatus::Optimal, "{engine:?}");
+        assert!(
+            (s.objective - 3.0).abs() < 1e-6,
+            "{engine:?}: {}",
+            s.objective
+        );
+    }
+}
+
+#[test]
+fn unbounded_direction_is_reported_by_both_engines() {
+    for engine in engines() {
+        // max x + y with only x + y >= 2: no upper bounds anywhere.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(0, 1.0);
+        p.set_objective_coefficient(1, 1.0);
+        p.add_ge_constraint(&[(0, 1.0), (1, 1.0)], 2.0);
+        assert_eq!(
+            p.solve_with(engine).status,
+            LpStatus::Unbounded,
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn row_infeasibility_is_reported_by_both_engines() {
+    for engine in engines() {
+        let mut p = LpProblem::new(2);
+        p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 4.0);
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 1.0);
+        assert_eq!(
+            p.solve_with(engine).status,
+            LpStatus::Infeasible,
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn bound_infeasibility_is_reported_by_both_engines() {
+    // x + y >= 5 but both variables are bounded by 1.
+    for engine in engines() {
+        let mut p = LpProblem::new(2);
+        p.set_upper_bound(0, 1.0);
+        p.set_upper_bound(1, 1.0);
+        p.add_ge_constraint(&[(0, 1.0), (1, 1.0)], 5.0);
+        assert_eq!(
+            p.solve_with(engine).status,
+            LpStatus::Infeasible,
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn equality_with_fixed_variables_is_solved_exactly() {
+    // x fixed at 0, x + y = 3, y <= 4 -> y = 3.
+    for engine in engines() {
+        let mut p = LpProblem::new(2);
+        p.set_objective_coefficient(1, 1.0);
+        p.set_upper_bound(0, 0.0);
+        p.set_upper_bound(1, 4.0);
+        p.add_eq_constraint(&[(0, 1.0), (1, 1.0)], 3.0);
+        let s = p.solve_with(engine);
+        assert_eq!(s.status, LpStatus::Optimal, "{engine:?}");
+        assert!((s.objective - 3.0).abs() < 1e-6, "{engine:?}");
+    }
+}

@@ -7,7 +7,8 @@
 //! them under stable names and offers a small [`prelude`]:
 //!
 //! * [`graph`] ([`tin_graph`]) — the temporal interaction network data model;
-//! * [`lp`] ([`tin_lp`]) — the simplex LP solver substrate;
+//! * [`lp`] ([`tin_lp`]) — the LP solver substrate (sparse revised simplex
+//!   with a dense-tableau cross-check engine);
 //! * [`maxflow`] ([`tin_maxflow`]) — static max-flow algorithms and the
 //!   time-expanded reduction;
 //! * [`flow`] ([`tin_flow`]) — greedy and maximum flow computation,
