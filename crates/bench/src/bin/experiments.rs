@@ -242,6 +242,7 @@ fn tables91011(workloads: &[Workload], instance_limit: usize) {
                     r.pb_time
                         .map(format_duration)
                         .unwrap_or_else(|| "n/a".to_string()),
+                    format_duration(r.precompute_time),
                 ]
             })
             .collect();
@@ -251,7 +252,14 @@ fn tables91011(workloads: &[Workload], instance_limit: usize) {
                 w.kind.name(),
                 instance_limit
             ),
-            &["pattern", "instances", "avg flow", "GB", "PB"],
+            &[
+                "pattern",
+                "instances",
+                "avg flow",
+                "GB",
+                "PB",
+                "tables (offline)",
+            ],
             &rows,
         );
     }

@@ -3,58 +3,16 @@
 //!
 //! The per-subgraph evaluations are independent, so
 //! [`flow_method_experiment`] and [`lp_engine_experiment`] fan the subgraphs
-//! out over a std-thread worker pool (no external crates): workers pull
-//! indices from an atomic counter and results land in per-index slots, so
-//! the output is deterministic in everything but the timings themselves.
+//! out over the workspace worker pool ([`tin_flow::parallel_map`] — the same
+//! pool the parallel path-table builder uses): workers pull indices from an
+//! atomic counter and results land in per-index slots, so the output is
+//! deterministic in everything but the timings themselves.
 
 use crate::workloads::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tin_datasets::SeedSubgraph;
-use tin_flow::{build_lp, compute_flow, DifficultyClass, FlowMethod};
+use tin_flow::{build_lp, compute_flow, parallel_map, DifficultyClass, FlowMethod};
 use tin_lp::SimplexEngine;
-
-/// Runs `f` over `items` on a worker pool sized to the available
-/// parallelism, preserving input order in the result.
-///
-/// Workers claim indices from a shared atomic cursor (cheap dynamic load
-/// balancing — subgraph cost varies by orders of magnitude between classes)
-/// and write into dedicated slots, so no result ever depends on scheduling.
-fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker completed every claimed index")
-        })
-        .collect()
-}
 
 /// Methods compared in the paper's runtime tables.
 pub const TABLE_METHODS: [FlowMethod; 4] = [
@@ -388,16 +346,6 @@ mod tests {
         assert_eq!(by_class, w.subgraphs.len());
         // The flow LP is genuinely sparse on every non-trivial subgraph.
         assert!(rows[0].density < 0.5, "density {}", rows[0].density);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order_and_covers_all_items() {
-        let items: Vec<usize> = (0..100).collect();
-        let doubled = parallel_map(&items, |&i| i * 2);
-        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
-        // Empty and single-item inputs take the sequential path.
-        assert_eq!(parallel_map(&[] as &[usize], |&i| i), Vec::<usize>::new());
-        assert_eq!(parallel_map(&[7usize], |&i| i + 1), vec![8]);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Allocation-free chain-propagation kernel.
+//!
+//! The PB path tables (Section 5.2 of the paper) need, for every 2- or 3-hop
+//! path, the interaction set the greedy scan delivers to the path's final
+//! vertex. A path is a chain whose first vertex acts as an unlimited source,
+//! so the full greedy machinery (event collection and sorting, per-vertex
+//! buffer maps, a trace) is overkill: the reduction decomposes into one pass
+//! per edge that merges the chronologically sorted *arrival* profile of a
+//! vertex with the chronologically sorted *departure* interactions of its
+//! outgoing edge. [`chain_propagate`] is that pass — a two-pointer scan with
+//! a single scalar buffer, writing into a caller-owned reusable vector.
+//!
+//! The semantics match [`crate::greedy_flow_traced`] on the materialized
+//! chain DAG exactly (the unit tests cross-check this):
+//!
+//! * quantity arriving at time `t` is available only to departures at
+//!   **strictly later** times (strict precedence, as in the greedy scan);
+//! * departures are processed in the edge's stored chronological order and
+//!   share the buffer (no double spending on timestamp ties);
+//! * only transfers that actually move quantity are recorded.
+//!
+//! [`ChainScratch`] packages the two stage buffers a 3-hop reduction needs
+//! plus an invocation counter, so table builders can propagate a shared
+//! 2-hop prefix once and extend it per closing edge without allocating, and
+//! tests can assert how much kernel work a build performed.
+
+use tin_graph::{Interaction, Quantity};
+
+/// Propagates a chronologically sorted arrival profile through one edge.
+///
+/// `arrivals` is what the greedy scan delivers into the edge's source vertex
+/// (for the first edge of a path this is the edge's own interaction list —
+/// the path's start vertex has an unlimited buffer); `departures` is the
+/// edge's interaction list. The transfers that reach the edge's destination
+/// are written into `out` (cleared first, chronologically sorted) and their
+/// total is returned.
+///
+/// Both inputs must have nondecreasing times (edge interaction lists and
+/// kernel outputs both do); the output then does too, which is what makes
+/// multi-hop reductions a sequence of these passes. (Note that kernel
+/// outputs are *not* necessarily sorted by quantity within a timestamp tie —
+/// only the time order matters to the greedy semantics.)
+pub fn chain_propagate(
+    arrivals: &[Interaction],
+    departures: &[Interaction],
+    out: &mut Vec<Interaction>,
+) -> Quantity {
+    debug_assert!(arrivals.windows(2).all(|w| w[0].time <= w[1].time));
+    debug_assert!(departures.windows(2).all(|w| w[0].time <= w[1].time));
+    out.clear();
+    let mut buffered: Quantity = 0.0;
+    let mut total: Quantity = 0.0;
+    let mut next_arrival = 0usize;
+    for dep in departures {
+        // Strict precedence: only arrivals strictly before `dep.time` are
+        // spendable by this departure.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].time < dep.time {
+            buffered += arrivals[next_arrival].quantity;
+            next_arrival += 1;
+        }
+        let moved = dep.quantity.min(buffered);
+        if moved > 0.0 {
+            buffered -= moved;
+            total += moved;
+            out.push(Interaction::new(dep.time, moved));
+        }
+    }
+    total
+}
+
+/// Reusable state for 2- and 3-hop chain reductions.
+///
+/// One scratch serves any number of reductions without allocating once its
+/// buffers are warm. The intended calling pattern mirrors the shared-prefix
+/// structure of the path tables: [`ChainScratch::reduce_pair`] computes the
+/// delivered profile of a 2-edge chain (an `L2` cycle row or a `C2` chain
+/// row, or the shared `u → v → w` prefix of a 3-hop cycle), and
+/// [`ChainScratch::extend_through`] pushes that profile through one more
+/// edge (the `w → u` closing edge of an `L3` row) without recomputing the
+/// prefix.
+#[derive(Debug, Default)]
+pub struct ChainScratch {
+    mid: Vec<Interaction>,
+    last: Vec<Interaction>,
+    calls: u64,
+}
+
+impl ChainScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ChainScratch::default()
+    }
+
+    /// Number of kernel passes ([`chain_propagate`] invocations) performed
+    /// through this scratch. Table builders surface this so tests can verify
+    /// that anchor-local builds do anchor-local work.
+    pub fn kernel_calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Reduces the 2-edge chain `first → second`: returns the flow reaching
+    /// the chain's final vertex; the delivered profile is readable via
+    /// [`ChainScratch::delivered`] until the next `reduce_pair` call.
+    pub fn reduce_pair(&mut self, first: &[Interaction], second: &[Interaction]) -> Quantity {
+        self.calls += 1;
+        chain_propagate(first, second, &mut self.mid)
+    }
+
+    /// The delivered profile of the most recent [`ChainScratch::reduce_pair`].
+    pub fn delivered(&self) -> &[Interaction] {
+        &self.mid
+    }
+
+    /// Extends the most recent [`ChainScratch::reduce_pair`] result through
+    /// `third` (the closing edge of a 3-hop cycle): returns the flow
+    /// reaching the extended chain's final vertex. The 2-hop prefix profile
+    /// is left untouched, so one prefix can be extended through several
+    /// closing edges.
+    pub fn extend_through(&mut self, third: &[Interaction]) -> Quantity {
+        self.calls += 1;
+        let ChainScratch { mid, last, .. } = self;
+        chain_propagate(mid, third, last)
+    }
+
+    /// The delivered profile of the most recent
+    /// [`ChainScratch::extend_through`].
+    pub fn extended_delivered(&self) -> &[Interaction] {
+        &self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_flow_traced;
+    use tin_graph::{GraphBuilder, NodeId};
+
+    /// Oracle: materialize the chain as a DAG (distinct vertex copies) and
+    /// run the traced greedy scan, exactly like the pre-kernel table builder.
+    fn oracle(edges: &[&[(i64, f64)]]) -> (f64, Vec<Interaction>) {
+        let mut b = GraphBuilder::with_capacity(edges.len() + 1, edges.len());
+        let ids: Vec<NodeId> = (0..=edges.len())
+            .map(|i| b.add_node(format!("p{i}")))
+            .collect();
+        for (i, pairs) in edges.iter().enumerate() {
+            b.add_pairs(ids[i], ids[i + 1], pairs);
+        }
+        let chain = b.build();
+        let last = ids[edges.len()];
+        let result = greedy_flow_traced(&chain, ids[0], last);
+        let delivered: Vec<Interaction> = result
+            .trace
+            .iter()
+            .filter(|s| s.dst == last && s.transferred > 0.0)
+            .map(|s| Interaction::new(s.time, s.transferred))
+            .collect();
+        (result.flow, delivered)
+    }
+
+    fn seq(pairs: &[(i64, f64)]) -> Vec<Interaction> {
+        let mut v: Vec<Interaction> = pairs.iter().map(|&(t, q)| Interaction::new(t, q)).collect();
+        tin_graph::interaction::sort_chronologically(&mut v);
+        v
+    }
+
+    fn check_two_hop(e1: &[(i64, f64)], e2: &[(i64, f64)]) {
+        let (want_flow, want_delivered) = oracle(&[e1, e2]);
+        let mut scratch = ChainScratch::new();
+        let flow = scratch.reduce_pair(&seq(e1), &seq(e2));
+        assert_eq!(flow, want_flow, "flow mismatch for {e1:?} -> {e2:?}");
+        assert_eq!(scratch.delivered(), &want_delivered[..]);
+    }
+
+    fn check_three_hop(e1: &[(i64, f64)], e2: &[(i64, f64)], e3: &[(i64, f64)]) {
+        let (want_flow, want_delivered) = oracle(&[e1, e2, e3]);
+        let mut scratch = ChainScratch::new();
+        scratch.reduce_pair(&seq(e1), &seq(e2));
+        let flow = scratch.extend_through(&seq(e3));
+        assert_eq!(
+            flow, want_flow,
+            "flow mismatch for {e1:?} -> {e2:?} -> {e3:?}"
+        );
+        assert_eq!(scratch.extended_delivered(), &want_delivered[..]);
+    }
+
+    #[test]
+    fn matches_traced_greedy_on_simple_chains() {
+        check_two_hop(&[(1, 5.0)], &[(4, 3.0)]);
+        check_two_hop(&[(2, 2.0)], &[(3, 9.0)]);
+        // Forwarding edge fires before anything arrives.
+        check_two_hop(&[(5, 10.0)], &[(2, 3.0)]);
+        // Partial transfer.
+        check_two_hop(&[(1, 2.0)], &[(2, 10.0)]);
+    }
+
+    #[test]
+    fn strict_precedence_on_timestamp_ties() {
+        // Arrival at t cannot be forwarded at t.
+        check_two_hop(&[(3, 4.0)], &[(3, 4.0)]);
+        // Two departures at the same time share the buffer in stored order.
+        check_two_hop(&[(1, 5.0)], &[(9, 4.0), (9, 4.0)]);
+        // Interleaved ties on both sides.
+        check_two_hop(
+            &[(1, 3.0), (2, 2.0), (2, 4.0)],
+            &[(2, 5.0), (2, 1.0), (3, 9.0)],
+        );
+    }
+
+    #[test]
+    fn three_hop_extension_matches_full_chain() {
+        check_three_hop(&[(1, 5.0)], &[(5, 4.0)], &[(3, 9.0)]); // dead closing edge
+        check_three_hop(&[(1, 5.0)], &[(5, 4.0)], &[(7, 9.0)]);
+        check_three_hop(
+            &[(1, 5.0), (4, 3.0), (5, 2.0)],
+            &[(3, 3.0), (7, 4.0)],
+            &[(6, 3.0), (8, 6.0)],
+        );
+    }
+
+    #[test]
+    fn prefix_survives_multiple_extensions() {
+        let mut scratch = ChainScratch::new();
+        let e1 = seq(&[(1, 5.0), (2, 3.0)]);
+        let e2 = seq(&[(3, 6.0)]);
+        scratch.reduce_pair(&e1, &e2);
+        let via_a = scratch.extend_through(&seq(&[(4, 2.0)]));
+        let via_b = scratch.extend_through(&seq(&[(9, 100.0)]));
+        let (want_a, _) = oracle(&[&[(1, 5.0), (2, 3.0)], &[(3, 6.0)], &[(4, 2.0)]]);
+        let (want_b, _) = oracle(&[&[(1, 5.0), (2, 3.0)], &[(3, 6.0)], &[(9, 100.0)]]);
+        assert_eq!(via_a, want_a);
+        assert_eq!(via_b, want_b);
+        assert_eq!(scratch.kernel_calls(), 3);
+    }
+
+    #[test]
+    fn empty_inputs_deliver_nothing() {
+        let mut out = Vec::new();
+        assert_eq!(chain_propagate(&[], &seq(&[(1, 2.0)]), &mut out), 0.0);
+        assert!(out.is_empty());
+        assert_eq!(chain_propagate(&seq(&[(1, 2.0)]), &[], &mut out), 0.0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_flow_cycle_produces_empty_profile() {
+        // The only return interaction is earlier than everything arriving.
+        check_two_hop(&[(5, 4.0)], &[(1, 9.0)]);
+        let mut scratch = ChainScratch::new();
+        let flow = scratch.reduce_pair(&seq(&[(5, 4.0)]), &seq(&[(1, 9.0)]));
+        assert_eq!(flow, 0.0);
+        assert!(scratch.delivered().is_empty());
+    }
+}

@@ -18,7 +18,11 @@
 //!   non-source interaction);
 //! * [`solver`] — the evaluated pipelines `Greedy`, `LP`, `Pre`, `PreSim`
 //!   plus a time-expanded max-flow oracle, with per-run statistics and the
-//!   class A/B/C difficulty classification used in the paper's tables.
+//!   class A/B/C difficulty classification used in the paper's tables;
+//! * [`chain`] — the allocation-free chain-propagation kernel backing the
+//!   PB path-table precomputation (Section 5.2);
+//! * [`parallel`] — the std-thread worker pool shared by the experiment
+//!   harness and the parallel table builder.
 //!
 //! ## Example
 //!
@@ -46,20 +50,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod error;
 pub mod greedy;
 pub mod lp_formulation;
+pub mod parallel;
 pub mod preprocess;
 pub mod simplify;
 pub mod solubility;
 pub mod solver;
 pub mod workgraph;
 
+pub use chain::{chain_propagate, ChainScratch};
 pub use error::FlowError;
 pub use greedy::{
     greedy_flow, greedy_flow_traced, greedy_flow_with, GreedyResult, GreedyScratch, TransferStep,
 };
 pub use lp_formulation::{build_lp, lp_max_flow, LpFormulation, LpOutcome};
+pub use parallel::parallel_map;
 pub use preprocess::{preprocess, PreprocessOutcome, PreprocessReport};
 pub use simplify::{simplify, SimplifyOutcome, SimplifyReport};
 pub use solubility::is_greedy_soluble;

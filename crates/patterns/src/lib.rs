@@ -31,6 +31,7 @@ pub mod enumerate;
 pub mod instance;
 pub mod pattern;
 pub mod precomputed;
+pub mod reference;
 pub mod relaxed;
 pub mod tables;
 
@@ -41,4 +42,4 @@ pub use instance::{instance_flow, Instance};
 pub use pattern::{Pattern, PatternError};
 pub use precomputed::enumerate_pb;
 pub use relaxed::{relaxed_search_gb, relaxed_search_pb, RelaxedPattern};
-pub use tables::{PathTables, TablesConfig};
+pub use tables::{LazyPathTables, PathRow, PathTable, PathTables, TablesConfig};

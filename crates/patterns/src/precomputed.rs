@@ -9,8 +9,8 @@
 
 use crate::catalogue::{PatternCatalogue, PatternId};
 use crate::instance::Instance;
-use crate::tables::{PathRow, PathTables};
-use tin_graph::{NodeId, Quantity, TemporalGraph};
+use crate::tables::PathTables;
+use tin_graph::{Quantity, TemporalGraph};
 
 /// A PB match: the instance plus its flow when the tables already determine
 /// it (chain-shaped and branch-sum patterns); `None` means the caller must
@@ -37,11 +37,17 @@ pub fn enumerate_pb(
     if tables.truncated {
         return None;
     }
+    // An empty table is legitimate when the graph simply has no matching
+    // cycles; it only means "not built" when such cycles exist. Every
+    // pattern that reads a table must refuse to run on an untrustworthy one
+    // (the paper's "PB not applicable").
+    let l2_ok = || !tables.l2.is_empty() || !has_any_two_cycle(graph);
+    let l3_ok = || !tables.l3.is_empty() || !has_any_three_cycle(graph);
     let capped = |v: &mut Vec<PbMatch>| limit > 0 && v.len() >= limit;
     let mut out = Vec::new();
     match id {
         PatternId::P1 => {
-            if tables.c2.is_empty() {
+            if tables.c2.is_empty() && has_any_two_chain(graph) {
                 return None;
             }
             for row in &tables.c2 {
@@ -49,44 +55,37 @@ pub fn enumerate_pb(
                     break;
                 }
                 out.push(PbMatch {
-                    instance: Instance::new(row.vertices.clone()),
+                    instance: Instance::new(row.vertices().to_vec()),
                     flow: Some(row.flow),
                 });
             }
         }
         PatternId::P2 => {
-            if tables.l2.is_empty() && !has_any_two_cycle(graph) {
-                // An empty table is legitimate when the graph simply has no
-                // 2-hop cycles; it only means "not built" when cycles exist.
-            } else if tables.l2.is_empty() {
+            if !l2_ok() {
                 return None;
             }
             for row in &tables.l2 {
                 if capped(&mut out) {
                     break;
                 }
+                let v = row.vertices();
                 out.push(PbMatch {
-                    instance: Instance::new(vec![
-                        row.vertices[0],
-                        row.vertices[1],
-                        row.vertices[0],
-                    ]),
+                    instance: Instance::new(vec![v[0], v[1], v[0]]),
                     flow: Some(row.flow),
                 });
             }
         }
         PatternId::P3 => {
+            if !l3_ok() {
+                return None;
+            }
             for row in &tables.l3 {
                 if capped(&mut out) {
                     break;
                 }
+                let v = row.vertices();
                 out.push(PbMatch {
-                    instance: Instance::new(vec![
-                        row.vertices[0],
-                        row.vertices[1],
-                        row.vertices[2],
-                        row.vertices[0],
-                    ]),
+                    instance: Instance::new(vec![v[0], v[1], v[2], v[0]]),
                     flow: Some(row.flow),
                 });
             }
@@ -95,12 +94,20 @@ pub fn enumerate_pb(
             // L2 ⋈ L3 on the anchor: a 2-hop branch and a 3-hop branch with
             // disjoint intermediate vertices; the instance flow is the sum of
             // the two independent branch flows (the instance satisfies
-            // Lemma 2).
+            // Lemma 2). The join needs both tables — unless one side is
+            // *verifiably* empty (built, and the graph has no such cycles),
+            // in which case the join is empty whatever the other side holds.
+            let l2_void = tables.l2.is_empty() && l2_ok();
+            let l3_void = tables.l3.is_empty() && l3_ok();
+            let usable = (l2_ok() && l3_ok()) || l2_void || l3_void;
+            if !usable {
+                return None;
+            }
             'outer_p4: for l2_row in &tables.l2 {
                 let anchor = l2_row.anchor();
-                let b = l2_row.vertices[1];
-                for l3_row in PathTables::rows_for(&tables.l3, anchor) {
-                    let (c, e) = (l3_row.vertices[1], l3_row.vertices[2]);
+                let b = l2_row.vertices()[1];
+                for l3_row in tables.l3.rows_for(anchor) {
+                    let (c, e) = (l3_row.vertices()[1], l3_row.vertices()[2]);
                     if b == c || b == e {
                         continue;
                     }
@@ -115,10 +122,12 @@ pub fn enumerate_pb(
             }
         }
         PatternId::P5 => {
+            if !l2_ok() {
+                return None;
+            }
             // L2 self-join on the anchor with b < c (symmetry breaking).
-            let anchors: Vec<NodeId> = unique_anchors(&tables.l2);
-            'outer_p5: for anchor in anchors {
-                let rows = PathTables::rows_for(&tables.l2, anchor);
+            'outer_p5: for anchor in tables.l2.anchors() {
+                let rows = tables.l2.rows_for(anchor);
                 for i in 0..rows.len() {
                     for j in (i + 1)..rows.len() {
                         if capped(&mut out) {
@@ -127,8 +136,8 @@ pub fn enumerate_pb(
                         out.push(PbMatch {
                             instance: Instance::new(vec![
                                 anchor,
-                                rows[i].vertices[1],
-                                rows[j].vertices[1],
+                                rows[i].vertices()[1],
+                                rows[j].vertices()[1],
                                 anchor,
                             ]),
                             flow: Some(rows[i].flow + rows[j].flow),
@@ -138,6 +147,9 @@ pub fn enumerate_pb(
             }
         }
         PatternId::P6 => {
+            if !l3_ok() {
+                return None;
+            }
             // L3 scan + graph verification of the two chords; the
             // precomputed chain flow cannot be reused (the chords interleave
             // with the cycle), so the flow is left to the caller.
@@ -145,7 +157,8 @@ pub fn enumerate_pb(
                 if capped(&mut out) {
                     break;
                 }
-                let (a, b, c) = (row.vertices[0], row.vertices[1], row.vertices[2]);
+                let v = row.vertices();
+                let (a, b, c) = (v[0], v[1], v[2]);
                 if graph.has_edge(a, c) && graph.has_edge(b, a) {
                     out.push(PbMatch {
                         instance: Instance::new(vec![a, b, c, a]),
@@ -158,14 +171,32 @@ pub fn enumerate_pb(
     Some(out)
 }
 
-fn unique_anchors(rows: &[PathRow]) -> Vec<NodeId> {
-    let mut anchors: Vec<NodeId> = rows.iter().map(PathRow::anchor).collect();
-    anchors.dedup();
-    anchors
+/// Whether the graph contains any 2-hop cycle `u → v → u`. These existence
+/// checks run when a required table is empty, to tell "the graph has no
+/// matching paths" (empty table is complete) apart from "table not built"
+/// (PB not applicable).
+pub(crate) fn has_any_two_cycle(graph: &TemporalGraph) -> bool {
+    graph.edges().iter().any(|e| graph.has_edge(e.dst, e.src))
 }
 
-fn has_any_two_cycle(graph: &TemporalGraph) -> bool {
-    graph.edges().iter().any(|e| graph.has_edge(e.dst, e.src))
+/// Whether the graph contains any 3-hop cycle `u → v → w → u` over distinct
+/// vertices.
+pub(crate) fn has_any_three_cycle(graph: &TemporalGraph) -> bool {
+    graph.edges().iter().any(|e| {
+        e.src != e.dst
+            && graph
+                .out_neighbors(e.dst)
+                .any(|u| u != e.src && u != e.dst && graph.has_edge(u, e.src))
+    })
+}
+
+/// Whether the graph contains any 2-hop chain `u → v → w` over distinct
+/// vertices.
+pub(crate) fn has_any_two_chain(graph: &TemporalGraph) -> bool {
+    graph
+        .edges()
+        .iter()
+        .any(|e| e.src != e.dst && graph.out_neighbors(e.dst).any(|w| w != e.src && w != e.dst))
 }
 
 /// Resolves the flow of a PB match, reusing the precomputed value when
@@ -275,6 +306,93 @@ mod tests {
         assert!(enumerate_pb(&g, &tables, PatternId::P1, 0).is_none());
         // Cycle-based patterns still work.
         assert!(enumerate_pb(&g, &tables, PatternId::P2, 0).is_some());
+    }
+
+    #[test]
+    fn missing_l3_table_disables_p3_p4_p6() {
+        // The sample graph contains 3-hop cycles (x->y->z->x and rotations),
+        // so an unbuilt L3 table must disable every pattern that reads it —
+        // returning Some(vec![]) here would silently claim "no instances".
+        let g = sample();
+        let cfg = TablesConfig {
+            build_l3: false,
+            ..TablesConfig::default()
+        };
+        let tables = PathTables::build(&g, &cfg);
+        for id in [PatternId::P3, PatternId::P4, PatternId::P6] {
+            assert!(
+                enumerate_pb(&g, &tables, id, 0).is_none(),
+                "{id} must be refused without the L3 table"
+            );
+        }
+        // Patterns not touching L3 still work.
+        for id in [PatternId::P1, PatternId::P2, PatternId::P5] {
+            assert!(
+                enumerate_pb(&g, &tables, id, 0).is_some(),
+                "{id} does not need the L3 table"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_l2_table_disables_p2_p4_p5() {
+        let g = sample();
+        let cfg = TablesConfig {
+            build_l2: false,
+            ..TablesConfig::default()
+        };
+        let tables = PathTables::build(&g, &cfg);
+        for id in [PatternId::P2, PatternId::P4, PatternId::P5] {
+            assert!(
+                enumerate_pb(&g, &tables, id, 0).is_none(),
+                "{id} must be refused without the L2 table"
+            );
+        }
+        for id in [PatternId::P1, PatternId::P3, PatternId::P6] {
+            assert!(
+                enumerate_pb(&g, &tables, id, 0).is_some(),
+                "{id} does not need the L2 table"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_chain_table_is_fine_when_the_graph_has_no_chains() {
+        // A single edge admits no 2-hop chain: the built-but-empty C2 table
+        // is verifiably complete, so P1 legitimately reports zero instances
+        // instead of "PB not applicable".
+        let g = from_records([("a", "b", 1, 2.0)]);
+        let tables = PathTables::build(&g, &TablesConfig::default());
+        assert!(tables.c2.is_empty());
+        let pb = enumerate_pb(&g, &tables, PatternId::P1, 0);
+        assert_eq!(pb.map(|v| v.len()), Some(0));
+    }
+
+    #[test]
+    fn unbuilt_tables_are_fine_when_the_graph_has_no_cycles() {
+        // A pure chain has no 2- or 3-hop cycles: empty cycle tables are
+        // verifiably complete and every pattern legitimately matches nothing.
+        let g = from_records([("a", "b", 1, 2.0), ("b", "c", 2, 3.0), ("c", "d", 3, 1.0)]);
+        let cfg = TablesConfig {
+            build_l2: false,
+            build_l3: false,
+            ..TablesConfig::default()
+        };
+        let tables = PathTables::build(&g, &cfg);
+        for id in [
+            PatternId::P2,
+            PatternId::P3,
+            PatternId::P4,
+            PatternId::P5,
+            PatternId::P6,
+        ] {
+            let pb = enumerate_pb(&g, &tables, id, 0);
+            assert_eq!(
+                pb.map(|v| v.len()),
+                Some(0),
+                "{id} should report zero instances on a cycle-free graph"
+            );
+        }
     }
 
     #[test]

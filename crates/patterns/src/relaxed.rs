@@ -25,7 +25,7 @@
 
 use crate::catalogue::{PatternCatalogue, PatternId};
 use crate::enumerate::PatternSearchResult;
-use crate::tables::{PathRow, PathTables};
+use crate::tables::{PathTable, PathTables};
 use crate::{browse::enumerate_gb, instance::Instance};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -114,9 +114,12 @@ fn group_and_summarize(
 
 /// Answers a relaxed pattern from the precomputed tables (PB).
 ///
-/// Returns `None` when the required table is unavailable (not built or
-/// truncated).
+/// Returns `None` when the required table is unavailable — truncated, or
+/// empty while the graph does contain matching branches (i.e. the table was
+/// never built; an empty table on a branch-free graph is legitimately
+/// complete and yields an empty result).
 pub fn relaxed_search_pb(
+    graph: &TemporalGraph,
     tables: &PathTables,
     pattern: RelaxedPattern,
 ) -> Option<PatternSearchResult> {
@@ -124,22 +127,32 @@ pub fn relaxed_search_pb(
         return None;
     }
     let start = Instant::now();
-    let rows: &[PathRow] = match pattern {
+    let table: &PathTable = match pattern {
         RelaxedPattern::ParallelTwoHopChains { .. } => {
-            if tables.c2.is_empty() {
+            if tables.c2.is_empty() && crate::precomputed::has_any_two_chain(graph) {
                 return None;
             }
             &tables.c2
         }
-        RelaxedPattern::ParallelTwoHopCycles { .. } => &tables.l2,
-        RelaxedPattern::ParallelThreeHopCycles { .. } => &tables.l3,
+        RelaxedPattern::ParallelTwoHopCycles { .. } => {
+            if tables.l2.is_empty() && crate::precomputed::has_any_two_cycle(graph) {
+                return None;
+            }
+            &tables.l2
+        }
+        RelaxedPattern::ParallelThreeHopCycles { .. } => {
+            if tables.l3.is_empty() && crate::precomputed::has_any_three_cycle(graph) {
+                return None;
+            }
+            &tables.l3
+        }
     };
-    let branches = rows.iter().map(|row| {
+    let branches = table.iter().map(|row| {
         let key: GroupKey = match pattern {
-            RelaxedPattern::ParallelTwoHopChains { .. } => (
-                row.vertices[0],
-                Some(*row.vertices.last().expect("chain rows have 3 vertices")),
-            ),
+            RelaxedPattern::ParallelTwoHopChains { .. } => {
+                let v = row.vertices();
+                (v[0], Some(*v.last().expect("chain rows have 3 vertices")))
+            }
             _ => (row.anchor(), None),
         };
         (key, row.flow)
@@ -214,6 +227,7 @@ mod tests {
         let g = star();
         let tables = PathTables::build(&g, &TablesConfig::default());
         let pb = relaxed_search_pb(
+            &g,
             &tables,
             RelaxedPattern::ParallelTwoHopCycles { min_branches: 2 },
         )
@@ -224,6 +238,7 @@ mod tests {
         // With min_branches = 1 the "other" anchor and the reverse-anchored
         // cycles count too.
         let pb1 = relaxed_search_pb(
+            &g,
             &tables,
             RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 },
         )
@@ -242,7 +257,7 @@ mod tests {
             RelaxedPattern::ParallelThreeHopCycles { min_branches: 1 },
         ] {
             let gb = relaxed_search_gb(&g, pattern);
-            let pb = relaxed_search_pb(&tables, pattern).unwrap();
+            let pb = relaxed_search_pb(&g, &tables, pattern).unwrap();
             assert_eq!(
                 gb.instances, pb.instances,
                 "instance count mismatch for {pattern}"
@@ -261,6 +276,7 @@ mod tests {
         let g = star();
         let tables = PathTables::build(&g, &TablesConfig::default());
         let pb = relaxed_search_pb(
+            &g,
             &tables,
             RelaxedPattern::ParallelTwoHopChains { min_branches: 1 },
         )
@@ -279,13 +295,45 @@ mod tests {
         };
         let tables = PathTables::build(&g, &cfg);
         assert!(relaxed_search_pb(
+            &g,
             &tables,
             RelaxedPattern::ParallelTwoHopChains { min_branches: 1 }
         )
         .is_none());
         assert!(relaxed_search_pb(
+            &g,
             &tables,
             RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 }
+        )
+        .is_some());
+        // Unbuilt cycle tables must disable RP2/RP3 the same way when the
+        // graph does contain such cycles (regression: these used to return
+        // Some(empty) and silently claim "no instances").
+        let no_cycles = PathTables::build(
+            &g,
+            &TablesConfig {
+                build_l2: false,
+                build_l3: false,
+                ..TablesConfig::default()
+            },
+        );
+        assert!(relaxed_search_pb(
+            &g,
+            &no_cycles,
+            RelaxedPattern::ParallelTwoHopCycles { min_branches: 1 }
+        )
+        .is_none());
+        assert!(relaxed_search_pb(
+            &g,
+            &no_cycles,
+            RelaxedPattern::ParallelThreeHopCycles { min_branches: 1 }
+        )
+        .is_none());
+        // RP1 still works from the chain table alone.
+        assert!(relaxed_search_pb(
+            &g,
+            &no_cycles,
+            RelaxedPattern::ParallelTwoHopChains { min_branches: 1 }
         )
         .is_some());
     }

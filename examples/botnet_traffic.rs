@@ -85,6 +85,7 @@ fn main() {
         },
     );
     let rp2 = relaxed_search_pb(
+        &graph,
         &tables,
         RelaxedPattern::ParallelTwoHopCycles { min_branches: 5 },
     )

@@ -62,7 +62,7 @@ fn main() {
         RelaxedPattern::ParallelThreeHopCycles { min_branches: 2 },
     ] {
         let gb = relaxed_search_gb(&graph, rp);
-        let pb = relaxed_search_pb(&tables, rp).expect("tables built");
+        let pb = relaxed_search_pb(&graph, &tables, rp).expect("tables built");
         let speedup = gb.elapsed.as_secs_f64() / pb.elapsed.as_secs_f64().max(1e-9);
         println!(
             "{:<8} {:>10} {:>12.2} {:>12.1?} {:>12.1?} {:>7.1}x",

@@ -3,12 +3,13 @@
 //!
 //! Provides the API subset the workspace's benches use — `Criterion`,
 //! `benchmark_group` with `sample_size` / `measurement_time` /
-//! `warm_up_time`, `bench_function` / `bench_with_input`, `BenchmarkId`,
-//! and the `criterion_group!` / `criterion_main!` macros — backed by a
-//! plain wall-clock measurement loop instead of criterion's statistical
-//! machinery. Reported numbers are mean / min / max over the collected
-//! samples; good enough to compare the workspace's algorithm variants,
-//! not a replacement for real criterion runs.
+//! `warm_up_time` / `throughput`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a plain wall-clock measurement loop
+//! instead of criterion's statistical machinery. Reported numbers are
+//! mean / min / max over the collected samples (plus a mean-based rate when
+//! a throughput is set); good enough to compare the workspace's algorithm
+//! variants, not a replacement for real criterion runs.
 
 #![forbid(unsafe_code)]
 
@@ -41,6 +42,7 @@ impl Criterion {
             sample_size: self.default_sample_size,
             measurement_time: self.default_measurement_time,
             warm_up_time: self.default_warm_up_time,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -57,9 +59,20 @@ impl Criterion {
             sample_size,
             measurement_time,
             warm_up_time,
+            None,
             f,
         );
     }
+}
+
+/// Amount of work one benchmark iteration performs; when set on a group,
+/// reported timings gain a derived rate (elements or bytes per second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (rows, items...).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
 }
 
 /// A group of related benchmarks sharing measurement settings.
@@ -68,6 +81,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -90,6 +104,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares how much work one iteration of the subsequently registered
+    /// benchmarks performs; their reports then include a derived rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Measures a closure.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
         let label = format!("{}/{}", self.name, id.into().label);
@@ -98,6 +119,7 @@ impl BenchmarkGroup<'_> {
             self.sample_size,
             self.measurement_time,
             self.warm_up_time,
+            self.throughput,
             f,
         );
     }
@@ -181,11 +203,22 @@ impl Bencher {
     }
 }
 
+/// Human-readable `value/second` with unit scaling, e.g. `12.3 Kelem/s`.
+fn format_rate(per_second: f64, unit: &str) -> String {
+    let scaled = [(1e9, "G"), (1e6, "M"), (1e3, "K")]
+        .iter()
+        .find(|(scale, _)| per_second >= *scale)
+        .map(|(scale, prefix)| (per_second / scale, *prefix))
+        .unwrap_or((per_second, ""));
+    format!("{:.1} {}{unit}/s", scaled.0, scaled.1)
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     label: &str,
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    throughput: Option<Throughput>,
     mut f: F,
 ) {
     let mut bencher = Bencher {
@@ -203,8 +236,18 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let mean = total / bencher.samples.len() as u32;
     let min = bencher.samples.iter().min().expect("non-empty");
     let max = bencher.samples.iter().max().expect("non-empty");
+    let rate = throughput
+        .map(|t| {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_second = count as f64 / mean.as_secs_f64().max(1e-12);
+            format!("   thrpt {:>14}", format_rate(per_second, unit))
+        })
+        .unwrap_or_default();
     println!(
-        "{label:<60} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+        "{label:<60} mean {mean:>12?}   min {min:>12?}   max {max:>12?}{rate}   ({} samples)",
         bencher.samples.len()
     );
 }
@@ -254,6 +297,14 @@ mod tests {
             ran >= 5,
             "payload should run at least sample_size times, ran {ran}"
         );
+    }
+
+    #[test]
+    fn format_rate_scales_units() {
+        assert_eq!(format_rate(12.0, "elem"), "12.0 elem/s");
+        assert_eq!(format_rate(12_300.0, "elem"), "12.3 Kelem/s");
+        assert_eq!(format_rate(2.5e6, "B"), "2.5 MB/s");
+        assert_eq!(format_rate(7.2e9, "elem"), "7.2 Gelem/s");
     }
 
     #[test]
