@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod flow_experiments;
+pub mod ingest_experiments;
 pub mod pattern_experiments;
 pub mod report;
 pub mod workloads;
@@ -21,6 +22,7 @@ pub use flow_experiments::{
     bucket_experiment, flow_method_experiment, lp_engine_experiment, BucketRow, EngineClassRow,
     FlowTable, MethodTiming,
 };
+pub use ingest_experiments::{assert_ingest_equivalent, ingest_csv, to_csv, IngestMeasurement};
 pub use pattern_experiments::{pattern_experiment, PatternTableRow};
 pub use report::{format_duration, print_table};
 pub use workloads::{build_subgraphs, generate_dataset, ExperimentScale, Workload};

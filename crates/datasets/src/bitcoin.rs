@@ -88,7 +88,10 @@ mod tests {
         assert_eq!(a.node_count(), b.node_count());
         assert_eq!(a.edge_count(), b.edge_count());
         assert_eq!(a.interaction_count(), b.interaction_count());
-        assert_eq!(tin_graph::io::to_text(&a), tin_graph::io::to_text(&b));
+        assert_eq!(
+            tin_graph::io::to_text(&a).unwrap(),
+            tin_graph::io::to_text(&b).unwrap()
+        );
     }
 
     #[test]
@@ -158,6 +161,9 @@ mod tests {
     fn different_seeds_produce_different_graphs() {
         let a = generate_bitcoin(&BitcoinConfig { seed: 1, ..small() });
         let b = generate_bitcoin(&BitcoinConfig { seed: 2, ..small() });
-        assert_ne!(tin_graph::io::to_text(&a), tin_graph::io::to_text(&b));
+        assert_ne!(
+            tin_graph::io::to_text(&a).unwrap(),
+            tin_graph::io::to_text(&b).unwrap()
+        );
     }
 }

@@ -101,7 +101,10 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate_ctu13(&small());
         let b = generate_ctu13(&small());
-        assert_eq!(tin_graph::io::to_text(&a), tin_graph::io::to_text(&b));
+        assert_eq!(
+            tin_graph::io::to_text(&a).unwrap(),
+            tin_graph::io::to_text(&b).unwrap()
+        );
     }
 
     #[test]

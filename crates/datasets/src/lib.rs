@@ -22,6 +22,12 @@
 //! Every generator is deterministic given its seed and exposes a `scale`
 //! parameter so the same shapes can be produced at CI size or at
 //! closer-to-paper size.
+//!
+//! When a real extract *is* available, the [`loader`] module streams it in:
+//! a bounded-memory CSV/delimited-text reader with delimiter inference,
+//! header detection, column mapping and unit scaling that feeds
+//! [`tin_graph::GraphBuilder`] record by record. Loaded graphs flow through
+//! [`extract`] and the rest of the pipeline exactly like generated ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,16 +36,22 @@ pub mod bitcoin;
 pub mod config;
 pub mod ctu13;
 pub mod extract;
+pub mod loader;
 pub mod prosper;
 pub(crate) mod sampling;
 pub mod stats;
 
 pub use bitcoin::generate_bitcoin;
-pub use config::{BitcoinConfig, Ctu13Config, DatasetKind, ProsperConfig};
+pub use config::{
+    BitcoinConfig, ColumnMap, Ctu13Config, DatasetKind, Delimiter, HeaderMode, LoaderConfig,
+    ProsperConfig,
+};
 pub use ctu13::generate_ctu13;
 pub use extract::{extract_seed_subgraphs, ExtractConfig, SeedSubgraph};
+pub use loader::{load_path, load_reader, load_str, IngestReport, LoadedDataset};
 pub use prosper::generate_prosper;
 pub use stats::{dataset_stats, subgraph_stats, DatasetStats, SubgraphStats};
+pub use tin_graph::ParseMode;
 
 use tin_graph::TemporalGraph;
 

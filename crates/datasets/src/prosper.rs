@@ -94,7 +94,10 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate_prosper(&small());
         let b = generate_prosper(&small());
-        assert_eq!(tin_graph::io::to_text(&a), tin_graph::io::to_text(&b));
+        assert_eq!(
+            tin_graph::io::to_text(&a).unwrap(),
+            tin_graph::io::to_text(&b).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The checked-in CSV fixtures load through the streaming loader and feed
+//! the same seed-extraction pipeline as the generators.
+
+use tin_datasets::{extract_seed_subgraphs, load_path, ExtractConfig, LoaderConfig, ParseMode};
+use tin_graph::GraphError;
+
+fn fixture(name: &str) -> String {
+    format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn transactions_fixture_loads_leniently_and_extracts_seeds() {
+    let loaded = load_path(
+        fixture("transactions.csv"),
+        &LoaderConfig {
+            mode: ParseMode::Lenient,
+            ..LoaderConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(loaded.report.had_header);
+    assert_eq!(loaded.report.rows, 30);
+    assert_eq!(loaded.report.skipped, 1, "exactly the malformed row");
+    assert_eq!(loaded.graph.interaction_count(), 30);
+    loaded.graph.validate().unwrap();
+
+    // Loaded graphs enter seed extraction exactly like generated ones.
+    let subs = extract_seed_subgraphs(
+        &loaded.graph,
+        &ExtractConfig {
+            min_interactions: 2,
+            ..ExtractConfig::default()
+        },
+    );
+    assert!(!subs.is_empty(), "the fixture has round-trip activity");
+    let alpha = loaded.graph.node_by_name("acct_alpha").unwrap();
+    let alpha_sub = subs
+        .iter()
+        .find(|s| s.seed == alpha)
+        .expect("acct_alpha sits on several short cycles");
+    assert!(tin_graph::is_dag(&alpha_sub.graph));
+    let flow = tin_flow::greedy_flow(&alpha_sub.graph, alpha_sub.source, alpha_sub.sink).flow;
+    assert!(flow > 0.0, "money returns to acct_alpha");
+}
+
+#[test]
+fn transactions_fixture_fails_strict_at_the_malformed_row() {
+    let err = load_path(fixture("transactions.csv"), &LoaderConfig::default()).unwrap_err();
+    match err {
+        GraphError::Ingest {
+            line,
+            column,
+            message,
+            ..
+        } => {
+            assert_eq!(line, 21, "the malformed row of the fixture");
+            assert_eq!(column, 3, "timestamp column");
+            assert!(message.contains("not-a-timestamp"), "got: {message}");
+        }
+        other => panic!("expected Ingest, got {other:?}"),
+    }
+}
+
+#[test]
+fn mixed_delimiters_fixture_is_rejected() {
+    let err = load_path(fixture("mixed_delimiters.csv"), &LoaderConfig::default()).unwrap_err();
+    match err {
+        GraphError::Ingest { line, message, .. } => {
+            assert_eq!(line, 3);
+            assert!(message.contains("mixed delimiters"), "got: {message}");
+        }
+        other => panic!("expected Ingest, got {other:?}"),
+    }
+}

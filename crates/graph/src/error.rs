@@ -27,13 +27,51 @@ pub enum GraphError {
     },
     /// A self-loop `(v, v)` was supplied where it is not allowed.
     SelfLoop(NodeId),
-    /// Parsing a textual graph representation failed.
+    /// Parsing a textual graph representation failed (syntax-level: the
+    /// input is not well-formed JSON / not shaped like the format at all).
     Parse {
         /// 1-based line number where the error occurred.
         line: usize,
         /// Human readable description of the problem.
         message: String,
     },
+    /// A record-level ingestion failure: the input is structurally a record
+    /// stream, but one record is unusable (bad field, wrong field count,
+    /// self-loop, negative quantity, ...). Carries enough position context
+    /// to locate the offending field in a multi-GB source.
+    Ingest {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// 1-based column (field ordinal after column mapping) the failure
+        /// was attributed to; `0` when the whole line is at fault.
+        column: usize,
+        /// Byte offset of the start of the offending line within the source.
+        byte_offset: u64,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// The input was well-formed but describes an inconsistent or
+    /// unrepresentable graph (semantic validation failure), e.g. a JSON
+    /// document whose edge table references missing vertices, or a graph
+    /// whose vertex names cannot survive the text interchange format.
+    Invalid {
+        /// Human readable description of the inconsistency.
+        message: String,
+    },
+    /// An underlying I/O operation failed while streaming a source.
+    Io {
+        /// Display form of the `std::io::Error`.
+        message: String,
+    },
+}
+
+impl GraphError {
+    /// Convenience constructor mapping an [`std::io::Error`].
+    pub fn from_io(e: std::io::Error) -> Self {
+        GraphError::Io {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -52,6 +90,20 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            GraphError::Ingest {
+                line,
+                column,
+                byte_offset,
+                message,
+            } => {
+                write!(f, "ingest error at line {line}")?;
+                if *column > 0 {
+                    write!(f, ", column {column}")?;
+                }
+                write!(f, " (byte offset {byte_offset}): {message}")
+            }
+            GraphError::Invalid { message } => write!(f, "invalid graph: {message}"),
+            GraphError::Io { message } => write!(f, "i/o error: {message}"),
         }
     }
 }
@@ -85,5 +137,28 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(p.to_string().contains("line 4"));
+        let i = GraphError::Ingest {
+            line: 7,
+            column: 3,
+            byte_offset: 120,
+            message: "bad timestamp".into(),
+        };
+        let s = i.to_string();
+        assert!(s.contains("line 7") && s.contains("column 3") && s.contains("120"));
+        let whole_line = GraphError::Ingest {
+            line: 2,
+            column: 0,
+            byte_offset: 10,
+            message: "junk".into(),
+        };
+        assert!(!whole_line.to_string().contains("column"));
+        assert!(GraphError::Invalid {
+            message: "edge references missing vertex".into()
+        }
+        .to_string()
+        .contains("invalid graph"));
+        assert!(GraphError::from_io(std::io::Error::other("boom"))
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -64,6 +64,7 @@ pub use events::{EventRef, Events};
 pub use graph::{Edge, Node, TemporalGraph};
 pub use ids::{EdgeId, NodeId, Quantity, Time};
 pub use interaction::{Interaction, INFINITE_QUANTITY_TOKEN};
+pub use io::{ParseMode, StreamingParser};
 pub use topo::{is_dag, topological_order, TopoError};
 pub use view::{edge_induced_subgraph, induced_subgraph, SubgraphSpec};
 

@@ -1,0 +1,247 @@
+//! Edge-case suite for the text interchange parser, run through **both**
+//! entry points — the in-memory [`io::from_text`] wrapper and a
+//! [`StreamingParser`] fed by a deliberately awkward chunked reader — to
+//! prove the two paths stay equivalent byte for byte.
+//!
+//! Covered: CRLF line endings, leading/trailing blank lines, comment lines
+//! after data, trailing (non-)comments, duplicate records, the `-inf` /
+//! `NaN` / `-0.0` quantity corner cases, lenient-mode skip counting,
+//! self-loop rejection, and the `to_text` totality regression for vertex
+//! names the format cannot carry.
+
+use std::io::Read;
+use tin_graph::io::{self, ParseMode, StreamingParser};
+use tin_graph::{GraphError, TemporalGraph};
+
+/// A reader that hands out at most three bytes per `read` call, so the
+/// streaming path is exercised across chunk boundaries (mid-line, mid-CRLF,
+/// mid-token).
+struct DribbleReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Read for DribbleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(3).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Runs `text` through the streaming parser (over the dribble reader) in the
+/// given mode, returning the graph plus (records, skipped).
+fn stream(text: &str, mode: ParseMode) -> Result<(TemporalGraph, u64, u64), GraphError> {
+    let mut p = StreamingParser::new(mode);
+    p.ingest(DribbleReader {
+        data: text.as_bytes(),
+        pos: 0,
+    })?;
+    let (records, skipped) = (p.records(), p.skipped());
+    Ok((p.finish(), records, skipped))
+}
+
+/// Asserts that `from_text` and the chunked streaming path agree on `text`:
+/// both succeed with structurally identical graphs, or both fail with the
+/// same position. Returns the strict outcome for further inspection.
+fn assert_equivalent(text: &str) -> Result<TemporalGraph, GraphError> {
+    let via_str = io::from_text(text);
+    let via_stream = stream(text, ParseMode::Strict).map(|(g, ..)| g);
+    match (&via_str, &via_stream) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(io::to_json(a), io::to_json(b), "graphs differ for {text:?}");
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "errors differ for {text:?}"),
+        (a, b) => panic!("outcomes diverge for {text:?}: str={a:?} stream={b:?}"),
+    }
+    via_str
+}
+
+#[test]
+fn crlf_input_parses_like_lf() {
+    let lf = "a b 1 2.5\nb c 2 1\n";
+    let crlf = "a b 1 2.5\r\nb c 2 1\r\n";
+    let g_lf = assert_equivalent(lf).unwrap();
+    let g_crlf = assert_equivalent(crlf).unwrap();
+    assert_eq!(io::to_json(&g_lf), io::to_json(&g_crlf));
+}
+
+#[test]
+fn crlf_byte_offsets_count_raw_bytes() {
+    // The second line starts after 10 raw bytes ("a b 1 2.5\r\n" is 11...
+    // no: 9 chars + CRLF = 11). The error offset must count the \r.
+    let text = "a b 1 2.5\r\nc c 3 4\r\n";
+    match io::from_text(text) {
+        Err(GraphError::Ingest {
+            line, byte_offset, ..
+        }) => {
+            assert_eq!(line, 2);
+            assert_eq!(byte_offset, 11);
+        }
+        other => panic!("expected self-loop rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn blank_lines_everywhere_are_ignored() {
+    let g = assert_equivalent("\n\n  \na b 1 2\n\n   \nb c 2 3\n\n\n").unwrap();
+    assert_eq!(g.interaction_count(), 2);
+    assert_eq!(g.node_count(), 3);
+}
+
+#[test]
+fn missing_final_newline_is_fine() {
+    let g = assert_equivalent("a b 1 2\nb c 2 3").unwrap();
+    assert_eq!(g.interaction_count(), 2);
+}
+
+#[test]
+fn comment_lines_after_data_are_still_comments() {
+    let g = assert_equivalent("a b 1 2\n# checksum: deadbeef\n   # indented too\nb c 2 3\n# eof\n")
+        .unwrap();
+    assert_eq!(g.interaction_count(), 2);
+}
+
+#[test]
+fn trailing_comment_on_a_data_line_is_data_not_comment() {
+    // `#` only introduces a comment at the start of a line; after the four
+    // fields it is a fifth token and strict mode must say so.
+    let err = assert_equivalent("a b 1 2 # not a comment\n").unwrap_err();
+    assert!(matches!(
+        err,
+        GraphError::Ingest {
+            line: 1,
+            column: 5,
+            ..
+        }
+    ));
+    // Lenient mode skips the line instead.
+    let (g, records, skipped) =
+        stream("a b 1 2 # not a comment\nb c 2 3\n", ParseMode::Lenient).unwrap();
+    assert_eq!((records, skipped), (1, 1));
+    assert_eq!(g.interaction_count(), 1);
+}
+
+#[test]
+fn duplicate_records_accumulate_on_one_edge() {
+    // Two identical (src, dst, time) records are two real transfers (the
+    // model keeps full interaction sequences); they merge onto one edge.
+    let g = assert_equivalent("a b 5 2.0\na b 5 2.0\na b 5 3.5\n").unwrap();
+    assert_eq!(g.edge_count(), 1);
+    assert_eq!(g.interaction_count(), 3);
+    assert_eq!(g.total_quantity(), 7.5);
+}
+
+#[test]
+fn negative_infinity_and_nan_are_rejected() {
+    for bad in ["-inf", "-Infinity", "NaN", "nan", "-NaN", "inF"] {
+        let err = assert_equivalent(&format!("a b 1 {bad}\n")).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraphError::Ingest {
+                    line: 1,
+                    column: 4,
+                    ..
+                }
+            ),
+            "{bad:?} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn negative_zero_is_accepted_and_normalized() {
+    let g = assert_equivalent("a b 1 -0.0\nb c 2 -0\n").unwrap();
+    assert_eq!(g.interaction_count(), 2);
+    for e in g.edges() {
+        for i in &e.interactions {
+            assert_eq!(i.quantity, 0.0);
+            assert!(
+                i.quantity.is_sign_positive(),
+                "-0.0 must be normalized to +0.0"
+            );
+        }
+    }
+}
+
+#[test]
+fn negative_quantities_are_rejected() {
+    let err = assert_equivalent("a b 1 -3.5\n").unwrap_err();
+    assert!(matches!(
+        err,
+        GraphError::Ingest {
+            line: 1,
+            column: 4,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn self_loops_are_rejected_with_line_numbers() {
+    let err = assert_equivalent("a b 1 2\nb c 2 3\nc c 9 1\n").unwrap_err();
+    match err {
+        GraphError::Ingest { line, message, .. } => {
+            assert_eq!(line, 3);
+            assert!(message.contains("self-loop"), "got: {message}");
+        }
+        other => panic!("expected Ingest, got {other:?}"),
+    }
+}
+
+#[test]
+fn lenient_mode_counts_each_skip_once() {
+    let text = "\
+# header comment
+a b 1 2
+bad-field-count
+c c 2 2
+d e not-a-time 4
+e f 3 -inf
+f g 4 5
+
+g h 5 six
+h i 6 6
+";
+    // Strict mode stops at the first bad line (line 3).
+    let err = assert_equivalent(text).unwrap_err();
+    assert!(matches!(err, GraphError::Ingest { line: 3, .. }));
+    // Lenient mode skips exactly the five bad lines; blanks and comments do
+    // not count as skips.
+    let (g, records, skipped) = stream(text, ParseMode::Lenient).unwrap();
+    assert_eq!(records, 3, "a→b, f→g, h→i and no others");
+    assert_eq!(skipped, 5);
+    assert_eq!(g.interaction_count(), 3);
+}
+
+#[test]
+fn lenient_and_strict_agree_on_clean_input() {
+    let text = "a b 1 2\nb c 2 3\nc a 3 4\n";
+    let strict = assert_equivalent(text).unwrap();
+    let (lenient, records, skipped) = stream(text, ParseMode::Lenient).unwrap();
+    assert_eq!(skipped, 0);
+    assert_eq!(records, 3);
+    assert_eq!(io::to_json(&strict), io::to_json(&lenient));
+}
+
+#[test]
+fn roundtrip_is_total_for_whitespace_names() {
+    // Regression for the silent-corruption bug: a graph with the vertex
+    // name "acct 7" used to serialize to `acct 7 b 1 2`, which re-parses as
+    // five fields. The writer must refuse instead.
+    let g = tin_graph::builder::from_records([("acct 7", "b", 1, 2.0), ("b", "c", 2, 3.0)]);
+    match io::to_text(&g) {
+        Err(GraphError::Invalid { message }) => {
+            assert!(message.contains("acct 7"), "got: {message}")
+        }
+        Ok(s) => panic!("writer must not emit un-parseable text, got {s:?}"),
+        Err(other) => panic!("expected Invalid, got {other:?}"),
+    }
+    // Every graph to_text does accept round-trips exactly.
+    let clean = tin_graph::builder::from_records([("acct_7", "b", 1, 2.0), ("b", "c", 2, 3.0)]);
+    let text = io::to_text(&clean).unwrap();
+    let back = assert_equivalent(&text).unwrap();
+    assert_eq!(io::to_json(&clean), io::to_json(&back));
+}

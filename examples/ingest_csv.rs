@@ -1,0 +1,108 @@
+//! CSV ingestion end to end: a real(-shaped) transaction log on disk is
+//! streamed into a temporal interaction network, seed-centred subgraphs are
+//! extracted, round-trip flows computed, and the flow-pattern search run —
+//! the full pipeline of the paper, starting from a file instead of a
+//! generator.
+//!
+//! Run with: `cargo run --release --example ingest_csv`
+
+use temporal_flow::prelude::*;
+use tin_datasets::{extract_seed_subgraphs, load_path, ExtractConfig, LoaderConfig, ParseMode};
+use tin_patterns::{search_gb, search_pb, PathTables, PatternId, TablesConfig};
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/crates/datasets/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn main() {
+    // 1. Stream the log. Lenient mode: real exports contain stray junk, and
+    //    this fixture deliberately carries one malformed row.
+    let loaded = load_path(
+        fixture("transactions.csv"),
+        &LoaderConfig {
+            mode: ParseMode::Lenient,
+            ..LoaderConfig::default()
+        },
+    )
+    .expect("fixture loads");
+    println!("loaded transactions.csv: {}", loaded.report);
+    let graph = &loaded.graph;
+    println!(
+        "network: {} accounts, {} edges, {} transfers, {:.2} units total\n",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.interaction_count(),
+        graph.total_quantity()
+    );
+
+    // Strict mode refuses the same file loudly instead of skipping...
+    let strict_err = load_path(fixture("transactions.csv"), &LoaderConfig::default())
+        .expect_err("strict mode rejects the malformed row");
+    println!("strict mode would say: {strict_err}");
+    // ...and a file with inconsistent delimiters never loads at all.
+    let mixed_err = load_path(fixture("mixed_delimiters.csv"), &LoaderConfig::default())
+        .expect_err("mixed delimiters are rejected");
+    println!("mixed delimiters:      {mixed_err}\n");
+
+    // 2. Extract, per account, the subgraph of ≤3-hop round trips and rank
+    //    by maximum round-trip flow — exactly as for generated datasets.
+    let subgraphs = extract_seed_subgraphs(
+        graph,
+        &ExtractConfig {
+            min_interactions: 2,
+            ..ExtractConfig::default()
+        },
+    );
+    let mut rankings: Vec<(NodeId, f64, usize)> = subgraphs
+        .iter()
+        .map(|sub| {
+            let flow = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim)
+                .expect("extracted subgraphs are valid flow DAGs")
+                .flow;
+            (sub.seed, flow, sub.graph.interaction_count())
+        })
+        .collect();
+    rankings.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!(
+        "{} accounts have round-trip activity within 3 hops:",
+        rankings.len()
+    );
+    println!(
+        "{:<14} {:>16} {:>12}",
+        "account", "round-trip flow", "#transfers"
+    );
+    for (seed, flow, interactions) in &rankings {
+        let name = &graph.node(*seed).name;
+        println!("{name:<14} {flow:>16.2} {interactions:>12}");
+    }
+
+    // 3. Flow-pattern search over the loaded network, graph browsing vs
+    //    precomputed path tables.
+    let tables = PathTables::build(graph, &TablesConfig::default());
+    println!(
+        "\npath tables: {} rows (L2 {}, C2 {}, L3 {})",
+        tables.row_count(),
+        tables.l2.len(),
+        tables.c2.len(),
+        tables.l3.len()
+    );
+    println!("{:<8} {:>10} {:>12}", "pattern", "instances", "avg flow");
+    for id in PatternId::ALL {
+        let gb = search_gb(graph, id, 0);
+        let pb = search_pb(graph, &tables, id, 0).expect("all tables built");
+        assert_eq!(
+            gb.instances, pb.instances,
+            "GB and PB must agree on a loaded graph"
+        );
+        println!(
+            "{:<8} {:>10} {:>12.2}",
+            gb.pattern.to_string(),
+            gb.instances,
+            gb.average_flow
+        );
+    }
+    println!("\n(GB and PB agree on every pattern — file-loaded graphs are first-class)");
+}

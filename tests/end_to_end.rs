@@ -107,7 +107,7 @@ fn pattern_search_gb_and_pb_agree_on_a_generated_network() {
 #[test]
 fn graph_io_roundtrips_a_generated_dataset() {
     let graph = generate(DatasetKind::Ctu13, 9);
-    let text = tin_graph::io::to_text(&graph);
+    let text = tin_graph::io::to_text(&graph).unwrap();
     let back = tin_graph::io::from_text(&text).unwrap();
     assert_eq!(back.node_count(), graph.node_count());
     assert_eq!(back.edge_count(), graph.edge_count());
