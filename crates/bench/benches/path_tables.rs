@@ -58,10 +58,10 @@ fn bench_config(c: &mut Criterion, group_name: &str, config: TablesConfig, kinds
         group.throughput(Throughput::Elements(lazy_rows.max(1) as u64));
         group.bench_with_input(BenchmarkId::new("lazy32", kind.name()), &graph, |b, g| {
             b.iter(|| {
-                let mut lazy = LazyPathTables::new(g, config);
+                let mut lazy = LazyPathTables::new(config);
                 let mut rows = 0usize;
                 for &a in &anchors {
-                    rows += lazy.tables_for(a).row_count();
+                    rows += lazy.tables_for(g, a).row_count();
                 }
                 std::hint::black_box(rows)
             })

@@ -6,14 +6,17 @@
 //! experiments [section] [--quick]
 //!
 //! section: all | table4 | table5 | tables678 | fig11 | lpsolvers | patterns
-//!          | tables91011 | ingest
+//!          | tables91011 | ingest | stream
 //! --quick: run at the CI scale instead of the standard scale
 //! ```
 //!
-//! The `ingest` section is this reproduction's addition: it round-trips each
-//! generated dataset through an in-memory CSV log and the streaming loader,
-//! reporting rows/sec plus a peak-live-allocation proxy for resident memory
-//! (the binary runs under a counting global allocator for this purpose).
+//! The `ingest` and `stream` sections are this reproduction's additions:
+//! `ingest` round-trips each generated dataset through an in-memory CSV log
+//! and the streaming loader, reporting rows/sec plus a peak-live-allocation
+//! proxy for resident memory (the binary runs under a counting global
+//! allocator for this purpose); `stream` drives the append-native pipeline
+//! (batched deltas → live graph → incrementally maintained path tables) and
+//! compares per-batch table maintenance against a full rebuild.
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-in datasets, from-scratch LP solver); the comparative shapes —
@@ -26,7 +29,7 @@ use tin_bench::{
 };
 use tin_datasets::{dataset_stats, subgraph_stats};
 
-const SECTIONS: [&str; 9] = [
+const SECTIONS: [&str; 10] = [
     "all",
     "table4",
     "table5",
@@ -36,6 +39,7 @@ const SECTIONS: [&str; 9] = [
     "patterns",
     "tables91011",
     "ingest",
+    "stream",
 ];
 
 /// A counting wrapper around the system allocator: tracks live and peak
@@ -142,6 +146,50 @@ fn main() {
     if matches!(section, "all" | "ingest") {
         ingest(&workloads, &scale);
     }
+    if matches!(section, "all" | "stream") {
+        stream(&workloads);
+    }
+}
+
+fn stream(workloads: &[Workload]) {
+    // Two delta sizes within the "small delta" regime the streaming
+    // refactor targets (<=1% of the dataset per batch; the acceptance bar
+    // is >=5x vs rebuild).
+    let mut rows = Vec::new();
+    for w in workloads {
+        for batch_fraction in [0.01, 0.0025] {
+            let m = tin_bench::stream_experiment(w, batch_fraction);
+            rows.push(vec![
+                w.kind.name().to_string(),
+                m.records.to_string(),
+                format!("{} x {}", m.batches, m.batch_records),
+                format!("{:.2}M rec/s", m.records_per_sec() / 1e6),
+                format_duration(m.tables_per_batch()),
+                format_duration(m.full_rebuild_time),
+                format!("{:.1}x", m.speedup()),
+                m.rebuild_fallbacks.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Stream: batched ingest -> live graph -> incremental path tables (1% and 0.25% batches)",
+        &[
+            "dataset",
+            "records",
+            "batches",
+            "append",
+            "tables/batch",
+            "rebuild",
+            "speedup",
+            "fallbacks",
+        ],
+        &rows,
+    );
+    println!(
+        "(append = tokenize + validate + graph merge; tables/batch = avg incremental \
+         PathTables::apply; rebuild = one from-scratch build on the final graph; the \
+         run asserts the incremental tables are row-identical to that rebuild)"
+    );
 }
 
 fn ingest(workloads: &[Workload], scale: &ExperimentScale) {

@@ -16,6 +16,7 @@ pub mod flow_experiments;
 pub mod ingest_experiments;
 pub mod pattern_experiments;
 pub mod report;
+pub mod stream_experiments;
 pub mod workloads;
 
 pub use flow_experiments::{
@@ -25,4 +26,5 @@ pub use flow_experiments::{
 pub use ingest_experiments::{assert_ingest_equivalent, ingest_csv, to_csv, IngestMeasurement};
 pub use pattern_experiments::{pattern_experiment, PatternTableRow};
 pub use report::{format_duration, print_table};
+pub use stream_experiments::{stream_experiment, StreamMeasurement};
 pub use workloads::{build_subgraphs, generate_dataset, ExperimentScale, Workload};

@@ -1,0 +1,168 @@
+//! Streaming experiment: what live ingestion costs once the pipeline is
+//! append-native end to end.
+//!
+//! The measured loop is the production shape introduced by the streaming
+//! refactor: a CSV log is consumed in fixed-size batches
+//! ([`tin_datasets::DeltaStream`]), every batch is merged into the live
+//! graph ([`tin_graph::TemporalGraph::apply`]) and the PB path tables are
+//! patched incrementally ([`tin_patterns::PathTables::apply`]) so pattern
+//! search stays serviceable between batches. Three questions are answered
+//! per dataset:
+//!
+//! * **append throughput** — records/second through tokenize + validate +
+//!   graph merge (tables excluded);
+//! * **incremental table cost** — average table-maintenance time per batch;
+//! * **incremental vs rebuild** — how that per-batch cost compares against
+//!   rebuilding the tables from scratch on the final graph, which is what a
+//!   snapshot-based pipeline would pay per refresh.
+//!
+//! The experiment also re-verifies exactness on every run: the incrementally
+//! maintained tables must end row-identical to a from-scratch build (the
+//! same property the proptests pin down, here checked on the real generated
+//! datasets).
+
+use crate::workloads::Workload;
+use std::time::{Duration, Instant};
+use tin_datasets::{DatasetKind, DeltaStream, LoaderConfig};
+use tin_graph::TemporalGraph;
+use tin_patterns::{PathTables, TablesConfig};
+
+/// One dataset's measurements from the streaming loop.
+#[derive(Debug)]
+pub struct StreamMeasurement {
+    /// Records ingested (equals the dataset's interaction count).
+    pub records: u64,
+    /// Batches the log was consumed in.
+    pub batches: usize,
+    /// Records per batch (the delta size under test).
+    pub batch_records: usize,
+    /// Total wall-clock time of tokenize + validate + `TemporalGraph::apply`
+    /// across all batches.
+    pub append_time: Duration,
+    /// Total wall-clock time of all incremental `PathTables::apply` calls.
+    pub tables_time: Duration,
+    /// Incremental table updates that fell back to a full rebuild (cap
+    /// pressure; 0 in this experiment's configuration).
+    pub rebuild_fallbacks: usize,
+    /// Wall-clock time of one from-scratch `PathTables::build` on the final
+    /// graph — what a snapshot pipeline would pay per refresh.
+    pub full_rebuild_time: Duration,
+}
+
+impl StreamMeasurement {
+    /// Append throughput in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        self.records as f64 / self.append_time.as_secs_f64().max(1e-12)
+    }
+
+    /// Average incremental table-maintenance time per batch.
+    pub fn tables_per_batch(&self) -> Duration {
+        self.tables_time / (self.batches.max(1) as u32)
+    }
+
+    /// How many times cheaper one incremental update is than one full
+    /// rebuild.
+    pub fn speedup(&self) -> f64 {
+        self.full_rebuild_time.as_secs_f64() / self.tables_per_batch().as_secs_f64().max(1e-12)
+    }
+}
+
+/// The tables the streaming loop maintains: same per-dataset choice as the
+/// pattern experiment (the chain table only where the paper affords it).
+fn stream_tables_config(kind: DatasetKind) -> TablesConfig {
+    TablesConfig {
+        build_l2: true,
+        build_l3: true,
+        build_c2: kind == DatasetKind::Prosper,
+        max_rows: 5_000_000,
+    }
+}
+
+/// Runs the streaming loop for one workload: CSV log → batched deltas →
+/// live graph + incrementally maintained tables, then the rebuild baseline.
+///
+/// `batch_fraction` sizes each batch as a fraction of the dataset's
+/// interactions (the acceptance bar of the streaming refactor is batches of
+/// at most 1%).
+///
+/// # Panics
+/// Panics if the incrementally maintained tables diverge from a
+/// from-scratch build on the final graph — the experiment doubles as an
+/// exactness check on real generated data.
+pub fn stream_experiment(workload: &Workload, batch_fraction: f64) -> StreamMeasurement {
+    let csv = crate::ingest_experiments::to_csv(&workload.graph);
+    let total = workload.graph.interaction_count();
+    let batch_records = ((total as f64 * batch_fraction) as usize).max(1);
+    let config = stream_tables_config(workload.kind);
+
+    let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())
+        .expect("default loader config is valid");
+    let mut graph = TemporalGraph::new();
+    let mut tables = PathTables::build(&graph, &config);
+    let mut append_time = Duration::ZERO;
+    let mut tables_time = Duration::ZERO;
+    let mut batches = 0usize;
+    let mut rebuild_fallbacks = 0usize;
+    loop {
+        let start = Instant::now();
+        let Some(delta) = stream
+            .next_delta(batch_records)
+            .expect("generated CSV logs are clean")
+        else {
+            break;
+        };
+        let applied = graph.apply(&delta).expect("deltas apply in drain order");
+        append_time += start.elapsed();
+
+        let start = Instant::now();
+        let update = tables.apply(&graph, &applied);
+        tables_time += start.elapsed();
+        rebuild_fallbacks += usize::from(update.rebuilt);
+        batches += 1;
+    }
+    assert_eq!(
+        graph.interaction_count(),
+        total,
+        "the streamed graph must contain every generated interaction"
+    );
+
+    let start = Instant::now();
+    let rebuilt = PathTables::build(&graph, &config);
+    let full_rebuild_time = start.elapsed();
+    if let Some(divergence) = tables.first_row_divergence(&rebuilt) {
+        panic!("incremental tables diverged from the rebuild: {divergence}");
+    }
+
+    StreamMeasurement {
+        records: stream.report().rows,
+        batches,
+        batch_records,
+        append_time,
+        tables_time,
+        rebuild_fallbacks,
+        full_rebuild_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentScale;
+
+    #[test]
+    fn stream_loop_is_exact_and_counts_add_up() {
+        let scale = ExperimentScale::quick();
+        for kind in DatasetKind::ALL {
+            let w = Workload::build(kind, &scale);
+            // 1% batches: the acceptance bar's delta size.
+            let m = stream_experiment(&w, 0.01);
+            assert_eq!(m.records as usize, w.graph.interaction_count(), "{kind}");
+            assert!(m.batches >= 99, "{kind}: {} batches", m.batches);
+            assert_eq!(m.rebuild_fallbacks, 0, "{kind}");
+            assert!(m.records_per_sec() > 0.0);
+            // stream_experiment panics internally if the incremental tables
+            // diverge from the rebuild, so reaching this point is the
+            // exactness assertion.
+        }
+    }
+}

@@ -143,7 +143,7 @@ mod tests {
             .map(|i| b.add_node(format!("p{i}")))
             .collect();
         for (i, pairs) in edges.iter().enumerate() {
-            b.add_pairs(ids[i], ids[i + 1], pairs);
+            b.add_pairs(ids[i], ids[i + 1], pairs).unwrap();
         }
         let chain = b.build();
         let last = ids[edges.len()];

@@ -258,11 +258,11 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0)]);
-        b.add_pairs(s, z, &[(2, 3.0)]);
-        b.add_pairs(y, z, &[(3, 5.0)]);
-        b.add_pairs(y, t, &[(4, 4.0)]);
-        b.add_pairs(z, t, &[(5, 1.0)]);
+        b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
         (b.build(), s, y, z, t)
     }
 
@@ -300,12 +300,12 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
-        b.add_pairs(s, y, &[(2, 6.0)]);
-        b.add_pairs(x, z, &[(5, 5.0)]);
-        b.add_pairs(y, z, &[(8, 5.0)]);
-        b.add_pairs(y, t, &[(9, 4.0)]);
-        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]).unwrap();
+        b.add_pairs(s, y, &[(2, 6.0)]).unwrap();
+        b.add_pairs(x, z, &[(5, 5.0)]).unwrap();
+        b.add_pairs(y, z, &[(8, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(9, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]).unwrap();
         let g = b.build();
         let r = greedy_flow(&g, s, t);
         assert_eq!(r.flow, 2.0);
@@ -316,7 +316,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let s = b.add_node("s");
         let t = b.add_node("t");
-        b.add_pairs(s, t, &[(1, 10.0), (2, 20.0), (3, 30.0)]);
+        b.add_pairs(s, t, &[(1, 10.0), (2, 20.0), (3, 30.0)])
+            .unwrap();
         let g = b.build();
         let r = greedy_flow(&g, s, t);
         assert_eq!(r.flow, 60.0);
@@ -330,8 +331,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(5, 10.0)]);
-        b.add_pairs(a, t, &[(2, 3.0)]);
+        b.add_pairs(s, a, &[(5, 10.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 3.0)]).unwrap();
         let g = b.build();
         assert_eq!(greedy_flow(&g, s, t).flow, 0.0);
     }
@@ -343,8 +344,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(3, 4.0)]);
-        b.add_pairs(a, t, &[(3, 4.0)]);
+        b.add_pairs(s, a, &[(3, 4.0)]).unwrap();
+        b.add_pairs(a, t, &[(3, 4.0)]).unwrap();
         let g = b.build();
         assert_eq!(greedy_flow(&g, s, t).flow, 0.0);
     }
@@ -358,9 +359,9 @@ mod tests {
         let a = b.add_node("a");
         let t = b.add_node("t");
         let u = b.add_node("u");
-        b.add_pairs(s, a, &[(1, 5.0)]);
-        b.add_pairs(a, t, &[(9, 4.0)]);
-        b.add_pairs(a, u, &[(9, 4.0)]);
+        b.add_pairs(s, a, &[(1, 5.0)]).unwrap();
+        b.add_pairs(a, t, &[(9, 4.0)]).unwrap();
+        b.add_pairs(a, u, &[(9, 4.0)]).unwrap();
         let g = b.build();
         let r = greedy_flow(&g, s, t);
         let total_out = 5.0 - r.buffers[a.index()];
@@ -376,8 +377,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 2.0)]);
-        b.add_pairs(a, t, &[(2, 10.0)]);
+        b.add_pairs(s, a, &[(1, 2.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 10.0)]).unwrap();
         let g = b.build();
         let r = greedy_flow_traced(&g, s, t);
         assert_eq!(r.flow, 2.0);
@@ -396,13 +397,13 @@ mod tests {
         let w = b.add_node("w");
         let x = b.add_node("x");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0), (4, 3.0), (5, 2.0)]);
-        b.add_pairs(y, z, &[(3, 3.0), (7, 4.0)]);
-        b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
-        b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
-        b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
-        b.add_pairs(w, t, &[(15, 7.0)]);
-        b.add_pairs(s, t, &[(2, 5.0), (11, 2.0)]);
+        b.add_pairs(s, y, &[(1, 5.0), (4, 3.0), (5, 2.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 3.0), (7, 4.0)]).unwrap();
+        b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]).unwrap();
+        b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]).unwrap();
+        b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]).unwrap();
+        b.add_pairs(w, t, &[(15, 7.0)]).unwrap();
+        b.add_pairs(s, t, &[(2, 5.0), (11, 2.0)]).unwrap();
         let g = b.build();
         let r = greedy_flow(&g, s, t);
         assert_eq!(r.flow, 14.0);
@@ -417,8 +418,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 2.0)]);
-        b.add_pairs(a, t, &[(2, 10.0)]);
+        b.add_pairs(s, a, &[(1, 2.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 10.0)]).unwrap();
         let g2 = b.build();
 
         let mut scratch = GreedyScratch::new();

@@ -36,11 +36,11 @@
 //! let y = b.add_node("y");
 //! let z = b.add_node("z");
 //! let t = b.add_node("t");
-//! b.add_pairs(s, y, &[(1, 5.0)]);
-//! b.add_pairs(s, z, &[(2, 3.0)]);
-//! b.add_pairs(y, z, &[(3, 5.0)]);
-//! b.add_pairs(y, t, &[(4, 4.0)]);
-//! b.add_pairs(z, t, &[(5, 1.0)]);
+//! b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+//! b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+//! b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+//! b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+//! b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
 //! let g = b.build();
 //!
 //! assert_eq!(greedy_flow(&g, s, t).flow, 1.0);

@@ -230,11 +230,11 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0)]);
-        b.add_pairs(s, z, &[(2, 3.0)]);
-        b.add_pairs(y, z, &[(3, 5.0)]);
-        b.add_pairs(y, t, &[(4, 4.0)]);
-        b.add_pairs(z, t, &[(5, 1.0)]);
+        b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -259,12 +259,12 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
-        b.add_pairs(s, y, &[(2, 6.0)]);
-        b.add_pairs(x, z, &[(5, 5.0)]);
-        b.add_pairs(y, z, &[(8, 5.0)]);
-        b.add_pairs(y, t, &[(9, 4.0)]);
-        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]).unwrap();
+        b.add_pairs(s, y, &[(2, 6.0)]).unwrap();
+        b.add_pairs(x, z, &[(5, 5.0)]).unwrap();
+        b.add_pairs(y, z, &[(8, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(9, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]).unwrap();
         let g = b.build();
         let out = lp_max_flow(&g, s, t).unwrap();
         assert_close(out.flow, 5.0);
@@ -276,7 +276,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let s = b.add_node("s");
         let t = b.add_node("t");
-        b.add_pairs(s, t, &[(1, 4.0), (7, 2.5)]);
+        b.add_pairs(s, t, &[(1, 4.0), (7, 2.5)]).unwrap();
         let g = b.build();
         let f = build_lp(&g, s, t);
         assert_eq!(f.variables, 0);
@@ -301,9 +301,9 @@ mod tests {
         let a = b.add_node("a");
         let t = b.add_node("t");
         let u = b.add_node("u");
-        b.add_pairs(s, a, &[(1, 5.0)]);
-        b.add_pairs(a, t, &[(9, 4.0)]);
-        b.add_pairs(a, u, &[(9, 4.0)]);
+        b.add_pairs(s, a, &[(1, 5.0)]).unwrap();
+        b.add_pairs(a, t, &[(9, 4.0)]).unwrap();
+        b.add_pairs(a, u, &[(9, 4.0)]).unwrap();
         let g = b.build();
         // Only 4 units can reach t (the other simultaneous interaction
         // competes for the same 5-unit buffer but goes elsewhere).
@@ -318,8 +318,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(3, 4.0)]);
-        b.add_pairs(a, t, &[(3, 4.0)]);
+        b.add_pairs(s, a, &[(3, 4.0)]).unwrap();
+        b.add_pairs(a, t, &[(3, 4.0)]).unwrap();
         let g = b.build();
         assert_close(lp_max_flow(&g, s, t).unwrap().flow, 0.0);
     }
@@ -330,8 +330,9 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_interaction(s, a, tin_graph::Interaction::new(i64::MIN, f64::INFINITY));
-        b.add_pairs(a, t, &[(5, 3.0)]);
+        b.add_interaction(s, a, tin_graph::Interaction::new(i64::MIN, f64::INFINITY))
+            .unwrap();
+        b.add_pairs(a, t, &[(5, 3.0)]).unwrap();
         let g = b.build();
         let out = lp_max_flow(&g, s, t).unwrap();
         assert_close(out.flow, 3.0);
@@ -347,9 +348,9 @@ mod tests {
         let a = b.add_node("a");
         let dead = b.add_node("dead");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 10.0)]);
-        b.add_pairs(a, dead, &[(2, 6.0)]);
-        b.add_pairs(a, t, &[(3, 10.0)]);
+        b.add_pairs(s, a, &[(1, 10.0)]).unwrap();
+        b.add_pairs(a, dead, &[(2, 6.0)]).unwrap();
+        b.add_pairs(a, t, &[(3, 10.0)]).unwrap();
         let g = b.build();
         let out = lp_max_flow(&g, s, t).unwrap();
         assert_close(out.flow, 10.0);

@@ -174,13 +174,13 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]);
-        b.add_pairs(s, z, &[(10, 5.0)]);
-        b.add_pairs(x, y, &[(2, 7.0), (12, 4.0)]);
-        b.add_pairs(x, z, &[(1, 2.0), (13, 1.0)]);
-        b.add_pairs(y, t, &[(3, 3.0), (15, 2.0)]);
-        b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]);
-        b.add_pairs(s, y, &[(9, 7.0)]);
+        b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]).unwrap();
+        b.add_pairs(s, z, &[(10, 5.0)]).unwrap();
+        b.add_pairs(x, y, &[(2, 7.0), (12, 4.0)]).unwrap();
+        b.add_pairs(x, z, &[(1, 2.0), (13, 1.0)]).unwrap();
+        b.add_pairs(y, t, &[(3, 3.0), (15, 2.0)]).unwrap();
+        b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]).unwrap();
+        b.add_pairs(s, y, &[(9, 7.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -224,12 +224,12 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]);
-        b.add_pairs(s, z, &[(10, 5.0)]);
-        b.add_pairs(x, y, &[(3, 4.0)]);
-        b.add_pairs(y, t, &[(2, 7.0), (12, 4.0)]);
-        b.add_pairs(y, z, &[(1, 2.0), (13, 1.0)]);
-        b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]);
+        b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]).unwrap();
+        b.add_pairs(s, z, &[(10, 5.0)]).unwrap();
+        b.add_pairs(x, y, &[(3, 4.0)]).unwrap();
+        b.add_pairs(y, t, &[(2, 7.0), (12, 4.0)]).unwrap();
+        b.add_pairs(y, z, &[(1, 2.0), (13, 1.0)]).unwrap();
+        b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -263,8 +263,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 5.0)]);
-        b.add_pairs(a, t, &[(2, 5.0)]);
+        b.add_pairs(s, a, &[(1, 5.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 5.0)]).unwrap();
         let g = b.build();
         let out = preprocess(&g, s, t).unwrap();
         assert_eq!(out.report.interactions_removed, 0);
@@ -281,8 +281,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(10, 5.0)]);
-        b.add_pairs(a, t, &[(2, 5.0)]);
+        b.add_pairs(s, a, &[(10, 5.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 5.0)]).unwrap();
         let g = b.build();
         let out = preprocess(&g, s, t).unwrap();
         assert!(out.is_zero_flow());
@@ -296,9 +296,9 @@ mod tests {
         let u = b.add_node("u");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 5.0)]);
-        b.add_pairs(a, t, &[(3, 5.0)]);
-        b.add_pairs(u, a, &[(2, 9.0)]);
+        b.add_pairs(s, a, &[(1, 5.0)]).unwrap();
+        b.add_pairs(a, t, &[(3, 5.0)]).unwrap();
+        b.add_pairs(u, a, &[(2, 9.0)]).unwrap();
         let g = b.build();
         let out = preprocess(&g, s, t).unwrap();
         assert!(out.graph.node_by_name("u").is_none());
@@ -318,11 +318,11 @@ mod tests {
         let bb = b.add_node("b");
         let c = b.add_node("c");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 5.0)]);
-        b.add_pairs(a, bb, &[(2, 5.0)]);
-        b.add_pairs(bb, c, &[(3, 5.0)]);
-        b.add_pairs(c, t, &[(1, 5.0)]);
-        b.add_pairs(s, t, &[(9, 2.0)]);
+        b.add_pairs(s, a, &[(1, 5.0)]).unwrap();
+        b.add_pairs(a, bb, &[(2, 5.0)]).unwrap();
+        b.add_pairs(bb, c, &[(3, 5.0)]).unwrap();
+        b.add_pairs(c, t, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, t, &[(9, 2.0)]).unwrap();
         let g = b.build();
         let out = preprocess(&g, s, t).unwrap();
         assert_eq!(out.report.nodes_removed, 3);
@@ -336,8 +336,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_pairs(a, c, &[(1, 1.0)]);
-        b.add_pairs(c, a, &[(2, 1.0)]);
+        b.add_pairs(a, c, &[(1, 1.0)]).unwrap();
+        b.add_pairs(c, a, &[(2, 1.0)]).unwrap();
         let g = b.build();
         assert_eq!(preprocess(&g, a, c).unwrap_err(), GraphError::NotADag);
     }
@@ -360,9 +360,9 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 5.0)]);
-        b.add_pairs(a, t, &[(2, 4.0)]);
-        b.add_pairs(s, t, &[(0, 1.0)]);
+        b.add_pairs(s, a, &[(1, 5.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 4.0)]).unwrap();
+        b.add_pairs(s, t, &[(0, 1.0)]).unwrap();
         let g = b.build();
         let out = preprocess(&g, s, t).unwrap();
         let gs = out.source.unwrap();

@@ -144,7 +144,7 @@ fn contract_chain_interactions(w: &WorkGraph, chain: &[usize]) -> Vec<Interactio
             .interactions(pair[0], pair[1])
             .expect("chain edge exists")
             .to_vec();
-        b.add_edge(ids[i], ids[i + 1], ints);
+        b.add_edge(ids[i], ids[i + 1], ints).unwrap();
     }
     let chain_graph = b.build();
     let chain_source = ids[0];
@@ -172,9 +172,9 @@ mod tests {
         let x = b.add_node("x");
         let y = b.add_node("y");
         let t = b.add_node("t");
-        b.add_pairs(s, x, &[(1, 5.0), (4, 3.0), (5, 2.0)]);
-        b.add_pairs(x, y, &[(3, 3.0), (7, 4.0)]);
-        b.add_pairs(y, t, &[(6, 3.0), (8, 6.0)]);
+        b.add_pairs(s, x, &[(1, 5.0), (4, 3.0), (5, 2.0)]).unwrap();
+        b.add_pairs(x, y, &[(3, 3.0), (7, 4.0)]).unwrap();
+        b.add_pairs(y, t, &[(6, 3.0), (8, 6.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -209,15 +209,15 @@ mod tests {
         let w = b.add_node("w");
         let u = b.add_node("u");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]);
-        b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]);
-        b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
-        b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
-        b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
-        b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]);
-        b.add_pairs(w, t, &[(15, 7.0)]);
-        b.add_pairs(w, u, &[(13, 5.0)]);
-        b.add_pairs(u, t, &[(16, 6.0)]);
+        b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]).unwrap();
+        b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]).unwrap();
+        b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]).unwrap();
+        b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]).unwrap();
+        b.add_pairs(w, t, &[(15, 7.0)]).unwrap();
+        b.add_pairs(w, u, &[(13, 5.0)]).unwrap();
+        b.add_pairs(u, t, &[(16, 6.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -285,11 +285,11 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0)]);
-        b.add_pairs(s, z, &[(2, 3.0)]);
-        b.add_pairs(y, z, &[(3, 5.0)]);
-        b.add_pairs(y, t, &[(4, 4.0)]);
-        b.add_pairs(z, t, &[(5, 1.0)]);
+        b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
         let g = b.build();
         let out = simplify(&g, s, t);
         assert_eq!(out.report.chains_contracted, 0);
@@ -302,7 +302,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let ids: Vec<_> = (0..6).map(|i| b.add_node(format!("v{i}"))).collect();
         for (i, w) in ids.windows(2).enumerate() {
-            b.add_pairs(w[0], w[1], &[(i as i64 + 1, 10.0 - i as f64)]);
+            b.add_pairs(w[0], w[1], &[(i as i64 + 1, 10.0 - i as f64)])
+                .unwrap();
         }
         let g = b.build();
         let out = simplify(&g, ids[0], ids[5]);
@@ -323,10 +324,10 @@ mod tests {
         let a = b.add_node("a");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(10, 5.0)]);
-        b.add_pairs(a, z, &[(1, 5.0)]);
-        b.add_pairs(s, z, &[(2, 1.0)]);
-        b.add_pairs(z, t, &[(20, 9.0)]);
+        b.add_pairs(s, a, &[(10, 5.0)]).unwrap();
+        b.add_pairs(a, z, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 1.0)]).unwrap();
+        b.add_pairs(z, t, &[(20, 9.0)]).unwrap();
         let g = b.build();
         let out = simplify(&g, s, t);
         assert!(out.graph.node_by_name("a").is_none());
@@ -363,7 +364,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let s = b.add_node("s");
         let t = b.add_node("t");
-        b.add_pairs(s, t, &[(1, 3.0)]);
+        b.add_pairs(s, t, &[(1, 3.0)]).unwrap();
         let g = b.build();
         let out = simplify(&g, s, t);
         assert_eq!(out.report.chains_contracted, 0);

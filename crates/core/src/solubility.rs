@@ -52,7 +52,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let ids: Vec<_> = (0..n).map(|i| b.add_node(format!("v{i}"))).collect();
         for w in ids.windows(2) {
-            b.add_pairs(w[0], w[1], &[(1, 1.0)]);
+            b.add_pairs(w[0], w[1], &[(1, 1.0)]).unwrap();
         }
         (b.build(), ids[0], ids[n - 1])
     }
@@ -79,11 +79,11 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0)]);
-        b.add_pairs(s, z, &[(2, 3.0)]);
-        b.add_pairs(y, z, &[(3, 5.0)]);
-        b.add_pairs(y, t, &[(4, 4.0)]);
-        b.add_pairs(z, t, &[(5, 1.0)]);
+        b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
         let g = b.build();
         assert!(!is_greedy_soluble(&g, s, t));
         assert!(!is_chain(&g, s, t));
@@ -98,13 +98,13 @@ mod tests {
         let w = b.add_node("w");
         let x = b.add_node("x");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0)]);
-        b.add_pairs(y, z, &[(3, 3.0)]);
-        b.add_pairs(z, w, &[(6, 3.0)]);
-        b.add_pairs(s, x, &[(9, 2.0)]);
-        b.add_pairs(x, w, &[(10, 3.0)]);
-        b.add_pairs(w, t, &[(15, 7.0)]);
-        b.add_pairs(s, t, &[(2, 5.0)]);
+        b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 3.0)]).unwrap();
+        b.add_pairs(z, w, &[(6, 3.0)]).unwrap();
+        b.add_pairs(s, x, &[(9, 2.0)]).unwrap();
+        b.add_pairs(x, w, &[(10, 3.0)]).unwrap();
+        b.add_pairs(w, t, &[(15, 7.0)]).unwrap();
+        b.add_pairs(s, t, &[(2, 5.0)]).unwrap();
         let g = b.build();
         assert!(is_greedy_soluble(&g, s, t));
         assert!(!is_chain(&g, s, t));
@@ -117,10 +117,10 @@ mod tests {
         let a = b.add_node("a");
         let c = b.add_node("c");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 1.0)]);
-        b.add_pairs(s, c, &[(2, 1.0)]);
-        b.add_pairs(a, t, &[(3, 1.0)]);
-        b.add_pairs(c, t, &[(4, 1.0)]);
+        b.add_pairs(s, a, &[(1, 1.0)]).unwrap();
+        b.add_pairs(s, c, &[(2, 1.0)]).unwrap();
+        b.add_pairs(a, t, &[(3, 1.0)]).unwrap();
+        b.add_pairs(c, t, &[(4, 1.0)]).unwrap();
         let g = b.build();
         assert!(is_greedy_soluble(&g, s, t));
     }
@@ -132,8 +132,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 1.0)]);
-        b.add_pairs(s, t, &[(2, 1.0)]);
+        b.add_pairs(s, a, &[(1, 1.0)]).unwrap();
+        b.add_pairs(s, t, &[(2, 1.0)]).unwrap();
         let g = b.build();
         assert!(!is_greedy_soluble(&g, s, t));
     }

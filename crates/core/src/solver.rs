@@ -339,11 +339,11 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0)]);
-        b.add_pairs(s, z, &[(2, 3.0)]);
-        b.add_pairs(y, z, &[(3, 5.0)]);
-        b.add_pairs(y, t, &[(4, 4.0)]);
-        b.add_pairs(z, t, &[(5, 1.0)]);
+        b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -373,8 +373,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 5.0), (3, 2.0)]);
-        b.add_pairs(a, t, &[(2, 4.0), (4, 9.0)]);
+        b.add_pairs(s, a, &[(1, 5.0), (3, 2.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 4.0), (4, 9.0)]).unwrap();
         let g = b.build();
         let r = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap();
         assert_eq!(r.class, Some(DifficultyClass::A));
@@ -393,12 +393,12 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]);
-        b.add_pairs(s, z, &[(10, 5.0)]);
-        b.add_pairs(x, y, &[(3, 4.0)]);
-        b.add_pairs(y, t, &[(2, 7.0), (12, 4.0)]);
-        b.add_pairs(y, z, &[(1, 2.0), (13, 1.0)]);
-        b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]);
+        b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]).unwrap();
+        b.add_pairs(s, z, &[(10, 5.0)]).unwrap();
+        b.add_pairs(x, y, &[(3, 4.0)]).unwrap();
+        b.add_pairs(y, t, &[(2, 7.0), (12, 4.0)]).unwrap();
+        b.add_pairs(y, z, &[(1, 2.0), (13, 1.0)]).unwrap();
+        b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]).unwrap();
         let g = b.build();
         let r = compute_flow(&g, s, t, FlowMethod::Pre).unwrap();
         assert_eq!(r.class, Some(DifficultyClass::B));
@@ -439,15 +439,15 @@ mod tests {
         let w = b.add_node("w");
         let u = b.add_node("u");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]);
-        b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]);
-        b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
-        b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
-        b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
-        b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]);
-        b.add_pairs(w, t, &[(15, 7.0)]);
-        b.add_pairs(w, u, &[(13, 5.0)]);
-        b.add_pairs(u, t, &[(16, 6.0)]);
+        b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]).unwrap();
+        b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]).unwrap();
+        b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]).unwrap();
+        b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]).unwrap();
+        b.add_pairs(w, t, &[(15, 7.0)]).unwrap();
+        b.add_pairs(w, u, &[(13, 5.0)]).unwrap();
+        b.add_pairs(u, t, &[(16, 6.0)]).unwrap();
         let g = b.build();
         let pre = compute_flow(&g, s, t, FlowMethod::Pre).unwrap();
         let presim = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap();
@@ -475,11 +475,11 @@ mod tests {
         let c = b.add_node("c");
         let d = b.add_node("d");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(10, 5.0)]);
-        b.add_pairs(a, c, &[(2, 5.0)]);
-        b.add_pairs(a, d, &[(3, 1.0)]);
-        b.add_pairs(d, t, &[(4, 1.0)]);
-        b.add_pairs(c, t, &[(1, 5.0)]);
+        b.add_pairs(s, a, &[(10, 5.0)]).unwrap();
+        b.add_pairs(a, c, &[(2, 5.0)]).unwrap();
+        b.add_pairs(a, d, &[(3, 1.0)]).unwrap();
+        b.add_pairs(d, t, &[(4, 1.0)]).unwrap();
+        b.add_pairs(c, t, &[(1, 5.0)]).unwrap();
         let g = b.build();
         let r = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap();
         assert_close(r.flow, 0.0);
@@ -517,8 +517,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_pairs(a, c, &[(1, 1.0)]);
-        b.add_pairs(c, a, &[(2, 1.0)]);
+        b.add_pairs(a, c, &[(1, 1.0)]).unwrap();
+        b.add_pairs(c, a, &[(2, 1.0)]).unwrap();
         let cyc = b.build();
         assert_eq!(
             compute_flow(&cyc, a, c, FlowMethod::Greedy).unwrap_err(),

@@ -201,7 +201,7 @@ impl WorkGraph {
                 let (Some(src), Some(dst)) = (mapping[v], mapping[u]) else {
                     continue;
                 };
-                b.add_edge(src, dst, interactions.clone());
+                b.add_edge(src, dst, interactions.clone()).unwrap();
             }
         }
         let source = mapping[self.source];
@@ -218,10 +218,10 @@ mod tests {
     fn sample() -> (TemporalGraph, Vec<NodeId>) {
         let mut b = GraphBuilder::new();
         let ids: Vec<_> = (0..4).map(|i| b.add_node(format!("v{i}"))).collect();
-        b.add_pairs(ids[0], ids[1], &[(1, 1.0), (3, 2.0)]);
-        b.add_pairs(ids[1], ids[2], &[(2, 3.0)]);
-        b.add_pairs(ids[1], ids[3], &[(4, 4.0)]);
-        b.add_pairs(ids[2], ids[3], &[(5, 5.0)]);
+        b.add_pairs(ids[0], ids[1], &[(1, 1.0), (3, 2.0)]).unwrap();
+        b.add_pairs(ids[1], ids[2], &[(2, 3.0)]).unwrap();
+        b.add_pairs(ids[1], ids[3], &[(4, 4.0)]).unwrap();
+        b.add_pairs(ids[2], ids[3], &[(5, 5.0)]).unwrap();
         (b.build(), ids)
     }
 
@@ -301,8 +301,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_pairs(a, c, &[(1, 1.0)]);
-        b.add_pairs(c, a, &[(2, 1.0)]);
+        b.add_pairs(a, c, &[(1, 1.0)]).unwrap();
+        b.add_pairs(c, a, &[(2, 1.0)]).unwrap();
         let cyc = b.build();
         let w = WorkGraph::from_graph(&cyc, a, c);
         assert!(w.topological_order().is_none());

@@ -32,7 +32,9 @@ pub fn generate_bitcoin(config: &BitcoinConfig) -> TemporalGraph {
         let dst = sampler.sample_excluding(&mut rng, src);
         let t = timestamp(&mut rng, config.start_time, config.duration);
         let amount = heavy_tailed_amount(&mut rng, config.mean_amount);
-        builder.add_interaction(ids[src], ids[dst], Interaction::new(t, amount));
+        builder
+            .add_interaction(ids[src], ids[dst], Interaction::new(t, amount))
+            .unwrap();
         sampler.reinforce(src);
         sampler.reinforce(dst);
         emitted += 1;
@@ -42,11 +44,13 @@ pub fn generate_bitcoin(config: &BitcoinConfig) -> TemporalGraph {
         if emitted < config.interactions && rng.gen_bool(config.reciprocation) {
             let back_t = t + short_delay(&mut rng, 30 * day);
             let back_amount = (amount * rng.gen_range(0.2..0.95) * 100.0).round() / 100.0;
-            builder.add_interaction(
-                ids[dst],
-                ids[src],
-                Interaction::new(back_t, back_amount.max(0.01)),
-            );
+            builder
+                .add_interaction(
+                    ids[dst],
+                    ids[src],
+                    Interaction::new(back_t, back_amount.max(0.01)),
+                )
+                .expect("src != dst by construction");
             emitted += 1;
         }
 
@@ -59,8 +63,12 @@ pub fn generate_bitcoin(config: &BitcoinConfig) -> TemporalGraph {
                 let t2 = t1 + short_delay(&mut rng, 14 * day);
                 let a1 = (amount * rng.gen_range(0.3..0.9) * 100.0).round() / 100.0;
                 let a2 = (a1 * rng.gen_range(0.5..0.99) * 100.0).round() / 100.0;
-                builder.add_interaction(ids[dst], ids[mid], Interaction::new(t1, a1.max(0.01)));
-                builder.add_interaction(ids[mid], ids[src], Interaction::new(t2, a2.max(0.01)));
+                builder
+                    .add_interaction(ids[dst], ids[mid], Interaction::new(t1, a1.max(0.01)))
+                    .unwrap();
+                builder
+                    .add_interaction(ids[mid], ids[src], Interaction::new(t2, a2.max(0.01)))
+                    .unwrap();
                 sampler.reinforce(mid);
                 emitted += 2;
             }

@@ -52,7 +52,9 @@ pub fn generate_ctu13(config: &Ctu13Config) -> TemporalGraph {
         let bytes = heavy_tailed_amount(&mut rng, config.mean_bytes)
             .round()
             .max(40.0);
-        builder.add_interaction(ids[bot], ids[hub], Interaction::new(t, bytes));
+        builder
+            .add_interaction(ids[bot], ids[hub], Interaction::new(t, bytes))
+            .unwrap();
         emitted += 1;
 
         // Response from the hub back to the bot (2-hop cycle).
@@ -61,7 +63,9 @@ pub fn generate_ctu13(config: &Ctu13Config) -> TemporalGraph {
             let rbytes = heavy_tailed_amount(&mut rng, config.mean_bytes * 1.4)
                 .round()
                 .max(40.0);
-            builder.add_interaction(ids[hub], ids[bot], Interaction::new(rt, rbytes));
+            builder
+                .add_interaction(ids[hub], ids[bot], Interaction::new(rt, rbytes))
+                .unwrap();
             emitted += 1;
         }
 
@@ -77,8 +81,12 @@ pub fn generate_ctu13(config: &Ctu13Config) -> TemporalGraph {
             let b2 = heavy_tailed_amount(&mut rng, config.mean_bytes)
                 .round()
                 .max(40.0);
-            builder.add_interaction(ids[hub], ids[other], Interaction::new(t1, b1));
-            builder.add_interaction(ids[other], ids[bot], Interaction::new(t2, b2));
+            builder
+                .add_interaction(ids[hub], ids[other], Interaction::new(t1, b1))
+                .unwrap();
+            builder
+                .add_interaction(ids[other], ids[bot], Interaction::new(t2, b2))
+                .unwrap();
             emitted += 2;
         }
     }

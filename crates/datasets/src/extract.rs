@@ -148,11 +148,13 @@ pub fn extract_seed_subgraph(
     for &v in &intermediates {
         if let Some(e) = graph.find_edge(seed, v) {
             let edge = graph.edge(e);
-            b.add_edge(source, sub_id[&v], edge.interactions.clone());
+            b.add_edge(source, sub_id[&v], edge.interactions.clone())
+                .unwrap();
         }
         if let Some(e) = graph.find_edge(v, seed) {
             let edge = graph.edge(e);
-            b.add_edge(sub_id[&v], sink, edge.interactions.clone());
+            b.add_edge(sub_id[&v], sink, edge.interactions.clone())
+                .unwrap();
         }
     }
     for &v in &intermediates {
@@ -174,7 +176,8 @@ pub fn extract_seed_subgraph(
     }
     for (v, u) in accepted {
         let edge = graph.edge(graph.find_edge(v, u).expect("edge exists"));
-        b.add_edge(sub_id[&v], sub_id[&u], edge.interactions.clone());
+        b.add_edge(sub_id[&v], sub_id[&u], edge.interactions.clone())
+            .unwrap();
     }
 
     let sub = b.build();

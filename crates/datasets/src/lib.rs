@@ -48,7 +48,10 @@ pub use config::{
 };
 pub use ctu13::generate_ctu13;
 pub use extract::{extract_seed_subgraphs, ExtractConfig, SeedSubgraph};
-pub use loader::{load_path, load_reader, load_str, IngestReport, LoadedDataset};
+pub use loader::{
+    load_batches, load_path, load_reader, load_str, DeltaBatches, DeltaStream, IngestReport,
+    LoadedDataset,
+};
 pub use prosper::generate_prosper;
 pub use stats::{dataset_stats, subgraph_stats, DatasetStats, SubgraphStats};
 pub use tin_graph::ParseMode;

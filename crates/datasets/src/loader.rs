@@ -17,6 +17,10 @@
 //!   [`tin_graph::io::from_text`];
 //! * **header detection** and **column mapping** by position or by header
 //!   name, so real exports with extra columns load without preprocessing;
+//! * **RFC 4180 quoting** — delimiters embedded in quoted fields do not
+//!   split, and the doubled-quote escape `""` unquotes to a literal `"`
+//!   (embedded line breaks remain unsupported: the loader is line-oriented,
+//!   and the transaction logs it targets do not wrap records);
 //! * **timestamp scaling** — integer epochs pass through untouched,
 //!   fractional epochs are scaled (e.g. ×1000 for millisecond precision)
 //!   before rounding to [`tin_graph::Time`];
@@ -28,13 +32,27 @@
 //! text format (self-loop rejection, canonical `inf` spelling, non-negative
 //! quantities), because both funnel through
 //! [`tin_graph::StreamingParser::push_parsed`].
+//!
+//! ## One-shot vs batched loading
+//!
+//! [`load_reader`] / [`load_path`] / [`load_str`] consume a whole source
+//! into a [`LoadedDataset`]. Underneath they drive the same engine a live
+//! pipeline uses directly: [`DeltaStream`] tokenizes the source
+//! incrementally and [`DeltaStream::next_delta`] hands back a validated
+//! [`GraphDelta`] every `N` accepted records, ready for
+//! [`tin_graph::TemporalGraph::apply`]. [`load_batches`] wraps that in an
+//! iterator. Because the one-shot path is literally the batched path with
+//! one giant batch, ingest → append → incremental index maintenance →
+//! pattern search runs end-to-end in memory bounded by the *graph*, never
+//! by the log.
 
 use crate::config::{ColumnMap, Delimiter, HeaderMode, LoaderConfig};
+use std::borrow::Cow;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 use tin_graph::io::parse_quantity;
-use tin_graph::{GraphError, ParseMode, StreamingParser, TemporalGraph};
+use tin_graph::{GraphDelta, GraphError, ParseMode, StreamingParser, TemporalGraph};
 
 /// What happened while loading a source: row accounting plus the format
 /// decisions (delimiter, header) the loader made, so callers can log exactly
@@ -92,37 +110,121 @@ struct RowShape {
     error_columns: [usize; 4],
 }
 
-/// Loads a delimited `(sender, recipient, timestamp, amount)` log from any
-/// reader. See the module docs for the format rules.
-pub fn load_reader<R: Read>(reader: R, config: &LoaderConfig) -> Result<LoadedDataset, GraphError> {
-    for (scale, what) in [
-        (config.timestamp_scale, "timestamp_scale"),
-        (config.amount_scale, "amount_scale"),
-    ] {
-        if !(scale.is_finite() && scale > 0.0) {
-            return Err(GraphError::Invalid {
-                message: format!("{what} must be a positive finite number, got {scale}"),
-            });
+/// The incremental CSV/delimited-log tokenizer: reads a source line by line
+/// in bounded memory and emits validated [`GraphDelta`]s on demand.
+///
+/// This is the engine under [`load_reader`] (one giant batch) and
+/// [`load_batches`] (fixed-size batches); drive it directly for follow-style
+/// pipelines that interleave ingestion with queries:
+///
+/// ```
+/// use tin_datasets::{DeltaStream, LoaderConfig};
+/// use tin_graph::TemporalGraph;
+///
+/// let csv = "sender,recipient,timestamp,amount\na,b,1,2.5\nb,c,2,1.0\nc,a,3,4.0\n";
+/// let mut stream = DeltaStream::new(csv.as_bytes(), &LoaderConfig::default()).unwrap();
+/// let mut graph = TemporalGraph::new();
+/// while let Some(delta) = stream.next_delta(2).unwrap() {
+///     graph.apply(&delta).unwrap();
+///     // ... run queries against the live graph here ...
+/// }
+/// assert_eq!(graph.interaction_count(), 3);
+/// assert_eq!(stream.report().rows, 3);
+/// ```
+pub struct DeltaStream<R: Read> {
+    reader: BufReader<R>,
+    parser: StreamingParser,
+    config: LoaderConfig,
+    buf: String,
+    ranges: Vec<(usize, usize)>,
+    shape: Option<RowShape>,
+    had_header: bool,
+    eof: bool,
+}
+
+impl<R: Read> DeltaStream<R> {
+    /// Creates a stream over `reader`. Fails up front on unusable
+    /// configuration (non-positive scale factors).
+    pub fn new(reader: R, config: &LoaderConfig) -> Result<Self, GraphError> {
+        for (scale, what) in [
+            (config.timestamp_scale, "timestamp_scale"),
+            (config.amount_scale, "amount_scale"),
+        ] {
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(GraphError::Invalid {
+                    message: format!("{what} must be a positive finite number, got {scale}"),
+                });
+            }
+        }
+        Ok(DeltaStream {
+            reader: BufReader::new(reader),
+            parser: StreamingParser::new(config.mode),
+            config: config.clone(),
+            buf: String::new(),
+            ranges: Vec::new(),
+            shape: None,
+            had_header: false,
+            eof: false,
+        })
+    }
+
+    /// Reads until `max_records` further records are accepted (or the source
+    /// ends) and returns them as a [`GraphDelta`] for
+    /// [`tin_graph::TemporalGraph::apply`]. Returns `Ok(None)` once the
+    /// source is exhausted and everything has been emitted.
+    ///
+    /// Deltas must be applied in the order they are returned (each is built
+    /// against the vertex count left by its predecessors). A `max_records`
+    /// of 0 is treated as 1.
+    ///
+    /// In strict mode the first bad record surfaces here as
+    /// [`GraphError::Ingest`]; records accepted earlier in the same batch
+    /// are lost with it, mirroring the all-or-nothing contract of
+    /// [`load_reader`].
+    pub fn next_delta(&mut self, max_records: usize) -> Result<Option<GraphDelta>, GraphError> {
+        let target = max_records.max(1) as u64;
+        let start = self.parser.records();
+        while !self.eof && self.parser.records() - start < target {
+            self.buf.clear();
+            let n = self
+                .reader
+                .read_line(&mut self.buf)
+                .map_err(GraphError::from_io)?;
+            if n == 0 {
+                self.eof = true;
+                break;
+            }
+            self.process_line(n)?;
+        }
+        let delta = self.parser.drain_delta();
+        if delta.is_empty() && self.eof {
+            return Ok(None);
+        }
+        Ok(Some(delta))
+    }
+
+    /// Cumulative accounting over everything consumed so far.
+    pub fn report(&self) -> IngestReport {
+        IngestReport {
+            rows: self.parser.records(),
+            skipped: self.parser.skipped(),
+            bytes: self.parser.byte_offset(),
+            lines: self.parser.line() - 1,
+            delimiter: self
+                .shape
+                .as_ref()
+                .map_or(self.config.delimiter, |s| s.delimiter),
+            had_header: self.had_header,
         }
     }
 
-    let mut parser = StreamingParser::new(config.mode);
-    let mut reader = BufReader::new(reader);
-    let mut buf = String::new();
-    let mut ranges: Vec<(usize, usize)> = Vec::new();
-    let mut shape: Option<RowShape> = None;
-    let mut had_header = false;
-
-    loop {
-        buf.clear();
-        let n = reader.read_line(&mut buf).map_err(GraphError::from_io)?;
-        if n == 0 {
-            break;
-        }
-        let line = buf.trim_end_matches(['\n', '\r']).trim();
+    /// Tokenizes and ingests one raw input line of `n` bytes (terminator
+    /// included).
+    fn process_line(&mut self, n: usize) -> Result<(), GraphError> {
+        let line = self.buf.trim_end_matches(['\n', '\r']).trim();
         if line.is_empty() || line.starts_with('#') {
-            parser.advance_line(n);
-            continue;
+            self.parser.advance_line(n);
+            return Ok(());
         }
         // Lenient re-sync: until the first record is accepted, a row that
         // does not match the locked shape means the shape came from
@@ -131,30 +233,30 @@ pub fn load_reader<R: Read>(reader: R, config: &LoaderConfig) -> Result<LoadedDa
         // shape, count the bogus header as a skip, and re-resolve from the
         // current line. Once a record has been accepted the shape is
         // trusted and mismatching rows are ordinary bad rows.
-        if config.mode == ParseMode::Lenient && parser.records() == 0 {
-            if let Some(s) = &shape {
-                split_ranges(line, s.delimiter, &mut ranges);
-                if ranges.len() != s.fields {
-                    shape = None;
-                    if had_header {
-                        had_header = false;
-                        let err = parser.error(
+        if self.config.mode == ParseMode::Lenient && self.parser.records() == 0 {
+            if let Some(s) = &self.shape {
+                split_ranges(line, s.delimiter, &mut self.ranges);
+                if self.ranges.len() != s.fields {
+                    self.shape = None;
+                    if self.had_header {
+                        self.had_header = false;
+                        let err = self.parser.error(
                             0,
                             "re-syncing: earlier content line was not the real header",
                         );
-                        parser.reject(err)?;
+                        self.parser.reject(err)?;
                     }
                 }
             }
         }
-        if shape.is_none() {
-            match resolve_shape(line, config, &parser, &mut ranges) {
+        if self.shape.is_none() {
+            match resolve_shape(line, &self.config, &self.parser, &mut self.ranges) {
                 Ok((s, is_header)) => {
-                    shape = Some(s);
+                    self.shape = Some(s);
                     if is_header {
-                        had_header = true;
-                        parser.advance_line(n);
-                        continue;
+                        self.had_header = true;
+                        self.parser.advance_line(n);
+                        return Ok(());
                     }
                 }
                 // Lenient mode skips unusable *rows* (preamble junk the
@@ -162,29 +264,98 @@ pub fn load_reader<R: Read>(reader: R, config: &LoaderConfig) -> Result<LoadedDa
                 // on the next content line; config-level failures
                 // (`Invalid`) and I/O errors abort in either mode.
                 Err(err @ GraphError::Ingest { .. }) => {
-                    parser.reject(err)?;
-                    parser.advance_line(n);
-                    continue;
+                    self.parser.reject(err)?;
+                    self.parser.advance_line(n);
+                    return Ok(());
                 }
                 Err(err) => return Err(err),
             }
         }
-        let row_shape = shape.as_ref().expect("shape resolved above");
-        ingest_row(line, row_shape, config, &mut parser, &mut ranges)?;
-        parser.advance_line(n);
+        let row_shape = self.shape.as_ref().expect("shape resolved above");
+        ingest_row(
+            line,
+            row_shape,
+            &self.config,
+            &mut self.parser,
+            &mut self.ranges,
+        )?;
+        self.parser.advance_line(n);
+        Ok(())
     }
+}
 
-    let report = IngestReport {
-        rows: parser.records(),
-        skipped: parser.skipped(),
-        bytes: parser.byte_offset(),
-        lines: parser.line() - 1,
-        delimiter: shape.as_ref().map_or(config.delimiter, |s| s.delimiter),
-        had_header,
-    };
+/// Iterator over fixed-size [`GraphDelta`] batches, as produced by
+/// [`load_batches`]. Fuses after the first error.
+pub struct DeltaBatches<R: Read> {
+    stream: DeltaStream<R>,
+    batch_records: usize,
+    failed: bool,
+}
+
+impl<R: Read> DeltaBatches<R> {
+    /// Cumulative accounting over everything consumed so far.
+    pub fn report(&self) -> IngestReport {
+        self.stream.report()
+    }
+}
+
+impl<R: Read> Iterator for DeltaBatches<R> {
+    type Item = Result<GraphDelta, GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.stream.next_delta(self.batch_records) {
+            Ok(delta) => delta.map(Ok),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Streams a delimited log as [`GraphDelta`]s of (up to) `batch_records`
+/// accepted records each — the bounded-memory entry point for feeding a
+/// live graph:
+///
+/// ```
+/// use tin_datasets::{load_batches, LoaderConfig};
+/// use tin_graph::TemporalGraph;
+///
+/// let csv = "a,b,1,2.5\nb,c,2,1.0\nc,a,3,4.0\n";
+/// let mut graph = TemporalGraph::new();
+/// for delta in load_batches(csv.as_bytes(), &LoaderConfig::default(), 2).unwrap() {
+///     graph.apply(&delta.unwrap()).unwrap();
+/// }
+/// assert_eq!(graph.node_count(), 3);
+/// ```
+pub fn load_batches<R: Read>(
+    reader: R,
+    config: &LoaderConfig,
+    batch_records: usize,
+) -> Result<DeltaBatches<R>, GraphError> {
+    Ok(DeltaBatches {
+        stream: DeltaStream::new(reader, config)?,
+        batch_records,
+        failed: false,
+    })
+}
+
+/// Loads a delimited `(sender, recipient, timestamp, amount)` log from any
+/// reader. See the module docs for the format rules.
+pub fn load_reader<R: Read>(reader: R, config: &LoaderConfig) -> Result<LoadedDataset, GraphError> {
+    let mut stream = DeltaStream::new(reader, config)?;
+    let mut graph = TemporalGraph::new();
+    while let Some(delta) = stream.next_delta(usize::MAX)? {
+        graph
+            .apply(&delta)
+            .expect("stream deltas apply in drain order");
+    }
     Ok(LoadedDataset {
-        graph: parser.finish(),
-        report,
+        graph,
+        report: stream.report(),
     })
 }
 
@@ -202,24 +373,40 @@ pub fn load_str(text: &str, config: &LoaderConfig) -> Result<LoadedDataset, Grap
     load_reader(text.as_bytes(), config)
 }
 
+/// Counts occurrences of `c` in `line` that fall outside double-quoted
+/// regions (RFC 4180: a delimiter inside quotes is field content).
+fn count_unquoted(line: &str, c: char) -> usize {
+    let mut count = 0;
+    let mut in_quotes = false;
+    for ch in line.chars() {
+        if ch == '"' {
+            in_quotes = !in_quotes;
+        } else if ch == c && !in_quotes {
+            count += 1;
+        }
+    }
+    count
+}
+
 /// Picks the delimiter for a file whose first content line is `line`: the
-/// most frequent of comma, tab and semicolon (ties broken in that order),
-/// falling back to whitespace splitting when none occurs.
+/// most frequent of comma, tab and semicolon outside quoted regions (ties
+/// broken in that order), falling back to whitespace splitting when none
+/// occurs.
 fn infer_delimiter(line: &str) -> Delimiter {
-    let best = [',', '\t', ';']
+    let counts = [',', '\t', ';'].map(|c| (count_unquoted(line, c), c));
+    let best = counts
         .into_iter()
-        .map(|c| (line.matches(c).count(), c))
         .max_by_key(|&(count, _)| count)
         .expect("candidate list is non-empty");
     match best {
         (0, _) => Delimiter::Whitespace,
-        (_, c) => {
+        (count, c) => {
             // max_by_key returns the *last* max on ties; re-scan in
             // precedence order for the first candidate with the same count.
-            let count = best.0;
-            let c = [',', '\t', ';']
+            let c = counts
                 .into_iter()
-                .find(|&cand| line.matches(cand).count() == count)
+                .find(|&(n, _)| n == count)
+                .map(|(_, c)| c)
                 .unwrap_or(c);
             Delimiter::Char(c)
         }
@@ -227,16 +414,22 @@ fn infer_delimiter(line: &str) -> Delimiter {
 }
 
 /// Splits `line` by `delimiter` into byte ranges pushed onto `out` (reused
-/// across rows). Ranges are produced raw; [`clean_field`] trims and unquotes
-/// on access.
+/// across rows). A delimiter character inside a double-quoted region does
+/// not split (RFC 4180). Ranges are produced raw — quotes included —
+/// and [`clean_field`] trims and unquotes on access.
 fn split_ranges(line: &str, delimiter: Delimiter, out: &mut Vec<(usize, usize)>) {
     out.clear();
     match delimiter {
         Delimiter::Char(c) => {
             let mut start = 0;
-            for (i, _) in line.match_indices(c) {
-                out.push((start, i));
-                start = i + c.len_utf8();
+            let mut in_quotes = false;
+            for (i, ch) in line.char_indices() {
+                if ch == '"' {
+                    in_quotes = !in_quotes;
+                } else if ch == c && !in_quotes {
+                    out.push((start, i));
+                    start = i + c.len_utf8();
+                }
             }
             out.push((start, line.len()));
         }
@@ -250,16 +443,18 @@ fn split_ranges(line: &str, delimiter: Delimiter, out: &mut Vec<(usize, usize)>)
     }
 }
 
-/// Trims a raw field and strips one pair of surrounding double quotes.
-/// Escaped quotes / embedded delimiters inside quoted fields are not
-/// supported (the transaction logs this loader targets do not use them); a
-/// field that needs them will fail validation loudly rather than load wrong.
-fn clean_field(field: &str) -> &str {
+/// Trims a raw field, strips one pair of surrounding double quotes, and
+/// unescapes the RFC 4180 doubled-quote escape (`""` → `"`) inside quoted
+/// fields — allocation-free unless an escape is actually present. A field
+/// that is quoted incorrectly (e.g. an unterminated quote) is passed
+/// through raw and fails validation loudly rather than loading wrong.
+fn clean_field(field: &str) -> Cow<'_, str> {
     let field = field.trim();
-    field
-        .strip_prefix('"')
-        .and_then(|f| f.strip_suffix('"'))
-        .unwrap_or(field)
+    match field.strip_prefix('"').and_then(|f| f.strip_suffix('"')) {
+        Some(inner) if inner.contains("\"\"") => Cow::Owned(inner.replace("\"\"", "\"")),
+        Some(inner) => Cow::Borrowed(inner),
+        None => Cow::Borrowed(field),
+    }
 }
 
 /// Resolves delimiter, column indices and header-ness from the first content
@@ -300,7 +495,8 @@ fn resolve_shape(
                 match (0..fields).find(|&i| field(i).eq_ignore_ascii_case(name)) {
                     Some(i) => columns[slot] = i,
                     None => {
-                        let headers: Vec<&str> = (0..fields).map(field).collect();
+                        let headers: Vec<String> =
+                            (0..fields).map(|i| field(i).into_owned()).collect();
                         return Err(parser.error(
                             0,
                             format!("column `{name}` not found in header {headers:?}"),
@@ -334,8 +530,8 @@ fn resolve_shape(
                 // A header is any first line whose mapped timestamp or
                 // amount cell is not numeric.
                 HeaderMode::Auto => {
-                    parse_scaled_timestamp(field(columns[2]), config.timestamp_scale).is_err()
-                        || parse_quantity(field(columns[3])).is_err()
+                    parse_scaled_timestamp(&field(columns[2]), config.timestamp_scale).is_err()
+                        || parse_quantity(&field(columns[3])).is_err()
                 }
             };
             (columns, is_header)
@@ -401,14 +597,14 @@ fn ingest_row(
         return parser.reject(err).map(drop);
     }
     let field = |i: usize| clean_field(&line[ranges[i].0..ranges[i].1]);
-    let time = match parse_scaled_timestamp(field(shape.columns[2]), config.timestamp_scale) {
+    let time = match parse_scaled_timestamp(&field(shape.columns[2]), config.timestamp_scale) {
         Ok(t) => t,
         Err(message) => {
             let err = parser.error(shape.error_columns[2], message);
             return parser.reject(err).map(drop);
         }
     };
-    let quantity = match parse_quantity(field(shape.columns[3])) {
+    let quantity = match parse_quantity(&field(shape.columns[3])) {
         Ok(q) => q * config.amount_scale,
         Err(message) => {
             let err = parser.error(shape.error_columns[3], message);
@@ -416,8 +612,8 @@ fn ingest_row(
         }
     };
     parser.push_parsed(
-        field(shape.columns[0]),
-        field(shape.columns[1]),
+        &field(shape.columns[0]),
+        &field(shape.columns[1]),
         time,
         quantity,
         shape.error_columns,
@@ -701,6 +897,59 @@ d,e,300,4.0
     }
 
     #[test]
+    fn quoted_fields_keep_embedded_delimiters() {
+        // RFC 4180: a comma inside a quoted field is content, not a split.
+        let csv = "sender,recipient,timestamp,amount\n\"Smith, John\",\"Doe, Jane\",100,2.5\n";
+        let loaded = load_str(csv, &strict()).unwrap();
+        assert_eq!(loaded.report.rows, 1);
+        let g = &loaded.graph;
+        assert!(g.node_by_name("Smith, John").is_some());
+        assert!(g.node_by_name("Doe, Jane").is_some());
+    }
+
+    #[test]
+    fn doubled_quotes_unescape_to_literal_quotes() {
+        // RFC 4180: `""` inside a quoted field is one literal `"`.
+        let csv = "sender,recipient,timestamp,amount\n\"acct \"\"prime\"\"\",b,100,2.5\n";
+        let g = load_str(csv, &strict()).unwrap().graph;
+        assert!(
+            g.node_by_name("acct \"prime\"").is_some(),
+            "names: {:?}",
+            g.nodes().iter().map(|n| &n.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn quoted_delimiters_do_not_confuse_inference() {
+        // The first line's quoted commas must not out-vote the actual
+        // semicolon delimiter.
+        let csv = "\"a,very,long,name\";b;100;2.5\nb;c;200;1.0\n";
+        let loaded = load_str(csv, &strict()).unwrap();
+        assert_eq!(loaded.report.delimiter, Delimiter::Char(';'));
+        assert_eq!(loaded.report.rows, 2);
+        assert!(loaded.graph.node_by_name("a,very,long,name").is_some());
+    }
+
+    #[test]
+    fn unterminated_quote_fails_loudly_not_wrong() {
+        // An unterminated quote swallows the rest of the line into one
+        // field; the row then has too few fields and is reported, never
+        // silently mis-split.
+        let csv = "sender,recipient,timestamp,amount\n\"broken,b,100,2.5\nb,c,200,1.0\n";
+        match load_str(csv, &strict()) {
+            Err(GraphError::Ingest { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Ingest, got {other:?}"),
+        }
+        // Lenient mode re-syncs: because no record was accepted yet, the
+        // mismatch makes it distrust the header (one skip) and the broken
+        // row itself cannot seed a shape (second skip); parsing then locks
+        // onto the clean row.
+        let loaded = load_str(csv, &lenient()).unwrap();
+        assert_eq!(loaded.report.rows, 1);
+        assert_eq!(loaded.report.skipped, 2);
+    }
+
+    #[test]
     fn column_mapping_out_of_range_is_reported_on_line_one() {
         let config = LoaderConfig {
             columns: crate::config::ColumnMap::Indices {
@@ -744,5 +993,84 @@ d,e,300,4.0
         let loaded = load_str("a,b,1,2\n", &strict()).unwrap();
         let s = loaded.report.to_string();
         assert!(s.contains("1 rows") && s.contains("`,`"), "got: {s}");
+    }
+
+    // --- Batched / follow-style loading ------------------------------------
+
+    #[test]
+    fn batched_loading_equals_one_shot_loading() {
+        let csv = "\
+sender,recipient,timestamp,amount
+a,b,100,2.5
+b,c,200,1.0
+c,a,300,4.0
+a,c,400,0.5
+b,a,500,2.0
+";
+        let whole = load_str(csv, &strict()).unwrap();
+        for batch in [1, 2, 3, 100] {
+            let mut graph = TemporalGraph::new();
+            let mut batches = load_batches(csv.as_bytes(), &strict(), batch).unwrap();
+            let mut count = 0;
+            for delta in &mut batches {
+                graph.apply(&delta.unwrap()).unwrap();
+                count += 1;
+            }
+            assert_eq!(graph, whole.graph, "batch size {batch}");
+            assert_eq!(batches.report(), whole.report, "batch size {batch}");
+            if batch >= 5 {
+                assert_eq!(count, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn batches_respect_the_record_limit() {
+        let csv = "a,b,1,1\nb,c,2,1\nc,a,3,1\n";
+        let mut stream = DeltaStream::new(csv.as_bytes(), &strict()).unwrap();
+        let first = stream.next_delta(2).unwrap().unwrap();
+        assert_eq!(first.interactions().len(), 2);
+        assert_eq!(first.base_nodes(), 0);
+        let second = stream.next_delta(2).unwrap().unwrap();
+        assert_eq!(second.interactions().len(), 1);
+        assert_eq!(second.base_nodes(), 3, "a, b, c arrived in batch one");
+        assert!(stream.next_delta(2).unwrap().is_none());
+        // Exhausted streams keep answering None.
+        assert!(stream.next_delta(2).unwrap().is_none());
+    }
+
+    #[test]
+    fn lenient_batches_skip_and_keep_going() {
+        let csv = "a,b,1,1\njunk line that is not a record\nb,c,2,1\n";
+        let mut graph = TemporalGraph::new();
+        let mut batches = load_batches(csv.as_bytes(), &lenient(), 1).unwrap();
+        for delta in &mut batches {
+            graph.apply(&delta.unwrap()).unwrap();
+        }
+        assert_eq!(graph.interaction_count(), 2);
+        assert_eq!(batches.report().skipped, 1);
+    }
+
+    #[test]
+    fn strict_batch_error_fuses_the_iterator() {
+        let csv = "a,b,1,1\nc,c,2,1\nd,e,3,1\n";
+        let config = LoaderConfig {
+            header: HeaderMode::Absent,
+            ..LoaderConfig::default()
+        };
+        let mut batches = load_batches(csv.as_bytes(), &config, 10).unwrap();
+        assert!(matches!(
+            batches.next(),
+            Some(Err(GraphError::Ingest { line: 2, .. }))
+        ));
+        assert!(batches.next().is_none(), "iterator fuses after the error");
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped_to_one() {
+        let csv = "a,b,1,1\nb,c,2,1\n";
+        let mut stream = DeltaStream::new(csv.as_bytes(), &strict()).unwrap();
+        let first = stream.next_delta(0).unwrap().unwrap();
+        assert_eq!(first.interactions().len(), 1);
     }
 }

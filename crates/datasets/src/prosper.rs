@@ -40,7 +40,9 @@ pub fn generate_prosper(config: &ProsperConfig) -> TemporalGraph {
         }
         let t = timestamp(&mut rng, config.start_time, config.duration);
         let amount = heavy_tailed_amount(&mut rng, config.mean_amount);
-        builder.add_interaction(ids[lender], ids[borrower], Interaction::new(t, amount));
+        builder
+            .add_interaction(ids[lender], ids[borrower], Interaction::new(t, amount))
+            .unwrap();
         lender_sampler.reinforce(lender);
         emitted += 1;
 
@@ -51,11 +53,9 @@ pub fn generate_prosper(config: &ProsperConfig) -> TemporalGraph {
             if next != borrower && next != lender {
                 let t2 = t + short_delay(&mut rng, 90 * day);
                 let a2 = (amount * rng.gen_range(0.3..0.9) * 100.0).round() / 100.0;
-                builder.add_interaction(
-                    ids[borrower],
-                    ids[next],
-                    Interaction::new(t2, a2.max(0.01)),
-                );
+                builder
+                    .add_interaction(ids[borrower], ids[next], Interaction::new(t2, a2.max(0.01)))
+                    .expect("src != dst by construction");
                 emitted += 1;
             }
         }
@@ -67,11 +67,13 @@ pub fn generate_prosper(config: &ProsperConfig) -> TemporalGraph {
         {
             let t3 = t + short_delay(&mut rng, 365 * day);
             let a3 = (amount * rng.gen_range(0.8..1.1) * 100.0).round() / 100.0;
-            builder.add_interaction(
-                ids[borrower],
-                ids[lender],
-                Interaction::new(t3, a3.max(0.01)),
-            );
+            builder
+                .add_interaction(
+                    ids[borrower],
+                    ids[lender],
+                    Interaction::new(t3, a3.max(0.01)),
+                )
+                .expect("src != dst by construction");
             emitted += 1;
         }
     }

@@ -1,28 +1,55 @@
 //! Incremental construction of [`TemporalGraph`]s.
 
-use crate::graph::{Edge, Node, TemporalGraph};
+use crate::delta::GraphDelta;
+use crate::error::GraphError;
+use crate::graph::{Node, TemporalGraph};
 use crate::ids::NodeId;
-use crate::interaction::{sort_chronologically, Interaction};
-use std::collections::HashMap;
+use crate::interaction::Interaction;
+use std::collections::{HashMap, HashSet};
 
-/// Builder for [`TemporalGraph`].
+/// Builder for [`TemporalGraph`]s — and for [`GraphDelta`]s appended to one.
 ///
-/// The builder accepts nodes and interactions in any order. When
-/// [`GraphBuilder::build`] is called:
+/// The builder accepts nodes and interactions in any order and stages them
+/// as a delta. There are two ways to consume the staged work:
 ///
-/// * interactions added for the same ordered pair `(src, dst)` are merged
-///   into a single edge (the paper's model has one edge per vertex pair,
-///   carrying the full interaction sequence);
-/// * every edge's interaction list is sorted chronologically;
-/// * edges are emitted in first-insertion order of their `(src, dst)` pair,
-///   which keeps identifiers stable and deterministic.
+/// * [`GraphBuilder::build`] — the classic one-shot path: the staged delta
+///   is applied to an empty graph. Interactions for the same ordered pair
+///   `(src, dst)` are merged into a single edge (the paper's model has one
+///   edge per vertex pair, carrying the full interaction sequence), every
+///   edge's interaction sequence comes out chronologically sorted, and edges
+///   are numbered in first-insertion order of their pair.
+/// * [`GraphBuilder::drain_delta`] — the streaming path: the staged nodes
+///   and interactions are emitted as a [`GraphDelta`] and the builder keeps
+///   going (its name index and identifier numbering survive the drain), so
+///   a long log can be folded into a live graph batch by batch with
+///   [`TemporalGraph::apply`].
+///
+/// Both paths funnel through [`TemporalGraph::apply`], so they cannot drift
+/// apart: a one-shot build **is** an apply of one big delta, and applying
+/// the same records as many small deltas yields the identical graph.
+///
+/// Self-loop interactions (`src == dst`) are rejected at insertion with
+/// [`GraphError::SelfLoop`]: the DAG pipeline treats them as cycles and the
+/// text interchange format refuses to carry them, so accepting them here
+/// would only defer the failure to a far-away layer.
 #[derive(Debug, Default, Clone)]
 pub struct GraphBuilder {
+    /// Vertices that existed in the target graph before this builder was
+    /// created ([`GraphBuilder::for_graph`]); 0 for a from-scratch build.
+    base_nodes: usize,
+    /// New vertices already emitted by earlier [`GraphBuilder::drain_delta`]
+    /// calls (their `Node`s moved out with the deltas; the name index still
+    /// knows them).
+    emitted_nodes: usize,
+    /// Staged new vertices, numbered `base + emitted`, `base + emitted + 1`,
+    /// ...
     nodes: Vec<Node>,
     name_index: HashMap<String, NodeId>,
-    /// Interactions per ordered pair, in first-insertion order of the pair.
-    edge_order: Vec<(NodeId, NodeId)>,
-    edge_map: HashMap<(NodeId, NodeId), Vec<Interaction>>,
+    /// Staged interactions in arrival order (pair merging happens in
+    /// [`TemporalGraph::apply`]).
+    staged: Vec<(NodeId, NodeId, Interaction)>,
+    /// Distinct `(src, dst)` pairs among the staged interactions.
+    staged_pairs: HashSet<(NodeId, NodeId)>,
 }
 
 impl GraphBuilder {
@@ -35,11 +62,44 @@ impl GraphBuilder {
     /// vertex pairs.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
         GraphBuilder {
+            base_nodes: 0,
+            emitted_nodes: 0,
             nodes: Vec::with_capacity(nodes),
             name_index: HashMap::with_capacity(nodes),
-            edge_order: Vec::with_capacity(edges),
-            edge_map: HashMap::with_capacity(edges),
+            staged: Vec::with_capacity(edges),
+            staged_pairs: HashSet::with_capacity(edges),
         }
+    }
+
+    /// Creates a builder that stages *appends* to `graph`: existing vertices
+    /// are resolvable by name through [`GraphBuilder::get_or_add_node`], new
+    /// vertices are numbered after the existing ones, and every drained
+    /// [`GraphDelta`] is ready for [`TemporalGraph::apply`] on that graph.
+    ///
+    /// Where several existing vertices share a name, the smallest identifier
+    /// wins (the same rule [`GraphBuilder::add_node`] uses for duplicate
+    /// names within one builder).
+    pub fn for_graph(graph: &TemporalGraph) -> Self {
+        let mut name_index = HashMap::with_capacity(graph.node_count());
+        for (i, node) in graph.nodes().iter().enumerate() {
+            name_index
+                .entry(node.name.clone())
+                .or_insert(NodeId::from_index(i));
+        }
+        GraphBuilder {
+            base_nodes: graph.node_count(),
+            emitted_nodes: 0,
+            nodes: Vec::new(),
+            name_index,
+            staged: Vec::new(),
+            staged_pairs: HashSet::new(),
+        }
+    }
+
+    /// Total number of vertices known to the builder (pre-existing, emitted
+    /// and staged); the next [`GraphBuilder::add_node`] gets this identifier.
+    fn total_nodes(&self) -> usize {
+        self.base_nodes + self.emitted_nodes + self.nodes.len()
     }
 
     /// Adds a new node with the given external name and returns its id.
@@ -48,7 +108,7 @@ impl GraphBuilder {
     /// should be used when they are meant to act as keys.
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
         let name = name.into();
-        let id = NodeId::from_index(self.nodes.len());
+        let id = NodeId::from_index(self.total_nodes());
         self.name_index.entry(name.clone()).or_insert(id);
         self.nodes.push(Node { name });
         id
@@ -63,70 +123,125 @@ impl GraphBuilder {
         self.add_node(name)
     }
 
-    /// Number of nodes added so far.
+    /// Number of nodes known to the builder (for a builder that never
+    /// drained, exactly the nodes added so far).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.total_nodes()
     }
 
-    /// Number of distinct `(src, dst)` pairs added so far.
+    /// Number of distinct `(src, dst)` pairs among the currently staged
+    /// interactions (resets when a delta is drained).
     pub fn edge_count(&self) -> usize {
-        self.edge_order.len()
+        self.staged_pairs.len()
     }
 
-    /// Adds a single interaction on the edge `(src, dst)`.
+    /// Stages a single interaction on the edge `(src, dst)`.
+    ///
+    /// Self-loops (`src == dst`) are rejected with [`GraphError::SelfLoop`]:
+    /// the resulting graph could never be serialized to the text format nor
+    /// enter the DAG pipeline. NaN or negative quantities (constructible by
+    /// writing [`Interaction`]'s public fields directly) are rejected with
+    /// [`GraphError::Invalid`] — the same rule [`GraphDelta::new`] enforces.
     ///
     /// # Panics
-    /// Panics if either node id has not been created by this builder.
-    pub fn add_interaction(&mut self, src: NodeId, dst: NodeId, interaction: Interaction) {
-        assert!(src.index() < self.nodes.len(), "unknown source node {src}");
+    /// Panics if either node id has not been created by this builder — that
+    /// is a programming error, not a data error.
+    pub fn add_interaction(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        interaction: Interaction,
+    ) -> Result<(), GraphError> {
         assert!(
-            dst.index() < self.nodes.len(),
+            src.index() < self.total_nodes(),
+            "unknown source node {src}"
+        );
+        assert!(
+            dst.index() < self.total_nodes(),
             "unknown destination node {dst}"
         );
-        let key = (src, dst);
-        match self.edge_map.get_mut(&key) {
-            Some(list) => list.push(interaction),
-            None => {
-                self.edge_order.push(key);
-                self.edge_map.insert(key, vec![interaction]);
-            }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
         }
-    }
-
-    /// Adds a whole interaction sequence on the edge `(src, dst)`.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, interactions: Vec<Interaction>) {
-        for i in interactions {
-            self.add_interaction(src, dst, i);
-        }
-    }
-
-    /// Convenience helper used heavily in tests and examples: adds all
-    /// `(time, quantity)` pairs as interactions on `(src, dst)`.
-    pub fn add_pairs(&mut self, src: NodeId, dst: NodeId, pairs: &[(i64, f64)]) {
-        for &(t, q) in pairs {
-            self.add_interaction(src, dst, Interaction::new(t, q));
-        }
-    }
-
-    /// Finalizes the builder into an immutable [`TemporalGraph`].
-    pub fn build(self) -> TemporalGraph {
-        let GraphBuilder {
-            nodes,
-            edge_order,
-            mut edge_map,
-            ..
-        } = self;
-        let mut edges = Vec::with_capacity(edge_order.len());
-        for key in edge_order {
-            let mut interactions = edge_map.remove(&key).expect("edge recorded but missing");
-            sort_chronologically(&mut interactions);
-            edges.push(Edge {
-                src: key.0,
-                dst: key.1,
-                interactions,
+        if interaction.quantity.is_nan() || interaction.quantity < 0.0 {
+            return Err(GraphError::Invalid {
+                message: format!(
+                    "interaction quantity must be non-negative, got {}",
+                    interaction.quantity
+                ),
             });
         }
-        TemporalGraph::from_parts(nodes, edges)
+        self.staged_pairs.insert((src, dst));
+        self.staged.push((src, dst, interaction));
+        Ok(())
+    }
+
+    /// Stages a whole interaction sequence on the edge `(src, dst)`.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        interactions: Vec<Interaction>,
+    ) -> Result<(), GraphError> {
+        for i in interactions {
+            self.add_interaction(src, dst, i)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience helper used heavily in tests and examples: stages all
+    /// `(time, quantity)` pairs as interactions on `(src, dst)`.
+    pub fn add_pairs(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        pairs: &[(i64, f64)],
+    ) -> Result<(), GraphError> {
+        for &(t, q) in pairs {
+            self.add_interaction(src, dst, Interaction::new(t, q))?;
+        }
+        Ok(())
+    }
+
+    /// Emits everything staged since the last drain as a [`GraphDelta`] and
+    /// keeps the builder alive: names added so far still resolve, identifier
+    /// numbering continues, and the next drain picks up where this one left
+    /// off. The memory retained between drains is the name index alone — a
+    /// follow-mode ingester holds state proportional to the *distinct
+    /// vertices seen*, not to the log.
+    ///
+    /// Deltas must be applied to the target graph in drain order
+    /// ([`TemporalGraph::apply`] checks the vertex count to enforce this).
+    pub fn drain_delta(&mut self) -> GraphDelta {
+        let new_nodes = std::mem::take(&mut self.nodes);
+        let interactions = std::mem::take(&mut self.staged);
+        self.staged_pairs.clear();
+        let base = self.base_nodes + self.emitted_nodes;
+        self.emitted_nodes += new_nodes.len();
+        GraphDelta::from_validated_parts(base, new_nodes, interactions)
+    }
+
+    /// Finalizes a from-scratch builder into a [`TemporalGraph`]: drains the
+    /// staged delta and applies it to an empty graph (the single code path
+    /// shared with streaming appends).
+    ///
+    /// # Panics
+    /// Panics if the builder was created with [`GraphBuilder::for_graph`] or
+    /// has already drained deltas — such a builder describes an *append*,
+    /// not a whole graph; apply its deltas with [`TemporalGraph::apply`]
+    /// instead.
+    pub fn build(mut self) -> TemporalGraph {
+        assert!(
+            self.base_nodes == 0 && self.emitted_nodes == 0,
+            "build() on an append builder would silently drop the already-drained \
+             prefix; apply its deltas with TemporalGraph::apply instead"
+        );
+        let delta = self.drain_delta();
+        let mut graph = TemporalGraph::new();
+        graph
+            .apply(&delta)
+            .expect("a freshly drained delta applies to its base");
+        graph
     }
 }
 
@@ -145,6 +260,10 @@ impl GraphBuilder {
 /// assert_eq!(g.edge_count(), 2);
 /// assert_eq!(g.interaction_count(), 3);
 /// ```
+///
+/// # Panics
+/// Panics on self-loop records (`src_name == dst_name`); use
+/// [`GraphBuilder::add_interaction`] directly to handle the typed error.
 pub fn from_records<'a, I>(records: I) -> TemporalGraph
 where
     I: IntoIterator<Item = (&'a str, &'a str, i64, f64)>,
@@ -153,7 +272,8 @@ where
     for (src, dst, t, q) in records {
         let s = b.get_or_add_node(src);
         let d = b.get_or_add_node(dst);
-        b.add_interaction(s, d, Interaction::new(t, q));
+        b.add_interaction(s, d, Interaction::new(t, q))
+            .expect("from_records does not accept self-loops");
     }
     b.build()
 }
@@ -167,9 +287,9 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_interaction(a, c, Interaction::new(5, 1.0));
-        b.add_interaction(a, c, Interaction::new(2, 2.0));
-        b.add_interaction(a, c, Interaction::new(9, 3.0));
+        b.add_interaction(a, c, Interaction::new(5, 1.0)).unwrap();
+        b.add_interaction(a, c, Interaction::new(2, 2.0)).unwrap();
+        b.add_interaction(a, c, Interaction::new(9, 3.0)).unwrap();
         let g = b.build();
         assert_eq!(g.edge_count(), 1);
         let e = g.edge(g.find_edge(a, c).unwrap());
@@ -212,8 +332,9 @@ mod tests {
             a,
             c,
             vec![Interaction::new(3, 1.0), Interaction::new(1, 2.0)],
-        );
-        b.add_pairs(c, a, &[(4, 1.0), (2, 7.0)]);
+        )
+        .unwrap();
+        b.add_pairs(c, a, &[(4, 1.0), (2, 7.0)]).unwrap();
         let g = b.build();
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.edge(g.find_edge(a, c).unwrap()).interactions[0].time, 1);
@@ -225,7 +346,7 @@ mod tests {
     fn unknown_node_panics() {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
-        b.add_interaction(NodeId(5), a, Interaction::new(1, 1.0));
+        let _ = b.add_interaction(NodeId(5), a, Interaction::new(1, 1.0));
     }
 
     #[test]
@@ -234,9 +355,9 @@ mod tests {
         let a = b.add_node("a");
         let c = b.add_node("c");
         let d = b.add_node("d");
-        b.add_interaction(c, d, Interaction::new(1, 1.0));
-        b.add_interaction(a, c, Interaction::new(2, 1.0));
-        b.add_interaction(c, d, Interaction::new(3, 1.0));
+        b.add_interaction(c, d, Interaction::new(1, 1.0)).unwrap();
+        b.add_interaction(a, c, Interaction::new(2, 1.0)).unwrap();
+        b.add_interaction(c, d, Interaction::new(3, 1.0)).unwrap();
         let g = b.build();
         assert_eq!(g.edge(crate::ids::EdgeId(0)).src, c);
         assert_eq!(g.edge(crate::ids::EdgeId(1)).src, a);
@@ -265,21 +386,105 @@ mod tests {
         let mut b = GraphBuilder::with_capacity(10, 10);
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_interaction(a, c, Interaction::new(1, 1.0));
+        b.add_interaction(a, c, Interaction::new(1, 1.0)).unwrap();
         let g = b.build();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 1);
     }
 
     #[test]
-    fn self_loops_are_representable() {
-        // Interaction networks may contain self transfers; flow algorithms
-        // reject them later where a DAG is required.
+    fn bad_quantities_are_rejected_with_a_typed_error() {
+        // `Interaction`'s fields are public, so invalid quantities can reach
+        // the builder without going through `Interaction::new`'s debug
+        // assertion; the builder must reject them like `GraphDelta::new`.
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
-        b.add_interaction(a, a, Interaction::new(1, 1.0));
+        let c = b.add_node("c");
+        for quantity in [-1.0, f64::NAN] {
+            let err = b
+                .add_interaction(a, c, Interaction { time: 1, quantity })
+                .unwrap_err();
+            assert!(matches!(err, GraphError::Invalid { .. }), "q={quantity}");
+        }
+        let g = b.build();
+        assert_eq!(g.interaction_count(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_rejected_with_a_typed_error() {
+        // PR 4 made the io layer refuse to serialize self-loops; the builder
+        // now refuses to construct them in the first place.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let err = b
+            .add_interaction(a, a, Interaction::new(1, 1.0))
+            .unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop(a));
+        assert!(matches!(
+            b.add_edge(a, a, vec![Interaction::new(1, 1.0)]),
+            Err(GraphError::SelfLoop(_))
+        ));
+        assert!(matches!(
+            b.add_pairs(a, a, &[(1, 1.0)]),
+            Err(GraphError::SelfLoop(_))
+        ));
+        // The rejected interactions leave no trace.
+        b.add_interaction(a, c, Interaction::new(2, 1.0)).unwrap();
         let g = b.build();
         assert_eq!(g.edge_count(), 1);
-        assert!(g.has_edge(a, a));
+        assert!(!g.has_edge(a, a));
+    }
+
+    #[test]
+    fn drain_preserves_names_ids_and_counters() {
+        let mut b = GraphBuilder::new();
+        let a = b.get_or_add_node("a");
+        let c = b.get_or_add_node("c");
+        b.add_interaction(a, c, Interaction::new(1, 1.0)).unwrap();
+        assert_eq!(b.edge_count(), 1);
+        let first = b.drain_delta();
+        assert_eq!(first.base_nodes(), 0);
+        assert_eq!(first.new_nodes().len(), 2);
+        assert_eq!(b.edge_count(), 0, "pair accounting resets per delta");
+        // Names drained earlier still resolve; new vertices continue the
+        // numbering.
+        assert_eq!(b.get_or_add_node("a"), a);
+        let d = b.get_or_add_node("d");
+        assert_eq!(d, NodeId(2));
+        b.add_interaction(c, d, Interaction::new(2, 1.0)).unwrap();
+        let second = b.drain_delta();
+        assert_eq!(second.base_nodes(), 2);
+        assert_eq!(second.new_nodes().len(), 1);
+        let mut g = TemporalGraph::new();
+        g.apply(&first).unwrap();
+        g.apply(&second).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn for_graph_appends_against_existing_names() {
+        let g0 = from_records([("a", "b", 1, 1.0)]);
+        let mut b = GraphBuilder::for_graph(&g0);
+        let a = b.get_or_add_node("a");
+        assert_eq!(a, g0.node_by_name("a").unwrap());
+        let c = b.get_or_add_node("c");
+        assert_eq!(c.index(), 2);
+        b.add_interaction(a, c, Interaction::new(5, 2.0)).unwrap();
+        let mut g = g0.clone();
+        g.apply(&b.drain_delta()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(g.has_edge(a, c));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "append builder")]
+    fn build_on_an_append_builder_panics() {
+        let g0 = from_records([("a", "b", 1, 1.0)]);
+        let b = GraphBuilder::for_graph(&g0);
+        let _ = b.build();
     }
 }

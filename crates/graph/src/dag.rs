@@ -135,12 +135,14 @@ pub fn augment_with_synthetic_endpoints(
         b.add_node(node.name.clone());
     }
     for edge in graph.edges() {
-        b.add_edge(edge.src, edge.dst, edge.interactions.clone());
+        b.add_edge(edge.src, edge.dst, edge.interactions.clone())
+            .unwrap();
     }
     let source = if need_source {
         let s = b.add_node(SYNTHETIC_SOURCE_NAME);
         for &orig in &orig_sources {
-            b.add_interaction(s, orig, Interaction::synthetic_source());
+            b.add_interaction(s, orig, Interaction::synthetic_source())
+                .unwrap();
         }
         s
     } else {
@@ -149,7 +151,8 @@ pub fn augment_with_synthetic_endpoints(
     let sink = if need_sink {
         let t = b.add_node(SYNTHETIC_SINK_NAME);
         for &orig in &orig_sinks {
-            b.add_interaction(orig, t, Interaction::synthetic_sink());
+            b.add_interaction(orig, t, Interaction::synthetic_sink())
+                .unwrap();
         }
         t
     } else {
@@ -175,9 +178,9 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let w = b.add_node("w");
-        b.add_pairs(x, z, &[(1, 5.0)]);
-        b.add_pairs(y, z, &[(2, 3.0)]);
-        b.add_pairs(y, w, &[(5, 1.0)]);
+        b.add_pairs(x, z, &[(1, 5.0)]).unwrap();
+        b.add_pairs(y, z, &[(2, 3.0)]).unwrap();
+        b.add_pairs(y, w, &[(5, 1.0)]).unwrap();
         (b.build(), [x, y, z, w])
     }
 
@@ -193,7 +196,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let s = b.add_node("s");
         let t = b.add_node("t");
-        b.add_pairs(s, t, &[(1, 1.0)]);
+        b.add_pairs(s, t, &[(1, 1.0)]).unwrap();
         let g = b.build();
         let info = endpoints(&g).unwrap();
         assert_eq!(info.source, s);
@@ -214,8 +217,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_pairs(a, c, &[(1, 1.0)]);
-        b.add_pairs(c, a, &[(2, 1.0)]);
+        b.add_pairs(a, c, &[(1, 1.0)]).unwrap();
+        b.add_pairs(c, a, &[(2, 1.0)]).unwrap();
         let g = b.build();
         assert_eq!(endpoints(&g), Err(GraphError::NotADag));
     }
@@ -266,8 +269,8 @@ mod tests {
         let s = b.add_node("s");
         let m = b.add_node("m");
         let t = b.add_node("t");
-        b.add_pairs(s, m, &[(1, 2.0)]);
-        b.add_pairs(m, t, &[(2, 2.0)]);
+        b.add_pairs(s, m, &[(1, 2.0)]).unwrap();
+        b.add_pairs(m, t, &[(2, 2.0)]).unwrap();
         let g = b.build();
         let aug = augment_with_synthetic_endpoints(&g).unwrap();
         assert!(!aug.added_source);
@@ -282,8 +285,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_pairs(a, c, &[(1, 1.0)]);
-        b.add_pairs(c, a, &[(2, 1.0)]);
+        b.add_pairs(a, c, &[(1, 1.0)]).unwrap();
+        b.add_pairs(c, a, &[(2, 1.0)]).unwrap();
         let g = b.build();
         assert!(matches!(
             augment_with_synthetic_endpoints(&g),

@@ -107,9 +107,9 @@ mod tests {
         let s = b.add_node("s");
         let y = b.add_node("y");
         let z = b.add_node("z");
-        b.add_pairs(s, y, &[(5, 1.0), (1, 2.0)]);
-        b.add_pairs(s, z, &[(3, 1.0)]);
-        b.add_pairs(y, z, &[(2, 1.0), (4, 1.0)]);
+        b.add_pairs(s, y, &[(5, 1.0), (1, 2.0)]).unwrap();
+        b.add_pairs(s, z, &[(3, 1.0)]).unwrap();
+        b.add_pairs(y, z, &[(2, 1.0), (4, 1.0)]).unwrap();
         let g = b.build();
         let ev = Events::collect(&g);
         assert_eq!(ev.len(), 5);
@@ -122,7 +122,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_pairs(a, c, &[(1, 7.0), (9, 2.0)]);
+        b.add_pairs(a, c, &[(1, 7.0), (9, 2.0)]).unwrap();
         let g = b.build();
         let ev = Events::collect(&g);
         for e in &ev {
@@ -142,8 +142,8 @@ mod tests {
         let a = b.add_node("a");
         let c = b.add_node("c");
         let d = b.add_node("d");
-        b.add_pairs(a, c, &[(5, 1.0), (5, 2.0)]);
-        b.add_pairs(a, d, &[(5, 3.0)]);
+        b.add_pairs(a, c, &[(5, 1.0), (5, 2.0)]).unwrap();
+        b.add_pairs(a, d, &[(5, 3.0)]).unwrap();
         let g = b.build();
         let ev = Events::collect(&g);
         assert_eq!(ev.len(), 3);

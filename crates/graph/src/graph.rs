@@ -282,11 +282,11 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_interaction(s, y, Interaction::new(1, 5.0));
-        b.add_interaction(s, z, Interaction::new(2, 3.0));
-        b.add_interaction(y, z, Interaction::new(3, 5.0));
-        b.add_interaction(y, t, Interaction::new(4, 4.0));
-        b.add_interaction(z, t, Interaction::new(5, 1.0));
+        b.add_interaction(s, y, Interaction::new(1, 5.0)).unwrap();
+        b.add_interaction(s, z, Interaction::new(2, 3.0)).unwrap();
+        b.add_interaction(y, z, Interaction::new(3, 5.0)).unwrap();
+        b.add_interaction(y, t, Interaction::new(4, 4.0)).unwrap();
+        b.add_interaction(z, t, Interaction::new(5, 1.0)).unwrap();
         b.build()
     }
 

@@ -357,7 +357,8 @@ impl StreamingParser {
         let s = self.builder.get_or_add_node(src);
         let d = self.builder.get_or_add_node(dst);
         self.builder
-            .add_interaction(s, d, Interaction::new(time, quantity));
+            .add_interaction(s, d, Interaction::new(time, quantity))
+            .expect("self-loops were rejected above");
         self.records += 1;
         Ok(true)
     }
@@ -413,7 +414,22 @@ impl StreamingParser {
         }
     }
 
+    /// Emits everything parsed since the last drain as a
+    /// [`crate::GraphDelta`] and keeps parsing: vertex names already seen
+    /// still resolve to their identifiers, so a follow-mode ingester can
+    /// fold a live log into a graph batch by batch with
+    /// [`TemporalGraph::apply`]. Position tracking and the record/skip
+    /// counters are *not* reset — they describe the whole stream.
+    pub fn drain_delta(&mut self) -> crate::GraphDelta {
+        self.builder.drain_delta()
+    }
+
     /// Finalizes the builder into a [`TemporalGraph`].
+    ///
+    /// # Panics
+    /// Panics if deltas were drained ([`StreamingParser::drain_delta`]) —
+    /// such a parser feeds an existing graph; apply its final drained delta
+    /// instead.
     pub fn finish(self) -> TemporalGraph {
         self.builder.build()
     }
@@ -528,10 +544,16 @@ mod tests {
 
     #[test]
     fn to_text_rejects_self_loops() {
-        let mut b = GraphBuilder::new();
-        let a = b.add_node("a");
-        b.add_interaction(a, a, Interaction::new(1, 1.0));
-        let g = b.build();
+        // The builder refuses self-loops, but JSON can still describe them;
+        // build the graph from raw parts the way a deserializer would.
+        let g = TemporalGraph::from_parts(
+            vec![crate::graph::Node { name: "a".into() }],
+            vec![crate::graph::Edge {
+                src: crate::NodeId(0),
+                dst: crate::NodeId(0),
+                interactions: vec![Interaction::new(1, 1.0)],
+            }],
+        );
         assert!(matches!(to_text(&g), Err(GraphError::Invalid { .. })));
     }
 

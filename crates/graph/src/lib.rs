@@ -7,10 +7,13 @@
 //!
 //! This crate is the substrate shared by every other crate in the workspace:
 //!
-//! * [`TemporalGraph`] — the immutable, query-friendly network representation
-//!   (node/edge tables plus in/out adjacency);
+//! * [`TemporalGraph`] — the query-friendly network representation
+//!   (node/edge tables plus in/out adjacency); append-only growth via
+//!   [`TemporalGraph::apply`];
 //! * [`GraphBuilder`] — incremental construction, merging parallel edges and
 //!   keeping interaction sequences sorted;
+//! * [`delta`] — validated append batches ([`GraphDelta`]) and their
+//!   application, the streaming seam shared by full builds and live appends;
 //! * [`events`] — a global, time-ordered view of all interactions (the order
 //!   in which the greedy flow algorithm replays them);
 //! * [`topo`] — topological ordering and DAG validation;
@@ -31,11 +34,11 @@
 //! let y = b.add_node("y");
 //! let z = b.add_node("z");
 //! let t = b.add_node("t");
-//! b.add_interaction(s, y, Interaction::new(1, 5.0));
-//! b.add_interaction(s, z, Interaction::new(2, 3.0));
-//! b.add_interaction(y, z, Interaction::new(3, 5.0));
-//! b.add_interaction(y, t, Interaction::new(4, 4.0));
-//! b.add_interaction(z, t, Interaction::new(5, 1.0));
+//! b.add_interaction(s, y, Interaction::new(1, 5.0)).unwrap();
+//! b.add_interaction(s, z, Interaction::new(2, 3.0)).unwrap();
+//! b.add_interaction(y, z, Interaction::new(3, 5.0)).unwrap();
+//! b.add_interaction(y, t, Interaction::new(4, 4.0)).unwrap();
+//! b.add_interaction(z, t, Interaction::new(5, 1.0)).unwrap();
 //! let g: TemporalGraph = b.build();
 //!
 //! assert_eq!(g.node_count(), 4);
@@ -48,6 +51,7 @@
 
 pub mod builder;
 pub mod dag;
+pub mod delta;
 pub mod error;
 pub mod events;
 pub mod graph;
@@ -59,6 +63,7 @@ pub mod view;
 
 pub use builder::GraphBuilder;
 pub use dag::{augment_with_synthetic_endpoints, sinks, sources, AugmentedGraph, EndpointInfo};
+pub use delta::{AppliedDelta, GraphDelta};
 pub use error::GraphError;
 pub use events::{EventRef, Events};
 pub use graph::{Edge, Node, TemporalGraph};

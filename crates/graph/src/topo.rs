@@ -118,7 +118,7 @@ mod tests {
         let z = b.add_node("z");
         let t = b.add_node("t");
         for (u, v) in [(s, y), (s, z), (y, z), (y, t), (z, t)] {
-            b.add_interaction(u, v, Interaction::new(1, 1.0));
+            b.add_interaction(u, v, Interaction::new(1, 1.0)).unwrap();
         }
         (b.build(), [s, y, z, t])
     }
@@ -142,8 +142,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
         let c = b.add_node("c");
-        b.add_interaction(a, c, Interaction::new(1, 1.0));
-        b.add_interaction(c, a, Interaction::new(2, 1.0));
+        b.add_interaction(a, c, Interaction::new(1, 1.0)).unwrap();
+        b.add_interaction(c, a, Interaction::new(2, 1.0)).unwrap();
         let g = b.build();
         assert!(!is_dag(&g));
         let err = topological_order(&g).unwrap_err();
@@ -153,10 +153,16 @@ mod tests {
 
     #[test]
     fn self_loop_is_a_cycle() {
-        let mut b = GraphBuilder::new();
-        let a = b.add_node("a");
-        b.add_interaction(a, a, Interaction::new(1, 1.0));
-        let g = b.build();
+        // The builder refuses self-loops, but a deserialized graph can
+        // still carry one; build it from raw parts like a deserializer.
+        let g = TemporalGraph::from_parts(
+            vec![crate::graph::Node { name: "a".into() }],
+            vec![crate::graph::Edge {
+                src: NodeId(0),
+                dst: NodeId(0),
+                interactions: vec![Interaction::new(1, 1.0)],
+            }],
+        );
         assert!(!is_dag(&g));
     }
 

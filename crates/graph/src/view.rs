@@ -58,7 +58,8 @@ pub fn induced_subgraph(graph: &TemporalGraph, vertices: &[NodeId]) -> SubgraphS
         for &eid in graph.out_edges(v) {
             let edge = graph.edge(eid);
             if let Some(&new_dst) = mapping.get(&edge.dst) {
-                b.add_edge(new_src, new_dst, edge.interactions.clone());
+                b.add_edge(new_src, new_dst, edge.interactions.clone())
+                    .unwrap();
             }
         }
     }
@@ -102,7 +103,7 @@ pub fn edge_induced_subgraph(graph: &TemporalGraph, edges: &[EdgeId]) -> Subgrap
             edge.dst,
             &graph.node(edge.dst).name,
         );
-        b.add_edge(src, dst, edge.interactions.clone());
+        b.add_edge(src, dst, edge.interactions.clone()).unwrap();
     }
     SubgraphSpec {
         graph: b.build(),
@@ -120,11 +121,11 @@ mod tests {
     fn parent() -> (TemporalGraph, Vec<NodeId>) {
         let mut b = GraphBuilder::new();
         let ids: Vec<_> = (0..5).map(|i| b.add_node(format!("v{i}"))).collect();
-        b.add_pairs(ids[0], ids[1], &[(1, 1.0), (4, 2.0)]);
-        b.add_pairs(ids[1], ids[2], &[(2, 3.0)]);
-        b.add_pairs(ids[2], ids[3], &[(3, 4.0)]);
-        b.add_pairs(ids[3], ids[4], &[(5, 5.0)]);
-        b.add_pairs(ids[0], ids[4], &[(6, 6.0)]);
+        b.add_pairs(ids[0], ids[1], &[(1, 1.0), (4, 2.0)]).unwrap();
+        b.add_pairs(ids[1], ids[2], &[(2, 3.0)]).unwrap();
+        b.add_pairs(ids[2], ids[3], &[(3, 4.0)]).unwrap();
+        b.add_pairs(ids[3], ids[4], &[(5, 5.0)]).unwrap();
+        b.add_pairs(ids[0], ids[4], &[(6, 6.0)]).unwrap();
         (b.build(), ids)
     }
 

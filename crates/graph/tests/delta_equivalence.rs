@@ -1,0 +1,93 @@
+//! Property-based pinning of the append path: folding a record log into a
+//! [`TemporalGraph`] as one delta, as many deltas, or through the classic
+//! one-shot [`GraphBuilder::build`] must produce the identical graph —
+//! identical node/edge identifier assignment, identical interaction
+//! sequences, identical adjacency. This is the equivalence that lets
+//! downstream incremental indexes trust [`TemporalGraph::apply`].
+
+use proptest::prelude::*;
+use tin_graph::{GraphBuilder, Interaction, TemporalGraph};
+
+/// A record log over a small vertex-name pool: `(src, dst, time, quantity)`
+/// with duplicates, timestamp ties and out-of-order arrivals all likely.
+fn records(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, i64, f64)>> {
+    proptest::collection::vec(
+        (0u8..8, 0u8..8, 0i64..40, 0u32..9).prop_map(|(s, d, t, q)| (s, d, t, q as f64)),
+        0..max_len,
+    )
+}
+
+/// Builds the graph through the one-shot builder path, skipping self-loop
+/// records the way every ingest path does.
+fn build_whole(records: &[(u8, u8, i64, f64)]) -> TemporalGraph {
+    let mut b = GraphBuilder::new();
+    for &(s, d, t, q) in records {
+        let s = b.get_or_add_node(format!("v{s}"));
+        let d = b.get_or_add_node(format!("v{d}"));
+        if s == d {
+            assert!(b.add_interaction(s, d, Interaction::new(t, q)).is_err());
+        } else {
+            b.add_interaction(s, d, Interaction::new(t, q)).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// Folds the same records into an initially empty graph, draining a delta
+/// at every index in `splits`.
+fn build_split(records: &[(u8, u8, i64, f64)], splits: &[usize]) -> TemporalGraph {
+    let mut g = TemporalGraph::new();
+    let mut b = GraphBuilder::new();
+    for (i, &(s, d, t, q)) in records.iter().enumerate() {
+        if splits.contains(&i) {
+            g.apply(&b.drain_delta()).unwrap();
+        }
+        let s = b.get_or_add_node(format!("v{s}"));
+        let d = b.get_or_add_node(format!("v{d}"));
+        if s != d {
+            b.add_interaction(s, d, Interaction::new(t, q)).unwrap();
+        }
+    }
+    g.apply(&b.drain_delta()).unwrap();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// One delta vs many deltas vs the one-shot builder: identical graphs.
+    #[test]
+    fn append_order_does_not_change_the_graph(
+        records in records(60),
+        splits in proptest::collection::vec(0usize..60, 0..6),
+    ) {
+        let whole = build_whole(&records);
+        let one_delta = build_split(&records, &[]);
+        let many_deltas = build_split(&records, &splits);
+        prop_assert_eq!(&one_delta, &whole);
+        prop_assert_eq!(&many_deltas, &whole);
+        many_deltas.validate().unwrap();
+    }
+
+    /// Every intermediate state of a delta-fed graph passes full validation
+    /// (sorted interactions, coherent adjacency and index).
+    #[test]
+    fn every_prefix_state_is_valid(records in records(40), step in 1usize..7) {
+        let mut g = TemporalGraph::new();
+        let mut b = GraphBuilder::new();
+        for (i, &(s, d, t, q)) in records.iter().enumerate() {
+            if i % step == 0 {
+                g.apply(&b.drain_delta()).unwrap();
+                g.validate().unwrap();
+            }
+            let s = b.get_or_add_node(format!("v{s}"));
+            let d = b.get_or_add_node(format!("v{d}"));
+            if s != d {
+                b.add_interaction(s, d, Interaction::new(t, q)).unwrap();
+            }
+        }
+        g.apply(&b.drain_delta()).unwrap();
+        g.validate().unwrap();
+        prop_assert_eq!(&g, &build_whole(&records));
+    }
+}

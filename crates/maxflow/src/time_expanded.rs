@@ -194,11 +194,11 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(1, 5.0)]);
-        b.add_pairs(s, z, &[(2, 3.0)]);
-        b.add_pairs(y, z, &[(3, 5.0)]);
-        b.add_pairs(y, t, &[(4, 4.0)]);
-        b.add_pairs(z, t, &[(5, 1.0)]);
+        b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+        b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+        b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -210,12 +210,12 @@ mod tests {
         let y = b.add_node("y");
         let z = b.add_node("z");
         let t = b.add_node("t");
-        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
-        b.add_pairs(s, y, &[(2, 6.0)]);
-        b.add_pairs(x, z, &[(5, 5.0)]);
-        b.add_pairs(y, z, &[(8, 5.0)]);
-        b.add_pairs(y, t, &[(9, 4.0)]);
-        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+        b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]).unwrap();
+        b.add_pairs(s, y, &[(2, 6.0)]).unwrap();
+        b.add_pairs(x, z, &[(5, 5.0)]).unwrap();
+        b.add_pairs(y, z, &[(8, 5.0)]).unwrap();
+        b.add_pairs(y, t, &[(9, 4.0)]).unwrap();
+        b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]).unwrap();
         (b.build(), s, t)
     }
 
@@ -239,8 +239,8 @@ mod tests {
         let s = b.add_node("s");
         let y = b.add_node("y");
         let t = b.add_node("t");
-        b.add_pairs(s, y, &[(3, 4.0)]);
-        b.add_pairs(y, t, &[(3, 4.0)]);
+        b.add_pairs(s, y, &[(3, 4.0)]).unwrap();
+        b.add_pairs(y, t, &[(3, 4.0)]).unwrap();
         let g = b.build();
         assert_close(time_expanded_max_flow(&g, s, t), 0.0);
     }
@@ -252,8 +252,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 10.0)]);
-        b.add_pairs(a, t, &[(2, 3.0), (4, 2.0)]);
+        b.add_pairs(s, a, &[(1, 10.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 3.0), (4, 2.0)]).unwrap();
         let g = b.build();
         assert_close(time_expanded_max_flow(&g, s, t), 5.0);
     }
@@ -265,8 +265,8 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(5, 10.0)]);
-        b.add_pairs(a, t, &[(2, 3.0)]);
+        b.add_pairs(s, a, &[(5, 10.0)]).unwrap();
+        b.add_pairs(a, t, &[(2, 3.0)]).unwrap();
         let g = b.build();
         let mut te = TimeExpandedNetwork::build(&g, s, t);
         assert_eq!(te.skipped_interactions, 1);
@@ -291,8 +291,9 @@ mod tests {
         let s = b.add_node("s");
         let a = b.add_node("a");
         let t = b.add_node("t");
-        b.add_interaction(s, a, tin_graph::Interaction::new(i64::MIN, f64::INFINITY));
-        b.add_pairs(a, t, &[(10, 7.0)]);
+        b.add_interaction(s, a, tin_graph::Interaction::new(i64::MIN, f64::INFINITY))
+            .unwrap();
+        b.add_pairs(a, t, &[(10, 7.0)]).unwrap();
         let g = b.build();
         assert_close(time_expanded_max_flow(&g, s, t), 7.0);
     }
@@ -304,9 +305,9 @@ mod tests {
         let a = b.add_node("a");
         let c = b.add_node("c");
         let t = b.add_node("t");
-        b.add_pairs(s, a, &[(1, 2.0), (3, 2.0), (5, 2.0)]);
-        b.add_pairs(a, c, &[(2, 1.0), (4, 3.0), (6, 3.0)]);
-        b.add_pairs(c, t, &[(7, 10.0)]);
+        b.add_pairs(s, a, &[(1, 2.0), (3, 2.0), (5, 2.0)]).unwrap();
+        b.add_pairs(a, c, &[(2, 1.0), (4, 3.0), (6, 3.0)]).unwrap();
+        b.add_pairs(c, t, &[(7, 10.0)]).unwrap();
         let g = b.build();
         // a receives 2/2/2; can forward min cumulative: at time 2 ≤2 cap1 ->1,
         // time 4: arrived 4, already sent 1, cap 3 -> 3, time 6: arrived 6,
@@ -325,7 +326,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let s = b.add_node("s");
         let t = b.add_node("t");
-        b.add_pairs(s, t, &[(1, 4.0), (9, 2.5)]);
+        b.add_pairs(s, t, &[(1, 4.0), (9, 2.5)]).unwrap();
         let g = b.build();
         assert_close(time_expanded_max_flow(&g, s, t), 6.5);
     }

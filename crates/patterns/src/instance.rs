@@ -57,7 +57,8 @@ impl Instance {
             let edge = graph
                 .find_edge(ga, gb)
                 .unwrap_or_else(|| panic!("instance edge ({ga}, {gb}) missing from the graph"));
-            b.add_edge(ids[pa], ids[pb], graph.edge(edge).interactions.clone());
+            b.add_edge(ids[pa], ids[pb], graph.edge(edge).interactions.clone())
+                .unwrap();
         }
         (b.build(), ids[pattern.source()], ids[pattern.sink()])
     }

@@ -42,4 +42,6 @@ pub use instance::{instance_flow, Instance};
 pub use pattern::{Pattern, PatternError};
 pub use precomputed::enumerate_pb;
 pub use relaxed::{relaxed_search_gb, relaxed_search_pb, RelaxedPattern};
-pub use tables::{LazyPathTables, PathRow, PathTable, PathTables, TablesConfig};
+pub use tables::{
+    invalidated_anchors, LazyPathTables, PathRow, PathTable, PathTables, TablesConfig, TablesUpdate,
+};

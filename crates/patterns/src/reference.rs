@@ -135,7 +135,8 @@ fn path_row(graph: &TemporalGraph, vertices: &[NodeId]) -> ReferenceRow {
         let edge = graph
             .find_edge(pair[0], pair[1])
             .expect("path edges exist by construction");
-        b.add_edge(ids[i], ids[i + 1], graph.edge(edge).interactions.clone());
+        b.add_edge(ids[i], ids[i + 1], graph.edge(edge).interactions.clone())
+            .unwrap();
     }
     let chain = b.build();
     let result = greedy_flow_traced(&chain, ids[0], ids[vertices.len() - 1]);

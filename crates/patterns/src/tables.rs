@@ -38,11 +38,39 @@
 //! The paper notes that on the two large datasets only the cycle tables fit
 //! in memory while the chain table is feasible for Prosper; [`TablesConfig`]
 //! exposes the same choice (plus a row cap as a safety valve).
+//!
+//! ## Incremental maintenance
+//!
+//! Tables are maintainable under appends: after a [`tin_graph::GraphDelta`]
+//! is merged into the graph, [`PathTables::apply`] patches the tables to
+//! what a from-scratch build over the grown graph would produce — without
+//! doing from-scratch kernel work. The key fact is that a row's delivered
+//! profile depends only on the edges along its path, so a new interaction on
+//! edge `u → v` can invalidate exactly the rows whose path uses that edge:
+//!
+//! * as the **first** edge — rows anchored at `u`;
+//! * as the **middle** edge of an `L3`/`C2` row `a → u → v (→ a)` — rows
+//!   anchored at an in-neighbor `a` of `u`;
+//! * as the **closing** edge of an `L2`/`L3` cycle `v → … → u → v` — rows
+//!   anchored at `v`.
+//!
+//! [`PathTables::apply`] re-runs the chain kernel for exactly those row
+//! groups — the `[u, v, *]` first-edge block, one `[a, u, v]` row per
+//! in-neighbor `a`, the closing rows `[v, u]` / `[v, w, u]` — and splices
+//! the fresh rows over the stale ones. The kernel work per touched edge is
+//! *linear* in the endpoint degrees, never the O(deg²) of rebuilding a
+//! whole anchor, which is what keeps hub-heavy appends cheap. Replaced rows
+//! leave their delivered profiles behind as arena garbage, which is
+//! reclaimed by an amortized compaction once it outweighs the live data.
+//! [`LazyPathTables::apply`] is the cache-side analogue at its natural
+//! (anchor) granularity: it evicts the anchors named by
+//! [`invalidated_anchors`] (`{u, v} ∪ in(u)` per touched edge) and lets the
+//! next query rebuild them.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tin_flow::{parallel_map, ChainScratch};
-use tin_graph::{Interaction, NodeId, Quantity, TemporalGraph};
+use tin_graph::{AppliedDelta, Interaction, NodeId, Quantity, TemporalGraph};
 
 /// Which tables to build and how large they may grow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +152,9 @@ pub struct PathTable {
     /// memory instead of O(node count) per table.
     offsets: Vec<u32>,
     first_anchor: usize,
+    /// Arena entries orphaned by incremental patches ([`PathTable::delivered`]
+    /// never reads them); compacted away once they outweigh the live data.
+    dead: usize,
 }
 
 impl PathTable {
@@ -180,6 +211,108 @@ impl PathTable {
             .map(|(i, _)| NodeId::from_index(self.first_anchor + i))
     }
 
+    /// The row range of `anchor` as indices into [`PathTable::rows`] — an
+    /// empty `start..start` range at the sorted insertion point when the
+    /// anchor has no rows. O(1) inside the populated anchor span, one binary
+    /// search outside it.
+    fn anchor_range(&self, anchor: NodeId) -> std::ops::Range<usize> {
+        let a = anchor.index();
+        if a >= self.first_anchor && a - self.first_anchor + 1 < self.offsets.len() {
+            let i = a - self.first_anchor;
+            return self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        }
+        let at = self.rows.partition_point(|r| r.anchor() < anchor);
+        debug_assert!(self.rows.get(at).is_none_or(|r| r.anchor() > anchor));
+        at..at
+    }
+
+    /// The row range matching `key` (rows whose vertex sequence starts with
+    /// the key's prefix) — an empty range at the sorted insertion point when
+    /// no row matches. One binary search within the key's anchor range.
+    fn key_range(&self, key: &PatchKey) -> std::ops::Range<usize> {
+        let anchor = self.anchor_range(key.verts[0]);
+        let prefix = &key.verts[..key.len as usize];
+        let rows = &self.rows[anchor.clone()];
+        let start = rows.partition_point(|r| {
+            let n = prefix.len().min(r.vertices().len());
+            &r.vertices()[..n] < prefix
+        });
+        let end = start
+            + rows[start..].partition_point(|r| {
+                let n = prefix.len().min(r.vertices().len());
+                &r.vertices()[..n] <= prefix
+            });
+        anchor.start + start..anchor.start + end
+    }
+
+    /// Replaces the row groups named by `keys` (ascending, deduplicated,
+    /// non-overlapping) with the matching rows of `repl_rows` (sorted by
+    /// vertex sequence; every row must match exactly one key), appending
+    /// `repl_arena` to this table's arena. Stale profiles become garbage,
+    /// tracked in [`PathTable::dead`] and compacted away once they exceed
+    /// the live data — so long-running streams do amortized O(1) arena work
+    /// per replaced row instead of an O(table) rebuild per batch.
+    fn patch_keys(&mut self, keys: &[PatchKey], repl_rows: &[PathRow], repl_arena: &[Interaction]) {
+        // The shifted replacement offsets must stay within u32; compact
+        // eagerly if garbage alone would push them over.
+        if self.arena.len() + repl_arena.len() > u32::MAX as usize {
+            self.compact();
+        }
+        let base = u32::try_from(self.arena.len()).expect("patched arena exceeds u32 offsets");
+        self.arena.extend_from_slice(repl_arena);
+        let mut out = Vec::with_capacity(self.rows.len() + repl_rows.len());
+        let mut prev = 0usize;
+        let mut next_repl = 0usize;
+        for key in keys {
+            let range = self.key_range(key);
+            debug_assert!(range.start >= prev, "patch keys must be ascending");
+            out.extend_from_slice(&self.rows[prev..range.start]);
+            self.dead += self.rows[range.clone()]
+                .iter()
+                .map(|r| r.delivered_len as usize)
+                .sum::<usize>();
+            let prefix = &key.verts[..key.len as usize];
+            while let Some(r) = repl_rows.get(next_repl) {
+                let n = prefix.len().min(r.vertices().len());
+                if &r.vertices()[..n] != prefix {
+                    break;
+                }
+                let mut r = *r;
+                r.delivered_start = base
+                    .checked_add(r.delivered_start)
+                    .expect("patched arena exceeds u32 offsets");
+                out.push(r);
+                next_repl += 1;
+            }
+            prev = range.end;
+        }
+        out.extend_from_slice(&self.rows[prev..]);
+        debug_assert_eq!(
+            next_repl,
+            repl_rows.len(),
+            "every replacement row must match a key"
+        );
+        self.rows = out;
+        if self.dead > self.arena.len() - self.dead {
+            self.compact();
+        }
+        self.build_offsets();
+    }
+
+    /// Rewrites the arena keeping only the profiles live rows reference.
+    fn compact(&mut self) {
+        let mut arena = Vec::with_capacity(self.arena.len() - self.dead);
+        for row in &mut self.rows {
+            let start = row.delivered_start as usize;
+            let end = start + row.delivered_len as usize;
+            row.delivered_start =
+                u32::try_from(arena.len()).expect("compacted arena exceeds u32 offsets");
+            arena.extend_from_slice(&self.arena[start..end]);
+        }
+        self.arena = arena;
+        self.dead = 0;
+    }
+
     /// Builds the per-anchor offset index; `rows` must already be sorted by
     /// vertex sequence (anchor first), so the populated anchor range is
     /// `[first row's anchor, last row's anchor]`.
@@ -224,7 +357,50 @@ pub struct PathTables {
     /// Whether any table hit the configured row cap (results would be
     /// partial; the PB matcher refuses to use a truncated table).
     pub truncated: bool,
+    /// The configuration the tables were built with — remembered so
+    /// [`PathTables::apply`] re-runs the kernel under identical settings.
+    config: TablesConfig,
+    /// Whether the tables cover only a selected anchor subset
+    /// ([`PathTables::for_anchors`]); such tables refuse incremental
+    /// maintenance, which is defined against full coverage.
+    partial: bool,
     kernel_calls: u64,
+}
+
+/// What one [`PathTables::apply`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TablesUpdate {
+    /// Row groups (edge blocks `[u, v, *]`, single cycle rows, single path
+    /// rows) recomputed by this update — the invalidation set.
+    pub refreshed_groups: usize,
+    /// Whether the update fell back to a full rebuild (truncated input
+    /// tables, or the patched tables crossed the row cap).
+    pub rebuilt: bool,
+    /// Chain-kernel passes this update performed.
+    pub kernel_calls: u64,
+}
+
+/// Names one group of table rows for [`PathTable::patch_keys`]: the rows
+/// whose vertex sequence starts with `verts[..len]`. A 2-vertex key is an
+/// exact cycle row in `L2` and a whole `[a, b, *]` block in `L3`/`C2`; a
+/// 3-vertex key is a single row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PatchKey {
+    verts: [NodeId; 3],
+    len: u8,
+}
+
+impl PatchKey {
+    fn pair(a: NodeId, b: NodeId) -> Self {
+        PatchKey {
+            verts: [a, b, NodeId::from_index(0)],
+            len: 2,
+        }
+    }
+
+    fn triple(verts: [NodeId; 3]) -> Self {
+        PatchKey { verts, len: 3 }
+    }
 }
 
 impl PathTables {
@@ -263,7 +439,9 @@ impl PathTables {
             .collect();
         picked.sort_unstable();
         picked.dedup();
-        build_for_anchor_list(graph, config, &picked, auto_parallel(graph))
+        let mut tables = build_for_anchor_list(graph, config, &picked, auto_parallel(graph));
+        tables.partial = true;
+        tables
     }
 
     /// Rows of `table` anchored at `anchor` (kept as a thin wrapper over the
@@ -282,6 +460,275 @@ impl PathTables {
     pub fn kernel_calls(&self) -> u64 {
         self.kernel_calls
     }
+
+    /// The configuration the tables were built with.
+    pub fn config(&self) -> &TablesConfig {
+        &self.config
+    }
+
+    /// Compares two table sets row for row (truncation verdict, vertex
+    /// sequences, flows, delivered profiles) and describes the first
+    /// divergence, or returns `None` when they are row-identical. Arena
+    /// layout and garbage are *not* compared — only observable row content.
+    ///
+    /// This is the exactness check of incremental maintenance: after
+    /// [`PathTables::apply`], `self.first_row_divergence(&rebuilt)` against
+    /// a from-scratch build must be `None` (the streaming experiment and
+    /// the proptests both assert through this one definition).
+    pub fn first_row_divergence(&self, other: &PathTables) -> Option<String> {
+        if self.truncated != other.truncated {
+            return Some(format!(
+                "truncation verdicts differ ({} vs {})",
+                self.truncated, other.truncated
+            ));
+        }
+        for (label, a, b) in [
+            ("L2", &self.l2, &other.l2),
+            ("L3", &self.l3, &other.l3),
+            ("C2", &self.c2, &other.c2),
+        ] {
+            if a.len() != b.len() {
+                return Some(format!(
+                    "{label}: row counts differ ({} vs {})",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            for (i, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+                if ra.vertices() != rb.vertices() {
+                    return Some(format!(
+                        "{label}: row {i} vertices differ ({:?} vs {:?})",
+                        ra.vertices(),
+                        rb.vertices()
+                    ));
+                }
+                if ra.flow != rb.flow {
+                    return Some(format!(
+                        "{label}: row {i} ({:?}) flows differ ({} vs {})",
+                        ra.vertices(),
+                        ra.flow,
+                        rb.flow
+                    ));
+                }
+                if a.delivered(ra) != b.delivered(rb) {
+                    return Some(format!(
+                        "{label}: row {i} ({:?}) delivered profiles differ",
+                        ra.vertices()
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Incrementally maintains the tables after `graph` absorbed a delta
+    /// (`applied` is what [`tin_graph::TemporalGraph::apply`] returned for
+    /// it). Afterwards the tables are row-identical to a from-scratch
+    /// [`PathTables::build`] over the grown graph — the workspace proptests
+    /// pin this down — but the *kernel* only revisits the row groups the
+    /// delta can invalidate (see the [module docs](self)), so flow
+    /// recomputation scales with the touched edges' endpoint degrees, not
+    /// with the graph. (Splicing the fresh rows in still rewrites each
+    /// table's row vector and offset index — a linear memcpy over compact
+    /// 32-byte rows with no kernel work, which the `experiments stream`
+    /// measurements show is dwarfed by the avoided rebuild.)
+    ///
+    /// Apply updates in the same order the graph applied the deltas; each
+    /// call must see the graph state right after its delta.
+    ///
+    /// Truncated tables (and patches that cross the row cap) fall back to a
+    /// full rebuild so the row-cap semantics stay exactly those of a fresh
+    /// build.
+    ///
+    /// # Panics
+    /// Panics on tables built with [`PathTables::for_anchors`]: a fixed
+    /// anchor subset cannot be patched meaningfully (the patch would mix
+    /// subset and full coverage) — use [`LazyPathTables`] for incrementally
+    /// maintained partial coverage.
+    pub fn apply(&mut self, graph: &TemporalGraph, applied: &AppliedDelta) -> TablesUpdate {
+        assert!(
+            !self.partial,
+            "PathTables::apply on a for_anchors subset would silently mix subset and \
+             full coverage; use LazyPathTables for maintained partial coverage"
+        );
+        let config = self.config;
+        if self.truncated {
+            return self.rebuild(graph, &config, 0);
+        }
+        // 1. Collect the invalidated row groups — only for the tables that
+        //    are actually built. For each touched edge `u → v`: the
+        //    `[u, v, *]` block (first-edge rows), the point rows `[a, u, v]`
+        //    per in-neighbor `a` of `u` (middle-edge rows), and the
+        //    closing-edge rows `[v, u]` / `[v, w, u]`. This is linear in the
+        //    endpoint degrees — never the O(deg²) of a whole anchor rebuild.
+        let mut blocks: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut l2_extra: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut points: Vec<[NodeId; 3]> = Vec::new();
+        for &e in &applied.touched_edges {
+            let edge = graph.edge(e);
+            let (u, v) = (edge.src, edge.dst);
+            blocks.push((u, v));
+            if config.build_l3 || config.build_c2 {
+                for a in graph.in_neighbors(u) {
+                    if a != v && a != u {
+                        points.push([a, u, v]);
+                    }
+                }
+            }
+            if config.build_l2 && graph.has_edge(v, u) {
+                l2_extra.push((v, u));
+            }
+            if config.build_l3 {
+                for &e_vw in graph.out_edges(v) {
+                    let w = graph.edge(e_vw).dst;
+                    if w != u && w != v && graph.has_edge(w, u) {
+                        points.push([v, w, u]);
+                    }
+                }
+            }
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+        l2_extra.sort_unstable();
+        l2_extra.dedup();
+        l2_extra.retain(|k| blocks.binary_search(k).is_err());
+        points.sort_unstable();
+        points.dedup();
+        points.retain(|p| blocks.binary_search(&(p[0], p[1])).is_err());
+        let refreshed_groups = blocks.len() + l2_extra.len() + points.len();
+
+        // 2. Re-run the chain kernel for exactly those groups.
+        let mut scratch = ChainScratch::new();
+        let mut bufs: [TableBuf; 3] = Default::default();
+        for &(u, v) in &blocks {
+            let e = graph.find_edge(u, v).expect("touched pair is an edge");
+            enumerate_first_edge(
+                graph,
+                &config,
+                u,
+                graph.edge(e),
+                &mut scratch,
+                &mut |table, verts, len, delivered, flow| {
+                    bufs[table].push(verts, len, delivered, flow);
+                    true
+                },
+            );
+        }
+        if config.build_l2 {
+            for &(a, b) in &l2_extra {
+                // Both edges exist: `(b, a)` is the touched edge, `(a, b)`
+                // was checked when the key was collected.
+                let e_ab = graph.find_edge(a, b).expect("checked at collection");
+                let e_ba = graph.find_edge(b, a).expect("touched edge");
+                let flow = scratch.reduce_pair(
+                    &graph.edge(e_ab).interactions,
+                    &graph.edge(e_ba).interactions,
+                );
+                bufs[L2].push([a, b, a], 2, scratch.delivered(), flow);
+            }
+        }
+        if config.build_l3 || config.build_c2 {
+            for &[a, b, c] in &points {
+                let e_ab = graph.find_edge(a, b).expect("checked at collection");
+                let e_bc = graph.find_edge(b, c).expect("checked at collection");
+                let mid_flow = scratch.reduce_pair(
+                    &graph.edge(e_ab).interactions,
+                    &graph.edge(e_bc).interactions,
+                );
+                if config.build_c2 {
+                    bufs[C2].push([a, b, c], 3, scratch.delivered(), mid_flow);
+                }
+                if config.build_l3 {
+                    if let Some(e_ca) = graph.find_edge(c, a) {
+                        let flow = scratch.extend_through(&graph.edge(e_ca).interactions);
+                        bufs[L3].push([a, b, c], 3, scratch.extended_delivered(), flow);
+                    }
+                }
+            }
+        }
+        // Enumeration order is arbitrary; patching consumes replacement rows
+        // in key order.
+        for buf in &mut bufs {
+            buf.rows
+                .sort_unstable_by(|a, b| a.vertices().cmp(b.vertices()));
+        }
+
+        // 3. Splice the fresh rows over the stale groups, table by table.
+        let pair_key = |&(a, b): &(NodeId, NodeId)| PatchKey::pair(a, b);
+        if config.build_l2 {
+            let mut keys: Vec<PatchKey> = blocks.iter().map(pair_key).collect();
+            keys.extend(l2_extra.iter().map(pair_key));
+            keys.sort_unstable();
+            self.l2.patch_keys(&keys, &bufs[L2].rows, &bufs[L2].arena);
+        }
+        if config.build_l3 || config.build_c2 {
+            let mut keys: Vec<PatchKey> = blocks.iter().map(pair_key).collect();
+            keys.extend(points.iter().map(|&p| PatchKey::triple(p)));
+            keys.sort_unstable();
+            if config.build_l3 {
+                self.l3.patch_keys(&keys, &bufs[L3].rows, &bufs[L3].arena);
+            }
+            if config.build_c2 {
+                self.c2.patch_keys(&keys, &bufs[C2].rows, &bufs[C2].arena);
+            }
+        }
+
+        let kernel_calls = scratch.kernel_calls();
+        if config.max_rows > 0
+            && [&self.l2, &self.l3, &self.c2]
+                .iter()
+                .any(|t| t.len() > config.max_rows)
+        {
+            return self.rebuild(graph, &config, kernel_calls);
+        }
+        self.kernel_calls += kernel_calls;
+        TablesUpdate {
+            refreshed_groups,
+            rebuilt: false,
+            kernel_calls,
+        }
+    }
+
+    /// Full-rebuild fallback of [`PathTables::apply`]; `wasted` kernel
+    /// passes were already spent on an abandoned incremental attempt.
+    fn rebuild(
+        &mut self,
+        graph: &TemporalGraph,
+        config: &TablesConfig,
+        wasted: u64,
+    ) -> TablesUpdate {
+        let prior = self.kernel_calls;
+        *self = PathTables::build(graph, config);
+        let this_update = self.kernel_calls + wasted;
+        self.kernel_calls = prior + this_update;
+        TablesUpdate {
+            refreshed_groups: graph.node_count(),
+            rebuilt: true,
+            kernel_calls: this_update,
+        }
+    }
+}
+
+/// The anchors whose `L2`/`L3`/`C2` rows a batch of appended interactions
+/// can invalidate: for every touched edge `u → v`, the set `{u, v} ∪ in(u)`
+/// (deduplicated, ascending). `graph` must be the *post-apply* graph.
+///
+/// This set is exact: a table row's delivered profiles depend only on the
+/// edges along its path, and a path through `u → v` starts at `u` (first
+/// edge), at an in-neighbor of `u` (middle edge), or at `v` (closing edge
+/// of a cycle). Rows of any other anchor cannot reference the touched edge
+/// and stay valid verbatim.
+pub fn invalidated_anchors(graph: &TemporalGraph, applied: &AppliedDelta) -> Vec<NodeId> {
+    let mut anchors = Vec::new();
+    for &e in &applied.touched_edges {
+        let edge = graph.edge(e);
+        anchors.push(edge.src);
+        anchors.push(edge.dst);
+        anchors.extend(graph.in_neighbors(edge.src));
+    }
+    anchors.sort_unstable();
+    anchors.dedup();
+    anchors
 }
 
 /// Eager builds go parallel only when the graph plausibly amortizes the
@@ -384,6 +831,73 @@ impl ChunkOut {
     }
 }
 
+/// Emits every table row whose path starts with the single edge `u → v`:
+/// the `L2` cycle `[u, v]` (when the return edge exists) and, per closing
+/// vertex `w`, the shared-prefix `C2`/`L3` rows `[u, v, w]`.
+///
+/// `emit(table, verts, len, delivered, flow)` returns `false` to stop early
+/// (row-cap pressure); the function then returns `false` too. Shared by the
+/// eager per-anchor build and the incremental [`PathTables::apply`], so the
+/// two paths cannot drift apart.
+fn enumerate_first_edge<F>(
+    graph: &TemporalGraph,
+    config: &TablesConfig,
+    u: NodeId,
+    edge_uv: &tin_graph::Edge,
+    scratch: &mut ChainScratch,
+    emit: &mut F,
+) -> bool
+where
+    F: FnMut(usize, [NodeId; 3], u8, &[Interaction], Quantity) -> bool,
+{
+    let v = edge_uv.dst;
+    if v == u {
+        return true;
+    }
+    // The start vertex has an unlimited buffer, so the profile delivered
+    // into `v` is the edge's interaction list itself — the shared prefix
+    // of every path through `u → v` costs nothing to "compute".
+    let first = edge_uv.interactions.as_slice();
+    if config.build_l2 {
+        if let Some(e_vu) = graph.find_edge(v, u) {
+            let flow = scratch.reduce_pair(first, &graph.edge(e_vu).interactions);
+            if !emit(L2, [u, v, u], 2, scratch.delivered(), flow) {
+                return false;
+            }
+        }
+    }
+    if config.build_l3 || config.build_c2 {
+        for &e_vw in graph.out_edges(v) {
+            let edge_vw = graph.edge(e_vw);
+            let w = edge_vw.dst;
+            if w == u || w == v {
+                continue;
+            }
+            let closing = if config.build_l3 {
+                graph.find_edge(w, u)
+            } else {
+                None
+            };
+            if closing.is_none() && !config.build_c2 {
+                continue;
+            }
+            // One kernel pass for the shared `u → v → w` prefix; the C2
+            // row reuses it as-is, the L3 row extends it by one pass.
+            let mid_flow = scratch.reduce_pair(first, &edge_vw.interactions);
+            if config.build_c2 && !emit(C2, [u, v, w], 3, scratch.delivered(), mid_flow) {
+                return false;
+            }
+            if let Some(e_wu) = closing {
+                let flow = scratch.extend_through(&graph.edge(e_wu).interactions);
+                if !emit(L3, [u, v, w], 3, scratch.extended_delivered(), flow) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Builds every row anchored at `u` into `out`, using the chain kernel on
 /// the graph's interaction slices directly.
 fn build_anchor(
@@ -399,54 +913,23 @@ fn build_anchor(
         out.tables[L3].rows.len(),
         out.tables[C2].rows.len(),
     ];
-    'edges: for &e_uv in graph.out_edges(u) {
+    for &e_uv in graph.out_edges(u) {
         if out.hit_cap {
             break;
         }
-        let edge_uv = graph.edge(e_uv);
-        let v = edge_uv.dst;
-        if v == u {
-            continue;
-        }
-        // The start vertex has an unlimited buffer, so the profile delivered
-        // into `v` is the edge's interaction list itself — the shared prefix
-        // of every path through `u → v` costs nothing to "compute".
-        let first = edge_uv.interactions.as_slice();
-        if config.build_l2 {
-            if let Some(e_vu) = graph.find_edge(v, u) {
-                let flow = scratch.reduce_pair(first, &graph.edge(e_vu).interactions);
-                out.try_push(caps, L2, [u, v, u], 2, scratch.delivered(), flow);
-            }
-        }
-        if config.build_l3 || config.build_c2 {
-            for &e_vw in graph.out_edges(v) {
-                if out.hit_cap {
-                    break 'edges;
-                }
-                let edge_vw = graph.edge(e_vw);
-                let w = edge_vw.dst;
-                if w == u || w == v {
-                    continue;
-                }
-                let closing = if config.build_l3 {
-                    graph.find_edge(w, u)
-                } else {
-                    None
-                };
-                if closing.is_none() && !config.build_c2 {
-                    continue;
-                }
-                // One kernel pass for the shared `u → v → w` prefix; the C2
-                // row reuses it as-is, the L3 row extends it by one pass.
-                let mid_flow = scratch.reduce_pair(first, &edge_vw.interactions);
-                if config.build_c2 {
-                    out.try_push(caps, C2, [u, v, w], 3, scratch.delivered(), mid_flow);
-                }
-                if let Some(e_wu) = closing {
-                    let flow = scratch.extend_through(&graph.edge(e_wu).interactions);
-                    out.try_push(caps, L3, [u, v, w], 3, scratch.extended_delivered(), flow);
-                }
-            }
+        let keep_going = enumerate_first_edge(
+            graph,
+            config,
+            u,
+            graph.edge(e_uv),
+            scratch,
+            &mut |table, verts, len, delivered, flow| {
+                out.try_push(caps, table, verts, len, delivered, flow);
+                !out.hit_cap
+            },
+        );
+        if !keep_going {
+            break;
         }
     }
     // Adjacency order is arbitrary; sort this anchor's slice of each table
@@ -499,7 +982,10 @@ fn build_for_anchor_list(
     };
     let outputs = parallel_map(&chunks, run_chunk);
 
-    let mut tables = PathTables::default();
+    let mut tables = PathTables {
+        config: *config,
+        ..PathTables::default()
+    };
     let mut hit_cap = false;
     let mut merged: [TableBuf; 3] = Default::default();
     for out in &outputs {
@@ -550,34 +1036,51 @@ fn build_for_anchor_list(
 /// [`PathTables::for_anchors`] and caches them, so repeated queries are
 /// lookups and total kernel work stays proportional to the anchors
 /// actually visited.
-#[derive(Debug)]
-pub struct LazyPathTables<'g> {
-    graph: &'g TemporalGraph,
+///
+/// The cache does not borrow the graph — queries pass it in — so a live
+/// pipeline can alternate [`tin_graph::TemporalGraph::apply`] with queries
+/// on one long-lived cache, calling [`LazyPathTables::apply`] after each
+/// graph delta to evict exactly the anchors the delta invalidated. Always
+/// query with the same (evolving) graph the cache was maintained against.
+#[derive(Debug, Default)]
+pub struct LazyPathTables {
     config: TablesConfig,
     cache: HashMap<NodeId, PathTables>,
     kernel_calls: u64,
 }
 
-impl<'g> LazyPathTables<'g> {
-    /// Creates a lazy builder over `graph`; nothing is computed yet.
-    pub fn new(graph: &'g TemporalGraph, config: TablesConfig) -> Self {
+impl LazyPathTables {
+    /// Creates an empty lazy builder; nothing is computed yet.
+    pub fn new(config: TablesConfig) -> Self {
         LazyPathTables {
-            graph,
             config,
             cache: HashMap::new(),
             kernel_calls: 0,
         }
     }
 
-    /// The tables restricted to `anchor`, built on first request and
-    /// memoized. Out-of-range anchors yield empty tables.
-    pub fn tables_for(&mut self, anchor: NodeId) -> &PathTables {
+    /// The tables restricted to `anchor`, built over `graph` on first
+    /// request and memoized. Out-of-range anchors yield empty tables.
+    pub fn tables_for(&mut self, graph: &TemporalGraph, anchor: NodeId) -> &PathTables {
         if !self.cache.contains_key(&anchor) {
-            let built = PathTables::for_anchors(self.graph, &self.config, &[anchor]);
+            let built = PathTables::for_anchors(graph, &self.config, &[anchor]);
             self.kernel_calls += built.kernel_calls();
             self.cache.insert(anchor, built);
         }
         &self.cache[&anchor]
+    }
+
+    /// Maintains the cache after `graph` absorbed a delta: evicts every
+    /// anchor the delta invalidated (see [`invalidated_anchors`]) and
+    /// returns how many cached entries that dropped. Subsequent queries
+    /// rebuild the evicted anchors against the grown graph; untouched
+    /// entries stay warm.
+    pub fn apply(&mut self, graph: &TemporalGraph, applied: &AppliedDelta) -> usize {
+        let mut evicted = 0;
+        for anchor in invalidated_anchors(graph, applied) {
+            evicted += usize::from(self.cache.remove(&anchor).is_some());
+        }
+        evicted
     }
 
     /// Number of distinct anchors built so far.
@@ -787,18 +1290,165 @@ mod tests {
         let g = sample();
         let cfg = TablesConfig::default();
         let full = PathTables::build(&g, &cfg);
-        let mut lazy = LazyPathTables::new(&g, cfg);
+        let mut lazy = LazyPathTables::new(cfg);
         let x = g.node_by_name("x").unwrap();
         let first_calls = {
-            let t = lazy.tables_for(x);
+            let t = lazy.tables_for(&g, x);
             assert_eq!(t.l2.len(), full.l2.rows_for(x).len());
             assert_eq!(t.c2.len(), full.c2.rows_for(x).len());
             lazy.kernel_calls()
         };
         // A repeat query is a cache hit: no new kernel work.
-        let _ = lazy.tables_for(x);
+        let _ = lazy.tables_for(&g, x);
         assert_eq!(lazy.kernel_calls(), first_calls);
         assert_eq!(lazy.built_anchors(), 1);
+    }
+
+    /// Asserts `got` and `want` carry identical rows (vertices, flows,
+    /// delivered profiles) in identical order, table by table.
+    fn assert_row_identical(got: &PathTables, want: &PathTables) {
+        assert_eq!(got.first_row_divergence(want), None);
+    }
+
+    #[test]
+    fn incremental_apply_matches_full_rebuild() {
+        use tin_graph::{GraphDelta, Interaction, Node};
+        let mut g = sample();
+        let cfg = TablesConfig::default();
+        let mut tables = PathTables::build_serial(&g, &cfg);
+        let x = g.node_by_name("x").unwrap();
+        let w = g.node_by_name("w").unwrap();
+        // A batch that reshapes an existing edge, closes a new cycle through
+        // a brand-new vertex, and touches a previously row-less anchor.
+        let delta = GraphDelta::new(
+            4,
+            vec![Node { name: "q".into() }],
+            vec![
+                (x, w, Interaction::new(7, 2.0)),
+                (w, NodeId(4), Interaction::new(8, 3.0)),
+                (NodeId(4), x, Interaction::new(9, 1.0)),
+            ],
+        )
+        .unwrap();
+        let applied = g.apply(&delta).unwrap();
+        let update = tables.apply(&g, &applied);
+        assert!(!update.rebuilt);
+        assert!(update.refreshed_groups > 0);
+        assert_row_identical(&tables, &PathTables::build_serial(&g, &cfg));
+    }
+
+    #[test]
+    fn incremental_apply_leaves_untouched_anchors_alone() {
+        use tin_graph::{GraphDelta, Interaction};
+        // Two disconnected 2-cycles; appending to one must not re-run the
+        // kernel for the other.
+        let mut g = from_records([
+            ("a", "b", 1, 5.0),
+            ("b", "a", 2, 3.0),
+            ("c", "d", 1, 4.0),
+            ("d", "c", 2, 2.0),
+        ]);
+        let cfg = TablesConfig::default();
+        let mut tables = PathTables::build_serial(&g, &cfg);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let delta = GraphDelta::new(4, vec![], vec![(a, b, Interaction::new(3, 1.0))]).unwrap();
+        let applied = g.apply(&delta).unwrap();
+        let update = tables.apply(&g, &applied);
+        assert!(!update.rebuilt);
+        // Exactly two row groups: the `[a, b, *]` block and the `[b, a]`
+        // closing cycle; the disconnected c/d cycle is never revisited.
+        assert_eq!(update.refreshed_groups, 2);
+        assert_row_identical(&tables, &PathTables::build_serial(&g, &cfg));
+    }
+
+    #[test]
+    fn repeated_small_appends_compact_the_arena() {
+        use tin_graph::{GraphDelta, Interaction};
+        let mut g = from_records([("a", "b", 1, 5.0), ("b", "a", 2, 3.0)]);
+        let cfg = TablesConfig::default();
+        let mut tables = PathTables::build_serial(&g, &cfg);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        for t in 0..200 {
+            let delta =
+                GraphDelta::new(2, vec![], vec![(a, b, Interaction::new(3 + t, 1.0))]).unwrap();
+            let applied = g.apply(&delta).unwrap();
+            tables.apply(&g, &applied);
+        }
+        let rebuilt = PathTables::build_serial(&g, &cfg);
+        assert_row_identical(&tables, &rebuilt);
+        // Garbage from 200 replacements was compacted away: the live arena
+        // is within a constant factor of a fresh build's.
+        assert!(
+            tables.l2.arena.len() <= 2 * rebuilt.l2.arena.len().max(1),
+            "arena grew unboundedly: {} vs fresh {}",
+            tables.l2.arena.len(),
+            rebuilt.l2.arena.len()
+        );
+    }
+
+    #[test]
+    fn apply_on_truncated_tables_falls_back_to_rebuild() {
+        use tin_graph::{GraphDelta, Interaction};
+        let mut g = sample();
+        let cfg = TablesConfig {
+            max_rows: 1,
+            ..TablesConfig::default()
+        };
+        let mut tables = PathTables::build_serial(&g, &cfg);
+        assert!(tables.truncated);
+        let x = g.node_by_name("x").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        let delta = GraphDelta::new(4, vec![], vec![(x, y, Interaction::new(9, 1.0))]).unwrap();
+        let applied = g.apply(&delta).unwrap();
+        let update = tables.apply(&g, &applied);
+        assert!(update.rebuilt);
+        assert!(tables.truncated, "cap still exceeded after the rebuild");
+    }
+
+    #[test]
+    #[should_panic(expected = "for_anchors subset")]
+    fn apply_on_an_anchor_subset_panics() {
+        use tin_graph::{GraphDelta, Interaction};
+        let mut g = sample();
+        let x = g.node_by_name("x").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        let mut subset = PathTables::for_anchors(&g, &TablesConfig::default(), &[x]);
+        let delta = GraphDelta::new(4, vec![], vec![(x, y, Interaction::new(9, 1.0))]).unwrap();
+        let applied = g.apply(&delta).unwrap();
+        let _ = subset.apply(&g, &applied);
+    }
+
+    #[test]
+    fn lazy_apply_evicts_only_invalidated_anchors() {
+        use tin_graph::{GraphDelta, Interaction};
+        let mut g = from_records([
+            ("a", "b", 1, 5.0),
+            ("b", "a", 2, 3.0),
+            ("c", "d", 1, 4.0),
+            ("d", "c", 2, 2.0),
+        ]);
+        let cfg = TablesConfig::default();
+        let mut lazy = LazyPathTables::new(cfg);
+        for v in g.node_ids() {
+            let _ = lazy.tables_for(&g, v);
+        }
+        assert_eq!(lazy.built_anchors(), 4);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let delta = GraphDelta::new(4, vec![], vec![(a, b, Interaction::new(3, 1.0))]).unwrap();
+        let applied = g.apply(&delta).unwrap();
+        let evicted = lazy.apply(&g, &applied);
+        assert_eq!(evicted, 2, "exactly a and b drop out");
+        assert_eq!(lazy.built_anchors(), 2);
+        // Re-querying an evicted anchor rebuilds it against the grown graph.
+        let full = PathTables::build_serial(&g, &cfg);
+        let t = lazy.tables_for(&g, a);
+        assert_eq!(t.l2.len(), full.l2.rows_for(a).len());
+        let row = &t.l2.rows_for(a)[0];
+        let want = &full.l2.rows_for(a)[0];
+        assert_eq!(row.flow, want.flow);
     }
 
     #[test]
@@ -833,8 +1483,8 @@ mod tests {
         let cfg = TablesConfig::default();
         let full = PathTables::build_serial(&g, &cfg);
         let a = g.node_by_name("a").unwrap();
-        let mut lazy = LazyPathTables::new(&g, cfg);
-        let _ = lazy.tables_for(a);
+        let mut lazy = LazyPathTables::new(cfg);
+        let _ = lazy.tables_for(&g, a);
         // O(deg²) bound: each out-edge (u,v) costs ≤ 1 L2 pass plus ≤ 2
         // passes (prefix + closing) per closing vertex w of v.
         let bound: u64 = g

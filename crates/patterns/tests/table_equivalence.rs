@@ -53,8 +53,8 @@ fn build_graph(desc: &RandomGraph) -> TemporalGraph {
         .collect();
     for _ in 0..desc.edges {
         let u = ids[(next() * desc.nodes as f64) as usize % desc.nodes];
-        // Mostly distinct endpoints, occasionally a self-loop (builders must
-        // skip those when enumerating paths).
+        // Mostly distinct endpoints, occasionally a self-loop attempt (the
+        // builder must reject those with a typed error).
         let v = if next() < 0.08 {
             u
         } else {
@@ -64,7 +64,11 @@ fn build_graph(desc: &RandomGraph) -> TemporalGraph {
         for _ in 0..interactions {
             let t = (next() * 40.0) as i64;
             let q = (next() * 9.0).floor(); // integer quantities: exact f64 math
-            b.add_pairs(u, v, &[(t, q)]);
+            if u == v {
+                assert!(b.add_pairs(u, v, &[(t, q)]).is_err(), "self-loop accepted");
+            } else {
+                b.add_pairs(u, v, &[(t, q)]).unwrap();
+            }
         }
     }
     b.build()
@@ -161,9 +165,9 @@ proptest! {
         let config = TablesConfig::default();
         let full = PathTables::build_serial(&g, &config);
         let anchors: Vec<NodeId> = g.node_ids().collect();
-        let mut lazy = LazyPathTables::new(&g, config);
+        let mut lazy = LazyPathTables::new(config);
         for &a in &anchors {
-            let per_anchor = lazy.tables_for(a);
+            let per_anchor = lazy.tables_for(&g, a);
             for (label, sub, whole) in [
                 ("L2", &per_anchor.l2, &full.l2),
                 ("L3", &per_anchor.l3, &full.l3),
@@ -230,10 +234,10 @@ fn zero_flow_cycles_round_trip() {
     let u = b.add_node("u");
     let v = b.add_node("v");
     let w = b.add_node("w");
-    b.add_pairs(u, v, &[(10, 5.0)]);
-    b.add_pairs(v, u, &[(1, 5.0)]);
-    b.add_pairs(v, w, &[(20, 4.0)]);
-    b.add_pairs(w, u, &[(2, 4.0)]);
+    b.add_pairs(u, v, &[(10, 5.0)]).unwrap();
+    b.add_pairs(v, u, &[(1, 5.0)]).unwrap();
+    b.add_pairs(v, w, &[(20, 4.0)]).unwrap();
+    b.add_pairs(w, u, &[(2, 4.0)]).unwrap();
     let g = b.build();
     let config = TablesConfig::default();
     let kernel = PathTables::build_serial(&g, &config);
@@ -257,7 +261,7 @@ fn capped_tables_stay_bounded() {
     for (i, &x) in ids.iter().enumerate() {
         for (j, &y) in ids.iter().enumerate() {
             if i != j {
-                b.add_pairs(x, y, &[((i * 8 + j) as i64, 3.0)]);
+                b.add_pairs(x, y, &[((i * 8 + j) as i64, 3.0)]).unwrap();
             }
         }
     }

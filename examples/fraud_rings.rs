@@ -81,14 +81,11 @@ fn main() {
     // account's neighbourhood is precomputed (O(deg²) kernel work), instead
     // of paying for a whole-graph table build.
     if let Some(&(seed, ..)) = rankings.first() {
-        let mut lazy = LazyPathTables::new(
-            &graph,
-            TablesConfig {
-                build_c2: false,
-                ..TablesConfig::default()
-            },
-        );
-        let tables = lazy.tables_for(seed);
+        let mut lazy = LazyPathTables::new(TablesConfig {
+            build_c2: false,
+            ..TablesConfig::default()
+        });
+        let tables = lazy.tables_for(&graph, seed);
         let l2 = tables.l2.rows_for(seed);
         let l3 = tables.l3.rows_for(seed);
         let round_trip: f64 = l2.iter().chain(l3).map(|r| r.flow).sum();

@@ -1,0 +1,80 @@
+//! The streaming pipeline end to end: a transaction log is consumed in
+//! small batches as if it were arriving live, every batch is merged into
+//! the graph as a [`tin_graph::GraphDelta`], the PB path tables are patched
+//! incrementally, and pattern search runs between batches against the
+//! up-to-the-batch state — no snapshot rebuild anywhere.
+//!
+//! Run with: `cargo run --release --example live_feed`
+
+use std::io::Write as _;
+use temporal_flow::prelude::*;
+use tin_datasets::{generate, DatasetKind, DeltaStream, LoaderConfig};
+use tin_patterns::{search_pb, PathTables, PatternId, TablesConfig};
+
+fn main() {
+    // A "live feed": the Bitcoin-shaped generator's log serialized as CSV,
+    // then replayed in batches of 50 records. In production the reader
+    // would be a socket or a tailed file — DeltaStream takes any io::Read.
+    let full = generate(DatasetKind::Bitcoin, 7);
+    let mut csv: Vec<u8> = b"sender,recipient,timestamp,amount\n".to_vec();
+    for edge in full.edges() {
+        let (src, dst) = (&full.node(edge.src).name, &full.node(edge.dst).name);
+        for i in &edge.interactions {
+            writeln!(csv, "{src},{dst},{},{}", i.time, i.quantity).expect("vec write");
+        }
+    }
+    println!(
+        "feed: {} records from the {} generator ({} accounts)\n",
+        full.interaction_count(),
+        DatasetKind::Bitcoin,
+        full.node_count()
+    );
+
+    let mut stream =
+        DeltaStream::new(csv.as_slice(), &LoaderConfig::default()).expect("valid config");
+    let mut graph = TemporalGraph::new();
+    let config = TablesConfig::default();
+    let mut tables = PathTables::build(&graph, &config);
+
+    // Ingest → append → incremental table update → pattern search, batch by
+    // batch. Memory stays bounded by the graph + tables; the log is never
+    // materialized.
+    let mut batch_no = 0usize;
+    let mut groups = 0usize;
+    while let Some(delta) = stream.next_delta(50).expect("clean generated log") {
+        let applied = graph.apply(&delta).expect("deltas apply in order");
+        let update = tables.apply(&graph, &applied);
+        assert!(!update.rebuilt, "small deltas never trigger a rebuild");
+        groups += update.refreshed_groups;
+        batch_no += 1;
+        // Query the live state every 10 batches: 2-hop cycle instances (P2)
+        // straight from the incrementally maintained tables.
+        if batch_no % 10 == 0 {
+            let p2 =
+                search_pb(&graph, &tables, PatternId::P2, 0).expect("cycle tables are maintained");
+            println!(
+                "after batch {batch_no:>3} ({:>5} transfers): {:>4} two-hop cycles, \
+                 avg flow {:>7.2}  [{} rows refreshed this batch]",
+                graph.interaction_count(),
+                p2.instances,
+                p2.average_flow,
+                update.refreshed_groups,
+            );
+        }
+    }
+    println!(
+        "\nfinal: {} accounts, {} transfers in {} batches; {} row groups refreshed \
+         incrementally across the run",
+        graph.node_count(),
+        graph.interaction_count(),
+        batch_no,
+        groups
+    );
+
+    // The streamed state is exactly the snapshot state: same graph as the
+    // generator's, tables row-identical to a from-scratch build.
+    assert_eq!(graph.interaction_count(), full.interaction_count());
+    let rebuilt = PathTables::build(&graph, &config);
+    assert_eq!(tables.first_row_divergence(&rebuilt), None);
+    println!("verified: incremental tables are row-identical to a full rebuild");
+}

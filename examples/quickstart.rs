@@ -22,12 +22,12 @@ fn figure1() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let t = b.add_node("t");
-    b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
-    b.add_pairs(s, y, &[(2, 6.0)]);
-    b.add_pairs(x, z, &[(5, 5.0)]);
-    b.add_pairs(y, z, &[(8, 5.0)]);
-    b.add_pairs(y, t, &[(9, 4.0)]);
-    b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+    b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]).unwrap();
+    b.add_pairs(s, y, &[(2, 6.0)]).unwrap();
+    b.add_pairs(x, z, &[(5, 5.0)]).unwrap();
+    b.add_pairs(y, z, &[(8, 5.0)]).unwrap();
+    b.add_pairs(y, t, &[(9, 4.0)]).unwrap();
+    b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]).unwrap();
     let g = b.build();
 
     let greedy = greedy_flow(&g, s, t).flow;
@@ -49,11 +49,11 @@ fn figure3_tables_2_and_3() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let t = b.add_node("t");
-    b.add_pairs(s, y, &[(1, 5.0)]);
-    b.add_pairs(s, z, &[(2, 3.0)]);
-    b.add_pairs(y, z, &[(3, 5.0)]);
-    b.add_pairs(y, t, &[(4, 4.0)]);
-    b.add_pairs(z, t, &[(5, 1.0)]);
+    b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+    b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+    b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+    b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+    b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
     let g = b.build();
 
     let traced = greedy_flow_traced(&g, s, t);
@@ -89,13 +89,13 @@ fn preprocessing_figure6() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let t = b.add_node("t");
-    b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]);
-    b.add_pairs(s, z, &[(10, 5.0)]);
-    b.add_pairs(x, y, &[(2, 7.0), (12, 4.0)]);
-    b.add_pairs(x, z, &[(1, 2.0), (13, 1.0)]);
-    b.add_pairs(y, t, &[(3, 3.0), (15, 2.0)]);
-    b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]);
-    b.add_pairs(s, y, &[(9, 7.0)]);
+    b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]).unwrap();
+    b.add_pairs(s, z, &[(10, 5.0)]).unwrap();
+    b.add_pairs(x, y, &[(2, 7.0), (12, 4.0)]).unwrap();
+    b.add_pairs(x, z, &[(1, 2.0), (13, 1.0)]).unwrap();
+    b.add_pairs(y, t, &[(3, 3.0), (15, 2.0)]).unwrap();
+    b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]).unwrap();
+    b.add_pairs(s, y, &[(9, 7.0)]).unwrap();
     let g = b.build();
 
     let out = preprocess(&g, s, t).unwrap();
@@ -121,15 +121,15 @@ fn simplification_figure7() {
     let w = b.add_node("w");
     let u = b.add_node("u");
     let t = b.add_node("t");
-    b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]);
-    b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]);
-    b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
-    b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
-    b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
-    b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]);
-    b.add_pairs(w, t, &[(15, 7.0)]);
-    b.add_pairs(w, u, &[(13, 5.0)]);
-    b.add_pairs(u, t, &[(16, 6.0)]);
+    b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]).unwrap();
+    b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]).unwrap();
+    b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]).unwrap();
+    b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]).unwrap();
+    b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]).unwrap();
+    b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]).unwrap();
+    b.add_pairs(w, t, &[(15, 7.0)]).unwrap();
+    b.add_pairs(w, u, &[(13, 5.0)]).unwrap();
+    b.add_pairs(u, t, &[(16, 6.0)]).unwrap();
     let g = b.build();
 
     let out = simplify(&g, s, t);

@@ -31,12 +31,12 @@
 //! let y = b.add_node("y");
 //! let z = b.add_node("z");
 //! let t = b.add_node("t");
-//! b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
-//! b.add_pairs(s, y, &[(2, 6.0)]);
-//! b.add_pairs(x, z, &[(5, 5.0)]);
-//! b.add_pairs(y, z, &[(8, 5.0)]);
-//! b.add_pairs(y, t, &[(9, 4.0)]);
-//! b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+//! b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]).unwrap();
+//! b.add_pairs(s, y, &[(2, 6.0)]).unwrap();
+//! b.add_pairs(x, z, &[(5, 5.0)]).unwrap();
+//! b.add_pairs(y, z, &[(8, 5.0)]).unwrap();
+//! b.add_pairs(y, t, &[(9, 4.0)]).unwrap();
+//! b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]).unwrap();
 //! let g = b.build();
 //!
 //! let greedy = greedy_flow(&g, s, t).flow;

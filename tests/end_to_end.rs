@@ -126,8 +126,8 @@ fn facade_prelude_covers_the_quickstart_workflow() {
     let alice = b.add_node("alice");
     let bob = b.add_node("bob");
     let carol = b.add_node("carol");
-    b.add_pairs(alice, bob, &[(1, 100.0), (5, 50.0)]);
-    b.add_pairs(bob, carol, &[(3, 80.0), (7, 60.0)]);
+    b.add_pairs(alice, bob, &[(1, 100.0), (5, 50.0)]).unwrap();
+    b.add_pairs(bob, carol, &[(3, 80.0), (7, 60.0)]).unwrap();
     let g = b.build();
     let greedy = greedy_flow(&g, alice, carol).flow;
     let max = maximum_flow(&g, alice, carol).unwrap().flow;

@@ -18,12 +18,12 @@ fn figure1_greedy_two_maximum_five() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let t = b.add_node("t");
-    b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]);
-    b.add_pairs(s, y, &[(2, 6.0)]);
-    b.add_pairs(x, z, &[(5, 5.0)]);
-    b.add_pairs(y, z, &[(8, 5.0)]);
-    b.add_pairs(y, t, &[(9, 4.0)]);
-    b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]);
+    b.add_pairs(s, x, &[(1, 3.0), (7, 5.0)]).unwrap();
+    b.add_pairs(s, y, &[(2, 6.0)]).unwrap();
+    b.add_pairs(x, z, &[(5, 5.0)]).unwrap();
+    b.add_pairs(y, z, &[(8, 5.0)]).unwrap();
+    b.add_pairs(y, t, &[(9, 4.0)]).unwrap();
+    b.add_pairs(z, t, &[(2, 3.0), (10, 1.0)]).unwrap();
     let g = b.build();
 
     assert!(close(greedy_flow(&g, s, t).flow, 2.0));
@@ -48,11 +48,11 @@ fn figure3_tables_2_and_3() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let t = b.add_node("t");
-    b.add_pairs(s, y, &[(1, 5.0)]);
-    b.add_pairs(s, z, &[(2, 3.0)]);
-    b.add_pairs(y, z, &[(3, 5.0)]);
-    b.add_pairs(y, t, &[(4, 4.0)]);
-    b.add_pairs(z, t, &[(5, 1.0)]);
+    b.add_pairs(s, y, &[(1, 5.0)]).unwrap();
+    b.add_pairs(s, z, &[(2, 3.0)]).unwrap();
+    b.add_pairs(y, z, &[(3, 5.0)]).unwrap();
+    b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+    b.add_pairs(z, t, &[(5, 1.0)]).unwrap();
     let g = b.build();
 
     // Table 2: greedy transfers 5, 3, 5, 0, 1 and delivers 1 unit.
@@ -81,9 +81,9 @@ fn figure4_synthetic_endpoints() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let w = b.add_node("w");
-    b.add_pairs(x, z, &[(1, 5.0)]);
-    b.add_pairs(y, z, &[(2, 3.0)]);
-    b.add_pairs(y, w, &[(5, 1.0)]);
+    b.add_pairs(x, z, &[(1, 5.0)]).unwrap();
+    b.add_pairs(y, z, &[(2, 3.0)]).unwrap();
+    b.add_pairs(y, w, &[(5, 1.0)]).unwrap();
     let g = b.build();
 
     let aug = augment_with_synthetic_endpoints(&g).unwrap();
@@ -103,9 +103,9 @@ fn figure5a_chain_is_greedy_soluble() {
     let x = b.add_node("x");
     let y = b.add_node("y");
     let t = b.add_node("t");
-    b.add_pairs(s, x, &[(1, 5.0), (4, 3.0), (5, 2.0)]);
-    b.add_pairs(x, y, &[(3, 3.0), (7, 4.0)]);
-    b.add_pairs(y, t, &[(6, 3.0), (8, 6.0)]);
+    b.add_pairs(s, x, &[(1, 5.0), (4, 3.0), (5, 2.0)]).unwrap();
+    b.add_pairs(x, y, &[(3, 3.0), (7, 4.0)]).unwrap();
+    b.add_pairs(y, t, &[(6, 3.0), (8, 6.0)]).unwrap();
     let g = b.build();
 
     assert!(is_greedy_soluble(&g, s, t));
@@ -127,13 +127,13 @@ fn figure5b_lemma2_graph() {
     let w = b.add_node("w");
     let x = b.add_node("x");
     let t = b.add_node("t");
-    b.add_pairs(s, y, &[(1, 5.0), (4, 3.0), (5, 2.0)]);
-    b.add_pairs(y, z, &[(3, 3.0), (7, 4.0)]);
-    b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
-    b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
-    b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
-    b.add_pairs(w, t, &[(15, 7.0)]);
-    b.add_pairs(s, t, &[(2, 5.0), (11, 2.0)]);
+    b.add_pairs(s, y, &[(1, 5.0), (4, 3.0), (5, 2.0)]).unwrap();
+    b.add_pairs(y, z, &[(3, 3.0), (7, 4.0)]).unwrap();
+    b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]).unwrap();
+    b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]).unwrap();
+    b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]).unwrap();
+    b.add_pairs(w, t, &[(15, 7.0)]).unwrap();
+    b.add_pairs(s, t, &[(2, 5.0), (11, 2.0)]).unwrap();
     let g = b.build();
 
     assert!(is_greedy_soluble(&g, s, t));
@@ -160,13 +160,13 @@ fn figure6_preprocessing() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let t = b.add_node("t");
-    b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]);
-    b.add_pairs(s, z, &[(10, 5.0)]);
-    b.add_pairs(x, y, &[(2, 7.0), (12, 4.0)]);
-    b.add_pairs(x, z, &[(1, 2.0), (13, 1.0)]);
-    b.add_pairs(y, t, &[(3, 3.0), (15, 2.0)]);
-    b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]);
-    b.add_pairs(s, y, &[(9, 7.0)]);
+    b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]).unwrap();
+    b.add_pairs(s, z, &[(10, 5.0)]).unwrap();
+    b.add_pairs(x, y, &[(2, 7.0), (12, 4.0)]).unwrap();
+    b.add_pairs(x, z, &[(1, 2.0), (13, 1.0)]).unwrap();
+    b.add_pairs(y, t, &[(3, 3.0), (15, 2.0)]).unwrap();
+    b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]).unwrap();
+    b.add_pairs(s, y, &[(9, 7.0)]).unwrap();
     let g1 = b.build();
     let out = preprocess(&g1, s, t).unwrap();
     assert_eq!(out.report.interactions_removed, 4);
@@ -190,12 +190,12 @@ fn figure6_preprocessing() {
     let y = b.add_node("y");
     let z = b.add_node("z");
     let t = b.add_node("t");
-    b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]);
-    b.add_pairs(s, z, &[(10, 5.0)]);
-    b.add_pairs(x, y, &[(3, 4.0)]);
-    b.add_pairs(y, t, &[(2, 7.0), (12, 4.0)]);
-    b.add_pairs(y, z, &[(1, 2.0), (13, 1.0)]);
-    b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]);
+    b.add_pairs(s, x, &[(5, 3.0), (8, 3.0)]).unwrap();
+    b.add_pairs(s, z, &[(10, 5.0)]).unwrap();
+    b.add_pairs(x, y, &[(3, 4.0)]).unwrap();
+    b.add_pairs(y, t, &[(2, 7.0), (12, 4.0)]).unwrap();
+    b.add_pairs(y, z, &[(1, 2.0), (13, 1.0)]).unwrap();
+    b.add_pairs(z, t, &[(4, 2.0), (11, 4.0)]).unwrap();
     let g2 = b.build();
     let result = compute_flow(&g2, s, t, FlowMethod::Pre).unwrap();
     assert_eq!(result.class, Some(DifficultyClass::B));
@@ -214,15 +214,15 @@ fn figure7_simplification_shrinks_the_lp() {
     let w = b.add_node("w");
     let u = b.add_node("u");
     let t = b.add_node("t");
-    b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]);
-    b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]);
-    b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]);
-    b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]);
-    b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]);
-    b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]);
-    b.add_pairs(w, t, &[(15, 7.0)]);
-    b.add_pairs(w, u, &[(13, 5.0)]);
-    b.add_pairs(u, t, &[(16, 6.0)]);
+    b.add_pairs(s, y, &[(1, 2.0), (4, 3.0), (5, 2.0)]).unwrap();
+    b.add_pairs(y, z, &[(3, 3.0), (7, 1.0)]).unwrap();
+    b.add_pairs(z, w, &[(6, 3.0), (8, 6.0)]).unwrap();
+    b.add_pairs(s, x, &[(9, 2.0), (12, 5.0)]).unwrap();
+    b.add_pairs(x, w, &[(10, 3.0), (14, 4.0)]).unwrap();
+    b.add_pairs(s, z, &[(2, 5.0), (11, 2.0)]).unwrap();
+    b.add_pairs(w, t, &[(15, 7.0)]).unwrap();
+    b.add_pairs(w, u, &[(13, 5.0)]).unwrap();
+    b.add_pairs(u, t, &[(16, 6.0)]).unwrap();
     let g = b.build();
 
     let lp = compute_flow(&g, s, t, FlowMethod::Lp).unwrap();

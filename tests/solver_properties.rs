@@ -59,7 +59,8 @@ fn build(dag: &RandomDag) -> (tin_graph::TemporalGraph, NodeId, NodeId) {
         .map(|i| b.add_node(format!("v{i}")))
         .collect();
     for &(a, c, t, q) in &dag.interactions {
-        b.add_interaction(ids[a], ids[c], Interaction::new(t, q));
+        b.add_interaction(ids[a], ids[c], Interaction::new(t, q))
+            .unwrap();
     }
     (b.build(), ids[0], ids[dag.nodes - 1])
 }
@@ -179,10 +180,10 @@ proptest! {
 fn chain_flow_is_bounded_by_every_edge() {
     let mut b = GraphBuilder::new();
     let ids: Vec<NodeId> = (0..5).map(|i| b.add_node(format!("v{i}"))).collect();
-    b.add_pairs(ids[0], ids[1], &[(1, 5.0), (4, 7.0)]);
-    b.add_pairs(ids[1], ids[2], &[(2, 3.0), (5, 6.0)]);
-    b.add_pairs(ids[2], ids[3], &[(3, 2.0), (6, 8.0)]);
-    b.add_pairs(ids[3], ids[4], &[(7, 20.0)]);
+    b.add_pairs(ids[0], ids[1], &[(1, 5.0), (4, 7.0)]).unwrap();
+    b.add_pairs(ids[1], ids[2], &[(2, 3.0), (5, 6.0)]).unwrap();
+    b.add_pairs(ids[2], ids[3], &[(3, 2.0), (6, 8.0)]).unwrap();
+    b.add_pairs(ids[3], ids[4], &[(7, 20.0)]).unwrap();
     let g = b.build();
     let max = maximum_flow(&g, ids[0], ids[4]).unwrap().flow;
     let greedy = greedy_flow(&g, ids[0], ids[4]).flow;
