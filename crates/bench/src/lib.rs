@@ -17,6 +17,7 @@ pub mod ingest_experiments;
 pub mod pattern_experiments;
 pub mod report;
 pub mod stream_experiments;
+pub mod window_experiments;
 pub mod workloads;
 
 pub use flow_experiments::{
@@ -27,4 +28,5 @@ pub use ingest_experiments::{assert_ingest_equivalent, ingest_csv, to_csv, Inges
 pub use pattern_experiments::{pattern_experiment, PatternTableRow};
 pub use report::{format_duration, print_table};
 pub use stream_experiments::{stream_experiment, StreamMeasurement};
+pub use window_experiments::{window_experiment, WindowMeasurement};
 pub use workloads::{build_subgraphs, generate_dataset, ExperimentScale, Workload};

@@ -69,7 +69,9 @@ impl StreamMeasurement {
 
 /// The tables the streaming loop maintains: same per-dataset choice as the
 /// pattern experiment (the chain table only where the paper affords it).
-fn stream_tables_config(kind: DatasetKind) -> TablesConfig {
+/// Shared with the window experiment so both regimes measure identical
+/// table work.
+pub(crate) fn stream_tables_config(kind: DatasetKind) -> TablesConfig {
     TablesConfig {
         build_l2: true,
         build_l3: true,

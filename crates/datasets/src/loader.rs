@@ -52,7 +52,7 @@ use std::fmt;
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 use tin_graph::io::parse_quantity;
-use tin_graph::{GraphDelta, GraphError, ParseMode, StreamingParser, TemporalGraph};
+use tin_graph::{GraphDelta, GraphError, ParseMode, StreamingParser, TemporalGraph, Time};
 
 /// What happened while loading a source: row accounting plus the format
 /// decisions (delimiter, header) the loader made, so callers can log exactly
@@ -140,6 +140,12 @@ pub struct DeltaStream<R: Read> {
     shape: Option<RowShape>,
     had_header: bool,
     eof: bool,
+    /// Sliding-window length; when set, every emitted delta carries the
+    /// expiry frontier `newest seen timestamp - window`.
+    window: Option<i64>,
+    /// Largest timestamp seen across all emitted records (monotone, so the
+    /// emitted frontiers are monotone too).
+    max_seen: Option<Time>,
 }
 
 impl<R: Read> DeltaStream<R> {
@@ -165,7 +171,34 @@ impl<R: Read> DeltaStream<R> {
             shape: None,
             had_header: false,
             eof: false,
+            window: None,
+            max_seen: None,
         })
+    }
+
+    /// Puts the stream in sliding-window mode: every delta returned by
+    /// [`DeltaStream::next_delta`] carries the expiry frontier
+    /// `newest timestamp seen so far - duration`, so applying the deltas
+    /// keeps exactly the interactions of the trailing window (inclusive:
+    /// `time >= newest - duration`) and evicts everything older —
+    /// tombstoning edges as their history expires (see
+    /// [`tin_graph::GraphDelta::expire_before`]).
+    ///
+    /// The newest-seen timestamp is monotone, so the emitted frontiers are
+    /// monotone, as [`tin_graph::TemporalGraph::apply`] requires. Records
+    /// arriving more than `duration` behind the newest one are evicted in
+    /// the same application that admits them.
+    ///
+    /// Fails on a negative `duration`; `0` is a valid (degenerate) window
+    /// that keeps only the newest instant.
+    pub fn window(mut self, duration: i64) -> Result<Self, GraphError> {
+        if duration < 0 {
+            return Err(GraphError::Invalid {
+                message: format!("window duration must be non-negative, got {duration}"),
+            });
+        }
+        self.window = Some(duration);
+        Ok(self)
     }
 
     /// Reads until `max_records` further records are accepted (or the source
@@ -196,9 +229,19 @@ impl<R: Read> DeltaStream<R> {
             }
             self.process_line(n)?;
         }
-        let delta = self.parser.drain_delta();
+        let mut delta = self.parser.drain_delta();
         if delta.is_empty() && self.eof {
             return Ok(None);
+        }
+        if let Some(duration) = self.window {
+            for &(_, _, i) in delta.interactions() {
+                if self.max_seen.is_none_or(|m| i.time > m) {
+                    self.max_seen = Some(i.time);
+                }
+            }
+            if let Some(newest) = self.max_seen {
+                delta = delta.expire_before(newest.saturating_sub(duration));
+            }
         }
         Ok(Some(delta))
     }
@@ -1072,5 +1115,51 @@ b,a,500,2.0
         let mut stream = DeltaStream::new(csv.as_bytes(), &strict()).unwrap();
         let first = stream.next_delta(0).unwrap().unwrap();
         assert_eq!(first.interactions().len(), 1);
+    }
+
+    #[test]
+    fn window_mode_emits_monotone_frontiers_and_prunes_the_graph() {
+        // Timestamps climb 1..=6; a window of 2 keeps [newest - 2, newest].
+        let csv = "a,b,1,1\nb,c,2,1\nc,a,3,1\na,b,4,1\nb,c,5,1\nc,a,6,1\n";
+        let mut stream = DeltaStream::new(csv.as_bytes(), &strict())
+            .unwrap()
+            .window(2)
+            .unwrap();
+        let mut graph = TemporalGraph::new();
+        let mut last_frontier = None;
+        while let Some(delta) = stream.next_delta(2).unwrap() {
+            let frontier = delta.expiry().expect("window mode sets a frontier");
+            assert!(last_frontier.is_none_or(|f| frontier >= f), "monotone");
+            last_frontier = Some(frontier);
+            graph.apply(&delta).unwrap();
+            graph.validate().unwrap();
+        }
+        // Newest timestamp is 6, so the surviving window is [4, 6].
+        assert_eq!(last_frontier, Some(4));
+        assert_eq!(graph.frontier(), Some(4));
+        assert_eq!(graph.interaction_count(), 3);
+        assert_eq!(graph.min_time(), Some(4));
+        assert_eq!(stream.report().rows, 6);
+    }
+
+    #[test]
+    fn window_larger_than_the_log_keeps_everything() {
+        let csv = "a,b,1,1\nb,c,2,1\nc,a,9,1\n";
+        let mut stream = DeltaStream::new(csv.as_bytes(), &strict())
+            .unwrap()
+            .window(1_000)
+            .unwrap();
+        let mut graph = TemporalGraph::new();
+        while let Some(delta) = stream.next_delta(1).unwrap() {
+            graph.apply(&delta).unwrap();
+        }
+        assert_eq!(graph.interaction_count(), 3);
+        assert_eq!(graph.live_edge_count(), 3);
+    }
+
+    #[test]
+    fn negative_window_is_rejected() {
+        let stream = DeltaStream::new(&b"a,b,1,1\n"[..], &strict()).unwrap();
+        assert!(matches!(stream.window(-1), Err(GraphError::Invalid { .. })));
     }
 }

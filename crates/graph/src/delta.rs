@@ -30,9 +30,9 @@
 
 use crate::error::GraphError;
 use crate::graph::{Edge, Node, TemporalGraph};
-use crate::ids::{EdgeId, NodeId};
+use crate::ids::{EdgeId, NodeId, Time};
 use crate::interaction::{self, Interaction};
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::HashMap;
 
 /// A validated batch of new vertices and interactions to append to a graph
@@ -53,6 +53,10 @@ pub struct GraphDelta {
     /// Interactions to merge, in arrival order. Endpoints may reference
     /// existing vertices (`< base_nodes`) or new ones.
     interactions: Vec<(NodeId, NodeId, Interaction)>,
+    /// Sliding-window expiry frontier: when set, applying the delta evicts
+    /// every interaction with `time < expire` (additions included) after the
+    /// merge. Set with [`GraphDelta::expire_before`].
+    expire: Option<Time>,
 }
 
 impl GraphDelta {
@@ -88,6 +92,7 @@ impl GraphDelta {
             base_nodes,
             new_nodes,
             interactions,
+            expire: None,
         })
     }
 
@@ -106,7 +111,26 @@ impl GraphDelta {
             base_nodes,
             new_nodes,
             interactions,
+            expire: None,
         }
+    }
+
+    /// Attaches a sliding-window expiry frontier: applying the delta will
+    /// evict every interaction older than `frontier` (the batch's own
+    /// additions included — a straggler behind the window dies immediately),
+    /// tombstoning edges that lose their whole sequence. Repeated calls keep
+    /// the largest frontier; application fails if the frontier regresses
+    /// below the graph's current one (frontiers are monotone).
+    #[must_use]
+    pub fn expire_before(mut self, frontier: Time) -> Self {
+        self.expire = Some(self.expire.map_or(frontier, |f| f.max(frontier)));
+        self
+    }
+
+    /// The expiry frontier this delta carries, if any.
+    #[inline]
+    pub fn expiry(&self) -> Option<Time> {
+        self.expire
     }
 
     /// Number of vertices the target graph must already have.
@@ -127,10 +151,11 @@ impl GraphDelta {
         &self.interactions
     }
 
-    /// Whether the delta changes nothing.
+    /// Whether the delta changes nothing. A delta that only carries an
+    /// expiry frontier is not empty — applying it can evict interactions.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.new_nodes.is_empty() && self.interactions.is_empty()
+        self.new_nodes.is_empty() && self.interactions.is_empty() && self.expire.is_none()
     }
 }
 
@@ -151,12 +176,35 @@ pub struct AppliedDelta {
     pub touched_edges: Vec<EdgeId>,
     /// Number of interactions merged.
     pub interactions: usize,
+    /// Number of interactions evicted by the expiry frontier (zero for
+    /// append-only deltas). Counts stragglers the same delta added and the
+    /// frontier immediately expired.
+    pub removed_interactions: usize,
+    /// Edges that lost interactions to the frontier but still carry at
+    /// least one — shrunk in place, still live.
+    pub shrunk_edges: Vec<EdgeId>,
+    /// Edges whose entire interaction sequence expired: now tombstones,
+    /// unlinked from the adjacency lists and the `(src, dst)` lookup. Their
+    /// slot (and id) is retained and never reused.
+    pub removed_edges: Vec<EdgeId>,
 }
 
 impl AppliedDelta {
     /// Identifiers of the vertices this application added.
     pub fn new_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (self.nodes_before..self.nodes_after).map(NodeId::from_index)
+    }
+
+    /// Every edge whose interaction sequence changed: touched by additions,
+    /// shrunk by eviction, or tombstoned. An edge can appear more than once
+    /// (e.g. it gained new interactions *and* lost expired ones in the same
+    /// application) — incremental indexes should treat this as a set.
+    pub fn changed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.touched_edges
+            .iter()
+            .chain(&self.shrunk_edges)
+            .chain(&self.removed_edges)
+            .copied()
     }
 }
 
@@ -192,9 +240,22 @@ impl TemporalGraph {
                 ),
             });
         }
-        // A deserialized graph arrives without its `(src, dst)` index; the
-        // merge needs it, so restore it before touching anything.
-        if self.edge_index.len() != self.edges.len() {
+        if let (Some(new), Some(current)) = (delta.expire, self.frontier) {
+            if new < current {
+                return Err(GraphError::Invalid {
+                    message: format!(
+                        "expiry frontier must be monotone: delta expires before {new} \
+                         but the graph window already starts at {current}"
+                    ),
+                });
+            }
+        }
+        // A deserialized graph arrives without its `(src, dst)` index (and
+        // eviction heap); the merge needs them, so restore both before
+        // touching anything. Tombstones are legitimately absent from the
+        // index, so "fewer entries than edges" is not the signal — "no
+        // entries at all despite having edges" is.
+        if self.edge_index.is_empty() && !self.edges.is_empty() {
             self.rebuild_index();
         }
 
@@ -239,6 +300,7 @@ impl TemporalGraph {
             let mut incoming = additions.remove(&id).expect("staged above");
             interaction::sort_chronologically(&mut incoming);
             let edge = &mut self.edges[id.index()];
+            let old_min = edge.interactions.first().map(|i| i.time);
             match edge.interactions.last() {
                 None => edge.interactions = incoming,
                 Some(last) if last.chronological_cmp(&incoming[0]) != Ordering::Greater => {
@@ -246,6 +308,61 @@ impl TemporalGraph {
                 }
                 Some(_) => {
                     edge.interactions = interaction::merge_sorted(&edge.interactions, &incoming);
+                }
+            }
+            // Keep the eviction heap's invariant (every live edge has an
+            // entry at or below its min) without flooding it: a new entry is
+            // only needed when the minimum actually moved down.
+            let new_min = edge.interactions[0].time;
+            if old_min.is_none_or(|m| new_min < m) {
+                self.expiry.push(Reverse((new_min, id)));
+            }
+        }
+
+        // Eviction pass: drop every interaction older than the effective
+        // frontier (the graph's standing one, raised by the delta's). This
+        // runs after the merge so that one invariant holds unconditionally:
+        // the live content is exactly the records with `time >= frontier`,
+        // no matter how records were batched.
+        let frontier = match (self.frontier, delta.expire) {
+            (Some(current), Some(new)) => Some(current.max(new)),
+            (current, new) => current.or(new),
+        };
+        let mut removed_interactions = 0usize;
+        let mut shrunk_edges = Vec::new();
+        let mut removed_edges = Vec::new();
+        if let Some(f) = frontier {
+            self.frontier = Some(f);
+            while let Some(&Reverse((t, id))) = self.expiry.peek() {
+                if t >= f {
+                    break;
+                }
+                self.expiry.pop();
+                let edge = &mut self.edges[id.index()];
+                if edge.interactions.is_empty() {
+                    continue; // stale entry for an already-tombstoned edge
+                }
+                let current_min = edge.interactions[0].time;
+                if current_min >= f {
+                    // Stale entry (the edge's minimum moved up); remember
+                    // the real minimum for future frontiers.
+                    self.expiry.push(Reverse((current_min, id)));
+                    continue;
+                }
+                let cut = edge.interactions.partition_point(|i| i.time < f);
+                removed_interactions += cut;
+                edge.interactions.drain(..cut);
+                if edge.interactions.is_empty() {
+                    // Tombstone: unlink from adjacency and lookup; the slot
+                    // (and id) is retained and never reused.
+                    let (src, dst) = (edge.src, edge.dst);
+                    self.out_edges[src.index()].retain(|&e| e != id);
+                    self.in_edges[dst.index()].retain(|&e| e != id);
+                    self.edge_index.remove(&(src, dst));
+                    removed_edges.push(id);
+                } else {
+                    self.expiry.push(Reverse((edge.interactions[0].time, id)));
+                    shrunk_edges.push(id);
                 }
             }
         }
@@ -256,6 +373,9 @@ impl TemporalGraph {
             new_edges,
             touched_edges,
             interactions: delta.interactions.len(),
+            removed_interactions,
+            shrunk_edges,
+            removed_edges,
         })
     }
 }
@@ -461,5 +581,148 @@ mod tests {
         assert!(applied.new_edges.is_empty());
         assert!(applied.touched_edges.is_empty());
         assert!(delta.is_empty());
+        assert_eq!(applied.removed_interactions, 0);
+        // An eviction-only delta is *not* empty: applying it can change the
+        // graph.
+        assert!(!GraphDelta::new(2, vec![], vec![])
+            .unwrap()
+            .expire_before(5)
+            .is_empty());
+    }
+
+    #[test]
+    fn expiry_shrinks_and_tombstones_edges() {
+        let mut g = from_records([
+            ("a", "b", 1, 1.0),
+            ("a", "b", 5, 2.0),
+            ("b", "c", 2, 3.0),
+            ("c", "a", 9, 4.0),
+        ]);
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let e_ab = g.find_edge(a, b).unwrap();
+        let e_bc = g.find_edge(b, c).unwrap();
+        let delta = GraphDelta::new(3, vec![], vec![]).unwrap().expire_before(4);
+        let applied = g.apply(&delta).unwrap();
+        g.validate().unwrap();
+        // a->b lost its t=1 interaction but keeps t=5; b->c lost everything.
+        assert_eq!(applied.removed_interactions, 2);
+        assert_eq!(applied.shrunk_edges, vec![e_ab]);
+        assert_eq!(applied.removed_edges, vec![e_bc]);
+        assert_eq!(g.edge(e_ab).interactions, vec![Interaction::new(5, 2.0)]);
+        assert!(g.is_tombstone(e_bc));
+        assert!(!g.has_edge(b, c));
+        assert!(g.find_edge(b, c).is_none());
+        assert_eq!(g.frontier(), Some(4));
+        assert_eq!(g.live_edge_count(), 2);
+        assert_eq!(g.edge_count(), 3); // the tombstone slot is retained
+        assert_eq!(g.interaction_count(), 2);
+        // Tombstones keep their endpoints so change reports stay readable.
+        assert_eq!(g.edge(e_bc).src, b);
+        assert_eq!(g.edge(e_bc).dst, c);
+    }
+
+    #[test]
+    fn frontier_must_be_monotone() {
+        let mut g = from_records([("a", "b", 10, 1.0)]);
+        g.apply(&GraphDelta::new(2, vec![], vec![]).unwrap().expire_before(5))
+            .unwrap();
+        let before = g.clone();
+        let err = g
+            .apply(&GraphDelta::new(2, vec![], vec![]).unwrap().expire_before(3))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Invalid { .. }));
+        assert_eq!(g, before, "a rejected delta leaves the graph unchanged");
+        // Re-applying the same frontier is fine (monotone, not strict).
+        g.apply(&GraphDelta::new(2, vec![], vec![]).unwrap().expire_before(5))
+            .unwrap();
+    }
+
+    #[test]
+    fn stragglers_behind_the_standing_frontier_die_immediately() {
+        let mut g = from_records([("a", "b", 10, 1.0)]);
+        let (a, b) = (NodeId(0), NodeId(1));
+        g.apply(&GraphDelta::new(2, vec![], vec![]).unwrap().expire_before(8))
+            .unwrap();
+        // A later batch with no frontier of its own delivers one in-window
+        // and one expired record: the straggler must not resurrect history.
+        let delta = GraphDelta::new(
+            2,
+            vec![],
+            vec![
+                (a, b, Interaction::new(3, 9.0)),
+                (a, b, Interaction::new(12, 2.0)),
+            ],
+        )
+        .unwrap();
+        let applied = g.apply(&delta).unwrap();
+        g.validate().unwrap();
+        assert_eq!(applied.removed_interactions, 1);
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(
+            g.edge(e).interactions,
+            vec![Interaction::new(10, 1.0), Interaction::new(12, 2.0)]
+        );
+    }
+
+    #[test]
+    fn tombstoned_pairs_revive_under_a_fresh_id() {
+        let mut g = from_records([("a", "b", 1, 1.0), ("b", "c", 5, 1.0)]);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let old = g.find_edge(a, b).unwrap();
+        g.apply(&GraphDelta::new(3, vec![], vec![]).unwrap().expire_before(3))
+            .unwrap();
+        assert!(g.is_tombstone(old));
+        // New interaction on the dead pair: fresh edge id, old slot intact.
+        let delta = GraphDelta::new(3, vec![], vec![(a, b, Interaction::new(7, 2.0))]).unwrap();
+        let applied = g.apply(&delta).unwrap();
+        g.validate().unwrap();
+        let new = g.find_edge(a, b).unwrap();
+        assert_ne!(new, old, "tombstoned ids are never reused");
+        assert_eq!(applied.new_edges, vec![new]);
+        assert!(g.is_tombstone(old));
+        assert_eq!(g.edge(new).interactions, vec![Interaction::new(7, 2.0)]);
+        // The node ids were reused (names are stable), only the edge id is
+        // fresh.
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn window_that_evicts_everything() {
+        let mut g = from_records([("a", "b", 1, 1.0), ("b", "c", 2, 2.0)]);
+        let applied = g
+            .apply(
+                &GraphDelta::new(3, vec![], vec![])
+                    .unwrap()
+                    .expire_before(100),
+            )
+            .unwrap();
+        g.validate().unwrap();
+        assert_eq!(applied.removed_interactions, 2);
+        assert_eq!(applied.removed_edges.len(), 2);
+        assert_eq!(g.live_edge_count(), 0);
+        assert_eq!(g.live_node_count(), 0);
+        assert_eq!(g.interaction_count(), 0);
+        assert_eq!(g.node_count(), 3, "vertices keep their slots and names");
+        assert_eq!(g.min_time(), None);
+    }
+
+    #[test]
+    fn changed_edges_unions_additions_and_removals() {
+        let mut g = from_records([("a", "b", 1, 1.0), ("b", "c", 2, 1.0)]);
+        let (a, b) = (NodeId(0), NodeId(1));
+        // One delta that both appends to a->b and expires both old records.
+        let delta = GraphDelta::new(3, vec![], vec![(a, b, Interaction::new(9, 1.0))])
+            .unwrap()
+            .expire_before(5);
+        let applied = g.apply(&delta).unwrap();
+        g.validate().unwrap();
+        let e_ab = g.find_edge(a, b).unwrap();
+        let mut changed: Vec<EdgeId> = applied.changed_edges().collect();
+        changed.sort_unstable();
+        changed.dedup();
+        assert!(changed.contains(&e_ab), "touched (shrunk too)");
+        assert_eq!(changed.len(), 2, "touched a->b plus tombstoned b->c");
+        assert!(applied.shrunk_edges.contains(&e_ab));
+        assert_eq!(applied.removed_edges.len(), 1);
     }
 }

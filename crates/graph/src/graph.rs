@@ -3,8 +3,9 @@
 
 use crate::ids::{EdgeId, NodeId, Quantity, Time};
 use crate::interaction::{self, Interaction};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A vertex of the network.
 ///
@@ -35,6 +36,17 @@ impl Edge {
         interaction::total_quantity(&self.interactions)
     }
 
+    /// Whether this edge slot is a tombstone: every interaction expired
+    /// behind a sliding-window frontier. Tombstones keep their endpoints
+    /// (so change reports stay interpretable) but are absent from the
+    /// adjacency lists and the `(src, dst)` lookup, and their identifier is
+    /// never reused — a later interaction on the same pair creates a fresh
+    /// edge.
+    #[inline]
+    pub fn is_tombstone(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
     /// Earliest interaction timestamp on this edge, if any.
     pub fn min_time(&self) -> Option<Time> {
         interaction::min_time(&self.interactions)
@@ -57,14 +69,88 @@ impl Edge {
 /// Construction goes through [`crate::GraphBuilder`]; transformation
 /// algorithms (preprocessing, simplification, subgraph extraction) produce
 /// new graphs rather than mutating in place.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TemporalGraph {
     pub(crate) nodes: Vec<Node>,
     pub(crate) edges: Vec<Edge>,
     pub(crate) out_edges: Vec<Vec<EdgeId>>,
     pub(crate) in_edges: Vec<Vec<EdgeId>>,
-    #[serde(skip)]
+    /// High-water mark of applied expiry frontiers: every interaction in the
+    /// graph has `time >= frontier`. `None` until a windowed delta is
+    /// applied (append-only graphs never set it).
+    pub(crate) frontier: Option<Time>,
+    /// Derived cache, skipped by serialization; restore with
+    /// [`TemporalGraph::rebuild_index`].
     pub(crate) edge_index: HashMap<(NodeId, NodeId), EdgeId>,
+    /// Lazy min-heap of `(candidate min time, edge)` pairs used by eviction
+    /// to find expired interactions without scanning the edge table. Entries
+    /// may be stale (the edge's true minimum moved up, or the edge was
+    /// tombstoned); the invariant is one-sided: every live edge has at least
+    /// one entry at or below its current minimum timestamp. Derived cache,
+    /// skipped by serialization.
+    pub(crate) expiry: BinaryHeap<Reverse<(Time, EdgeId)>>,
+}
+
+// Hand-written serde impls (instead of the derive) so that the `frontier`
+// field is emitted only when a window has actually been applied: the
+// vendored shim serializes `Option::None` as JSON `null`, which the
+// interchange format reserves exclusively for lossy quantities, and the
+// derive has no `skip_serializing_if`. Omission also keeps pre-window JSON
+// readable: a missing `frontier` deserializes as `None`.
+impl Serialize for TemporalGraph {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+            ("out_edges".to_string(), self.out_edges.to_value()),
+            ("in_edges".to_string(), self.in_edges.to_value()),
+        ];
+        if let Some(f) = self.frontier {
+            fields.push(("frontier".to_string(), f.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TemporalGraph {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(_) = value else {
+            return Err(DeError::new("expected an object for TemporalGraph"));
+        };
+        fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+            match value.get(name) {
+                Some(v) => T::from_value(v),
+                None => Err(DeError::new(format!(
+                    "missing field `{name}` in TemporalGraph"
+                ))),
+            }
+        }
+        Ok(TemporalGraph {
+            nodes: field(value, "nodes")?,
+            edges: field(value, "edges")?,
+            out_edges: field(value, "out_edges")?,
+            in_edges: field(value, "in_edges")?,
+            frontier: match value.get("frontier") {
+                Some(v) => Option::from_value(v)?,
+                None => None,
+            },
+            edge_index: HashMap::new(),
+            expiry: BinaryHeap::new(),
+        })
+    }
+}
+
+// `BinaryHeap` has no `PartialEq`, and both the heap and the `(src, dst)`
+// index are caches derived from the edge table — equality is defined over
+// the canonical tables only.
+impl PartialEq for TemporalGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.edges == other.edges
+            && self.out_edges == other.out_edges
+            && self.in_edges == other.in_edges
+            && self.frontier == other.frontier
+    }
 }
 
 impl TemporalGraph {
@@ -78,29 +164,44 @@ impl TemporalGraph {
         let mut out_edges = vec![Vec::new(); n];
         let mut in_edges = vec![Vec::new(); n];
         let mut edge_index = HashMap::with_capacity(edges.len());
+        let mut expiry = BinaryHeap::with_capacity(edges.len());
         for (i, e) in edges.iter().enumerate() {
             let id = EdgeId::from_index(i);
             out_edges[e.src.index()].push(id);
             in_edges[e.dst.index()].push(id);
             edge_index.insert((e.src, e.dst), id);
+            if let Some(t) = e.min_time() {
+                expiry.push(Reverse((t, id)));
+            }
         }
         TemporalGraph {
             nodes,
             edges,
             out_edges,
             in_edges,
+            frontier: None,
             edge_index,
+            expiry,
         }
     }
 
-    /// Rebuilds the `(src, dst) -> edge` index (needed after deserialization,
-    /// where the index is skipped).
+    /// Rebuilds the caches derived from the edge table — the
+    /// `(src, dst) -> edge` index and the eviction heap — both of which are
+    /// skipped by serialization. Tombstoned edges are excluded from the
+    /// lookup, exactly as eviction left them.
     pub fn rebuild_index(&mut self) {
         self.edge_index = self
             .edges
             .iter()
             .enumerate()
+            .filter(|(_, e)| !e.is_tombstone())
             .map(|(i, e)| ((e.src, e.dst), EdgeId::from_index(i)))
+            .collect();
+        self.expiry = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.min_time().map(|t| Reverse((t, EdgeId::from_index(i)))))
             .collect();
     }
 
@@ -235,9 +336,43 @@ impl TemporalGraph {
         self.edges.iter().filter_map(Edge::max_time).max()
     }
 
+    /// The expiry high-water mark: every interaction in the graph has
+    /// `time >= frontier`. `None` for append-only graphs (no windowed delta
+    /// was ever applied).
+    #[inline]
+    pub fn frontier(&self) -> Option<Time> {
+        self.frontier
+    }
+
+    /// Whether edge `id` is a tombstone (see [`Edge::is_tombstone`]).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn is_tombstone(&self, id: EdgeId) -> bool {
+        self.edges[id.index()].is_tombstone()
+    }
+
+    /// Number of live (non-tombstoned) edges. [`TemporalGraph::edge_count`]
+    /// keeps counting tombstone slots because identifiers are never reused.
+    pub fn live_edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| !e.is_tombstone()).count()
+    }
+
+    /// Number of vertices with at least one live incident edge. Vertices
+    /// whose every edge expired stay in the node table (ids and names are
+    /// never reused) but stop counting here.
+    pub fn live_node_count(&self) -> usize {
+        (0..self.nodes.len())
+            .filter(|&i| !self.out_edges[i].is_empty() || !self.in_edges[i].is_empty())
+            .count()
+    }
+
     /// Checks internal consistency (adjacency lists, sorted interactions,
-    /// index coherence). Used by tests and debug assertions.
+    /// index coherence, tombstone unlinking, frontier respected). Used by
+    /// tests and debug assertions.
     pub fn validate(&self) -> Result<(), String> {
+        let mut live = 0usize;
         for (i, e) in self.edges.iter().enumerate() {
             if e.src.index() >= self.nodes.len() || e.dst.index() >= self.nodes.len() {
                 return Err(format!("edge e{i} references an out-of-range node"));
@@ -247,7 +382,27 @@ impl TemporalGraph {
                     "edge e{i} interactions are not chronologically sorted"
                 ));
             }
+            if let (Some(f), Some(t)) = (self.frontier, e.min_time()) {
+                if t < f {
+                    return Err(format!(
+                        "edge e{i} holds an interaction at {t}, before the frontier {f}"
+                    ));
+                }
+            }
             let id = EdgeId::from_index(i);
+            if e.is_tombstone() {
+                // Tombstones keep their slot but must be fully unlinked.
+                if self.out_edges[e.src.index()].contains(&id)
+                    || self.in_edges[e.dst.index()].contains(&id)
+                {
+                    return Err(format!("tombstoned edge e{i} still in an adjacency list"));
+                }
+                if self.edge_index.get(&(e.src, e.dst)) == Some(&id) {
+                    return Err(format!("tombstoned edge e{i} still in the edge index"));
+                }
+                continue;
+            }
+            live += 1;
             if !self.out_edges[e.src.index()].contains(&id) {
                 return Err(format!("edge e{i} missing from out-adjacency of {}", e.src));
             }
@@ -259,12 +414,12 @@ impl TemporalGraph {
             }
         }
         let adj_total: usize = self.out_edges.iter().map(Vec::len).sum();
-        if adj_total != self.edges.len() {
-            return Err("out-adjacency size does not match edge count".into());
+        if adj_total != live {
+            return Err("out-adjacency size does not match live edge count".into());
         }
         let adj_total_in: usize = self.in_edges.iter().map(Vec::len).sum();
-        if adj_total_in != self.edges.len() {
-            return Err("in-adjacency size does not match edge count".into());
+        if adj_total_in != live {
+            return Err("in-adjacency size does not match live edge count".into());
         }
         Ok(())
     }

@@ -176,14 +176,19 @@ pub fn enumerate_pb(
 /// matching paths" (empty table is complete) apart from "table not built"
 /// (PB not applicable).
 pub(crate) fn has_any_two_cycle(graph: &TemporalGraph) -> bool {
-    graph.edges().iter().any(|e| graph.has_edge(e.dst, e.src))
+    // Tombstoned edge slots keep their endpoints; only live edges count.
+    graph
+        .edges()
+        .iter()
+        .any(|e| !e.is_tombstone() && graph.has_edge(e.dst, e.src))
 }
 
 /// Whether the graph contains any 3-hop cycle `u → v → w → u` over distinct
 /// vertices.
 pub(crate) fn has_any_three_cycle(graph: &TemporalGraph) -> bool {
     graph.edges().iter().any(|e| {
-        e.src != e.dst
+        !e.is_tombstone()
+            && e.src != e.dst
             && graph
                 .out_neighbors(e.dst)
                 .any(|u| u != e.src && u != e.dst && graph.has_edge(u, e.src))
@@ -193,10 +198,11 @@ pub(crate) fn has_any_three_cycle(graph: &TemporalGraph) -> bool {
 /// Whether the graph contains any 2-hop chain `u → v → w` over distinct
 /// vertices.
 pub(crate) fn has_any_two_chain(graph: &TemporalGraph) -> bool {
-    graph
-        .edges()
-        .iter()
-        .any(|e| e.src != e.dst && graph.out_neighbors(e.dst).any(|w| w != e.src && w != e.dst))
+    graph.edges().iter().any(|e| {
+        !e.is_tombstone()
+            && e.src != e.dst
+            && graph.out_neighbors(e.dst).any(|w| w != e.src && w != e.dst)
+    })
 }
 
 /// Resolves the flow of a PB match, reusing the precomputed value when

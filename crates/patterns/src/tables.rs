@@ -192,6 +192,24 @@ impl PathTable {
         &self.arena[start..start + row.delivered_len as usize]
     }
 
+    /// Number of delivered-interaction arena entries, live and garbage
+    /// together — with [`PathTable::garbage_len`], the observable the
+    /// sliding-window experiments (and the churn regression test) use to
+    /// check that a steady window holds steady-state memory.
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Arena entries orphaned by incremental patches and not yet compacted
+    /// away. Bounded by the live data (amortized compaction triggers once
+    /// garbage outweighs it), so `arena_len - garbage_len` is never smaller
+    /// than half the arena.
+    #[inline]
+    pub fn garbage_len(&self) -> usize {
+        self.dead
+    }
+
     /// Rows anchored at `anchor`, as an O(1) indexed slice.
     pub fn rows_for(&self, anchor: NodeId) -> &[PathRow] {
         let a = anchor.index();
@@ -524,21 +542,30 @@ impl PathTables {
     /// Incrementally maintains the tables after `graph` absorbed a delta
     /// (`applied` is what [`tin_graph::TemporalGraph::apply`] returned for
     /// it). Afterwards the tables are row-identical to a from-scratch
-    /// [`PathTables::build`] over the grown graph — the workspace proptests
-    /// pin this down — but the *kernel* only revisits the row groups the
-    /// delta can invalidate (see the [module docs](self)), so flow
-    /// recomputation scales with the touched edges' endpoint degrees, not
-    /// with the graph. (Splicing the fresh rows in still rewrites each
+    /// [`PathTables::build`] over the changed graph — the workspace
+    /// proptests pin this down — but the *kernel* only revisits the row
+    /// groups the delta can invalidate (see the [module docs](self)), so
+    /// flow recomputation scales with the changed edges' endpoint degrees,
+    /// not with the graph. (Splicing the fresh rows in still rewrites each
     /// table's row vector and offset index — a linear memcpy over compact
     /// 32-byte rows with no kernel work, which the `experiments stream`
     /// measurements show is dwarfed by the avoided rebuild.)
     ///
+    /// Removals are handled symmetrically: a sliding-window delta's
+    /// evictions ([`AppliedDelta::shrunk_edges`] /
+    /// [`AppliedDelta::removed_edges`]) invalidate exactly the same row
+    /// groups an addition on the same edge would, and a group whose edge
+    /// was tombstoned simply recomputes to zero rows — the splice deletes
+    /// it, feeding the arena's garbage accounting and (eventually) its
+    /// amortized compaction.
+    ///
     /// Apply updates in the same order the graph applied the deltas; each
     /// call must see the graph state right after its delta.
     ///
-    /// Truncated tables (and patches that cross the row cap) fall back to a
-    /// full rebuild so the row-cap semantics stay exactly those of a fresh
-    /// build.
+    /// Truncated tables (and patches that cross the row cap, in either
+    /// direction — growth past the cap, or shrinkage of previously capped
+    /// content) fall back to a full rebuild so the row-cap semantics stay
+    /// exactly those of a fresh build.
     ///
     /// # Panics
     /// Panics on tables built with [`PathTables::for_anchors`]: a fixed
@@ -556,15 +583,23 @@ impl PathTables {
             return self.rebuild(graph, &config, 0);
         }
         // 1. Collect the invalidated row groups — only for the tables that
-        //    are actually built. For each touched edge `u → v`: the
-        //    `[u, v, *]` block (first-edge rows), the point rows `[a, u, v]`
-        //    per in-neighbor `a` of `u` (middle-edge rows), and the
-        //    closing-edge rows `[v, u]` / `[v, w, u]`. This is linear in the
-        //    endpoint degrees — never the O(deg²) of a whole anchor rebuild.
+        //    are actually built. For each changed edge `u → v` (touched by
+        //    additions, shrunk by eviction, or tombstoned — the sets are
+        //    exactly symmetric): the `[u, v, *]` block (first-edge rows),
+        //    the point rows `[a, u, v]` per in-neighbor `a` of `u`
+        //    (middle-edge rows), and the closing-edge rows `[v, u]` /
+        //    `[v, w, u]`. This is linear in the endpoint degrees — never
+        //    the O(deg²) of a whole anchor rebuild.
+        //
+        //    Tombstones keep their endpoints, so the keys of a removed edge
+        //    are collected the same way; its neighborhood walks run over the
+        //    post-eviction adjacency, where companion edges removed by the
+        //    same delta are already gone — those contribute their own keys
+        //    through their own `changed_edges` entries.
         let mut blocks: Vec<(NodeId, NodeId)> = Vec::new();
         let mut l2_extra: Vec<(NodeId, NodeId)> = Vec::new();
         let mut points: Vec<[NodeId; 3]> = Vec::new();
-        for &e in &applied.touched_edges {
+        for e in applied.changed_edges() {
             let edge = graph.edge(e);
             let (u, v) = (edge.src, edge.dst);
             blocks.push((u, v));
@@ -601,7 +636,13 @@ impl PathTables {
         let mut scratch = ChainScratch::new();
         let mut bufs: [TableBuf; 3] = Default::default();
         for &(u, v) in &blocks {
-            let e = graph.find_edge(u, v).expect("touched pair is an edge");
+            // A `None` here means the edge was evicted (or an added edge
+            // whose every interaction immediately expired): the block keeps
+            // its key but contributes no replacement rows, so the patch
+            // deletes the group — removal is just "recompute to empty".
+            let Some(e) = graph.find_edge(u, v) else {
+                continue;
+            };
             enumerate_first_edge(
                 graph,
                 &config,
@@ -616,10 +657,13 @@ impl PathTables {
         }
         if config.build_l2 {
             for &(a, b) in &l2_extra {
-                // Both edges exist: `(b, a)` is the touched edge, `(a, b)`
-                // was checked when the key was collected.
+                // `(a, b)` was seen live when the key was collected; the
+                // changed edge `(b, a)` may have been evicted, in which case
+                // the cycle row `[a, b]` is deleted by the empty recompute.
                 let e_ab = graph.find_edge(a, b).expect("checked at collection");
-                let e_ba = graph.find_edge(b, a).expect("touched edge");
+                let Some(e_ba) = graph.find_edge(b, a) else {
+                    continue;
+                };
                 let flow = scratch.reduce_pair(
                     &graph.edge(e_ab).interactions,
                     &graph.edge(e_ba).interactions,
@@ -629,8 +673,14 @@ impl PathTables {
         }
         if config.build_l3 || config.build_c2 {
             for &[a, b, c] in &points {
-                let e_ab = graph.find_edge(a, b).expect("checked at collection");
-                let e_bc = graph.find_edge(b, c).expect("checked at collection");
+                // Either hop can be the changed edge, and a changed edge can
+                // be a tombstone: a dead hop deletes the point's rows.
+                let Some(e_ab) = graph.find_edge(a, b) else {
+                    continue;
+                };
+                let Some(e_bc) = graph.find_edge(b, c) else {
+                    continue;
+                };
                 let mid_flow = scratch.reduce_pair(
                     &graph.edge(e_ab).interactions,
                     &graph.edge(e_bc).interactions,
@@ -709,18 +759,22 @@ impl PathTables {
     }
 }
 
-/// The anchors whose `L2`/`L3`/`C2` rows a batch of appended interactions
-/// can invalidate: for every touched edge `u → v`, the set `{u, v} ∪ in(u)`
-/// (deduplicated, ascending). `graph` must be the *post-apply* graph.
+/// The anchors whose `L2`/`L3`/`C2` rows a batch of changes can invalidate:
+/// for every changed edge `u → v` — appended to, shrunk by eviction, or
+/// tombstoned — the set `{u, v} ∪ in(u)` (deduplicated, ascending). `graph`
+/// must be the *post-apply* graph.
 ///
-/// This set is exact: a table row's delivered profiles depend only on the
-/// edges along its path, and a path through `u → v` starts at `u` (first
-/// edge), at an in-neighbor of `u` (middle edge), or at `v` (closing edge
-/// of a cycle). Rows of any other anchor cannot reference the touched edge
-/// and stay valid verbatim.
+/// This set is exact, for additions and removals alike: a table row's
+/// delivered profiles depend only on the edges along its path, and a path
+/// through `u → v` starts at `u` (first edge), at an in-neighbor of `u`
+/// (middle edge), or at `v` (closing edge of a cycle). Rows of any other
+/// anchor cannot reference the changed edge and stay valid verbatim.
+/// (Tombstones keep their endpoints, which is what makes the removed edges
+/// addressable here; an in-neighbor edge removed by the same delta is
+/// itself a changed edge and contributes its own anchors.)
 pub fn invalidated_anchors(graph: &TemporalGraph, applied: &AppliedDelta) -> Vec<NodeId> {
     let mut anchors = Vec::new();
-    for &e in &applied.touched_edges {
+    for e in applied.changed_edges() {
         let edge = graph.edge(e);
         anchors.push(edge.src);
         anchors.push(edge.dst);
@@ -1070,11 +1124,11 @@ impl LazyPathTables {
         &self.cache[&anchor]
     }
 
-    /// Maintains the cache after `graph` absorbed a delta: evicts every
-    /// anchor the delta invalidated (see [`invalidated_anchors`]) and
-    /// returns how many cached entries that dropped. Subsequent queries
-    /// rebuild the evicted anchors against the grown graph; untouched
-    /// entries stay warm.
+    /// Maintains the cache after `graph` absorbed a delta — additions and
+    /// sliding-window evictions alike: evicts every anchor the delta
+    /// invalidated (see [`invalidated_anchors`]) and returns how many
+    /// cached entries that dropped. Subsequent queries rebuild the evicted
+    /// anchors against the changed graph; untouched entries stay warm.
     pub fn apply(&mut self, graph: &TemporalGraph, applied: &AppliedDelta) -> usize {
         let mut evicted = 0;
         for anchor in invalidated_anchors(graph, applied) {

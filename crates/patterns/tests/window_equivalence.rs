@@ -1,0 +1,338 @@
+//! Property-based pinning of sliding-window incremental table maintenance:
+//! replaying a random record log through windowed deltas — each batch
+//! carrying the monotone expiry frontier `newest seen - window`, evicting
+//! old interactions and tombstoning drained edges — with
+//! [`PathTables::apply`] patching after every batch must leave tables
+//! **row-identical** to a from-scratch [`PathTables::build`] over only the
+//! surviving window, at every batch boundary. Removal invalidation reuses
+//! the addition row groups symmetrically, so this is the retraction-side
+//! twin of `incremental_tables.rs`; directed tests cover the edge cases
+//! (total eviction, window larger than the log, single-record batches,
+//! eviction that re-crosses the row cap downward) and the lazy cache's
+//! eviction path, and a churn regression pins the arena's amortized
+//! compaction.
+
+use proptest::prelude::*;
+use tin_graph::{GraphBuilder, Interaction, TemporalGraph};
+use tin_patterns::{LazyPathTables, PathTables, TablesConfig};
+
+/// A record log over a small vertex pool; destinations are generated as a
+/// nonzero offset from the source so no record is a self-loop.
+fn records(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, i64, f64)>> {
+    proptest::collection::vec(
+        (0u8..7, 1u8..7, 0i64..40, 0u32..9)
+            .prop_map(|(s, off, t, q)| (s, (s + off) % 7, t, q as f64)),
+        1..max_len,
+    )
+}
+
+fn assert_row_identical(label: &str, got: &PathTables, want: &PathTables) {
+    if let Some(divergence) = got.first_row_divergence(want) {
+        panic!("{label}: windowed incremental tables diverge from rebuild: {divergence}");
+    }
+}
+
+/// Feeds `records` through windowed deltas cut at `splits` (frontier =
+/// newest staged timestamp - `window`, as `DeltaStream::window` emits),
+/// maintaining `tables` incrementally; `on_batch` sees every post-eviction
+/// boundary state. Returns the final graph.
+fn run_windowed(
+    records: &[(u8, u8, i64, f64)],
+    splits: &[usize],
+    window: i64,
+    tables: &mut PathTables,
+    mut on_batch: impl FnMut(&TemporalGraph, &PathTables),
+) -> TemporalGraph {
+    let mut g = TemporalGraph::new();
+    let mut b = GraphBuilder::new();
+    let mut max_seen: Option<i64> = None;
+    let flush = |g: &mut TemporalGraph,
+                 b: &mut GraphBuilder,
+                 max_seen: Option<i64>,
+                 tables: &mut PathTables| {
+        let mut delta = b.drain_delta();
+        if let Some(newest) = max_seen {
+            delta = delta.expire_before(newest.saturating_sub(window));
+        }
+        let applied = g.apply(&delta).unwrap();
+        tables.apply(g, &applied);
+    };
+    for (i, &(s, d, t, q)) in records.iter().enumerate() {
+        if splits.contains(&i) {
+            flush(&mut g, &mut b, max_seen, tables);
+            on_batch(&g, tables);
+        }
+        let s = b.get_or_add_node(format!("v{s}"));
+        let d = b.get_or_add_node(format!("v{d}"));
+        b.add_interaction(s, d, Interaction::new(t, q)).unwrap();
+        if max_seen.is_none_or(|m| t > m) {
+            max_seen = Some(t);
+        }
+    }
+    flush(&mut g, &mut b, max_seen, tables);
+    on_batch(&g, tables);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Windowed incremental `apply` is row-identical to a full rebuild over
+    /// the surviving window on the final graph, for every table selection.
+    #[test]
+    fn windowed_apply_is_row_identical_to_rebuild(
+        records in records(50),
+        splits in proptest::collection::vec(0usize..50, 0..8),
+        window in 0i64..45,
+    ) {
+        for config in [
+            TablesConfig::default(),
+            TablesConfig { build_c2: false, ..TablesConfig::default() },
+        ] {
+            let mut tables = PathTables::build(&TemporalGraph::new(), &config);
+            let g = run_windowed(&records, &splits, window, &mut tables, |_, _| {});
+            assert_row_identical("final", &tables, &PathTables::build_serial(&g, &config));
+        }
+    }
+
+    /// The same holds at *every* batch boundary — a live monitor queries
+    /// between batches, right after evictions landed.
+    #[test]
+    fn every_windowed_boundary_is_row_identical(
+        records in records(30),
+        step in 1usize..6,
+        window in 0i64..45,
+    ) {
+        let config = TablesConfig::default();
+        let splits: Vec<usize> = (0..30).step_by(step).collect();
+        let mut tables = PathTables::build(&TemporalGraph::new(), &config);
+        run_windowed(&records, &splits, window, &mut tables, |g, t| {
+            assert_row_identical("boundary", t, &PathTables::build_serial(g, &config));
+        });
+    }
+
+    /// The lazy cache, evicting invalidated anchors for removals the same
+    /// way it does for additions, answers per-anchor queries identically to
+    /// a fresh build at every windowed boundary. (This is also the negative
+    /// test for applying removals to `LazyPathTables`: nothing panics, the
+    /// cache just converges.)
+    #[test]
+    fn lazy_cache_absorbs_removals(
+        records in records(30),
+        splits in proptest::collection::vec(0usize..30, 0..5),
+        window in 0i64..30,
+    ) {
+        let config = TablesConfig::default();
+        let mut lazy = LazyPathTables::new(config);
+        let mut g = TemporalGraph::new();
+        let mut b = GraphBuilder::new();
+        let mut max_seen: Option<i64> = None;
+        let check = |g: &TemporalGraph, lazy: &mut LazyPathTables| {
+            let full = PathTables::build_serial(g, &config);
+            for a in g.node_ids() {
+                let per_anchor = lazy.tables_for(g, a);
+                for (sub, whole) in [
+                    (&per_anchor.l2, &full.l2),
+                    (&per_anchor.l3, &full.l3),
+                    (&per_anchor.c2, &full.c2),
+                ] {
+                    let want = whole.rows_for(a);
+                    assert_eq!(sub.len(), want.len());
+                    for (rs, rf) in sub.iter().zip(want) {
+                        assert_eq!(rs.vertices(), rf.vertices());
+                        assert_eq!(rs.flow, rf.flow);
+                        assert_eq!(sub.delivered(rs), whole.delivered(rf));
+                    }
+                }
+            }
+        };
+        let flush = |g: &mut TemporalGraph,
+                     b: &mut GraphBuilder,
+                     max_seen: Option<i64>,
+                     lazy: &mut LazyPathTables| {
+            let mut delta = b.drain_delta();
+            if let Some(newest) = max_seen {
+                delta = delta.expire_before(newest.saturating_sub(window));
+            }
+            let applied = g.apply(&delta).unwrap();
+            lazy.apply(g, &applied);
+        };
+        for (i, &(s, d, t, q)) in records.iter().enumerate() {
+            if splits.contains(&i) {
+                flush(&mut g, &mut b, max_seen, &mut lazy);
+                check(&g, &mut lazy);
+            }
+            let s = b.get_or_add_node(format!("v{s}"));
+            let d = b.get_or_add_node(format!("v{d}"));
+            b.add_interaction(s, d, Interaction::new(t, q)).unwrap();
+            if max_seen.is_none_or(|m| t > m) {
+                max_seen = Some(t);
+            }
+        }
+        flush(&mut g, &mut b, max_seen, &mut lazy);
+        check(&g, &mut lazy);
+    }
+}
+
+/// A window of zero behind the newest timestamp evicts (almost) everything;
+/// the tables must follow down to empty-or-tiny without a hiccup, including
+/// when the last batch kills every remaining edge.
+#[test]
+fn window_that_evicts_everything() {
+    let config = TablesConfig::default();
+    let mut tables = PathTables::build(&TemporalGraph::new(), &config);
+    // Times strictly increase, so a zero-length window keeps only the
+    // newest record's timestamp.
+    let log: Vec<(u8, u8, i64, f64)> = (0..30u8)
+        .map(|i| (i % 5, (i + 1 + i % 3) % 5, i as i64, 1.0))
+        .filter(|(s, d, ..)| s != d)
+        .collect();
+    let splits: Vec<usize> = (0..log.len()).collect();
+    let g = run_windowed(&log, &splits, 0, &mut tables, |g, t| {
+        assert_row_identical("boundary", t, &PathTables::build_serial(g, &config));
+    });
+    assert_eq!(g.interaction_count(), 1, "only the newest instant survives");
+    assert!(g.live_edge_count() == 1 && g.edge_count() > 1);
+    // One final frontier beyond everything: tables drain to empty.
+    let mut g = g;
+    let delta = tin_graph::GraphDelta::new(g.node_count(), vec![], vec![])
+        .unwrap()
+        .expire_before(i64::MAX);
+    let applied = g.apply(&delta).unwrap();
+    let update = tables.apply(&g, &applied);
+    assert!(
+        !update.rebuilt,
+        "total eviction is still an incremental patch"
+    );
+    assert!(tables.l2.is_empty() && tables.l3.is_empty() && tables.c2.is_empty());
+    assert_row_identical("empty", &tables, &PathTables::build_serial(&g, &config));
+}
+
+/// A window larger than the log never evicts: windowed maintenance must
+/// behave exactly like the append-only path it generalizes.
+#[test]
+fn window_larger_than_the_log_is_append_only() {
+    let config = TablesConfig::default();
+    let log: Vec<(u8, u8, i64, f64)> = (0..40u8)
+        .map(|i| {
+            (
+                i % 5,
+                (i + 1 + i % 3) % 5,
+                (i as i64 * 7) % 23,
+                1.0 + f64::from(i % 4),
+            )
+        })
+        .filter(|(s, d, ..)| s != d)
+        .collect();
+    let splits: Vec<usize> = (0..log.len()).step_by(3).collect();
+    let mut tables = PathTables::build(&TemporalGraph::new(), &config);
+    let g = run_windowed(&log, &splits, 10_000, &mut tables, |_, _| {});
+    assert_eq!(g.live_edge_count(), g.edge_count(), "no tombstones");
+    assert_row_identical(
+        "huge window",
+        &tables,
+        &PathTables::build_serial(&g, &config),
+    );
+}
+
+/// Eviction that re-crosses the row cap downward: a dense early phase trips
+/// the cap (tables go truncated, apply falls back to rebuilds), then the
+/// window slides past the dense phase and the surviving graph fits again —
+/// the rebuild fallback must come out un-truncated and row-identical, with
+/// cap semantics exactly those of a fresh capped build at every boundary.
+#[test]
+fn eviction_recrosses_the_cap_downward() {
+    let capped = TablesConfig {
+        max_rows: 12,
+        ..TablesConfig::default()
+    };
+    // Phase 1 (t in 0..=9): a dense 6-clique burst — way over 12 rows.
+    let mut log: Vec<(u8, u8, i64, f64)> = Vec::new();
+    for i in 0..6u8 {
+        for j in 0..6u8 {
+            if i != j {
+                log.push((i, j, i64::from(i) + i64::from(j), 1.0));
+            }
+        }
+    }
+    // Phase 2 (t in 100..): a sparse trickle on two pairs.
+    for k in 0..8 {
+        log.push((0, 1, 100 + k, 2.0));
+        log.push((1, 2, 100 + k, 3.0));
+    }
+    let splits: Vec<usize> = (0..log.len()).step_by(4).collect();
+    let mut tables = PathTables::build(&TemporalGraph::new(), &capped);
+    let mut was_truncated = false;
+    // Window 20: the dense phase expires as soon as the trickle arrives.
+    let g = run_windowed(&log, &splits, 20, &mut tables, |g, t| {
+        was_truncated |= t.truncated;
+        let fresh = PathTables::build_serial(g, &capped);
+        assert_eq!(t.truncated, fresh.truncated, "cap verdicts agree");
+        if !t.truncated {
+            assert_row_identical("cap boundary", t, &fresh);
+        }
+    });
+    assert!(was_truncated, "the dense phase must actually trip the cap");
+    assert!(
+        !tables.truncated,
+        "after the window slides past the dense phase the tables fit again"
+    );
+    assert!(
+        g.live_edge_count() < g.edge_count(),
+        "clique edges tombstoned"
+    );
+    assert_row_identical("final", &tables, &PathTables::build_serial(&g, &capped));
+}
+
+/// Arena-compaction regression under churn: a steady window over a long
+/// eviction-heavy stream must keep the delivered-profile arena bounded —
+/// garbage accounting triggers amortized compaction instead of growing
+/// forever. Guards the `dead > live ⇒ compact` invariant end to end.
+#[test]
+fn steady_window_churn_keeps_the_arena_bounded() {
+    let config = TablesConfig::default();
+    let mut tables = PathTables::build(&TemporalGraph::new(), &config);
+    // 600 records over a 6-vertex pool, times strictly increasing, window
+    // 25: every batch both adds and evicts, cycling the same row groups.
+    let log: Vec<(u8, u8, i64, f64)> = (0..600u32)
+        .map(|i| {
+            (
+                (i % 6) as u8,
+                ((i % 6) as u8 + 1 + (i % 4) as u8) % 6,
+                i64::from(i),
+                1.0 + f64::from(i % 3),
+            )
+        })
+        .filter(|(s, d, ..)| s != d)
+        .collect();
+    let splits: Vec<usize> = (0..log.len()).step_by(5).collect();
+    let mut compactions = 0usize;
+    let mut prev_arena = [0usize; 3];
+    let mut peak_live = 0usize;
+    let mut peak_arena = 0usize;
+    run_windowed(&log, &splits, 25, &mut tables, |_, t| {
+        for (k, table) in [&t.l2, &t.l3, &t.c2].into_iter().enumerate() {
+            let arena = table.arena_len();
+            let garbage = table.garbage_len();
+            assert!(
+                2 * garbage <= arena.max(1),
+                "garbage ({garbage}) outweighs live data in a {arena}-entry arena: \
+                 compaction failed to trigger"
+            );
+            compactions += usize::from(arena < prev_arena[k]);
+            prev_arena[k] = arena;
+            peak_live = peak_live.max(arena - garbage);
+            peak_arena = peak_arena.max(arena);
+        }
+    });
+    assert!(
+        compactions > 0,
+        "churn must trigger at least one compaction"
+    );
+    // Bounded steady state: the arena never exceeds twice the biggest live
+    // footprint (the compaction threshold), so live-row bytes stay bounded.
+    assert!(
+        peak_arena <= 2 * peak_live,
+        "arena peaked at {peak_arena} entries for {peak_live} live — unbounded growth"
+    );
+}
