@@ -1,12 +1,14 @@
-//! Criterion benchmark for the LP substrate: formulation construction plus
-//! old-vs-new solve time — the sparse revised simplex (default) against the
-//! dense tableau fallback — as a function of the number of interactions.
+//! Criterion benchmark for the exact-solver substrate: formulation
+//! construction plus solve time per engine — the network simplex (the class
+//! C hot path, fed by the direct min-cost-flow emitter) against the sparse
+//! revised simplex and the dense tableau — as a function of the number of
+//! interactions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tin_bench::{ExperimentScale, Workload};
 use tin_datasets::DatasetKind;
-use tin_flow::build_lp;
+use tin_flow::{build_lp, build_mcf};
 use tin_lp::SimplexEngine;
 
 fn bench_lp(c: &mut Criterion) {
@@ -40,8 +42,19 @@ fn bench_lp(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("formulate", label), &sub, |b, sub| {
             b.iter(|| std::hint::black_box(build_lp(&sub.graph, sub.source, sub.sink).variables))
         });
+        // The netflow path never assembles the LP; measure its (cheaper)
+        // formulation separately so the end-to-end saving is visible.
+        group.bench_with_input(BenchmarkId::new("formulate_mcf", label), &sub, |b, sub| {
+            b.iter(|| {
+                std::hint::black_box(
+                    build_mcf(&sub.graph, sub.source, sub.sink)
+                        .problem
+                        .num_arcs(),
+                )
+            })
+        });
         // Formulate once, then time each engine on the same program: the
-        // old-vs-new comparison the sparse rewrite is accountable to.
+        // old-vs-new comparison each engine rewrite is accountable to.
         let formulation = build_lp(&sub.graph, sub.source, sub.sink);
         for (engine_label, engine) in [
             ("solve_sparse", SimplexEngine::SparseRevised),
@@ -59,6 +72,14 @@ fn bench_lp(c: &mut Criterion) {
                 },
             );
         }
+        let mcf = build_mcf(&sub.graph, sub.source, sub.sink);
+        group.bench_with_input(BenchmarkId::new("solve_netflow", label), &mcf, |b, f| {
+            b.iter(|| {
+                let solution = f.problem.solve();
+                assert!(solution.is_optimal(), "solvable flow circulation");
+                std::hint::black_box(solution.flows[f.return_arc])
+            })
+        });
     }
     group.finish();
 }

@@ -3,11 +3,13 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [section] [--quick]
+//! experiments [section] [--quick] [--engine <dense|sparse|netflow|all>]
 //!
 //! section: all | table4 | table5 | tables678 | fig11 | lpsolvers | patterns
 //!          | tables91011 | ingest | stream | window
-//! --quick: run at the CI scale instead of the standard scale
+//! --quick:  run at the CI scale instead of the standard scale
+//! --engine: which exact engines the lpsolvers section measures
+//!           (default: all, cross-checked against each other)
 //! ```
 //!
 //! The `ingest` and `stream` sections are this reproduction's additions:
@@ -28,9 +30,10 @@
 
 use tin_bench::{
     bucket_experiment, flow_method_experiment, format_duration, lp_engine_experiment,
-    pattern_experiment, print_table, ExperimentScale, Workload,
+    pattern_experiment, print_table, EngineSelection, ExperimentScale, Workload,
 };
 use tin_datasets::{dataset_stats, subgraph_stats};
+use tin_lp::SimplexEngine;
 
 const SECTIONS: [&str; 11] = [
     "all",
@@ -98,16 +101,42 @@ static ALLOCATOR: alloc_probe::CountingAllocator = alloc_probe::CountingAllocato
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
-        eprintln!("error: unknown flag `{bad}` (supported: --quick)");
-        std::process::exit(2);
+    let parse_engine = |value: &str| -> EngineSelection {
+        EngineSelection::parse(value).unwrap_or_else(|| {
+            eprintln!(
+                "error: unknown engine `{value}` (supported: dense | sparse | netflow | all)"
+            );
+            std::process::exit(2);
+        })
+    };
+    let mut quick = false;
+    let mut engine = EngineSelection::All;
+    let mut section: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--engine" {
+            i += 1;
+            match args.get(i) {
+                Some(value) => engine = parse_engine(value),
+                None => {
+                    eprintln!("error: --engine needs a value (dense | sparse | netflow | all)");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(value) = arg.strip_prefix("--engine=") {
+            engine = parse_engine(value);
+        } else if arg.starts_with("--") {
+            eprintln!("error: unknown flag `{arg}` (supported: --quick, --engine <value>)");
+            std::process::exit(2);
+        } else {
+            section = Some(arg);
+        }
+        i += 1;
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let section = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let section = section.unwrap_or("all");
     if !SECTIONS.contains(&section) {
         eprintln!(
             "error: unknown section `{section}` (supported: {})",
@@ -142,7 +171,7 @@ fn main() {
         fig11(&workloads);
     }
     if matches!(section, "all" | "lpsolvers") {
-        lpsolvers(&workloads);
+        lpsolvers(&workloads, engine);
     }
     if matches!(section, "all" | "patterns" | "tables91011") {
         tables91011(&workloads, if quick { 2_000 } else { 20_000 });
@@ -390,39 +419,74 @@ fn fig11(workloads: &[Workload]) {
     }
 }
 
-fn lpsolvers(workloads: &[Workload]) {
+fn lpsolvers(workloads: &[Workload], selection: EngineSelection) {
+    let engines = selection.engines();
+    let short = |e: SimplexEngine| match e {
+        SimplexEngine::SparseRevised => "sparse",
+        SimplexEngine::DenseTableau => "dense",
+        SimplexEngine::NetworkSimplex => "netflow",
+    };
+    let with_speedup = engines.contains(&SimplexEngine::SparseRevised)
+        && engines.contains(&SimplexEngine::NetworkSimplex);
+    let with_density = engines.contains(&SimplexEngine::SparseRevised);
+    let mut header: Vec<String> = vec!["class".to_string(), "#subgraphs".to_string()];
+    for &e in &engines {
+        header.push(short(e).to_string());
+        header.push(format!("{} piv (deg)", short(e)));
+    }
+    if with_speedup {
+        header.push("netflow speedup".to_string());
+    }
+    if with_density {
+        header.push("density".to_string());
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
     for w in workloads {
-        let rows: Vec<Vec<String>> = lp_engine_experiment(w)
+        let rows: Vec<Vec<String>> = lp_engine_experiment(w, selection)
             .iter()
             .map(|r| {
                 let mut cells = vec![r.label.to_string(), r.subgraphs.to_string()];
                 if r.subgraphs == 0 {
-                    cells.extend(std::iter::repeat_n("-".to_string(), 5));
+                    cells.extend(std::iter::repeat_n("-".to_string(), header.len() - 2));
                 } else {
-                    cells.push(format_duration(r.sparse_avg));
-                    cells.push(format_duration(r.dense_avg));
-                    cells.push(format!("{:.1}x", r.speedup()));
-                    cells.push(format!("{:.1}", r.sparse_iterations));
-                    cells.push(format!("{:.3}%", 100.0 * r.density));
+                    for stat in &r.engines {
+                        cells.push(format_duration(stat.avg));
+                        cells.push(format!(
+                            "{:.1} ({:.1})",
+                            stat.pivots, stat.degenerate_pivots
+                        ));
+                    }
+                    if with_speedup {
+                        cells.push(format!(
+                            "{:.1}x",
+                            r.speedup(SimplexEngine::SparseRevised, SimplexEngine::NetworkSimplex)
+                        ));
+                    }
+                    if with_density {
+                        cells.push(format!("{:.3}%", 100.0 * r.density));
+                    }
                 }
                 cells
             })
             .collect();
+        let names: Vec<&str> = engines.iter().map(|&e| short(e)).collect();
         print_table(
             &format!(
-                "LP engines: sparse revised vs dense tableau — {}",
+                "Exact engines ({}): formulate+solve per subgraph — {}",
+                names.join(" vs "),
                 w.kind.name()
             ),
-            &[
-                "class",
-                "#subgraphs",
-                "sparse",
-                "dense",
-                "speedup",
-                "avg iters",
-                "density",
-            ],
+            &header_refs,
             &rows,
+        );
+    }
+    if with_speedup {
+        println!(
+            "(netflow = direct graph -> min-cost-flow emitter + network simplex, no LP \
+             assembly; speedup = sparse avg / netflow avg; piv (deg) = avg basis-changing \
+             pivots and, in parentheses, zero-step pivots per subgraph; every subgraph's \
+             optimal values are asserted to agree across engines)"
         );
     }
 }

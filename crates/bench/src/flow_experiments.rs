@@ -1,5 +1,6 @@
 //! Flow-method comparison experiments: Tables 6–8 and Figure 11, plus the
-//! sparse-vs-dense LP engine comparison.
+//! three-way exact-engine comparison (sparse revised simplex, dense tableau,
+//! network simplex).
 //!
 //! The per-subgraph evaluations are independent, so
 //! [`flow_method_experiment`] and [`lp_engine_experiment`] fan the subgraphs
@@ -11,7 +12,7 @@
 use crate::workloads::Workload;
 use std::time::{Duration, Instant};
 use tin_datasets::SeedSubgraph;
-use tin_flow::{build_lp, compute_flow, parallel_map, DifficultyClass, FlowMethod};
+use tin_flow::{build_lp, build_mcf, compute_flow, parallel_map, DifficultyClass, FlowMethod};
 use tin_lp::SimplexEngine;
 
 /// Methods compared in the paper's runtime tables.
@@ -184,80 +185,185 @@ pub fn bucket_experiment(workload: &Workload) -> Vec<BucketRow> {
         .collect()
 }
 
-/// Sparse-vs-dense LP engine timings over one difficulty class (or over all
-/// subgraphs).
+/// Which exact engines the `lpsolvers` experiment measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSelection {
+    /// Only the dense tableau simplex.
+    Dense,
+    /// Only the sparse revised simplex.
+    Sparse,
+    /// Only the network simplex (direct min-cost-flow emitter, no LP
+    /// assembly).
+    Netflow,
+    /// All three engines, cross-checked against each other.
+    All,
+}
+
+impl EngineSelection {
+    /// Parses a `--engine` flag value; `None` for unrecognized input.
+    pub fn parse(value: &str) -> Option<EngineSelection> {
+        match value {
+            "dense" => Some(EngineSelection::Dense),
+            "sparse" => Some(EngineSelection::Sparse),
+            "netflow" => Some(EngineSelection::Netflow),
+            "all" => Some(EngineSelection::All),
+            _ => None,
+        }
+    }
+
+    /// The engines to run, in reporting order (the prior default first, so
+    /// speedups read as "new over old").
+    pub fn engines(self) -> Vec<SimplexEngine> {
+        match self {
+            EngineSelection::Dense => vec![SimplexEngine::DenseTableau],
+            EngineSelection::Sparse => vec![SimplexEngine::SparseRevised],
+            EngineSelection::Netflow => vec![SimplexEngine::NetworkSimplex],
+            EngineSelection::All => vec![
+                SimplexEngine::SparseRevised,
+                SimplexEngine::DenseTableau,
+                SimplexEngine::NetworkSimplex,
+            ],
+        }
+    }
+}
+
+/// Per-engine aggregate over one row of the `lpsolvers` table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStat {
+    /// The engine measured.
+    pub engine: SimplexEngine,
+    /// Average formulate+solve time per subgraph (formulation included: the
+    /// network simplex skips the LP assembly entirely, and that saving is
+    /// part of what the table is for).
+    pub avg: Duration,
+    /// Average basis-changing pivots per subgraph.
+    pub pivots: f64,
+    /// Average zero-step (degenerate) pivots per subgraph.
+    pub degenerate_pivots: f64,
+}
+
+/// Engine timings over one difficulty class (or over all subgraphs).
 #[derive(Debug, Clone)]
 pub struct EngineClassRow {
     /// `"All"`, `"A"`, `"B"` or `"C"`.
     pub label: &'static str,
     /// Number of subgraphs in the row.
     pub subgraphs: usize,
-    /// Average formulate+solve time with the sparse revised simplex.
-    pub sparse_avg: Duration,
-    /// Average formulate+solve time with the dense tableau.
-    pub dense_avg: Duration,
-    /// Average simplex iterations per subgraph (sparse engine).
-    pub sparse_iterations: f64,
+    /// One aggregate per engine, in [`EngineSelection::engines`] order.
+    pub engines: Vec<EngineStat>,
     /// Average LP constraint-matrix density over the row's subgraphs
-    /// (sparse engine's view: balance rows only).
+    /// (sparse engine's view: balance rows only; 0 when the sparse engine
+    /// did not run).
     pub density: f64,
 }
 
 impl EngineClassRow {
-    /// Dense-over-sparse runtime ratio (`> 1` means the sparse engine is
-    /// faster); 0 when the row is empty.
-    pub fn speedup(&self) -> f64 {
-        let sparse = self.sparse_avg.as_secs_f64();
-        if sparse == 0.0 {
-            0.0
-        } else {
-            self.dense_avg.as_secs_f64() / sparse
+    /// The aggregate for one engine, if it ran.
+    pub fn stat(&self, engine: SimplexEngine) -> Option<&EngineStat> {
+        self.engines.iter().find(|s| s.engine == engine)
+    }
+
+    /// Runtime ratio `baseline / engine` (`> 1` means `engine` is faster);
+    /// 0 when either engine is missing or the row is empty.
+    pub fn speedup(&self, baseline: SimplexEngine, engine: SimplexEngine) -> f64 {
+        match (self.stat(baseline), self.stat(engine)) {
+            (Some(b), Some(e)) if e.avg > Duration::ZERO => {
+                b.avg.as_secs_f64() / e.avg.as_secs_f64()
+            }
+            _ => 0.0,
         }
     }
 }
 
-/// Old-vs-new LP solver comparison: formulates the Section 4.2.1 LP for
-/// every subgraph and times a full solve with both engines, reported per
-/// difficulty class (class C is where the LP dominates end-to-end runtime).
+/// Engine comparison: times a full formulate+solve per subgraph with every
+/// selected engine, reported per difficulty class (class C is where the
+/// exact solver dominates end-to-end runtime).
 ///
-/// Runs on the same worker pool as [`flow_method_experiment`]; both engine
+/// The LP engines assemble the Section 4.2.1 LP via [`build_lp`] and solve
+/// it; the network simplex emits the time-expanded min-cost circulation
+/// directly ([`tin_flow::build_mcf`]) and never touches the LP row/column
+/// machinery. When more than one engine runs, their optimal values are
+/// asserted to agree to 1e-6 relative tolerance on every subgraph.
+///
+/// Runs on the same worker pool as [`flow_method_experiment`]; all engine
 /// timings for one subgraph are taken on the same worker, back to back.
-pub fn lp_engine_experiment(workload: &Workload) -> Vec<EngineClassRow> {
-    struct Sample {
-        class: DifficultyClass,
-        sparse: Duration,
-        dense: Duration,
-        iterations: usize,
+/// Every engine's time is the best of three repeated trials so one-shot
+/// allocator and cold-cache noise (large on sub-100µs solves) does not
+/// drown the signal — the same discipline Criterion applies in
+/// `benches/lp_solver.rs`, applied uniformly across engines.
+pub fn lp_engine_experiment(
+    workload: &Workload,
+    selection: EngineSelection,
+) -> Vec<EngineClassRow> {
+    struct Measurement {
+        time: Duration,
+        value: f64,
+        pivots: usize,
+        degenerate: usize,
         density: f64,
     }
+    struct Sample {
+        class: DifficultyClass,
+        engines: Vec<Measurement>,
+    }
+    let engines = selection.engines();
     let samples = parallel_map(&workload.subgraphs, |sub| {
         let class = compute_flow(&sub.graph, sub.source, sub.sink, FlowMethod::PreSim)
             .expect("valid subgraph")
             .class
             .unwrap_or(DifficultyClass::C);
-        let time_engine = |engine: SimplexEngine| {
-            let start = Instant::now();
-            let f = build_lp(&sub.graph, sub.source, sub.sink);
-            let solution = f.problem.solve_with(engine);
-            assert!(solution.is_optimal(), "flow LP must be solvable");
-            std::hint::black_box(solution.objective);
-            (start.elapsed(), solution)
+        let measure = |engine: SimplexEngine| {
+            if engine == SimplexEngine::NetworkSimplex {
+                let start = Instant::now();
+                let f = build_mcf(&sub.graph, sub.source, sub.sink);
+                let solution = f.problem.solve();
+                assert!(solution.is_optimal(), "flow circulation must be solvable");
+                let value = solution.flows[f.return_arc];
+                std::hint::black_box(value);
+                Measurement {
+                    time: start.elapsed(),
+                    value,
+                    pivots: solution.pivots,
+                    degenerate: solution.degenerate_pivots,
+                    density: 0.0,
+                }
+            } else {
+                let start = Instant::now();
+                let f = build_lp(&sub.graph, sub.source, sub.sink);
+                let solution = f.problem.solve_with(engine);
+                assert!(solution.is_optimal(), "flow LP must be solvable");
+                std::hint::black_box(solution.objective);
+                Measurement {
+                    time: start.elapsed(),
+                    value: solution.objective,
+                    pivots: solution.pivots,
+                    degenerate: solution.degenerate_pivots,
+                    density: solution.matrix_density,
+                }
+            }
         };
-        let (sparse, sparse_solution) = time_engine(SimplexEngine::SparseRevised);
-        let (dense, dense_solution) = time_engine(SimplexEngine::DenseTableau);
-        let diff = (sparse_solution.objective - dense_solution.objective).abs();
-        assert!(
-            diff <= 1e-6 * (1.0 + sparse_solution.objective.abs()),
-            "engines disagree on a workload subgraph: {} vs {}",
-            sparse_solution.objective,
-            dense_solution.objective
-        );
+        const TRIALS: usize = 3;
+        let measurements: Vec<Measurement> = engines
+            .iter()
+            .map(|&engine| {
+                (0..TRIALS)
+                    .map(|_| measure(engine))
+                    .min_by_key(|m| m.time)
+                    .expect("at least one trial")
+            })
+            .collect();
+        for m in &measurements[1..] {
+            let base = &measurements[0];
+            assert!(
+                (m.value - base.value).abs() <= 1e-6 * (1.0 + base.value.abs()),
+                "engines disagree on a workload subgraph: {} vs {}",
+                base.value,
+                m.value
+            );
+        }
         Sample {
             class,
-            sparse,
-            dense,
-            iterations: sparse_solution.iterations,
-            density: sparse_solution.matrix_density,
+            engines: measurements,
         }
     });
 
@@ -267,21 +373,41 @@ pub fn lp_engine_experiment(workload: &Workload) -> Vec<EngineClassRow> {
             .filter(|s| filter.is_none_or(|f| s.class == f))
             .collect();
         let n = picked.len();
-        let avg = |d: Duration| if n == 0 { Duration::ZERO } else { d / n as u32 };
+        let stats = engines
+            .iter()
+            .enumerate()
+            .map(|(i, &engine)| {
+                let avg_f64 = |f: &dyn Fn(&Measurement) -> f64| {
+                    if n == 0 {
+                        0.0
+                    } else {
+                        picked.iter().map(|s| f(&s.engines[i])).sum::<f64>() / n as f64
+                    }
+                };
+                EngineStat {
+                    engine,
+                    avg: if n == 0 {
+                        Duration::ZERO
+                    } else {
+                        picked.iter().map(|s| s.engines[i].time).sum::<Duration>() / n as u32
+                    },
+                    pivots: avg_f64(&|m| m.pivots as f64),
+                    degenerate_pivots: avg_f64(&|m| m.degenerate as f64),
+                }
+            })
+            .collect();
+        let sparse_idx = engines
+            .iter()
+            .position(|&e| e == SimplexEngine::SparseRevised);
         EngineClassRow {
             label,
             subgraphs: n,
-            sparse_avg: avg(picked.iter().map(|s| s.sparse).sum()),
-            dense_avg: avg(picked.iter().map(|s| s.dense).sum()),
-            sparse_iterations: if n == 0 {
-                0.0
-            } else {
-                picked.iter().map(|s| s.iterations as f64).sum::<f64>() / n as f64
-            },
-            density: if n == 0 {
-                0.0
-            } else {
-                picked.iter().map(|s| s.density).sum::<f64>() / n as f64
+            engines: stats,
+            density: match (sparse_idx, n) {
+                (Some(i), n) if n > 0 => {
+                    picked.iter().map(|s| s.engines[i].density).sum::<f64>() / n as f64
+                }
+                _ => 0.0,
             },
         }
     };
@@ -338,14 +464,59 @@ mod tests {
     #[test]
     fn engine_comparison_covers_every_subgraph_and_agrees() {
         let w = tiny_workload();
-        let rows = lp_engine_experiment(&w);
+        let rows = lp_engine_experiment(&w, EngineSelection::All);
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].label, "All");
         assert_eq!(rows[0].subgraphs, w.subgraphs.len());
         let by_class: usize = rows[1..].iter().map(|r| r.subgraphs).sum();
         assert_eq!(by_class, w.subgraphs.len());
+        // All three engines were measured (the experiment itself asserts
+        // their optimal values agree on every subgraph).
+        assert_eq!(rows[0].engines.len(), 3);
+        for engine in EngineSelection::All.engines() {
+            assert!(rows[0].stat(engine).is_some());
+        }
         // The flow LP is genuinely sparse on every non-trivial subgraph.
         assert!(rows[0].density < 0.5, "density {}", rows[0].density);
+    }
+
+    #[test]
+    fn engine_selection_parses_flag_values() {
+        assert_eq!(
+            EngineSelection::parse("dense"),
+            Some(EngineSelection::Dense)
+        );
+        assert_eq!(
+            EngineSelection::parse("sparse"),
+            Some(EngineSelection::Sparse)
+        );
+        assert_eq!(
+            EngineSelection::parse("netflow"),
+            Some(EngineSelection::Netflow)
+        );
+        assert_eq!(EngineSelection::parse("all"), Some(EngineSelection::All));
+        assert_eq!(EngineSelection::parse("simplex"), None);
+        assert_eq!(EngineSelection::parse(""), None);
+        // Single-engine selections run exactly that engine.
+        assert_eq!(
+            EngineSelection::Netflow.engines(),
+            vec![SimplexEngine::NetworkSimplex]
+        );
+    }
+
+    #[test]
+    fn single_engine_selection_produces_one_stat_per_row() {
+        let w = tiny_workload();
+        let rows = lp_engine_experiment(&w, EngineSelection::Netflow);
+        assert_eq!(rows[0].engines.len(), 1);
+        assert_eq!(rows[0].engines[0].engine, SimplexEngine::NetworkSimplex);
+        // No sparse engine ran, so there is no density to report and no
+        // speedup baseline.
+        assert_eq!(rows[0].density, 0.0);
+        assert_eq!(
+            rows[0].speedup(SimplexEngine::SparseRevised, SimplexEngine::NetworkSimplex),
+            0.0
+        );
     }
 
     #[test]

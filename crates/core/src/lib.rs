@@ -15,7 +15,8 @@
 //!   the source into single edges (with parallel-edge merging), shrinking
 //!   the LP;
 //! * [`lp_formulation`] — the Section 4.2.1 linear program (one variable per
-//!   non-source interaction);
+//!   non-source interaction), plus a direct graph → min-cost-flow emitter
+//!   that feeds the network simplex without assembling the general LP;
 //! * [`solver`] — the evaluated pipelines `Greedy`, `LP`, `Pre`, `PreSim`
 //!   plus a time-expanded max-flow oracle, with per-run statistics and the
 //!   class A/B/C difficulty classification used in the paper's tables;
@@ -66,9 +67,15 @@ pub use error::FlowError;
 pub use greedy::{
     greedy_flow, greedy_flow_traced, greedy_flow_with, GreedyResult, GreedyScratch, TransferStep,
 };
-pub use lp_formulation::{build_lp, lp_max_flow, LpFormulation, LpOutcome};
+pub use lp_formulation::{
+    build_lp, build_mcf, lp_max_flow, max_flow_with_engine, netflow_max_flow, LpFormulation,
+    LpOutcome, McfFormulation,
+};
 pub use parallel::parallel_map;
 pub use preprocess::{preprocess, PreprocessOutcome, PreprocessReport};
 pub use simplify::{simplify, SimplifyOutcome, SimplifyReport};
 pub use solubility::is_greedy_soluble;
-pub use solver::{compute_flow, maximum_flow, DifficultyClass, FlowMethod, FlowResult, SolveStats};
+pub use solver::{
+    compute_flow, compute_flow_with_engine, maximum_flow, DifficultyClass, FlowMethod, FlowResult,
+    SolveStats,
+};

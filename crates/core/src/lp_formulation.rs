@@ -23,12 +23,20 @@
 //!
 //! The constraint matrix this produces is extremely sparse — each variable
 //! appears in one balance row per downstream departure of its endpoint —
-//! which is why the default [`tin_lp::SimplexEngine::SparseRevised`] engine
-//! beats the dense tableau by a wide margin on class C subgraphs.
+//! which is why the [`tin_lp::SimplexEngine::SparseRevised`] engine beats
+//! the dense tableau by a wide margin on class C subgraphs.
+//!
+//! The class C **hot path** no longer assembles this LP at all: the same
+//! flow problem is a pure min-cost circulation on the time-expanded
+//! network, and [`build_mcf`] emits it directly as a
+//! [`MinCostFlowProblem`] for the network simplex
+//! ([`tin_lp::SimplexEngine::NetworkSimplex`]) — see [`McfFormulation`].
+//! The balance-row LP remains the cross-check oracle form for the sparse
+//! and dense engines.
 
 use crate::error::FlowError;
-use tin_graph::{Events, NodeId, Quantity, TemporalGraph};
-use tin_lp::{LpProblem, LpSolution, LpStatus};
+use tin_graph::{Events, NodeId, Quantity, TemporalGraph, Time};
+use tin_lp::{LpProblem, LpSolution, LpStatus, McfSolution, MinCostFlowProblem, SimplexEngine};
 
 /// A constructed LP instance together with the bookkeeping needed to
 /// interpret its solution.
@@ -64,6 +72,12 @@ pub struct LpOutcome {
     /// Nonzero density of the constraint matrix (nonzeros over rows ×
     /// columns; 0 for empty programs).
     pub density: f64,
+    /// Which engine produced the solution.
+    pub engine: SimplexEngine,
+    /// Basis-changing pivots performed.
+    pub pivots: usize,
+    /// Pivots whose step length was (numerically) zero.
+    pub degenerate_pivots: usize,
 }
 
 /// Builds the Section 4.2.1 linear program for `graph` with the given flow
@@ -185,7 +199,12 @@ pub fn build_lp(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> LpFormul
 impl LpFormulation {
     /// Solves the program and interprets the result as a maximum flow value.
     pub fn solve(&self) -> Result<(LpOutcome, LpSolution), FlowError> {
-        let solution = self.problem.solve();
+        self.solve_with(self.problem.engine())
+    }
+
+    /// Solves the program with an explicitly chosen engine.
+    pub fn solve_with(&self, engine: SimplexEngine) -> Result<(LpOutcome, LpSolution), FlowError> {
+        let solution = self.problem.solve_with(engine);
         if solution.status != LpStatus::Optimal {
             return Err(FlowError::LpFailed(solution.status));
         }
@@ -197,6 +216,9 @@ impl LpFormulation {
             refactorizations: solution.refactorizations,
             nonzeros: solution.matrix_nonzeros,
             density: solution.matrix_density,
+            engine: solution.engine,
+            pivots: solution.pivots,
+            degenerate_pivots: solution.degenerate_pivots,
         };
         Ok((outcome, solution))
     }
@@ -211,6 +233,216 @@ pub fn lp_max_flow(
 ) -> Result<LpOutcome, FlowError> {
     let formulation = build_lp(graph, source, sink);
     formulation.solve().map(|(outcome, _)| outcome)
+}
+
+/// The direct min-cost-flow form of the maximum-flow problem: the
+/// time-expanded network emitted straight into a
+/// [`MinCostFlowProblem`], skipping the general LP row/column assembly
+/// entirely. Balance rows become node supplies (all zero — it is a
+/// circulation), per-interaction capacities become arc capacities, and a
+/// `sink → source` return arc of cost −1 makes the min-cost circulation
+/// equal minus the maximum flow.
+#[derive(Debug, Clone)]
+pub struct McfFormulation {
+    /// The min-cost-flow instance (a circulation: all supplies zero).
+    pub problem: MinCostFlowProblem,
+    /// Index of the `sink → source` return arc; its flow at the optimum is
+    /// the maximum flow.
+    pub return_arc: usize,
+    /// Interactions skipped because they cannot carry flow (their source
+    /// vertex has no strictly earlier arrival).
+    pub skipped_interactions: usize,
+    /// Number of decision variables the Section 4.2.1 LP would have had
+    /// (interactions not leaving the flow endpoints) — reported in the
+    /// outcome so per-engine statistics stay comparable.
+    pub lp_variables: usize,
+}
+
+/// Builds the time-expanded min-cost-flow instance for `graph` with the
+/// given flow endpoints. The construction mirrors
+/// `tin_maxflow::TimeExpandedNetwork` exactly: one node per (vertex,
+/// arrival-time) copy, holdover arcs chaining copies forward in time, and
+/// one arc per interaction from the latest copy of its source *strictly
+/// before* its timestamp (the paper's strict precedence rule).
+pub fn build_mcf(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> McfFormulation {
+    // Finite stand-in for "unbounded": no s-t flow can exceed the total
+    // finite quantity, so the value never constrains an optimal solution
+    // and keeps the circulation bounded (no infinite-capacity negative
+    // cycle can exist).
+    let finite_total: f64 = graph
+        .edges()
+        .iter()
+        .flat_map(|e| e.interactions.iter())
+        .map(|i| {
+            if i.quantity.is_finite() {
+                i.quantity
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    let unbounded = finite_total + 1.0;
+
+    // Arrival times per vertex (excluding the flow endpoints).
+    let n = graph.node_count();
+    let mut arrivals: Vec<Vec<Time>> = vec![Vec::new(); n];
+    for edge in graph.edges() {
+        if edge.dst == source || edge.dst == sink {
+            continue;
+        }
+        for i in &edge.interactions {
+            arrivals[edge.dst.index()].push(i.time);
+        }
+    }
+    for list in arrivals.iter_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // Node ids: 0 = source, 1 = sink, then the per-arrival vertex copies.
+    let src_node = 0usize;
+    let sink_node = 1usize;
+    let mut first_copy: Vec<usize> = vec![usize::MAX; n];
+    let mut next_node = 2usize;
+    for (v, list) in arrivals.iter().enumerate() {
+        if !list.is_empty() {
+            first_copy[v] = next_node;
+            next_node += list.len();
+        }
+    }
+    let mut problem = MinCostFlowProblem::new(next_node);
+    let holdovers: usize = arrivals
+        .iter()
+        .map(|list| list.len().saturating_sub(1))
+        .sum();
+    let interactions: usize = graph.edges().iter().map(|e| e.interactions.len()).sum();
+    problem.reserve_arcs(holdovers + interactions + 1);
+
+    // Holdover arcs carry buffered quantity forward in time.
+    for (v, list) in arrivals.iter().enumerate() {
+        for k in 0..list.len().saturating_sub(1) {
+            problem.add_arc(first_copy[v] + k, first_copy[v] + k + 1, 0.0, unbounded);
+        }
+    }
+
+    // Interaction arcs.
+    let mut skipped = 0usize;
+    for edge in graph.edges() {
+        if edge.src == sink || edge.dst == source {
+            skipped += edge.interactions.len();
+            continue;
+        }
+        for inter in &edge.interactions {
+            let cap = if inter.quantity.is_finite() {
+                inter.quantity
+            } else {
+                unbounded
+            };
+            let tail = if edge.src == source {
+                Some(src_node)
+            } else {
+                let list = &arrivals[edge.src.index()];
+                match list.partition_point(|&at| at < inter.time) {
+                    0 => None, // nothing can have arrived yet
+                    k => Some(first_copy[edge.src.index()] + (k - 1)),
+                }
+            };
+            let Some(tail) = tail else {
+                skipped += 1;
+                continue;
+            };
+            let head = if edge.dst == sink {
+                sink_node
+            } else {
+                let list = &arrivals[edge.dst.index()];
+                let k = list.partition_point(|&at| at < inter.time);
+                debug_assert!(k < list.len() && list[k] == inter.time);
+                first_copy[edge.dst.index()] + k
+            };
+            problem.add_arc(tail, head, 0.0, cap);
+        }
+    }
+
+    // The return arc closes the circulation; rewarding its flow at cost −1
+    // makes "minimize cost" mean "maximize the s-t flow".
+    let return_arc = problem.add_arc(sink_node, src_node, -1.0, unbounded);
+    // Same counting rule as `build_lp`: interactions leaving the flow
+    // endpoints are constants there, not variables.
+    let lp_variables = graph
+        .edges()
+        .iter()
+        .filter(|e| e.src != source && e.src != sink)
+        .map(|e| e.interactions.len())
+        .sum();
+    McfFormulation {
+        problem,
+        return_arc,
+        skipped_interactions: skipped,
+        lp_variables,
+    }
+}
+
+impl McfFormulation {
+    /// Solves the circulation with the network simplex and interprets the
+    /// result as a maximum flow value. The [`LpOutcome`] reports the
+    /// variable count the Section 4.2.1 LP would have had (so the paper's
+    /// size statistics stay engine-independent) and the circulation's
+    /// nodes as "constraints" — its balance rows.
+    pub fn solve(&self) -> Result<(LpOutcome, McfSolution), FlowError> {
+        let solution = self.problem.solve();
+        if solution.status != LpStatus::Optimal {
+            return Err(FlowError::LpFailed(solution.status));
+        }
+        let nodes = self.problem.num_nodes();
+        let arcs = self.problem.num_arcs();
+        let nonzeros = 2 * arcs;
+        let outcome = LpOutcome {
+            flow: solution.flows[self.return_arc],
+            variables: self.lp_variables,
+            constraints: nodes,
+            iterations: solution.pivots,
+            refactorizations: 0,
+            nonzeros,
+            density: if nodes * arcs == 0 {
+                0.0
+            } else {
+                nonzeros as f64 / (nodes * arcs) as f64
+            },
+            engine: SimplexEngine::NetworkSimplex,
+            pivots: solution.pivots,
+            degenerate_pivots: solution.degenerate_pivots,
+        };
+        Ok((outcome, solution))
+    }
+}
+
+/// Convenience wrapper: builds and solves the time-expanded min-cost-flow
+/// instance with the network simplex, returning the maximum flow from
+/// `source` to `sink`.
+pub fn netflow_max_flow(
+    graph: &TemporalGraph,
+    source: NodeId,
+    sink: NodeId,
+) -> Result<LpOutcome, FlowError> {
+    build_mcf(graph, source, sink).solve().map(|(o, _)| o)
+}
+
+/// Builds and solves the exact flow problem with the chosen engine:
+/// [`SimplexEngine::NetworkSimplex`] takes the direct min-cost-flow path
+/// ([`build_mcf`], no LP assembly at all); the sparse and dense engines
+/// solve the balance-row LP of [`build_lp`].
+pub fn max_flow_with_engine(
+    graph: &TemporalGraph,
+    source: NodeId,
+    sink: NodeId,
+    engine: SimplexEngine,
+) -> Result<LpOutcome, FlowError> {
+    match engine {
+        SimplexEngine::NetworkSimplex => netflow_max_flow(graph, source, sink),
+        other => build_lp(graph, source, sink)
+            .solve_with(other)
+            .map(|(o, _)| o),
+    }
 }
 
 #[cfg(test)]
@@ -392,5 +624,100 @@ mod tests {
         assert!(sparse.is_optimal() && dense.is_optimal());
         assert!((sparse.objective - dense.objective).abs() < 1e-6);
         assert!((sparse.objective + f.fixed_flow - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn netflow_reaches_the_figure3_optimum() {
+        let (g, s, t) = figure3();
+        let out = netflow_max_flow(&g, s, t).unwrap();
+        assert_close(out.flow, 5.0);
+        assert_eq!(out.engine, SimplexEngine::NetworkSimplex);
+        assert_eq!(out.refactorizations, 0);
+        assert!(out.pivots > 0);
+        // The returned circulation is a feasible flow on the network.
+        let f = build_mcf(&g, s, t);
+        let (_, sol) = f.solve().unwrap();
+        assert!(f.problem.is_feasible(&sol.flows, 1e-6));
+    }
+
+    #[test]
+    fn mcf_emitter_mirrors_the_time_expanded_reduction() {
+        use tin_maxflow::TimeExpandedNetwork;
+        let (g, s, t) = figure3();
+        let mcf = build_mcf(&g, s, t);
+        let net = TimeExpandedNetwork::build(&g, s, t);
+        // Same node count (source + sink + copies) and the same arcs plus
+        // the one return arc closing the circulation.
+        assert_eq!(mcf.problem.num_nodes(), 2 + net.copy_count);
+        assert_eq!(mcf.skipped_interactions, net.skipped_interactions);
+        assert_eq!(mcf.return_arc, mcf.problem.num_arcs() - 1);
+        // All supplies are zero: it is a circulation.
+        for v in 0..mcf.problem.num_nodes() {
+            assert_eq!(mcf.problem.supply(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn all_three_engines_agree_on_paper_examples() {
+        let (g, s, t) = figure3();
+        let netflow = max_flow_with_engine(&g, s, t, SimplexEngine::NetworkSimplex).unwrap();
+        let sparse = max_flow_with_engine(&g, s, t, SimplexEngine::SparseRevised).unwrap();
+        let dense = max_flow_with_engine(&g, s, t, SimplexEngine::DenseTableau).unwrap();
+        assert_close(netflow.flow, sparse.flow);
+        assert_close(netflow.flow, dense.flow);
+        assert_eq!(netflow.engine, SimplexEngine::NetworkSimplex);
+        assert_eq!(sparse.engine, SimplexEngine::SparseRevised);
+        assert_eq!(dense.engine, SimplexEngine::DenseTableau);
+    }
+
+    #[test]
+    fn netflow_handles_edge_cases_like_the_lp() {
+        // Empty graph.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let t = b.add_node("t");
+        let g = b.build();
+        assert_close(netflow_max_flow(&g, s, t).unwrap().flow, 0.0);
+
+        // Direct source-to-sink interactions.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let t = b.add_node("t");
+        b.add_pairs(s, t, &[(1, 4.0), (7, 2.5)]).unwrap();
+        let g = b.build();
+        assert_close(netflow_max_flow(&g, s, t).unwrap().flow, 6.5);
+
+        // Same-timestamp arrival cannot be relayed (strict precedence).
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(3, 4.0)]).unwrap();
+        b.add_pairs(a, t, &[(3, 4.0)]).unwrap();
+        let g = b.build();
+        assert_close(netflow_max_flow(&g, s, t).unwrap().flow, 0.0);
+
+        // Unbounded quantities use the finite stand-in.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_interaction(s, a, tin_graph::Interaction::new(i64::MIN, f64::INFINITY))
+            .unwrap();
+        b.add_pairs(a, t, &[(5, 3.0)]).unwrap();
+        let g = b.build();
+        assert_close(netflow_max_flow(&g, s, t).unwrap().flow, 3.0);
+
+        // Reservation is exploited, same as the LP.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let dead = b.add_node("dead");
+        let t = b.add_node("t");
+        b.add_pairs(s, a, &[(1, 10.0)]).unwrap();
+        b.add_pairs(a, dead, &[(2, 6.0)]).unwrap();
+        b.add_pairs(a, t, &[(3, 10.0)]).unwrap();
+        let g = b.build();
+        assert_close(netflow_max_flow(&g, s, t).unwrap().flow, 10.0);
     }
 }

@@ -18,12 +18,13 @@
 
 use crate::error::FlowError;
 use crate::greedy::{greedy_flow, greedy_flow_with, GreedyScratch};
-use crate::lp_formulation::lp_max_flow;
+use crate::lp_formulation::max_flow_with_engine;
 use crate::preprocess::{preprocess, PreprocessReport};
 use crate::simplify::{simplify, SimplifyReport};
 use crate::solubility::is_greedy_soluble;
 use serde::{Deserialize, Serialize};
 use tin_graph::{topological_order, NodeId, Quantity, TemporalGraph};
+use tin_lp::SimplexEngine;
 use tin_maxflow::time_expanded_max_flow;
 
 /// The flow computation strategies compared in the paper's evaluation.
@@ -127,6 +128,16 @@ pub struct SolveStats {
     /// CTU-13 programs), shrinking as subgraphs grow — which is what makes
     /// the sparse revised simplex the right default for the hard cases.
     pub lp_density: Option<f64>,
+    /// Which engine solved the exact subproblem (when one ran). The default
+    /// pipeline routes class C through the network simplex; the general LP
+    /// engines remain available as cross-check oracles via
+    /// [`compute_flow_with_engine`].
+    pub lp_engine: Option<SimplexEngine>,
+    /// Basis-changing pivots performed by the engine (when one ran).
+    pub lp_pivots: Option<usize>,
+    /// Pivots with a (numerically) zero step length (when an engine ran) —
+    /// the degeneracy observability hook for the engine-comparison tables.
+    pub lp_degenerate_pivots: Option<usize>,
     /// Whether the final answer was produced by the greedy scan.
     pub solved_by_greedy: bool,
     /// Preprocessing report (when preprocessing ran).
@@ -159,6 +170,9 @@ impl SolveStats {
         self.lp_refactorizations = Some(outcome.refactorizations);
         self.lp_nonzeros = Some(outcome.nonzeros);
         self.lp_density = Some(outcome.density);
+        self.lp_engine = Some(outcome.engine);
+        self.lp_pivots = Some(outcome.pivots);
+        self.lp_degenerate_pivots = Some(outcome.degenerate_pivots);
     }
 }
 
@@ -188,6 +202,23 @@ pub fn compute_flow(
     sink: NodeId,
     method: FlowMethod,
 ) -> Result<FlowResult, FlowError> {
+    compute_flow_with_engine(graph, source, sink, method, SimplexEngine::NetworkSimplex)
+}
+
+/// Like [`compute_flow`], but with an explicit choice of exact engine for the
+/// subproblems that need one (`Lp`, and the class C leg of `Pre`/`PreSim`).
+///
+/// [`SimplexEngine::NetworkSimplex`] — the default used by [`compute_flow`] —
+/// skips the general LP assembly entirely and solves the time-expanded
+/// min-cost circulation directly; the sparse and dense simplex engines are
+/// retained unchanged as cross-check oracles.
+pub fn compute_flow_with_engine(
+    graph: &TemporalGraph,
+    source: NodeId,
+    sink: NodeId,
+    method: FlowMethod,
+    engine: SimplexEngine,
+) -> Result<FlowResult, FlowError> {
     validate(graph, source, sink)?;
     let mut stats = SolveStats {
         interactions_input: graph.interaction_count(),
@@ -210,7 +241,7 @@ pub fn compute_flow(
             stats,
         }),
         FlowMethod::Lp => {
-            let outcome = lp_max_flow(graph, source, sink)?;
+            let outcome = max_flow_with_engine(graph, source, sink, engine)?;
             stats.record_lp(&outcome);
             Ok(FlowResult {
                 flow: outcome.flow,
@@ -219,8 +250,8 @@ pub fn compute_flow(
                 stats,
             })
         }
-        FlowMethod::Pre => solve_with_preprocessing(graph, source, sink, false, stats),
-        FlowMethod::PreSim => solve_with_preprocessing(graph, source, sink, true, stats),
+        FlowMethod::Pre => solve_with_preprocessing(graph, source, sink, false, engine, stats),
+        FlowMethod::PreSim => solve_with_preprocessing(graph, source, sink, true, engine, stats),
     }
 }
 
@@ -239,6 +270,7 @@ fn solve_with_preprocessing(
     source: NodeId,
     sink: NodeId,
     with_simplify: bool,
+    engine: SimplexEngine,
     mut stats: SolveStats,
 ) -> Result<FlowResult, FlowError> {
     let method = if with_simplify {
@@ -312,8 +344,9 @@ fn solve_with_preprocessing(
         });
     }
 
-    // Step 5: class C — LP on the reduced graph.
-    let outcome = lp_max_flow(&final_graph, final_source, final_sink)?;
+    // Step 5: class C — exact solve on the reduced graph (network simplex
+    // under the default engine; general LP under the oracle engines).
+    let outcome = max_flow_with_engine(&final_graph, final_source, final_sink, engine)?;
     stats.record_lp(&outcome);
     Ok(FlowResult {
         flow: outcome.flow,
@@ -423,8 +456,28 @@ mod tests {
         assert!(r.stats.lp_refactorizations.is_some());
         assert!(r.stats.lp_nonzeros.unwrap() > 0);
         assert!(r.stats.lp_density.unwrap() > 0.0);
+        // The default pipeline routes class C through the network simplex.
+        assert_eq!(r.stats.lp_engine, Some(SimplexEngine::NetworkSimplex));
+        assert!(r.stats.lp_pivots.is_some());
+        assert!(r.stats.lp_degenerate_pivots.is_some());
         let rs = compute_flow(&g, s, t, FlowMethod::PreSim).unwrap();
         assert_eq!(rs.class, Some(DifficultyClass::C));
+    }
+
+    #[test]
+    fn every_engine_solves_class_c_identically() {
+        let (g, s, t) = figure3();
+        for engine in [
+            SimplexEngine::NetworkSimplex,
+            SimplexEngine::SparseRevised,
+            SimplexEngine::DenseTableau,
+        ] {
+            for method in [FlowMethod::Lp, FlowMethod::Pre, FlowMethod::PreSim] {
+                let r = compute_flow_with_engine(&g, s, t, method, engine).unwrap();
+                assert_close(r.flow, 5.0);
+                assert_eq!(r.stats.lp_engine, Some(engine));
+            }
+        }
     }
 
     #[test]

@@ -190,6 +190,7 @@ fn optimize(
     col_limit: usize,
     max_iters: usize,
     pivots: &mut usize,
+    degenerate: &mut usize,
 ) -> Result<(), LpStatus> {
     let bland_threshold = max_iters / 2;
     let mut local = 0usize;
@@ -201,6 +202,9 @@ fn optimize(
         let Some(row) = t.leaving(col) else {
             return Err(LpStatus::Unbounded);
         };
+        if t.rhs(row) / t.rows[row][col] <= EPS {
+            *degenerate += 1;
+        }
         t.pivot(row, col);
         *pivots += 1;
         local += 1;
@@ -215,8 +219,11 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
     let n = problem.num_vars();
     let rows = materialize_rows(problem);
     let m = rows.len();
-    let finish = |mut s: LpSolution| {
+    let finish = |mut s: LpSolution, degenerate: usize| {
         s.engine = SimplexEngine::DenseTableau;
+        // Every dense iteration is a pivot.
+        s.pivots = s.iterations;
+        s.degenerate_pivots = degenerate;
         // The dense engine works on the bound-expanded row set; report the
         // size it actually solved.
         s.matrix_nonzeros = rows.iter().map(|r| r.coeffs.len()).sum();
@@ -238,12 +245,15 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
             .iter()
             .any(|&c| if maximize { c > EPS } else { c < -EPS });
         return if improving {
-            finish(LpSolution::with_status(LpStatus::Unbounded, 0))
+            finish(LpSolution::with_status(LpStatus::Unbounded, 0), 0)
         } else {
-            finish(LpSolution {
-                variables: vec![0.0; n],
-                ..LpSolution::with_status(LpStatus::Optimal, 0)
-            })
+            finish(
+                LpSolution {
+                    variables: vec![0.0; n],
+                    ..LpSolution::with_status(LpStatus::Optimal, 0)
+                },
+                0,
+            )
         };
     }
 
@@ -314,6 +324,7 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
         200 * (m + n_cols) + 2000
     };
     let mut pivots = 0usize;
+    let mut degenerate = 0usize;
 
     // --- Phase 1: drive artificial variables to zero ----------------------
     if n_art > 0 {
@@ -322,26 +333,41 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
             *c = -1.0; // maximize -(sum of artificials)
         }
         tableau.price(&phase1_costs);
-        match optimize(&mut tableau, n_cols, max_iters, &mut pivots) {
+        match optimize(
+            &mut tableau,
+            n_cols,
+            max_iters,
+            &mut pivots,
+            &mut degenerate,
+        ) {
             Ok(()) => {}
             Err(LpStatus::Unbounded) => {
                 // Phase-1 objective is bounded above by 0; an "unbounded"
                 // outcome can only be a numerical artifact.
-                return finish(LpSolution::with_status(LpStatus::Infeasible, pivots));
+                return finish(
+                    LpSolution::with_status(LpStatus::Infeasible, pivots),
+                    degenerate,
+                );
             }
-            Err(status) => return finish(LpSolution::with_status(status, pivots)),
+            Err(status) => return finish(LpSolution::with_status(status, pivots), degenerate),
         }
         let phase1_obj = tableau.obj[n_cols];
         if phase1_obj < -FEAS_EPS {
-            return finish(LpSolution::with_status(LpStatus::Infeasible, pivots));
+            return finish(
+                LpSolution::with_status(LpStatus::Infeasible, pivots),
+                degenerate,
+            );
         }
         // Drive remaining (degenerate) artificial variables out of the basis
         // when possible so phase 2 starts from a clean basis.
         for i in 0..m {
             if tableau.basis[i] >= art_start {
                 if let Some(col) = (0..art_start).find(|&j| tableau.rows[i][j].abs() > EPS) {
+                    // Pivoting out a zero-valued artificial: degenerate by
+                    // construction.
                     tableau.pivot(i, col);
                     pivots += 1;
+                    degenerate += 1;
                 }
             }
         }
@@ -354,9 +380,15 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
     }
     tableau.price(&costs);
     // Artificial columns may not re-enter the basis.
-    match optimize(&mut tableau, art_start, max_iters, &mut pivots) {
+    match optimize(
+        &mut tableau,
+        art_start,
+        max_iters,
+        &mut pivots,
+        &mut degenerate,
+    ) {
         Ok(()) => {}
-        Err(status) => return finish(LpSolution::with_status(status, pivots)),
+        Err(status) => return finish(LpSolution::with_status(status, pivots), degenerate),
     }
 
     // --- Extract the solution ---------------------------------------------
@@ -367,11 +399,14 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
         }
     }
     let objective = problem.objective_value(&x);
-    finish(LpSolution {
-        objective,
-        variables: x,
-        ..LpSolution::with_status(LpStatus::Optimal, pivots)
-    })
+    finish(
+        LpSolution {
+            objective,
+            variables: x,
+            ..LpSolution::with_status(LpStatus::Optimal, pivots)
+        },
+        degenerate,
+    )
 }
 
 /// Returns the constraint operator after normalizing the row to a

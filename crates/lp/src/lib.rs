@@ -5,15 +5,22 @@
 //!
 //! The paper solves its maximum-flow formulation with the `lpsolve` C
 //! library; this crate provides an equivalent exact solver implemented from
-//! scratch. Two interchangeable engines share one problem representation
+//! scratch. Three interchangeable engines share one problem representation
 //! (see [`SimplexEngine`]):
 //!
-//! * [`simplex`] — the default **sparse revised simplex**: the constraint
-//!   matrix lives in a compressed-sparse-column store ([`sparse::CscMatrix`]),
-//!   the basis inverse in a product-form eta file ([`sparse::EtaFile`]) with
-//!   periodic refactorization, pricing is Dantzig's rule over a
-//!   partial-pricing section scan, and variable upper bounds are handled
-//!   natively by the bounded ratio test (no row per bound);
+//! * [`netflow`] — a **network simplex** over min-cost-flow structure
+//!   ([`netflow::MinCostFlowProblem`]): the basis is an explicit spanning
+//!   tree (parent/depth arrays plus a child/sibling thread), pivots walk
+//!   one cycle in O(tree depth), strongly feasible trees prevent cycling,
+//!   and pricing scans a candidate-list block. This is what the class C
+//!   flow hot path runs on;
+//! * [`simplex`] — the general-LP default, a **sparse revised simplex**:
+//!   the constraint matrix lives in a compressed-sparse-column store
+//!   ([`sparse::CscMatrix`]), the basis inverse in a product-form eta file
+//!   ([`sparse::EtaFile`]) with periodic refactorization, pricing is
+//!   Dantzig's rule over a partial-pricing section scan, and variable upper
+//!   bounds are handled natively by the bounded ratio test (no row per
+//!   bound);
 //! * [`dense`] — the original **dense two-phase tableau** (Dantzig pricing,
 //!   Bland's-rule anti-cycling fallback), kept as an independent
 //!   implementation for property-based cross-checking and as a baseline the
@@ -47,10 +54,12 @@
 #![warn(missing_docs)]
 
 pub mod dense;
+pub mod netflow;
 pub mod problem;
 pub mod simplex;
 pub mod solution;
 pub mod sparse;
 
+pub use netflow::{McfArc, McfSolution, MinCostFlowProblem};
 pub use problem::{ConstraintOp, LpProblem, Sense, SimplexEngine};
 pub use solution::{LpSolution, LpStatus};

@@ -1,0 +1,1235 @@
+//! Network simplex for min-cost flow.
+//!
+//! The class C flow LPs are pure min-cost-flow problems on a time-expanded
+//! network, so they do not need a general simplex at all: a basis of a
+//! min-cost-flow problem is a spanning tree of the network, and a pivot is
+//! a walk around the single cycle the entering arc closes — O(tree depth)
+//! work with no basis factorization, no eta file and no refactorization.
+//!
+//! This module provides:
+//!
+//! * [`MinCostFlowProblem`] — node supplies plus arcs with cost, capacity
+//!   and lower bound;
+//! * a **network simplex** ([`MinCostFlowProblem::solve`]) over an explicit
+//!   spanning-tree basis: parent/depth arrays plus a child/sibling thread
+//!   for subtree traversal, an artificial-root initial tree, candidate-list
+//!   block pricing, and the *strongly feasible tree* leaving-arc rule
+//!   (last blocking arc from the apex) that prevents cycling under
+//!   degeneracy;
+//! * [`MinCostFlowProblem::to_lp`] / [`MinCostFlowProblem::from_lp`] —
+//!   lossless bridges to the general [`LpProblem`] form, used by the
+//!   three-way engine-equivalence proptests and by
+//!   [`LpProblem::solve_with`] when [`SimplexEngine::NetworkSimplex`] is
+//!   requested on a network-structured LP.
+//!
+//! Infeasibility is detected in phase 1 (artificial arcs keep positive
+//! flow at the phase-1 optimum), unboundedness in phase 2 (the entering
+//! arc closes a negative-cost cycle with unlimited residual capacity).
+
+use crate::problem::{LpProblem, Sense, SimplexEngine};
+use crate::simplex;
+use crate::solution::{LpSolution, LpStatus};
+
+/// Reduced-cost / residual tolerance (same scale as the LP engines).
+const EPS: f64 = 1e-9;
+/// Feasibility tolerance for the phase-1 verdict.
+const FEAS_EPS: f64 = 1e-6;
+/// Sentinel for "no node" in the tree arrays.
+const NONE: usize = usize::MAX;
+
+/// Null link in the solver's u32-indexed tree/arc records.
+const NIL: u32 = u32::MAX;
+
+/// One directed arc of a min-cost-flow problem.
+#[derive(Debug, Clone, Copy)]
+pub struct McfArc {
+    /// Node the arc leaves.
+    pub tail: usize,
+    /// Node the arc enters.
+    pub head: usize,
+    /// Minimum flow the arc must carry (finite, `≤ upper`).
+    pub lower: f64,
+    /// Maximum flow the arc may carry (`+∞` for uncapacitated arcs).
+    pub upper: f64,
+    /// Cost per unit of flow.
+    pub cost: f64,
+}
+
+/// A min-cost-flow problem: find arc flows `lᵃ ≤ xᵃ ≤ uᵃ` satisfying
+/// `Σ out(v) − Σ in(v) = supply(v)` at every node `v` while minimizing
+/// `Σ costᵃ · xᵃ`.
+#[derive(Debug, Clone)]
+pub struct MinCostFlowProblem {
+    supplies: Vec<f64>,
+    arcs: Vec<McfArc>,
+    /// Maximum network-simplex pivots before giving up (0 = automatic,
+    /// scaled with problem size — the same safety valve as
+    /// [`LpProblem::max_iterations`]).
+    pub max_iterations: usize,
+}
+
+/// Result of a network-simplex run, with the same telemetry shape as
+/// [`LpSolution`]: pivot and degenerate-pivot counts.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// Termination status ([`LpStatus::NumericalFailure`] is never
+    /// produced: there is no factorized basis to go singular).
+    pub status: LpStatus,
+    /// Total cost `Σ costᵃ · xᵃ` (0 unless optimal).
+    pub objective: f64,
+    /// Per-arc flows in the original (unshifted) space (empty unless
+    /// optimal).
+    pub flows: Vec<f64>,
+    /// Basis-changing or bound-flipping pivots performed across both
+    /// phases.
+    pub pivots: usize,
+    /// Pivots whose step length was (numerically) zero.
+    pub degenerate_pivots: usize,
+}
+
+impl McfSolution {
+    fn with_status(status: LpStatus, pivots: usize, degenerate_pivots: usize) -> Self {
+        McfSolution {
+            status,
+            objective: 0.0,
+            flows: Vec::new(),
+            pivots,
+            degenerate_pivots,
+        }
+    }
+
+    /// Whether the solver proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+}
+
+impl MinCostFlowProblem {
+    /// Creates a problem over `num_nodes` nodes with zero supplies and no
+    /// arcs.
+    pub fn new(num_nodes: usize) -> Self {
+        MinCostFlowProblem {
+            supplies: vec![0.0; num_nodes],
+            arcs: Vec::new(),
+            max_iterations: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.supplies.len()
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Reserves room for at least `additional` more arcs. Emitters that
+    /// know their arc count up front (e.g. the time-expanded flow
+    /// circulation) use this to build the problem in one allocation.
+    pub fn reserve_arcs(&mut self, additional: usize) {
+        self.arcs.reserve(additional);
+    }
+
+    /// Sets the supply of `node` (positive = source, negative = demand).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range or `supply` is not finite.
+    pub fn set_supply(&mut self, node: usize, supply: f64) {
+        assert!(node < self.supplies.len(), "node index {node} out of range");
+        assert!(supply.is_finite(), "supply must be finite, got {supply}");
+        self.supplies[node] = supply;
+    }
+
+    /// The supply of `node`.
+    pub fn supply(&self, node: usize) -> f64 {
+        self.supplies[node]
+    }
+
+    /// Adds an arc with lower bound 0; returns its index.
+    pub fn add_arc(&mut self, tail: usize, head: usize, cost: f64, capacity: f64) -> usize {
+        self.add_arc_bounded(tail, head, cost, 0.0, capacity)
+    }
+
+    /// Adds an arc with an explicit `lower ≤ flow ≤ upper` band; returns
+    /// its index.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range, `cost` or `lower` is not
+    /// finite, or the band is empty (`lower > upper`).
+    pub fn add_arc_bounded(
+        &mut self,
+        tail: usize,
+        head: usize,
+        cost: f64,
+        lower: f64,
+        upper: f64,
+    ) -> usize {
+        let n = self.supplies.len();
+        assert!(tail < n, "arc tail {tail} out of range");
+        assert!(head < n, "arc head {head} out of range");
+        assert!(cost.is_finite(), "arc cost must be finite, got {cost}");
+        assert!(
+            lower.is_finite(),
+            "arc lower bound must be finite, got {lower}"
+        );
+        assert!(
+            !upper.is_nan() && lower <= upper,
+            "arc bounds must satisfy lower <= upper, got [{lower}, {upper}]"
+        );
+        self.arcs.push(McfArc {
+            tail,
+            head,
+            lower,
+            upper,
+            cost,
+        });
+        self.arcs.len() - 1
+    }
+
+    /// The arcs in insertion order.
+    pub fn arcs(&self) -> &[McfArc] {
+        &self.arcs
+    }
+
+    /// Evaluates `Σ costᵃ · xᵃ` at a given flow vector.
+    pub fn flow_cost(&self, flows: &[f64]) -> f64 {
+        self.arcs.iter().zip(flows).map(|(a, &x)| a.cost * x).sum()
+    }
+
+    /// Checks node balance and arc bounds within tolerance `tol`.
+    pub fn is_feasible(&self, flows: &[f64], tol: f64) -> bool {
+        if flows.len() != self.arcs.len() {
+            return false;
+        }
+        let mut balance: Vec<f64> = self.supplies.iter().map(|&s| -s).collect();
+        for (a, &x) in self.arcs.iter().zip(flows) {
+            if x.is_nan() || x < a.lower - tol || x > a.upper + tol {
+                return false;
+            }
+            balance[a.tail] += x;
+            balance[a.head] -= x;
+        }
+        balance.iter().all(|&b| b.abs() <= tol)
+    }
+
+    /// Rewrites the problem as a general [`LpProblem`] (minimize sense, one
+    /// equality row per node, one variable per arc shifted by its lower
+    /// bound). Returns the program and the constant objective offset:
+    /// `mcf objective = lp objective + offset`.
+    pub fn to_lp(&self) -> (LpProblem, f64) {
+        let mut lp = LpProblem::new(self.arcs.len());
+        lp.set_sense(Sense::Minimize);
+        lp.max_iterations = self.max_iterations;
+        let mut offset = 0.0;
+        let mut rhs: Vec<f64> = self.supplies.clone();
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.supplies.len()];
+        for (j, a) in self.arcs.iter().enumerate() {
+            lp.set_objective_coefficient(j, a.cost);
+            offset += a.cost * a.lower;
+            if a.upper.is_finite() {
+                lp.set_upper_bound(j, a.upper - a.lower);
+            }
+            rhs[a.tail] -= a.lower;
+            rhs[a.head] += a.lower;
+            rows[a.tail].push((j, 1.0));
+            rows[a.head].push((j, -1.0));
+        }
+        for (v, coeffs) in rows.iter().enumerate() {
+            lp.add_eq_constraint(coeffs, rhs[v]);
+        }
+        (lp, offset)
+    }
+
+    /// Recovers a min-cost-flow problem from a general LP when (and only
+    /// when) the LP has pure network structure: every row is an equality
+    /// and every variable carries exactly one `+1` and one `−1` coefficient
+    /// (its tail and head rows). Returns `None` otherwise — including for
+    /// the paper's class C balance formulation, whose variables appear in
+    /// arbitrarily many rows; that path uses the direct emitter in the core
+    /// crate instead.
+    pub fn from_lp(problem: &LpProblem) -> Option<MinCostFlowProblem> {
+        use crate::problem::ConstraintOp;
+        if problem.row_meta.iter().any(|m| m.op != ConstraintOp::Eq) {
+            return None;
+        }
+        let n_vars = problem.num_vars();
+        let mut tail = vec![NONE; n_vars];
+        let mut head = vec![NONE; n_vars];
+        for &(row, var, c) in &problem.entries {
+            if c == 1.0 && tail[var] == NONE {
+                tail[var] = row;
+            } else if c == -1.0 && head[var] == NONE {
+                head[var] = row;
+            } else {
+                return None;
+            }
+        }
+        if tail
+            .iter()
+            .zip(&head)
+            .any(|(&t, &h)| t == NONE || h == NONE)
+        {
+            return None;
+        }
+        let minimize = problem.sense() == Sense::Minimize;
+        let mut mcf = MinCostFlowProblem::new(problem.num_constraints());
+        mcf.max_iterations = problem.max_iterations;
+        for (row, meta) in problem.row_meta.iter().enumerate() {
+            mcf.set_supply(row, meta.rhs);
+        }
+        for j in 0..n_vars {
+            let c = problem.objective()[j];
+            mcf.add_arc(
+                tail[j],
+                head[j],
+                if minimize { c } else { -c },
+                problem.upper_bound(j),
+            );
+        }
+        Some(mcf)
+    }
+
+    /// Solves the problem with the network simplex.
+    pub fn solve(&self) -> McfSolution {
+        let n = self.supplies.len();
+        let m = self.arcs.len();
+        if n == 0 {
+            return McfSolution {
+                status: LpStatus::Optimal,
+                ..McfSolution::with_status(LpStatus::Optimal, 0, 0)
+            };
+        }
+
+        // The zero flow is already feasible for circulation problems (the
+        // entire flow hot path): skip phase 1 and seed the basis with a
+        // spanning tree of real arcs instead of making phase 2 evict the
+        // capacity-pinned artificials one degenerate pivot at a time. The
+        // check is allocation-free: zero supplies and zero lower bounds
+        // mean every per-node excess is exactly 0.
+        let warm =
+            self.supplies.iter().all(|&s| s == 0.0) && self.arcs.iter().all(|a| a.lower == 0.0);
+
+        // Shift lower bounds away (x = l + x′) and compute the residual
+        // per-node excess the artificial arcs must initially carry.
+        let excess: Vec<f64> = if warm {
+            Vec::new()
+        } else {
+            let mut excess = self.supplies.clone();
+            for a in &self.arcs {
+                excess[a.tail] -= a.lower;
+                excess[a.head] += a.lower;
+            }
+            if excess.iter().sum::<f64>().abs() > FEAS_EPS {
+                // Total supply ≠ total demand: no flow can conserve.
+                return McfSolution::with_status(LpStatus::Infeasible, 0, 0);
+            }
+            excess
+        };
+        let mut s = NetSimplex::new(self, &excess, warm);
+        let limit = if self.max_iterations > 0 {
+            self.max_iterations
+        } else {
+            200 * (n + m) + 2_000
+        };
+
+        if warm {
+            s.warm_start();
+        } else {
+            // Phase 1: drain the artificial arcs (cost 1 there, 0
+            // elsewhere).
+            match s.run(limit, true) {
+                Ok(()) => {}
+                Err(LpStatus::Unbounded) => {
+                    // Phase-1 cost is bounded below by 0; an "unbounded"
+                    // step can only be a numerical artifact. Mirror the LP
+                    // engines.
+                    return McfSolution::with_status(LpStatus::Infeasible, s.pivots, s.degenerate);
+                }
+                Err(status) => return McfSolution::with_status(status, s.pivots, s.degenerate),
+            }
+            let art_flow: f64 = s.arcs[m..].iter().map(|a| a.flow).sum();
+            if art_flow > FEAS_EPS {
+                return McfSolution::with_status(LpStatus::Infeasible, s.pivots, s.degenerate);
+            }
+
+            // Phase 2: real costs; artificial arcs pinned to zero capacity.
+            s.enter_phase2(&self.arcs);
+        }
+        if let Err(status) = s.run(limit, false) {
+            return McfSolution::with_status(status, s.pivots, s.degenerate);
+        }
+
+        let flows: Vec<f64> = self
+            .arcs
+            .iter()
+            .zip(&s.arcs)
+            .map(|(a, rec)| (a.lower + rec.flow).clamp(a.lower, a.upper))
+            .collect();
+        let objective = self.flow_cost(&flows);
+        McfSolution {
+            objective,
+            flows,
+            ..McfSolution::with_status(LpStatus::Optimal, s.pivots, s.degenerate)
+        }
+    }
+}
+
+/// Where a non-tree arc currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArcState {
+    /// In the spanning-tree basis.
+    Tree,
+    /// Nonbasic at its (shifted) lower bound 0.
+    Lower,
+    /// Nonbasic at its capacity.
+    Upper,
+}
+
+/// One arc of the expanded network, all attributes together: pricing and
+/// cycle walks read several fields of the same arc at once, so one record
+/// per cache line beats six scattered parallel-vector loads — and a
+/// one-shot solve on a small instance is dominated by allocation and
+/// first-touch cost, which two backing arrays keep minimal.
+#[derive(Debug, Clone, Copy)]
+struct ArcRec {
+    tail: u32,
+    head: u32,
+    state: ArcState,
+    cap: f64,
+    cost: f64,
+    flow: f64,
+}
+
+/// One node of the tree basis: parent/depth plus a child/sibling thread so
+/// a pivot can walk exactly the re-hung subtree.
+#[derive(Debug, Clone, Copy)]
+struct NodeRec {
+    parent: u32,
+    pred: u32,
+    depth: u32,
+    first_child: u32,
+    next_sib: u32,
+    prev_sib: u32,
+    pot: f64,
+}
+
+const NODE_INIT: NodeRec = NodeRec {
+    parent: NIL,
+    pred: NIL,
+    depth: 0,
+    first_child: NIL,
+    next_sib: NIL,
+    prev_sib: NIL,
+    pot: 0.0,
+};
+
+/// Recycled per-thread solver buffers. A worker solving many instances back
+/// to back — the shape of the flow pipeline, one subgraph after another —
+/// pays for the backing allocations once instead of on every solve:
+/// [`NetSimplex::new`] takes the buffers out of the slot and its `Drop`
+/// puts them back, whatever path `solve` exits through.
+#[derive(Default)]
+struct Scratch {
+    arcs: Vec<ArcRec>,
+    nodes: Vec<NodeRec>,
+    path_from: Vec<(usize, usize, bool)>,
+    path_to: Vec<(usize, usize, bool)>,
+    chain: Vec<usize>,
+    chain_arcs: Vec<usize>,
+    stack: Vec<usize>,
+    start: Vec<usize>,
+    incoming: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+}
+
+/// The spanning-tree basis and pivot machinery. Nodes `0..n` are real, node
+/// `n` is the artificial root; arcs `0..m` are real, arc `m + v` is node
+/// `v`'s artificial arc.
+struct NetSimplex {
+    n: usize,
+    m: usize,
+    arcs: Vec<ArcRec>,
+    nodes: Vec<NodeRec>,
+    // Candidate-list block pricing.
+    cursor: usize,
+    block: usize,
+    // Telemetry and the running artificial-flow total (phase-1 early exit).
+    pivots: usize,
+    degenerate: usize,
+    infeasibility: f64,
+    // Reusable pivot scratch: the two tree paths to the apex
+    // (node, pred arc, arc aligned with the cycle orientation) and the
+    // parent chain being reversed.
+    path_from: Vec<(usize, usize, bool)>,
+    path_to: Vec<(usize, usize, bool)>,
+    chain: Vec<usize>,
+    chain_arcs: Vec<usize>,
+    stack: Vec<usize>,
+    // CSR bucketing scratch for `warm_start`.
+    start: Vec<usize>,
+    incoming: Vec<u32>,
+}
+
+impl Drop for NetSimplex {
+    fn drop(&mut self) {
+        SCRATCH.with(|slot| {
+            let mut sc = slot.borrow_mut();
+            sc.arcs = std::mem::take(&mut self.arcs);
+            sc.nodes = std::mem::take(&mut self.nodes);
+            sc.path_from = std::mem::take(&mut self.path_from);
+            sc.path_to = std::mem::take(&mut self.path_to);
+            sc.chain = std::mem::take(&mut self.chain);
+            sc.chain_arcs = std::mem::take(&mut self.chain_arcs);
+            sc.stack = std::mem::take(&mut self.stack);
+            sc.start = std::mem::take(&mut self.start);
+            sc.incoming = std::mem::take(&mut self.incoming);
+        });
+    }
+}
+
+impl NetSimplex {
+    /// With `warm`, the caller promises the zero flow is feasible (every
+    /// excess is 0) and will build the initial basis via
+    /// [`NetSimplex::warm_start`]: real costs are installed immediately,
+    /// the artificial arcs start empty and capacity-pinned, and no
+    /// all-artificial tree is built only to be torn down again.
+    fn new(p: &MinCostFlowProblem, excess: &[f64], warm: bool) -> Self {
+        let n = p.supplies.len();
+        let m = p.arcs.len();
+        let root = n;
+        let total = m + n;
+        assert!(total < NIL as usize, "network too large for u32 indexing");
+        let mut sc = SCRATCH.with(|slot| slot.take());
+        sc.arcs.clear();
+        sc.arcs.reserve(total);
+        sc.nodes.clear();
+        sc.nodes.resize(n + 1, NODE_INIT);
+        let mut s = NetSimplex {
+            n,
+            m,
+            arcs: sc.arcs,
+            nodes: sc.nodes,
+            cursor: 0,
+            block: (total / 8).clamp(16, 1_024),
+            pivots: 0,
+            degenerate: 0,
+            infeasibility: 0.0,
+            path_from: sc.path_from,
+            path_to: sc.path_to,
+            chain: sc.chain,
+            chain_arcs: sc.chain_arcs,
+            stack: sc.stack,
+            start: sc.start,
+            incoming: sc.incoming,
+        };
+        for a in &p.arcs {
+            s.arcs.push(ArcRec {
+                tail: a.tail as u32,
+                head: a.head as u32,
+                state: ArcState::Lower,
+                cap: a.upper - a.lower,
+                cost: if warm { a.cost } else { 0.0 },
+                flow: 0.0,
+            });
+        }
+        if warm {
+            // The caller builds the basis via `warm_start`; the artificial
+            // arcs start empty and capacity-pinned.
+            for v in 0..n {
+                s.arcs.push(ArcRec {
+                    tail: v as u32,
+                    head: root as u32,
+                    state: ArcState::Lower,
+                    cap: 0.0,
+                    cost: 0.0,
+                    flow: 0.0,
+                });
+            }
+            return s;
+        }
+        // Artificial-root initialization: every node hangs off the root by
+        // one artificial arc carrying its excess, oriented so the initial
+        // tree is strongly feasible (zero-flow arcs point toward the root).
+        for (v, &e) in excess.iter().enumerate() {
+            let (tail, head, flow) = if e >= 0.0 {
+                (v, root, e)
+            } else {
+                (root, v, -e)
+            };
+            s.nodes[v].pot = if e >= 0.0 { -1.0 } else { 1.0 };
+            s.arcs.push(ArcRec {
+                tail: tail as u32,
+                head: head as u32,
+                state: ArcState::Tree,
+                cap: f64::INFINITY,
+                cost: 1.0, // phase-1 cost; real arcs cost 0 for now
+                flow,
+            });
+            s.infeasibility += flow;
+            s.nodes[v].parent = root as u32;
+            s.nodes[v].pred = (m + v) as u32;
+            s.nodes[v].depth = 1;
+            s.attach(root, v);
+        }
+        s
+    }
+
+    fn rc(&self, a: &ArcRec) -> f64 {
+        a.cost + self.nodes[a.tail as usize].pot - self.nodes[a.head as usize].pot
+    }
+
+    /// Dual violation of a nonbasic arc (0 when it satisfies optimality).
+    fn violation(&self, a: &ArcRec) -> f64 {
+        match a.state {
+            ArcState::Tree => 0.0,
+            ArcState::Lower => {
+                if a.cap <= EPS {
+                    0.0 // can never carry flow; exempt from pricing
+                } else {
+                    (-self.rc(a)).max(0.0)
+                }
+            }
+            ArcState::Upper => self.rc(a).max(0.0),
+        }
+    }
+
+    /// Candidate-list block pricing: scan fixed-size blocks from a roving
+    /// cursor and return the most-violating arc of the first block that
+    /// contains any violation. A full wrap without one proves optimality.
+    fn price(&mut self) -> Option<usize> {
+        let total = self.arcs.len();
+        let mut scanned = 0;
+        while scanned < total {
+            let take = self.block.min(total - scanned);
+            let mut best: Option<(usize, f64)> = None;
+            let scan = |s: &Self, lo: usize, hi: usize, best: &mut Option<(usize, f64)>| {
+                for (i, arc) in s.arcs[lo..hi].iter().enumerate() {
+                    let v = s.violation(arc);
+                    if v > EPS && best.is_none_or(|(_, bv)| v > bv) {
+                        *best = Some((lo + i, v));
+                    }
+                }
+            };
+            // The block may wrap: scan as (at most) two contiguous runs so
+            // the hot loop stays free of modular indexing.
+            let first = take.min(total - self.cursor);
+            scan(self, self.cursor, self.cursor + first, &mut best);
+            scan(self, 0, take - first, &mut best);
+            self.cursor = (self.cursor + take) % total;
+            scanned += take;
+            if let Some((a, _)) = best {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    fn attach(&mut self, p: usize, x: usize) {
+        let old = self.nodes[p].first_child;
+        self.nodes[x].next_sib = old;
+        self.nodes[x].prev_sib = NIL;
+        if old != NIL {
+            self.nodes[old as usize].prev_sib = x as u32;
+        }
+        self.nodes[p].first_child = x as u32;
+    }
+
+    fn detach(&mut self, x: usize) {
+        let p = self.nodes[x].parent as usize;
+        let prev = self.nodes[x].prev_sib;
+        let next = self.nodes[x].next_sib;
+        if prev == NIL {
+            self.nodes[p].first_child = next;
+        } else {
+            self.nodes[prev as usize].next_sib = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sib = prev;
+        }
+        self.nodes[x].prev_sib = NIL;
+        self.nodes[x].next_sib = NIL;
+    }
+
+    fn set_flow(&mut self, a: usize, x: f64) {
+        if a >= self.m {
+            self.infeasibility += x - self.arcs[a].flow;
+        }
+        self.arcs[a].flow = x;
+    }
+
+    /// Recomputes depth and potential for the subtree rooted at `start`
+    /// from its (already final) parent, walking the child/sibling thread.
+    fn refresh_subtree(&mut self, start: usize) {
+        self.stack.clear();
+        self.stack.push(start);
+        while let Some(x) = self.stack.pop() {
+            let p = self.nodes[x].parent as usize;
+            let arc = self.arcs[self.nodes[x].pred as usize];
+            self.nodes[x].depth = self.nodes[p].depth + 1;
+            self.nodes[x].pot = if arc.head as usize == x {
+                self.nodes[p].pot + arc.cost
+            } else {
+                self.nodes[p].pot - arc.cost
+            };
+            let mut c = self.nodes[x].first_child;
+            while c != NIL {
+                self.stack.push(c as usize);
+                c = self.nodes[c as usize].next_sib;
+            }
+        }
+    }
+
+    /// Switches to phase-2 costs: real arc costs return, artificial arcs
+    /// are pinned at zero capacity (they may linger in the tree,
+    /// degenerate, but can never carry flow again).
+    fn enter_phase2(&mut self, arcs: &[McfArc]) {
+        for (rec, arc) in self.arcs.iter_mut().zip(arcs) {
+            rec.cost = arc.cost;
+        }
+        let mut drained = 0.0;
+        for rec in &mut self.arcs[self.m..] {
+            rec.cost = 0.0;
+            rec.cap = 0.0;
+            drained += rec.flow;
+            rec.flow = 0.0;
+        }
+        self.infeasibility -= drained;
+        let root = self.n;
+        self.nodes[root].pot = 0.0;
+        let mut c = self.nodes[root].first_child;
+        while c != NIL {
+            self.refresh_subtree(c as usize);
+            c = self.nodes[c as usize].next_sib;
+        }
+        self.cursor = 0;
+    }
+
+    /// Builds the initial basis as a spanning tree of *real* arcs wherever
+    /// one exists (requires `warm` construction). Only valid when the zero
+    /// flow is feasible (all excesses 0): every tree arc then rests at its
+    /// lower bound, so strong feasibility requires each to point toward the
+    /// root — which a reverse BFS guarantees by hanging a node `u` below
+    /// `v` exactly when an arc `u → v` exists and `v` is already attached.
+    /// Each connected piece is anchored to the root by a single artificial
+    /// arc (oriented `node → root`); the other artificials never enter the
+    /// basis instead of being pivoted out one degenerate step at a time.
+    fn warm_start(&mut self) {
+        let root = self.n;
+        // Bucket real arcs by head for the reverse BFS (zero-capacity arcs
+        // can never carry flow and would only seed degenerate cycles).
+        // Backward fill: prefix-sum to *end* offsets, then insert each arc
+        // by decrementing its bucket cursor in place — `start[v]` lands on
+        // the begin offset and `start[v + 1]` is the end, with no second
+        // cursor array.
+        let mut start = std::mem::take(&mut self.start);
+        start.clear();
+        start.resize(self.n + 1, 0);
+        for arc in &self.arcs[..self.m] {
+            if arc.cap > EPS {
+                start[arc.head as usize] += 1;
+            }
+        }
+        let mut run = 0usize;
+        for s in start.iter_mut() {
+            run += *s;
+            *s = run;
+        }
+        let mut incoming = std::mem::take(&mut self.incoming);
+        incoming.clear();
+        incoming.resize(run, 0);
+        for (a, arc) in self.arcs[..self.m].iter().enumerate() {
+            if arc.cap > EPS {
+                let slot = &mut start[arc.head as usize];
+                *slot -= 1;
+                incoming[*slot] = a as u32;
+            }
+        }
+
+        // `parent == NIL` doubles as "not yet attached".
+        self.stack.clear();
+        for anchor in 0..self.n {
+            if self.nodes[anchor].parent != NIL {
+                continue;
+            }
+            self.nodes[anchor].parent = root as u32;
+            self.nodes[anchor].pred = (self.m + anchor) as u32;
+            self.arcs[self.m + anchor].state = ArcState::Tree;
+            self.attach(root, anchor);
+            self.stack.push(anchor);
+            while let Some(v) = self.stack.pop() {
+                for &a in &incoming[start[v]..start[v + 1]] {
+                    let u = self.arcs[a as usize].tail as usize;
+                    if self.nodes[u].parent == NIL {
+                        self.nodes[u].parent = v as u32;
+                        self.nodes[u].pred = a;
+                        self.arcs[a as usize].state = ArcState::Tree;
+                        self.attach(v, u);
+                        self.stack.push(u);
+                    }
+                }
+            }
+        }
+
+        self.start = start;
+        self.incoming = incoming;
+
+        self.nodes[root].pot = 0.0;
+        let mut c = self.nodes[root].first_child;
+        while c != NIL {
+            self.refresh_subtree(c as usize);
+            c = self.nodes[c as usize].next_sib;
+        }
+    }
+
+    fn run(&mut self, limit: usize, phase1: bool) -> Result<(), LpStatus> {
+        loop {
+            if phase1 && self.infeasibility <= EPS {
+                return Ok(());
+            }
+            if self.pivots >= limit {
+                return Err(LpStatus::IterationLimit);
+            }
+            let Some(enter) = self.price() else {
+                return Ok(());
+            };
+            self.pivot(enter)?;
+        }
+    }
+
+    /// One pivot: close the cycle of `enter`, push the blocking step
+    /// around it, and (unless the entering arc blocks itself — a bound
+    /// flip) exchange it against the leaving arc in the tree.
+    fn pivot(&mut self, enter: usize) -> Result<(), LpStatus> {
+        let erec = self.arcs[enter];
+        // Push direction: out of `from`, into `to`.
+        let (from, to) = match erec.state {
+            ArcState::Lower => (erec.tail as usize, erec.head as usize),
+            ArcState::Upper => (erec.head as usize, erec.tail as usize),
+            ArcState::Tree => unreachable!("entering arc must be nonbasic"),
+        };
+
+        // Walk both endpoints up to the apex, recording each tree arc and
+        // whether it is aligned with the cycle orientation (the orientation
+        // runs from → enter → to → apex → from).
+        self.path_from.clear();
+        self.path_to.clear();
+        let (mut u, mut v) = (from, to);
+        while self.nodes[u].depth > self.nodes[v].depth {
+            let a = self.nodes[u].pred as usize;
+            self.path_from.push((u, a, self.arcs[a].head as usize == u));
+            u = self.nodes[u].parent as usize;
+        }
+        while self.nodes[v].depth > self.nodes[u].depth {
+            let a = self.nodes[v].pred as usize;
+            self.path_to.push((v, a, self.arcs[a].tail as usize == v));
+            v = self.nodes[v].parent as usize;
+        }
+        while u != v {
+            let a = self.nodes[u].pred as usize;
+            self.path_from.push((u, a, self.arcs[a].head as usize == u));
+            u = self.nodes[u].parent as usize;
+            let a = self.nodes[v].pred as usize;
+            self.path_to.push((v, a, self.arcs[a].tail as usize == v));
+            v = self.nodes[v].parent as usize;
+        }
+
+        // Blocking step: the smallest residual around the cycle.
+        let residual = |arc: &ArcRec, fwd: bool| if fwd { arc.cap - arc.flow } else { arc.flow };
+        let mut delta = erec.cap;
+        for &(_, a, fwd) in self.path_from.iter().chain(self.path_to.iter()) {
+            delta = delta.min(residual(&self.arcs[a], fwd));
+        }
+        if delta.is_infinite() {
+            return Err(LpStatus::Unbounded);
+        }
+
+        // Strongly-feasible leaving rule: of all blocking arcs, take the
+        // LAST one met when traversing the cycle from the apex along its
+        // orientation — i.e. prefer the to-side arc nearest the apex, then
+        // the entering arc itself, then the from-side arc nearest `from`.
+        let tie = delta + EPS;
+        let mut leave: Option<(usize, usize, bool)> = None;
+        let mut leave_on_from_side = false;
+        for &(z, a, fwd) in &self.path_to {
+            if residual(&self.arcs[a], fwd) <= tie {
+                leave = Some((z, a, fwd));
+            }
+        }
+        if leave.is_none() && erec.cap > tie {
+            for &(z, a, fwd) in &self.path_from {
+                if residual(&self.arcs[a], fwd) <= tie {
+                    leave = Some((z, a, fwd));
+                    leave_on_from_side = true;
+                    break;
+                }
+            }
+        }
+
+        self.pivots += 1;
+        if delta <= EPS {
+            self.degenerate += 1;
+        }
+
+        // Apply the step around the cycle.
+        for i in 0..self.path_from.len() {
+            let (_, a, fwd) = self.path_from[i];
+            let x = self.arcs[a].flow + if fwd { delta } else { -delta };
+            self.set_flow(a, x);
+        }
+        for i in 0..self.path_to.len() {
+            let (_, a, fwd) = self.path_to[i];
+            let x = self.arcs[a].flow + if fwd { delta } else { -delta };
+            self.set_flow(a, x);
+        }
+
+        let Some((z, larc, lfwd)) = leave else {
+            // The entering arc blocked itself: a bound flip, no tree change.
+            let (next, x) = match erec.state {
+                ArcState::Lower => (ArcState::Upper, erec.cap),
+                _ => (ArcState::Lower, 0.0),
+            };
+            self.arcs[enter].state = next;
+            self.set_flow(enter, x);
+            return Ok(());
+        };
+
+        // The entering arc takes the step; the leaving arc snaps to the
+        // bound it hit.
+        let x = match erec.state {
+            ArcState::Lower => delta,
+            _ => erec.cap - delta,
+        };
+        self.set_flow(enter, x);
+        self.arcs[enter].state = ArcState::Tree;
+        let snap = if lfwd { self.arcs[larc].cap } else { 0.0 };
+        self.set_flow(larc, snap);
+        self.arcs[larc].state = if lfwd {
+            ArcState::Upper
+        } else {
+            ArcState::Lower
+        };
+
+        // Re-hang the severed subtree: q (the cycle endpoint below the
+        // leaving arc) becomes a child of the other endpoint via `enter`,
+        // and the parent chain from q up to z reverses.
+        let (q, p_attach) = if leave_on_from_side {
+            (from, to)
+        } else {
+            (to, from)
+        };
+        self.chain.clear();
+        self.chain_arcs.clear();
+        let mut x = q;
+        loop {
+            self.chain.push(x);
+            if x == z {
+                break;
+            }
+            self.chain_arcs.push(self.nodes[x].pred as usize);
+            x = self.nodes[x].parent as usize;
+        }
+        self.detach(q);
+        self.nodes[q].parent = p_attach as u32;
+        self.nodes[q].pred = enter as u32;
+        self.attach(p_attach, q);
+        for i in 0..self.chain_arcs.len() {
+            let child = self.chain[i + 1];
+            let new_parent = self.chain[i];
+            let arc = self.chain_arcs[i];
+            self.detach(child);
+            self.nodes[child].parent = new_parent as u32;
+            self.nodes[child].pred = arc as u32;
+            self.attach(new_parent, child);
+        }
+        self.refresh_subtree(q);
+        Ok(())
+    }
+}
+
+/// Solves a general [`LpProblem`] with the network simplex when it has
+/// network structure (see [`MinCostFlowProblem::from_lp`]); otherwise falls
+/// back to the sparse revised simplex — the returned
+/// [`LpSolution::engine`] records which engine actually ran.
+pub fn solve_lp(problem: &LpProblem) -> LpSolution {
+    let Some(mcf) = MinCostFlowProblem::from_lp(problem) else {
+        return simplex::solve(problem);
+    };
+    let s = mcf.solve();
+    let maximize = problem.sense() == Sense::Maximize;
+    let nodes = mcf.num_nodes();
+    let arcs = mcf.num_arcs();
+    let nonzeros = 2 * arcs;
+    LpSolution {
+        status: s.status,
+        objective: if maximize { -s.objective } else { s.objective },
+        variables: s.flows,
+        iterations: s.pivots,
+        refactorizations: 0,
+        engine: SimplexEngine::NetworkSimplex,
+        matrix_nonzeros: nonzeros,
+        matrix_density: if nodes * arcs == 0 {
+            0.0
+        } else {
+            nonzeros as f64 / (nodes * arcs) as f64
+        },
+        pivots: s.pivots,
+        degenerate_pivots: s.degenerate_pivots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(p: &MinCostFlowProblem, want: f64) -> McfSolution {
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal, "want optimal, got {s:?}");
+        assert!(
+            (s.objective - want).abs() < 1e-6,
+            "objective {} != {want}",
+            s.objective
+        );
+        assert!(p.is_feasible(&s.flows, 1e-6), "returned flow infeasible");
+        assert!((p.flow_cost(&s.flows) - s.objective).abs() < 1e-9);
+        s
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_optimal() {
+        let s = MinCostFlowProblem::new(0).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.objective, 0.0);
+        assert_eq!(s.pivots, 0);
+    }
+
+    #[test]
+    fn single_arc_transportation() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 3.0);
+        p.set_supply(1, -3.0);
+        p.add_arc(0, 1, 2.0, 5.0);
+        let s = assert_optimal(&p, 6.0);
+        assert_eq!(s.flows, vec![3.0]);
+    }
+
+    #[test]
+    fn cheaper_path_is_preferred() {
+        // 0 -> 2 directly (cost 5) vs 0 -> 1 -> 2 (cost 1 + 1).
+        let mut p = MinCostFlowProblem::new(3);
+        p.set_supply(0, 4.0);
+        p.set_supply(2, -4.0);
+        p.add_arc(0, 2, 5.0, f64::INFINITY);
+        p.add_arc(0, 1, 1.0, f64::INFINITY);
+        p.add_arc(1, 2, 1.0, f64::INFINITY);
+        let s = assert_optimal(&p, 8.0);
+        assert_eq!(s.flows, vec![0.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn capacity_forces_a_split() {
+        // Cheap path capped at 3, remainder takes the expensive arc.
+        let mut p = MinCostFlowProblem::new(3);
+        p.set_supply(0, 5.0);
+        p.set_supply(2, -5.0);
+        p.add_arc(0, 2, 5.0, f64::INFINITY);
+        p.add_arc(0, 1, 1.0, 3.0);
+        p.add_arc(1, 2, 1.0, f64::INFINITY);
+        let s = assert_optimal(&p, 3.0 * 2.0 + 2.0 * 5.0);
+        assert_eq!(s.flows, vec![2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn lower_bounds_are_respected() {
+        // The expensive arc must carry at least 2 units.
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 5.0);
+        p.set_supply(1, -5.0);
+        p.add_arc_bounded(0, 1, 10.0, 2.0, 10.0);
+        p.add_arc(0, 1, 1.0, f64::INFINITY);
+        let s = assert_optimal(&p, 2.0 * 10.0 + 3.0);
+        assert_eq!(s.flows, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn max_flow_as_min_cost_circulation() {
+        // Classic: all supplies 0, return arc sink->source at cost -1;
+        // optimal cost = -(max flow). Two disjoint paths of caps 3 and 2.
+        let mut p = MinCostFlowProblem::new(4);
+        p.add_arc(0, 1, 0.0, 3.0);
+        p.add_arc(1, 3, 0.0, 3.0);
+        p.add_arc(0, 2, 0.0, 2.0);
+        p.add_arc(2, 3, 0.0, 2.0);
+        p.add_arc(3, 0, -1.0, 100.0);
+        let s = assert_optimal(&p, -5.0);
+        assert_eq!(s.flows[4], 5.0);
+    }
+
+    #[test]
+    fn imbalanced_supplies_are_infeasible() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 3.0);
+        p.set_supply(1, -1.0);
+        p.add_arc(0, 1, 1.0, 10.0);
+        assert_eq!(p.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn insufficient_capacity_is_infeasible() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 3.0);
+        p.set_supply(1, -3.0);
+        p.add_arc(0, 1, 1.0, 2.0);
+        assert_eq!(p.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn negative_uncapacitated_cycle_is_unbounded() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.add_arc(0, 1, -1.0, f64::INFINITY);
+        p.add_arc(1, 0, 0.0, f64::INFINITY);
+        assert_eq!(p.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_self_loop_is_unbounded_and_bounded_one_flips() {
+        let mut p = MinCostFlowProblem::new(1);
+        p.add_arc(0, 0, -1.0, f64::INFINITY);
+        assert_eq!(p.solve().status, LpStatus::Unbounded);
+
+        let mut p = MinCostFlowProblem::new(1);
+        p.add_arc(0, 0, -1.0, 4.0);
+        let s = assert_optimal(&p, -4.0);
+        assert_eq!(s.flows, vec![4.0]);
+    }
+
+    #[test]
+    fn zero_capacity_arcs_are_inert() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 1.0);
+        p.set_supply(1, -1.0);
+        p.add_arc(0, 1, -100.0, 0.0); // attractive but unusable
+        p.add_arc(0, 1, 3.0, 2.0);
+        let s = assert_optimal(&p, 3.0);
+        assert_eq!(s.flows, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn degenerate_pivots_are_counted_not_looped() {
+        // A diamond where every arc has the same capacity as the demand:
+        // plenty of ties, still terminates (strongly feasible trees).
+        let mut p = MinCostFlowProblem::new(4);
+        p.set_supply(0, 2.0);
+        p.set_supply(3, -2.0);
+        p.add_arc(0, 1, 1.0, 2.0);
+        p.add_arc(0, 2, 1.0, 2.0);
+        p.add_arc(1, 3, 1.0, 2.0);
+        p.add_arc(2, 3, 1.0, 2.0);
+        p.add_arc(1, 2, 0.0, 2.0);
+        let s = assert_optimal(&p, 4.0);
+        assert!(s.pivots >= 1);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut p = MinCostFlowProblem::new(3);
+        p.set_supply(0, 4.0);
+        p.set_supply(2, -4.0);
+        p.add_arc(0, 1, 1.0, 10.0);
+        p.add_arc(1, 2, 1.0, 10.0);
+        p.max_iterations = 1;
+        assert_eq!(p.solve().status, LpStatus::IterationLimit);
+    }
+
+    #[test]
+    fn to_lp_round_trips_through_from_lp() {
+        let mut p = MinCostFlowProblem::new(3);
+        p.set_supply(0, 4.0);
+        p.set_supply(2, -4.0);
+        p.add_arc(0, 1, 1.0, 3.0);
+        p.add_arc(1, 2, 2.0, f64::INFINITY);
+        p.add_arc(0, 2, 4.0, f64::INFINITY);
+        let (lp, offset) = p.to_lp();
+        assert_eq!(offset, 0.0);
+        let back = MinCostFlowProblem::from_lp(&lp).expect("network structure survives");
+        assert_eq!(back.num_nodes(), 3);
+        assert_eq!(back.num_arcs(), 3);
+        let direct = p.solve();
+        let round = back.solve();
+        assert!((direct.objective - round.objective).abs() < 1e-9);
+        // And the LpProblem agrees with the network simplex.
+        let lp_sol = lp.solve();
+        assert_eq!(lp_sol.status, LpStatus::Optimal);
+        assert!((lp_sol.objective + offset - direct.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_lp_carries_lower_bound_offsets() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 5.0);
+        p.set_supply(1, -5.0);
+        p.add_arc_bounded(0, 1, 10.0, 2.0, 10.0);
+        p.add_arc(0, 1, 1.0, f64::INFINITY);
+        let (lp, offset) = p.to_lp();
+        assert_eq!(offset, 20.0);
+        let lp_sol = lp.solve();
+        assert_eq!(lp_sol.status, LpStatus::Optimal);
+        let direct = p.solve();
+        assert!((lp_sol.objective + offset - direct.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_lp_rejects_non_network_programs() {
+        // An inequality row.
+        let mut lp = LpProblem::new(1);
+        lp.add_le_constraint(&[(0, 1.0)], 1.0);
+        assert!(MinCostFlowProblem::from_lp(&lp).is_none());
+        // A variable in three rows.
+        let mut lp = LpProblem::new(1);
+        lp.add_eq_constraint(&[(0, 1.0)], 0.0);
+        lp.add_eq_constraint(&[(0, -1.0)], 0.0);
+        lp.add_eq_constraint(&[(0, 1.0)], 0.0);
+        assert!(MinCostFlowProblem::from_lp(&lp).is_none());
+        // A non-unit coefficient.
+        let mut lp = LpProblem::new(1);
+        lp.add_eq_constraint(&[(0, 2.0)], 0.0);
+        assert!(MinCostFlowProblem::from_lp(&lp).is_none());
+        // A variable that touches no row.
+        let mut lp = LpProblem::new(1);
+        lp.add_eq_constraint(&[], 0.0);
+        assert!(MinCostFlowProblem::from_lp(&lp).is_none());
+    }
+
+    #[test]
+    fn solve_lp_runs_the_network_engine_on_network_programs() {
+        let mut p = MinCostFlowProblem::new(3);
+        p.set_supply(0, 4.0);
+        p.set_supply(2, -4.0);
+        p.add_arc(0, 1, 1.0, 3.0);
+        p.add_arc(1, 2, 2.0, f64::INFINITY);
+        p.add_arc(0, 2, 4.0, f64::INFINITY);
+        let (lp, _) = p.to_lp();
+        let sol = solve_lp(&lp);
+        assert_eq!(sol.engine, SimplexEngine::NetworkSimplex);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(lp.is_feasible(&sol.variables, 1e-6));
+        // Non-network programs fall back to the sparse revised engine.
+        let mut general = LpProblem::new(1);
+        general.set_objective_coefficient(0, 1.0);
+        general.add_le_constraint(&[(0, 1.0)], 2.0);
+        let sol = solve_lp(&general);
+        assert_eq!(sol.engine, SimplexEngine::SparseRevised);
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower <= upper")]
+    fn empty_bound_band_panics() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.add_arc_bounded(0, 1, 0.0, 3.0, 1.0);
+    }
+}

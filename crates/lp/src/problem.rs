@@ -1,6 +1,7 @@
 //! Construction of linear programs.
 
 use crate::dense;
+use crate::netflow;
 use crate::simplex;
 use crate::solution::LpSolution;
 
@@ -37,6 +38,15 @@ pub enum SimplexEngine {
     /// fallback; variable upper bounds are expanded into explicit `≤` rows
     /// before it runs.
     DenseTableau,
+    /// The network simplex over a spanning-tree basis. It applies when the
+    /// program has pure min-cost-flow structure (every row an equality,
+    /// every variable one `+1` and one `−1` coefficient — see
+    /// [`crate::netflow::MinCostFlowProblem::from_lp`]); other programs
+    /// silently fall back to [`SimplexEngine::SparseRevised`], which the
+    /// returned [`LpSolution::engine`](crate::LpSolution) field records.
+    /// The flow hot path skips the LP form entirely and feeds
+    /// [`crate::netflow::MinCostFlowProblem`] directly.
+    NetworkSimplex,
 }
 
 /// Operator and right-hand side of one constraint row (the coefficients
@@ -227,6 +237,7 @@ impl LpProblem {
         match engine {
             SimplexEngine::SparseRevised => simplex::solve(self),
             SimplexEngine::DenseTableau => dense::solve(self),
+            SimplexEngine::NetworkSimplex => netflow::solve_lp(self),
         }
     }
 

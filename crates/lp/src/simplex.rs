@@ -94,6 +94,8 @@ struct Solver<'a> {
     pricing_cursor: usize,
     /// Telemetry.
     iterations: usize,
+    pivots: usize,
+    degenerate: usize,
     refactorizations: usize,
     /// Scratch for the entering column (FTRAN work vector).
     work: Vec<f64>,
@@ -195,6 +197,8 @@ impl<'a> Solver<'a> {
             pivots_since_refactor: 0,
             pricing_cursor: 0,
             iterations: 0,
+            pivots: 0,
+            degenerate: 0,
             refactorizations: 0,
             work: vec![0.0; m],
             pricing: Vec::with_capacity(m),
@@ -401,6 +405,10 @@ impl<'a> Solver<'a> {
                     };
                 }
                 Step::Pivot { row, t, leaves_at } => {
+                    self.pivots += 1;
+                    if t <= EPS {
+                        self.degenerate += 1;
+                    }
                     for (i, &wi) in self.work.iter().enumerate() {
                         if wi != 0.0 {
                             self.x_basic[i] -= sigma * t * wi;
@@ -464,6 +472,8 @@ impl<'a> Solver<'a> {
 
     fn telemetry(&self, mut s: LpSolution) -> LpSolution {
         s.engine = SimplexEngine::SparseRevised;
+        s.pivots = self.pivots;
+        s.degenerate_pivots = self.degenerate;
         s.refactorizations = self.refactorizations;
         s.matrix_nonzeros = self.problem.num_nonzeros();
         let dense_size = self.m() * self.problem.num_vars();

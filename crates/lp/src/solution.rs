@@ -47,6 +47,14 @@ pub struct LpSolution {
     /// `matrix_nonzeros` over the dense row × column size (0 for empty
     /// programs) — the observability hook for "how sparse was this LP".
     pub matrix_density: f64,
+    /// Basis-changing (or bound-flipping) pivots. For the dense tableau
+    /// this equals `iterations`; the revised engine also counts bound
+    /// flips in `iterations` but not here; the network simplex counts
+    /// spanning-tree pivots.
+    pub pivots: usize,
+    /// Pivots whose step length was (numerically) zero — the degeneracy
+    /// observability hook for the engine-comparison tables.
+    pub degenerate_pivots: usize,
 }
 
 impl LpSolution {
@@ -62,6 +70,8 @@ impl LpSolution {
             engine: SimplexEngine::SparseRevised,
             matrix_nonzeros: 0,
             matrix_density: 0.0,
+            pivots: 0,
+            degenerate_pivots: 0,
         }
     }
 

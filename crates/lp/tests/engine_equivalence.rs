@@ -1,15 +1,19 @@
-//! Property-based cross-check of the two simplex engines.
+//! Property-based cross-check of the three exact engines.
 //!
-//! The sparse revised simplex (the default engine) and the dense two-phase
-//! tableau (the fallback) are independent implementations sharing only the
-//! problem representation. On randomized flow-shaped LPs — bounded
-//! variables, sparse balance-style rows, occasional `≥`/`=` rows — they must
-//! agree on status and, when optimal, on the objective value, with both
-//! returned points feasible. Directed tests pin the degenerate, unbounded
-//! and infeasible corners.
+//! The sparse revised simplex (the general-LP default), the dense two-phase
+//! tableau (the fallback) and the network simplex are independent
+//! implementations sharing only the problem representations. On randomized
+//! flow-shaped LPs the two LP engines must agree on status and, when
+//! optimal, on the objective value with both returned points feasible. On
+//! randomized bounded min-cost-flow instances all **three** engines are
+//! held to the same bar: the network simplex solves the instance directly
+//! while the LP engines solve its [`MinCostFlowProblem::to_lp`] image, and
+//! status, optimal value and primal feasibility must line up — including
+//! degenerate/zero-capacity, infeasible and unbounded instances. Directed
+//! tests pin those corners explicitly.
 
 use proptest::prelude::*;
-use tin_lp::{LpProblem, LpStatus, SimplexEngine};
+use tin_lp::{LpProblem, LpStatus, MinCostFlowProblem, SimplexEngine};
 
 /// A deterministic pseudo-random LP description derived from a seed, shaped
 /// like the flow formulation: every variable is upper-bounded, and each
@@ -106,6 +110,125 @@ proptest! {
         let p = build(&desc);
         let s = p.solve_with(SimplexEngine::SparseRevised);
         prop_assert!(s.status != LpStatus::Unbounded);
+    }
+}
+
+// --- Three-way oracle on random min-cost-flow instances -------------------
+
+/// A deterministic pseudo-random bounded MCF instance derived from a seed.
+/// Capacities include exact zeros (degenerate pivots), `imbalance` skews
+/// total supply away from total demand (infeasible), and `allow_infinite`
+/// mixes in uncapacitated arcs with signed costs (unbounded rays become
+/// possible).
+#[derive(Debug, Clone)]
+struct RandomMcf {
+    nodes: usize,
+    arcs: usize,
+    seed: u64,
+    allow_infinite: bool,
+    imbalance: bool,
+}
+
+fn random_mcf(max_nodes: usize, max_arcs: usize) -> impl Strategy<Value = RandomMcf> {
+    (2..=max_nodes, 1..=max_arcs, any::<u64>(), 0u32..100).prop_map(|(nodes, arcs, seed, pct)| {
+        RandomMcf {
+            nodes,
+            arcs,
+            seed,
+            allow_infinite: pct < 30,
+            imbalance: pct >= 85,
+        }
+    })
+}
+
+fn build_mcf(desc: &RandomMcf) -> MinCostFlowProblem {
+    let mut state = desc.seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (u32::MAX as f64)
+    };
+    let n = desc.nodes;
+    let mut p = MinCostFlowProblem::new(n);
+    // Balanced supply/demand pairs (plus an optional deliberate imbalance).
+    for _ in 0..n / 2 {
+        let u = (next() * n as f64) as usize % n;
+        let v = (next() * n as f64) as usize % n;
+        if u != v {
+            let q = (next() * 4.0).floor();
+            p.set_supply(u, p.supply(u) + q);
+            p.set_supply(v, p.supply(v) - q);
+        }
+    }
+    if desc.imbalance {
+        let u = (next() * n as f64) as usize % n;
+        p.set_supply(u, p.supply(u) + 1.0);
+    }
+    for _ in 0..desc.arcs {
+        let tail = (next() * n as f64) as usize % n;
+        let mut head = (next() * n as f64) as usize % n;
+        if head == tail {
+            head = (head + 1) % n;
+        }
+        let cost = (next() * 7.0).floor() - 3.0;
+        // Exact zero capacities are generated on purpose: they are the
+        // degenerate corner (an arc that can never leave its bound).
+        let cap = match (next() * 6.0) as usize {
+            0 => 0.0,
+            1 => 1.0,
+            2 => 2.0,
+            3 => 3.0,
+            4 => 5.0,
+            _ if desc.allow_infinite => f64::INFINITY,
+            _ => 4.0,
+        };
+        let lower = if cap.is_finite() && cap >= 1.0 && next() < 0.25 {
+            1.0
+        } else {
+            0.0
+        };
+        p.add_arc_bounded(tail, head, cost, lower, cap);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The network simplex (solving the instance directly) and both LP
+    /// engines (solving its `to_lp` image) agree on the verdict; on optimal
+    /// instances they agree on the optimal cost, and the network simplex
+    /// returns a primal-feasible flow whose cost matches its objective.
+    #[test]
+    fn three_engines_agree_on_random_mcf_instances(desc in random_mcf(6, 14)) {
+        let p = build_mcf(&desc);
+        let net = p.solve();
+        let (lp, offset) = p.to_lp();
+        let sparse = lp.solve_with(SimplexEngine::SparseRevised);
+        let dense = lp.solve_with(SimplexEngine::DenseTableau);
+        prop_assert_eq!(sparse.status, dense.status,
+            "sparse {:?} vs dense {:?}", sparse.status, dense.status);
+        prop_assert_eq!(net.status, sparse.status,
+            "netflow {:?} vs LP engines {:?}", net.status, sparse.status);
+        if net.status == LpStatus::Optimal {
+            prop_assert!(close(net.objective, sparse.objective + offset),
+                "cost: netflow {} vs sparse {}", net.objective, sparse.objective + offset);
+            prop_assert!(close(net.objective, dense.objective + offset),
+                "cost: netflow {} vs dense {}", net.objective, dense.objective + offset);
+            prop_assert!(p.is_feasible(&net.flows, 1e-6),
+                "netflow point infeasible: {:?}", net.flows);
+            prop_assert!(close(p.flow_cost(&net.flows), net.objective));
+        }
+    }
+
+    /// With every capacity finite the instance can never be unbounded, and
+    /// whenever supplies balance the zero point argument applies: lower
+    /// bounds of zero make the instance trivially feasible.
+    #[test]
+    fn finite_capacity_instances_are_never_unbounded(desc in random_mcf(6, 12)) {
+        let p = build_mcf(&RandomMcf { allow_infinite: false, ..desc });
+        prop_assert!(p.solve().status != LpStatus::Unbounded);
     }
 }
 
@@ -218,4 +341,64 @@ fn equality_with_fixed_variables_is_solved_exactly() {
         assert_eq!(s.status, LpStatus::Optimal, "{engine:?}");
         assert!((s.objective - 3.0).abs() < 1e-6, "{engine:?}");
     }
+}
+
+// --- Directed three-way MCF corners ---------------------------------------
+
+/// Asserts all three engines return `expect` for the given instance.
+fn assert_three_way_status(p: &MinCostFlowProblem, expect: LpStatus) {
+    assert_eq!(p.solve().status, expect, "netflow");
+    let (lp, _) = p.to_lp();
+    for engine in engines() {
+        assert_eq!(lp.solve_with(engine).status, expect, "{engine:?}");
+    }
+}
+
+#[test]
+fn zero_capacity_arcs_are_degenerate_not_wrong() {
+    // A cheap but zero-capacity shortcut must not attract flow; the costly
+    // detour carries the single unit on all three engines.
+    let mut p = MinCostFlowProblem::new(3);
+    p.set_supply(0, 1.0);
+    p.set_supply(2, -1.0);
+    p.add_arc(0, 2, 1.0, 0.0); // direct but capacity 0
+    p.add_arc(0, 1, 2.0, 5.0);
+    p.add_arc(1, 2, 2.0, 5.0);
+    let net = p.solve();
+    assert_eq!(net.status, LpStatus::Optimal);
+    assert!((net.objective - 4.0).abs() < 1e-6, "{}", net.objective);
+    assert_eq!(net.flows[0], 0.0);
+    let (lp, offset) = p.to_lp();
+    for engine in engines() {
+        let s = lp.solve_with(engine);
+        assert_eq!(s.status, LpStatus::Optimal, "{engine:?}");
+        assert!((s.objective + offset - 4.0).abs() < 1e-6, "{engine:?}");
+    }
+}
+
+#[test]
+fn imbalanced_supplies_are_infeasible_on_all_three_engines() {
+    let mut p = MinCostFlowProblem::new(2);
+    p.set_supply(0, 2.0);
+    p.set_supply(1, -1.0); // total supply 1 ≠ 0
+    p.add_arc(0, 1, 1.0, 5.0);
+    assert_three_way_status(&p, LpStatus::Infeasible);
+}
+
+#[test]
+fn capacity_cut_infeasibility_matches_on_all_three_engines() {
+    // Balanced supplies, but the only connecting arc is one unit short.
+    let mut p = MinCostFlowProblem::new(2);
+    p.set_supply(0, 3.0);
+    p.set_supply(1, -3.0);
+    p.add_arc(0, 1, 1.0, 2.0);
+    assert_three_way_status(&p, LpStatus::Infeasible);
+}
+
+#[test]
+fn negative_cost_uncapacitated_cycle_is_unbounded_on_all_three_engines() {
+    let mut p = MinCostFlowProblem::new(2);
+    p.add_arc(0, 1, -1.0, f64::INFINITY);
+    p.add_arc(1, 0, -1.0, f64::INFINITY);
+    assert_three_way_status(&p, LpStatus::Unbounded);
 }
