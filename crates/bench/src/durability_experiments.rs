@@ -1,0 +1,245 @@
+//! Durability experiment: what crash safety costs on the write path, and
+//! what it saves on restart.
+//!
+//! Two questions per dataset:
+//!
+//! * **journal overhead** — the streaming loop (batched deltas → live graph
+//!   → incremental tables) run twice, once plain and once through
+//!   [`tin_durable::DurableStore`] with fsync-per-batch, reporting both
+//!   throughputs, the overhead factor, and the journal's size relative to
+//!   the CSV log it protects;
+//! * **recovery time** — after the journaled run (with a snapshot committed
+//!   at ~99% of the stream, leaving a ≤1% journal tail), the same directory
+//!   is recovered twice: once through the snapshot+tail path and once as a
+//!   full journal replay (manifests hidden). The acceptance bar is
+//!   snapshot+tail at least 5× faster than the full replay it replaces.
+//!
+//! Both recoveries are verified row-identical to the uninterrupted run
+//! before any number is reported — a fast recovery of the wrong state
+//! would not be a result.
+
+use crate::stream_experiments::stream_tables_config;
+use crate::workloads::Workload;
+use std::time::{Duration, Instant};
+use tin_datasets::{DeltaStream, LoaderConfig};
+use tin_durable::{DurableStore, JournalConfig, Recovery, RecoverySource};
+use tin_graph::TemporalGraph;
+use tin_patterns::PathTables;
+
+/// One dataset's measurements from the durability loop.
+#[derive(Debug)]
+pub struct DurabilityMeasurement {
+    /// Records ingested (equals the dataset's interaction count).
+    pub records: u64,
+    /// Batches the log was consumed in.
+    pub batches: usize,
+    /// Records per batch.
+    pub batch_records: usize,
+    /// Wall-clock of the plain (non-durable) streaming loop.
+    pub plain_time: Duration,
+    /// Wall-clock of the same loop through `DurableStore` (fsync per batch),
+    /// snapshot excluded.
+    pub durable_time: Duration,
+    /// Total bytes of journal segments written.
+    pub journal_bytes: u64,
+    /// Bytes of the CSV log the journal protects.
+    pub csv_bytes: u64,
+    /// Wall-clock of the mid-stream snapshot write (at ~99% of the stream).
+    pub snapshot_time: Duration,
+    /// Bytes of the committed snapshot file.
+    pub snapshot_bytes: u64,
+    /// Frames replayed after the snapshot during recovery (the ≤1% tail).
+    pub tail_frames: u64,
+    /// Wall-clock of recovery via snapshot + journal tail.
+    pub recover_snapshot_time: Duration,
+    /// Wall-clock of recovery via full journal replay (no snapshot).
+    pub recover_replay_time: Duration,
+}
+
+impl DurabilityMeasurement {
+    /// Durable records per second (fsync per batch).
+    pub fn durable_records_per_sec(&self) -> f64 {
+        self.records as f64 / self.durable_time.as_secs_f64().max(1e-12)
+    }
+
+    /// Plain records per second.
+    pub fn plain_records_per_sec(&self) -> f64 {
+        self.records as f64 / self.plain_time.as_secs_f64().max(1e-12)
+    }
+
+    /// How many times slower the durable loop is than the plain one.
+    pub fn overhead_factor(&self) -> f64 {
+        self.durable_time.as_secs_f64() / self.plain_time.as_secs_f64().max(1e-12)
+    }
+
+    /// Journal size relative to the CSV log it protects.
+    pub fn journal_ratio(&self) -> f64 {
+        self.journal_bytes as f64 / (self.csv_bytes as f64).max(1.0)
+    }
+
+    /// How many times faster snapshot+tail recovery is than a full replay.
+    pub fn recovery_speedup(&self) -> f64 {
+        self.recover_replay_time.as_secs_f64() / self.recover_snapshot_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// A scratch directory under the system temp dir, unique per process and
+/// dataset.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tin-bench-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the durability loop for one workload. `batch_fraction` sizes each
+/// batch as a fraction of the dataset's interactions (1% is the streaming
+/// acceptance bar's delta size).
+///
+/// # Panics
+/// Panics if either recovery path produces a state that differs from the
+/// uninterrupted run (graph inequality or table row divergence).
+pub fn durability_experiment(workload: &Workload, batch_fraction: f64) -> DurabilityMeasurement {
+    let csv = crate::ingest_experiments::to_csv(&workload.graph);
+    let total = workload.graph.interaction_count();
+    let batch_records = ((total as f64 * batch_fraction) as usize).max(1);
+    let config = stream_tables_config(workload.kind);
+
+    // Plain baseline: the exact same loop, no durability.
+    let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())
+        .expect("default loader config is valid");
+    let mut graph = TemporalGraph::new();
+    let mut tables = PathTables::build(&graph, &config);
+    let start = Instant::now();
+    while let Some(delta) = stream
+        .next_delta(batch_records)
+        .expect("generated CSV logs are clean")
+    {
+        let applied = graph.apply(&delta).expect("deltas apply in drain order");
+        tables.apply(&graph, &applied);
+    }
+    let plain_time = start.elapsed();
+
+    // Durable run: fsync per batch, snapshot at ~99% of the stream.
+    let dir = scratch_dir(workload.kind.name());
+    let (mut store, _) = DurableStore::open(&dir, config, JournalConfig::default())
+        .expect("fresh durable directory opens");
+    let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())
+        .expect("default loader config is valid");
+    let expected_batches = total.div_ceil(batch_records);
+    let snapshot_after = (expected_batches * 99 / 100).max(1);
+    let mut batches = 0usize;
+    let mut durable_time = Duration::ZERO;
+    let mut snapshot_time = Duration::ZERO;
+    loop {
+        let start = Instant::now();
+        let Some(delta) = stream
+            .next_delta(batch_records)
+            .expect("generated CSV logs are clean")
+        else {
+            break;
+        };
+        store.apply(&delta).expect("durable apply of a clean delta");
+        durable_time += start.elapsed();
+        batches += 1;
+        if batches == snapshot_after {
+            let start = Instant::now();
+            store.snapshot().expect("snapshot of a full table set");
+            snapshot_time = start.elapsed();
+        }
+    }
+    let tail_frames = store.frames() - snapshot_after as u64;
+    drop(store);
+
+    let journal_bytes: u64 = tin_durable::journal::list_segments(&dir)
+        .expect("journal directory lists")
+        .iter()
+        .map(|(_, p)| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    let snapshot_bytes = std::fs::read_dir(&dir)
+        .expect("durable directory lists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum();
+
+    // Recovery via snapshot + tail, verified row-identical before timing is
+    // trusted.
+    let recovery = Recovery::new(&dir, config);
+    let start = Instant::now();
+    let rec = recovery.run().expect("snapshot recovery succeeds");
+    let recover_snapshot_time = start.elapsed();
+    assert!(
+        matches!(rec.report.source, RecoverySource::Snapshot { .. }),
+        "expected the snapshot path, got {:?}",
+        rec.report.source
+    );
+    assert_eq!(rec.report.replayed, tail_frames, "tail length");
+    assert_eq!(rec.graph, graph, "snapshot recovery diverged from the run");
+    if let Some(d) = tables.first_row_divergence(&rec.tables) {
+        panic!("snapshot recovery tables diverged: {d}");
+    }
+
+    // Full-replay baseline: hide the manifests so the ladder bottoms out.
+    for entry in std::fs::read_dir(&dir).expect("durable directory lists") {
+        let entry = entry.expect("directory entry");
+        if entry.file_name().to_string_lossy().ends_with(".mf") {
+            let hidden = entry.path().with_extension("mf-hidden");
+            std::fs::rename(entry.path(), hidden).expect("manifest hides");
+        }
+    }
+    let start = Instant::now();
+    let rec = recovery.run().expect("full replay succeeds");
+    let recover_replay_time = start.elapsed();
+    assert_eq!(rec.report.source, RecoverySource::FullReplay);
+    assert_eq!(rec.graph, graph, "full replay diverged from the run");
+    if let Some(d) = tables.first_row_divergence(&rec.tables) {
+        panic!("full replay tables diverged: {d}");
+    }
+
+    std::fs::remove_dir_all(&dir).expect("scratch directory removes");
+    DurabilityMeasurement {
+        records: total as u64,
+        batches,
+        batch_records,
+        plain_time,
+        durable_time,
+        journal_bytes,
+        csv_bytes: csv.len() as u64,
+        snapshot_time,
+        snapshot_bytes,
+        tail_frames,
+        recover_snapshot_time,
+        recover_replay_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentScale;
+    use tin_datasets::DatasetKind;
+
+    #[test]
+    fn durability_loop_recovers_exactly_at_quick_scale() {
+        let scale = ExperimentScale::quick();
+        // One dataset suffices for the unit test; the experiments binary
+        // runs all of them.
+        let w = Workload::build(DatasetKind::Bitcoin, &scale);
+        let m = durability_experiment(&w, 0.01);
+        assert_eq!(m.records as usize, w.graph.interaction_count());
+        assert!(m.tail_frames >= 1, "a tail must exist: {}", m.tail_frames);
+        assert!(
+            m.tail_frames as usize <= m.batches / 50 + 1,
+            "tail should be ~1%: {} of {}",
+            m.tail_frames,
+            m.batches
+        );
+        assert!(m.journal_bytes > 0);
+        assert!(m.snapshot_bytes > 0);
+        // The experiment panics internally if either recovery diverges from
+        // the uninterrupted run, so reaching this point is the exactness
+        // assertion. Speed assertions live at standard scale (EXPERIMENTS.md);
+        // quick-scale timing is too noisy for CI.
+    }
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability_experiments;
 pub mod flow_experiments;
 pub mod ingest_experiments;
 pub mod pattern_experiments;
@@ -20,6 +21,7 @@ pub mod stream_experiments;
 pub mod window_experiments;
 pub mod workloads;
 
+pub use durability_experiments::{durability_experiment, DurabilityMeasurement};
 pub use flow_experiments::{
     bucket_experiment, flow_method_experiment, lp_engine_experiment, BucketRow, EngineClassRow,
     EngineSelection, EngineStat, FlowTable, MethodTiming,

@@ -392,9 +392,18 @@ pub fn load_reader<R: Read>(reader: R, config: &LoaderConfig) -> Result<LoadedDa
     let mut stream = DeltaStream::new(reader, config)?;
     let mut graph = TemporalGraph::new();
     while let Some(delta) = stream.next_delta(usize::MAX)? {
-        graph
-            .apply(&delta)
-            .expect("stream deltas apply in drain order");
+        // Drained deltas are built against this graph's state, so apply
+        // cannot fail on well-formed input; if it ever does, surface a
+        // positional ingest error instead of crashing the loader.
+        graph.apply(&delta).map_err(|e| {
+            let report = stream.report();
+            GraphError::Ingest {
+                line: report.lines,
+                column: 0,
+                byte_offset: report.bytes,
+                message: format!("streamed delta was rejected by the graph: {e}"),
+            }
+        })?;
     }
     Ok(LoadedDataset {
         graph,

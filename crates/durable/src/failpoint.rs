@@ -1,0 +1,156 @@
+//! Fault injection for durability tests: a [`FailpointWriter`] that corrupts
+//! its byte stream at a chosen offset, the way a crash, a torn sector, or
+//! bit rot would.
+//!
+//! The writer is deliberately *silent*: a truncating failpoint reports every
+//! write as fully successful while discarding the tail, exactly like a
+//! process that was SIGKILLed after the kernel accepted the write but before
+//! the data reached the platter. The crash-matrix tests build journal
+//! segments and snapshots through this writer and then assert that recovery
+//! degrades the way the design says it must.
+
+use std::io::{self, Write};
+
+/// What to do to the byte stream, positioned by absolute byte offset from
+/// the start of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Failpoint {
+    /// Pass everything through unchanged.
+    None,
+    /// Silently discard every byte at offset `>= 0`-based `at` — the file
+    /// ends mid-write, as after a kill. Writes still report full success.
+    TruncateAt(u64),
+    /// Silently skip `len` bytes starting at `at`, then resume writing the
+    /// later bytes — a lost write in the middle of the stream.
+    Drop {
+        /// First byte offset to drop.
+        at: u64,
+        /// Number of bytes to drop.
+        len: u64,
+    },
+    /// XOR the byte at offset `at` with `0x40` — a single flipped bit.
+    BitFlipAt(u64),
+}
+
+/// A [`Write`] adapter that applies one [`Failpoint`] to the stream passing
+/// through it. See the [module docs](self).
+#[derive(Debug)]
+pub struct FailpointWriter<W: Write> {
+    inner: W,
+    mode: Failpoint,
+    /// Logical bytes accepted so far (what the writer *believes* it wrote).
+    written: u64,
+}
+
+impl<W: Write> FailpointWriter<W> {
+    /// Wraps `inner`, applying `mode`.
+    pub fn new(inner: W, mode: Failpoint) -> Self {
+        FailpointWriter {
+            inner,
+            mode,
+            written: 0,
+        }
+    }
+
+    /// Logical bytes accepted so far — what an unfaulted writer would have
+    /// written.
+    pub fn logical_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailpointWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.written;
+        let end = start + buf.len() as u64;
+        match self.mode {
+            Failpoint::None => self.inner.write_all(buf)?,
+            Failpoint::TruncateAt(at) => {
+                if start < at {
+                    let keep = (at - start).min(buf.len() as u64) as usize;
+                    self.inner.write_all(&buf[..keep])?;
+                }
+            }
+            Failpoint::Drop { at, len } => {
+                let hole_end = at + len;
+                for (i, &b) in buf.iter().enumerate() {
+                    let pos = start + i as u64;
+                    if pos < at || pos >= hole_end {
+                        self.inner.write_all(&[b])?;
+                    }
+                }
+            }
+            Failpoint::BitFlipAt(at) => {
+                if at >= start && at < end {
+                    let i = (at - start) as usize;
+                    self.inner.write_all(&buf[..i])?;
+                    self.inner.write_all(&[buf[i] ^ 0x40])?;
+                    self.inner.write_all(&buf[i + 1..])?;
+                } else {
+                    self.inner.write_all(buf)?;
+                }
+            }
+        }
+        self.written = end;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn through(mode: Failpoint, chunks: &[&[u8]]) -> Vec<u8> {
+        let mut w = FailpointWriter::new(Vec::new(), mode);
+        for c in chunks {
+            w.write_all(c).unwrap();
+        }
+        w.into_inner()
+    }
+
+    #[test]
+    fn passthrough() {
+        assert_eq!(through(Failpoint::None, &[b"abc", b"def"]), b"abcdef");
+    }
+
+    #[test]
+    fn truncate_cuts_across_write_boundaries() {
+        // Cut inside the second chunk; later chunks vanish entirely.
+        assert_eq!(
+            through(Failpoint::TruncateAt(4), &[b"abc", b"def", b"ghi"]),
+            b"abcd"
+        );
+        assert_eq!(through(Failpoint::TruncateAt(0), &[b"abc"]), b"");
+        // Writes still report success and count logically.
+        let mut w = FailpointWriter::new(Vec::new(), Failpoint::TruncateAt(1));
+        w.write_all(b"abcdef").unwrap();
+        assert_eq!(w.logical_written(), 6);
+        assert_eq!(w.into_inner(), b"a");
+    }
+
+    #[test]
+    fn drop_skips_a_middle_range() {
+        assert_eq!(
+            through(Failpoint::Drop { at: 2, len: 3 }, &[b"abc", b"def"]),
+            b"abf"
+        );
+    }
+
+    #[test]
+    fn bitflip_flips_exactly_one_byte() {
+        let out = through(Failpoint::BitFlipAt(3), &[b"abc", b"def"]);
+        assert_eq!(out.len(), 6);
+        assert_eq!(&out[..3], b"abc");
+        assert_eq!(out[3], b'd' ^ 0x40);
+        assert_eq!(&out[4..], b"ef");
+    }
+}

@@ -1,0 +1,468 @@
+//! The write-ahead delta journal: append-only segment files of CRC-framed
+//! [`GraphDelta`]s (see [`crate::frame`]), with an fsync-on-batch policy,
+//! size-based rotation, and multi-segment replay.
+//!
+//! Segment files are named `journal-<seq>.wal` with zero-padded, strictly
+//! increasing sequence numbers; a hole in the sequence means someone deleted
+//! a segment and replay refuses to jump it. Opening a journal for append
+//! truncates a torn tail (the leftovers of a kill mid-write) off the newest
+//! segment — the frames before it are untouched, exactly the recoverable
+//! prefix [`crate::frame::scan_segment`] reports.
+
+use crate::error::DurabilityError;
+use crate::frame::{self, SEGMENT_MAGIC};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tin_graph::GraphDelta;
+
+/// Journal tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Rotate to a fresh segment once the current one reaches this many
+    /// bytes (checked before each append, so segments overshoot by at most
+    /// one frame).
+    pub segment_max_bytes: u64,
+    /// fsync after every `sync_every` appended frames — the "batch" of the
+    /// fsync-on-batch policy. `1` makes every append durable before it
+    /// returns; `0` disables automatic syncs ([`Journal::sync`] only).
+    pub sync_every: u32,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            segment_max_bytes: 8 * 1024 * 1024,
+            sync_every: 1,
+        }
+    }
+}
+
+/// A durable position in the journal: a segment and a byte offset within
+/// it. Positions returned by [`Journal::append`] point *after* the appended
+/// frame — the position a replay reaches by consuming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JournalPos {
+    /// Segment sequence number.
+    pub segment: u64,
+    /// Byte offset within the segment file.
+    pub offset: u64,
+}
+
+impl JournalPos {
+    /// The very start of a journal (before any segment's first frame).
+    pub fn start() -> Self {
+        JournalPos {
+            segment: 0,
+            offset: 0,
+        }
+    }
+}
+
+/// The append half of the journal. Reading back goes through
+/// [`replay_from`], which operates on the directory alone — a reader needs
+/// no live `Journal`.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    config: JournalConfig,
+    seg_seq: u64,
+    file: File,
+    offset: u64,
+    unsynced: u32,
+}
+
+/// Path of segment `seq` under `dir`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("journal-{seq:06}.wal"))
+}
+
+/// Lists the segment files under `dir`, sorted by sequence number.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    let mut found = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(found),
+        Err(e) => return Err(DurabilityError::from_io(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| DurabilityError::from_io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(seq) = name
+            .strip_prefix("journal-")
+            .and_then(|s| s.strip_suffix(".wal"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((seq, entry.path()));
+    }
+    found.sort_unstable();
+    Ok(found)
+}
+
+impl Journal {
+    /// Opens (or creates) the journal under `dir` for appending.
+    ///
+    /// If the newest segment ends in a torn frame — the leftovers of a kill
+    /// mid-write — the file is truncated back to its last whole valid frame
+    /// before appends resume, so the torn bytes can never shadow a later
+    /// frame. Corruption *before* the tail is a hard error: appending after
+    /// it would strand the corrupt region between valid frames forever.
+    pub fn open(dir: &Path, config: JournalConfig) -> Result<Self, DurabilityError> {
+        fs::create_dir_all(dir).map_err(|e| DurabilityError::from_io(dir, e))?;
+        let segments = list_segments(dir)?;
+        let (seg_seq, path, offset) = match segments.last() {
+            None => {
+                let path = segment_path(dir, 0);
+                let mut file =
+                    File::create(&path).map_err(|e| DurabilityError::from_io(&path, e))?;
+                file.write_all(SEGMENT_MAGIC)
+                    .and_then(|()| file.sync_all())
+                    .map_err(|e| DurabilityError::from_io(&path, e))?;
+                sync_dir(dir)?;
+                (0, path, SEGMENT_MAGIC.len() as u64)
+            }
+            Some(&(seq, ref path)) => {
+                let bytes = fs::read(path).map_err(|e| DurabilityError::from_io(path, e))?;
+                let name = file_name(path);
+                let scan = frame::scan_segment(&bytes, 0, true, &name)?;
+                if scan.valid_bytes < bytes.len() as u64 {
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| DurabilityError::from_io(path, e))?;
+                    f.set_len(scan.valid_bytes)
+                        .and_then(|()| f.sync_all())
+                        .map_err(|e| DurabilityError::from_io(path, e))?;
+                }
+                // A segment cut inside its magic recovers to 0 bytes; give
+                // it its magic back so it is a valid empty segment.
+                let offset = if scan.valid_bytes == 0 {
+                    let mut f = OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| DurabilityError::from_io(path, e))?;
+                    f.write_all(SEGMENT_MAGIC)
+                        .and_then(|()| f.sync_all())
+                        .map_err(|e| DurabilityError::from_io(path, e))?;
+                    SEGMENT_MAGIC.len() as u64
+                } else {
+                    scan.valid_bytes
+                };
+                (seq, path.clone(), offset)
+            }
+        };
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| DurabilityError::from_io(&path, e))?;
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            config,
+            seg_seq,
+            file,
+            offset,
+            unsynced: 0,
+        })
+    }
+
+    /// Appends one delta as a frame, returning the durable position *after*
+    /// it. Rotates to a fresh segment first when the current one is full;
+    /// fsyncs according to [`JournalConfig::sync_every`].
+    pub fn append(&mut self, delta: &GraphDelta) -> Result<JournalPos, DurabilityError> {
+        if self.offset >= self.config.segment_max_bytes && self.offset > SEGMENT_MAGIC.len() as u64
+        {
+            self.rotate()?;
+        }
+        let payload = frame::encode_delta(delta)?;
+        let written = frame::write_frame(&mut self.file, &payload)
+            .map_err(|e| DurabilityError::from_io(&segment_path(&self.dir, self.seg_seq), e))?;
+        self.offset += written;
+        self.unsynced += 1;
+        if self.config.sync_every > 0 && self.unsynced >= self.config.sync_every {
+            self.sync()?;
+        }
+        Ok(self.position())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.file
+            .sync_data()
+            .map_err(|e| DurabilityError::from_io(&segment_path(&self.dir, self.seg_seq), e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Closes the current segment (fsynced) and starts the next one.
+    pub fn rotate(&mut self) -> Result<(), DurabilityError> {
+        self.sync()?;
+        let seq = self.seg_seq + 1;
+        let path = segment_path(&self.dir, seq);
+        let mut file = File::create(&path).map_err(|e| DurabilityError::from_io(&path, e))?;
+        file.write_all(SEGMENT_MAGIC)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| DurabilityError::from_io(&path, e))?;
+        sync_dir(&self.dir)?;
+        self.seg_seq = seq;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| DurabilityError::from_io(&path, e))?;
+        self.offset = SEGMENT_MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// The current durable end position (after the last appended frame).
+    pub fn position(&self) -> JournalPos {
+        JournalPos {
+            segment: self.seg_seq,
+            offset: self.offset,
+        }
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// The result of replaying the journal from a position.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Decoded deltas in order, each with the durable position after its
+    /// frame.
+    pub deltas: Vec<(GraphDelta, JournalPos)>,
+    /// The position after the last whole valid frame.
+    pub end: JournalPos,
+    /// A torn tail on the *newest* segment, if one was found (tolerated:
+    /// the frames before it are all in `deltas`).
+    pub torn: Option<(u64, frame::TornTail)>,
+}
+
+/// Replays every frame from `from` (a position previously returned by
+/// [`Journal::append`], a snapshot manifest, or [`JournalPos::start`]) to
+/// the journal's end.
+///
+/// Only the newest segment may end mid-frame (a torn tail, tolerated and
+/// reported); an incomplete or checksum-failing frame anywhere else is
+/// mid-journal corruption and fails with a typed, positional
+/// [`DurabilityError::CorruptFrame`].
+pub fn replay_from(dir: &Path, from: JournalPos) -> Result<JournalReplay, DurabilityError> {
+    let segments = list_segments(dir)?;
+    let relevant: Vec<&(u64, PathBuf)> = segments
+        .iter()
+        .filter(|(seq, _)| *seq >= from.segment)
+        .collect();
+    if let Some((first, _)) = relevant.first() {
+        if *first > from.segment {
+            return Err(DurabilityError::MissingSegment {
+                segment: from.segment,
+            });
+        }
+    }
+    let mut deltas = Vec::new();
+    let mut end = from;
+    let mut torn = None;
+    for (i, (seq, path)) in relevant.iter().enumerate() {
+        if i > 0 && *seq != relevant[i - 1].0 + 1 {
+            return Err(DurabilityError::MissingSegment {
+                segment: relevant[i - 1].0 + 1,
+            });
+        }
+        let bytes = fs::read(path).map_err(|e| DurabilityError::from_io(path, e))?;
+        let is_last = i + 1 == relevant.len();
+        let start = if *seq == from.segment { from.offset } else { 0 };
+        let scan = frame::scan_segment(&bytes, start, is_last, &file_name(path))?;
+        for (delta, off) in scan.deltas {
+            deltas.push((
+                delta,
+                JournalPos {
+                    segment: *seq,
+                    offset: off,
+                },
+            ));
+        }
+        if scan.frames > 0 || is_last {
+            end = JournalPos {
+                segment: *seq,
+                offset: scan.valid_bytes,
+            };
+        }
+        if let Some(t) = scan.torn {
+            torn = Some((*seq, t));
+        }
+    }
+    Ok(JournalReplay { deltas, end, torn })
+}
+
+/// Best-effort directory fsync so renames and creations are themselves
+/// durable (a no-op on platforms where directories cannot be opened).
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    match File::open(dir) {
+        Ok(f) => f.sync_all().map_err(|e| DurabilityError::from_io(dir, e)),
+        Err(_) => Ok(()),
+    }
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_graph::{Interaction, Node, NodeId};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tin-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn delta(i: u32) -> GraphDelta {
+        GraphDelta::new(
+            i as usize,
+            vec![Node {
+                name: format!("v{i}"),
+            }],
+            if i == 0 {
+                vec![]
+            } else {
+                vec![(NodeId(i - 1), NodeId(i), Interaction::new(i as i64, 1.0))]
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut j = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let mut positions = Vec::new();
+        for i in 0..5 {
+            positions.push(j.append(&delta(i)).unwrap());
+        }
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let replay = replay_from(&dir, JournalPos::start()).unwrap();
+        assert_eq!(replay.deltas.len(), 5);
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.end, positions[4]);
+        for (i, (d, pos)) in replay.deltas.iter().enumerate() {
+            assert_eq!(d, &delta(i as u32));
+            assert_eq!(pos, &positions[i]);
+        }
+        // Replaying from a mid-journal position yields exactly the tail.
+        let tail = replay_from(&dir, positions[2]).unwrap();
+        assert_eq!(tail.deltas.len(), 2);
+        assert_eq!(tail.deltas[0].0, delta(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_crosses_them() {
+        let dir = temp_dir("rotate");
+        let config = JournalConfig {
+            segment_max_bytes: 64, // tiny: nearly every append rotates
+            sync_every: 1,
+        };
+        let mut j = Journal::open(&dir, config).unwrap();
+        for i in 0..6 {
+            j.append(&delta(i)).unwrap();
+        }
+        let last = j.position();
+        assert!(last.segment >= 2, "expected rotation, got {last:?}");
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len() as u64, last.segment + 1);
+        let replay = replay_from(&dir, JournalPos::start()).unwrap();
+        assert_eq!(replay.deltas.len(), 6);
+        assert_eq!(replay.end, last);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_appends_cleanly() {
+        let dir = temp_dir("torn");
+        let mut j = Journal::open(&dir, JournalConfig::default()).unwrap();
+        for i in 0..3 {
+            j.append(&delta(i)).unwrap();
+        }
+        let durable = j.position();
+        drop(j);
+        // Simulate a kill mid-write: append garbage that looks like a
+        // started-but-unfinished frame.
+        let path = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x55; 5]).unwrap();
+        drop(f);
+        let replay = replay_from(&dir, JournalPos::start()).unwrap();
+        assert_eq!(replay.deltas.len(), 3);
+        assert!(replay.torn.is_some());
+        assert_eq!(replay.end, durable);
+        // Reopening truncates the tail; the next append lands exactly after
+        // the durable prefix and the torn bytes are gone for good.
+        let mut j = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(j.position(), durable);
+        j.append(&delta(3)).unwrap();
+        let replay = replay_from(&dir, JournalPos::start()).unwrap();
+        assert_eq!(replay.deltas.len(), 4);
+        assert!(replay.torn.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_fails_with_position() {
+        let dir = temp_dir("midcorrupt");
+        let config = JournalConfig {
+            segment_max_bytes: 64,
+            sync_every: 1,
+        };
+        let mut j = Journal::open(&dir, config).unwrap();
+        for i in 0..6 {
+            j.append(&delta(i)).unwrap();
+        }
+        drop(j);
+        // Truncate segment 1 (not the newest) mid-frame.
+        let path = segment_path(&dir, 1);
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let err = replay_from(&dir, JournalPos::start()).unwrap_err();
+        match err {
+            DurabilityError::CorruptFrame { file, .. } => {
+                assert!(file.contains("journal-000001"), "{file}");
+            }
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_is_detected() {
+        let dir = temp_dir("hole");
+        let config = JournalConfig {
+            segment_max_bytes: 64,
+            sync_every: 1,
+        };
+        let mut j = Journal::open(&dir, config).unwrap();
+        for i in 0..6 {
+            j.append(&delta(i)).unwrap();
+        }
+        drop(j);
+        fs::remove_file(segment_path(&dir, 1)).unwrap();
+        assert_eq!(
+            replay_from(&dir, JournalPos::start()).unwrap_err(),
+            DurabilityError::MissingSegment { segment: 1 }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

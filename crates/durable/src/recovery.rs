@@ -1,0 +1,417 @@
+//! Startup recovery: pick the newest valid snapshot, replay the journal
+//! tail, degrade gracefully when artifacts are damaged.
+//!
+//! The degradation ladder, top to bottom:
+//!
+//! 1. **Newest manifest** whose snapshot loads and verifies → restore it and
+//!    replay the journal from the recorded position.
+//! 2. Any failure there (unreadable/torn manifest, snapshot length/CRC/decode
+//!    mismatch) → try the **next-older manifest**, recording what was
+//!    discarded and why.
+//! 3. No usable snapshot → **full replay** of the journal from its start
+//!    against an empty graph.
+//! 4. No journal either → **fresh** empty state.
+//!
+//! Two failures do *not* degrade, by design: a corrupt frame in the middle
+//! of the journal (silently skipping committed deltas would be worse than
+//! stopping — the error carries file, frame index, and byte offset so the
+//! operator can decide), and a delta the graph itself refuses during replay
+//! (the journal only ever records deltas that already applied once, so a
+//! rejection means real corruption that the frame CRC happened to miss).
+//!
+//! A torn frame at the very tail of the last segment is *not* a failure:
+//! it is the expected signature of a crash mid-append, and recovery reports
+//! it in [`RecoveryReport::torn_tail`] while recovering everything before it.
+
+use crate::error::DurabilityError;
+use crate::frame::TornTail;
+use crate::journal::{list_segments, JournalPos};
+use crate::snapshot::{list_manifests, load_snapshot, read_manifest};
+use std::path::{Path, PathBuf};
+use tin_graph::TemporalGraph;
+use tin_patterns::{PathTables, TablesConfig};
+
+/// Where the recovered state came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// Restored from a snapshot, then replayed the journal tail.
+    Snapshot {
+        /// Manifest file name that committed the snapshot.
+        manifest: String,
+        /// Snapshot file name.
+        snapshot: String,
+    },
+    /// No usable snapshot; the whole journal was replayed from the start.
+    FullReplay,
+    /// Neither snapshot nor journal; the state is empty.
+    Fresh,
+}
+
+/// What recovery did and where it left the journal cursor.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Journal position after the last applied frame — where appends resume.
+    pub position: JournalPos,
+    /// Total frames reflected in the recovered state (snapshot + replayed).
+    pub frames: u64,
+    /// Frames re-applied from the journal during this recovery.
+    pub replayed: u64,
+    /// Where the state came from.
+    pub source: RecoverySource,
+    /// Artifacts that were tried and rejected, newest first, with reasons.
+    pub discarded: Vec<String>,
+    /// A torn tail detected (and ignored) at the end of the last segment.
+    pub torn_tail: Option<TornTail>,
+}
+
+/// The recovered state plus its [`RecoveryReport`].
+#[derive(Debug)]
+pub struct Recovered {
+    /// The graph, identical to the moment the last durable frame applied.
+    pub graph: TemporalGraph,
+    /// Path tables maintained through the same sequence of deltas.
+    pub tables: PathTables,
+    /// What happened during recovery.
+    pub report: RecoveryReport,
+}
+
+/// Startup recovery manager for one durable directory.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    dir: PathBuf,
+    tables_config: TablesConfig,
+}
+
+impl Recovery {
+    /// A recovery manager over `dir`, restoring tables under
+    /// `tables_config`.
+    pub fn new(dir: &Path, tables_config: TablesConfig) -> Self {
+        Recovery {
+            dir: dir.to_path_buf(),
+            tables_config,
+        }
+    }
+
+    /// Runs the degradation ladder described in the [module docs](self) and
+    /// returns the recovered state. Read-only: never deletes or truncates
+    /// anything (the journal's own `open` handles tail truncation when the
+    /// store reopens for writing).
+    pub fn run(&self) -> Result<Recovered, DurabilityError> {
+        let mut discarded = Vec::new();
+
+        // Rung 1–2: newest manifest first, falling back on damage.
+        let mut manifests = list_manifests(&self.dir)?;
+        manifests.reverse();
+        for (seq, path) in &manifests {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            let restored = read_manifest(path).and_then(|manifest| {
+                load_snapshot(&self.dir, &manifest).map(|state| (manifest.snapshot.clone(), state))
+            });
+            match restored {
+                Ok((snapshot, (graph, tables, pos, frames))) => {
+                    return self.finish_from_snapshot(
+                        graph,
+                        tables,
+                        pos,
+                        frames,
+                        RecoverySource::Snapshot {
+                            manifest: name,
+                            snapshot,
+                        },
+                        discarded,
+                    );
+                }
+                Err(e) => {
+                    discarded.push(format!("manifest {seq:06}: {e}"));
+                }
+            }
+        }
+
+        // Rung 3–4: no snapshot. Full replay if there is a journal, fresh
+        // state otherwise.
+        let has_journal = !list_segments(&self.dir)?.is_empty();
+        let graph = TemporalGraph::new();
+        let tables = PathTables::build(&graph, &self.tables_config);
+        let source = if has_journal {
+            RecoverySource::FullReplay
+        } else {
+            RecoverySource::Fresh
+        };
+        self.finish_from_snapshot(graph, tables, JournalPos::start(), 0, source, discarded)
+    }
+
+    /// Replays the journal tail from `pos` onto `(graph, tables)` and
+    /// assembles the report.
+    fn finish_from_snapshot(
+        &self,
+        mut graph: TemporalGraph,
+        mut tables: PathTables,
+        pos: JournalPos,
+        frames: u64,
+        source: RecoverySource,
+        discarded: Vec<String>,
+    ) -> Result<Recovered, DurabilityError> {
+        // The snapshot may have been produced under a different table
+        // configuration than the one requested now; rebuild rather than
+        // serve rows the caller did not ask for (or miss ones they did).
+        if *tables.config() != self.tables_config {
+            tables = PathTables::build(&graph, &self.tables_config);
+        }
+        let replay = crate::journal::replay_from(&self.dir, pos)?;
+        let mut replayed = 0u64;
+        for (delta, frame_pos) in &replay.deltas {
+            let applied = graph.apply(delta).map_err(|e| DurabilityError::Replay {
+                file: format!("journal-{:06}.wal", frame_pos.segment),
+                frame: frames + replayed,
+                offset: frame_pos.offset,
+                source: e,
+            })?;
+            tables.apply(&graph, &applied);
+            replayed += 1;
+        }
+        Ok(Recovered {
+            graph,
+            tables,
+            report: RecoveryReport {
+                position: replay.end,
+                frames: frames + replayed,
+                replayed,
+                source,
+                discarded,
+                torn_tail: replay.torn.map(|(_, t)| t),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalConfig};
+    use crate::snapshot::{manifest_path, snapshot_path, write_snapshot};
+    use std::fs;
+    use tin_graph::{GraphDelta, Interaction, Node, NodeId};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tin-recovery-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Delta `i`: adds node v{i}; for i > 0 also an interaction
+    /// v{i-1} → v{i} at time i.
+    fn delta(i: u32) -> GraphDelta {
+        let nodes = vec![Node {
+            name: format!("v{i}"),
+        }];
+        let interactions = if i == 0 {
+            vec![]
+        } else {
+            vec![(
+                NodeId(i - 1),
+                NodeId(i),
+                Interaction::new(i as i64, 1.0 + i as f64),
+            )]
+        };
+        GraphDelta::new(i as usize, nodes, interactions).unwrap()
+    }
+
+    /// Builds the reference state by applying deltas 0..n directly.
+    fn reference(n: u32, config: &TablesConfig) -> (TemporalGraph, PathTables) {
+        let mut g = TemporalGraph::new();
+        let mut t = PathTables::build(&g, config);
+        for i in 0..n {
+            let applied = g.apply(&delta(i)).unwrap();
+            t.apply(&g, &applied);
+        }
+        (g, t)
+    }
+
+    /// Journals deltas 0..n, snapshotting after `snap_at` (if given).
+    fn populate(dir: &Path, n: u32, snap_at: Option<u32>) {
+        let config = TablesConfig::default();
+        let mut journal = Journal::open(dir, JournalConfig::default()).unwrap();
+        let mut g = TemporalGraph::new();
+        let mut t = PathTables::build(&g, &config);
+        for i in 0..n {
+            let d = delta(i);
+            let applied = g.apply(&d).unwrap();
+            journal.append(&d).unwrap();
+            t.apply(&g, &applied);
+            if Some(i + 1) == snap_at {
+                write_snapshot(dir, 0, &g, &t, journal.position(), (i + 1) as u64).unwrap();
+            }
+        }
+        journal.sync().unwrap();
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = temp_dir("fresh");
+        let rec = Recovery::new(&dir, TablesConfig::default()).run().unwrap();
+        assert_eq!(rec.report.source, RecoverySource::Fresh);
+        assert_eq!(rec.report.frames, 0);
+        assert_eq!(rec.graph.node_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_replay_without_snapshot_matches_reference() {
+        let dir = temp_dir("fullreplay");
+        populate(&dir, 8, None);
+        let config = TablesConfig::default();
+        let rec = Recovery::new(&dir, config).run().unwrap();
+        assert_eq!(rec.report.source, RecoverySource::FullReplay);
+        assert_eq!(rec.report.replayed, 8);
+        let (g, t) = reference(8, &config);
+        assert_eq!(rec.graph, g);
+        assert_eq!(t.first_row_divergence(&rec.tables), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_matches_reference() {
+        let dir = temp_dir("snaptail");
+        populate(&dir, 10, Some(6));
+        let config = TablesConfig::default();
+        let rec = Recovery::new(&dir, config).run().unwrap();
+        assert!(matches!(rec.report.source, RecoverySource::Snapshot { .. }));
+        assert_eq!(rec.report.replayed, 4);
+        assert_eq!(rec.report.frames, 10);
+        let (g, t) = reference(10, &config);
+        assert_eq!(rec.graph, g);
+        assert_eq!(t.first_row_divergence(&rec.tables), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_full_replay() {
+        let dir = temp_dir("fallback");
+        populate(&dir, 10, Some(6));
+        // Flip a byte in the middle of the snapshot body.
+        let snap = snapshot_path(&dir, 0);
+        let mut bytes = fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&snap, &bytes).unwrap();
+        let config = TablesConfig::default();
+        let rec = Recovery::new(&dir, config).run().unwrap();
+        assert_eq!(rec.report.source, RecoverySource::FullReplay);
+        assert_eq!(rec.report.replayed, 10);
+        assert_eq!(rec.report.discarded.len(), 1);
+        assert!(rec.report.discarded[0].contains("checksum"));
+        let (g, t) = reference(10, &config);
+        assert_eq!(rec.graph, g);
+        assert_eq!(t.first_row_divergence(&rec.tables), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_snapshot_without_manifest_is_invisible() {
+        let dir = temp_dir("orphan");
+        populate(&dir, 6, Some(4));
+        // Simulate a crash between the snapshot rename and the manifest
+        // rename: the manifest vanishes, the snapshot stays.
+        fs::remove_file(manifest_path(&dir, 0)).unwrap();
+        let config = TablesConfig::default();
+        let rec = Recovery::new(&dir, config).run().unwrap();
+        assert_eq!(rec.report.source, RecoverySource::FullReplay);
+        assert!(rec.report.discarded.is_empty());
+        let (g, t) = reference(6, &config);
+        assert_eq!(rec.graph, g);
+        assert_eq!(t.first_row_divergence(&rec.tables), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn older_snapshot_is_used_when_newest_is_damaged() {
+        let dir = temp_dir("older");
+        let config = TablesConfig::default();
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let mut g = TemporalGraph::new();
+        let mut t = PathTables::build(&g, &config);
+        for i in 0..9 {
+            let d = delta(i);
+            let applied = g.apply(&d).unwrap();
+            journal.append(&d).unwrap();
+            t.apply(&g, &applied);
+            if i == 3 {
+                write_snapshot(&dir, 0, &g, &t, journal.position(), 4).unwrap();
+            }
+            if i == 6 {
+                write_snapshot(&dir, 1, &g, &t, journal.position(), 7).unwrap();
+            }
+        }
+        journal.sync().unwrap();
+        drop(journal);
+        // Truncate the newest snapshot; recovery must fall back to seq 0.
+        let newest = snapshot_path(&dir, 1);
+        let len = fs::metadata(&newest).unwrap().len();
+        fs::File::options()
+            .write(true)
+            .open(&newest)
+            .unwrap()
+            .set_len(len / 3)
+            .unwrap();
+        let rec = Recovery::new(&dir, config).run().unwrap();
+        match &rec.report.source {
+            RecoverySource::Snapshot { snapshot, .. } => {
+                assert!(snapshot.contains("000000"), "used {snapshot}");
+            }
+            other => panic!("expected snapshot source, got {other:?}"),
+        }
+        assert_eq!(rec.report.replayed, 5);
+        assert_eq!(rec.report.discarded.len(), 1);
+        let (g2, t2) = reference(9, &config);
+        assert_eq!(rec.graph, g2);
+        assert_eq!(t2.first_row_divergence(&rec.tables), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_mismatch_rebuilds_tables() {
+        let dir = temp_dir("config");
+        populate(&dir, 6, Some(4));
+        // Recover with a narrower configuration than the snapshot's.
+        let narrow = TablesConfig {
+            build_c2: false,
+            ..TablesConfig::default()
+        };
+        let rec = Recovery::new(&dir, narrow).run().unwrap();
+        assert_eq!(*rec.tables.config(), narrow);
+        assert_eq!(rec.tables.c2.len(), 0);
+        let (_, t) = reference(6, &narrow);
+        assert_eq!(t.first_row_divergence(&rec.tables), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_and_ignored() {
+        let dir = temp_dir("torn");
+        populate(&dir, 5, None);
+        // Tear the last frame: chop 3 bytes off the single segment.
+        let seg = crate::journal::segment_path(&dir, 0);
+        let len = fs::metadata(&seg).unwrap().len();
+        fs::File::options()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let config = TablesConfig::default();
+        let rec = Recovery::new(&dir, config).run().unwrap();
+        assert_eq!(rec.report.replayed, 4);
+        assert!(rec.report.torn_tail.is_some());
+        let (g, t) = reference(4, &config);
+        assert_eq!(rec.graph, g);
+        assert_eq!(t.first_row_divergence(&rec.tables), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

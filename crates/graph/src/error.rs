@@ -1,6 +1,6 @@
 //! Error types for graph construction and manipulation.
 
-use crate::ids::{EdgeId, NodeId};
+use crate::ids::{EdgeId, NodeId, Time};
 use std::fmt;
 
 /// Errors that can be produced while constructing or transforming a
@@ -110,6 +110,173 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// A consistency violation found by [`crate::TemporalGraph::validate`].
+///
+/// The variants split into two classes that recovery code treats very
+/// differently (see [`ValidateError::is_data_corruption`]):
+///
+/// * **data corruption** — the canonical edge table itself is damaged
+///   (out-of-range endpoints, unsorted interactions, interactions behind the
+///   expiry frontier). No amount of cache rebuilding can repair this; a
+///   snapshot failing this way must be discarded.
+/// * **link drift** — the edge table is intact but a derived or mirrored
+///   structure (adjacency lists, the `(src, dst)` index) disagrees with it.
+///   These are repairable by recomputing the links from the edge table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An edge references a node outside the node table.
+    NodeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// An edge's interaction list is not chronologically sorted.
+    UnsortedInteractions {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// An edge holds an interaction older than the expiry frontier.
+    FrontierViolation {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Timestamp of the stale interaction.
+        time: Time,
+        /// The graph's expiry frontier.
+        frontier: Time,
+    },
+    /// A tombstoned edge is still linked in an adjacency list.
+    TombstoneLinked {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A tombstoned edge is still present in the `(src, dst)` index.
+    TombstoneIndexed {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A live edge is missing from the out-adjacency of its source.
+    MissingFromOutAdjacency {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The source vertex whose adjacency list is incomplete.
+        node: NodeId,
+    },
+    /// A live edge is missing from the in-adjacency of its destination.
+    MissingFromInAdjacency {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The destination vertex whose adjacency list is incomplete.
+        node: NodeId,
+    },
+    /// The `(src, dst)` index maps a live edge's pair to a different edge
+    /// (or to nothing).
+    IndexInconsistent {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// The total out-adjacency size disagrees with the live edge count.
+    OutAdjacencyCount {
+        /// Entries across all out-adjacency lists.
+        linked: usize,
+        /// Live (non-tombstoned) edges in the edge table.
+        live: usize,
+    },
+    /// The total in-adjacency size disagrees with the live edge count.
+    InAdjacencyCount {
+        /// Entries across all in-adjacency lists.
+        linked: usize,
+        /// Live (non-tombstoned) edges in the edge table.
+        live: usize,
+    },
+}
+
+impl ValidateError {
+    /// Whether the canonical edge table itself is damaged (as opposed to
+    /// drift in the derived/mirrored link structures).
+    ///
+    /// Recovery code uses this to pick between a repair (rebuild adjacency
+    /// and index from the edge table, then re-validate) and discarding the
+    /// state entirely: data corruption cannot be repaired.
+    pub fn is_data_corruption(&self) -> bool {
+        matches!(
+            self,
+            ValidateError::NodeOutOfRange { .. }
+                | ValidateError::UnsortedInteractions { .. }
+                | ValidateError::FrontierViolation { .. }
+        )
+    }
+
+    /// The edge the violation was attributed to, when there is one.
+    pub fn edge(&self) -> Option<EdgeId> {
+        match self {
+            ValidateError::NodeOutOfRange { edge }
+            | ValidateError::UnsortedInteractions { edge }
+            | ValidateError::FrontierViolation { edge, .. }
+            | ValidateError::TombstoneLinked { edge }
+            | ValidateError::TombstoneIndexed { edge }
+            | ValidateError::MissingFromOutAdjacency { edge, .. }
+            | ValidateError::MissingFromInAdjacency { edge, .. }
+            | ValidateError::IndexInconsistent { edge } => Some(*edge),
+            ValidateError::OutAdjacencyCount { .. } | ValidateError::InAdjacencyCount { .. } => {
+                None
+            }
+        }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NodeOutOfRange { edge } => {
+                write!(f, "edge {edge} references an out-of-range node")
+            }
+            ValidateError::UnsortedInteractions { edge } => {
+                write!(f, "edge {edge} interactions are not chronologically sorted")
+            }
+            ValidateError::FrontierViolation {
+                edge,
+                time,
+                frontier,
+            } => write!(
+                f,
+                "edge {edge} holds an interaction at {time}, before the frontier {frontier}"
+            ),
+            ValidateError::TombstoneLinked { edge } => {
+                write!(f, "tombstoned edge {edge} still in an adjacency list")
+            }
+            ValidateError::TombstoneIndexed { edge } => {
+                write!(f, "tombstoned edge {edge} still in the edge index")
+            }
+            ValidateError::MissingFromOutAdjacency { edge, node } => {
+                write!(f, "edge {edge} missing from out-adjacency of {node}")
+            }
+            ValidateError::MissingFromInAdjacency { edge, node } => {
+                write!(f, "edge {edge} missing from in-adjacency of {node}")
+            }
+            ValidateError::IndexInconsistent { edge } => {
+                write!(f, "edge index inconsistent for {edge}")
+            }
+            ValidateError::OutAdjacencyCount { linked, live } => write!(
+                f,
+                "out-adjacency size {linked} does not match live edge count {live}"
+            ),
+            ValidateError::InAdjacencyCount { linked, live } => write!(
+                f,
+                "in-adjacency size {linked} does not match live edge count {live}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl From<ValidateError> for GraphError {
+    fn from(e: ValidateError) -> Self {
+        GraphError::Invalid {
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +327,60 @@ mod tests {
         assert!(GraphError::from_io(std::io::Error::other("boom"))
             .to_string()
             .contains("boom"));
+    }
+
+    #[test]
+    fn validate_error_classification() {
+        let corrupt = [
+            ValidateError::NodeOutOfRange { edge: EdgeId(1) },
+            ValidateError::UnsortedInteractions { edge: EdgeId(2) },
+            ValidateError::FrontierViolation {
+                edge: EdgeId(3),
+                time: 5,
+                frontier: 9,
+            },
+        ];
+        for e in corrupt {
+            assert!(e.is_data_corruption(), "{e} should be data corruption");
+            assert!(e.edge().is_some());
+        }
+        let drift = [
+            ValidateError::TombstoneLinked { edge: EdgeId(0) },
+            ValidateError::TombstoneIndexed { edge: EdgeId(0) },
+            ValidateError::MissingFromOutAdjacency {
+                edge: EdgeId(0),
+                node: NodeId(1),
+            },
+            ValidateError::MissingFromInAdjacency {
+                edge: EdgeId(0),
+                node: NodeId(1),
+            },
+            ValidateError::IndexInconsistent { edge: EdgeId(0) },
+            ValidateError::OutAdjacencyCount { linked: 3, live: 2 },
+            ValidateError::InAdjacencyCount { linked: 1, live: 2 },
+        ];
+        for e in drift {
+            assert!(!e.is_data_corruption(), "{e} should be repairable drift");
+        }
+    }
+
+    #[test]
+    fn validate_error_display_and_conversion() {
+        let e = ValidateError::FrontierViolation {
+            edge: EdgeId(4),
+            time: 3,
+            frontier: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("e4") && s.contains('3') && s.contains("10"));
+        let g: GraphError = e.into();
+        assert!(matches!(g, GraphError::Invalid { ref message } if message.contains("e4")));
+        assert_eq!(
+            ValidateError::NodeOutOfRange { edge: EdgeId(9) }.to_string(),
+            "edge e9 references an out-of-range node"
+        );
+        assert!(ValidateError::OutAdjacencyCount { linked: 3, live: 2 }
+            .edge()
+            .is_none());
     }
 }

@@ -1,6 +1,7 @@
 //! The [`TemporalGraph`] type: an immutable, query-friendly representation of
 //! a temporal interaction network.
 
+use crate::error::ValidateError;
 use crate::ids::{EdgeId, NodeId, Quantity, Time};
 use crate::interaction::{self, Interaction};
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -370,58 +371,120 @@ impl TemporalGraph {
 
     /// Checks internal consistency (adjacency lists, sorted interactions,
     /// index coherence, tombstone unlinking, frontier respected). Used by
-    /// tests and debug assertions.
-    pub fn validate(&self) -> Result<(), String> {
+    /// tests, debug assertions, and snapshot recovery — the typed error lets
+    /// callers distinguish unrepairable edge-table corruption from link
+    /// drift that [`TemporalGraph::rebuild_index`] can fix (see
+    /// [`ValidateError::is_data_corruption`]).
+    pub fn validate(&self) -> Result<(), ValidateError> {
         let mut live = 0usize;
         for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId::from_index(i);
             if e.src.index() >= self.nodes.len() || e.dst.index() >= self.nodes.len() {
-                return Err(format!("edge e{i} references an out-of-range node"));
+                return Err(ValidateError::NodeOutOfRange { edge: id });
             }
             if !interaction::is_chronological(&e.interactions) {
-                return Err(format!(
-                    "edge e{i} interactions are not chronologically sorted"
-                ));
+                return Err(ValidateError::UnsortedInteractions { edge: id });
             }
             if let (Some(f), Some(t)) = (self.frontier, e.min_time()) {
                 if t < f {
-                    return Err(format!(
-                        "edge e{i} holds an interaction at {t}, before the frontier {f}"
-                    ));
+                    return Err(ValidateError::FrontierViolation {
+                        edge: id,
+                        time: t,
+                        frontier: f,
+                    });
                 }
             }
-            let id = EdgeId::from_index(i);
             if e.is_tombstone() {
                 // Tombstones keep their slot but must be fully unlinked.
                 if self.out_edges[e.src.index()].contains(&id)
                     || self.in_edges[e.dst.index()].contains(&id)
                 {
-                    return Err(format!("tombstoned edge e{i} still in an adjacency list"));
+                    return Err(ValidateError::TombstoneLinked { edge: id });
                 }
                 if self.edge_index.get(&(e.src, e.dst)) == Some(&id) {
-                    return Err(format!("tombstoned edge e{i} still in the edge index"));
+                    return Err(ValidateError::TombstoneIndexed { edge: id });
                 }
                 continue;
             }
             live += 1;
             if !self.out_edges[e.src.index()].contains(&id) {
-                return Err(format!("edge e{i} missing from out-adjacency of {}", e.src));
+                return Err(ValidateError::MissingFromOutAdjacency {
+                    edge: id,
+                    node: e.src,
+                });
             }
             if !self.in_edges[e.dst.index()].contains(&id) {
-                return Err(format!("edge e{i} missing from in-adjacency of {}", e.dst));
+                return Err(ValidateError::MissingFromInAdjacency {
+                    edge: id,
+                    node: e.dst,
+                });
             }
             if self.edge_index.get(&(e.src, e.dst)) != Some(&id) {
-                return Err(format!("edge index inconsistent for e{i}"));
+                return Err(ValidateError::IndexInconsistent { edge: id });
             }
         }
         let adj_total: usize = self.out_edges.iter().map(Vec::len).sum();
         if adj_total != live {
-            return Err("out-adjacency size does not match live edge count".into());
+            return Err(ValidateError::OutAdjacencyCount {
+                linked: adj_total,
+                live,
+            });
         }
         let adj_total_in: usize = self.in_edges.iter().map(Vec::len).sum();
         if adj_total_in != live {
-            return Err("in-adjacency size does not match live edge count".into());
+            return Err(ValidateError::InAdjacencyCount {
+                linked: adj_total_in,
+                live,
+            });
         }
         Ok(())
+    }
+
+    /// Reassembles a graph from snapshot parts: the canonical tables (nodes,
+    /// edges — tombstones included) and the expiry frontier.
+    ///
+    /// Unlike the builder path this accepts tombstoned edge slots: adjacency
+    /// lists and the `(src, dst)` index are rebuilt from the live edges only,
+    /// exactly as eviction left them before the snapshot was taken. The
+    /// reassembled graph is validated before being returned, so corrupt
+    /// snapshot payloads surface as a typed [`ValidateError`] instead of
+    /// poisoning later queries.
+    pub fn from_stored_parts(
+        nodes: Vec<Node>,
+        edges: Vec<Edge>,
+        frontier: Option<Time>,
+    ) -> Result<Self, ValidateError> {
+        let n = nodes.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        let mut edge_index = HashMap::with_capacity(edges.len());
+        let mut expiry = BinaryHeap::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            if e.is_tombstone() {
+                continue;
+            }
+            let id = EdgeId::from_index(i);
+            if e.src.index() >= n || e.dst.index() >= n {
+                return Err(ValidateError::NodeOutOfRange { edge: id });
+            }
+            out_edges[e.src.index()].push(id);
+            in_edges[e.dst.index()].push(id);
+            edge_index.insert((e.src, e.dst), id);
+            if let Some(t) = e.min_time() {
+                expiry.push(Reverse((t, id)));
+            }
+        }
+        let graph = TemporalGraph {
+            nodes,
+            edges,
+            out_edges,
+            in_edges,
+            frontier,
+            edge_index,
+            expiry,
+        };
+        graph.validate()?;
+        Ok(graph)
     }
 }
 
@@ -542,5 +605,66 @@ mod tests {
         assert_eq!(g.interaction_count(), 0);
         assert_eq!(g.min_time(), None);
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        // Unsorted interactions: data corruption.
+        let mut g = toy();
+        g.edges[0].interactions = vec![Interaction::new(5, 1.0), Interaction::new(1, 1.0)];
+        let err = g.validate().unwrap_err();
+        assert_eq!(err, ValidateError::UnsortedInteractions { edge: EdgeId(0) });
+        assert!(err.is_data_corruption());
+
+        // Stale edge index entry: repairable drift.
+        let mut g = toy();
+        g.edge_index.clear();
+        let err = g.validate().unwrap_err();
+        assert_eq!(err, ValidateError::IndexInconsistent { edge: EdgeId(0) });
+        assert!(!err.is_data_corruption());
+        g.rebuild_index();
+        g.validate().unwrap();
+
+        // Frontier violation: data corruption.
+        let mut g = toy();
+        g.frontier = Some(3);
+        let err = g.validate().unwrap_err();
+        assert!(matches!(err, ValidateError::FrontierViolation { .. }));
+        assert!(err.is_data_corruption());
+    }
+
+    #[test]
+    fn from_stored_parts_roundtrips_and_validates() {
+        let g = toy();
+        let back =
+            TemporalGraph::from_stored_parts(g.nodes.clone(), g.edges.clone(), g.frontier).unwrap();
+        assert_eq!(back, g);
+        back.validate().unwrap();
+
+        // Tombstoned slots survive the round trip unlinked.
+        let mut with_tomb = toy();
+        let dead = EdgeId(1);
+        with_tomb.edges[dead.index()].interactions.clear();
+        with_tomb.rebuild_index();
+        let src = with_tomb.edges[dead.index()].src;
+        let dst = with_tomb.edges[dead.index()].dst;
+        with_tomb.out_edges[src.index()].retain(|&e| e != dead);
+        with_tomb.in_edges[dst.index()].retain(|&e| e != dead);
+        with_tomb.validate().unwrap();
+        let back = TemporalGraph::from_stored_parts(
+            with_tomb.nodes.clone(),
+            with_tomb.edges.clone(),
+            with_tomb.frontier,
+        )
+        .unwrap();
+        assert_eq!(back, with_tomb);
+        assert!(back.is_tombstone(dead));
+        assert!(back.find_edge(src, dst).is_none());
+
+        // Corrupt payloads are rejected with a typed error.
+        let mut bad_edges = g.edges.clone();
+        bad_edges[0].src = NodeId(99);
+        let err = TemporalGraph::from_stored_parts(g.nodes.clone(), bad_edges, None).unwrap_err();
+        assert_eq!(err, ValidateError::NodeOutOfRange { edge: EdgeId(0) });
     }
 }

@@ -66,9 +66,7 @@ pub fn from_json(json: &str) -> Result<TemporalGraph, GraphError> {
         message: e.to_string(),
     })?;
     graph.rebuild_index();
-    graph
-        .validate()
-        .map_err(|message| GraphError::Invalid { message })?;
+    graph.validate()?;
     Ok(graph)
 }
 

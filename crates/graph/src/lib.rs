@@ -64,7 +64,7 @@ pub mod view;
 pub use builder::GraphBuilder;
 pub use dag::{augment_with_synthetic_endpoints, sinks, sources, AugmentedGraph, EndpointInfo};
 pub use delta::{AppliedDelta, GraphDelta};
-pub use error::GraphError;
+pub use error::{GraphError, ValidateError};
 pub use events::{EventRef, Events};
 pub use graph::{Edge, Node, TemporalGraph};
 pub use ids::{EdgeId, NodeId, Quantity, Time};

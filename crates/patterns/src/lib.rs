@@ -43,5 +43,6 @@ pub use pattern::{Pattern, PatternError};
 pub use precomputed::enumerate_pb;
 pub use relaxed::{relaxed_search_gb, relaxed_search_pb, RelaxedPattern};
 pub use tables::{
-    invalidated_anchors, LazyPathTables, PathRow, PathTable, PathTables, TablesConfig, TablesUpdate,
+    invalidated_anchors, LazyPathTables, PathRow, PathTable, PathTableBuilder, PathTables,
+    TablesConfig, TablesUpdate,
 };

@@ -331,6 +331,32 @@ impl PathTable {
         self.dead = 0;
     }
 
+    /// Reassembles a table from externally stored row contents: for each row
+    /// its vertex sequence, flow, and delivered profile, in sorted order.
+    ///
+    /// This is the snapshot-restore seam: a dumped table round-trips through
+    /// `(row.vertices(), row.flow, table.delivered(&row))` triples and comes
+    /// back with a freshly packed arena (no garbage) and a rebuilt offset
+    /// index — row-identical to the original under
+    /// [`PathTables::first_row_divergence`], which never inspects arena
+    /// layout.
+    ///
+    /// Returns a message describing the first malformed row when the input
+    /// is not a valid table: vertex sequences must have 2 or 3 vertices and
+    /// be strictly ascending (every row unique, sorted), and the total
+    /// delivered profile length must fit the arena's `u32` offsets.
+    pub fn from_row_contents<'a, I>(contents: I) -> Result<PathTable, String>
+    where
+        I: IntoIterator<Item = (&'a [NodeId], Quantity, &'a [Interaction])>,
+    {
+        let iter = contents.into_iter();
+        let mut builder = PathTableBuilder::with_capacity(iter.size_hint().0);
+        for (verts, flow, delivered) in iter {
+            builder.push(verts, flow, delivered)?;
+        }
+        Ok(builder.finish())
+    }
+
     /// Builds the per-anchor offset index; `rows` must already be sorted by
     /// vertex sequence (anchor first), so the populated anchor range is
     /// `[first row's anchor, last row's anchor]`.
@@ -360,6 +386,133 @@ impl<'a> IntoIterator for &'a PathTable {
 
     fn into_iter(self) -> Self::IntoIter {
         self.rows.iter()
+    }
+}
+
+/// Push-based construction of a [`PathTable`] from externally stored row
+/// contents — the streaming form of [`PathTable::from_row_contents`], for
+/// callers (snapshot restore) that decode rows one at a time and must not
+/// buffer the whole table twice.
+///
+/// Rows must arrive in strictly ascending vertex-sequence order; every
+/// [`PathTableBuilder::push`] validates against the previous row, and
+/// [`PathTableBuilder::finish`] builds the per-anchor offset index.
+#[derive(Debug, Default)]
+pub struct PathTableBuilder {
+    table: PathTable,
+}
+
+impl PathTableBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        PathTableBuilder::default()
+    }
+
+    /// An empty builder with row capacity reserved (the arena grows on
+    /// demand — delivered-profile lengths are not known up front).
+    pub fn with_capacity(rows: usize) -> Self {
+        let mut table = PathTable::default();
+        table.rows.reserve(rows);
+        PathTableBuilder { table }
+    }
+
+    /// Appends one row: its vertex sequence, flow, and delivered profile.
+    ///
+    /// Returns a message describing the problem when the row is malformed:
+    /// vertex sequences must have 2 or 3 vertices and be strictly after the
+    /// previous row's (every row unique, sorted), and the total delivered
+    /// length must fit the arena's `u32` offsets.
+    pub fn push(
+        &mut self,
+        verts: &[NodeId],
+        flow: Quantity,
+        delivered: &[Interaction],
+    ) -> Result<(), String> {
+        self.push_profile(verts, flow, delivered.iter().copied())
+    }
+
+    /// Like [`PathTableBuilder::push`], but the delivered profile is drained
+    /// from an iterator straight into the arena — no intermediate buffer.
+    /// This is the snapshot-restore fast path: at standard scale the C2
+    /// arena is megabytes, and a per-row bounce buffer doubles the copy.
+    pub fn push_profile<I>(
+        &mut self,
+        verts: &[NodeId],
+        flow: Quantity,
+        delivered: I,
+    ) -> Result<(), String>
+    where
+        I: ExactSizeIterator<Item = Interaction>,
+    {
+        let table = &mut self.table;
+        let i = table.rows.len();
+        if verts.len() < 2 || verts.len() > MAX_PATH_VERTICES {
+            return Err(format!(
+                "row {i} has {} vertices (expected 2 or 3)",
+                verts.len()
+            ));
+        }
+        if let Some(prev) = table.rows.last() {
+            if prev.vertices() >= verts {
+                return Err(format!(
+                    "row {i} ({verts:?}) is not strictly after its predecessor ({:?})",
+                    prev.vertices()
+                ));
+            }
+        }
+        let overflow = || format!("row {i} overflows the arena's u32 offsets");
+        if u32::try_from(delivered.len()).is_err() {
+            return Err(format!("row {i} delivered profile overflows u32"));
+        }
+        let start_at = table.arena.len();
+        let start = u32::try_from(start_at).map_err(|_| overflow())?;
+        table.arena.extend(delivered);
+        // Measure what actually landed rather than trusting the iterator's
+        // size hint; a lying `ExactSizeIterator` must not corrupt offsets.
+        let landed = table.arena.len() - start_at;
+        let len = match u32::try_from(landed)
+            .ok()
+            .filter(|l| start.checked_add(*l).is_some())
+        {
+            Some(len) => len,
+            None => {
+                table.arena.truncate(start_at);
+                return Err(overflow());
+            }
+        };
+        let mut slots = [NodeId::from_index(0); MAX_PATH_VERTICES];
+        slots[..verts.len()].copy_from_slice(verts);
+        table.rows.push(PathRow {
+            verts: slots,
+            len: verts.len() as u8,
+            delivered_start: start,
+            delivered_len: len,
+            flow,
+        });
+        Ok(())
+    }
+
+    /// Reserves arena capacity for a known total delivered length, so a
+    /// restore with a size header allocates once instead of growing row by
+    /// row.
+    pub fn reserve_arena(&mut self, interactions: usize) {
+        self.table.arena.reserve(interactions);
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.table.rows.len()
+    }
+
+    /// Whether no rows have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.rows.is_empty()
+    }
+
+    /// Builds the offset index and returns the finished table.
+    pub fn finish(mut self) -> PathTable {
+        self.table.build_offsets();
+        self.table
     }
 }
 
@@ -482,6 +635,38 @@ impl PathTables {
     /// The configuration the tables were built with.
     pub fn config(&self) -> &TablesConfig {
         &self.config
+    }
+
+    /// Whether the tables cover only a selected anchor subset
+    /// ([`PathTables::for_anchors`]). Partial tables refuse
+    /// [`PathTables::apply`] and cannot be snapshotted meaningfully — a
+    /// restore would silently serve subset coverage as full coverage.
+    pub fn is_partial(&self) -> bool {
+        self.partial
+    }
+
+    /// Reassembles a full-coverage table set from stored parts: the build
+    /// configuration, the truncation verdict, and the three tables (see
+    /// [`PathTable::from_row_contents`] for the per-table seam).
+    ///
+    /// The result reports zero [`PathTables::kernel_calls`] — that counter
+    /// is build telemetry, not table content, and restarts from the restore.
+    pub fn from_stored_parts(
+        config: TablesConfig,
+        truncated: bool,
+        l2: PathTable,
+        l3: PathTable,
+        c2: PathTable,
+    ) -> Self {
+        PathTables {
+            l2,
+            l3,
+            c2,
+            truncated,
+            config,
+            partial: false,
+            kernel_calls: 0,
+        }
     }
 
     /// Compares two table sets row for row (truncation verdict, vertex
@@ -1225,6 +1410,67 @@ mod tests {
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].time, 5);
         assert_eq!(delivered[0].quantity, 4.0);
+    }
+
+    #[test]
+    fn stored_parts_roundtrip_is_row_identical() {
+        let g = sample();
+        let t = PathTables::build(&g, &TablesConfig::default());
+        assert!(!t.is_partial());
+        let dump = |table: &PathTable| {
+            table
+                .iter()
+                .map(|r| (r.vertices().to_vec(), r.flow, table.delivered(r).to_vec()))
+                .collect::<Vec<_>>()
+        };
+        let restore = |rows: &[(Vec<NodeId>, Quantity, Vec<Interaction>)]| {
+            PathTable::from_row_contents(
+                rows.iter()
+                    .map(|(v, f, d)| (v.as_slice(), *f, d.as_slice())),
+            )
+            .unwrap()
+        };
+        let (l2, l3, c2) = (dump(&t.l2), dump(&t.l3), dump(&t.c2));
+        let back = PathTables::from_stored_parts(
+            *t.config(),
+            t.truncated,
+            restore(&l2),
+            restore(&l3),
+            restore(&c2),
+        );
+        assert_eq!(t.first_row_divergence(&back), None);
+        assert_eq!(back.kernel_calls(), 0);
+        assert_eq!(back.l2.garbage_len(), 0);
+        // The restored set keeps working as a live table: rows_for and the
+        // anchor index came back with it.
+        let x = g.node_by_name("x").unwrap();
+        assert_eq!(back.l2.rows_for(x).len(), t.l2.rows_for(x).len());
+    }
+
+    #[test]
+    fn from_row_contents_rejects_malformed_input() {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let c = NodeId(2);
+        // Too few vertices.
+        let err = PathTable::from_row_contents([(&[a][..], 1.0, &[][..])]).unwrap_err();
+        assert!(err.contains("vertices"));
+        // Out of order (and duplicate) sequences.
+        let rows = [(&[b, c][..], 1.0, &[][..]), (&[a, b][..], 1.0, &[][..])];
+        let err = PathTable::from_row_contents(rows).unwrap_err();
+        assert!(err.contains("not strictly after"));
+        let dup = [(&[a, b][..], 1.0, &[][..]), (&[a, b][..], 2.0, &[][..])];
+        assert!(PathTable::from_row_contents(dup).is_err());
+        // Valid two-row table round-trips content.
+        let del = [Interaction::new(3, 2.0)];
+        let ok = PathTable::from_row_contents([
+            (&[a, b][..], 2.0, &del[..]),
+            (&[b, a][..], 0.0, &[][..]),
+        ])
+        .unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.delivered(&ok.rows()[0]), &del[..]);
+        assert_eq!(ok.rows_for(a).len(), 1);
     }
 
     #[test]

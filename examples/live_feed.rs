@@ -4,6 +4,9 @@
 //! incrementally, and pattern search runs between batches against the
 //! up-to-the-batch state — no snapshot rebuild anywhere.
 //!
+//! Ingest and apply failures exit nonzero with a message on stderr instead
+//! of panicking — this binary doubles as the kill-and-restart smoke target.
+//!
 //! Run with: `cargo run --release --example live_feed`
 
 use std::io::Write as _;
@@ -12,6 +15,13 @@ use tin_datasets::{generate, DatasetKind, DeltaStream, LoaderConfig};
 use tin_patterns::{search_pb, PathTables, PatternId, TablesConfig};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("live_feed error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // A "live feed": the Bitcoin-shaped generator's log serialized as CSV,
     // then replayed in batches of 50 records. In production the reader
     // would be a socket or a tailed file — DeltaStream takes any io::Read.
@@ -20,7 +30,7 @@ fn main() {
     for edge in full.edges() {
         let (src, dst) = (&full.node(edge.src).name, &full.node(edge.dst).name);
         for i in &edge.interactions {
-            writeln!(csv, "{src},{dst},{},{}", i.time, i.quantity).expect("vec write");
+            writeln!(csv, "{src},{dst},{},{}", i.time, i.quantity)?;
         }
     }
     println!(
@@ -30,8 +40,7 @@ fn main() {
         full.node_count()
     );
 
-    let mut stream =
-        DeltaStream::new(csv.as_slice(), &LoaderConfig::default()).expect("valid config");
+    let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())?;
     let mut graph = TemporalGraph::new();
     let config = TablesConfig::default();
     let mut tables = PathTables::build(&graph, &config);
@@ -41,8 +50,8 @@ fn main() {
     // materialized.
     let mut batch_no = 0usize;
     let mut groups = 0usize;
-    while let Some(delta) = stream.next_delta(50).expect("clean generated log") {
-        let applied = graph.apply(&delta).expect("deltas apply in order");
+    while let Some(delta) = stream.next_delta(50)? {
+        let applied = graph.apply(&delta)?;
         let update = tables.apply(&graph, &applied);
         assert!(!update.rebuilt, "small deltas never trigger a rebuild");
         groups += update.refreshed_groups;
@@ -50,8 +59,8 @@ fn main() {
         // Query the live state every 10 batches: 2-hop cycle instances (P2)
         // straight from the incrementally maintained tables.
         if batch_no % 10 == 0 {
-            let p2 =
-                search_pb(&graph, &tables, PatternId::P2, 0).expect("cycle tables are maintained");
+            let p2 = search_pb(&graph, &tables, PatternId::P2, 0)
+                .ok_or("cycle tables are unavailable for P2")?;
             println!(
                 "after batch {batch_no:>3} ({:>5} transfers): {:>4} two-hop cycles, \
                  avg flow {:>7.2}  [{} rows refreshed this batch]",
@@ -77,4 +86,5 @@ fn main() {
     let rebuilt = PathTables::build(&graph, &config);
     assert_eq!(tables.first_row_divergence(&rebuilt), None);
     println!("verified: incremental tables are row-identical to a full rebuild");
+    Ok(())
 }

@@ -6,6 +6,9 @@
 //! removals symmetrically, and pattern search between batches only ever
 //! sees the live window — no snapshot rebuild anywhere.
 //!
+//! Ingest and apply failures exit nonzero with a message on stderr
+//! instead of panicking.
+//!
 //! Run with: `cargo run --release --example window_monitor`
 
 use std::io::Write as _;
@@ -14,6 +17,13 @@ use tin_datasets::{generate, DatasetKind, DeltaStream, LoaderConfig};
 use tin_patterns::{search_pb, PathTables, PatternId, TablesConfig};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("window_monitor error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // The "live feed": the Bitcoin-shaped generator's log serialized as
     // CSV, replayed in batches of 50 records through a window covering a
     // third of the log's time span — old transfers expire as new ones land.
@@ -22,7 +32,7 @@ fn main() {
     for edge in full.edges() {
         let (src, dst) = (&full.node(edge.src).name, &full.node(edge.dst).name);
         for i in &edge.interactions {
-            writeln!(csv, "{src},{dst},{},{}", i.time, i.quantity).expect("vec write");
+            writeln!(csv, "{src},{dst},{},{}", i.time, i.quantity)?;
         }
     }
     let span = full.max_time().unwrap_or(0) - full.min_time().unwrap_or(0);
@@ -36,10 +46,7 @@ fn main() {
         span
     );
 
-    let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())
-        .expect("valid config")
-        .window(window)
-        .expect("positive window");
+    let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())?.window(window)?;
     let mut graph = TemporalGraph::new();
     let config = TablesConfig::default();
     let mut tables = PathTables::build(&graph, &config);
@@ -49,8 +56,8 @@ fn main() {
     let mut batch_no = 0usize;
     let mut evicted = 0usize;
     let mut tombstoned = 0usize;
-    while let Some(delta) = stream.next_delta(50).expect("clean generated log") {
-        let applied = graph.apply(&delta).expect("windowed deltas apply in order");
+    while let Some(delta) = stream.next_delta(50)? {
+        let applied = graph.apply(&delta)?;
         let update = tables.apply(&graph, &applied);
         assert!(
             !update.rebuilt,
@@ -62,8 +69,8 @@ fn main() {
         // Query the live window every 10 batches: 2-hop cycle instances
         // (P2) straight from the incrementally maintained tables.
         if batch_no % 10 == 0 {
-            let p2 =
-                search_pb(&graph, &tables, PatternId::P2, 0).expect("cycle tables are maintained");
+            let p2 = search_pb(&graph, &tables, PatternId::P2, 0)
+                .ok_or("cycle tables are unavailable for P2")?;
             println!(
                 "after batch {batch_no:>3}: {:>5} live transfers (frontier {:>4}), \
                  {:>4} two-hop cycles in the window  [{} evicted so far]",
@@ -95,8 +102,9 @@ fn main() {
     );
     let frontier = graph.frontier().expect("a windowed run sets the frontier");
     assert!(graph.min_time().is_none_or(|t| t >= frontier));
-    graph.validate().expect("the windowed graph validates");
+    graph.validate()?;
     let rebuilt = PathTables::build(&graph, &config);
     assert_eq!(tables.first_row_divergence(&rebuilt), None);
     println!("verified: tables are row-identical to a rebuild of the surviving window");
+    Ok(())
 }
