@@ -121,9 +121,16 @@ pub fn durability_experiment(workload: &Workload, batch_fraction: f64) -> Durabi
     let plain_time = start.elapsed();
 
     // Durable run: fsync per batch, snapshot at ~99% of the stream.
+    // Compaction is opted out: the full-replay baseline below replays the
+    // journal from its very first segment with the manifests hidden, which
+    // is exactly the history compaction would have garbage-collected.
     let dir = scratch_dir(workload.kind.name());
-    let (mut store, _) = DurableStore::open(&dir, config, JournalConfig::default())
-        .expect("fresh durable directory opens");
+    let journal_config = JournalConfig {
+        compact_on_snapshot: false,
+        ..JournalConfig::default()
+    };
+    let (mut store, _) =
+        DurableStore::open(&dir, config, journal_config).expect("fresh durable directory opens");
     let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())
         .expect("default loader config is valid");
     let expected_batches = total.div_ceil(batch_records);

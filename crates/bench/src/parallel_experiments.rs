@@ -1,0 +1,250 @@
+//! Parallel-pipeline experiment: what the shard-parallel refactor buys, and
+//! proof (re-verified on every run) that it changes nothing else.
+//!
+//! Two measurements per dataset, each swept over worker-pool sizes:
+//!
+//! * **chunked ingest** — the CSV log parsed through
+//!   [`tin_datasets::load_bytes_chunked`] (RFC 4180-safe byte chunks, one
+//!   worker per chunk, deltas merged in input order), reported as records
+//!   per second against the serial loader at one thread;
+//! * **shard-parallel tables** — the streaming loop of the `stream`
+//!   experiment with the graph replaced by a vertex-partitioned
+//!   [`tin_graph::ShardedGraph`] and the tables by per-shard
+//!   [`tin_patterns::ShardedTables`], reported as average table-maintenance
+//!   time per batch across a threads × shards grid.
+//!
+//! Every configuration is checked against the serial single-shard pipeline
+//! in the same run: the chunk-loaded graph must serialize byte-identical to
+//! the serially loaded one, and the sharded graph/tables must show no
+//! divergence from their serial counterparts fed the very same deltas
+//! ([`tin_graph::ShardedGraph::first_divergence`],
+//! [`tin_patterns::ShardedTables::first_row_divergence`]). A measurement
+//! only exists if the equivalence held.
+
+use crate::stream_experiments::stream_tables_config;
+use crate::workloads::Workload;
+use std::time::{Duration, Instant};
+use tin_datasets::{load_bytes_chunked, load_reader, DeltaStream, LoaderConfig};
+use tin_graph::{io::to_json, ShardedGraph, TemporalGraph};
+use tin_parallel::set_threads;
+use tin_patterns::{PathTables, ShardedTables};
+
+/// Chunks handed to the loader per pool thread (a small multiple for load
+/// balancing, matching the default policy of the chunked loader).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// One (dataset, thread count) cell of the chunked-ingest sweep.
+#[derive(Debug)]
+pub struct ParallelIngestMeasurement {
+    /// Worker-pool size the loader ran with.
+    pub threads: usize,
+    /// Chunks the input was split into (1 = the plain serial path).
+    pub chunks: usize,
+    /// Records accepted (equals the dataset's interaction count).
+    pub records: u64,
+    /// Wall-clock time of the load call.
+    pub elapsed: Duration,
+}
+
+impl ParallelIngestMeasurement {
+    /// Ingest throughput in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        self.records as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the chunked loader over the workload's CSV log once per entry of
+/// `thread_counts` (1 thread ⇒ 1 chunk, the serial baseline) and verifies
+/// each result byte-identical — graph serialization and report — to one
+/// serial [`load_reader`] pass.
+///
+/// # Panics
+/// Panics if any chunked load diverges from the serial load.
+pub fn parallel_ingest_experiment(
+    workload: &Workload,
+    thread_counts: &[usize],
+) -> Vec<ParallelIngestMeasurement> {
+    let csv = crate::ingest_experiments::to_csv(&workload.graph);
+    let config = LoaderConfig::default();
+    let serial = load_reader(csv.as_slice(), &config).expect("generated CSV logs are clean");
+    let serial_json = to_json(&serial.graph);
+
+    let measurements = thread_counts
+        .iter()
+        .map(|&threads| {
+            let chunks = if threads <= 1 {
+                1
+            } else {
+                threads * CHUNKS_PER_THREAD
+            };
+            set_threads(Some(threads));
+            let start = Instant::now();
+            let loaded =
+                load_bytes_chunked(&csv, &config, chunks).expect("generated CSV logs are clean");
+            let elapsed = start.elapsed();
+            set_threads(None);
+
+            assert_eq!(
+                loaded.report, serial.report,
+                "chunked ingest report diverged at {threads} thread(s)"
+            );
+            assert_eq!(
+                to_json(&loaded.graph),
+                serial_json,
+                "chunked ingest graph diverged at {threads} thread(s)"
+            );
+            ParallelIngestMeasurement {
+                threads,
+                chunks,
+                records: loaded.report.rows,
+                elapsed,
+            }
+        })
+        .collect();
+    set_threads(None);
+    measurements
+}
+
+/// One (dataset, threads, shards) cell of the shard-parallel tables sweep.
+#[derive(Debug)]
+pub struct ParallelTablesMeasurement {
+    /// Worker-pool size the sharded pipeline ran with.
+    pub threads: usize,
+    /// Vertex partitions of the graph and the tables.
+    pub shards: usize,
+    /// Batches the log was consumed in.
+    pub batches: usize,
+    /// Records per batch.
+    pub batch_records: usize,
+    /// Total wall-clock time of all sharded `apply` calls (graph merge
+    /// included).
+    pub graph_time: Duration,
+    /// Total wall-clock time of all sharded table-maintenance calls.
+    pub tables_time: Duration,
+    /// Incremental updates that fell back to a per-shard rebuild (cap
+    /// pressure; 0 in this experiment's configuration).
+    pub rebuild_fallbacks: usize,
+}
+
+impl ParallelTablesMeasurement {
+    /// Average shard-parallel table-maintenance time per batch.
+    pub fn tables_per_batch(&self) -> Duration {
+        self.tables_time / (self.batches.max(1) as u32)
+    }
+}
+
+/// Runs the streaming loop with a `shards`-way sharded graph and sharded
+/// tables on a pool of `threads`, feeding a serial single-shard pipeline the
+/// identical deltas off the clock, and asserts the two pipelines are
+/// indistinguishable at the end.
+///
+/// # Panics
+/// Panics if the sharded graph or the merged shard tables diverge from the
+/// serial pipeline.
+pub fn parallel_tables_experiment(
+    workload: &Workload,
+    threads: usize,
+    shards: usize,
+    batch_fraction: f64,
+) -> ParallelTablesMeasurement {
+    let csv = crate::ingest_experiments::to_csv(&workload.graph);
+    let total = workload.graph.interaction_count();
+    let batch_records = ((total as f64 * batch_fraction) as usize).max(1);
+    let config = stream_tables_config(workload.kind);
+
+    set_threads(Some(threads));
+    let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())
+        .expect("default loader config is valid");
+    let mut sharded_graph = ShardedGraph::new(shards);
+    let mut sharded_tables = ShardedTables::build(&sharded_graph, &config, shards);
+    let mut serial_graph = TemporalGraph::new();
+    let mut serial_tables = PathTables::build(&serial_graph, &config);
+    let mut graph_time = Duration::ZERO;
+    let mut tables_time = Duration::ZERO;
+    let mut batches = 0usize;
+    let mut rebuild_fallbacks = 0usize;
+    while let Some(delta) = stream
+        .next_delta(batch_records)
+        .expect("generated CSV logs are clean")
+    {
+        let start = Instant::now();
+        let applied = sharded_graph
+            .apply(&delta)
+            .expect("deltas apply in drain order");
+        graph_time += start.elapsed();
+
+        let start = Instant::now();
+        let update = sharded_tables.apply(&sharded_graph, &applied);
+        tables_time += start.elapsed();
+        rebuild_fallbacks += usize::from(update.rebuilt);
+        batches += 1;
+
+        // The reference pipeline consumes the same delta off the clock.
+        let serial_applied = serial_graph
+            .apply(&delta)
+            .expect("deltas apply in drain order");
+        serial_tables.apply(&serial_graph, &serial_applied);
+    }
+    set_threads(None);
+
+    assert_eq!(
+        serial_graph.interaction_count(),
+        total,
+        "the streamed graph must contain every generated interaction"
+    );
+    if let Some(divergence) = sharded_graph.first_divergence(&serial_graph) {
+        panic!("sharded graph diverged from the serial graph ({threads}t/{shards}s): {divergence}");
+    }
+    if let Some(divergence) = sharded_tables.first_row_divergence(&serial_tables) {
+        panic!(
+            "sharded tables diverged from the serial tables ({threads}t/{shards}s): {divergence}"
+        );
+    }
+
+    ParallelTablesMeasurement {
+        threads,
+        shards,
+        batches,
+        batch_records,
+        graph_time,
+        tables_time,
+        rebuild_fallbacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentScale;
+    use tin_datasets::DatasetKind;
+
+    #[test]
+    fn chunked_ingest_sweep_is_identical_at_every_thread_count() {
+        let w = Workload::build(DatasetKind::Ctu13, &ExperimentScale::quick());
+        let ms = parallel_ingest_experiment(&w, &[1, 2, 4]);
+        assert_eq!(ms.len(), 3);
+        for m in &ms {
+            // parallel_ingest_experiment panics internally on divergence, so
+            // reaching this point is the identity assertion.
+            assert_eq!(m.records as usize, w.graph.interaction_count());
+            assert!(m.records_per_sec() > 0.0);
+        }
+        assert_eq!(ms[0].chunks, 1);
+        assert!(ms[2].chunks > 1);
+    }
+
+    #[test]
+    fn sharded_stream_matches_serial_across_the_grid() {
+        let w = Workload::build(DatasetKind::Ctu13, &ExperimentScale::quick());
+        for (threads, shards) in [(1, 1), (2, 3), (4, 4)] {
+            // The experiment asserts graph and table identity internally.
+            let m = parallel_tables_experiment(&w, threads, shards, 0.02);
+            assert!(
+                m.batches >= 49,
+                "{threads}t/{shards}s: {} batches",
+                m.batches
+            );
+            assert_eq!(m.rebuild_fallbacks, 0, "{threads}t/{shards}s");
+        }
+    }
+}

@@ -1,74 +1,8 @@
-//! A minimal std-thread worker pool used by every embarrassingly parallel
-//! stage in the workspace (subgraph evaluation in the experiment harness,
-//! per-anchor path-table construction).
+//! The workspace worker pool, re-exported from [`tin_parallel`].
 //!
-//! No external crates: workers claim indices from a shared atomic cursor
-//! (cheap dynamic load balancing — item cost can vary by orders of
-//! magnitude) and write into dedicated slots, so the result order never
-//! depends on scheduling.
+//! The implementation moved to its own dependency-free crate so that
+//! lower layers (`tin_graph`, `tin_datasets`) can parallelize without
+//! depending on the flow solvers; existing `tin_flow::parallel` /
+//! `tin_flow::parallel_map` call sites keep working unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Runs `f` over `items` on a worker pool sized to the available
-/// parallelism, preserving input order in the result.
-///
-/// With one item (or one available core) the map runs inline on the calling
-/// thread, so small inputs pay no thread-spawn cost.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker completed every claimed index")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order_and_covers_all_items() {
-        let items: Vec<usize> = (0..100).collect();
-        let doubled = parallel_map(&items, |&i| i * 2);
-        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
-        // Empty and single-item inputs take the sequential path.
-        assert_eq!(parallel_map(&[] as &[usize], |&i| i), Vec::<usize>::new());
-        assert_eq!(parallel_map(&[7usize], |&i| i + 1), vec![8]);
-    }
-
-    #[test]
-    fn results_do_not_depend_on_scheduling() {
-        let items: Vec<u64> = (0..257).collect();
-        let a = parallel_map(&items, |&i| i.wrapping_mul(0x9e3779b97f4a7c15));
-        let b = parallel_map(&items, |&i| i.wrapping_mul(0x9e3779b97f4a7c15));
-        assert_eq!(a, b);
-    }
-}
+pub use tin_parallel::{effective_threads, parallel_map, parallel_map_mut, set_threads};

@@ -1,0 +1,485 @@
+//! Chunk-parallel loading: the multi-threaded front end of the CSV loader.
+//!
+//! [`load_reader_parallel`] splits the input into byte chunks at RFC
+//! 4180-safe line boundaries (newlines at even double-quote parity, so a
+//! quoted field containing an embedded newline is never torn across
+//! workers), parses the chunks concurrently on the [`tin_parallel`] pool and
+//! merges the per-chunk [`tin_graph::GraphDelta`]s in input order. The
+//! result is **identical** to [`load_reader`] —
+//! same graph (node and edge ids included), same [`IngestReport`], same
+//! first error — because:
+//!
+//! * the first chunk runs through the ordinary serial [`DeltaStream`], which
+//!   owns the stateful decisions: delimiter inference, header detection and
+//!   lenient re-sync. It locks the row shape the workers reuse; if it
+//!   accepts no record (so those decisions are still in flight at its end),
+//!   the whole input is re-read serially instead;
+//! * workers tokenize with the exact per-line routine of the serial
+//!   post-lock path (`process_locked_line`) and stamp
+//!   positions with [`StreamingParser::with_position`], so skips and errors
+//!   carry the same absolute line numbers and byte offsets a serial pass
+//!   would report;
+//! * per-chunk deltas are merged left to right, interning worker-local
+//!   vertices through a name index that replays the serial first-appearance
+//!   order — vertex and edge ids come out byte-identical;
+//! * in strict mode the earliest-position error wins: chunk results are
+//!   inspected in input order and the first failure is returned, which is
+//!   the same record a serial pass would have stopped at (every earlier
+//!   chunk parsed cleanly, so the serial pass reaches it).
+//!
+//! The serial reader splits at *every* newline — even one inside quotes
+//! (embedded line breaks are not a supported field encoding; such a record
+//! tokenizes as two bad lines). Workers split their chunk the same way, so
+//! boundary placement only decides *which worker* sees a line, never how it
+//! parses. The parity-aware boundary scan is still kept so that a record
+//! abusing quotes cannot straddle two workers and so the split remains
+//! correct if quoted line breaks ever become supported content.
+
+use crate::config::LoaderConfig;
+use crate::loader::{
+    load_reader, process_locked_line, DeltaStream, IngestReport, LoadedDataset, RowShape,
+};
+use std::collections::HashMap;
+use std::io::Read;
+use std::path::Path;
+use tin_graph::{GraphDelta, GraphError, NodeId, StreamingParser, TemporalGraph};
+use tin_parallel::{effective_threads, parallel_map};
+
+/// Chunks smaller than this are not worth a worker dispatch; inputs below
+/// twice this size load serially.
+const MIN_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Upper bound on chunks per pool thread — small multiple for load
+/// balancing without merge overhead.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// A chunk of the input: a byte range starting at a line boundary, plus the
+/// absolute position of its first line so workers stamp whole-file
+/// coordinates on errors and skips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkSpan {
+    start: usize,
+    end: usize,
+    /// 1-based line number of the chunk's first line.
+    first_line: usize,
+}
+
+/// What one worker hands back: its validated delta (vertex ids local to the
+/// chunk) and the accounting to fold into the whole-file report.
+struct ChunkOutput {
+    delta: GraphDelta,
+    report: IngestReport,
+}
+
+/// [`load_reader`], parallelized: reads the
+/// source to memory, then parses it in chunks on the [`tin_parallel`] pool.
+/// The returned dataset and report are identical to the serial loader's (see
+/// the [module docs](self)); peak memory is the input plus the graph.
+///
+/// The chunk count adapts to the pool width ([`effective_threads`]) and the
+/// input size; small inputs fall back to a plain serial parse.
+pub fn load_reader_parallel<R: Read>(
+    mut reader: R,
+    config: &LoaderConfig,
+) -> Result<LoadedDataset, GraphError> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(GraphError::from_io)?;
+    load_bytes_chunked(&bytes, config, default_chunks(bytes.len()))
+}
+
+/// [`load_reader_parallel`] over a file path.
+pub fn load_path_parallel(
+    path: impl AsRef<Path>,
+    config: &LoaderConfig,
+) -> Result<LoadedDataset, GraphError> {
+    let file = std::fs::File::open(path.as_ref()).map_err(GraphError::from_io)?;
+    load_reader_parallel(file, config)
+}
+
+/// [`load_reader_parallel`] over an in-memory string.
+pub fn load_str_parallel(text: &str, config: &LoaderConfig) -> Result<LoadedDataset, GraphError> {
+    load_bytes_chunked(text.as_bytes(), config, default_chunks(text.len()))
+}
+
+/// The chunk-parallel loader with an explicit chunk count — the engine under
+/// [`load_reader_parallel`], exposed so tests and benchmarks can force
+/// chunking on inputs far below [`load_reader_parallel`]'s size cutoff.
+/// A `chunks` of 0 or 1 parses serially; the count is a ceiling (boundaries
+/// only exist at line breaks, so fewer chunks may be cut).
+pub fn load_bytes_chunked(
+    bytes: &[u8],
+    config: &LoaderConfig,
+    chunks: usize,
+) -> Result<LoadedDataset, GraphError> {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        // Invalid UTF-8: delegate to the serial loader so the failure is
+        // reported with the same wording and position it always had.
+        return load_reader(bytes, config);
+    };
+    let spans = chunk_spans(bytes, chunks.max(1));
+
+    // Chunk 0 runs through the ordinary serial stream: it infers the
+    // delimiter, consumes the header and performs lenient re-sync, locking
+    // the row shape the workers reuse.
+    let first_end = spans.get(1).map_or(bytes.len(), |s| s.start);
+    let mut stream = DeltaStream::new(&bytes[..first_end], config)?;
+    let mut graph = TemporalGraph::new();
+    while let Some(delta) = stream.next_delta(usize::MAX)? {
+        graph
+            .apply(&delta)
+            .map_err(|e| apply_error(&stream.report(), e))?;
+    }
+    let mut report = stream.report();
+    if spans.len() == 1 {
+        return Ok(LoadedDataset { graph, report });
+    }
+    let shape = match stream.shape() {
+        // Until a record is accepted the shape is provisional (lenient
+        // re-sync may still discard it), so the serial stream's decisions
+        // cannot be frozen for the workers — re-read everything serially.
+        Some(shape) if report.rows > 0 => shape,
+        _ => return load_reader(bytes, config),
+    };
+
+    let outputs = parallel_map(&spans[1..], |span| {
+        parse_chunk(&text[span.start..span.end], span, &shape, config)
+    });
+
+    // Merge in input order; the first failing chunk is the first failing
+    // record of a serial pass, so its error is the one to surface.
+    let mut names: HashMap<String, NodeId> = (0..graph.node_count())
+        .map(|i| {
+            (
+                graph.node(NodeId::from_index(i)).name.clone(),
+                NodeId::from_index(i),
+            )
+        })
+        .collect();
+    for output in outputs {
+        let output = output?;
+        let delta = remap_delta(&output.delta, &graph, &mut names)?;
+        graph
+            .apply(&delta)
+            .map_err(|e| apply_error(&output.report, e))?;
+        report.merge(&output.report);
+    }
+    Ok(LoadedDataset { graph, report })
+}
+
+/// Picks the chunk count for an input of `len` bytes: one chunk per
+/// [`MIN_CHUNK_BYTES`], capped at a small multiple of the pool width, and 1
+/// (serial) when the pool or the input is too small to win anything.
+fn default_chunks(len: usize) -> usize {
+    let threads = effective_threads();
+    if threads <= 1 || len < 2 * MIN_CHUNK_BYTES {
+        return 1;
+    }
+    (len / MIN_CHUNK_BYTES).min(threads * CHUNKS_PER_THREAD)
+}
+
+/// Splits `bytes` into up to `chunks` spans of roughly equal size, cutting
+/// only at newlines that sit at even double-quote parity from the start of
+/// the input (RFC 4180 record boundaries). Also counts lines so each span
+/// knows the absolute 1-based number of its first line. The first span
+/// always starts at offset 0, line 1; spans that would be empty are not
+/// produced.
+fn chunk_spans(bytes: &[u8], chunks: usize) -> Vec<ChunkSpan> {
+    let mut starts = vec![(0usize, 1usize)];
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    for k in 1..chunks {
+        let goal = bytes.len() * k / chunks;
+        let mut boundary = None;
+        while pos < bytes.len() && boundary.is_none() {
+            match bytes[pos] {
+                b'"' => in_quotes = !in_quotes,
+                b'\n' => {
+                    line += 1;
+                    if pos + 1 >= goal && !in_quotes {
+                        boundary = Some((pos + 1, line));
+                    }
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        if let Some(b) = boundary {
+            if b.0 < bytes.len() && b.0 > starts.last().expect("non-empty").0 {
+                starts.push(b);
+            }
+        }
+    }
+    starts
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, first_line))| ChunkSpan {
+            start,
+            end: starts.get(i + 1).map_or(bytes.len(), |&(next, _)| next),
+            first_line,
+        })
+        .collect()
+}
+
+/// Parses one non-first chunk with the locked row shape, splitting at every
+/// newline exactly like the serial reader. The parser is position-stamped so
+/// rejects and strict errors carry absolute coordinates.
+fn parse_chunk(
+    text: &str,
+    span: &ChunkSpan,
+    shape: &RowShape,
+    config: &LoaderConfig,
+) -> Result<ChunkOutput, GraphError> {
+    let mut parser =
+        StreamingParser::with_position(config.mode, span.first_line, span.start as u64);
+    let mut ranges = Vec::new();
+    let mut rest = text;
+    while !rest.is_empty() {
+        let n = rest.find('\n').map_or(rest.len(), |i| i + 1);
+        process_locked_line(&rest[..n], shape, config, &mut parser, &mut ranges)?;
+        rest = &rest[n..];
+    }
+    let report = IngestReport {
+        rows: parser.records(),
+        skipped: parser.skipped(),
+        bytes: parser.byte_offset() - span.start as u64,
+        lines: parser.line() - span.first_line,
+        delimiter: shape.delimiter,
+        had_header: false,
+    };
+    Ok(ChunkOutput {
+        delta: parser.drain_delta(),
+        report,
+    })
+}
+
+/// Rebases a worker's chunk-local delta onto the merged graph: vertices
+/// already known (by name) map to their existing ids, unseen ones are
+/// interned in the chunk's first-appearance order — exactly the ids a serial
+/// pass would have assigned.
+fn remap_delta(
+    local: &GraphDelta,
+    graph: &TemporalGraph,
+    names: &mut HashMap<String, NodeId>,
+) -> Result<GraphDelta, GraphError> {
+    let base = graph.node_count();
+    let mut to_global = Vec::with_capacity(local.base_nodes() + local.new_nodes().len());
+    let mut fresh = Vec::new();
+    for node in local.new_nodes() {
+        match names.get(&node.name) {
+            Some(&id) => to_global.push(id),
+            None => {
+                let id = NodeId::from_index(base + fresh.len());
+                names.insert(node.name.clone(), id);
+                to_global.push(id);
+                fresh.push(node.clone());
+            }
+        }
+    }
+    let interactions = local
+        .interactions()
+        .iter()
+        .map(|&(src, dst, i)| (to_global[src.index()], to_global[dst.index()], i))
+        .collect();
+    GraphDelta::new(base, fresh, interactions)
+}
+
+/// Wraps a delta rejected by [`TemporalGraph::apply`] into a positional
+/// ingest error, mirroring [`load_reader`]'s handling.
+fn apply_error(report: &IngestReport, e: GraphError) -> GraphError {
+    GraphError::Ingest {
+        line: report.lines,
+        column: 0,
+        byte_offset: report.bytes,
+        message: format!("streamed delta was rejected by the graph: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Delimiter;
+    use crate::loader::load_str;
+    use tin_graph::{io::to_json, ParseMode};
+
+    fn strict() -> LoaderConfig {
+        LoaderConfig::default()
+    }
+
+    fn lenient() -> LoaderConfig {
+        LoaderConfig {
+            mode: ParseMode::Lenient,
+            ..LoaderConfig::default()
+        }
+    }
+
+    /// Asserts the chunked loader is indistinguishable from the serial one
+    /// on `text`, for every chunk count in `counts`.
+    fn assert_identical(text: &str, config: &LoaderConfig, counts: &[usize]) {
+        let serial = load_str(text, config).unwrap();
+        for &chunks in counts {
+            let parallel = load_bytes_chunked(text.as_bytes(), config, chunks).unwrap();
+            assert_eq!(
+                to_json(&parallel.graph),
+                to_json(&serial.graph),
+                "graphs diverge at {chunks} chunks"
+            );
+            assert_eq!(parallel.report, serial.report, "report at {chunks} chunks");
+        }
+    }
+
+    fn synthetic_csv(rows: usize) -> String {
+        let mut text = String::from("sender,recipient,timestamp,amount\n# generated\n");
+        for i in 0..rows {
+            text.push_str(&format!(
+                "s{},r{},{},{}.5\n",
+                i % 17,
+                (i * 7 + 1) % 23,
+                i,
+                i % 9
+            ));
+        }
+        text
+    }
+
+    #[test]
+    fn chunked_matches_serial_on_plain_csv() {
+        assert_identical(&synthetic_csv(200), &strict(), &[1, 2, 3, 4, 7, 64]);
+    }
+
+    #[test]
+    fn chunked_matches_serial_with_quoted_fields_and_blank_lines() {
+        let mut text = String::from("sender,recipient,timestamp,amount\n");
+        for i in 0..120 {
+            text.push_str(&format!("\"node, {i}\",\"peer;{}\",{i},2.5\n\n", i % 5));
+        }
+        assert_identical(&text, &strict(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn chunked_matches_serial_in_lenient_mode_with_bad_rows() {
+        let mut text = String::from("preamble junk line\nsender recipient ts amt\n");
+        for i in 0..150 {
+            if i % 10 == 3 {
+                text.push_str("broken row without enough fields\n");
+            } else {
+                text.push_str(&format!("a{} b{} {i} 1.25\n", i % 11, (i + 3) % 13));
+            }
+        }
+        assert_identical(&text, &lenient(), &[1, 2, 4, 9]);
+    }
+
+    #[test]
+    fn strict_error_is_the_serial_one() {
+        let mut text = synthetic_csv(90);
+        text.push_str("x,y,not_a_timestamp,1.0\n");
+        text.push_str(&synthetic_csv(0));
+        for chunks in [1, 2, 4, 8] {
+            let serial = load_str(&text, &strict()).unwrap_err();
+            let parallel = load_bytes_chunked(text.as_bytes(), &strict(), chunks).unwrap_err();
+            assert_eq!(
+                format!("{parallel}"),
+                format!("{serial}"),
+                "at {chunks} chunks"
+            );
+        }
+    }
+
+    #[test]
+    fn header_only_and_empty_inputs_fall_back_to_serial() {
+        for text in [
+            "",
+            "sender,recipient,timestamp,amount\n",
+            "# only comments\n\n",
+        ] {
+            let serial = load_str(text, &lenient()).unwrap();
+            let parallel = load_bytes_chunked(text.as_bytes(), &lenient(), 4).unwrap();
+            assert_eq!(parallel.report, serial.report, "input {text:?}");
+            assert_eq!(to_json(&parallel.graph), to_json(&serial.graph));
+        }
+    }
+
+    #[test]
+    fn boundaries_do_not_split_quoted_newlines() {
+        // A quoted field spanning a newline: the parity-aware scan must not
+        // cut inside it, whatever chunk count is requested.
+        let mut text = String::from("sender,recipient,timestamp,amount\n");
+        for i in 0..40 {
+            text.push_str(&format!("\"a\nb{i}\",c{i},{i},1.0\n"));
+        }
+        let bytes = text.as_bytes();
+        for chunks in [2, 3, 8] {
+            for span in chunk_spans(bytes, chunks) {
+                let quotes = bytes[..span.start].iter().filter(|&&b| b == b'"').count();
+                assert_eq!(
+                    quotes % 2,
+                    0,
+                    "chunk start {} tears a quoted field",
+                    span.start
+                );
+            }
+        }
+        // And the load itself still matches the serial reader (which splits
+        // those records into two bad lines in either path).
+        assert_identical(&text, &lenient(), &[2, 3, 8]);
+    }
+
+    #[test]
+    fn chunk_spans_cover_input_exactly_once() {
+        let text = synthetic_csv(300);
+        let bytes = text.as_bytes();
+        for chunks in [1, 2, 5, 16] {
+            let spans = chunk_spans(bytes, chunks);
+            assert_eq!(spans[0].start, 0);
+            assert_eq!(spans[0].first_line, 1);
+            assert_eq!(spans.last().unwrap().end, bytes.len());
+            for pair in spans.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap or overlap");
+                assert_eq!(bytes[pair[1].start - 1], b'\n', "cut mid-line");
+                let newlines = bytes[..pair[1].start]
+                    .iter()
+                    .filter(|&&b| b == b'\n')
+                    .count();
+                assert_eq!(pair[1].first_line, newlines + 1, "line number drift");
+            }
+        }
+    }
+
+    #[test]
+    fn report_merge_adds_counters_and_keeps_earliest_format() {
+        let mut first = IngestReport {
+            rows: 10,
+            skipped: 1,
+            bytes: 500,
+            lines: 12,
+            delimiter: Delimiter::Char(','),
+            had_header: true,
+        };
+        let later = IngestReport {
+            rows: 5,
+            skipped: 2,
+            bytes: 300,
+            lines: 7,
+            delimiter: Delimiter::Char('\t'),
+            had_header: false,
+        };
+        first.merge(&later);
+        assert_eq!(first.rows, 15);
+        assert_eq!(first.skipped, 3);
+        assert_eq!(first.bytes, 800);
+        assert_eq!(first.lines, 19);
+        assert_eq!(first.delimiter, Delimiter::Char(','));
+        assert!(first.had_header);
+    }
+
+    #[test]
+    fn load_str_parallel_matches_serial_at_default_chunking() {
+        let text = synthetic_csv(500);
+        let serial = load_str(&text, &strict()).unwrap();
+        let parallel = load_str_parallel(&text, &strict()).unwrap();
+        assert_eq!(to_json(&parallel.graph), to_json(&serial.graph));
+        assert_eq!(parallel.report, serial.report);
+    }
+}

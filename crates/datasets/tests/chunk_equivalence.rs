@@ -1,0 +1,104 @@
+//! Property-based pinning of the chunked parallel CSV loader:
+//! [`load_bytes_chunked`] at every chunk count must be **observationally
+//! identical** to the serial [`load_reader`] — same graph (node-id
+//! assignment order included), same [`IngestReport`] counters, and in
+//! strict mode the same first error — on adversarial inputs: quoted fields,
+//! quoted fields with *embedded newlines* (which the serial splitter cuts
+//! at, so the chunker must place its boundaries to reproduce exactly that
+//! cut), short rows, comments, and blank lines, with chunk boundaries
+//! landing anywhere the generator pushes them.
+
+use proptest::prelude::*;
+use tin_datasets::{load_bytes_chunked, load_reader, LoaderConfig, ParseMode};
+use tin_graph::io::to_json;
+
+const CHUNK_COUNTS: [usize; 5] = [1, 2, 3, 5, 13];
+
+/// One generated CSV line: a (source, destination, time, quantity) record
+/// rendered in one of several styles, some of them deliberately malformed.
+fn render_row(out: &mut String, s: u8, d: u8, t: i64, q: u32, style: u8) {
+    match style {
+        // Plain record (the common case gets the most weight).
+        0..=3 => out.push_str(&format!("s{s},r{d},{t},{q}\n")),
+        // Quoted source field.
+        4 => out.push_str(&format!("\"s{s}\",r{d},{t},{q}\n")),
+        // Quoted source with an embedded newline: the serial reader splits
+        // mid-record, and the chunked loader must reproduce that split even
+        // when a chunk boundary lands between the two fragments.
+        5 => out.push_str(&format!("\"s{s}\nx\",r{d},{t},{q}\n")),
+        // Short row: lenient skips it, strict stops on it.
+        6 => out.push_str(&format!("s{s},r{d}\n")),
+        // Comment and blank line, skipped by both paths.
+        7 => out.push_str(&format!("# t={t}\n\n")),
+        _ => unreachable!("style is 0..8"),
+    }
+}
+
+fn rows(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, i64, u32, u8)>> {
+    proptest::collection::vec(
+        ((0u8..10, 0u8..10), (0i64..400, 1u32..50), 0u8..8)
+            .prop_map(|((s, d), (t, q), style)| (s, d, t, q, style)),
+        1..max_len,
+    )
+}
+
+fn render(header: bool, rows: &[(u8, u8, i64, u32, u8)]) -> String {
+    let mut out = String::new();
+    if header {
+        out.push_str("src,dst,time,quantity\n");
+    }
+    for &(s, d, t, q, style) in rows {
+        render_row(&mut out, s, d, t, q, style);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Lenient mode: every chunk count produces the serial graph (via its
+    /// canonical JSON, which pins node/edge id order) and the serial report.
+    #[test]
+    fn lenient_chunked_load_is_identical(rows in rows(60), header in any::<bool>()) {
+        let text = render(header, &rows);
+        let config = LoaderConfig { mode: ParseMode::Lenient, ..LoaderConfig::default() };
+        let serial = load_reader(text.as_bytes(), &config).expect("lenient never errors");
+        let serial_json = to_json(&serial.graph);
+        for chunks in CHUNK_COUNTS {
+            let parallel = load_bytes_chunked(text.as_bytes(), &config, chunks)
+                .expect("lenient never errors");
+            prop_assert_eq!(&parallel.report, &serial.report, "report at {} chunks", chunks);
+            prop_assert_eq!(to_json(&parallel.graph), serial_json.clone(),
+                "graph at {} chunks", chunks);
+        }
+    }
+
+    /// Strict mode: either both paths load the same graph, or both fail
+    /// with the same error — the chunked loader reports the record a serial
+    /// pass would have stopped at, never a later one from an earlier chunk.
+    #[test]
+    fn strict_chunked_load_matches_serial_outcome(rows in rows(60), header in any::<bool>()) {
+        let text = render(header, &rows);
+        let config = LoaderConfig { mode: ParseMode::Strict, ..LoaderConfig::default() };
+        let serial = load_reader(text.as_bytes(), &config);
+        for chunks in CHUNK_COUNTS {
+            let parallel = load_bytes_chunked(text.as_bytes(), &config, chunks);
+            match (&serial, &parallel) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(&p.report, &s.report, "report at {} chunks", chunks);
+                    prop_assert_eq!(to_json(&p.graph), to_json(&s.graph),
+                        "graph at {} chunks", chunks);
+                }
+                (Err(s), Err(p)) => {
+                    prop_assert_eq!(format!("{p}"), format!("{s}"),
+                        "error at {} chunks", chunks);
+                }
+                (s, p) => panic!(
+                    "outcome mismatch at {chunks} chunks: serial {:?} vs chunked {:?}",
+                    s.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+                    p.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+                ),
+            }
+        }
+    }
+}

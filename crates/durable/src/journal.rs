@@ -27,6 +27,15 @@ pub struct JournalConfig {
     /// fsync-on-batch policy. `1` makes every append durable before it
     /// returns; `0` disables automatic syncs ([`Journal::sync`] only).
     pub sync_every: u32,
+    /// Garbage-collect journal segments on snapshot commit: once a manifest
+    /// is durably committed, every segment *older* than the one its journal
+    /// position points into can never be read by a recovery through that
+    /// manifest, and [`crate::DurableStore::snapshot`] deletes them
+    /// ([`compact_before`]). Disable to keep the full journal history — at
+    /// the cost of unbounded growth — e.g. to preserve the from-scratch
+    /// full-replay path after manifests are lost, or to keep *older*
+    /// snapshots recoverable (compaction only guarantees the newest one).
+    pub compact_on_snapshot: bool,
 }
 
 impl Default for JournalConfig {
@@ -34,6 +43,7 @@ impl Default for JournalConfig {
         JournalConfig {
             segment_max_bytes: 8 * 1024 * 1024,
             sync_every: 1,
+            compact_on_snapshot: true,
         }
     }
 }
@@ -223,6 +233,11 @@ impl Journal {
         }
     }
 
+    /// The configuration the journal was opened with.
+    pub fn config(&self) -> &JournalConfig {
+        &self.config
+    }
+
     /// The journal directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -296,6 +311,36 @@ pub fn replay_from(dir: &Path, from: JournalPos) -> Result<JournalReplay, Durabi
         }
     }
     Ok(JournalReplay { deltas, end, torn })
+}
+
+/// Deletes every journal segment strictly older than `pos.segment`,
+/// returning how many were removed. Safe whenever `pos` is covered by a
+/// durably committed snapshot manifest: a replay from `pos` (or later) never
+/// opens those segments, and [`replay_from`]'s contiguity check only spans
+/// `pos.segment` onward. Replays from *earlier* positions — the full-replay
+/// ladder rung, or an older manifest — fail with
+/// [`DurabilityError::MissingSegment`] afterwards, which is the trade
+/// [`JournalConfig::compact_on_snapshot`] opts into.
+///
+/// The directory is fsynced after the removals so the reclaimed space (and
+/// the absence of the files) is itself durable. Removal of an
+/// already-missing segment is not an error — compaction is idempotent.
+pub fn compact_before(dir: &Path, pos: JournalPos) -> Result<usize, DurabilityError> {
+    let mut removed = 0;
+    for (seq, path) in list_segments(dir)? {
+        if seq >= pos.segment {
+            break;
+        }
+        match fs::remove_file(&path) {
+            Ok(()) => removed += 1,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(DurabilityError::from_io(&path, e)),
+        }
+    }
+    if removed > 0 {
+        sync_dir(dir)?;
+    }
+    Ok(removed)
 }
 
 /// Best-effort directory fsync so renames and creations are themselves
@@ -373,6 +418,7 @@ mod tests {
         let config = JournalConfig {
             segment_max_bytes: 64, // tiny: nearly every append rotates
             sync_every: 1,
+            ..JournalConfig::default()
         };
         let mut j = Journal::open(&dir, config).unwrap();
         for i in 0..6 {
@@ -424,6 +470,7 @@ mod tests {
         let config = JournalConfig {
             segment_max_bytes: 64,
             sync_every: 1,
+            ..JournalConfig::default()
         };
         let mut j = Journal::open(&dir, config).unwrap();
         for i in 0..6 {
@@ -452,6 +499,7 @@ mod tests {
         let config = JournalConfig {
             segment_max_bytes: 64,
             sync_every: 1,
+            ..JournalConfig::default()
         };
         let mut j = Journal::open(&dir, config).unwrap();
         for i in 0..6 {

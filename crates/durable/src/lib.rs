@@ -77,6 +77,6 @@ pub use crc::crc32;
 pub use error::DurabilityError;
 pub use failpoint::{Failpoint, FailpointWriter};
 pub use frame::{SegmentScan, TornTail};
-pub use journal::{Journal, JournalConfig, JournalPos, JournalReplay};
+pub use journal::{compact_before, Journal, JournalConfig, JournalPos, JournalReplay};
 pub use recovery::{Recovered, Recovery, RecoveryReport, RecoverySource};
 pub use store::DurableStore;

@@ -119,17 +119,31 @@ impl DurableStore {
     /// position, committing it atomically (see [`crate::snapshot`]).
     /// Syncs the journal first so the snapshot never claims a position
     /// ahead of durability.
+    ///
+    /// With [`JournalConfig::compact_on_snapshot`] set (the default), a
+    /// successful commit then garbage-collects every journal segment older
+    /// than the one the manifest's position points into
+    /// ([`crate::journal::compact_before`]): recovery through this (or any
+    /// newer) manifest never reads them, so the journal's footprint stays
+    /// proportional to the deltas since the last snapshot instead of the
+    /// whole history. The deletion happens strictly *after* the manifest
+    /// rename is durable — a crash between the two leaves extra segments,
+    /// never a hole a recovery could fall into.
     pub fn snapshot(&mut self) -> Result<PathBuf, DurabilityError> {
         self.journal.sync()?;
+        let position = self.journal.position();
         let manifest = write_snapshot(
             &self.dir,
             self.snapshot_seq,
             &self.graph,
             &self.tables,
-            self.journal.position(),
+            position,
             self.frames,
         )?;
         self.snapshot_seq += 1;
+        if self.journal.config().compact_on_snapshot {
+            crate::journal::compact_before(&self.dir, position)?;
+        }
         Ok(manifest)
     }
 
@@ -252,6 +266,76 @@ mod tests {
         let (mut store, _) = (store, ());
         store.snapshot().unwrap();
         assert_eq!(list_manifests(&dir).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_stale_segments_and_recovery_succeeds() {
+        let dir = temp_dir("compact");
+        let config = TablesConfig::default();
+        // Tiny segments so ten deltas span several of them.
+        let journal_config = JournalConfig {
+            segment_max_bytes: 64,
+            sync_every: 1,
+            compact_on_snapshot: true,
+        };
+        let position;
+        {
+            let (mut store, _) = DurableStore::open(&dir, config, journal_config).unwrap();
+            for i in 0..10 {
+                store.apply(&delta(i)).unwrap();
+            }
+            position = store.position();
+            assert!(position.segment > 0, "deltas must have rotated segments");
+            store.snapshot().unwrap();
+            let segments = crate::journal::list_segments(&dir).unwrap();
+            assert_eq!(
+                segments.first().map(|(seq, _)| *seq),
+                Some(position.segment),
+                "everything older than the manifest's segment is gone"
+            );
+            for i in 10..13 {
+                store.apply(&delta(i)).unwrap();
+            }
+        }
+        let (store, report) = DurableStore::open(&dir, config, journal_config).unwrap();
+        assert!(matches!(
+            report.source,
+            crate::recovery::RecoverySource::Snapshot { .. }
+        ));
+        assert_eq!(store.frames(), 13);
+        let mut g = TemporalGraph::new();
+        let mut t = PathTables::build(&g, &config);
+        for i in 0..13 {
+            let applied = g.apply(&delta(i)).unwrap();
+            t.apply(&g, &applied);
+        }
+        assert_eq!(*store.graph(), g);
+        assert_eq!(t.first_row_divergence(store.tables()), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_opt_out_keeps_all_segments() {
+        let dir = temp_dir("no-compact");
+        let config = TablesConfig::default();
+        let journal_config = JournalConfig {
+            segment_max_bytes: 64,
+            sync_every: 1,
+            compact_on_snapshot: false,
+        };
+        let (mut store, _) = DurableStore::open(&dir, config, journal_config).unwrap();
+        for i in 0..10 {
+            store.apply(&delta(i)).unwrap();
+        }
+        assert!(store.position().segment > 0);
+        store.snapshot().unwrap();
+        let segments = crate::journal::list_segments(&dir).unwrap();
+        assert_eq!(
+            segments.first().map(|(seq, _)| *seq),
+            Some(0),
+            "opting out must leave the full history on disk"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -283,6 +283,7 @@ fn kill_mid_frame_after_rotation_recovers() {
     let config = JournalConfig {
         segment_max_bytes: 256, // force rotations
         sync_every: 1,
+        ..JournalConfig::default()
     };
     {
         let (mut store, _) = DurableStore::open(&dir, TablesConfig::default(), config).unwrap();

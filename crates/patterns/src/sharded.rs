@@ -1,0 +1,387 @@
+//! [`ShardedTables`]: path/cycle tables partitioned by anchor and
+//! maintained shard-parallel.
+//!
+//! The serial [`PathTables`] keep every row in three globally sorted
+//! tables; incremental maintenance ([`PathTables::apply`]) recomputes the
+//! invalidated row groups on the calling thread. `ShardedTables` splits the
+//! same rows into K [`PathTables`], shard `s` holding exactly the rows
+//! whose **anchor** (the path's starting vertex) satisfies
+//! `anchor % K == s`. Because a row lives entirely in its anchor's shard
+//! and every invalidation group is keyed by its anchor, maintenance
+//! partitions cleanly:
+//!
+//! 1. [`collect_groups`](crate::tables) runs once, globally — it only reads
+//!    the graph;
+//! 2. each shard receives the groups its anchors own and runs the kernel
+//!    recompute + splice on its private tables, in parallel on the
+//!    [`tin_parallel`] pool with nothing shared but the read-only graph.
+//!
+//! Row content is a pure function of the pair interaction sequences (see
+//! [`crate::view`]), so the union of the K shard tables is row-identical to
+//! the serial tables over the same graph — [`ShardedTables::merged`]
+//! materializes that union and
+//! [`ShardedTables::first_row_divergence`] asserts it, which the
+//! shard-equivalence proptests and the `experiments parallel` section both
+//! lean on.
+//!
+//! Reads route by anchor: [`ShardedTables::tables_for_anchor`] returns the
+//! owning shard's tables, whose [`PathTable::rows_for`](crate::tables::PathTable::rows_for) answers exactly as
+//! the serial tables would for that anchor (other anchors' rows are simply
+//! absent there).
+//!
+//! The row cap ([`TablesConfig::max_rows`]) is enforced **per shard** in
+//! this mode — a capped sharded build is not row-identical to a capped
+//! serial build (each truncates its own sorted prefix). Identity is
+//! guaranteed for builds that stay under the cap, which the in-run
+//! assertions verify by checking [`ShardedTables::truncated`] first.
+
+use crate::tables::{
+    build_for_anchor_list, collect_groups, recompute_groups, InvalidationGroups, PathTables,
+    TablesConfig, TablesUpdate,
+};
+use crate::view::TableView;
+use tin_flow::ChainScratch;
+use tin_graph::{AppliedDelta, NodeId};
+use tin_parallel::{parallel_map, parallel_map_mut};
+
+/// Path/cycle tables partitioned into K anchor-owned [`PathTables`] shards
+/// that build and maintain themselves in parallel. See the
+/// [module docs](self) for the partition function and the equivalence
+/// argument.
+#[derive(Debug, Clone)]
+pub struct ShardedTables {
+    shards: Vec<PathTables>,
+    config: TablesConfig,
+    /// Kernel passes from generations before the last full rebuild (the
+    /// per-shard counters restart when a shard is rebuilt).
+    prior_kernel_calls: u64,
+}
+
+/// The ascending anchors shard `s` of `k` owns in a graph of `nodes`
+/// vertices: every id congruent to `s` modulo `k`.
+fn shard_anchors(s: usize, k: usize, nodes: usize) -> Vec<NodeId> {
+    (s..nodes).step_by(k).map(NodeId::from_index).collect()
+}
+
+impl ShardedTables {
+    /// Builds K anchor-partitioned table shards over `graph`, one shard per
+    /// worker-pool task (`shard_count` is clamped to ≥ 1). The union of the
+    /// shards is row-identical to [`PathTables::build`] over the same graph
+    /// whenever no shard hits the row cap.
+    pub fn build<G: TableView>(graph: &G, config: &TablesConfig, shard_count: usize) -> Self {
+        let k = shard_count.max(1);
+        let anchor_lists: Vec<Vec<NodeId>> = (0..k)
+            .map(|s| shard_anchors(s, k, graph.node_count()))
+            .collect();
+        let shards = parallel_map(&anchor_lists, |anchors| {
+            build_for_anchor_list(graph, config, anchors, false)
+        });
+        ShardedTables {
+            shards,
+            config: *config,
+            prior_kernel_calls: 0,
+        }
+    }
+
+    /// Number of table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration the tables were built with.
+    pub fn config(&self) -> &TablesConfig {
+        &self.config
+    }
+
+    /// Total number of rows across all shards and tables.
+    pub fn row_count(&self) -> usize {
+        self.shards.iter().map(|t| t.row_count()).sum()
+    }
+
+    /// Whether any shard hit the (per-shard) row cap.
+    pub fn truncated(&self) -> bool {
+        self.shards.iter().any(|t| t.truncated)
+    }
+
+    /// Total chain-kernel passes across all shards, builds and updates.
+    pub fn kernel_calls(&self) -> u64 {
+        self.prior_kernel_calls + self.shards.iter().map(|t| t.kernel_calls()).sum::<u64>()
+    }
+
+    /// The tables owning `anchor`'s rows — the read facade. Querying
+    /// `tables_for_anchor(a).l2.rows_for(a)` (likewise `l3`/`c2`) answers
+    /// exactly as the serial tables would; the returned shard simply holds
+    /// no rows for anchors it does not own.
+    pub fn tables_for_anchor(&self, anchor: NodeId) -> &PathTables {
+        &self.shards[anchor.index() % self.shards.len()]
+    }
+
+    /// Incrementally maintains all shards after `graph` absorbed a delta —
+    /// the shard-parallel analogue of [`PathTables::apply`], with identical
+    /// row-level results (the shard-equivalence proptests pin this down).
+    /// Group collection runs once on the calling thread; kernel recompute
+    /// and splice run per shard on the worker pool.
+    ///
+    /// Apply updates in the same order the graph applied the deltas; each
+    /// call must see the graph state right after its delta. A shard that
+    /// crosses its row cap rebuilds itself (from its own anchors only);
+    /// tables already truncated rebuild every shard, mirroring the serial
+    /// fallback.
+    pub fn apply<G: TableView>(&mut self, graph: &G, applied: &AppliedDelta) -> TablesUpdate {
+        if self.truncated() {
+            return self.rebuild_all(graph, 0);
+        }
+        let config = self.config;
+        let k = self.shards.len();
+        let groups = collect_groups(graph, &config, applied);
+        let refreshed_groups = groups.len();
+
+        // Partition the groups by owning shard (the group's anchor is the
+        // first vertex of its key). Stable partition of sorted lists keeps
+        // every per-shard list sorted, deduplicated and non-overlapping —
+        // the splice precondition.
+        let mut parts: Vec<InvalidationGroups> =
+            (0..k).map(|_| InvalidationGroups::default()).collect();
+        for &b in &groups.blocks {
+            parts[b.0.index() % k].blocks.push(b);
+        }
+        for &e in &groups.l2_extra {
+            parts[e.0.index() % k].l2_extra.push(e);
+        }
+        for &p in &groups.points {
+            parts[p[0].index() % k].points.push(p);
+        }
+
+        let nodes = graph.node_count();
+        let results: Vec<(u64, bool)> = parallel_map_mut(&mut self.shards, |s, tables| {
+            let part = &parts[s];
+            if part.is_empty() {
+                return (0, false);
+            }
+            let mut scratch = ChainScratch::new();
+            let bufs = recompute_groups(graph, &config, part, &mut scratch);
+            tables.splice_groups(part, &bufs);
+            let spent = scratch.kernel_calls();
+            if config.max_rows > 0 && tables.over_cap(config.max_rows) {
+                // Per-shard rebuild fallback: rebuild this shard's anchors
+                // from scratch, preserving its cumulative kernel counter.
+                let prior = tables.kernel_calls();
+                *tables = build_for_anchor_list(graph, &config, &shard_anchors(s, k, nodes), false);
+                let this_update = tables.kernel_calls() + spent;
+                tables.add_kernel_calls(prior + spent);
+                return (this_update, true);
+            }
+            tables.add_kernel_calls(spent);
+            (spent, false)
+        });
+
+        let kernel_calls = results.iter().map(|&(c, _)| c).sum();
+        let rebuilt = results.iter().any(|&(_, r)| r);
+        TablesUpdate {
+            refreshed_groups,
+            rebuilt,
+            kernel_calls,
+        }
+    }
+
+    /// Rebuilds every shard from scratch (the truncated-tables fallback),
+    /// preserving the cumulative kernel counter like the serial rebuild.
+    fn rebuild_all<G: TableView>(&mut self, graph: &G, wasted: u64) -> TablesUpdate {
+        let prior = self.kernel_calls();
+        let refreshed_groups = graph.node_count();
+        *self = ShardedTables::build(graph, &self.config, self.shards.len());
+        let this_update = self.shards.iter().map(|t| t.kernel_calls()).sum::<u64>() + wasted;
+        self.prior_kernel_calls = prior + wasted;
+        TablesUpdate {
+            refreshed_groups,
+            rebuilt: true,
+            kernel_calls: this_update,
+        }
+    }
+
+    /// Materializes the union of all shards as one serial [`PathTables`] —
+    /// row-identical to a from-scratch serial build over the same graph
+    /// (when untruncated). This is the whole-table read facade for
+    /// consumers that scan across anchors (PB enumeration, relaxed search,
+    /// snapshotting); per-anchor readers should prefer the O(1)
+    /// [`ShardedTables::tables_for_anchor`] routing instead.
+    ///
+    /// The result reports zero [`PathTables::kernel_calls`] — the counter
+    /// is build telemetry and stays with the shards.
+    pub fn merged(&self) -> PathTables {
+        let merge = |pick: fn(&PathTables) -> &crate::tables::PathTable| {
+            let mut rows: Vec<(&crate::tables::PathTable, &crate::tables::PathRow)> = Vec::new();
+            for shard in &self.shards {
+                let table = pick(shard);
+                rows.extend(table.iter().map(|r| (table, r)));
+            }
+            rows.sort_unstable_by(|a, b| a.1.vertices().cmp(b.1.vertices()));
+            crate::tables::PathTable::from_row_contents(
+                rows.iter()
+                    .map(|(t, r)| (r.vertices(), r.flow, t.delivered(r))),
+            )
+            .expect("shard anchors are disjoint, so merged rows are unique and sorted")
+        };
+        PathTables::from_stored_parts(
+            self.config,
+            self.truncated(),
+            merge(|t| &t.l2),
+            merge(|t| &t.l3),
+            merge(|t| &t.c2),
+        )
+    }
+
+    /// Compares the merged shard tables against a serial table set row for
+    /// row and describes the first divergence (`None` when row-identical) —
+    /// the sharded side of the equivalence assertions.
+    pub fn first_row_divergence(&self, serial: &PathTables) -> Option<String> {
+        self.merged().first_row_divergence(serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::PathTables;
+    use tin_graph::builder::from_records;
+    use tin_graph::{GraphDelta, Interaction, Node, TemporalGraph};
+
+    fn sample() -> TemporalGraph {
+        from_records([
+            ("x", "y", 1, 5.0),
+            ("y", "x", 4, 3.0),
+            ("x", "z", 2, 2.0),
+            ("z", "x", 3, 9.0),
+            ("y", "z", 5, 4.0),
+            ("z", "w", 6, 1.0),
+        ])
+    }
+
+    #[test]
+    fn sharded_build_matches_serial_for_all_k() {
+        let g = sample();
+        let cfg = TablesConfig::default();
+        let serial = PathTables::build_serial(&g, &cfg);
+        for k in [1, 2, 3, 7] {
+            let sharded = ShardedTables::build(&g, &cfg, k);
+            assert_eq!(sharded.shard_count(), k);
+            assert_eq!(sharded.first_row_divergence(&serial), None, "K={k}");
+            assert_eq!(sharded.row_count(), serial.row_count());
+        }
+    }
+
+    #[test]
+    fn per_anchor_reads_route_to_the_owning_shard() {
+        let g = sample();
+        let cfg = TablesConfig::default();
+        let serial = PathTables::build_serial(&g, &cfg);
+        let sharded = ShardedTables::build(&g, &cfg, 3);
+        for v in g.node_ids() {
+            let shard = sharded.tables_for_anchor(v);
+            for (mine, serial_table) in [
+                (&shard.l2, &serial.l2),
+                (&shard.l3, &serial.l3),
+                (&shard.c2, &serial.c2),
+            ] {
+                let got = mine.rows_for(v);
+                let want = serial_table.rows_for(v);
+                assert_eq!(got.len(), want.len());
+                for (a, b) in got.iter().zip(want) {
+                    assert_eq!(a.vertices(), b.vertices());
+                    assert_eq!(a.flow, b.flow);
+                    assert_eq!(mine.delivered(a), serial_table.delivered(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_apply_matches_serial_apply() {
+        let mut g = sample();
+        let cfg = TablesConfig::default();
+        let mut serial = PathTables::build_serial(&g, &cfg);
+        let mut sharded: Vec<ShardedTables> = [1, 2, 3, 7]
+            .iter()
+            .map(|&k| ShardedTables::build(&g, &cfg, k))
+            .collect();
+        let x = g.node_by_name("x").unwrap();
+        let w = g.node_by_name("w").unwrap();
+        // Reshape an existing edge, close a cycle through a new vertex, and
+        // touch a previously row-less anchor — same shape as the serial
+        // incremental test.
+        let delta = GraphDelta::new(
+            4,
+            vec![Node { name: "q".into() }],
+            vec![
+                (x, w, Interaction::new(7, 2.0)),
+                (w, NodeId(4), Interaction::new(8, 3.0)),
+                (NodeId(4), x, Interaction::new(9, 1.0)),
+            ],
+        )
+        .unwrap();
+        let applied = g.apply(&delta).unwrap();
+        let serial_update = serial.apply(&g, &applied);
+        for tables in &mut sharded {
+            let update = tables.apply(&g, &applied);
+            assert!(!update.rebuilt);
+            assert_eq!(update.refreshed_groups, serial_update.refreshed_groups);
+            assert_eq!(update.kernel_calls, serial_update.kernel_calls);
+            assert_eq!(tables.first_row_divergence(&serial), None);
+        }
+    }
+
+    #[test]
+    fn sharded_apply_handles_eviction_groups() {
+        let mut g = sample();
+        let cfg = TablesConfig::default();
+        let mut serial = PathTables::build_serial(&g, &cfg);
+        let mut sharded = ShardedTables::build(&g, &cfg, 3);
+        let x = g.node_by_name("x").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        // Expire the early interactions: edges shrink and some tombstone.
+        let delta = GraphDelta::new(4, vec![], vec![(x, y, Interaction::new(9, 1.5))])
+            .unwrap()
+            .expire_before(4);
+        let applied = g.apply(&delta).unwrap();
+        serial.apply(&g, &applied);
+        sharded.apply(&g, &applied);
+        assert_eq!(sharded.first_row_divergence(&serial), None);
+        assert_eq!(
+            serial.first_row_divergence(&PathTables::build_serial(&g, &cfg)),
+            None
+        );
+    }
+
+    #[test]
+    fn per_shard_cap_rebuild_keeps_rows_consistent() {
+        let mut g = sample();
+        // A cap generous enough that the initial build fits but a growing
+        // shard crosses it, forcing the per-shard rebuild path.
+        let cfg = TablesConfig {
+            max_rows: 8,
+            ..TablesConfig::default()
+        };
+        let mut sharded = ShardedTables::build(&g, &cfg, 2);
+        assert!(!sharded.truncated());
+        let x = g.node_by_name("x").unwrap();
+        let w = g.node_by_name("w").unwrap();
+        let delta = GraphDelta::new(
+            4,
+            vec![Node { name: "q".into() }],
+            vec![
+                (x, w, Interaction::new(7, 2.0)),
+                (w, NodeId(4), Interaction::new(8, 3.0)),
+                (NodeId(4), x, Interaction::new(9, 1.0)),
+            ],
+        )
+        .unwrap();
+        let applied = g.apply(&delta).unwrap();
+        sharded.apply(&g, &applied);
+        // Whatever the cap did, every surviving row matches the serial
+        // tables built under the same per-shard semantics.
+        if !sharded.truncated() {
+            let serial = PathTables::build_serial(&g, &cfg);
+            assert_eq!(sharded.first_row_divergence(&serial), None);
+        }
+    }
+}

@@ -29,7 +29,7 @@
 //! index makes [`PathTable::rows_for`] an O(1) slice lookup.
 //!
 //! Eager builds fan the anchors out over the workspace worker pool
-//! ([`tin_flow::parallel_map`]); [`PathTables::for_anchors`] builds the rows
+//! ([`tin_parallel::parallel_map`]); [`PathTables::for_anchors`] builds the rows
 //! of selected anchors only, and [`LazyPathTables`] memoizes per-anchor
 //! builds so a search that touches one anchor pays O(deg²) kernel work, not
 //! O(graph). The pre-kernel builder is retained in [`crate::reference`] as a
@@ -67,10 +67,12 @@
 //! [`invalidated_anchors`] (`{u, v} ∪ in(u)` per touched edge) and lets the
 //! next query rebuild them.
 
+use crate::view::TableView;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tin_flow::{parallel_map, ChainScratch};
-use tin_graph::{AppliedDelta, Interaction, NodeId, Quantity, TemporalGraph};
+use tin_flow::ChainScratch;
+use tin_graph::{AppliedDelta, Interaction, NodeId, Quantity};
+use tin_parallel::{effective_threads, parallel_map};
 
 /// Which tables to build and how large they may grow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -575,23 +577,25 @@ impl PatchKey {
 }
 
 impl PathTables {
-    /// Builds the tables for `graph`, fanning the anchors out over the
+    /// Builds the tables for `graph` (any [`TableView`]: the serial
+    /// [`tin_graph::TemporalGraph`] or the sharded
+    /// [`tin_graph::ShardedGraph`]), fanning the anchors out over the
     /// worker pool when the graph is large enough to amortize it.
-    pub fn build(graph: &TemporalGraph, config: &TablesConfig) -> Self {
-        let anchors: Vec<NodeId> = graph.node_ids().collect();
+    pub fn build<G: TableView>(graph: &G, config: &TablesConfig) -> Self {
+        let anchors: Vec<NodeId> = all_anchors(graph);
         build_for_anchor_list(graph, config, &anchors, auto_parallel(graph))
     }
 
     /// Builds the tables on the calling thread only (benchmark baseline and
     /// deterministic small-graph path).
-    pub fn build_serial(graph: &TemporalGraph, config: &TablesConfig) -> Self {
-        let anchors: Vec<NodeId> = graph.node_ids().collect();
+    pub fn build_serial<G: TableView>(graph: &G, config: &TablesConfig) -> Self {
+        let anchors: Vec<NodeId> = all_anchors(graph);
         build_for_anchor_list(graph, config, &anchors, false)
     }
 
     /// Builds the tables on the worker pool unconditionally.
-    pub fn build_parallel(graph: &TemporalGraph, config: &TablesConfig) -> Self {
-        let anchors: Vec<NodeId> = graph.node_ids().collect();
+    pub fn build_parallel<G: TableView>(graph: &G, config: &TablesConfig) -> Self {
+        let anchors: Vec<NodeId> = all_anchors(graph);
         build_for_anchor_list(graph, config, &anchors, true)
     }
 
@@ -602,7 +606,7 @@ impl PathTables {
     /// The result is a regular [`PathTables`] whose tables simply contain no
     /// rows for other anchors, so every downstream consumer (joins, relaxed
     /// searches) works unchanged on the subset.
-    pub fn for_anchors(graph: &TemporalGraph, config: &TablesConfig, anchors: &[NodeId]) -> Self {
+    pub fn for_anchors<G: TableView>(graph: &G, config: &TablesConfig, anchors: &[NodeId]) -> Self {
         let mut picked: Vec<NodeId> = anchors
             .iter()
             .copied()
@@ -757,7 +761,7 @@ impl PathTables {
     /// anchor subset cannot be patched meaningfully (the patch would mix
     /// subset and full coverage) — use [`LazyPathTables`] for incrementally
     /// maintained partial coverage.
-    pub fn apply(&mut self, graph: &TemporalGraph, applied: &AppliedDelta) -> TablesUpdate {
+    pub fn apply<G: TableView>(&mut self, graph: &G, applied: &AppliedDelta) -> TablesUpdate {
         assert!(
             !self.partial,
             "PathTables::apply on a for_anchors subset would silently mix subset and \
@@ -767,153 +771,17 @@ impl PathTables {
         if self.truncated {
             return self.rebuild(graph, &config, 0);
         }
-        // 1. Collect the invalidated row groups — only for the tables that
-        //    are actually built. For each changed edge `u → v` (touched by
-        //    additions, shrunk by eviction, or tombstoned — the sets are
-        //    exactly symmetric): the `[u, v, *]` block (first-edge rows),
-        //    the point rows `[a, u, v]` per in-neighbor `a` of `u`
-        //    (middle-edge rows), and the closing-edge rows `[v, u]` /
-        //    `[v, w, u]`. This is linear in the endpoint degrees — never
-        //    the O(deg²) of a whole anchor rebuild.
-        //
-        //    Tombstones keep their endpoints, so the keys of a removed edge
-        //    are collected the same way; its neighborhood walks run over the
-        //    post-eviction adjacency, where companion edges removed by the
-        //    same delta are already gone — those contribute their own keys
-        //    through their own `changed_edges` entries.
-        let mut blocks: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut l2_extra: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut points: Vec<[NodeId; 3]> = Vec::new();
-        for e in applied.changed_edges() {
-            let edge = graph.edge(e);
-            let (u, v) = (edge.src, edge.dst);
-            blocks.push((u, v));
-            if config.build_l3 || config.build_c2 {
-                for a in graph.in_neighbors(u) {
-                    if a != v && a != u {
-                        points.push([a, u, v]);
-                    }
-                }
-            }
-            if config.build_l2 && graph.has_edge(v, u) {
-                l2_extra.push((v, u));
-            }
-            if config.build_l3 {
-                for &e_vw in graph.out_edges(v) {
-                    let w = graph.edge(e_vw).dst;
-                    if w != u && w != v && graph.has_edge(w, u) {
-                        points.push([v, w, u]);
-                    }
-                }
-            }
-        }
-        blocks.sort_unstable();
-        blocks.dedup();
-        l2_extra.sort_unstable();
-        l2_extra.dedup();
-        l2_extra.retain(|k| blocks.binary_search(k).is_err());
-        points.sort_unstable();
-        points.dedup();
-        points.retain(|p| blocks.binary_search(&(p[0], p[1])).is_err());
-        let refreshed_groups = blocks.len() + l2_extra.len() + points.len();
-
-        // 2. Re-run the chain kernel for exactly those groups.
+        // Collect → recompute → splice; the three phases are split out so
+        // the shard-parallel maintainer ([`crate::sharded::ShardedTables`])
+        // can collect once globally and run the latter two per shard.
+        let groups = collect_groups(graph, &config, applied);
+        let refreshed_groups = groups.len();
         let mut scratch = ChainScratch::new();
-        let mut bufs: [TableBuf; 3] = Default::default();
-        for &(u, v) in &blocks {
-            // A `None` here means the edge was evicted (or an added edge
-            // whose every interaction immediately expired): the block keeps
-            // its key but contributes no replacement rows, so the patch
-            // deletes the group — removal is just "recompute to empty".
-            let Some(e) = graph.find_edge(u, v) else {
-                continue;
-            };
-            enumerate_first_edge(
-                graph,
-                &config,
-                u,
-                graph.edge(e),
-                &mut scratch,
-                &mut |table, verts, len, delivered, flow| {
-                    bufs[table].push(verts, len, delivered, flow);
-                    true
-                },
-            );
-        }
-        if config.build_l2 {
-            for &(a, b) in &l2_extra {
-                // `(a, b)` was seen live when the key was collected; the
-                // changed edge `(b, a)` may have been evicted, in which case
-                // the cycle row `[a, b]` is deleted by the empty recompute.
-                let e_ab = graph.find_edge(a, b).expect("checked at collection");
-                let Some(e_ba) = graph.find_edge(b, a) else {
-                    continue;
-                };
-                let flow = scratch.reduce_pair(
-                    &graph.edge(e_ab).interactions,
-                    &graph.edge(e_ba).interactions,
-                );
-                bufs[L2].push([a, b, a], 2, scratch.delivered(), flow);
-            }
-        }
-        if config.build_l3 || config.build_c2 {
-            for &[a, b, c] in &points {
-                // Either hop can be the changed edge, and a changed edge can
-                // be a tombstone: a dead hop deletes the point's rows.
-                let Some(e_ab) = graph.find_edge(a, b) else {
-                    continue;
-                };
-                let Some(e_bc) = graph.find_edge(b, c) else {
-                    continue;
-                };
-                let mid_flow = scratch.reduce_pair(
-                    &graph.edge(e_ab).interactions,
-                    &graph.edge(e_bc).interactions,
-                );
-                if config.build_c2 {
-                    bufs[C2].push([a, b, c], 3, scratch.delivered(), mid_flow);
-                }
-                if config.build_l3 {
-                    if let Some(e_ca) = graph.find_edge(c, a) {
-                        let flow = scratch.extend_through(&graph.edge(e_ca).interactions);
-                        bufs[L3].push([a, b, c], 3, scratch.extended_delivered(), flow);
-                    }
-                }
-            }
-        }
-        // Enumeration order is arbitrary; patching consumes replacement rows
-        // in key order.
-        for buf in &mut bufs {
-            buf.rows
-                .sort_unstable_by(|a, b| a.vertices().cmp(b.vertices()));
-        }
-
-        // 3. Splice the fresh rows over the stale groups, table by table.
-        let pair_key = |&(a, b): &(NodeId, NodeId)| PatchKey::pair(a, b);
-        if config.build_l2 {
-            let mut keys: Vec<PatchKey> = blocks.iter().map(pair_key).collect();
-            keys.extend(l2_extra.iter().map(pair_key));
-            keys.sort_unstable();
-            self.l2.patch_keys(&keys, &bufs[L2].rows, &bufs[L2].arena);
-        }
-        if config.build_l3 || config.build_c2 {
-            let mut keys: Vec<PatchKey> = blocks.iter().map(pair_key).collect();
-            keys.extend(points.iter().map(|&p| PatchKey::triple(p)));
-            keys.sort_unstable();
-            if config.build_l3 {
-                self.l3.patch_keys(&keys, &bufs[L3].rows, &bufs[L3].arena);
-            }
-            if config.build_c2 {
-                self.c2.patch_keys(&keys, &bufs[C2].rows, &bufs[C2].arena);
-            }
-        }
+        let bufs = recompute_groups(graph, &config, &groups, &mut scratch);
+        self.splice_groups(&groups, &bufs);
 
         let kernel_calls = scratch.kernel_calls();
-        if config.max_rows > 0
-            && [&self.l2, &self.l3, &self.c2]
-                .iter()
-                .any(|t| t.len() > config.max_rows)
-        {
+        if config.max_rows > 0 && self.over_cap(config.max_rows) {
             return self.rebuild(graph, &config, kernel_calls);
         }
         self.kernel_calls += kernel_calls;
@@ -924,11 +792,46 @@ impl PathTables {
         }
     }
 
+    /// Splices freshly recomputed rows ([`recompute_groups`]) over the stale
+    /// row groups ([`collect_groups`]), table by table.
+    pub(crate) fn splice_groups(&mut self, groups: &InvalidationGroups, bufs: &[TableBuf; 3]) {
+        let config = self.config;
+        let pair_key = |&(a, b): &(NodeId, NodeId)| PatchKey::pair(a, b);
+        if config.build_l2 {
+            let mut keys: Vec<PatchKey> = groups.blocks.iter().map(pair_key).collect();
+            keys.extend(groups.l2_extra.iter().map(pair_key));
+            keys.sort_unstable();
+            self.l2.patch_keys(&keys, &bufs[L2].rows, &bufs[L2].arena);
+        }
+        if config.build_l3 || config.build_c2 {
+            let mut keys: Vec<PatchKey> = groups.blocks.iter().map(pair_key).collect();
+            keys.extend(groups.points.iter().map(|&p| PatchKey::triple(p)));
+            keys.sort_unstable();
+            if config.build_l3 {
+                self.l3.patch_keys(&keys, &bufs[L3].rows, &bufs[L3].arena);
+            }
+            if config.build_c2 {
+                self.c2.patch_keys(&keys, &bufs[C2].rows, &bufs[C2].arena);
+            }
+        }
+    }
+
+    /// Whether any built table exceeds `cap` rows.
+    pub(crate) fn over_cap(&self, cap: usize) -> bool {
+        [&self.l2, &self.l3, &self.c2].iter().any(|t| t.len() > cap)
+    }
+
+    /// Folds externally performed kernel passes into the counter (the
+    /// sharded maintainer recomputes on its own scratches).
+    pub(crate) fn add_kernel_calls(&mut self, calls: u64) {
+        self.kernel_calls += calls;
+    }
+
     /// Full-rebuild fallback of [`PathTables::apply`]; `wasted` kernel
     /// passes were already spent on an abandoned incremental attempt.
-    fn rebuild(
+    fn rebuild<G: TableView>(
         &mut self,
-        graph: &TemporalGraph,
+        graph: &G,
         config: &TablesConfig,
         wasted: u64,
     ) -> TablesUpdate {
@@ -957,27 +860,186 @@ impl PathTables {
 /// (Tombstones keep their endpoints, which is what makes the removed edges
 /// addressable here; an in-neighbor edge removed by the same delta is
 /// itself a changed edge and contributes its own anchors.)
-pub fn invalidated_anchors(graph: &TemporalGraph, applied: &AppliedDelta) -> Vec<NodeId> {
+pub fn invalidated_anchors<G: TableView>(graph: &G, applied: &AppliedDelta) -> Vec<NodeId> {
     let mut anchors = Vec::new();
     for e in applied.changed_edges() {
-        let edge = graph.edge(e);
-        anchors.push(edge.src);
-        anchors.push(edge.dst);
-        anchors.extend(graph.in_neighbors(edge.src));
+        let (src, dst) = graph.endpoints(e);
+        anchors.push(src);
+        anchors.push(dst);
+        graph.for_each_in_source(src, &mut |a| anchors.push(a));
     }
     anchors.sort_unstable();
     anchors.dedup();
     anchors
 }
 
+/// Every vertex id of `graph`, as the ascending anchor list of a full build.
+fn all_anchors<G: TableView>(graph: &G) -> Vec<NodeId> {
+    (0..graph.node_count()).map(NodeId::from_index).collect()
+}
+
 /// Eager builds go parallel only when the graph plausibly amortizes the
 /// thread-pool round trip.
-fn auto_parallel(graph: &TemporalGraph) -> bool {
-    graph.node_count() >= 512
-        && std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            > 1
+fn auto_parallel<G: TableView>(graph: &G) -> bool {
+    graph.node_count() >= 512 && effective_threads() > 1
+}
+
+/// The row groups one applied delta invalidates, as named by
+/// [`collect_groups`]: `blocks` are whole `[u, v, *]` first-edge blocks,
+/// `l2_extra` are closing `[v, u]` cycle rows whose block is not already
+/// collected, `points` are single `[a, b, c]` rows. All three lists are
+/// ascending, deduplicated and non-overlapping, which is what
+/// [`PathTables::splice_groups`] requires of its patch keys.
+#[derive(Debug, Default)]
+pub(crate) struct InvalidationGroups {
+    pub(crate) blocks: Vec<(NodeId, NodeId)>,
+    pub(crate) l2_extra: Vec<(NodeId, NodeId)>,
+    pub(crate) points: Vec<[NodeId; 3]>,
+}
+
+impl InvalidationGroups {
+    /// Total number of row groups across the three kinds.
+    pub(crate) fn len(&self) -> usize {
+        self.blocks.len() + self.l2_extra.len() + self.points.len()
+    }
+
+    /// Whether the delta invalidated nothing.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Collects the row groups a delta can invalidate — only for the tables
+/// `config` actually builds. For each changed edge `u → v` (touched by
+/// additions, shrunk by eviction, or tombstoned — the sets are exactly
+/// symmetric): the `[u, v, *]` block (first-edge rows), the point rows
+/// `[a, u, v]` per in-neighbor `a` of `u` (middle-edge rows), and the
+/// closing-edge rows `[v, u]` / `[v, w, u]`. This is linear in the endpoint
+/// degrees — never the O(deg²) of a whole anchor rebuild.
+///
+/// Tombstones keep their endpoints, so the keys of a removed edge are
+/// collected the same way; its neighborhood walks run over the
+/// post-eviction adjacency, where companion edges removed by the same delta
+/// are already gone — those contribute their own keys through their own
+/// `changed_edges` entries.
+pub(crate) fn collect_groups<G: TableView>(
+    graph: &G,
+    config: &TablesConfig,
+    applied: &AppliedDelta,
+) -> InvalidationGroups {
+    let mut blocks: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut l2_extra: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut points: Vec<[NodeId; 3]> = Vec::new();
+    for e in applied.changed_edges() {
+        let (u, v) = graph.endpoints(e);
+        blocks.push((u, v));
+        if config.build_l3 || config.build_c2 {
+            graph.for_each_in_source(u, &mut |a| {
+                if a != v && a != u {
+                    points.push([a, u, v]);
+                }
+            });
+        }
+        if config.build_l2 && graph.has_pair(v, u) {
+            l2_extra.push((v, u));
+        }
+        if config.build_l3 {
+            graph.for_each_out(v, &mut |w, _| {
+                if w != u && w != v && graph.has_pair(w, u) {
+                    points.push([v, w, u]);
+                }
+                true
+            });
+        }
+    }
+    blocks.sort_unstable();
+    blocks.dedup();
+    l2_extra.sort_unstable();
+    l2_extra.dedup();
+    l2_extra.retain(|k| blocks.binary_search(k).is_err());
+    points.sort_unstable();
+    points.dedup();
+    points.retain(|p| blocks.binary_search(&(p[0], p[1])).is_err());
+    InvalidationGroups {
+        blocks,
+        l2_extra,
+        points,
+    }
+}
+
+/// Re-runs the chain kernel for exactly the groups in `groups`, returning
+/// per-table replacement buffers with rows sorted by vertex sequence —
+/// ready for [`PathTables::splice_groups`].
+pub(crate) fn recompute_groups<G: TableView>(
+    graph: &G,
+    config: &TablesConfig,
+    groups: &InvalidationGroups,
+    scratch: &mut ChainScratch,
+) -> [TableBuf; 3] {
+    let mut bufs: [TableBuf; 3] = Default::default();
+    for &(u, v) in &groups.blocks {
+        // A `None` here means the edge was evicted (or an added edge whose
+        // every interaction immediately expired): the block keeps its key
+        // but contributes no replacement rows, so the patch deletes the
+        // group — removal is just "recompute to empty".
+        let Some(first) = graph.pair(u, v) else {
+            continue;
+        };
+        enumerate_first_edge(
+            graph,
+            config,
+            u,
+            v,
+            first,
+            scratch,
+            &mut |table, verts, len, delivered, flow| {
+                bufs[table].push(verts, len, delivered, flow);
+                true
+            },
+        );
+    }
+    if config.build_l2 {
+        for &(a, b) in &groups.l2_extra {
+            // `(a, b)` was seen live when the key was collected; the
+            // changed edge `(b, a)` may have been evicted, in which case
+            // the cycle row `[a, b]` is deleted by the empty recompute.
+            let first = graph.pair(a, b).expect("checked at collection");
+            let Some(back) = graph.pair(b, a) else {
+                continue;
+            };
+            let flow = scratch.reduce_pair(first, back);
+            bufs[L2].push([a, b, a], 2, scratch.delivered(), flow);
+        }
+    }
+    if config.build_l3 || config.build_c2 {
+        for &[a, b, c] in &groups.points {
+            // Either hop can be the changed edge, and a changed edge can
+            // be a tombstone: a dead hop deletes the point's rows.
+            let Some(first) = graph.pair(a, b) else {
+                continue;
+            };
+            let Some(mid) = graph.pair(b, c) else {
+                continue;
+            };
+            let mid_flow = scratch.reduce_pair(first, mid);
+            if config.build_c2 {
+                bufs[C2].push([a, b, c], 3, scratch.delivered(), mid_flow);
+            }
+            if config.build_l3 {
+                if let Some(close) = graph.pair(c, a) {
+                    let flow = scratch.extend_through(close);
+                    bufs[L3].push([a, b, c], 3, scratch.extended_delivered(), flow);
+                }
+            }
+        }
+    }
+    // Enumeration order is arbitrary; patching consumes replacement rows
+    // in key order.
+    for buf in &mut bufs {
+        buf.rows
+            .sort_unstable_by(|a, b| a.vertices().cmp(b.vertices()));
+    }
+    bufs
 }
 
 /// Index of each table in the per-build bookkeeping arrays.
@@ -987,7 +1049,7 @@ const C2: usize = 2;
 
 /// Rows plus arena for one table, as produced by one worker chunk.
 #[derive(Default)]
-struct TableBuf {
+pub(crate) struct TableBuf {
     rows: Vec<PathRow>,
     arena: Vec<Interaction>,
 }
@@ -1078,60 +1140,65 @@ impl ChunkOut {
 /// (row-cap pressure); the function then returns `false` too. Shared by the
 /// eager per-anchor build and the incremental [`PathTables::apply`], so the
 /// two paths cannot drift apart.
-fn enumerate_first_edge<F>(
-    graph: &TemporalGraph,
+fn enumerate_first_edge<G, F>(
+    graph: &G,
     config: &TablesConfig,
     u: NodeId,
-    edge_uv: &tin_graph::Edge,
+    v: NodeId,
+    first: &[Interaction],
     scratch: &mut ChainScratch,
     emit: &mut F,
 ) -> bool
 where
+    G: TableView,
     F: FnMut(usize, [NodeId; 3], u8, &[Interaction], Quantity) -> bool,
 {
-    let v = edge_uv.dst;
     if v == u {
         return true;
     }
     // The start vertex has an unlimited buffer, so the profile delivered
-    // into `v` is the edge's interaction list itself — the shared prefix
-    // of every path through `u → v` costs nothing to "compute".
-    let first = edge_uv.interactions.as_slice();
+    // into `v` is the edge's interaction list itself (`first`) — the shared
+    // prefix of every path through `u → v` costs nothing to "compute".
     if config.build_l2 {
-        if let Some(e_vu) = graph.find_edge(v, u) {
-            let flow = scratch.reduce_pair(first, &graph.edge(e_vu).interactions);
+        if let Some(back) = graph.pair(v, u) {
+            let flow = scratch.reduce_pair(first, back);
             if !emit(L2, [u, v, u], 2, scratch.delivered(), flow) {
                 return false;
             }
         }
     }
     if config.build_l3 || config.build_c2 {
-        for &e_vw in graph.out_edges(v) {
-            let edge_vw = graph.edge(e_vw);
-            let w = edge_vw.dst;
+        let mut keep_going = true;
+        graph.for_each_out(v, &mut |w, mid| {
             if w == u || w == v {
-                continue;
+                return true;
             }
             let closing = if config.build_l3 {
-                graph.find_edge(w, u)
+                graph.pair(w, u)
             } else {
                 None
             };
             if closing.is_none() && !config.build_c2 {
-                continue;
+                return true;
             }
             // One kernel pass for the shared `u → v → w` prefix; the C2
             // row reuses it as-is, the L3 row extends it by one pass.
-            let mid_flow = scratch.reduce_pair(first, &edge_vw.interactions);
+            let mid_flow = scratch.reduce_pair(first, mid);
             if config.build_c2 && !emit(C2, [u, v, w], 3, scratch.delivered(), mid_flow) {
+                keep_going = false;
                 return false;
             }
-            if let Some(e_wu) = closing {
-                let flow = scratch.extend_through(&graph.edge(e_wu).interactions);
+            if let Some(close) = closing {
+                let flow = scratch.extend_through(close);
                 if !emit(L3, [u, v, w], 3, scratch.extended_delivered(), flow) {
+                    keep_going = false;
                     return false;
                 }
             }
+            true
+        });
+        if !keep_going {
+            return false;
         }
     }
     true
@@ -1139,8 +1206,8 @@ where
 
 /// Builds every row anchored at `u` into `out`, using the chain kernel on
 /// the graph's interaction slices directly.
-fn build_anchor(
-    graph: &TemporalGraph,
+fn build_anchor<G: TableView>(
+    graph: &G,
     config: &TablesConfig,
     u: NodeId,
     scratch: &mut ChainScratch,
@@ -1152,25 +1219,23 @@ fn build_anchor(
         out.tables[L3].rows.len(),
         out.tables[C2].rows.len(),
     ];
-    for &e_uv in graph.out_edges(u) {
+    graph.for_each_out(u, &mut |v, first| {
         if out.hit_cap {
-            break;
+            return false;
         }
-        let keep_going = enumerate_first_edge(
+        enumerate_first_edge(
             graph,
             config,
             u,
-            graph.edge(e_uv),
+            v,
+            first,
             scratch,
             &mut |table, verts, len, delivered, flow| {
                 out.try_push(caps, table, verts, len, delivered, flow);
                 !out.hit_cap
             },
-        );
-        if !keep_going {
-            break;
-        }
-    }
+        )
+    });
     // Adjacency order is arbitrary; sort this anchor's slice of each table
     // so concatenated chunks come out globally sorted by vertex sequence.
     for (t, &start) in starts.iter().enumerate() {
@@ -1181,8 +1246,8 @@ fn build_anchor(
 
 /// Builds the tables for an ascending, deduplicated anchor list, optionally
 /// fanning chunks of anchors out over the worker pool.
-fn build_for_anchor_list(
-    graph: &TemporalGraph,
+pub(crate) fn build_for_anchor_list<G: TableView>(
+    graph: &G,
     config: &TablesConfig,
     anchors: &[NodeId],
     parallel: bool,
@@ -1209,9 +1274,7 @@ fn build_for_anchor_list(
     };
 
     let chunks: Vec<&[NodeId]> = if parallel && anchors.len() > 1 {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let threads = effective_threads();
         // Several chunks per worker so the atomic-cursor pool can balance
         // skewed anchors; chunks stay contiguous to keep the output sorted.
         let chunk_size = anchors.len().div_ceil(threads * 8).max(1);
@@ -1300,7 +1363,7 @@ impl LazyPathTables {
 
     /// The tables restricted to `anchor`, built over `graph` on first
     /// request and memoized. Out-of-range anchors yield empty tables.
-    pub fn tables_for(&mut self, graph: &TemporalGraph, anchor: NodeId) -> &PathTables {
+    pub fn tables_for<G: TableView>(&mut self, graph: &G, anchor: NodeId) -> &PathTables {
         if !self.cache.contains_key(&anchor) {
             let built = PathTables::for_anchors(graph, &self.config, &[anchor]);
             self.kernel_calls += built.kernel_calls();
@@ -1314,7 +1377,7 @@ impl LazyPathTables {
     /// invalidated (see [`invalidated_anchors`]) and returns how many
     /// cached entries that dropped. Subsequent queries rebuild the evicted
     /// anchors against the changed graph; untouched entries stay warm.
-    pub fn apply(&mut self, graph: &TemporalGraph, applied: &AppliedDelta) -> usize {
+    pub fn apply<G: TableView>(&mut self, graph: &G, applied: &AppliedDelta) -> usize {
         let mut evicted = 0;
         for anchor in invalidated_anchors(graph, applied) {
             evicted += usize::from(self.cache.remove(&anchor).is_some());
@@ -1338,6 +1401,7 @@ impl LazyPathTables {
 mod tests {
     use super::*;
     use tin_graph::builder::from_records;
+    use tin_graph::TemporalGraph;
 
     fn sample() -> TemporalGraph {
         from_records([
