@@ -19,6 +19,7 @@ pub mod parallel_experiments;
 pub mod pattern_experiments;
 pub mod report;
 pub mod stream_experiments;
+pub mod warmflow_experiments;
 pub mod window_experiments;
 pub mod workloads;
 
@@ -35,5 +36,6 @@ pub use parallel_experiments::{
 pub use pattern_experiments::{pattern_experiment, PatternTableRow};
 pub use report::{format_duration, print_table};
 pub use stream_experiments::{stream_experiment, StreamMeasurement};
+pub use warmflow_experiments::{warmflow_experiment, WarmflowMeasurement};
 pub use window_experiments::{window_experiment, WindowMeasurement};
 pub use workloads::{build_subgraphs, generate_dataset, ExperimentScale, Workload};

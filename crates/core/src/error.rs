@@ -16,6 +16,9 @@ pub enum FlowError {
     /// The LP solver failed to prove optimality (should not happen for the
     /// well-formed programs produced by the flow formulation).
     LpFailed(LpStatus),
+    /// A [`crate::FlowSession`] was requested with a non-exact method; only
+    /// exact solvers maintain the simplex basis the session reuses.
+    SessionRequiresExact,
 }
 
 impl std::fmt::Display for FlowError {
@@ -28,6 +31,12 @@ impl std::fmt::Display for FlowError {
             FlowError::NodeOutOfRange(v) => write!(f, "endpoint {v} does not exist in the graph"),
             FlowError::LpFailed(status) => {
                 write!(f, "LP solver did not reach optimality: {status:?}")
+            }
+            FlowError::SessionRequiresExact => {
+                write!(
+                    f,
+                    "flow sessions require an exact method (LP or MCF, not greedy)"
+                )
             }
         }
     }

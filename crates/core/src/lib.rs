@@ -53,6 +53,7 @@
 
 pub mod chain;
 pub mod error;
+pub mod flow_session;
 pub mod greedy;
 pub mod lp_formulation;
 pub mod parallel;
@@ -64,12 +65,13 @@ pub mod workgraph;
 
 pub use chain::{chain_propagate, ChainScratch};
 pub use error::FlowError;
+pub use flow_session::{FlowSession, SessionSolve, SessionStats};
 pub use greedy::{
     greedy_flow, greedy_flow_traced, greedy_flow_with, GreedyResult, GreedyScratch, TransferStep,
 };
 pub use lp_formulation::{
-    build_lp, build_mcf, lp_max_flow, max_flow_with_engine, netflow_max_flow, LpFormulation,
-    LpOutcome, McfFormulation,
+    build_lp, build_mcf, build_mcf_session, lp_max_flow, max_flow_with_engine, netflow_max_flow,
+    LpFormulation, LpOutcome, McfFormulation, McfPatch,
 };
 pub use parallel::parallel_map;
 pub use preprocess::{preprocess, PreprocessOutcome, PreprocessReport};

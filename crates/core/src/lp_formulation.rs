@@ -35,7 +35,8 @@
 //! and dense engines.
 
 use crate::error::FlowError;
-use tin_graph::{Events, NodeId, Quantity, TemporalGraph, Time};
+use std::cmp::Ordering;
+use tin_graph::{AppliedDelta, EdgeId, Events, NodeId, Quantity, TemporalGraph, Time};
 use tin_lp::{LpProblem, LpSolution, LpStatus, McfSolution, MinCostFlowProblem, SimplexEngine};
 
 /// A constructed LP instance together with the bookkeeping needed to
@@ -256,6 +257,82 @@ pub struct McfFormulation {
     /// (interactions not leaving the flow endpoints) — reported in the
     /// outcome so per-engine statistics stay comparable.
     pub lp_variables: usize,
+    /// Incremental-patching bookkeeping, present only for session builds
+    /// ([`build_mcf_session`]); `None` keeps the one-shot path free of it.
+    tracking: Option<Box<Tracking>>,
+}
+
+/// Sentinel arc id for an interaction currently unrepresentable in the
+/// network (its source vertex has no strictly earlier arrival — the strict
+/// precedence rule).
+const SKIP_ARC: u32 = u32::MAX;
+
+/// Time-expanded node ids of the flow endpoints (fixed by construction).
+const SRC_NODE: usize = 0;
+const SINK_NODE: usize = 1;
+
+/// The arcs currently representing one edge's interactions, in
+/// chronological `(time, quantity)` order — the same order
+/// `Edge::interactions` is kept in, so a delta shows up as a two-pointer
+/// diff against it.
+#[derive(Debug, Clone, Default)]
+struct EdgeMirror {
+    entries: Vec<(Time, Quantity, u32)>,
+}
+
+/// Bookkeeping that lets [`McfFormulation::apply_delta`] patch the arc
+/// arrays in place instead of re-emitting the whole problem.
+#[derive(Debug, Clone)]
+struct Tracking {
+    source: NodeId,
+    sink: NodeId,
+    /// Per-vertex `(arrival time, node copy)` lists, ascending by time.
+    /// Copies of expired arrivals are kept forever: a dead copy only ever
+    /// relays holdover flow, which makes it value-equivalent to the
+    /// collapsed chain a cold rebuild would produce, and keeping it means
+    /// arc tails never dangle.
+    arrivals: Vec<Vec<(Time, u32)>>,
+    /// One mirror per edge, indexed by `EdgeId::index()` (stable arc ids
+    /// keyed by edge id, as tombstoned edges keep their slot).
+    mirrors: Vec<EdgeMirror>,
+    /// Running total of finite interaction quantity, driving `big`.
+    finite_total: f64,
+    /// Finite stand-in for unbounded interaction quantities (grows with
+    /// the stream; always larger than `finite_total`).
+    big: f64,
+    /// Live arcs whose capacity is `big`, bumped in place when it grows.
+    big_arcs: Vec<u32>,
+}
+
+/// Chronological `(time, quantity)` order — the comparator
+/// `Interaction::chronological_cmp` uses, applied to mirror entries.
+fn chrono_cmp(t1: Time, q1: Quantity, t2: Time, q2: Quantity) -> Ordering {
+    t1.cmp(&t2)
+        .then(q1.partial_cmp(&q2).unwrap_or(Ordering::Equal))
+}
+
+/// Summary of one in-place [`McfFormulation::apply_delta`] patch.
+#[derive(Debug, Clone, Default)]
+pub struct McfPatch {
+    /// The delta only removed capacity (expired interactions, tombstoned
+    /// edges): the previous optimal basis stays dual-feasible, so
+    /// [`MinCostFlowProblem::reoptimize_shrunk`] is the right re-entry.
+    pub shrink_only: bool,
+    /// Arcs tombstoned to zero capacity.
+    pub tombstoned: usize,
+    /// Arcs created for newly arrived interactions.
+    pub added_arcs: usize,
+    /// Vertex copies appended for new arrival times.
+    pub added_nodes: usize,
+    /// Existing arcs re-pointed at a newly spliced copy (the strict
+    /// precedence rule moved their tail).
+    pub retargeted: usize,
+    /// Ids of every *pre-existing* arc the patch mutated in place
+    /// (tombstoned, retargeted, or capacity-bumped) — exactly what a
+    /// [`NetflowSession`](tin_lp::NetflowSession) needs to sync its
+    /// resident simplex state (appended arcs it discovers on its own).
+    /// May contain duplicates.
+    pub touched_arcs: Vec<u32>,
 }
 
 /// Builds the time-expanded min-cost-flow instance for `graph` with the
@@ -265,6 +342,25 @@ pub struct McfFormulation {
 /// one arc per interaction from the latest copy of its source *strictly
 /// before* its timestamp (the paper's strict precedence rule).
 pub fn build_mcf(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> McfFormulation {
+    build_mcf_inner(graph, source, sink, false)
+}
+
+/// Like [`build_mcf`], but records the bookkeeping
+/// [`McfFormulation::apply_delta`] needs to patch the problem in place as
+/// the graph streams forward. Session builds also use truly infinite
+/// holdover/return capacities (instead of the finite total-quantity
+/// stand-in, which a growing stream would outrun) — safe because every
+/// source→sink path crosses a finite interaction arc.
+pub fn build_mcf_session(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> McfFormulation {
+    build_mcf_inner(graph, source, sink, true)
+}
+
+fn build_mcf_inner(
+    graph: &TemporalGraph,
+    source: NodeId,
+    sink: NodeId,
+    session: bool,
+) -> McfFormulation {
     // Finite stand-in for "unbounded": no s-t flow can exceed the total
     // finite quantity, so the value never constrains an optimal solution
     // and keeps the circulation bounded (no infinite-capacity negative
@@ -318,16 +414,27 @@ pub fn build_mcf(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> McfForm
     let interactions: usize = graph.edges().iter().map(|e| e.interactions.len()).sum();
     problem.reserve_arcs(holdovers + interactions + 1);
 
+    // Session builds chain copies with truly infinite capacity: the finite
+    // stand-in would have to grow with the stream, and holdover/return arcs
+    // never bound the optimum anyway.
+    let relay_cap = if session { f64::INFINITY } else { unbounded };
+
     // Holdover arcs carry buffered quantity forward in time.
     for (v, list) in arrivals.iter().enumerate() {
         for k in 0..list.len().saturating_sub(1) {
-            problem.add_arc(first_copy[v] + k, first_copy[v] + k + 1, 0.0, unbounded);
+            problem.add_arc(first_copy[v] + k, first_copy[v] + k + 1, 0.0, relay_cap);
         }
     }
 
     // Interaction arcs.
     let mut skipped = 0usize;
-    for edge in graph.edges() {
+    let mut mirrors = if session {
+        vec![EdgeMirror::default(); graph.edge_count()]
+    } else {
+        Vec::new()
+    };
+    let mut big_arcs: Vec<u32> = Vec::new();
+    for (eidx, edge) in graph.edges().iter().enumerate() {
         if edge.src == sink || edge.dst == source {
             skipped += edge.interactions.len();
             continue;
@@ -347,25 +454,38 @@ pub fn build_mcf(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> McfForm
                     k => Some(first_copy[edge.src.index()] + (k - 1)),
                 }
             };
-            let Some(tail) = tail else {
-                skipped += 1;
-                continue;
+            let arc = match tail {
+                None => {
+                    skipped += 1;
+                    SKIP_ARC
+                }
+                Some(tail) => {
+                    let head = if edge.dst == sink {
+                        sink_node
+                    } else {
+                        let list = &arrivals[edge.dst.index()];
+                        let k = list.partition_point(|&at| at < inter.time);
+                        debug_assert!(k < list.len() && list[k] == inter.time);
+                        first_copy[edge.dst.index()] + k
+                    };
+                    let arc = problem.add_arc(tail, head, 0.0, cap) as u32;
+                    if session && !inter.quantity.is_finite() {
+                        big_arcs.push(arc);
+                    }
+                    arc
+                }
             };
-            let head = if edge.dst == sink {
-                sink_node
-            } else {
-                let list = &arrivals[edge.dst.index()];
-                let k = list.partition_point(|&at| at < inter.time);
-                debug_assert!(k < list.len() && list[k] == inter.time);
-                first_copy[edge.dst.index()] + k
-            };
-            problem.add_arc(tail, head, 0.0, cap);
+            if session {
+                mirrors[eidx]
+                    .entries
+                    .push((inter.time, inter.quantity, arc));
+            }
         }
     }
 
     // The return arc closes the circulation; rewarding its flow at cost −1
     // makes "minimize cost" mean "maximize the s-t flow".
-    let return_arc = problem.add_arc(sink_node, src_node, -1.0, unbounded);
+    let return_arc = problem.add_arc(sink_node, src_node, -1.0, relay_cap);
     // Same counting rule as `build_lp`: interactions leaving the flow
     // endpoints are constants there, not variables.
     let lp_variables = graph
@@ -374,15 +494,277 @@ pub fn build_mcf(graph: &TemporalGraph, source: NodeId, sink: NodeId) -> McfForm
         .filter(|e| e.src != source && e.src != sink)
         .map(|e| e.interactions.len())
         .sum();
+    let tracking = session.then(|| {
+        Box::new(Tracking {
+            source,
+            sink,
+            arrivals: arrivals
+                .iter()
+                .enumerate()
+                .map(|(v, list)| {
+                    list.iter()
+                        .enumerate()
+                        .map(|(k, &t)| (t, (first_copy[v] + k) as u32))
+                        .collect()
+                })
+                .collect(),
+            mirrors,
+            finite_total,
+            big: unbounded,
+            big_arcs,
+        })
+    });
     McfFormulation {
         problem,
         return_arc,
         skipped_interactions: skipped,
         lp_variables,
+        tracking,
     }
 }
 
 impl McfFormulation {
+    /// Whether this formulation was built by [`build_mcf_session`] and can
+    /// therefore be patched with [`McfFormulation::apply_delta`].
+    pub fn is_session(&self) -> bool {
+        self.tracking.is_some()
+    }
+
+    /// Patches the arc arrays in place after `delta` was applied to
+    /// `graph` (pass the post-application graph). Expired interactions
+    /// tombstone their arcs to zero capacity; new interactions get arcs,
+    /// appending vertex copies and splicing holdover chains where new
+    /// arrival times appear; arcs whose strict-precedence tail moved onto a
+    /// spliced copy are retargeted. Arc and node ids are stable throughout,
+    /// which is what lets a captured simplex [`tin_lp::Basis`] survive the
+    /// patch.
+    ///
+    /// Returns a [`McfPatch`] summary; [`McfPatch::shrink_only`] tells the
+    /// caller whether the dual re-optimization path applies.
+    ///
+    /// # Panics
+    /// Panics if this formulation was not built by [`build_mcf_session`].
+    pub fn apply_delta(&mut self, graph: &TemporalGraph, delta: &AppliedDelta) -> McfPatch {
+        let tracking = self
+            .tracking
+            .as_mut()
+            .expect("apply_delta requires a session formulation (build_mcf_session)");
+        let mut patch = McfPatch::default();
+        if tracking.arrivals.len() < graph.node_count() {
+            tracking.arrivals.resize(graph.node_count(), Vec::new());
+        }
+        if tracking.mirrors.len() < graph.edge_count() {
+            tracking
+                .mirrors
+                .resize(graph.edge_count(), EdgeMirror::default());
+        }
+
+        // Phase A: two-pointer diff of each changed edge's mirrored arcs
+        // against its current interaction sequence (both chronologically
+        // sorted; a tombstoned edge's sequence is empty, expiring
+        // everything it still mirrored).
+        let mut changed: Vec<u32> = delta.changed_edges().map(|e| e.0).collect();
+        changed.sort_unstable();
+        changed.dedup();
+        let mut additions: Vec<(u32, Time, Quantity)> = Vec::new();
+        for &eidx in &changed {
+            let edge = graph.edge(EdgeId(eidx));
+            if edge.src == tracking.sink || edge.dst == tracking.source {
+                continue; // never represented in the network
+            }
+            let counts_var = edge.src != tracking.source && edge.src != tracking.sink;
+            let mirror = &mut tracking.mirrors[eidx as usize];
+            let current = edge.interactions.as_slice();
+            let mut kept = Vec::with_capacity(current.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            loop {
+                let order = match (mirror.entries.get(i), current.get(j)) {
+                    (None, None) => break,
+                    (Some(_), None) => Ordering::Less,
+                    (None, Some(_)) => Ordering::Greater,
+                    (Some(&(t, q, _)), Some(cur)) => chrono_cmp(t, q, cur.time, cur.quantity),
+                };
+                match order {
+                    // Mirrored but gone from the graph: expired.
+                    Ordering::Less => {
+                        let (_, q, arc) = mirror.entries[i];
+                        if arc == SKIP_ARC {
+                            self.skipped_interactions -= 1;
+                        } else {
+                            self.problem.set_capacity(arc as usize, 0.0);
+                            patch.tombstoned += 1;
+                            patch.touched_arcs.push(arc);
+                            if !q.is_finite() {
+                                tracking.big_arcs.retain(|&a| a != arc);
+                            }
+                        }
+                        if counts_var {
+                            self.lp_variables -= 1;
+                        }
+                        i += 1;
+                    }
+                    // In the graph but not mirrored: newly arrived.
+                    Ordering::Greater => {
+                        let cur = &current[j];
+                        additions.push((eidx, cur.time, cur.quantity));
+                        j += 1;
+                    }
+                    Ordering::Equal => {
+                        kept.push(mirror.entries[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            mirror.entries = kept;
+        }
+
+        // Phase B: arrival times the network has no vertex copy for yet.
+        let mut new_arrivals: Vec<(u32, Time)> = Vec::new();
+        for &(eidx, time, _) in &additions {
+            let dst = graph.edge(EdgeId(eidx)).dst;
+            if dst == tracking.sink {
+                continue;
+            }
+            let list = &tracking.arrivals[dst.index()];
+            let k = list.partition_point(|&(at, _)| at < time);
+            if list.get(k).map(|&(at, _)| at) != Some(time) {
+                new_arrivals.push((dst.0, time));
+            }
+        }
+        new_arrivals.sort_unstable();
+        new_arrivals.dedup();
+
+        // Phase C: splice each new copy into its vertex's holdover chain
+        // (the old prev→next holdover stays as a harmless zero-cost bypass)
+        // and re-point the outgoing interaction arcs whose
+        // strict-precedence tail it takes over: with `next` the following
+        // arrival, departures in `(t, next]` now buffer at the new copy.
+        for &(v, t) in &new_arrivals {
+            let c = self.problem.add_node() as u32;
+            patch.added_nodes += 1;
+            let list = &mut tracking.arrivals[v as usize];
+            let pos = list.partition_point(|&(at, _)| at < t);
+            if pos > 0 {
+                self.problem
+                    .add_arc(list[pos - 1].1 as usize, c as usize, 0.0, f64::INFINITY);
+            }
+            if pos < list.len() {
+                self.problem
+                    .add_arc(c as usize, list[pos].1 as usize, 0.0, f64::INFINITY);
+            }
+            list.insert(pos, (t, c));
+            let next = list.get(pos + 1).map(|&(at, _)| at);
+            for &oe in graph.out_edges(NodeId(v)) {
+                let edge = graph.edge(oe);
+                if edge.dst == tracking.source {
+                    continue; // not represented
+                }
+                let mirror = &mut tracking.mirrors[oe.index()];
+                for entry in &mut mirror.entries {
+                    if entry.0 <= t || next.is_some_and(|nx| entry.0 > nx) {
+                        continue;
+                    }
+                    if entry.2 == SKIP_ARC {
+                        // The interaction finally has a usable tail copy.
+                        let head = if edge.dst == tracking.sink {
+                            SINK_NODE
+                        } else {
+                            let dlist = &tracking.arrivals[edge.dst.index()];
+                            let k = dlist.partition_point(|&(at, _)| at < entry.0);
+                            debug_assert_eq!(dlist.get(k).map(|&(at, _)| at), Some(entry.0));
+                            dlist[k].1 as usize
+                        };
+                        let cap = if entry.1.is_finite() {
+                            entry.1
+                        } else {
+                            tracking.big
+                        };
+                        let arc = self.problem.add_arc(c as usize, head, 0.0, cap) as u32;
+                        if !entry.1.is_finite() {
+                            tracking.big_arcs.push(arc);
+                        }
+                        entry.2 = arc;
+                        self.skipped_interactions -= 1;
+                        patch.added_arcs += 1;
+                    } else {
+                        let head = self.problem.arcs()[entry.2 as usize].head;
+                        self.problem.retarget(entry.2 as usize, c as usize, head);
+                        patch.retargeted += 1;
+                        patch.touched_arcs.push(entry.2);
+                    }
+                }
+            }
+        }
+
+        // Keep the unbounded stand-in above the running finite total before
+        // any new arc uses it (doubling amortizes the in-place bumps).
+        let added_finite: f64 = additions
+            .iter()
+            .map(|&(_, _, q)| if q.is_finite() { q } else { 0.0 })
+            .sum();
+        tracking.finite_total += added_finite;
+        let mut bumped = false;
+        if tracking.finite_total + 1.0 > tracking.big {
+            tracking.big = 2.0 * tracking.finite_total + 1.0;
+            for &a in &tracking.big_arcs {
+                self.problem.set_capacity(a as usize, tracking.big);
+            }
+            patch.touched_arcs.extend_from_slice(&tracking.big_arcs);
+            bumped = true;
+        }
+
+        // Phase D: arcs for the newly arrived interactions (their head
+        // copies all exist after phase C).
+        for &(eidx, time, qty) in &additions {
+            let edge = graph.edge(EdgeId(eidx));
+            let tail = if edge.src == tracking.source {
+                Some(SRC_NODE)
+            } else {
+                let list = &tracking.arrivals[edge.src.index()];
+                match list.partition_point(|&(at, _)| at < time) {
+                    0 => None, // strict precedence: nothing arrived yet
+                    k => Some(list[k - 1].1 as usize),
+                }
+            };
+            let head = if edge.dst == tracking.sink {
+                SINK_NODE
+            } else {
+                let list = &tracking.arrivals[edge.dst.index()];
+                let k = list.partition_point(|&(at, _)| at < time);
+                debug_assert_eq!(list.get(k).map(|&(at, _)| at), Some(time));
+                list[k].1 as usize
+            };
+            let arc = match tail {
+                None => {
+                    self.skipped_interactions += 1;
+                    SKIP_ARC
+                }
+                Some(tl) => {
+                    let cap = if qty.is_finite() { qty } else { tracking.big };
+                    let arc = self.problem.add_arc(tl, head, 0.0, cap) as u32;
+                    if !qty.is_finite() {
+                        tracking.big_arcs.push(arc);
+                    }
+                    patch.added_arcs += 1;
+                    arc
+                }
+            };
+            if edge.src != tracking.source && edge.src != tracking.sink {
+                self.lp_variables += 1;
+            }
+            let mirror = &mut tracking.mirrors[eidx as usize];
+            let pos = mirror
+                .entries
+                .partition_point(|&(t2, q2, _)| chrono_cmp(t2, q2, time, qty) != Ordering::Greater);
+            mirror.entries.insert(pos, (time, qty, arc));
+        }
+
+        patch.shrink_only =
+            patch.added_arcs == 0 && patch.added_nodes == 0 && patch.retargeted == 0 && !bumped;
+        patch
+    }
+
     /// Solves the circulation with the network simplex and interprets the
     /// result as a maximum flow value. The [`LpOutcome`] reports the
     /// variable count the Section 4.2.1 LP would have had (so the paper's
@@ -448,7 +830,7 @@ pub fn max_flow_with_engine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tin_graph::GraphBuilder;
+    use tin_graph::{GraphBuilder, Interaction, Node};
     use tin_maxflow::time_expanded_max_flow;
 
     fn assert_close(a: f64, b: f64) {
@@ -719,5 +1101,202 @@ mod tests {
         b.add_pairs(a, t, &[(3, 10.0)]).unwrap();
         let g = b.build();
         assert_close(netflow_max_flow(&g, s, t).unwrap().flow, 10.0);
+    }
+
+    #[test]
+    fn session_build_solves_identically_to_cold_build() {
+        let (g, s, t) = figure3();
+        let cold = build_mcf(&g, s, t);
+        let session = build_mcf_session(&g, s, t);
+        assert!(session.is_session());
+        assert!(!cold.is_session());
+        assert_eq!(session.problem.num_nodes(), cold.problem.num_nodes());
+        assert_eq!(session.problem.num_arcs(), cold.problem.num_arcs());
+        assert_eq!(session.skipped_interactions, cold.skipped_interactions);
+        assert_eq!(session.lp_variables, cold.lp_variables);
+        let warm = session.solve().unwrap().0.flow;
+        let reference = cold.solve().unwrap().0.flow;
+        assert_close(warm, reference);
+    }
+
+    /// Replays delta batches against one session formulation, asserting
+    /// after every batch that it solves to the same optimum (and carries the
+    /// same LP bookkeeping) as a formulation rebuilt from scratch.
+    fn assert_session_tracks_rebuild(
+        mut g: TemporalGraph,
+        s: NodeId,
+        t: NodeId,
+        batches: Vec<tin_graph::GraphDelta>,
+    ) -> Vec<McfPatch> {
+        // Stat bookkeeping (skipped/variable counts) must match a rebuild
+        // exactly as long as nothing expires; once copies outlive their
+        // inflow the patched network legitimately keeps structurally valid
+        // arcs a rebuild would classify as skipped, so only the optimum is
+        // comparable then.
+        let growth_only = batches.iter().all(|d| d.expiry().is_none());
+        let mut session = build_mcf_session(&g, s, t);
+        let mut patches = Vec::new();
+        for delta in &batches {
+            let applied = g.apply(delta).unwrap();
+            patches.push(session.apply_delta(&g, &applied));
+            let rebuilt = build_mcf_session(&g, s, t);
+            if growth_only {
+                assert_eq!(session.skipped_interactions, rebuilt.skipped_interactions);
+                assert_eq!(session.lp_variables, rebuilt.lp_variables);
+            }
+            let patched = session.solve().unwrap().0.flow;
+            let reference = rebuilt.solve().unwrap().0.flow;
+            assert_close(patched, reference);
+            assert_close(patched, netflow_max_flow(&g, s, t).unwrap().flow);
+        }
+        patches
+    }
+
+    #[test]
+    fn apply_delta_tracks_rebuild_through_growth_batches() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let t = b.add_node("t");
+        b.add_pairs(s, x, &[(1, 3.0)]).unwrap();
+        b.add_pairs(x, t, &[(5, 5.0)]).unwrap();
+        let g = b.build();
+        let batches = vec![
+            // New interactions on existing and new edges, including one
+            // (s→y at 2) that creates a copy mid-stream.
+            tin_graph::GraphDelta::new(
+                4,
+                vec![],
+                vec![
+                    (s, y, Interaction::new(2, 6.0)),
+                    (y, t, Interaction::new(9, 4.0)),
+                ],
+            )
+            .unwrap(),
+            // Out-of-order arrival: x gains an earlier copy at time 0, which
+            // splices ahead of the existing time-1 copy and must NOT steal
+            // the x→t@5 departure (still tied to the latest arrival ≤ 5);
+            // y→x@3 then retargets nothing but adds capacity upstream.
+            tin_graph::GraphDelta::new(
+                4,
+                vec![],
+                vec![
+                    (s, x, Interaction::new(0, 1.0)),
+                    (y, x, Interaction::new(3, 2.0)),
+                ],
+            )
+            .unwrap(),
+            // A brand-new vertex appears with through-traffic.
+            tin_graph::GraphDelta::new(
+                4,
+                vec![Node { name: "z".into() }],
+                vec![
+                    (x, NodeId(4), Interaction::new(6, 4.0)),
+                    (NodeId(4), t, Interaction::new(7, 3.0)),
+                ],
+            )
+            .unwrap(),
+        ];
+        let patches = assert_session_tracks_rebuild(g, s, t, batches);
+        assert!(patches.iter().all(|p| !p.shrink_only));
+        assert!(patches.iter().any(|p| p.added_nodes > 0));
+    }
+
+    #[test]
+    fn apply_delta_materializes_previously_skipped_interactions() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let a = b.add_node("a");
+        let t = b.add_node("t");
+        b.add_pairs(a, t, &[(5, 4.0)]).unwrap();
+        let g = b.build();
+        let mut session = build_mcf_session(&g, s, t);
+        assert_eq!(session.skipped_interactions, 1);
+        // No arrival at `a` precedes the a→t@5 departure, so flow is 0...
+        let batches = vec![
+            // ...until s→a@2 arrives: the new copy at (a, 2) must
+            // materialize the skipped arc, not just splice the chain.
+            tin_graph::GraphDelta::new(3, vec![], vec![(s, a, Interaction::new(2, 4.0))]).unwrap(),
+        ];
+        let mut g2 = g.clone();
+        let applied = g2.apply(&batches[0]).unwrap();
+        let patch = session.apply_delta(&g2, &applied);
+        assert!(patch.added_arcs >= 2);
+        assert_eq!(session.skipped_interactions, 0);
+        assert_close(session.solve().unwrap().0.flow, 4.0);
+        assert_session_tracks_rebuild(g, s, t, batches);
+    }
+
+    #[test]
+    fn apply_delta_expiry_is_shrink_only_and_tracks_rebuild() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let x = b.add_node("x");
+        let t = b.add_node("t");
+        b.add_pairs(s, x, &[(1, 2.0), (4, 3.0)]).unwrap();
+        b.add_pairs(x, t, &[(2, 2.0), (6, 5.0)]).unwrap();
+        let g = b.build();
+        let batches = vec![
+            // Pure expiry: s→x@1 and x→t@2 fall out of the window. The
+            // vertex copies stay (ids are stable), the arcs tombstone.
+            tin_graph::GraphDelta::new(3, vec![], vec![])
+                .unwrap()
+                .expire_before(3),
+            // Expire everything that remains: edges fully tombstone.
+            tin_graph::GraphDelta::new(3, vec![], vec![])
+                .unwrap()
+                .expire_before(100),
+        ];
+        let patches = assert_session_tracks_rebuild(g, s, t, batches);
+        assert!(patches.iter().all(|p| p.shrink_only));
+        assert!(patches.iter().all(|p| p.tombstoned > 0));
+        assert!(patches
+            .iter()
+            .all(|p| p.added_arcs == 0 && p.added_nodes == 0));
+    }
+
+    #[test]
+    fn apply_delta_mixed_window_slide_tracks_rebuild() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node("s");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let t = b.add_node("t");
+        b.add_pairs(s, x, &[(1, 3.0), (2, 2.0)]).unwrap();
+        b.add_pairs(x, y, &[(3, 4.0)]).unwrap();
+        b.add_pairs(y, t, &[(4, 4.0)]).unwrap();
+        let g = b.build();
+        // Sliding window: adds at the front, expiry at the back, same batch.
+        let batches = vec![
+            tin_graph::GraphDelta::new(
+                4,
+                vec![],
+                vec![
+                    (s, y, Interaction::new(5, 2.0)),
+                    (y, t, Interaction::new(6, 3.0)),
+                ],
+            )
+            .unwrap()
+            .expire_before(2),
+            tin_graph::GraphDelta::new(4, vec![], vec![(x, t, Interaction::new(7, 1.0))])
+                .unwrap()
+                .expire_before(4),
+        ];
+        let patches = assert_session_tracks_rebuild(g, s, t, batches);
+        assert!(patches.iter().all(|p| !p.shrink_only));
+        assert!(patches.iter().all(|p| p.tombstoned > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a session formulation")]
+    fn apply_delta_rejects_one_shot_formulations() {
+        let (g, s, t) = figure3();
+        let mut cold = build_mcf(&g, s, t);
+        let mut g2 = g.clone();
+        let delta =
+            tin_graph::GraphDelta::new(4, vec![], vec![(s, t, Interaction::new(9, 1.0))]).unwrap();
+        let applied = g2.apply(&delta).unwrap();
+        cold.apply_delta(&g2, &applied);
     }
 }

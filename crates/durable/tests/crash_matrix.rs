@@ -378,6 +378,86 @@ fn kill_with_expiring_window_preserves_frontier() {
     fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Group commit crash contract, across group sizes: with `sync_every = g`,
+/// a kill after `k` appends loses **at most the last uncommitted group** —
+/// the durable prefix holds the `floor(k / g) * g` frames whose group
+/// boundaries fsynced, and recovery replays exactly those, then keeps
+/// accepting appends.
+#[test]
+fn group_commit_kill_loses_at_most_last_group() {
+    for (group, appends) in [(2u32, 7u32), (4, 10), (8, 8), (8, 5)] {
+        let dir = temp_dir(&format!("groupkill-{group}-{appends}"));
+        let config = JournalConfig::group_commit(group);
+        let mut j = Journal::open(&dir, config).unwrap();
+        for i in 0..appends {
+            j.append(&delta(i)).unwrap();
+        }
+        let committed = (appends / group) * group;
+        let durable = j.durable_position();
+        if appends % group == 0 {
+            assert_eq!(durable, j.position(), "g={group} k={appends}");
+        } else {
+            assert!(durable < j.position(), "g={group} k={appends}");
+        }
+        // Simulate the kill: skip the Drop flush, then drop everything past
+        // the last fsync (the open group rides only in the page cache and
+        // a power cut takes it).
+        std::mem::forget(j);
+        let seg = tin_durable::journal::segment_path(&dir, durable.segment);
+        fs::File::options()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(durable.offset)
+            .unwrap();
+        let replay =
+            tin_durable::journal::replay_from(&dir, tin_durable::JournalPos::start()).unwrap();
+        assert_eq!(
+            replay.deltas.len(),
+            committed as usize,
+            "g={group} k={appends}: exactly the committed groups survive"
+        );
+        assert!(replay.torn.is_none());
+        for (i, (d, _)) in replay.deltas.iter().enumerate() {
+            assert_eq!(d, &delta(i as u32), "g={group} k={appends}");
+        }
+        // Recovery leaves a journal that keeps working.
+        let mut j = Journal::open(&dir, config).unwrap();
+        assert_eq!(j.position(), durable);
+        j.append(&delta(committed)).unwrap();
+        j.sync().unwrap();
+        let replay =
+            tin_durable::journal::replay_from(&dir, tin_durable::JournalPos::start()).unwrap();
+        assert_eq!(replay.deltas.len(), committed as usize + 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Group commit clean-shutdown contract: dropping the journal flushes the
+/// open group, so a shutdown between group boundaries loses nothing — the
+/// full append sequence replays.
+#[test]
+fn group_commit_clean_shutdown_loses_nothing() {
+    let dir = temp_dir("groupclean");
+    let mut j = Journal::open(&dir, JournalConfig::group_commit(4)).unwrap();
+    for i in 0..10 {
+        j.append(&delta(i)).unwrap();
+    }
+    // Two frames sit in the open (uncommitted) group...
+    assert!(j.durable_position() < j.position());
+    let end = j.position();
+    // ...and the drop commits them.
+    drop(j);
+    let replay = tin_durable::journal::replay_from(&dir, tin_durable::JournalPos::start()).unwrap();
+    assert_eq!(replay.deltas.len(), 10);
+    assert_eq!(replay.end, end);
+    // A reopen sees the whole sequence as the durable prefix.
+    let j = Journal::open(&dir, JournalConfig::group_commit(4)).unwrap();
+    assert_eq!(j.position(), end);
+    assert_eq!(j.durable_position(), end);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Belt-and-braces: the journal alone (no store) also tolerates a
 /// `FailpointWriter`-torn copy of a multi-frame segment at any of the
 /// sampled depths.

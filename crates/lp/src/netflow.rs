@@ -85,6 +85,20 @@ pub struct McfSolution {
     pub pivots: usize,
     /// Pivots whose step length was (numerically) zero.
     pub degenerate_pivots: usize,
+    /// The spanning-tree basis at the optimum, captured by the
+    /// basis-carrying entry points ([`MinCostFlowProblem::solve_with_basis`],
+    /// [`MinCostFlowProblem::reoptimize`],
+    /// [`MinCostFlowProblem::reoptimize_shrunk`]) so the next solve of a
+    /// patched problem can be seeded from it. `None` from plain
+    /// [`MinCostFlowProblem::solve`] and on non-optimal exits.
+    pub basis: Option<Basis>,
+    /// Whether this run was warm-started from a previous basis (and the
+    /// seed survived — a seeded run that fell back cold reports `false`).
+    pub basis_reused: bool,
+    /// Whether a seeded run abandoned the supplied basis and re-solved from
+    /// scratch (unusable tree, changed supplies, or a pivot-limit stall in
+    /// the warm phases).
+    pub fallback_cold: bool,
 }
 
 impl McfSolution {
@@ -95,12 +109,52 @@ impl McfSolution {
             flows: Vec::new(),
             pivots,
             degenerate_pivots,
+            basis: None,
+            basis_reused: false,
+            fallback_cold: false,
         }
     }
 
     /// Whether the solver proved optimality.
     pub fn is_optimal(&self) -> bool {
         self.status == LpStatus::Optimal
+    }
+}
+
+/// A spanning-tree basis captured at a network-simplex optimum: the
+/// per-arc rest state (tree / lower / upper) and flow, plus the supplies
+/// it was proved against. Feeding it back through
+/// [`MinCostFlowProblem::reoptimize`] (primal repair, the general case)
+/// or [`MinCostFlowProblem::reoptimize_shrunk`] (dual repair for
+/// capacity-decrease/expiry deltas) re-optimizes a *patched* problem from
+/// here instead of rebuilding the tree from scratch — arcs may have been
+/// appended, capacities and costs changed, and nodes added since the
+/// capture; supplies must be unchanged (new nodes must have supply 0) or
+/// the seed falls back to a cold solve.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    num_nodes: usize,
+    supplies: Vec<f64>,
+    states: Vec<ArcState>,
+    /// Shifted flows (`x − lower`), aligned with `states`.
+    flows: Vec<f64>,
+}
+
+impl Basis {
+    /// Number of nodes of the problem this basis was captured from.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of arcs covered by this basis (arcs appended after the
+    /// capture seed as nonbasic-at-lower).
+    pub fn num_arcs(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of arcs resting in the spanning tree.
+    pub fn tree_arcs(&self) -> usize {
+        self.states.iter().filter(|&&s| s == ArcState::Tree).count()
     }
 }
 
@@ -191,6 +245,46 @@ impl MinCostFlowProblem {
     /// The arcs in insertion order.
     pub fn arcs(&self) -> &[McfArc] {
         &self.arcs
+    }
+
+    /// Appends a node with supply 0; returns its index. Used by streaming
+    /// emitters that grow a problem in place (new vertex copies of the
+    /// time-expanded network) — existing arc indices are unaffected.
+    pub fn add_node(&mut self) -> usize {
+        self.supplies.push(0.0);
+        self.supplies.len() - 1
+    }
+
+    /// Changes the capacity (upper bound) of an existing arc in place.
+    /// Setting it to the arc's lower bound tombstones the arc: it can never
+    /// carry flow again but keeps its index, which is what lets streaming
+    /// callers patch a problem without renumbering.
+    ///
+    /// # Panics
+    /// Panics if `arc` is out of range or the band would be empty.
+    pub fn set_capacity(&mut self, arc: usize, upper: f64) {
+        let a = &mut self.arcs[arc];
+        assert!(
+            !upper.is_nan() && a.lower <= upper,
+            "arc bounds must satisfy lower <= upper, got [{}, {upper}]",
+            a.lower
+        );
+        a.upper = upper;
+    }
+
+    /// Moves an existing arc to new endpoints in place (same cost and
+    /// bounds). Streaming emitters use this when a patched network inserts
+    /// a node "between" an arc's old tail and its timestamp.
+    ///
+    /// # Panics
+    /// Panics if `arc` or an endpoint is out of range.
+    pub fn retarget(&mut self, arc: usize, tail: usize, head: usize) {
+        let n = self.supplies.len();
+        assert!(tail < n, "arc tail {tail} out of range");
+        assert!(head < n, "arc head {head} out of range");
+        let a = &mut self.arcs[arc];
+        a.tail = tail;
+        a.head = head;
     }
 
     /// Evaluates `Σ costᵃ · xᵃ` at a given flow vector.
@@ -291,8 +385,73 @@ impl MinCostFlowProblem {
         Some(mcf)
     }
 
-    /// Solves the problem with the network simplex.
+    /// Solves the problem with the network simplex (from scratch, no basis
+    /// capture — the zero-overhead one-shot path).
     pub fn solve(&self) -> McfSolution {
+        self.solve_cold(false)
+    }
+
+    /// Like [`MinCostFlowProblem::solve`], but captures the optimal basis
+    /// into [`McfSolution::basis`] so a later solve of a patched problem
+    /// can be seeded from it.
+    pub fn solve_with_basis(&self) -> McfSolution {
+        self.solve_cold(true)
+    }
+
+    /// Re-optimizes from a previous basis after arbitrary in-place patches
+    /// (arc additions, capacity increases or decreases, cost changes,
+    /// retargeted endpoints, appended nodes): the stored flows are clamped
+    /// into the current bounds, any resulting node imbalance is put on the
+    /// artificial arcs and drained by primal phase-1 pivots from the seeded
+    /// tree, and phase 2 then re-proves optimality under the current costs.
+    /// Falls back to a cold solve — reported via
+    /// [`McfSolution::fallback_cold`] — when the basis is unusable (changed
+    /// supplies, fewer arcs than the basis covers, non-finite stored flows)
+    /// or a warm phase hits the pivot limit.
+    pub fn reoptimize(&self, basis: &Basis) -> McfSolution {
+        match self.try_seeded(basis, false) {
+            Some(solution) => solution,
+            None => {
+                let mut s = self.solve_cold(true);
+                s.fallback_cold = true;
+                s
+            }
+        }
+    }
+
+    /// Re-optimizes from a previous basis through the *dual* network
+    /// simplex — the natural repair for capacity-decrease/arc-removal
+    /// (expiry) deltas, where the old tree stays dual-feasible and only a
+    /// few tree arcs are pushed outside their (shrunk) bounds. Basic flows
+    /// are recomputed from the nonbasic rest states by tree elimination,
+    /// each primal infeasibility is repaired by one dual pivot (leaving arc
+    /// = the violated tree arc, entering arc = the minimum-reduced-cost
+    /// nonbasic arc crossing its tree cut), and a final primal phase
+    /// certifies optimality. Falls back to a cold solve on the same
+    /// conditions as [`MinCostFlowProblem::reoptimize`], plus a dual stall
+    /// (no crossing arc can absorb a violation).
+    pub fn reoptimize_shrunk(&self, basis: &Basis) -> McfSolution {
+        match self.try_seeded(basis, true) {
+            Some(solution) => solution,
+            None => {
+                let mut s = self.solve_cold(true);
+                s.fallback_cold = true;
+                s
+            }
+        }
+    }
+
+    /// The pivot budget for one solve: the explicit cap when set, else a
+    /// generous size-proportional default.
+    fn pivot_limit(&self) -> usize {
+        if self.max_iterations > 0 {
+            self.max_iterations
+        } else {
+            200 * (self.supplies.len() + self.arcs.len()) + 2_000
+        }
+    }
+
+    fn solve_cold(&self, capture: bool) -> McfSolution {
         let n = self.supplies.len();
         let m = self.arcs.len();
         if n == 0 {
@@ -328,11 +487,7 @@ impl MinCostFlowProblem {
             excess
         };
         let mut s = NetSimplex::new(self, &excess, warm);
-        let limit = if self.max_iterations > 0 {
-            self.max_iterations
-        } else {
-            200 * (n + m) + 2_000
-        };
+        let limit = self.pivot_limit();
 
         if warm {
             s.warm_start();
@@ -360,7 +515,12 @@ impl MinCostFlowProblem {
         if let Err(status) = s.run(limit, false) {
             return McfSolution::with_status(status, s.pivots, s.degenerate);
         }
+        self.extract(&s, capture, false)
+    }
 
+    /// Builds the optimal [`McfSolution`] from a finished simplex run,
+    /// optionally capturing the basis for reuse.
+    fn extract(&self, s: &NetSimplex, capture: bool, reused: bool) -> McfSolution {
         let flows: Vec<f64> = self
             .arcs
             .iter()
@@ -368,11 +528,98 @@ impl MinCostFlowProblem {
             .map(|(a, rec)| (a.lower + rec.flow).clamp(a.lower, a.upper))
             .collect();
         let objective = self.flow_cost(&flows);
+        let basis = capture.then(|| Basis {
+            num_nodes: s.n,
+            supplies: self.supplies.clone(),
+            states: s.arcs[..s.m].iter().map(|a| a.state).collect(),
+            flows: s.arcs[..s.m].iter().map(|a| a.flow).collect(),
+        });
         McfSolution {
             objective,
             flows,
+            basis,
+            basis_reused: reused,
             ..McfSolution::with_status(LpStatus::Optimal, s.pivots, s.degenerate)
         }
+    }
+
+    /// Seeded re-optimization shared by [`MinCostFlowProblem::reoptimize`]
+    /// and [`MinCostFlowProblem::reoptimize_shrunk`]. Returns `None` when
+    /// the caller should fall back to a cold solve; `Some` results
+    /// (including `Infeasible`/`Unbounded`) are authoritative — the warm
+    /// phases prove those verdicts exactly as the cold path would.
+    fn try_seeded(&self, basis: &Basis, dual: bool) -> Option<McfSolution> {
+        let n = self.supplies.len();
+        let m = self.arcs.len();
+        if n == 0 || basis.num_nodes > n || basis.states.len() > m {
+            return None;
+        }
+        // The seed promises nothing about supplies: bail out unless they are
+        // exactly the ones the basis was proved against (appended nodes must
+        // be supply-free). Anything else is a different flow problem, not a
+        // patched one.
+        for (v, &s) in self.supplies.iter().enumerate() {
+            let want = if v < basis.num_nodes {
+                basis.supplies[v]
+            } else {
+                0.0
+            };
+            if s != want {
+                return None;
+            }
+        }
+        if basis.flows.iter().any(|f| !f.is_finite()) {
+            return None;
+        }
+        // Mirror the cold path's aggregate-balance rejection. The cold check
+        // sums the per-node excesses; the lower-bound shifts cancel pairwise
+        // (−l at the tail, +l at the head), so the sum is just Σ supplies.
+        if self.supplies.iter().sum::<f64>().abs() > FEAS_EPS {
+            return Some(McfSolution::with_status(LpStatus::Infeasible, 0, 0));
+        }
+        let limit = self.pivot_limit();
+        let mut s = NetSimplex::seeded(self, basis, dual);
+        if dual {
+            match s.dual_repair(limit) {
+                Ok(()) => {}
+                Err(DualOutcome::Stall) | Err(DualOutcome::Limit) => return None,
+            }
+        } else {
+            // Primal repair: the seeded constructor has already clamped the
+            // stored flows and parked every node imbalance on the artificial
+            // arcs with phase-1 costs; a zero imbalance makes this a no-op.
+            if s.infeasibility > EPS {
+                match s.run(limit, true) {
+                    Ok(()) => {}
+                    Err(LpStatus::Unbounded) => {
+                        return Some(McfSolution::with_status(
+                            LpStatus::Infeasible,
+                            s.pivots,
+                            s.degenerate,
+                        ));
+                    }
+                    Err(LpStatus::IterationLimit) => return None,
+                    Err(status) => {
+                        return Some(McfSolution::with_status(status, s.pivots, s.degenerate))
+                    }
+                }
+                let art_flow: f64 = s.arcs[m..].iter().map(|a| a.flow).sum();
+                if art_flow > FEAS_EPS {
+                    return Some(McfSolution::with_status(
+                        LpStatus::Infeasible,
+                        s.pivots,
+                        s.degenerate,
+                    ));
+                }
+            }
+            s.enter_phase2(&self.arcs);
+        }
+        match s.run(limit, false) {
+            Ok(()) => {}
+            Err(LpStatus::IterationLimit) => return None,
+            Err(status) => return Some(McfSolution::with_status(status, s.pivots, s.degenerate)),
+        }
+        Some(self.extract(&s, true, true))
     }
 }
 
@@ -441,6 +688,22 @@ struct Scratch {
     stack: Vec<usize>,
     start: Vec<usize>,
     incoming: Vec<u32>,
+    marks: Vec<bool>,
+    adj: Vec<u32>,
+    adj_start: Vec<u32>,
+}
+
+/// Returns a recycled buffer to the scratch slot, first dropping excess
+/// capacity: a long-running stream solves problems of wildly varying size
+/// on the same thread, and without a cap every buffer would pin its
+/// high-water allocation forever. Anything beyond 4× what the *current*
+/// problem needs is given back to the allocator.
+fn stash<T>(slot: &mut Vec<T>, mut buf: Vec<T>, need: usize) {
+    if buf.capacity() > 4 * need.max(1) {
+        buf.truncate(need);
+        buf.shrink_to(need);
+    }
+    *slot = buf;
 }
 
 thread_local! {
@@ -470,24 +733,52 @@ struct NetSimplex {
     chain: Vec<usize>,
     chain_arcs: Vec<usize>,
     stack: Vec<usize>,
-    // CSR bucketing scratch for `warm_start`.
+    // CSR bucketing scratch for `warm_start` / `seed_tree`.
     start: Vec<usize>,
     incoming: Vec<u32>,
+    // Subtree membership flags for the dual pivots (all `false` between
+    // uses; cleared through the visited list, never by a full sweep).
+    marks: Vec<bool>,
+    // Real-arc incidence CSR (`adj_start[v]..adj_start[v+1]` indexes into
+    // `adj`), built on demand by the incremental path so a dual pivot can
+    // scan only the arcs incident to a small cut subtree instead of the
+    // whole arc array. Valid only while `adj_valid` — any endpoint edit or
+    // structural growth clears it.
+    adj: Vec<u32>,
+    adj_start: Vec<u32>,
+    adj_valid: bool,
+    adj_enabled: bool,
 }
 
 impl Drop for NetSimplex {
     fn drop(&mut self) {
+        let (n, m) = (self.n, self.m);
         SCRATCH.with(|slot| {
             let mut sc = slot.borrow_mut();
-            sc.arcs = std::mem::take(&mut self.arcs);
-            sc.nodes = std::mem::take(&mut self.nodes);
-            sc.path_from = std::mem::take(&mut self.path_from);
-            sc.path_to = std::mem::take(&mut self.path_to);
-            sc.chain = std::mem::take(&mut self.chain);
-            sc.chain_arcs = std::mem::take(&mut self.chain_arcs);
-            sc.stack = std::mem::take(&mut self.stack);
-            sc.start = std::mem::take(&mut self.start);
-            sc.incoming = std::mem::take(&mut self.incoming);
+            stash(&mut sc.arcs, std::mem::take(&mut self.arcs), m + n);
+            stash(&mut sc.nodes, std::mem::take(&mut self.nodes), n + 1);
+            stash(
+                &mut sc.path_from,
+                std::mem::take(&mut self.path_from),
+                n + 1,
+            );
+            stash(&mut sc.path_to, std::mem::take(&mut self.path_to), n + 1);
+            stash(&mut sc.chain, std::mem::take(&mut self.chain), n + 1);
+            stash(
+                &mut sc.chain_arcs,
+                std::mem::take(&mut self.chain_arcs),
+                n + 1,
+            );
+            stash(&mut sc.stack, std::mem::take(&mut self.stack), n + 1);
+            stash(&mut sc.start, std::mem::take(&mut self.start), n + 1);
+            stash(&mut sc.incoming, std::mem::take(&mut self.incoming), m + n);
+            stash(&mut sc.marks, std::mem::take(&mut self.marks), n + 1);
+            stash(&mut sc.adj, std::mem::take(&mut self.adj), 2 * m);
+            stash(
+                &mut sc.adj_start,
+                std::mem::take(&mut self.adj_start),
+                n + 2,
+            );
         });
     }
 }
@@ -526,6 +817,11 @@ impl NetSimplex {
             stack: sc.stack,
             start: sc.start,
             incoming: sc.incoming,
+            marks: sc.marks,
+            adj: sc.adj,
+            adj_start: sc.adj_start,
+            adj_valid: false,
+            adj_enabled: false,
         };
         for a in &p.arcs {
             s.arcs.push(ArcRec {
@@ -577,6 +873,296 @@ impl NetSimplex {
             s.attach(root, v);
         }
         s
+    }
+
+    /// Builds the solver state from a previously captured [`Basis`] against
+    /// the *current* (patched) problem. Rest states come from the basis
+    /// (arcs appended since the capture start nonbasic-at-lower), the
+    /// spanning tree is re-derived from the `Tree` states — demoting any
+    /// arc that would close a cycle and anchoring each connected piece to
+    /// the root through an artificial arc — and flows are restored in the
+    /// mode the caller asked for:
+    ///
+    /// * **primal** (`dual == false`): stored tree flows are clamped into
+    ///   the current bounds, the resulting per-node imbalance is parked on
+    ///   the artificial arcs under phase-1 costs, and `infeasibility` ends
+    ///   up as the total imbalance (0 ⇒ the caller skips phase 1);
+    /// * **dual** (`dual == true`): nonbasic arcs snap exactly to their
+    ///   bounds, basic flows are *recomputed* by tree elimination (children
+    ///   before parents), and real costs are installed — the tree is
+    ///   dual-feasible by construction and any out-of-bounds tree flow is
+    ///   left for [`NetSimplex::dual_repair`].
+    fn seeded(p: &MinCostFlowProblem, basis: &Basis, dual: bool) -> Self {
+        let n = p.supplies.len();
+        let m = p.arcs.len();
+        let root = n;
+        let total = m + n;
+        assert!(total < NIL as usize, "network too large for u32 indexing");
+        let mut sc = SCRATCH.with(|slot| slot.take());
+        sc.arcs.clear();
+        sc.arcs.reserve(total);
+        sc.nodes.clear();
+        sc.nodes.resize(n + 1, NODE_INIT);
+        sc.marks.clear();
+        sc.marks.resize(n + 1, false);
+        let mut s = NetSimplex {
+            n,
+            m,
+            arcs: sc.arcs,
+            nodes: sc.nodes,
+            cursor: 0,
+            block: (total / 8).clamp(16, 1_024),
+            pivots: 0,
+            degenerate: 0,
+            infeasibility: 0.0,
+            path_from: sc.path_from,
+            path_to: sc.path_to,
+            chain: sc.chain,
+            chain_arcs: sc.chain_arcs,
+            stack: sc.stack,
+            start: sc.start,
+            incoming: sc.incoming,
+            marks: sc.marks,
+            adj: sc.adj,
+            adj_start: sc.adj_start,
+            adj_valid: false,
+            adj_enabled: false,
+        };
+        for (i, a) in p.arcs.iter().enumerate() {
+            let (state, flow) = if i < basis.states.len() {
+                (basis.states[i], basis.flows[i])
+            } else {
+                (ArcState::Lower, 0.0)
+            };
+            s.arcs.push(ArcRec {
+                tail: a.tail as u32,
+                head: a.head as u32,
+                state,
+                cap: a.upper - a.lower,
+                cost: 0.0, // installed below once the phase is known
+                flow,
+            });
+        }
+        for v in 0..n {
+            s.arcs.push(ArcRec {
+                tail: v as u32,
+                head: root as u32,
+                state: ArcState::Lower,
+                cap: 0.0,
+                cost: 0.0,
+                flow: 0.0,
+            });
+        }
+        // Normalize rest states against the *patched* bounds: an arc held
+        // at `Upper` whose capacity became infinite or (numerically) zero
+        // no longer has a bound to rest at — demote to lower.
+        for rec in &mut s.arcs[..m] {
+            match rec.state {
+                ArcState::Upper if !rec.cap.is_finite() || rec.cap <= EPS => {
+                    rec.state = ArcState::Lower;
+                    rec.flow = 0.0;
+                }
+                ArcState::Upper => rec.flow = rec.cap,
+                ArcState::Lower => rec.flow = 0.0,
+                ArcState::Tree => {
+                    rec.flow = if dual {
+                        0.0 // recomputed by elimination below
+                    } else {
+                        rec.flow.clamp(0.0, rec.cap)
+                    };
+                }
+            }
+        }
+        s.seed_tree();
+
+        if dual {
+            // Real costs immediately; artificial arcs stay cost 0, cap 0.
+            for (rec, a) in s.arcs.iter_mut().zip(&p.arcs) {
+                rec.cost = a.cost;
+            }
+            // Tree elimination: each node's residual excess (supply minus
+            // the lower-bound shifts and nonbasic flows) must leave through
+            // its pred arc; processing children before parents solves the
+            // triangular system in one sweep.
+            let mut e: Vec<f64> = p.supplies.clone();
+            e.push(0.0); // root
+            for (a, rec) in p.arcs.iter().zip(&s.arcs) {
+                let x = a.lower
+                    + if rec.state == ArcState::Tree {
+                        0.0
+                    } else {
+                        rec.flow
+                    };
+                e[a.tail] -= x;
+                e[a.head] += x;
+            }
+            s.eliminate_tree_flows(&mut e);
+        } else {
+            // Park every node imbalance on the artificial arcs, exactly as
+            // the cold constructor does — except here most excesses are 0,
+            // because the clamped flows still balance wherever the patch
+            // didn't bite.
+            let mut excess: Vec<f64> = p.supplies.clone();
+            for (a, rec) in p.arcs.iter().zip(&s.arcs) {
+                let x = a.lower + rec.flow;
+                excess[a.tail] -= x;
+                excess[a.head] += x;
+            }
+            let phase1 = excess.iter().any(|&e| e.abs() > EPS);
+            for (v, &e) in excess.iter().enumerate() {
+                if e.abs() <= EPS {
+                    continue;
+                }
+                let rec = &mut s.arcs[m + v];
+                let (tail, head) = if e >= 0.0 { (v, root) } else { (root, v) };
+                rec.tail = tail as u32;
+                rec.head = head as u32;
+                rec.flow = e.abs();
+                if rec.state == ArcState::Tree {
+                    rec.cap = f64::INFINITY; // the anchor carries the imbalance
+                } else {
+                    rec.cap = e.abs();
+                    rec.state = ArcState::Upper;
+                }
+                s.infeasibility += e.abs();
+            }
+            if phase1 {
+                // Phase-1 cost layout: real arcs 0 (already), artificials 1;
+                // anchors get unbounded capacity like the cold phase 1 so
+                // transient pivots are never blocked at the root.
+                for rec in &mut s.arcs[m..] {
+                    rec.cost = 1.0;
+                    if rec.state == ArcState::Tree {
+                        rec.cap = f64::INFINITY;
+                    }
+                }
+            }
+            // No imbalance: leave all costs 0 — the caller goes straight to
+            // `enter_phase2`, which installs the real costs and refreshes
+            // the potentials.
+        }
+
+        let root = s.n;
+        s.nodes[root].pot = 0.0;
+        let mut c = s.nodes[root].first_child;
+        while c != NIL {
+            s.refresh_subtree(c as usize);
+            c = s.nodes[c as usize].next_sib;
+        }
+        s
+    }
+
+    /// Rebuilds the parent/pred/child-sibling tree from the arc `Tree`
+    /// states restored out of a [`Basis`]. Tree arcs are treated as
+    /// undirected edges; any arc that would close a cycle (possible after
+    /// retargeting) is demoted to nonbasic-at-lower, and every connected
+    /// piece — including nodes appended after the capture — is anchored to
+    /// the artificial root through its lowest-numbered node's artificial
+    /// arc. Depths and potentials are left for the caller to refresh.
+    fn seed_tree(&mut self) {
+        let root = self.n;
+        let mut start = std::mem::take(&mut self.start);
+        start.clear();
+        start.resize(self.n + 1, 0);
+        for arc in &self.arcs[..self.m] {
+            if arc.state == ArcState::Tree {
+                start[arc.tail as usize] += 1;
+                start[arc.head as usize] += 1;
+            }
+        }
+        let mut run = 0usize;
+        for s in start.iter_mut() {
+            run += *s;
+            *s = run;
+        }
+        let mut incoming = std::mem::take(&mut self.incoming);
+        incoming.clear();
+        incoming.resize(run, 0);
+        for (a, arc) in self.arcs[..self.m].iter().enumerate() {
+            if arc.state == ArcState::Tree {
+                for v in [arc.tail as usize, arc.head as usize] {
+                    let slot = &mut start[v];
+                    *slot -= 1;
+                    incoming[*slot] = a as u32;
+                }
+            }
+        }
+        self.stack.clear();
+        for anchor in 0..self.n {
+            if self.nodes[anchor].parent != NIL {
+                continue;
+            }
+            self.nodes[anchor].parent = root as u32;
+            self.nodes[anchor].pred = (self.m + anchor) as u32;
+            self.arcs[self.m + anchor].state = ArcState::Tree;
+            self.attach(root, anchor);
+            self.stack.push(anchor);
+            while let Some(v) = self.stack.pop() {
+                for &inc in &incoming[start[v]..start[v + 1]] {
+                    let a = inc as usize;
+                    let arc = self.arcs[a];
+                    let u = if arc.tail as usize == v {
+                        arc.head as usize
+                    } else {
+                        arc.tail as usize
+                    };
+                    if self.nodes[u].parent == NIL {
+                        self.nodes[u].parent = v as u32;
+                        self.nodes[u].pred = a as u32;
+                        self.attach(v, u);
+                        self.stack.push(u);
+                    } else if self.arcs[a].state == ArcState::Tree
+                        && self.nodes[v].pred as usize != a
+                        && self.nodes[u].pred as usize != a
+                    {
+                        // Both endpoints already attached and the arc is
+                        // neither one's entry: it closes a cycle. The stored
+                        // tree is stale here; rest the arc at its lower
+                        // bound instead.
+                        self.arcs[a].state = ArcState::Lower;
+                        self.arcs[a].flow = 0.0;
+                    }
+                }
+            }
+        }
+        self.start = start;
+        self.incoming = incoming;
+    }
+
+    /// Tree elimination: given per-node residual excesses `e` (indexed
+    /// `0..=n`, root last), assigns every basic arc the unique flow that
+    /// balances its subtree. Preorder by explicit stack puts parents before
+    /// descendants, so the reverse sweep sees every child first and solves
+    /// the triangular system in one pass. Flows may land outside their
+    /// bounds — that is the caller's dual repair to finish.
+    fn eliminate_tree_flows(&mut self, e: &mut [f64]) {
+        let root = self.n;
+        self.chain.clear();
+        self.stack.clear();
+        let mut c = self.nodes[root].first_child;
+        while c != NIL {
+            self.stack.push(c as usize);
+            c = self.nodes[c as usize].next_sib;
+        }
+        while let Some(v) = self.stack.pop() {
+            self.chain.push(v);
+            let mut c = self.nodes[v].first_child;
+            while c != NIL {
+                self.stack.push(c as usize);
+                c = self.nodes[c as usize].next_sib;
+            }
+        }
+        for i in (0..self.chain.len()).rev() {
+            let v = self.chain[i];
+            let a = self.nodes[v].pred as usize;
+            let ev = e[v];
+            self.arcs[a].flow = if self.arcs[a].tail as usize == v {
+                ev
+            } else {
+                -ev
+            };
+            e[self.nodes[v].parent as usize] += ev;
+        }
     }
 
     fn rc(&self, a: &ArcRec) -> f64 {
@@ -813,30 +1399,7 @@ impl NetSimplex {
             ArcState::Tree => unreachable!("entering arc must be nonbasic"),
         };
 
-        // Walk both endpoints up to the apex, recording each tree arc and
-        // whether it is aligned with the cycle orientation (the orientation
-        // runs from → enter → to → apex → from).
-        self.path_from.clear();
-        self.path_to.clear();
-        let (mut u, mut v) = (from, to);
-        while self.nodes[u].depth > self.nodes[v].depth {
-            let a = self.nodes[u].pred as usize;
-            self.path_from.push((u, a, self.arcs[a].head as usize == u));
-            u = self.nodes[u].parent as usize;
-        }
-        while self.nodes[v].depth > self.nodes[u].depth {
-            let a = self.nodes[v].pred as usize;
-            self.path_to.push((v, a, self.arcs[a].tail as usize == v));
-            v = self.nodes[v].parent as usize;
-        }
-        while u != v {
-            let a = self.nodes[u].pred as usize;
-            self.path_from.push((u, a, self.arcs[a].head as usize == u));
-            u = self.nodes[u].parent as usize;
-            let a = self.nodes[v].pred as usize;
-            self.path_to.push((v, a, self.arcs[a].tail as usize == v));
-            v = self.nodes[v].parent as usize;
-        }
+        self.cycle_paths(from, to);
 
         // Blocking step: the smallest residual around the cycle.
         let residual = |arc: &ArcRec, fwd: bool| if fwd { arc.cap - arc.flow } else { arc.flow };
@@ -875,17 +1438,7 @@ impl NetSimplex {
             self.degenerate += 1;
         }
 
-        // Apply the step around the cycle.
-        for i in 0..self.path_from.len() {
-            let (_, a, fwd) = self.path_from[i];
-            let x = self.arcs[a].flow + if fwd { delta } else { -delta };
-            self.set_flow(a, x);
-        }
-        for i in 0..self.path_to.len() {
-            let (_, a, fwd) = self.path_to[i];
-            let x = self.arcs[a].flow + if fwd { delta } else { -delta };
-            self.set_flow(a, x);
-        }
+        self.apply_cycle(delta);
 
         let Some((z, larc, lfwd)) = leave else {
             // The entering arc blocked itself: a bound flip, no tree change.
@@ -914,14 +1467,64 @@ impl NetSimplex {
             ArcState::Lower
         };
 
-        // Re-hang the severed subtree: q (the cycle endpoint below the
-        // leaving arc) becomes a child of the other endpoint via `enter`,
-        // and the parent chain from q up to z reverses.
         let (q, p_attach) = if leave_on_from_side {
             (from, to)
         } else {
             (to, from)
         };
+        self.rehang(q, z, p_attach, enter);
+        Ok(())
+    }
+
+    /// Walks both endpoints of the entering arc's cycle up to their apex,
+    /// recording each tree arc and whether it is aligned with the cycle
+    /// orientation (the orientation runs from → enter → to → apex → from).
+    fn cycle_paths(&mut self, from: usize, to: usize) {
+        self.path_from.clear();
+        self.path_to.clear();
+        let (mut u, mut v) = (from, to);
+        while self.nodes[u].depth > self.nodes[v].depth {
+            let a = self.nodes[u].pred as usize;
+            self.path_from.push((u, a, self.arcs[a].head as usize == u));
+            u = self.nodes[u].parent as usize;
+        }
+        while self.nodes[v].depth > self.nodes[u].depth {
+            let a = self.nodes[v].pred as usize;
+            self.path_to.push((v, a, self.arcs[a].tail as usize == v));
+            v = self.nodes[v].parent as usize;
+        }
+        while u != v {
+            let a = self.nodes[u].pred as usize;
+            self.path_from.push((u, a, self.arcs[a].head as usize == u));
+            u = self.nodes[u].parent as usize;
+            let a = self.nodes[v].pred as usize;
+            self.path_to.push((v, a, self.arcs[a].tail as usize == v));
+            v = self.nodes[v].parent as usize;
+        }
+    }
+
+    /// Pushes `delta` units around the cycle recorded by
+    /// [`NetSimplex::cycle_paths`] (the entering arc itself is the
+    /// caller's to update).
+    fn apply_cycle(&mut self, delta: f64) {
+        for i in 0..self.path_from.len() {
+            let (_, a, fwd) = self.path_from[i];
+            let x = self.arcs[a].flow + if fwd { delta } else { -delta };
+            self.set_flow(a, x);
+        }
+        for i in 0..self.path_to.len() {
+            let (_, a, fwd) = self.path_to[i];
+            let x = self.arcs[a].flow + if fwd { delta } else { -delta };
+            self.set_flow(a, x);
+        }
+    }
+
+    /// Re-hangs the subtree severed by a pivot: `q` (the cycle endpoint
+    /// below the leaving arc) becomes a child of `p_attach` via `enter`,
+    /// and the parent chain from `q` up to `z` (the node the leaving arc
+    /// hung from) reverses. Finishes by refreshing depths and potentials
+    /// across the re-hung subtree.
+    fn rehang(&mut self, q: usize, z: usize, p_attach: usize, enter: usize) {
         self.chain.clear();
         self.chain_arcs.clear();
         let mut x = q;
@@ -947,8 +1550,726 @@ impl NetSimplex {
             self.attach(new_parent, child);
         }
         self.refresh_subtree(q);
+    }
+
+    /// Dual network simplex over a seeded tree: while some tree arc is
+    /// outside its bounds, repair the most-violated one with a single dual
+    /// pivot. The tree stays dual-feasible throughout (the entering arc is
+    /// the minimum-reduced-cost nonbasic arc crossing the violated arc's
+    /// tree cut), so when the loop drains, the final primal phase the
+    /// caller runs is typically pivot-free.
+    fn dual_repair(&mut self, limit: usize) -> Result<(), DualOutcome> {
+        loop {
+            // Every tree arc is exactly one node's entry arc, so walking
+            // the `pred` links visits each once — O(n) per round instead
+            // of scanning the full arc array.
+            let mut worst: Option<(usize, f64, bool)> = None;
+            for node in &self.nodes[..self.n] {
+                if node.pred == NIL {
+                    continue;
+                }
+                let a = node.pred as usize;
+                let arc = &self.arcs[a];
+                debug_assert_eq!(arc.state, ArcState::Tree);
+                let over = arc.flow - arc.cap;
+                let under = -arc.flow;
+                let (v, is_over) = if over > under {
+                    (over, true)
+                } else {
+                    (under, false)
+                };
+                if v > FEAS_EPS && worst.is_none_or(|(_, bv, _)| v > bv) {
+                    worst = Some((a, v, is_over));
+                }
+            }
+            let Some((t, violation, over)) = worst else {
+                return Ok(());
+            };
+            if self.pivots >= limit {
+                return Err(DualOutcome::Limit);
+            }
+            self.dual_pivot(t, violation, over)?;
+        }
+    }
+
+    /// Builds the real-arc incidence CSR for [`Self::dual_pivot`]'s
+    /// entering-arc scan. Two counting passes over the arc array — cheaper
+    /// than a single full-array scan per pivot as soon as the repair does
+    /// more than one.
+    fn build_incidence(&mut self) {
+        let slots = self.n + 2;
+        self.adj_start.clear();
+        self.adj_start.resize(slots, 0);
+        for arc in &self.arcs[..self.m] {
+            self.adj_start[arc.tail as usize + 1] += 1;
+            self.adj_start[arc.head as usize + 1] += 1;
+        }
+        for i in 1..slots {
+            self.adj_start[i] += self.adj_start[i - 1];
+        }
+        self.adj.clear();
+        self.adj.resize(2 * self.m, 0);
+        // `stack` doubles as the write cursors (restored below).
+        self.stack.clear();
+        self.stack
+            .extend(self.adj_start[..self.n + 1].iter().map(|&x| x as usize));
+        for (i, arc) in self.arcs[..self.m].iter().enumerate() {
+            for v in [arc.tail as usize, arc.head as usize] {
+                self.adj[self.stack[v]] = i as u32;
+                self.stack[v] += 1;
+            }
+        }
+        self.stack.clear();
+        self.adj_valid = true;
+    }
+
+    /// [`Self::dual_repair`] driven by a candidate list instead of repeated
+    /// full scans: only arcs whose flows were just rewritten can have
+    /// fallen outside their bounds, so the incremental path seeds the
+    /// worklist with exactly those and each pivot appends the arcs it
+    /// touched (its cycle plus the entering arc). Arcs drained from the
+    /// list are re-checked before pivoting — stale entries are free.
+    fn dual_repair_sparse(
+        &mut self,
+        limit: usize,
+        worklist: &mut Vec<u32>,
+    ) -> Result<(), DualOutcome> {
+        while let Some(t) = worklist.pop() {
+            let arc = &self.arcs[t as usize];
+            if arc.state != ArcState::Tree {
+                continue;
+            }
+            let over = arc.flow - arc.cap;
+            let under = -arc.flow;
+            let (v, is_over) = if over > under {
+                (over, true)
+            } else {
+                (under, false)
+            };
+            if v <= FEAS_EPS {
+                continue;
+            }
+            if self.pivots >= limit {
+                return Err(DualOutcome::Limit);
+            }
+            let enter = self.dual_pivot(t as usize, v, is_over)?;
+            for i in 0..self.path_from.len() {
+                worklist.push(self.path_from[i].1 as u32);
+            }
+            for i in 0..self.path_to.len() {
+                worklist.push(self.path_to[i].1 as u32);
+            }
+            worklist.push(enter as u32);
+        }
         Ok(())
     }
+
+    /// Scores a candidate entering arc for a dual pivot across the marked
+    /// cut: `None` if it does not cross (or cannot carry flow the needed
+    /// way), otherwise the dual ratio key — the pivot picks the minimum,
+    /// which is exactly the choice that keeps the tree dual-feasible.
+    fn entering_key(&self, arc: &ArcRec, need_s_to_r: bool) -> Option<f64> {
+        let in_s = self.marks[arc.tail as usize];
+        if in_s == self.marks[arc.head as usize] {
+            return None;
+        }
+        match arc.state {
+            ArcState::Tree => None,
+            ArcState::Lower => {
+                if arc.cap <= EPS || in_s != need_s_to_r {
+                    None
+                } else {
+                    Some(self.rc(arc))
+                }
+            }
+            ArcState::Upper => {
+                if in_s == need_s_to_r {
+                    None
+                } else {
+                    Some(-self.rc(arc))
+                }
+            }
+        }
+    }
+
+    /// One dual pivot: the violated tree arc `t` leaves (snapping to the
+    /// bound it broke), and the flow it cannot carry is rerouted across its
+    /// tree cut through the entering arc — the nonbasic crossing arc of
+    /// minimum reduced cost in the needed direction, which is exactly the
+    /// choice that keeps every nonbasic arc dual-feasible after the
+    /// potentials shift. Returns the entering arc's index.
+    fn dual_pivot(&mut self, t: usize, violation: f64, over: bool) -> Result<usize, DualOutcome> {
+        let trec = self.arcs[t];
+        let tail_t = trec.tail as usize;
+        let head_t = trec.head as usize;
+        // S = the subtree below `t`, i.e. of whichever endpoint `t` is the
+        // entry arc for; R = everything else.
+        let x = if (self.nodes[tail_t].pred as usize) == t {
+            tail_t
+        } else {
+            head_t
+        };
+        debug_assert_eq!(self.nodes[x].pred as usize, t);
+        self.chain.clear();
+        self.stack.clear();
+        self.stack.push(x);
+        self.marks[x] = true;
+        self.chain.push(x);
+        while let Some(y) = self.stack.pop() {
+            let mut c = self.nodes[y].first_child;
+            while c != NIL {
+                let cu = c as usize;
+                self.marks[cu] = true;
+                self.chain.push(cu);
+                self.stack.push(cu);
+                c = self.nodes[cu].next_sib;
+            }
+        }
+        // Which way the replacement capacity must cross the cut: reducing
+        // an over-capacity arc needs a substitute in its own direction;
+        // raising a negative flow needs a push against it.
+        let need_s_to_r = over == self.marks[tail_t];
+        let mut best: Option<(usize, f64)> = None;
+        // The entering arc crosses the (S, R) cut, so it is incident to S:
+        // for a *small* S, scanning S's incident arcs beats the full-array
+        // sweep. Balanced cuts (deep time-expanded chains put half the
+        // tree below an evicted arc) stay on the linear scan — it walks
+        // the arc array in order, which the cache likes far better than
+        // chasing adjacency indirections of comparable volume. The index
+        // is built lazily on the first small cut of a repair pass.
+        if self.adj_enabled && self.chain.len() * 16 < self.n {
+            if !self.adj_valid {
+                self.build_incidence();
+            }
+            for ci in 0..self.chain.len() {
+                let y = self.chain[ci];
+                for k in self.adj_start[y] as usize..self.adj_start[y + 1] as usize {
+                    let arc_idx = self.adj[k] as usize;
+                    if let Some(key) = self.entering_key(&self.arcs[arc_idx], need_s_to_r) {
+                        // Ties break toward the lower arc id so the choice
+                        // is identical to the full scan's, whatever order
+                        // the adjacency lists visit the candidates in.
+                        if best.is_none_or(|(bi, bk)| key < bk || (key == bk && arc_idx < bi)) {
+                            best = Some((arc_idx, key));
+                        }
+                    }
+                }
+            }
+        } else {
+            for arc_idx in 0..self.m {
+                if let Some(key) = self.entering_key(&self.arcs[arc_idx], need_s_to_r) {
+                    if best.is_none_or(|(_, bk)| key < bk) {
+                        best = Some((arc_idx, key));
+                    }
+                }
+            }
+        }
+        let entered = best.map(|(enter, _)| {
+            let erec = self.arcs[enter];
+            let (from, to) = match erec.state {
+                ArcState::Lower => (erec.tail as usize, erec.head as usize),
+                ArcState::Upper => (erec.head as usize, erec.tail as usize),
+                ArcState::Tree => unreachable!("entering arc must be nonbasic"),
+            };
+            let (q, p_attach) = if self.marks[from] {
+                (from, to)
+            } else {
+                (to, from)
+            };
+            (enter, erec, from, to, q, p_attach)
+        });
+        // Restore the all-false marks invariant through the visited list
+        // before any structural change.
+        for i in 0..self.chain.len() {
+            let y = self.chain[i];
+            self.marks[y] = false;
+        }
+        let Some((enter, erec, from, to, q, p_attach)) = entered else {
+            return Err(DualOutcome::Stall);
+        };
+
+        // The cycle of `enter` crosses the cut exactly twice: through
+        // `enter` and back through `t`, so pushing the violation around it
+        // lands `t` exactly on the bound it broke.
+        self.cycle_paths(from, to);
+        self.pivots += 1;
+        if violation <= EPS {
+            self.degenerate += 1;
+        }
+        self.apply_cycle(violation);
+        let xf = match erec.state {
+            ArcState::Lower => violation,
+            _ => erec.cap - violation,
+        };
+        self.set_flow(enter, xf);
+        self.arcs[enter].state = ArcState::Tree;
+        let (snap, state) = if over && self.arcs[t].cap > EPS {
+            (self.arcs[t].cap, ArcState::Upper)
+        } else {
+            // Under its lower bound — or a zero-capacity bound, where
+            // `Lower` keeps the arc exempt from pricing.
+            (0.0, ArcState::Lower)
+        };
+        self.set_flow(t, snap);
+        self.arcs[t].state = state;
+        self.rehang(q, x, p_attach, enter);
+        Ok(enter)
+    }
+}
+
+/// Why a dual warm start gave up (the caller falls back to a cold solve).
+enum DualOutcome {
+    /// A primal infeasibility has no nonbasic crossing arc to absorb it.
+    Stall,
+    /// The pivot limit was reached before feasibility was restored.
+    Limit,
+}
+
+/// A network-simplex engine that stays *resident* across a stream of solves
+/// of one evolving min-cost-flow problem.
+///
+/// [`MinCostFlowProblem::reoptimize`] reuses the previous optimal *basis*,
+/// but still rebuilds the full solver state — arc records, spanning tree,
+/// potentials — from that basis on every call: an `O(n + m)` reconstruction
+/// that costs as much as half a cold solve at the streaming workloads'
+/// small-batch cadence. A `NetflowSession` keeps the simplex state alive
+/// between solves and syncs only what changed:
+///
+/// * appended arcs are spliced in nonbasic-at-lower (the artificial block
+///   shifts up in place) and appended nodes hang off the root as fresh
+///   zero-capacity anchors;
+/// * `touched` arcs (capacity, cost or endpoint patches) are refreshed
+///   individually; the spanning tree is rebuilt only when a *tree* arc was
+///   retargeted or re-costed, and the potentials survive otherwise;
+/// * each solve then snaps nonbasic arcs to their bounds and recomputes
+///   the basic flows by tree elimination in one allocation-light
+///   `O(n + m)` sweep, repairs any bound violation with dual pivots, and
+///   finishes with primal pricing.
+///
+/// The caller must list in `touched` every pre-existing arc it mutated
+/// since the previous solve (appended arcs are picked up automatically;
+/// duplicates are fine) — debug builds verify the sync against the problem.
+/// Whenever the resident state cannot be reused (first solve, shrunk
+/// problem, non-circulation shape, dual stall, pivot limit), the session
+/// transparently solves from scratch — keeping the fresh state resident —
+/// and reports it via [`McfSolution::fallback_cold`].
+///
+/// The incremental path covers exactly the warm-start shape of
+/// [`MinCostFlowProblem::solve`]: all-zero supplies and lower bounds (a
+/// circulation), which is the only shape the streaming flow emitters
+/// produce. Other problems are solved cold on every call.
+#[derive(Default)]
+pub struct NetflowSession {
+    engine: Option<NetSimplex>,
+}
+
+impl std::fmt::Debug for NetflowSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("NetflowSession");
+        match &self.engine {
+            Some(s) => d
+                .field("resident", &true)
+                .field("nodes", &s.n)
+                .field("arcs", &s.m),
+            None => d.field("resident", &false),
+        }
+        .finish()
+    }
+}
+
+impl Clone for NetflowSession {
+    /// A cloned session starts non-resident: the engine state is a cache
+    /// of the *original*'s last solve, and the clone's first solve rebuilds
+    /// its own from scratch.
+    fn clone(&self) -> Self {
+        NetflowSession::default()
+    }
+}
+
+impl NetflowSession {
+    /// Opens an empty session; the first [`NetflowSession::solve`] solves
+    /// from scratch and leaves its state resident.
+    pub fn new() -> Self {
+        NetflowSession::default()
+    }
+
+    /// Whether a previous solve's state is resident, making the next
+    /// [`NetflowSession::solve`] incremental.
+    pub fn is_resident(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Solves `problem`, incrementally when resident state from the
+    /// previous solve can absorb the patch. `touched` lists the index of
+    /// every pre-existing arc whose capacity, cost or endpoints changed
+    /// since the previous solve; it is ignored on a non-incremental solve.
+    pub fn solve(&mut self, problem: &MinCostFlowProblem, touched: &[u32]) -> McfSolution {
+        let n = problem.supplies.len();
+        let m = problem.arcs.len();
+        if n == 0 {
+            self.engine = None;
+            return McfSolution::with_status(LpStatus::Optimal, 0, 0);
+        }
+        let circulation = problem.supplies.iter().all(|&s| s == 0.0)
+            && problem.arcs.iter().all(|a| a.lower == 0.0);
+        if !circulation || m + n >= NIL as usize {
+            // Outside the resident shape: plain cold solve, nothing kept.
+            self.engine = None;
+            return problem.solve();
+        }
+        let had_state = self.engine.is_some();
+        if had_state {
+            if let Some(solution) = self.solve_incremental(problem, touched) {
+                return solution;
+            }
+        }
+        let mut solution = self.restart(problem);
+        solution.fallback_cold = had_state;
+        solution
+    }
+
+    /// From-scratch solve of a circulation (warm spanning-tree start, no
+    /// phase 1) that leaves the finished simplex state resident.
+    fn restart(&mut self, problem: &MinCostFlowProblem) -> McfSolution {
+        // Dropping the stale engine first recycles its buffers through the
+        // thread-local scratch slot, where `NetSimplex::new` reclaims them.
+        self.engine = None;
+        let mut s = NetSimplex::new(problem, &[], true);
+        s.warm_start();
+        if let Err(status) = s.run(problem.pivot_limit(), false) {
+            return McfSolution::with_status(status, s.pivots, s.degenerate);
+        }
+        let solution = problem.extract(&s, false, false);
+        self.engine = Some(s);
+        solution
+    }
+
+    /// The incremental path: sync the resident state to the patched
+    /// problem, repair, re-prove optimality. `None` means the state could
+    /// not be reused and the caller should restart from scratch.
+    ///
+    /// The previous solve left an exact invariant behind: nonbasic arcs
+    /// rest on their bounds, tree flows form a conserving circulation, and
+    /// the potentials price every nonbasic arc nonnegative. The sync
+    /// therefore never re-derives global state — it edits exactly what the
+    /// patch touched and lets two local repair mechanisms absorb the
+    /// damage: surplus routing (flow deltas pushed root-ward through the
+    /// tree) and worklist dual pivots (tree arcs knocked outside their
+    /// bounds).
+    fn solve_incremental(
+        &mut self,
+        problem: &MinCostFlowProblem,
+        touched: &[u32],
+    ) -> Option<McfSolution> {
+        let n = problem.supplies.len();
+        let m = problem.arcs.len();
+        // Take the engine out: every bail-out path simply drops it (its
+        // buffers recycle through the scratch slot for the restart).
+        let mut s = self.engine.take().expect("caller checked residency");
+        if s.n > n || s.m > m {
+            // The problem shrank: it is a different instance, not a patch.
+            return None;
+        }
+        let (old_n, old_m) = (s.n, s.m);
+        let dm = m - old_m;
+        let mut touched: Vec<u32> = touched
+            .iter()
+            .copied()
+            .filter(|&t| (t as usize) < old_m)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        // A tree arc whose *cost* changed invalidates the potentials of an
+        // entire subtree — rare enough (the flow formulations never re-cost
+        // an arc) that a full tree reseed is the simplest correct answer.
+        // Endpoint moves and capacity changes are repaired surgically.
+        let reseed = touched.iter().any(|&t| {
+            let rec = &s.arcs[t as usize];
+            rec.state == ArcState::Tree && rec.cost != problem.arcs[t as usize].cost
+        });
+
+        // Structural growth. Appended real arcs are spliced in ahead of
+        // the artificial block so arc ids keep their meaning; tree `pred`
+        // references into the shifted artificial block move with it.
+        if dm > 0 {
+            s.arcs.splice(
+                old_m..old_m,
+                problem.arcs[old_m..].iter().map(|a| ArcRec {
+                    tail: a.tail as u32,
+                    head: a.head as u32,
+                    state: ArcState::Lower,
+                    cap: a.upper - a.lower,
+                    cost: a.cost,
+                    flow: 0.0,
+                }),
+            );
+            for node in &mut s.nodes {
+                if node.pred != NIL && node.pred as usize >= old_m {
+                    node.pred += dm as u32;
+                }
+            }
+        }
+        if n > old_n {
+            // The artificial root's id moves from `old_n` to `n`: rewrite
+            // the artificial arcs' endpoints and every tree link that
+            // referenced it, then anchor each appended node under the root
+            // (cost-0 arcs, so the inherited potential stays consistent).
+            let (old_root, root) = (old_n, n);
+            for rec in &mut s.arcs[m..] {
+                if rec.tail as usize == old_root {
+                    rec.tail = root as u32;
+                }
+                if rec.head as usize == old_root {
+                    rec.head = root as u32;
+                }
+            }
+            s.nodes.resize(n + 1, NODE_INIT);
+            s.nodes[root] = s.nodes[old_root];
+            for v in old_n..n {
+                s.nodes[v] = NODE_INIT;
+            }
+            for v in 0..old_n {
+                if s.nodes[v].parent as usize == old_root {
+                    s.nodes[v].parent = root as u32;
+                }
+            }
+            for v in old_n..n {
+                s.arcs.push(ArcRec {
+                    tail: v as u32,
+                    head: root as u32,
+                    state: ArcState::Tree,
+                    cap: 0.0,
+                    cost: 0.0,
+                    flow: 0.0,
+                });
+                s.nodes[v].parent = root as u32;
+                s.nodes[v].pred = (m + v) as u32;
+                s.nodes[v].depth = 1;
+                s.nodes[v].pot = s.nodes[root].pot;
+                s.attach(root, v);
+            }
+        }
+        s.n = n;
+        s.m = m;
+        s.block = ((m + n) / 8).clamp(16, 1_024);
+        // Appended arcs sit at `old_m..m`: point the pricing cursor there
+        // so the first blocks scanned are the ones most likely to violate.
+        s.cursor = old_m;
+        s.marks.resize(n + 1, false);
+        s.pivots = 0;
+        s.degenerate = 0;
+        s.infeasibility = 0.0;
+        s.adj_valid = false;
+        let root = n;
+        let limit = problem.pivot_limit();
+
+        if reseed {
+            // Dense fallback: sync every touched arc in place, rebuild the
+            // tree from the arc states, recompute all flows by elimination.
+            for &t in &touched {
+                let a = &problem.arcs[t as usize];
+                let rec = &mut s.arcs[t as usize];
+                rec.tail = a.tail as u32;
+                rec.head = a.head as u32;
+                rec.cost = a.cost;
+                rec.cap = a.upper - a.lower;
+            }
+            for node in &mut s.nodes {
+                *node = NODE_INIT;
+            }
+            for rec in &mut s.arcs[m..] {
+                rec.state = ArcState::Lower;
+                rec.flow = 0.0;
+            }
+            s.seed_tree();
+            let mut excess = vec![0.0f64; n + 1];
+            for rec in &mut s.arcs[..m] {
+                match rec.state {
+                    ArcState::Upper if !rec.cap.is_finite() || rec.cap <= EPS => {
+                        rec.state = ArcState::Lower;
+                        rec.flow = 0.0;
+                        continue;
+                    }
+                    ArcState::Upper => rec.flow = rec.cap,
+                    ArcState::Lower | ArcState::Tree => {
+                        rec.flow = 0.0;
+                        continue;
+                    }
+                }
+                excess[rec.tail as usize] -= rec.flow;
+                excess[rec.head as usize] += rec.flow;
+            }
+            s.eliminate_tree_flows(&mut excess);
+            s.nodes[root].pot = 0.0;
+            let mut c = s.nodes[root].first_child;
+            while c != NIL {
+                s.refresh_subtree(c as usize);
+                c = s.nodes[c as usize].next_sib;
+            }
+            s.adj_enabled = true;
+            if s.dual_repair(limit).is_err() {
+                return None;
+            }
+        } else {
+            // Sparse sync. `excess` tracks the conservation surplus each
+            // flow edit leaves behind at a node; `hot` the nodes holding
+            // one; `worklist` the tree arcs whose flows were (or will be)
+            // rewritten and may now sit outside their bounds.
+            let mut excess = vec![0.0f64; n + 1];
+            let mut hot: Vec<usize> = Vec::new();
+            let mut worklist: Vec<u32> = Vec::new();
+            for &t in &touched {
+                let i = t as usize;
+                let a = &problem.arcs[i];
+                let new_cap = a.upper - a.lower;
+                let rec = &mut s.arcs[i];
+                let moved = rec.tail as usize != a.tail || rec.head as usize != a.head;
+                match rec.state {
+                    ArcState::Lower => {
+                        // Resting at zero flow: every patch is free.
+                        rec.tail = a.tail as u32;
+                        rec.head = a.head as u32;
+                        rec.cap = new_cap;
+                        rec.cost = a.cost;
+                    }
+                    ArcState::Upper => {
+                        // The rest flow follows the bound: retract the old
+                        // contribution, apply the new one.
+                        let old = rec.flow;
+                        if old != 0.0 {
+                            excess[rec.tail as usize] += old;
+                            excess[rec.head as usize] -= old;
+                            hot.push(rec.tail as usize);
+                            hot.push(rec.head as usize);
+                        }
+                        rec.tail = a.tail as u32;
+                        rec.head = a.head as u32;
+                        rec.cap = new_cap;
+                        rec.cost = a.cost;
+                        if !new_cap.is_finite() || new_cap <= EPS {
+                            rec.state = ArcState::Lower;
+                            rec.flow = 0.0;
+                        } else {
+                            rec.flow = new_cap;
+                            excess[a.tail] -= new_cap;
+                            excess[a.head] += new_cap;
+                            hot.push(a.tail);
+                            hot.push(a.head);
+                        }
+                    }
+                    ArcState::Tree if moved => {
+                        // A retargeted basic arc: demote it, give its flow
+                        // back to its old endpoints, and re-anchor the
+                        // subtree it was holding up directly under the
+                        // root (zero-capacity anchor — any flow the
+                        // subtree still exchanges with the rest surfaces
+                        // there as a violation for the dual repair).
+                        let f = rec.flow;
+                        let (ot, oh) = (rec.tail as usize, rec.head as usize);
+                        rec.state = ArcState::Lower;
+                        rec.flow = 0.0;
+                        rec.tail = a.tail as u32;
+                        rec.head = a.head as u32;
+                        rec.cap = new_cap;
+                        rec.cost = a.cost;
+                        if f != 0.0 {
+                            excess[ot] += f;
+                            excess[oh] -= f;
+                            hot.push(ot);
+                            hot.push(oh);
+                        }
+                        let x = if s.nodes[ot].pred as usize == i {
+                            ot
+                        } else {
+                            oh
+                        };
+                        debug_assert_eq!(s.nodes[x].pred as usize, i);
+                        s.detach(x);
+                        s.nodes[x].parent = root as u32;
+                        s.nodes[x].pred = (m + x) as u32;
+                        s.arcs[m + x].state = ArcState::Tree;
+                        s.attach(root, x);
+                        s.refresh_subtree(x);
+                        worklist.push((m + x) as u32);
+                    }
+                    ArcState::Tree => {
+                        // Capacity change on a basic arc: the flow stays;
+                        // if the new bound cut below it, the dual repair
+                        // will reroute the difference.
+                        rec.cap = new_cap;
+                        rec.cost = a.cost;
+                        worklist.push(t);
+                    }
+                }
+            }
+            // Route every surplus to the root through the tree: the
+            // contributions sum to zero there, and each rewritten tree
+            // flow becomes a repair candidate.
+            for &v0 in &hot {
+                let e = excess[v0];
+                if e == 0.0 || v0 == root {
+                    continue;
+                }
+                excess[v0] = 0.0;
+                let mut v = v0;
+                while v != root {
+                    let a = s.nodes[v].pred as usize;
+                    if s.arcs[a].tail as usize == v {
+                        s.arcs[a].flow += e;
+                    } else {
+                        s.arcs[a].flow -= e;
+                    }
+                    worklist.push(a as u32);
+                    v = s.nodes[v].parent as usize;
+                }
+            }
+            // The worklist drains in arbitrary order, which (unlike the
+            // worst-violation-first dense scan) can thrash on degenerate
+            // pivot chains. A tight budget bounds that: on exhaustion the
+            // flows are still a conserving circulation, so the dense
+            // repair finishes the job worst-first.
+            s.adj_enabled = true;
+            let budget = (s.pivots + 4 * worklist.len() + 32).min(limit);
+            match s.dual_repair_sparse(budget, &mut worklist) {
+                Ok(()) => {}
+                Err(DualOutcome::Limit) if budget < limit => {
+                    if s.dual_repair(limit).is_err() {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+
+        if cfg!(debug_assertions) {
+            for (i, (rec, a)) in s.arcs.iter().zip(&problem.arcs).enumerate() {
+                assert!(
+                    rec.tail as usize == a.tail
+                        && rec.head as usize == a.head
+                        && rec.cost == a.cost
+                        && rec.cap == a.upper - a.lower,
+                    "arc {i} was patched but not listed in `touched`"
+                );
+            }
+        }
+
+        if s.run(limit, false).is_err() {
+            // Includes `Unbounded`: restart and let the from-scratch solve
+            // render the authoritative verdict.
+            return None;
+        }
+        let solution = problem.extract(&s, false, true);
+        self.engine = Some(s);
+        Some(solution)
+    }
+}
+
+/// Capacity of this thread's recycled arc buffer — observability hook for
+/// the scratch-shrink tests.
+#[cfg(test)]
+fn scratch_arc_capacity() -> usize {
+    SCRATCH.with(|slot| slot.borrow().arcs.capacity())
 }
 
 /// Solves a general [`LpProblem`] with the network simplex when it has
@@ -1231,5 +2552,313 @@ mod tests {
     fn empty_bound_band_panics() {
         let mut p = MinCostFlowProblem::new(2);
         p.add_arc_bounded(0, 1, 0.0, 3.0, 1.0);
+    }
+
+    /// A small max-flow circulation (the shape the streaming pipeline
+    /// re-solves every batch): 4 nodes, 2 disjoint source→sink paths plus
+    /// the cost −1 return arc.
+    fn circulation() -> MinCostFlowProblem {
+        let mut p = MinCostFlowProblem::new(4);
+        p.add_arc(0, 1, 0.0, 3.0);
+        p.add_arc(1, 3, 0.0, 3.0);
+        p.add_arc(0, 2, 0.0, 2.0);
+        p.add_arc(2, 3, 0.0, 2.0);
+        p.add_arc(3, 0, -1.0, 100.0);
+        p
+    }
+
+    fn assert_warm_matches_cold(p: &MinCostFlowProblem, warm: &McfSolution) {
+        let cold = p.solve();
+        assert_eq!(warm.status, cold.status, "warm/cold status disagree");
+        if cold.status == LpStatus::Optimal {
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "warm objective {} != cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(p.is_feasible(&warm.flows, 1e-6), "warm flow infeasible");
+        }
+    }
+
+    #[test]
+    fn solve_with_basis_captures_reusable_basis() {
+        let p = circulation();
+        let s = p.solve_with_basis();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(!s.basis_reused && !s.fallback_cold);
+        let basis = s.basis.expect("basis captured");
+        assert_eq!(basis.num_nodes(), 4);
+        assert_eq!(basis.num_arcs(), 5);
+        assert!(basis.tree_arcs() <= 4);
+        // Plain solve stays zero-overhead: no capture.
+        assert!(p.solve().basis.is_none());
+    }
+
+    #[test]
+    fn reoptimize_after_capacity_raise_matches_cold() {
+        let mut p = circulation();
+        let basis = p.solve_with_basis().basis.unwrap();
+        p.set_capacity(0, 5.0);
+        p.set_capacity(1, 5.0);
+        let warm = p.reoptimize(&basis);
+        assert!(warm.basis_reused && !warm.fallback_cold);
+        assert!((warm.objective - (-7.0)).abs() < 1e-9);
+        assert_warm_matches_cold(&p, &warm);
+        assert!(warm.basis.is_some(), "reoptimize re-captures the basis");
+    }
+
+    #[test]
+    fn reoptimize_shrunk_after_capacity_cut_matches_cold() {
+        let mut p = circulation();
+        let basis = p.solve_with_basis().basis.unwrap();
+        // Cut below the current flow: the old basis is primal-infeasible.
+        p.set_capacity(0, 1.0);
+        let warm = p.reoptimize_shrunk(&basis);
+        assert!(warm.basis_reused && !warm.fallback_cold);
+        assert!((warm.objective - (-3.0)).abs() < 1e-9);
+        assert_warm_matches_cold(&p, &warm);
+    }
+
+    #[test]
+    fn reoptimize_shrunk_handles_tombstoned_arcs() {
+        let mut p = circulation();
+        let basis = p.solve_with_basis().basis.unwrap();
+        // Tombstone one whole path (expiry): capacity pinned to the lower
+        // bound, arc ids stable.
+        p.set_capacity(0, 0.0);
+        p.set_capacity(1, 0.0);
+        let warm = p.reoptimize_shrunk(&basis);
+        assert!(warm.basis_reused);
+        assert!((warm.objective - (-2.0)).abs() < 1e-9);
+        assert_warm_matches_cold(&p, &warm);
+    }
+
+    #[test]
+    fn reoptimize_after_arc_and_node_additions_matches_cold() {
+        let mut p = circulation();
+        let basis = p.solve_with_basis().basis.unwrap();
+        // Grow the network: a new relay node on a third path.
+        let relay = p.add_node();
+        p.add_arc(0, relay, 0.0, 4.0);
+        p.add_arc(relay, 3, 0.0, 4.0);
+        let warm = p.reoptimize(&basis);
+        assert!(warm.basis_reused && !warm.fallback_cold);
+        assert!((warm.objective - (-9.0)).abs() < 1e-9);
+        assert_warm_matches_cold(&p, &warm);
+    }
+
+    #[test]
+    fn reoptimize_after_retarget_matches_cold() {
+        let mut p = circulation();
+        let basis = p.solve_with_basis().basis.unwrap();
+        // Splice a node into the middle of arc 1 (the streaming emitter's
+        // "new vertex copy" patch): 1→3 becomes 1→relay→3.
+        let relay = p.add_node();
+        p.retarget(1, 1, relay);
+        p.add_arc(relay, 3, 0.0, 3.0);
+        let warm = p.reoptimize(&basis);
+        assert!(warm.basis_reused && !warm.fallback_cold);
+        assert!((warm.objective - (-5.0)).abs() < 1e-9);
+        assert_warm_matches_cold(&p, &warm);
+    }
+
+    #[test]
+    fn changed_supplies_force_cold_fallback() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 3.0);
+        p.set_supply(1, -3.0);
+        p.add_arc(0, 1, 2.0, 5.0);
+        let basis = p.solve_with_basis().basis.unwrap();
+        p.set_supply(0, 4.0);
+        p.set_supply(1, -4.0);
+        let warm = p.reoptimize(&basis);
+        assert!(warm.fallback_cold && !warm.basis_reused);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - 8.0).abs() < 1e-9);
+        // The fallback still captures a fresh basis for the next batch.
+        assert!(warm.basis.is_some());
+    }
+
+    #[test]
+    fn warm_infeasible_verdict_matches_cold() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 3.0);
+        p.set_supply(1, -3.0);
+        p.add_arc(0, 1, 1.0, 5.0);
+        let basis = p.solve_with_basis().basis.unwrap();
+        // Shrink below the committed supply: now truly infeasible.
+        p.set_capacity(0, 2.0);
+        assert_eq!(p.reoptimize(&basis).status, LpStatus::Infeasible);
+        assert_eq!(p.reoptimize_shrunk(&basis).status, LpStatus::Infeasible);
+        assert_eq!(p.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_solve_of_unchanged_problem_is_pivot_free() {
+        let p = circulation();
+        let basis = p.solve_with_basis().basis.unwrap();
+        let warm = p.reoptimize(&basis);
+        assert!(warm.basis_reused);
+        assert_eq!(warm.pivots, 0, "unchanged problem should need no pivots");
+        let warm = p.reoptimize_shrunk(&basis);
+        assert!(warm.basis_reused);
+        assert_eq!(warm.pivots, 0);
+    }
+
+    #[test]
+    fn resident_session_matches_cold_through_patches() {
+        let mut p = circulation();
+        let mut session = NetflowSession::new();
+        let first = session.solve(&p, &[]);
+        assert!(first.is_optimal() && !first.basis_reused && !first.fallback_cold);
+        assert_warm_matches_cold(&p, &first);
+        assert!(session.is_resident());
+
+        // Capacity raise on the bottleneck.
+        p.set_capacity(1, 5.0);
+        let warm = session.solve(&p, &[1]);
+        assert!(warm.is_optimal() && warm.basis_reused);
+        assert_warm_matches_cold(&p, &warm);
+
+        // Expiry-shaped shrink: tombstone a flow-carrying arc.
+        p.set_capacity(0, 0.0);
+        let warm = session.solve(&p, &[0]);
+        assert!(warm.basis_reused, "shrink should repair in place");
+        assert_warm_matches_cold(&p, &warm);
+
+        // Growth: a new node spliced into the network with fresh arcs.
+        let v = p.add_node();
+        p.add_arc(0, v, 0.5, 4.0);
+        p.add_arc(v, 3, 0.5, 4.0);
+        let warm = session.solve(&p, &[]);
+        assert!(warm.basis_reused);
+        assert_warm_matches_cold(&p, &warm);
+
+        // Retarget (possibly a tree arc) plus another capacity touch.
+        p.retarget(2, 0, v);
+        p.set_capacity(3, 1.0);
+        let warm = session.solve(&p, &[2, 3]);
+        assert!(warm.basis_reused);
+        assert_warm_matches_cold(&p, &warm);
+    }
+
+    #[test]
+    fn resident_session_is_pivot_free_on_unchanged_problem() {
+        let p = circulation();
+        let mut session = NetflowSession::new();
+        session.solve(&p, &[]);
+        let again = session.solve(&p, &[]);
+        assert!(again.basis_reused);
+        assert_eq!(again.pivots, 0, "unchanged problem should need no pivots");
+    }
+
+    #[test]
+    fn resident_session_restarts_on_shrunk_problem() {
+        let big = circulation();
+        let mut session = NetflowSession::new();
+        session.solve(&big, &[]);
+        let mut small = MinCostFlowProblem::new(2);
+        small.add_arc(0, 1, -1.0, 2.0);
+        small.add_arc(1, 0, 0.0, 2.0);
+        let sol = session.solve(&small, &[]);
+        assert!(sol.is_optimal());
+        assert!(sol.fallback_cold, "fewer arcs must force a restart");
+        assert!(!sol.basis_reused);
+        assert_warm_matches_cold(&small, &sol);
+        assert!(session.is_resident(), "the restart state stays resident");
+    }
+
+    #[test]
+    fn resident_session_solves_non_circulations_cold() {
+        let mut p = MinCostFlowProblem::new(2);
+        p.set_supply(0, 3.0);
+        p.set_supply(1, -3.0);
+        p.add_arc(0, 1, 1.0, 5.0);
+        let mut session = NetflowSession::new();
+        let sol = session.solve(&p, &[]);
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 3.0).abs() < 1e-9);
+        assert!(
+            !session.is_resident(),
+            "supply/demand problems stay outside the resident shape"
+        );
+    }
+
+    #[test]
+    fn resident_session_tracks_a_growing_then_expiring_stream() {
+        // A longer randomized churn: interleave growth, shrink, retargets
+        // and re-solves, checking the exact optimum against cold each step.
+        let mut p = MinCostFlowProblem::new(3);
+        p.add_arc(0, 1, 1.0, 4.0);
+        p.add_arc(1, 2, 1.0, 4.0);
+        p.add_arc(2, 0, -3.0, 50.0);
+        let mut session = NetflowSession::new();
+        assert_warm_matches_cold(&p, &session.solve(&p, &[]));
+        let mut state = 0xabcd_1234_u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for step in 0..60 {
+            let mut touched = Vec::new();
+            let n = p.num_nodes();
+            let m = p.num_arcs();
+            match step % 4 {
+                0 => {
+                    let v = p.add_node();
+                    let (a, b) = ((rng() * n as f64) as usize % n, v);
+                    p.add_arc(a, b, rng() * 2.0 - 0.5, rng() * 5.0);
+                    p.add_arc(b, (a + 1) % n, rng() * 2.0 - 0.5, rng() * 5.0);
+                }
+                1 => {
+                    let a = (rng() * m as f64) as usize % m;
+                    p.set_capacity(a, if rng() < 0.4 { 0.0 } else { rng() * 6.0 });
+                    touched.push(a as u32);
+                }
+                2 => {
+                    let a = (rng() * m as f64) as usize % m;
+                    let t = (rng() * n as f64) as usize % n;
+                    let h = (rng() * n as f64) as usize % n;
+                    if t != h {
+                        p.retarget(a, t, h);
+                        touched.push(a as u32);
+                    }
+                }
+                _ => {
+                    let a = (rng() * m as f64) as usize % m;
+                    p.set_capacity(a, rng() * 8.0);
+                    touched.push(a as u32);
+                }
+            }
+            let warm = session.solve(&p, &touched);
+            assert_warm_matches_cold(&p, &warm);
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_shrink_after_oversized_solves() {
+        // Solve one big instance (a long path), then a tiny one: the
+        // recycled arc buffer must give up its high-water capacity instead
+        // of pinning it forever (the 4× rule in `stash`).
+        let nodes = 20_000;
+        let mut big = MinCostFlowProblem::new(nodes);
+        for v in 0..nodes - 1 {
+            big.add_arc(v, v + 1, 1.0, 10.0);
+        }
+        big.add_arc(nodes - 1, 0, -5.0, 3.0);
+        assert_eq!(big.solve().status, LpStatus::Optimal);
+        assert!(scratch_arc_capacity() >= 2 * nodes - 1);
+
+        let tiny = circulation();
+        assert_eq!(tiny.solve().status, LpStatus::Optimal);
+        let need = tiny.num_arcs() + tiny.num_nodes();
+        assert!(
+            scratch_arc_capacity() <= 4 * need,
+            "scratch arc capacity {} still above 4 × {need}",
+            scratch_arc_capacity()
+        );
     }
 }

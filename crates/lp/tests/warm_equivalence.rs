@@ -1,0 +1,279 @@
+//! Property-based equivalence of warm re-optimization with cold solves.
+//!
+//! A random bounded min-cost-flow instance evolves through a random delta
+//! sequence — arc additions, capacity raises and cuts, removals
+//! (capacity → 0), endpoint retargets, node additions and (in the second
+//! family) supply-preserving supply churn. After **every** step three
+//! independent answers must agree on status and, when optimal, on the
+//! optimal cost:
+//!
+//! * the cold network simplex on the patched instance;
+//! * the warm path — a resident [`NetflowSession`] fed the in-place
+//!   touched-arc ids, and the captured-[`Basis`] re-optimizers
+//!   ([`MinCostFlowProblem::reoptimize`] /
+//!   [`MinCostFlowProblem::reoptimize_shrunk`]);
+//! * the sparse revised simplex on the instance's
+//!   [`MinCostFlowProblem::to_lp`] image (minding the constant objective
+//!   offset lower bounds introduce).
+//!
+//! The supply-churn family forces the seeded paths through their fallback
+//! branches (a basis is only valid for the supplies it was proved
+//! against), so the equivalence holds on the fallback road too.
+
+use proptest::prelude::*;
+use tin_lp::{Basis, LpStatus, MinCostFlowProblem, NetflowSession, SimplexEngine};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// The repo's standard deterministic generator (same LCG as the engine
+/// cross-check suite) so failures replay from the seed alone.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed | 1)
+    }
+
+    fn next(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as f64 / (u32::MAX as f64)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() * n as f64) as usize % n
+    }
+}
+
+/// A random finite-capacity instance. With `circulation`, supplies and
+/// lower bounds stay zero (the shape the resident session keeps state
+/// for); otherwise balanced supply pairs and occasional lower bounds are
+/// mixed in. Finite capacities keep every instance bounded, so the only
+/// statuses in play are `Optimal` and `Infeasible`.
+fn seed_problem(rng: &mut Lcg, nodes: usize, arcs: usize, circulation: bool) -> MinCostFlowProblem {
+    let mut p = MinCostFlowProblem::new(nodes);
+    if !circulation {
+        for _ in 0..nodes / 2 {
+            let u = rng.below(nodes);
+            let v = rng.below(nodes);
+            if u != v {
+                let q = (rng.next() * 3.0).floor();
+                p.set_supply(u, p.supply(u) + q);
+                p.set_supply(v, p.supply(v) - q);
+            }
+        }
+    }
+    for _ in 0..arcs {
+        let tail = rng.below(nodes);
+        let head = (tail + 1 + rng.below(nodes - 1)) % nodes;
+        let cost = (rng.next() * 7.0).floor() - 3.0;
+        let cap = (rng.next() * 6.0).floor();
+        let lower = if !circulation && cap >= 1.0 && rng.next() < 0.2 {
+            1.0
+        } else {
+            0.0
+        };
+        p.add_arc_bounded(tail, head, cost, lower, cap);
+    }
+    p
+}
+
+/// Applies one random delta to `p`, recording in-place mutations in
+/// `touched` (the contract [`NetflowSession::solve`] relies on). Returns
+/// `(shrink_only, churned)`: whether the delta only tightened capacities
+/// (the `reoptimize_shrunk` precondition) and whether supplies changed
+/// (which must force the seeded paths cold).
+fn apply_random_delta(
+    p: &mut MinCostFlowProblem,
+    rng: &mut Lcg,
+    touched: &mut Vec<u32>,
+    allow_churn: bool,
+) -> (bool, bool) {
+    let n = p.num_nodes();
+    let m = p.num_arcs();
+    let kind = rng.below(if allow_churn { 6 } else { 5 });
+    match kind {
+        0 => {
+            // Append an arc.
+            let tail = rng.below(n);
+            let head = (tail + 1 + rng.below(n.max(2) - 1)) % n;
+            let cost = (rng.next() * 7.0).floor() - 3.0;
+            p.add_arc(tail, head, cost, (rng.next() * 6.0).floor());
+            (false, false)
+        }
+        1 if m > 0 => {
+            // Raise a capacity.
+            let a = rng.below(m);
+            let up = p.arcs()[a].upper + 1.0 + (rng.next() * 3.0).floor();
+            p.set_capacity(a, up);
+            touched.push(a as u32);
+            (false, false)
+        }
+        2 if m > 0 => {
+            // Cut a capacity — often all the way to 0 (arc removal).
+            let a = rng.below(m);
+            let cut = if rng.next() < 0.5 {
+                0.0
+            } else {
+                (p.arcs()[a].upper - 2.0).max(0.0)
+            };
+            p.set_capacity(a, p.arcs()[a].lower + cut);
+            touched.push(a as u32);
+            (true, false)
+        }
+        3 if m > 0 => {
+            // Retarget an arc to fresh endpoints.
+            let a = rng.below(m);
+            let tail = rng.below(n);
+            let head = (tail + 1 + rng.below(n.max(2) - 1)) % n;
+            p.retarget(a, tail, head);
+            touched.push(a as u32);
+            (false, false)
+        }
+        4 => {
+            // Grow the node set and wire the newcomer in.
+            let v = p.add_node();
+            let other = rng.below(n);
+            p.add_arc(other, v, (rng.next() * 5.0).floor() - 2.0, 2.0);
+            p.add_arc(v, other, 0.0, 2.0);
+            (false, false)
+        }
+        5 => {
+            // Supply-preserving churn: move a unit of supply between two
+            // nodes (total stays balanced, but the basis' supplies lie).
+            let u = rng.below(n);
+            let v = rng.below(n);
+            if u == v {
+                return (false, false);
+            }
+            let q = 1.0 + (rng.next() * 2.0).floor();
+            p.set_supply(u, p.supply(u) + q);
+            p.set_supply(v, p.supply(v) - q);
+            (false, true)
+        }
+        _ => (false, false),
+    }
+}
+
+/// Asserts the cold solve, the LP oracle and a warm answer agree for the
+/// current instance (panicking with `context` on any divergence).
+fn assert_three_way(p: &MinCostFlowProblem, warm: &tin_lp::McfSolution, context: &str) {
+    let cold = p.solve();
+    assert_eq!(
+        warm.status, cold.status,
+        "{context}: warm {:?} vs cold {:?}",
+        warm.status, cold.status
+    );
+    let (lp, offset) = p.to_lp();
+    let oracle = lp.solve_with(SimplexEngine::SparseRevised);
+    assert_eq!(
+        cold.status, oracle.status,
+        "{context}: cold {:?} vs LP oracle {:?}",
+        cold.status, oracle.status
+    );
+    if cold.status == LpStatus::Optimal {
+        assert!(
+            close(warm.objective, cold.objective),
+            "{context}: warm cost {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(
+            close(cold.objective, oracle.objective + offset),
+            "{context}: cold cost {} vs LP oracle {}",
+            cold.objective,
+            oracle.objective + offset
+        );
+        assert!(
+            p.is_feasible(&warm.flows, 1e-6),
+            "{context}: warm flows infeasible"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Circulation churn (the flow-session shape): the resident engine and
+    /// the basis re-optimizers track a stream of adds, cap changes,
+    /// removals and retargets, agreeing with cold + LP oracle every step.
+    #[test]
+    fn warm_paths_track_random_circulation_churn(
+        seed in any::<u64>(),
+        nodes in 2usize..6,
+        arcs in 1usize..10,
+        steps in 4usize..12,
+    ) {
+        let mut rng = Lcg::new(seed);
+        let mut p = seed_problem(&mut rng, nodes, arcs, true);
+        let mut session = NetflowSession::new();
+        let mut basis: Option<Basis> = None;
+        let mut touched: Vec<u32> = Vec::new();
+        for step in 0..steps {
+            let (shrink_only, _) = if step == 0 {
+                (false, false) // solve the seed instance as-is first
+            } else {
+                apply_random_delta(&mut p, &mut rng, &mut touched, false)
+            };
+            let context = format!("step {step}");
+            let warm = session.solve(&p, &touched);
+            touched.clear();
+            assert_three_way(&p, &warm, &context);
+            let seeded = match basis.take() {
+                None => p.solve_with_basis(),
+                Some(b) if shrink_only => p.reoptimize_shrunk(&b),
+                Some(b) => p.reoptimize(&b),
+            };
+            assert_three_way(&p, &seeded, &format!("{context} (basis)"));
+            basis = seeded.basis;
+        }
+    }
+
+    /// Supply-carrying instances with churn: supply changes invalidate any
+    /// captured basis, so the seeded paths are forced through their cold
+    /// fallback — and must still agree with the cold solve and the LP
+    /// oracle, on infeasible steps included.
+    #[test]
+    fn warm_paths_survive_supply_churn_via_fallback(
+        seed in any::<u64>(),
+        nodes in 2usize..6,
+        arcs in 1usize..10,
+        steps in 4usize..10,
+    ) {
+        let mut rng = Lcg::new(seed);
+        let mut p = seed_problem(&mut rng, nodes, arcs, false);
+        let mut session = NetflowSession::new();
+        let mut basis: Option<Basis> = None;
+        let mut touched: Vec<u32> = Vec::new();
+        for step in 0..steps {
+            let (shrink_only, churned) = if step == 0 {
+                (false, false)
+            } else {
+                apply_random_delta(&mut p, &mut rng, &mut touched, true)
+            };
+            let context = format!("step {step}");
+            let warm = session.solve(&p, &touched);
+            touched.clear();
+            assert_three_way(&p, &warm, &context);
+            let had_basis = basis.is_some();
+            let seeded = match basis.take() {
+                None => p.solve_with_basis(),
+                Some(b) if shrink_only => p.reoptimize_shrunk(&b),
+                Some(b) => p.reoptimize(&b),
+            };
+            if churned && had_basis {
+                prop_assert!(
+                    seeded.fallback_cold,
+                    "{}: a supply change must force the seeded solve cold",
+                    context
+                );
+            }
+            assert_three_way(&p, &seeded, &format!("{context} (basis)"));
+            basis = seeded.basis;
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! The streaming pipeline end to end: a transaction log is consumed in
 //! small batches as if it were arriving live, every batch is merged into
 //! the graph as a [`tin_graph::GraphDelta`], the PB path tables are patched
-//! incrementally, and pattern search runs between batches against the
-//! up-to-the-batch state — no snapshot rebuild anywhere.
+//! incrementally, a [`FlowSession`] tracks one exact source→sink flow
+//! value across batches on a persistent simplex basis, and pattern search
+//! runs between batches against the up-to-the-batch state — no snapshot
+//! rebuild anywhere.
 //!
 //! Ingest and apply failures exit nonzero with a message on stderr instead
 //! of panicking — this binary doubles as the kill-and-restart smoke target.
@@ -22,16 +24,24 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    // A "live feed": the Bitcoin-shaped generator's log serialized as CSV,
-    // then replayed in batches of 50 records. In production the reader
-    // would be a socket or a tailed file — DeltaStream takes any io::Read.
+    // A "live feed": the Bitcoin-shaped generator's log serialized as CSV
+    // in timestamp order (as a real feed arrives), then replayed in batches
+    // of 50 records. In production the reader would be a socket or a tailed
+    // file — DeltaStream takes any io::Read. Time order also keeps the flow
+    // session's warm path in its regime: new interactions extend the
+    // time-expanded chains at their tails instead of splicing mid-chain.
     let full = generate(DatasetKind::Bitcoin, 7);
-    let mut csv: Vec<u8> = b"sender,recipient,timestamp,amount\n".to_vec();
+    let mut log: Vec<(i64, String)> = Vec::new();
     for edge in full.edges() {
         let (src, dst) = (&full.node(edge.src).name, &full.node(edge.dst).name);
         for i in &edge.interactions {
-            writeln!(csv, "{src},{dst},{},{}", i.time, i.quantity)?;
+            log.push((i.time, format!("{src},{dst},{},{}", i.time, i.quantity)));
         }
+    }
+    log.sort_by_key(|row| row.0);
+    let mut csv: Vec<u8> = b"sender,recipient,timestamp,amount\n".to_vec();
+    for (_, row) in &log {
+        writeln!(csv, "{row}")?;
     }
     println!(
         "feed: {} records from the {} generator ({} accounts)\n",
@@ -40,22 +50,51 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         full.node_count()
     );
 
+    // The tracked flow pair: the account sending the most and the account
+    // receiving the most over the whole log — the pair an analyst would
+    // watch. Resolved by name on the live graph once both have appeared.
+    let (source_name, sink_name) = busiest_pair(&full);
+    println!("tracking exact flow {source_name} -> {sink_name}\n");
+
     let mut stream = DeltaStream::new(csv.as_slice(), &LoaderConfig::default())?;
     let mut graph = TemporalGraph::new();
     let config = TablesConfig::default();
     let mut tables = PathTables::build(&graph, &config);
+    let mut flow_session: Option<FlowSession> = None;
 
     // Ingest → append → incremental table update → pattern search, batch by
     // batch. Memory stays bounded by the graph + tables; the log is never
     // materialized.
     let mut batch_no = 0usize;
     let mut groups = 0usize;
+    let mut tracked_flow = 0.0f64;
     while let Some(delta) = stream.next_delta(50)? {
         let applied = graph.apply(&delta)?;
         let update = tables.apply(&graph, &applied);
         assert!(!update.rebuilt, "small deltas never trigger a rebuild");
         groups += update.refreshed_groups;
         batch_no += 1;
+
+        // Keep the tracked flow value current: patch the session's
+        // min-cost-flow arc arrays with this batch's delta and re-optimize
+        // from the previous basis — no per-batch rebuild here either.
+        match flow_session.as_mut() {
+            Some(session) => {
+                session.advance(&graph, &applied);
+                tracked_flow = session.solve()?.flow;
+            }
+            None => {
+                if let (Some(s), Some(t)) = (
+                    graph.node_by_name(&source_name),
+                    graph.node_by_name(&sink_name),
+                ) {
+                    let mut session = FlowSession::new(&graph, s, t, FlowMethod::Lp)?;
+                    tracked_flow = session.solve()?.flow;
+                    flow_session = Some(session);
+                }
+            }
+        }
+
         // Query the live state every 10 batches: 2-hop cycle instances (P2)
         // straight from the incrementally maintained tables.
         if batch_no % 10 == 0 {
@@ -63,10 +102,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 .ok_or("cycle tables are unavailable for P2")?;
             println!(
                 "after batch {batch_no:>3} ({:>5} transfers): {:>4} two-hop cycles, \
-                 avg flow {:>7.2}  [{} rows refreshed this batch]",
+                 avg flow {:>7.2}, tracked flow {:>8.2}  [{} rows refreshed this batch]",
                 graph.interaction_count(),
                 p2.instances,
                 p2.average_flow,
+                tracked_flow,
                 update.refreshed_groups,
             );
         }
@@ -86,5 +126,47 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let rebuilt = PathTables::build(&graph, &config);
     assert_eq!(tables.first_row_divergence(&rebuilt), None);
     println!("verified: incremental tables are row-identical to a full rebuild");
+
+    // The session's warm answer is the exact answer: a from-scratch
+    // emission + cold network-simplex solve on the final graph agrees —
+    // the basis only changed where the simplex starts, never where it
+    // stops.
+    let session = flow_session.ok_or("the tracked flow pair never appeared in the feed")?;
+    let f = temporal_flow::flow::build_mcf(&graph, session.source(), session.sink());
+    let cold_flow = f.problem.solve().flows[f.return_arc];
+    assert!(
+        (tracked_flow - cold_flow).abs() <= 1e-6 * (1.0 + cold_flow.abs()),
+        "session flow {tracked_flow} != cold flow {cold_flow}"
+    );
+    let stats = session.stats();
+    println!(
+        "verified: tracked flow {tracked_flow:.2} matches a from-scratch solve \
+         ({} of {} solves reused the basis, {} warm vs {} cold pivots)",
+        stats.basis_hits, stats.solves, stats.warm_pivots, stats.cold_pivots
+    );
     Ok(())
+}
+
+/// The busiest pair over the full log: the account sending the largest
+/// total quantity and the one receiving the largest (excluding the source).
+fn busiest_pair(graph: &TemporalGraph) -> (String, String) {
+    let n = graph.node_count();
+    let (mut sent, mut received) = (vec![0.0f64; n], vec![0.0f64; n]);
+    for edge in graph.edges() {
+        let volume: f64 = edge.interactions.iter().map(|i| i.quantity).sum();
+        sent[edge.src.index()] += volume;
+        received[edge.dst.index()] += volume;
+    }
+    let argmax = |xs: &[f64], skip: usize| {
+        (0..n)
+            .filter(|&i| i != skip)
+            .max_by(|&a, &b| xs[a].total_cmp(&xs[b]))
+            .expect("generated graphs have at least two accounts")
+    };
+    let source = argmax(&sent, usize::MAX);
+    let sink = argmax(&received, source);
+    (
+        graph.node(NodeId(source as u32)).name.clone(),
+        graph.node(NodeId(sink as u32)).name.clone(),
+    )
 }

@@ -59,7 +59,7 @@ pub mod prelude {
     pub use tin_datasets::{BitcoinConfig, Ctu13Config, DatasetKind, ProsperConfig};
     pub use tin_flow::{
         compute_flow, greedy_flow, is_greedy_soluble, maximum_flow, preprocess, simplify,
-        FlowMethod, FlowResult,
+        FlowMethod, FlowResult, FlowSession, SessionSolve, SessionStats,
     };
     pub use tin_graph::prelude::*;
     pub use tin_patterns::{Pattern, PatternCatalogue, PatternSearchResult};
